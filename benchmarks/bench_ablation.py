@@ -1,0 +1,111 @@
+"""Ablations of the design choices behind the CTL/CTLS indexes.
+
+Not a paper figure, but the knobs the paper fixes deserve evidence:
+
+* ``beta`` — BalancedCut balance factor (paper uses 0.2 following HC2L);
+* ``leaf_size`` — when recursion stops and a node swallows the rest;
+* construction strategy — basic vs pruned vs cutsearch, effect on the
+  *query-relevant* index shape (height, width, size), complementing the
+  build-time comparison of Exp-4.
+"""
+
+import pytest
+
+from repro.bench.measure import average_query_seconds
+from repro.bench.workloads import random_pairs
+from repro.core.ctls import CTLSIndex
+from repro.datasets.registry import load_dataset
+
+DATASET = "NY"
+BETAS = (0.1, 0.2, 0.3)
+LEAF_SIZES = (2, 4, 16)
+
+
+@pytest.mark.parametrize("beta", BETAS)
+def test_beta_ablation(benchmark, beta):
+    """Construction cost and index shape across balance factors."""
+    graph = load_dataset(DATASET)
+    index = benchmark.pedantic(
+        lambda: CTLSIndex.build(graph, beta=beta), rounds=1, iterations=1
+    )
+    stats = index.stats()
+    benchmark.extra_info.update(
+        {"height": stats.height, "width": stats.width, "size": stats.size_bytes}
+    )
+    pairs = random_pairs(graph, 300, seed=5)
+    benchmark.extra_info["avg_query_us"] = (
+        average_query_seconds(index, pairs) * 1e6
+    )
+
+
+@pytest.mark.parametrize("leaf_size", LEAF_SIZES)
+def test_leaf_size_ablation(benchmark, leaf_size):
+    """Leaf threshold: tiny leaves deepen the tree, big ones widen it."""
+    graph = load_dataset(DATASET)
+    index = benchmark.pedantic(
+        lambda: CTLSIndex.build(graph, leaf_size=leaf_size),
+        rounds=1,
+        iterations=1,
+    )
+    stats = index.stats()
+    benchmark.extra_info.update(
+        {"height": stats.height, "width": stats.width}
+    )
+
+
+def test_simplification_preprocessing(benchmark, capsys):
+    """Degree-2 contraction before indexing: smaller graph, same answers.
+
+    PWR (power grid) has long degree-2 chains like real road data; the
+    grid fabrics contract less.  Queries between surviving junctions
+    stay exact (tests/graph/test_simplify.py), so the contracted build
+    is a free win for junction-level workloads.
+    """
+    from repro.graph.simplify import contract_degree_two
+
+    graph = load_dataset("PWR")
+    simplified, removed = contract_degree_two(graph)
+
+    index = benchmark.pedantic(
+        lambda: CTLSIndex.build(simplified), rounds=1, iterations=1
+    )
+    raw = CTLSIndex.build(graph)
+    with capsys.disabled():
+        print(
+            f"\n\nAblation: degree-2 contraction on PWR: "
+            f"{graph.num_vertices} -> {simplified.num_vertices} vertices "
+            f"({len(removed)} contracted); index size "
+            f"{raw.size_bytes() / 1e6:.2f} -> {index.size_bytes() / 1e6:.2f} MB, "
+            f"build {raw.build_stats.seconds:.2f} -> "
+            f"{index.build_stats.seconds:.2f}s"
+        )
+    assert index.size_bytes() < raw.size_bytes()
+
+
+def test_strategy_shape_summary(benchmark, capsys):
+    """Index shape per construction strategy (query-side ablation)."""
+    graph = load_dataset(DATASET)
+
+    def build_all():
+        return {
+            strategy: CTLSIndex.build(graph, strategy=strategy)
+            for strategy in ("basic", "pruned", "cutsearch")
+        }
+
+    indexes = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    pairs = random_pairs(graph, 300, seed=5)
+    with capsys.disabled():
+        print("\n\nAblation: CTLS construction strategy vs index shape (NY)")
+        print(f"{'strategy':10s} {'h':>5s} {'w':>4s} {'size MB':>8s} {'us/query':>9s}")
+        for strategy, index in indexes.items():
+            st = index.stats()
+            us = average_query_seconds(index, pairs) * 1e6
+            print(
+                f"{strategy:10s} {st.height:5d} {st.width:4d} "
+                f"{st.size_bytes / 1e6:8.2f} {us:9.2f}"
+            )
+    # Pruning shortcuts must never hurt the label volume.
+    assert (
+        indexes["pruned"].stats().total_label_entries
+        <= indexes["basic"].stats().total_label_entries
+    )

@@ -1,0 +1,112 @@
+"""Application-level benchmarks (paper §I motivations).
+
+Not paper figures, but the workloads the introduction motivates the
+index with: betweenness-centrality estimation and top-k POI ranking.
+Each benchmark compares the counting-index path against the online
+Dijkstra baseline, demonstrating the end-to-end payoff.
+"""
+
+import random
+
+import pytest
+
+from repro.apps.betweenness import betweenness_sampled
+from repro.apps.poi import recommend_pois
+from repro.baselines.online import OnlineSPC
+from repro.datasets.registry import load_dataset
+
+DATASET = "PWR"
+SAMPLES = 120
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset(DATASET)
+
+
+@pytest.fixture(scope="module")
+def ctls(cache):
+    return cache.get(DATASET, "CTLS")
+
+
+@pytest.fixture(scope="module")
+def candidates(graph):
+    rng = random.Random(8)
+    vertices = sorted(graph.vertices())
+    return rng.sample(vertices, 10)
+
+
+def test_betweenness_via_index(benchmark, graph, ctls, candidates):
+    population = sorted(graph.vertices())
+    scores = benchmark.pedantic(
+        lambda: betweenness_sampled(
+            ctls, vertices=candidates, num_samples=SAMPLES,
+            population=population, seed=4,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert set(scores) == set(candidates)
+
+
+def test_betweenness_via_online_dijkstra(benchmark, graph, candidates):
+    online = OnlineSPC.build(graph)
+    population = sorted(graph.vertices())
+    scores = benchmark.pedantic(
+        lambda: betweenness_sampled(
+            online, vertices=candidates, num_samples=SAMPLES,
+            population=population, seed=4,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert set(scores) == set(candidates)
+
+
+def test_poi_ranking_via_index(benchmark, graph, ctls):
+    rng = random.Random(9)
+    vertices = sorted(graph.vertices())
+    pois = rng.sample(vertices, 50)
+    sources = rng.sample(vertices, 20)
+
+    def rank_all():
+        return [
+            recommend_pois(ctls, source, pois, k=5, tolerance=0.1)
+            for source in sources
+        ]
+
+    rankings = benchmark(rank_all)
+    assert len(rankings) == len(sources)
+    assert all(rankings)
+
+
+def test_apps_speedup_summary(benchmark, cache, capsys):
+    """The index answers app workloads orders of magnitude faster."""
+    from repro.bench.measure import timed
+
+    graph = load_dataset(DATASET)
+    ctls = cache.get(DATASET, "CTLS")
+    online = OnlineSPC.build(graph)
+    population = sorted(graph.vertices())
+    rng = random.Random(8)
+    chosen = rng.sample(population, 5)
+
+    kwargs = dict(
+        vertices=chosen, num_samples=60, population=population, seed=4
+    )
+    indexed, fast_seconds = benchmark.pedantic(
+        lambda: timed(betweenness_sampled, ctls, **kwargs),
+        rounds=1,
+        iterations=1,
+    )
+    direct, slow_seconds = timed(betweenness_sampled, online, **kwargs)
+    with capsys.disabled():
+        print(
+            f"\n\nApp summary (betweenness, {DATASET}): index "
+            f"{fast_seconds:.2f}s vs online {slow_seconds:.2f}s "
+            f"({slow_seconds / fast_seconds:.0f}x)"
+        )
+    # Identical estimates, dramatically faster.
+    for v in chosen:
+        assert indexed[v] == pytest.approx(direct[v])
+    assert fast_seconds < slow_seconds

@@ -1,0 +1,40 @@
+"""Exp-1 — Fig. 7 (average query time) and Fig. 8 (speedup over TL).
+
+One pytest-benchmark per (dataset, algorithm) measuring a batch of
+uniform random queries, plus a summary test printing the paper-style
+table with per-query microseconds and speedups.
+"""
+
+import pytest
+
+from repro.bench.experiments import QUERY_ALGORITHMS, exp1_query_time
+from repro.bench.measure import run_queries
+from repro.bench.report import render_exp1
+
+from conftest import BENCH_DATASETS, QUERY_BATCH
+
+
+@pytest.mark.parametrize("dataset", BENCH_DATASETS)
+@pytest.mark.parametrize("algorithm", QUERY_ALGORITHMS)
+def test_random_queries(benchmark, cache, workloads, dataset, algorithm):
+    index = cache.get(dataset, algorithm)
+    pairs = workloads[dataset]
+    benchmark.extra_info["queries_per_round"] = len(pairs)
+    checksum = benchmark(run_queries, index, pairs)
+    assert checksum == run_queries(index, pairs)
+
+
+def test_fig7_fig8_summary(benchmark, cache, capsys):
+    """Print Fig. 7/8: per-query latency and speedups over TL-Query."""
+    rows = benchmark.pedantic(
+        lambda: exp1_query_time(
+            datasets=BENCH_DATASETS, num_queries=QUERY_BATCH, cache=cache
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print("\n\nExp-1 (Fig. 7 + Fig. 8): average query time, speedup over TL")
+        print(render_exp1(rows))
+    speedups = [r.speedup_over_tl for r in rows if r.algorithm == "CTLS"]
+    assert all(s > 0 for s in speedups)

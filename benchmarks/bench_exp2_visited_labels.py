@@ -1,0 +1,46 @@
+"""Exp-2 — Fig. 9: number of visited labels in query processing.
+
+The paper's key explanatory metric: TL-Query scans all common
+ancestors, CTL-Query a (balanced-tree) prefix, CTLS-Query only the LCA
+node.  The benchmark measures the counting pass and the summary test
+asserts the paper's ordering TL > CTL > CTLS.
+"""
+
+import pytest
+
+from repro.bench.experiments import QUERY_ALGORITHMS, exp2_visited_labels
+from repro.bench.measure import average_visited_labels
+from repro.bench.report import render_exp2
+
+from conftest import BENCH_DATASETS, QUERY_BATCH
+
+
+@pytest.mark.parametrize("dataset", BENCH_DATASETS)
+@pytest.mark.parametrize("algorithm", QUERY_ALGORITHMS)
+def test_label_visit_counting(benchmark, cache, workloads, dataset, algorithm):
+    index = cache.get(dataset, algorithm)
+    pairs = workloads[dataset]
+    average = benchmark(average_visited_labels, index, pairs)
+    benchmark.extra_info["avg_visited_labels"] = average
+    assert average > 0
+
+
+def test_fig9_summary(benchmark, cache, capsys):
+    """Print Fig. 9 and check the ordering TL > CTL > CTLS."""
+    rows = benchmark.pedantic(
+        lambda: exp2_visited_labels(
+            datasets=BENCH_DATASETS, num_queries=QUERY_BATCH, cache=cache
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print("\n\nExp-2 (Fig. 9): average visited labels per query")
+        print(render_exp2(rows))
+    for dataset in BENCH_DATASETS:
+        by_alg = {
+            r.algorithm: r.avg_visited_labels
+            for r in rows
+            if r.dataset == dataset
+        }
+        assert by_alg["TL"] > by_alg["CTL"] > by_alg["CTLS"], dataset

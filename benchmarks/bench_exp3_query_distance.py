@@ -1,0 +1,62 @@
+"""Exp-3 — Fig. 10: query processing time by query distance (Q1..Q10).
+
+Benchmarks the extreme and middle distance groups per algorithm, and
+prints the full ten-group table.  The paper's headline shape: TL/CTL
+get *faster* with distance (shallower LCA), CTLS gets *slower* (larger
+cuts), making CTLS the clear winner on short-distance queries.
+"""
+
+import pytest
+
+from repro.bench.experiments import QUERY_ALGORITHMS, exp3_query_distance
+from repro.bench.measure import average_query_seconds, run_queries
+from repro.bench.report import render_exp3
+
+from conftest import BENCH_DATASETS
+
+#: Representative groups benchmarked individually (short / mid / long).
+PROBE_BINS = (1, 5, 10)
+
+
+@pytest.mark.parametrize("dataset", BENCH_DATASETS)
+@pytest.mark.parametrize("algorithm", QUERY_ALGORITHMS)
+@pytest.mark.parametrize("group", PROBE_BINS)
+def test_distance_group_queries(
+    benchmark, cache, distance_workloads, dataset, algorithm, group
+):
+    bins = distance_workloads[dataset]
+    pairs = bins[group - 1].pairs
+    if not pairs:
+        pytest.skip(f"{dataset} Q{group}: no pairs at this distance range")
+    index = cache.get(dataset, algorithm)
+    benchmark.extra_info["queries_per_round"] = len(pairs)
+    benchmark(run_queries, index, pairs)
+
+
+def test_fig10_summary(benchmark, cache, distance_workloads, capsys):
+    """Print the full Fig. 10 table and check the short-distance win."""
+    rows = benchmark.pedantic(
+        lambda: exp3_query_distance(
+            datasets=BENCH_DATASETS, per_bin=100, cache=cache
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print("\n\nExp-3 (Fig. 10): query time by distance group")
+        print(render_exp3(rows))
+
+    # Shape check on the shortest populated group of each dataset:
+    # CTLS-Query beats TL-Query on short-distance queries.
+    for dataset in BENCH_DATASETS:
+        dataset_rows = [r for r in rows if r.dataset == dataset]
+        if not dataset_rows:
+            continue
+        first_bin = min(r.bin_index for r in dataset_rows)
+        short = {
+            r.algorithm: r.avg_query_us
+            for r in dataset_rows
+            if r.bin_index == first_bin
+        }
+        if {"TL", "CTLS"} <= set(short):
+            assert short["CTLS"] < short["TL"], (dataset, short)

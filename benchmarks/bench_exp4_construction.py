@@ -1,0 +1,65 @@
+"""Exp-4 — Fig. 11 (construction time), Fig. 12 (memory usage),
+Fig. 13 (speedup of CTLS+/CTLS* over plain CTLS-Construct).
+
+Constructions are benchmarked with a single round each (they are
+seconds-long); the summary test prints all three figures' data and
+checks that the optimizations actually accelerate construction.
+"""
+
+import pytest
+
+from repro.baselines.tl import TLIndex
+from repro.bench.experiments import exp4_construction
+from repro.bench.report import render_exp4
+from repro.core.ctl import CTLIndex
+from repro.core.ctls import CTLSIndex
+from repro.datasets.registry import load_dataset
+
+from conftest import BENCH_DATASETS
+
+BUILDERS = {
+    "TL": lambda g: TLIndex.build(g),
+    "CTL": lambda g: CTLIndex.build(g),
+    "CTLS": lambda g: CTLSIndex.build(g, strategy="basic"),
+    "CTLS+": lambda g: CTLSIndex.build(g, strategy="pruned"),
+    "CTLS*": lambda g: CTLSIndex.build(g, strategy="cutsearch"),
+}
+
+
+@pytest.mark.parametrize("dataset", BENCH_DATASETS)
+@pytest.mark.parametrize("algorithm", sorted(BUILDERS))
+def test_construction(benchmark, dataset, algorithm):
+    graph = load_dataset(dataset)
+    build = BUILDERS[algorithm]
+    index = benchmark.pedantic(build, args=(graph,), rounds=1, iterations=1)
+    stats = index.stats()
+    benchmark.extra_info["height"] = stats.height
+    benchmark.extra_info["width"] = stats.width
+    benchmark.extra_info["memory_estimate"] = (
+        index.build_stats.peak_memory_estimate
+    )
+    assert stats.num_vertices == graph.num_vertices
+
+
+def test_fig11_12_13_summary(benchmark, capsys):
+    """Print construction time/memory and Fig. 13 speedups."""
+    rows = benchmark.pedantic(
+        lambda: exp4_construction(datasets=BENCH_DATASETS),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print("\n\nExp-4 (Fig. 11-13): construction time, memory, speedups")
+        print(render_exp4(rows))
+
+    # Fig. 13 shape: the optimised constructions beat plain CTLS.
+    for dataset in BENCH_DATASETS:
+        by_alg = {r.algorithm: r for r in rows if r.dataset == dataset}
+        if "CTLS" in by_alg and "CTLS*" in by_alg:
+            assert (
+                by_alg["CTLS*"].build_seconds < by_alg["CTLS"].build_seconds
+            ), dataset
+        if "CTLS" in by_alg and "CTLS+" in by_alg:
+            assert (
+                by_alg["CTLS+"].build_seconds < by_alg["CTLS"].build_seconds
+            ), dataset

@@ -1,0 +1,38 @@
+"""Table I — statistics of datasets.
+
+Regenerates the dataset statistics table and benchmarks dataset
+generation (the substitute for downloading DIMACS files).
+"""
+
+import pytest
+
+from repro.datasets.registry import DATASET_SPECS, load_dataset
+from repro.datasets.stats import dataset_statistics
+from repro.bench.report import render_table1
+
+from conftest import BENCH_DATASETS
+
+
+def test_table1_statistics(benchmark, capsys):
+    """Print Table I (synthetic sizes next to the paper's)."""
+    rows = benchmark.pedantic(
+        dataset_statistics, args=(None,), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print("\n\nTable I: Statistics of Datasets")
+        print(render_table1(rows))
+    assert [r.name for r in rows] == BENCH_DATASETS
+
+
+@pytest.mark.parametrize("dataset", BENCH_DATASETS)
+def test_dataset_generation(benchmark, dataset):
+    """Time synthetic generation of each dataset (uncached)."""
+    spec = DATASET_SPECS[dataset]
+
+    def generate():
+        return spec.generator(spec)
+
+    graph = benchmark.pedantic(generate, rounds=1, iterations=1)
+    assert graph.num_vertices > 0
+    # The cached copy must agree with a fresh generation (determinism).
+    assert graph == load_dataset(dataset)

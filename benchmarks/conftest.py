@@ -1,0 +1,51 @@
+"""Shared benchmark fixtures.
+
+All benchmarks run on the ``quick`` dataset tier by default so that
+``pytest benchmarks/ --benchmark-only`` finishes in minutes; set
+``REPRO_DATASETS=medium`` or ``full`` for larger sweeps (see
+DESIGN.md).  Built indexes are shared process-wide through
+:data:`repro.bench.experiments.shared_cache`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import shared_cache
+from repro.bench.workloads import distance_binned_queries, random_pairs
+from repro.datasets.registry import dataset_names, load_dataset
+
+#: Datasets exercised by the benchmark suite (env-tier aware).
+BENCH_DATASETS = dataset_names()
+
+#: Queries measured per benchmark round.
+QUERY_BATCH = 500
+
+
+def pytest_report_header(config):
+    return f"repro benchmarks: datasets={BENCH_DATASETS}"
+
+
+@pytest.fixture(scope="session")
+def cache():
+    return shared_cache
+
+
+@pytest.fixture(scope="session")
+def workloads():
+    """``{dataset: [pairs]}`` uniform random query workloads."""
+    return {
+        name: random_pairs(load_dataset(name), QUERY_BATCH, seed=42)
+        for name in BENCH_DATASETS
+    }
+
+
+@pytest.fixture(scope="session")
+def distance_workloads():
+    """``{dataset: [DistanceBin]}`` Exp-3 workloads (Q1..Q10)."""
+    return {
+        name: distance_binned_queries(
+            load_dataset(name), per_bin=100, seed=42, max_sources=400
+        )
+        for name in BENCH_DATASETS
+    }

@@ -1,0 +1,61 @@
+"""Top-k POI recommendation with shortest-path-count tie-breaking.
+
+Run with::
+
+    python examples/poi_recommendation.py
+
+The paper's motivating scenario (§I): a ride-hailing service ranks
+nearby pick-up points.  When two candidates are equally close, users
+prefer the one reachable by more shortest routes (more flexibility
+under congestion).  The shortest path count is exactly that signal,
+and a CTLS-Index serves it in microseconds.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import CTLSIndex, road_network
+from repro.apps.poi import recommend_pois
+
+
+def main() -> None:
+    graph = road_network(3000, seed=23)
+    print(f"City fabric: {graph!r}")
+
+    index = CTLSIndex.build(graph)
+    print(f"CTLS-Index built in {index.build_stats.seconds:.2f}s")
+
+    rng = random.Random(5)
+    vertices = sorted(graph.vertices())
+    user = rng.choice(vertices)
+    pois = rng.sample(vertices, 40)
+
+    print(f"\nUser location: vertex {user}; {len(pois)} candidate POIs.")
+
+    print("\nPure nearest-k (no tie-breaking information):")
+    plain = recommend_pois(index, user, pois, k=5)
+    for rank, rec in enumerate(plain, start=1):
+        print(
+            f"  {rank}. vertex {rec.vertex:6d}  distance {rec.distance:7d}"
+            f"  routes {rec.route_count}"
+        )
+
+    print("\nWith 10% distance tolerance, preferring route flexibility:")
+    flexible = recommend_pois(index, user, pois, k=5, tolerance=0.10)
+    for rank, rec in enumerate(flexible, start=1):
+        print(
+            f"  {rank}. vertex {rec.vertex:6d}  distance {rec.distance:7d}"
+            f"  routes {rec.route_count}"
+        )
+
+    moved = [r.vertex for r in flexible] != [r.vertex for r in plain]
+    print(
+        "\nRoute-count tie-breaking changed the ranking."
+        if moved
+        else "\nRanking unchanged (no near-ties among these candidates)."
+    )
+
+
+if __name__ == "__main__":
+    main()

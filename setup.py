@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+Metadata lives in pyproject.toml; this file only enables legacy
+`pip install -e .` (setup.py develop) where PEP 660 builds are
+unavailable offline.
+"""
+from setuptools import setup
+
+setup()

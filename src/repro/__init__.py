@@ -1,0 +1,69 @@
+"""repro — shortest path counting on road networks.
+
+A complete reproduction of *"Accelerating Shortest Path Counting on Road
+Networks"* (ICDE 2025): the CTL-Index and CTLS-Index, the TL-Index
+baseline they improve on, and every substrate they stand on (balanced
+vertex cuts via max-flow, tree decomposition, count-preserving
+SPC-Graphs, hub labels).
+
+Quickstart::
+
+    from repro import CTLSIndex, road_network
+
+    graph = road_network(2000, seed=7)
+    index = CTLSIndex.build(graph)
+    distance, count = index.query(0, 1234)
+
+All indexes answer exact queries: ``distance`` is the shortest path
+distance and ``count`` the number of distinct shortest paths.
+"""
+
+from repro.baselines import OnlineSPC, TLIndex
+from repro.core import (
+    CTLIndex,
+    CTLSIndex,
+    DynamicCTL,
+    DynamicCTLS,
+    SPCIndex,
+    load_index,
+    save_index,
+)
+from repro.exceptions import ReproError
+from repro.graph import Graph
+from repro.graph.generators import (
+    grid_road_network,
+    power_grid_network,
+    random_geometric_network,
+    road_network,
+)
+from repro.graph.io import read_dimacs, read_edge_list, read_json
+from repro.search import spc_query
+from repro.types import INF, QueryResult, QueryStats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CTLIndex",
+    "CTLSIndex",
+    "DynamicCTL",
+    "DynamicCTLS",
+    "Graph",
+    "INF",
+    "OnlineSPC",
+    "QueryResult",
+    "QueryStats",
+    "ReproError",
+    "SPCIndex",
+    "TLIndex",
+    "grid_road_network",
+    "load_index",
+    "power_grid_network",
+    "random_geometric_network",
+    "read_dimacs",
+    "read_edge_list",
+    "read_json",
+    "road_network",
+    "save_index",
+    "spc_query",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Applications built on shortest path counting indexes."""
+
+from repro.apps.betweenness import (
+    betweenness_exact,
+    betweenness_sampled,
+    edge_betweenness_sampled,
+    edge_dependency,
+    pair_dependency,
+)
+from repro.apps.poi import POIRecommendation, recommend_pois
+
+__all__ = [
+    "POIRecommendation",
+    "betweenness_exact",
+    "betweenness_sampled",
+    "edge_betweenness_sampled",
+    "edge_dependency",
+    "pair_dependency",
+    "recommend_pois",
+]

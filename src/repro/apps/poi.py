@@ -1,0 +1,73 @@
+"""POI recommendation with path-count tie-breaking (paper §I).
+
+Service providers pick the top-k nearest POIs; when distances are
+similar, users prefer destinations reachable by *many* shortest routes
+(flexibility under congestion).  :func:`recommend_pois` ranks
+candidates by distance and breaks near-ties by shortest path count,
+exactly the use case that motivates counting indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.base import SPCIndex
+from repro.types import INF, Vertex, Weight
+
+
+@dataclass(frozen=True)
+class POIRecommendation:
+    """One ranked POI: where it is, how far, how many best routes."""
+
+    vertex: Vertex
+    distance: Weight
+    route_count: int
+
+
+def recommend_pois(
+    index: SPCIndex,
+    source: Vertex,
+    candidates: Sequence[Vertex],
+    k: int = 5,
+    *,
+    tolerance: float = 0.0,
+) -> List[POIRecommendation]:
+    """Top-``k`` POIs for ``source`` among ``candidates``.
+
+    Ranking: primarily by shortest distance; candidates whose distance
+    is within ``(1 + tolerance)`` of a nearer one are considered tied
+    and ordered by descending shortest-path count (more route
+    flexibility first).  Unreachable candidates are dropped.
+
+    With ``tolerance=0.0`` only exact distance ties are re-ordered by
+    count.
+    """
+    if k <= 0:
+        return []
+    scored = []
+    for poi in candidates:
+        if poi == source:
+            continue
+        result = index.query(source, poi)
+        if result.distance == INF:
+            continue
+        scored.append(POIRecommendation(poi, result.distance, result.count))
+    scored.sort(key=lambda rec: (rec.distance, -rec.route_count, rec.vertex))
+    if tolerance <= 0:
+        return scored[:k]
+
+    # Group near-ties: within each tolerance band, prefer route count.
+    ranked: List[POIRecommendation] = []
+    i = 0
+    while i < len(scored) and len(ranked) < k:
+        band_limit = scored[i].distance * (1 + tolerance)
+        j = i
+        while j < len(scored) and scored[j].distance <= band_limit:
+            j += 1
+        band = sorted(
+            scored[i:j], key=lambda rec: (-rec.route_count, rec.distance, rec.vertex)
+        )
+        ranked.extend(band)
+        i = j
+    return ranked[:k]

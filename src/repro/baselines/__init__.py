@@ -1,0 +1,15 @@
+"""Baseline algorithms: TL-Index (state of the art) and online Dijkstra."""
+
+from repro.baselines.online import OnlineSPC
+from repro.baselines.tl import TLIndex
+from repro.baselines.tree_decomposition import (
+    TreeDecomposition,
+    minimum_degree_elimination,
+)
+
+__all__ = [
+    "OnlineSPC",
+    "TLIndex",
+    "TreeDecomposition",
+    "minimum_degree_elimination",
+]

@@ -1,0 +1,67 @@
+"""Index-free baseline: counting Dijkstra per query.
+
+The "straightforward solution" of the paper's introduction — a modified
+Dijkstra tracking path counts — wrapped in the common
+:class:`~repro.core.base.SPCIndex` interface so benchmarks can include
+it.  No preprocessing; every query runs SSSPC until the target settles.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.base import BuildStats, IndexStats, SPCIndex
+from repro.exceptions import IndexQueryError, VertexNotFoundError
+from repro.graph.graph import Graph
+from repro.search.dijkstra import ssspc
+from repro.types import INF, QueryResult, QueryStats, Vertex
+
+
+class OnlineSPC(SPCIndex):
+    """Zero-preprocessing baseline answering queries with SSSPC runs."""
+
+    name = "Dijkstra"
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self.build_stats = BuildStats()
+
+    @classmethod
+    def build(cls, graph: Graph) -> "OnlineSPC":
+        """No-op construction retained for interface symmetry."""
+        started = time.perf_counter()
+        instance = cls(graph)
+        instance.build_stats.seconds = time.perf_counter() - started
+        return instance
+
+    def query(self, source: Vertex, target: Vertex) -> QueryResult:
+        """Run a target-stopping counting Dijkstra."""
+        return self.query_with_stats(source, target).result
+
+    def query_with_stats(self, source: Vertex, target: Vertex) -> QueryStats:
+        """Query; ``visited_labels`` reports settled vertices."""
+        try:
+            if not self.graph.has_vertex(target):
+                raise VertexNotFoundError(target)
+            if source == target:
+                if not self.graph.has_vertex(source):
+                    raise VertexNotFoundError(source)
+                return QueryStats(QueryResult(0, 1), 0)
+            dist, count = ssspc(self.graph, source, target=target)
+        except VertexNotFoundError as exc:
+            raise IndexQueryError(str(exc)) from exc
+        if target not in dist:
+            return QueryStats(QueryResult(INF, 0), len(dist))
+        return QueryStats(QueryResult(dist[target], count[target]), len(dist))
+
+    def stats(self) -> IndexStats:
+        """Zero-size stats: this baseline stores no index."""
+        return IndexStats(
+            num_vertices=self.graph.num_vertices,
+            num_edges=self.graph.num_edges,
+            tree_nodes=0,
+            height=0,
+            width=0,
+            total_label_entries=0,
+            size_bytes=0,
+        )

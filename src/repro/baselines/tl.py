@@ -1,0 +1,168 @@
+"""TL-Index: the state-of-the-art baseline (Qiu et al., VLDB 2022).
+
+The TL-Index combines hub labeling with a tree decomposition hierarchy
+(paper §II-B).  Each graph vertex owns one tree node; vertex rank is
+tree depth (shallower = higher).  Labels store the convex shortest
+distance and count from every vertex to each of its tree ancestors,
+computed with the *upward framework*: processing vertices root-down,
+the labels of ``v`` follow from its bag neighbours' labels —
+
+``csd(v, a) = min over (u, phi, sigma) in bag(v) of phi + csd(u, a)``
+
+with counts multiplied by the bag edge's count weight and summed over
+minimising neighbours.  Bag edges are count-preserving contractions, so
+every convex shortest path is counted exactly once at its first hop
+above ``v``.
+
+TL-Query scans all common ancestors — label positions ``0 .. depth of
+the LCA`` — hence ``O(h)`` visits that *shrink* as query distance grows
+(shallower LCAs), the behaviour Exp-3 contrasts with CTLS-Query.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from repro.baselines.tree_decomposition import (
+    TreeDecomposition,
+    minimum_degree_elimination,
+)
+from repro.core.base import BuildStats, IndexStats, SPCIndex
+from repro.exceptions import IndexQueryError
+from repro.graph.graph import Graph
+from repro.tree.lca import LCATable
+from repro.types import INF, QueryResult, QueryStats, Vertex
+
+
+class TLIndex(SPCIndex):
+    """Tree-decomposition hub-labeling index for shortest path counting."""
+
+    name = "TL"
+
+    def __init__(
+        self,
+        decomposition: TreeDecomposition,
+        dist: Dict[Vertex, List],
+        count: Dict[Vertex, List[int]],
+        lca: LCATable,
+        vertex_ids: Dict[Vertex, int],
+        build_stats: BuildStats,
+        num_edges: int,
+    ) -> None:
+        self.decomposition = decomposition
+        self.label_dist = dist
+        self.label_count = count
+        self._lca = lca
+        self._vertex_ids = vertex_ids
+        self.build_stats = build_stats
+        self._num_edges = num_edges
+        self._depth_by_id = [decomposition.depth[v] for v in decomposition.order]
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, graph: Graph) -> "TLIndex":
+        """Run TL-Construct: tree decomposition + upward label DP."""
+        started = time.perf_counter()
+        stats = BuildStats()
+        td = minimum_degree_elimination(graph)
+
+        # Upward framework: parents (eliminated later) before children.
+        dist: Dict[Vertex, List] = {}
+        count: Dict[Vertex, List[int]] = {}
+        for v in reversed(td.order):
+            depth_v = td.depth[v]
+            dv: List = [INF] * (depth_v + 1)
+            cv: List[int] = [0] * (depth_v + 1)
+            dv[depth_v] = 0
+            cv[depth_v] = 1
+            for u, phi, sigma in td.bags[v]:
+                du = dist[u]
+                cu = count[u]
+                for i in range(len(du)):
+                    base = du[i]
+                    if base is INF or base == INF:
+                        continue
+                    cand = phi + base
+                    if cand < dv[i]:
+                        dv[i] = cand
+                        cv[i] = sigma * cu[i]
+                    elif cand == dv[i]:
+                        cv[i] += sigma * cu[i]
+            dist[v] = dv
+            count[v] = cv
+
+        # O(1) LCA over the vertex tree.
+        vertex_ids = {v: i for i, v in enumerate(td.order)}
+        parents = [
+            -1 if td.parent[v] is None else vertex_ids[td.parent[v]]
+            for v in td.order
+        ]
+        lca = LCATable(parents)
+
+        stats.seconds = time.perf_counter() - started
+        total_entries = sum(len(x) for x in dist.values())
+        stats.peak_edges = graph.num_edges
+        stats.peak_memory_estimate = 8 * total_entries + 24 * graph.num_edges
+        return cls(td, dist, count, lca, vertex_ids, stats, graph.num_edges)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(self, source: Vertex, target: Vertex) -> QueryResult:
+        """TL-Query: scan labels of all common ancestors (Eq. 1)."""
+        result, _visited = self._query_scan(source, target)
+        return result
+
+    def query_with_stats(self, source: Vertex, target: Vertex) -> QueryStats:
+        """Query plus the number of visited label entries (Fig. 9)."""
+        result, visited = self._query_scan(source, target)
+        return QueryStats(result, visited)
+
+    def _query_scan(self, source: Vertex, target: Vertex):
+        if source == target:
+            if source not in self.label_dist:
+                raise IndexQueryError(f"vertex {source} is not indexed")
+            return QueryResult(0, 1), 0
+        try:
+            a = self._vertex_ids[source]
+            b = self._vertex_ids[target]
+        except KeyError as exc:
+            raise IndexQueryError(f"vertex {exc.args[0]} is not indexed") from exc
+        prefix = self._depth_by_id[self._lca.lca(a, b)] + 1
+
+        best = INF
+        total = 0
+        for d_s, d_t, c_s, c_t in zip(
+            self.label_dist[source][:prefix],
+            self.label_dist[target][:prefix],
+            self.label_count[source][:prefix],
+            self.label_count[target][:prefix],
+        ):
+            d = d_s + d_t
+            if d < best:
+                best = d
+                total = c_s * c_t
+            elif d == best:
+                total += c_s * c_t
+        if total == 0:
+            return QueryResult(INF, 0), prefix
+        return QueryResult(best, total), prefix
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> IndexStats:
+        """Static index shape (32-bit label-entry size model)."""
+        total_entries = sum(len(x) for x in self.label_dist.values())
+        return IndexStats(
+            num_vertices=len(self.label_dist),
+            num_edges=self._num_edges,
+            tree_nodes=len(self.label_dist),
+            height=self.decomposition.height,
+            width=self.decomposition.width,
+            total_label_entries=total_entries,
+            size_bytes=8 * total_entries,
+        )

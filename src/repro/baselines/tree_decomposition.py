@@ -1,0 +1,120 @@
+"""Tree decomposition by minimum-degree elimination (paper §II-B).
+
+The TL-Index derives its hierarchy from a tree decomposition computed by
+iteratively eliminating the minimum-degree vertex [Koster et al. 2001].
+Eliminating ``v`` records its *bag* ``X(v) = {v} ∪ N(v)`` and contracts
+the graph: every pair of ``v``'s neighbours is connected by a shortcut
+whose distance is the two-hop distance through ``v`` and whose count
+weight multiplies the two edges' counts — the same count-preserving
+merge as SPC-Graph construction, so shortest distances *and counts*
+among remaining vertices are invariant throughout the elimination.
+
+The tree has one node per vertex; the parent of ``X(v)`` is ``X(u)``
+where ``u`` is the neighbour of ``v`` eliminated first after ``v``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from heapq import heapify, heappop, heappush
+from typing import Dict, List, Tuple
+
+from repro.graph.graph import Graph
+from repro.graph.spc_graph import add_shortcut
+from repro.types import Vertex, Weight
+
+
+@dataclass
+class TreeDecomposition:
+    """Result of the elimination: bags, order, and the vertex tree."""
+
+    #: Vertices in elimination order (first eliminated first).
+    order: List[Vertex]
+    #: ``order_of[v]`` — position of ``v`` in the elimination order.
+    order_of: Dict[Vertex, int]
+    #: ``bags[v]`` — neighbours of ``v`` at elimination time, as
+    #: ``(u, distance, count)`` triples; all are eliminated after ``v``.
+    bags: Dict[Vertex, List[Tuple[Vertex, Weight, int]]]
+    #: ``parent[v]`` — tree parent vertex, or ``None`` for roots.
+    parent: Dict[Vertex, "Vertex | None"]
+    #: ``depth[v]`` — root has depth 0.
+    depth: Dict[Vertex, int]
+
+    @property
+    def height(self) -> int:
+        """Tree height ``h``: maximum number of ancestors incl. self."""
+        return max(self.depth.values(), default=-1) + 1
+
+    @property
+    def width(self) -> int:
+        """Tree width ``w``: maximum bag size (incl. the bag owner)."""
+        return max((len(bag) + 1 for bag in self.bags.values()), default=0)
+
+    def children(self) -> Dict[Vertex, List[Vertex]]:
+        """``{v: [children]}`` adjacency of the vertex tree."""
+        result: Dict[Vertex, List[Vertex]] = {v: [] for v in self.parent}
+        for v, p in self.parent.items():
+            if p is not None:
+                result[p].append(v)
+        return result
+
+
+def minimum_degree_elimination(graph: Graph) -> TreeDecomposition:
+    """Eliminate vertices smallest-degree-first with SPC contraction.
+
+    Disconnected graphs yield one natural root per component; secondary
+    roots are re-parented under the first root so downstream consumers
+    see a single tree (labels across components stay infinite).
+    """
+    work = graph.copy()
+    heap: List[Tuple[int, Vertex]] = [
+        (work.degree(v), v) for v in work.vertices()
+    ]
+    heapify(heap)
+
+    order: List[Vertex] = []
+    order_of: Dict[Vertex, int] = {}
+    bags: Dict[Vertex, List[Tuple[Vertex, Weight, int]]] = {}
+    remaining = work.num_vertices
+
+    while remaining:
+        degree, v = heappop(heap)
+        if not work.has_vertex(v) or work.degree(v) != degree:
+            continue  # stale heap entry
+        neighbours = [(u, w, c) for u, (w, c) in sorted(work.adj(v).items())]
+        bags[v] = neighbours
+        order_of[v] = len(order)
+        order.append(v)
+        work.remove_vertex(v)
+        remaining -= 1
+
+        for i, (u, w_u, c_u) in enumerate(neighbours):
+            for u2, w_u2, c_u2 in neighbours[i + 1:]:
+                add_shortcut(work, u, u2, w_u + w_u2, c_u * c_u2)
+            heappush(heap, (work.degree(u), u))
+
+    # Parent: the first-eliminated bag neighbour.
+    parent: Dict[Vertex, "Vertex | None"] = {}
+    roots: List[Vertex] = []
+    for v in order:
+        bag = bags[v]
+        if bag:
+            parent[v] = min((u for u, _w, _c in bag), key=order_of.__getitem__)
+        else:
+            parent[v] = None
+            roots.append(v)
+    # Single tree: chain secondary roots under the first.
+    if len(roots) > 1:
+        primary = roots[-1]  # last eliminated = natural global root
+        for r in roots:
+            if r != primary:
+                parent[r] = primary
+
+    depth: Dict[Vertex, int] = {}
+    for v in reversed(order):  # parents are always eliminated later
+        p = parent[v]
+        depth[v] = 0 if p is None else depth[p] + 1
+
+    return TreeDecomposition(
+        order=order, order_of=order_of, bags=bags, parent=parent, depth=depth
+    )

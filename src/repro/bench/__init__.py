@@ -1,0 +1,61 @@
+"""Benchmark harness: workloads, measurement, experiment runners."""
+
+from repro.bench.analysis import (
+    average_label_length,
+    label_length_histogram,
+    tree_balance,
+    tree_profile,
+)
+from repro.bench.charts import bar_chart, grouped_bar_chart, line_chart
+from repro.bench.experiments import (
+    CONSTRUCT_ALGORITHMS,
+    QUERY_ALGORITHMS,
+    IndexCache,
+    exp1_query_time,
+    exp2_visited_labels,
+    exp3_query_distance,
+    exp4_construction,
+    exp5_index_size,
+    shared_cache,
+)
+from repro.bench.measure import (
+    average_query_seconds,
+    average_visited_labels,
+    index_size_bytes,
+    run_queries,
+    timed,
+)
+from repro.bench.workloads import (
+    DistanceBin,
+    distance_binned_queries,
+    geometric_bin_edges,
+    random_pairs,
+)
+
+__all__ = [
+    "CONSTRUCT_ALGORITHMS",
+    "DistanceBin",
+    "average_label_length",
+    "bar_chart",
+    "grouped_bar_chart",
+    "label_length_histogram",
+    "line_chart",
+    "tree_balance",
+    "tree_profile",
+    "IndexCache",
+    "QUERY_ALGORITHMS",
+    "average_query_seconds",
+    "average_visited_labels",
+    "distance_binned_queries",
+    "exp1_query_time",
+    "exp2_visited_labels",
+    "exp3_query_distance",
+    "exp4_construction",
+    "exp5_index_size",
+    "geometric_bin_edges",
+    "index_size_bytes",
+    "random_pairs",
+    "run_queries",
+    "shared_cache",
+    "timed",
+]

@@ -1,0 +1,100 @@
+"""Structural analysis of built indexes.
+
+The paper explains its performance results through index *shape*: tree
+balance (CTL beats TL because BalancedCut yields shallower hierarchies),
+node widths (CTLS-Query scans one node), and label volume (Exp-5).
+These helpers extract those shapes from any built index so experiment
+reports can show the *why* next to the *what*.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.tree.cut_tree import CutTree
+
+
+@dataclass(frozen=True)
+class TreeProfile:
+    """Shape summary of a cut tree (or any index hierarchy)."""
+
+    num_nodes: int
+    num_vertices: int
+    height: int  # max ancestor vertices (label length bound)
+    width: int  # max node size
+    max_depth: int  # in tree nodes
+    avg_leaf_depth: float
+    avg_node_size: float
+    balance: float  # see ``tree_balance``
+
+
+def tree_balance(tree: CutTree) -> float:
+    """Average subtree balance over internal nodes, in ``(0, 1]``.
+
+    For a node with two children the balance is
+    ``min(|left|, |right|) / max(|left|, |right|)`` measured in subtree
+    vertex counts; single-child nodes contribute 0.  1.0 means a
+    perfectly balanced binary hierarchy — the quantity BalancedCut's
+    ``beta`` trades off against cut size.
+    """
+    if not tree.nodes:
+        return 1.0
+    subtree_size: List[int] = [0] * len(tree.nodes)
+    for node in reversed(tree.nodes):  # children have larger indices
+        subtree_size[node.index] = node.size + sum(
+            subtree_size[c] for c in node.children
+        )
+    scores = []
+    for node in tree.nodes:
+        if len(node.children) == 2:
+            a, b = (subtree_size[c] for c in node.children)
+            scores.append(min(a, b) / max(a, b))
+        elif len(node.children) == 1:
+            scores.append(0.0)
+    if not scores:
+        return 1.0
+    return sum(scores) / len(scores)
+
+
+def tree_profile(tree: CutTree) -> TreeProfile:
+    """Collect the shape statistics of a finalized cut tree."""
+    if not tree.nodes:
+        return TreeProfile(0, 0, 0, 0, 0, 0.0, 0.0, 1.0)
+    leaves = [node for node in tree.nodes if not node.children]
+    return TreeProfile(
+        num_nodes=tree.num_nodes,
+        num_vertices=tree.num_vertices,
+        height=tree.height,
+        width=tree.width,
+        max_depth=max(node.depth for node in tree.nodes),
+        avg_leaf_depth=sum(node.depth for node in leaves) / len(leaves),
+        avg_node_size=tree.num_vertices / tree.num_nodes,
+        balance=tree_balance(tree),
+    )
+
+
+def label_length_histogram(
+    lengths: Dict, bucket: int = 25
+) -> Dict[int, int]:
+    """Histogram of per-vertex label lengths, bucketed.
+
+    Accepts ``{vertex: length}`` or ``{vertex: list}`` mappings.  Keys
+    of the result are bucket lower bounds.
+    """
+    counter: Counter = Counter()
+    for value in lengths.values():
+        length = value if isinstance(value, int) else len(value)
+        counter[(length // bucket) * bucket] += 1
+    return dict(sorted(counter.items()))
+
+
+def average_label_length(lengths: Dict) -> float:
+    """Mean per-vertex label length (same input forms as the histogram)."""
+    if not lengths:
+        return 0.0
+    total = 0
+    for value in lengths.values():
+        total += value if isinstance(value, int) else len(value)
+    return total / len(lengths)

@@ -1,0 +1,107 @@
+"""Plain-text charts for experiment reports.
+
+EXPERIMENTS.md lives in a repository, not a paper PDF; these helpers
+render the *shapes* of the figures (bar groups for Figs. 7/9/11/14,
+line series for Fig. 10) as monospace text so the trends are visible
+without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+_BAR = "#"
+
+
+def bar_chart(
+    rows: Dict[str, float],
+    *,
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bars for ``{label: value}``, scaled to ``width``."""
+    if not rows:
+        return "(no data)"
+    peak = max(rows.values())
+    label_width = max(len(label) for label in rows)
+    lines = []
+    for label, value in rows.items():
+        length = 0 if peak <= 0 else round(width * value / peak)
+        lines.append(
+            f"{label.ljust(label_width)} | "
+            f"{_BAR * length}{' ' if length else ''}{value:.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Dict[str, Dict[str, float]],
+    *,
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """One bar block per group: ``{group: {series: value}}``."""
+    if not groups:
+        return "(no data)"
+    peak = max(
+        (value for series in groups.values() for value in series.values()),
+        default=0.0,
+    )
+    series_width = max(
+        (len(name) for series in groups.values() for name in series), default=1
+    )
+    lines: List[str] = []
+    for group, series in groups.items():
+        lines.append(f"{group}:")
+        for name, value in series.items():
+            length = 0 if peak <= 0 else round(width * value / peak)
+            lines.append(
+                f"  {name.ljust(series_width)} | "
+                f"{_BAR * length}{' ' if length else ''}{value:.2f}{unit}"
+            )
+    return "\n".join(lines)
+
+
+def line_chart(
+    x_labels: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    *,
+    height: int = 12,
+    markers: str = "*ox+@",
+) -> str:
+    """Overlayed line series on a character grid (Fig. 10 style).
+
+    Each series is a sequence aligned with ``x_labels``; ``None`` values
+    are skipped.  Values are scaled to the common min/max.
+    """
+    points = [
+        v
+        for values in series.values()
+        for v in values
+        if v is not None
+    ]
+    if not points:
+        return "(no data)"
+    lo, hi = min(points), max(points)
+    span = (hi - lo) or 1.0
+    columns = len(x_labels)
+    grid = [[" "] * columns for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for col, value in enumerate(values):
+            if value is None or col >= columns:
+                continue
+            row = height - 1 - round((value - lo) / span * (height - 1))
+            cell = grid[row][col]
+            grid[row][col] = "+" if cell not in (" ", marker) else marker
+
+    lines = [f"{hi:>10.2f} |" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{lo:>10.2f} |" + "".join(grid[-1]))
+    lines.append(" " * 12 + "".join(label[-1] for label in x_labels))
+    legend = "   ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"  x: {x_labels[0]}..{x_labels[-1]}; {legend}")
+    return "\n".join(lines)

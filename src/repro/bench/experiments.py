@@ -1,0 +1,317 @@
+"""Experiment runners reproducing every table and figure of §V.
+
+Each ``expN_*`` function returns plain data rows (lists of dataclasses)
+that :mod:`repro.bench.report` renders as the paper's tables; the pytest
+benchmarks in ``benchmarks/`` wrap the same code paths with
+pytest-benchmark timing.
+
+An :class:`IndexCache` shares built indexes across experiments — query
+experiments (Exp-1/2/3) never pay construction twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.tl import TLIndex
+from repro.bench.measure import (
+    average_query_seconds,
+    average_visited_labels,
+    timed,
+)
+from repro.bench.workloads import distance_binned_queries, random_pairs
+from repro.core.base import SPCIndex
+from repro.core.ctl import CTLIndex
+from repro.core.ctls import CTLSIndex
+from repro.datasets.registry import dataset_names, load_dataset
+from repro.graph.graph import Graph
+
+#: Query algorithms compared in Exp-1/2/3 (paper Figs. 7-10).
+QUERY_ALGORITHMS = ("TL", "CTL", "CTLS")
+
+#: Construction algorithms compared in Exp-4 (paper Figs. 11-13).
+CONSTRUCT_ALGORITHMS = ("TL", "CTL", "CTLS", "CTLS+", "CTLS*")
+
+
+def _build(algorithm: str, graph: Graph) -> SPCIndex:
+    if algorithm == "TL":
+        return TLIndex.build(graph)
+    if algorithm == "CTL":
+        return CTLIndex.build(graph)
+    if algorithm == "CTLS":
+        return CTLSIndex.build(graph, strategy="basic")
+    if algorithm == "CTLS+":
+        return CTLSIndex.build(graph, strategy="pruned")
+    if algorithm == "CTLS*":
+        return CTLSIndex.build(graph, strategy="cutsearch")
+    raise ValueError(f"unknown algorithm {algorithm!r}")
+
+
+class IndexCache:
+    """Build-once cache of ``(dataset, algorithm) -> index``.
+
+    For query experiments the ``CTLS`` entry uses the paper's final
+    construction (``cutsearch``); Exp-4 builds each variant explicitly
+    and records timings.
+    """
+
+    def __init__(self) -> None:
+        self._indexes: Dict[Tuple[str, str], SPCIndex] = {}
+        self._build_seconds: Dict[Tuple[str, str], float] = {}
+
+    def get(self, dataset: str, algorithm: str) -> SPCIndex:
+        """The built index, constructing and caching on first request."""
+        key = (dataset, algorithm)
+        if key not in self._indexes:
+            graph = load_dataset(dataset)
+            build_alg = "CTLS*" if algorithm == "CTLS" else algorithm
+            index, seconds = timed(_build, build_alg, graph)
+            self._indexes[key] = index
+            self._build_seconds[key] = seconds
+        return self._indexes[key]
+
+    def build_seconds(self, dataset: str, algorithm: str) -> float:
+        """Wall-clock construction time recorded by :meth:`get`."""
+        self.get(dataset, algorithm)
+        return self._build_seconds[(dataset, algorithm)]
+
+
+#: Process-wide cache used by the pytest benchmarks.
+shared_cache = IndexCache()
+
+
+# ----------------------------------------------------------------------
+# Exp-1: average query time (Fig. 7) and speedup over TL (Fig. 8)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class QueryTimeRow:
+    """One (dataset, algorithm) cell of Fig. 7/8."""
+
+    dataset: str
+    algorithm: str
+    avg_query_us: float
+    speedup_over_tl: float
+
+
+def exp1_query_time(
+    *,
+    datasets: Optional[Sequence[str]] = None,
+    num_queries: int = 2000,
+    seed: int = 42,
+    cache: Optional[IndexCache] = None,
+) -> List[QueryTimeRow]:
+    """Fig. 7/8: mean random-query latency of TL/CTL/CTLS per dataset."""
+    cache = cache or shared_cache
+    rows: List[QueryTimeRow] = []
+    for dataset in datasets or dataset_names():
+        graph = load_dataset(dataset)
+        pairs = random_pairs(graph, num_queries, seed=seed)
+        times = {
+            alg: average_query_seconds(cache.get(dataset, alg), pairs)
+            for alg in QUERY_ALGORITHMS
+        }
+        for alg in QUERY_ALGORITHMS:
+            rows.append(
+                QueryTimeRow(
+                    dataset=dataset,
+                    algorithm=alg,
+                    avg_query_us=times[alg] * 1e6,
+                    speedup_over_tl=(
+                        times["TL"] / times[alg] if times[alg] > 0 else 0.0
+                    ),
+                )
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Exp-2: visited labels (Fig. 9)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class VisitedLabelsRow:
+    """One (dataset, algorithm) cell of Fig. 9."""
+
+    dataset: str
+    algorithm: str
+    avg_visited_labels: float
+
+
+def exp2_visited_labels(
+    *,
+    datasets: Optional[Sequence[str]] = None,
+    num_queries: int = 2000,
+    seed: int = 42,
+    cache: Optional[IndexCache] = None,
+) -> List[VisitedLabelsRow]:
+    """Fig. 9: mean label entries visited per random query."""
+    cache = cache or shared_cache
+    rows: List[VisitedLabelsRow] = []
+    for dataset in datasets or dataset_names():
+        graph = load_dataset(dataset)
+        pairs = random_pairs(graph, num_queries, seed=seed)
+        for alg in QUERY_ALGORITHMS:
+            rows.append(
+                VisitedLabelsRow(
+                    dataset=dataset,
+                    algorithm=alg,
+                    avg_visited_labels=average_visited_labels(
+                        cache.get(dataset, alg), pairs
+                    ),
+                )
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Exp-3: query time vs distance (Fig. 10)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DistanceBinRow:
+    """One (dataset, algorithm, Q-group) cell of Fig. 10."""
+
+    dataset: str
+    algorithm: str
+    bin_index: int  # Q1..Q10
+    bin_low: float
+    bin_high: float
+    num_pairs: int
+    avg_query_us: float
+
+
+def exp3_query_distance(
+    *,
+    datasets: Optional[Sequence[str]] = None,
+    per_bin: int = 200,
+    bins: int = 10,
+    seed: int = 42,
+    max_sources: int = 800,
+    cache: Optional[IndexCache] = None,
+) -> List[DistanceBinRow]:
+    """Fig. 10: mean query latency per distance group Q1..Q10.
+
+    ``max_sources`` bounds workload generation (one Dijkstra per
+    source); sparse extreme bins may come back smaller than
+    ``per_bin``.
+    """
+    cache = cache or shared_cache
+    rows: List[DistanceBinRow] = []
+    for dataset in datasets or dataset_names():
+        graph = load_dataset(dataset)
+        groups = distance_binned_queries(
+            graph, bins=bins, per_bin=per_bin, seed=seed,
+            max_sources=max_sources,
+        )
+        for alg in QUERY_ALGORITHMS:
+            index = cache.get(dataset, alg)
+            for group in groups:
+                if not group.pairs:
+                    continue
+                rows.append(
+                    DistanceBinRow(
+                        dataset=dataset,
+                        algorithm=alg,
+                        bin_index=group.index,
+                        bin_low=group.low,
+                        bin_high=group.high,
+                        num_pairs=len(group.pairs),
+                        avg_query_us=average_query_seconds(index, group.pairs)
+                        * 1e6,
+                    )
+                )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Exp-4: construction time (Fig. 11), memory (Fig. 12),
+#        speedup over CTLS-Construct (Fig. 13)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ConstructionRow:
+    """One (dataset, algorithm) cell of Figs. 11-13."""
+
+    dataset: str
+    algorithm: str
+    build_seconds: float
+    memory_estimate_bytes: int
+    speedup_over_ctls: float  # Fig. 13 (CTLS variants only; 0 otherwise)
+
+
+def exp4_construction(
+    *,
+    datasets: Optional[Sequence[str]] = None,
+    algorithms: Sequence[str] = CONSTRUCT_ALGORITHMS,
+    skip_basic_above: int = 50_000,
+) -> List[ConstructionRow]:
+    """Figs. 11-13: construction cost of every algorithm per dataset.
+
+    ``skip_basic_above`` mirrors the paper: plain CTLS-Construct ran out
+    of memory on the largest dataset, so it is skipped above the given
+    vertex count.
+    """
+    rows: List[ConstructionRow] = []
+    for dataset in datasets or dataset_names():
+        graph = load_dataset(dataset)
+        seconds: Dict[str, float] = {}
+        memory: Dict[str, int] = {}
+        for alg in algorithms:
+            if alg == "CTLS" and graph.num_vertices > skip_basic_above:
+                continue
+            index, elapsed = timed(_build, alg, graph)
+            seconds[alg] = elapsed
+            memory[alg] = index.build_stats.peak_memory_estimate
+        baseline = seconds.get("CTLS")
+        for alg in algorithms:
+            if alg not in seconds:
+                continue
+            speedup = 0.0
+            if baseline and alg in ("CTLS", "CTLS+", "CTLS*"):
+                speedup = baseline / seconds[alg]
+            rows.append(
+                ConstructionRow(
+                    dataset=dataset,
+                    algorithm=alg,
+                    build_seconds=seconds[alg],
+                    memory_estimate_bytes=memory[alg],
+                    speedup_over_ctls=speedup,
+                )
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Exp-5: index size (Fig. 14)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class IndexSizeRow:
+    """One (dataset, algorithm) cell of Fig. 14."""
+
+    dataset: str
+    algorithm: str
+    size_bytes: int
+    tl_ratio: float  # TL size / this size (paper: 3.7x CTL, 2.35x CTLS)
+
+
+def exp5_index_size(
+    *,
+    datasets: Optional[Sequence[str]] = None,
+    cache: Optional[IndexCache] = None,
+) -> List[IndexSizeRow]:
+    """Fig. 14: index sizes under the 32-bit entry model."""
+    cache = cache or shared_cache
+    rows: List[IndexSizeRow] = []
+    for dataset in datasets or dataset_names():
+        sizes = {
+            alg: cache.get(dataset, alg).size_bytes()
+            for alg in QUERY_ALGORITHMS
+        }
+        for alg in QUERY_ALGORITHMS:
+            rows.append(
+                IndexSizeRow(
+                    dataset=dataset,
+                    algorithm=alg,
+                    size_bytes=sizes[alg],
+                    tl_ratio=sizes["TL"] / sizes[alg] if sizes[alg] else 0.0,
+                )
+            )
+    return rows

@@ -1,0 +1,175 @@
+"""Plain-text and markdown rendering of experiment results."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.bench.experiments import (
+    ConstructionRow,
+    DistanceBinRow,
+    IndexSizeRow,
+    QueryTimeRow,
+    VisitedLabelsRow,
+)
+from repro.datasets.stats import DatasetRow
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence], *, markdown: bool = False
+) -> str:
+    """Align ``rows`` under ``headers`` as text or a markdown table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    if markdown:
+        lines = [
+            "| " + " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)) + " |",
+            "|" + "|".join("-" * (w + 2) for w in widths) + "|",
+        ]
+        for row in str_rows:
+            lines.append(
+                "| " + " | ".join(c.ljust(widths[i]) for i, c in enumerate(row)) + " |"
+            )
+    else:
+        lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))]
+        lines.append("  ".join("-" * w for w in widths))
+        for row in str_rows:
+            lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _pivot(rows, datasets, algorithms, value_fn, fmt):
+    table = []
+    for dataset in datasets:
+        line = [dataset]
+        for alg in algorithms:
+            match = [r for r in rows if r.dataset == dataset and r.algorithm == alg]
+            line.append(fmt(value_fn(match[0])) if match else "-")
+        table.append(line)
+    return table
+
+
+def _datasets_of(rows) -> List[str]:
+    seen: List[str] = []
+    for row in rows:
+        if row.dataset not in seen:
+            seen.append(row.dataset)
+    return seen
+
+
+def render_table1(rows: Sequence[DatasetRow], *, markdown: bool = False) -> str:
+    """Table I: dataset statistics (synthetic vs paper sizes)."""
+    body = [
+        (
+            r.name,
+            r.description,
+            r.num_vertices,
+            r.num_edges,
+            f"{r.avg_degree:.2f}",
+            f"{r.paper_vertices:,}",
+            f"{r.paper_edges:,}",
+        )
+        for r in rows
+    ]
+    return format_table(
+        ["Name", "Description", "|V|", "|E|", "avg deg", "paper |V|", "paper |E|"],
+        body,
+        markdown=markdown,
+    )
+
+
+def render_exp1(rows: Sequence[QueryTimeRow], *, markdown: bool = False) -> str:
+    """Fig. 7 + Fig. 8 as one table: latency and speedup over TL."""
+    datasets = _datasets_of(rows)
+    algorithms = ["TL", "CTL", "CTLS"]
+    time_part = _pivot(
+        rows, datasets, algorithms, lambda r: r.avg_query_us, lambda v: f"{v:.2f}"
+    )
+    speedup_part = _pivot(
+        rows, datasets, ["CTL", "CTLS"], lambda r: r.speedup_over_tl,
+        lambda v: f"{v:.2f}x",
+    )
+    merged = [
+        time_row + speedup_row[1:]
+        for time_row, speedup_row in zip(time_part, speedup_part)
+    ]
+    return format_table(
+        ["Dataset", "TL (us)", "CTL (us)", "CTLS (us)",
+         "CTL speedup", "CTLS speedup"],
+        merged,
+        markdown=markdown,
+    )
+
+
+def render_exp2(rows: Sequence[VisitedLabelsRow], *, markdown: bool = False) -> str:
+    """Fig. 9: average visited labels."""
+    datasets = _datasets_of(rows)
+    body = _pivot(
+        rows, datasets, ["TL", "CTL", "CTLS"],
+        lambda r: r.avg_visited_labels, lambda v: f"{v:.1f}",
+    )
+    return format_table(
+        ["Dataset", "TL labels", "CTL labels", "CTLS labels"], body,
+        markdown=markdown,
+    )
+
+
+def render_exp3(rows: Sequence[DistanceBinRow], *, markdown: bool = False) -> str:
+    """Fig. 10: per-bin latency, one block of rows per dataset."""
+    body = []
+    for row in rows:
+        body.append(
+            (
+                row.dataset,
+                f"Q{row.bin_index}",
+                row.algorithm,
+                row.num_pairs,
+                f"{row.avg_query_us:.2f}",
+            )
+        )
+    return format_table(
+        ["Dataset", "Group", "Algorithm", "#queries", "avg us"], body,
+        markdown=markdown,
+    )
+
+
+def render_exp4(rows: Sequence[ConstructionRow], *, markdown: bool = False) -> str:
+    """Figs. 11-13: construction seconds, memory, CTLS speedups."""
+    body = [
+        (
+            r.dataset,
+            r.algorithm,
+            f"{r.build_seconds:.2f}",
+            f"{r.memory_estimate_bytes / 1e6:.1f}",
+            f"{r.speedup_over_ctls:.2f}x" if r.speedup_over_ctls else "-",
+        )
+        for r in rows
+    ]
+    return format_table(
+        ["Dataset", "Algorithm", "build (s)", "memory (MB)",
+         "speedup over CTLS"],
+        body,
+        markdown=markdown,
+    )
+
+
+def render_exp5(rows: Sequence[IndexSizeRow], *, markdown: bool = False) -> str:
+    """Fig. 14: index sizes and TL-size ratios."""
+    datasets = _datasets_of(rows)
+    size_part = _pivot(
+        rows, datasets, ["TL", "CTL", "CTLS"],
+        lambda r: r.size_bytes, lambda v: f"{v / 1e6:.2f}",
+    )
+    ratio_part = _pivot(
+        rows, datasets, ["CTL", "CTLS"],
+        lambda r: r.tl_ratio, lambda v: f"{v:.2f}x",
+    )
+    merged = [s + r[1:] for s, r in zip(size_part, ratio_part)]
+    return format_table(
+        ["Dataset", "TL (MB)", "CTL (MB)", "CTLS (MB)",
+         "TL/CTL", "TL/CTLS"],
+        merged,
+        markdown=markdown,
+    )

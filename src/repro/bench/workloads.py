@@ -1,0 +1,137 @@
+"""Query workload generators for the experiments.
+
+* :func:`random_pairs` — uniform random vertex pairs (Exp-1, Exp-2).
+* :func:`distance_binned_queries` — Exp-3's ten query groups
+  ``Q1..Q10``: with ``x = (l_max / l_min)^(1/10)``, group ``Q_i`` holds
+  pairs whose shortest distance falls in ``(l_min * x^(i-1),
+  l_min * x^i]``.  ``l_max`` is a double-sweep diameter estimate and
+  ``l_min`` defaults to a "1 km"-like scale — a small multiple of the
+  average edge weight.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.exceptions import WorkloadError
+from repro.graph.graph import Graph
+from repro.search.dijkstra import dijkstra
+from repro.search.sweep import approximate_diameter
+from repro.types import Vertex, Weight
+
+Pair = Tuple[Vertex, Vertex]
+
+
+def random_pairs(graph: Graph, count: int, *, seed: int = 0,
+                 distinct: bool = True) -> List[Pair]:
+    """``count`` uniform random vertex pairs (``s != t`` by default)."""
+    vertices = sorted(graph.vertices())
+    if not vertices:
+        raise WorkloadError("cannot sample pairs from an empty graph")
+    if distinct and len(vertices) < 2:
+        raise WorkloadError("need at least two vertices for distinct pairs")
+    rng = random.Random(seed)
+    pairs: List[Pair] = []
+    while len(pairs) < count:
+        s = vertices[rng.randrange(len(vertices))]
+        t = vertices[rng.randrange(len(vertices))]
+        if distinct and s == t:
+            continue
+        pairs.append((s, t))
+    return pairs
+
+
+@dataclass(frozen=True)
+class DistanceBin:
+    """One query group ``Q_i`` of Exp-3."""
+
+    index: int  # 1-based, matching the paper's Q1..Q10
+    low: Weight  # exclusive
+    high: Weight  # inclusive
+    pairs: Tuple[Pair, ...]
+
+
+def geometric_bin_edges(
+    l_min: Weight, l_max: Weight, bins: int = 10
+) -> List[float]:
+    """``bins + 1`` geometric edges from ``l_min`` to ``l_max``."""
+    if l_min <= 0 or l_max <= l_min:
+        raise WorkloadError(
+            f"need 0 < l_min < l_max, got l_min={l_min}, l_max={l_max}"
+        )
+    x = (l_max / l_min) ** (1.0 / bins)
+    return [l_min * x**i for i in range(bins + 1)]
+
+
+def distance_binned_queries(
+    graph: Graph,
+    *,
+    bins: int = 10,
+    per_bin: int = 100,
+    seed: int = 0,
+    l_min: Optional[Weight] = None,
+    l_max: Optional[Weight] = None,
+    max_sources: int = 2000,
+) -> List[DistanceBin]:
+    """Exp-3 workload: ``bins`` groups of pairs binned by distance.
+
+    Pairs are produced by full Dijkstra runs from random sources
+    (each run yields candidates for every bin at once), until every bin
+    has ``per_bin`` pairs or ``max_sources`` sources were exhausted —
+    sparse extreme bins may come back smaller, which the experiment
+    tolerates.
+    """
+    vertices = sorted(graph.vertices())
+    if len(vertices) < 2:
+        raise WorkloadError("need at least two vertices")
+    rng = random.Random(seed)
+    if l_max is None:
+        l_max = approximate_diameter(graph)
+    if l_min is None:
+        # A "1 km"-like short scale: a few hops on the road fabric.
+        total = sum(w for _u, _v, w, _c in graph.edges())
+        avg_edge = total / max(1, graph.num_edges)
+        l_min = max(1, int(avg_edge * 3))
+    if l_max <= l_min:
+        l_max = l_min * 2 ** bins
+    edges = geometric_bin_edges(l_min, l_max, bins)
+
+    buckets: List[List[Pair]] = [[] for _ in range(bins)]
+
+    def bin_of(distance: Weight) -> Optional[int]:
+        if distance <= edges[0] or distance > edges[-1]:
+            return None
+        lo, hi = 0, bins - 1
+        while lo < hi:  # first edge >= distance
+            mid = (lo + hi) // 2
+            if edges[mid + 1] >= distance:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    for _ in range(max_sources):
+        if all(len(b) >= per_bin for b in buckets):
+            break
+        s = vertices[rng.randrange(len(vertices))]
+        dist = dijkstra(graph, s)
+        targets = list(dist.items())
+        rng.shuffle(targets)
+        for t, d in targets:
+            if t == s:
+                continue
+            b = bin_of(d)
+            if b is not None and len(buckets[b]) < per_bin:
+                buckets[b].append((s, t))
+
+    return [
+        DistanceBin(
+            index=i + 1,
+            low=edges[i],
+            high=edges[i + 1],
+            pairs=tuple(bucket),
+        )
+        for i, bucket in enumerate(buckets)
+    ]

@@ -1,0 +1,152 @@
+"""Command-line interface: build, inspect, and query SPC indexes.
+
+Installed as the ``repro-spc`` console script::
+
+    repro-spc build network.gr index.json --algorithm ctls
+    repro-spc query index.json 17 3405
+    repro-spc stats index.json
+    repro-spc generate road 2000 network.gr --seed 7
+
+Graphs are DIMACS ``.gr`` files (``.json``/``.txt`` edge lists are
+auto-detected by extension); indexes are the JSON format of
+:mod:`repro.core.serialize`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.baselines.tl import TLIndex
+from repro.core.ctl import CTLIndex
+from repro.core.ctls import CTLSIndex
+from repro.core.serialize import load_index, save_index
+from repro.graph.generators import power_grid_network, road_network
+from repro.graph.graph import Graph
+from repro.graph.io import read_dimacs, read_edge_list, read_json, write_dimacs
+from repro.types import INF
+
+_ALGORITHMS = {
+    "tl": lambda g, _s: TLIndex.build(g),
+    "ctl": lambda g, _s: CTLIndex.build(g),
+    "ctls": lambda g, strategy: CTLSIndex.build(g, strategy=strategy),
+}
+
+
+def _load_graph(path: str) -> Graph:
+    suffix = Path(path).suffix.lower()
+    if suffix == ".gr":
+        return read_dimacs(path)
+    if suffix == ".json":
+        return read_json(path)
+    return read_edge_list(path)
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    print(f"loaded {graph!r}")
+    build = _ALGORITHMS[args.algorithm]
+    started = time.perf_counter()
+    index = build(graph, args.strategy)
+    elapsed = time.perf_counter() - started
+    stats = index.stats()
+    print(
+        f"built {args.algorithm.upper()} in {elapsed:.2f}s "
+        f"(h={stats.height}, w={stats.width}, "
+        f"size={stats.size_bytes / 1e6:.2f} MB)"
+    )
+    save_index(index, args.index)
+    print(f"saved to {args.index}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    result = index.query(args.source, args.target)
+    if result.distance == INF:
+        print(f"Q({args.source}, {args.target}): disconnected")
+        return 1
+    print(
+        f"Q({args.source}, {args.target}): distance={result.distance} "
+        f"shortest_paths={result.count}"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    stats = index.stats()
+    print(f"type:               {type(index).__name__}")
+    print(f"vertices:           {stats.num_vertices}")
+    print(f"edges:              {stats.num_edges}")
+    print(f"tree nodes:         {stats.tree_nodes}")
+    print(f"height (h):         {stats.height}")
+    print(f"width (w):          {stats.width}")
+    print(f"label entries:      {stats.total_label_entries}")
+    print(f"size (32-bit model): {stats.size_bytes / 1e6:.2f} MB")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "road":
+        graph = road_network(args.vertices, seed=args.seed)
+    else:
+        graph = power_grid_network(args.vertices, seed=args.seed)
+    write_dimacs(graph, args.output, comment=f"synthetic {args.kind} network")
+    print(f"wrote {graph!r} to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-spc`` argument parser (exposed for tests/docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-spc",
+        description="Shortest path counting indexes for road networks.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_build = sub.add_parser("build", help="build an index from a graph file")
+    p_build.add_argument("graph", help="input graph (.gr/.json/edge list)")
+    p_build.add_argument("index", help="output index (JSON)")
+    p_build.add_argument(
+        "--algorithm", choices=sorted(_ALGORITHMS), default="ctls"
+    )
+    p_build.add_argument(
+        "--strategy",
+        choices=("basic", "pruned", "cutsearch"),
+        default="cutsearch",
+        help="CTLS construction variant (ignored for tl/ctl)",
+    )
+    p_build.set_defaults(func=_cmd_build)
+
+    p_query = sub.add_parser("query", help="answer one Q(s, t)")
+    p_query.add_argument("index")
+    p_query.add_argument("source", type=int)
+    p_query.add_argument("target", type=int)
+    p_query.set_defaults(func=_cmd_query)
+
+    p_stats = sub.add_parser("stats", help="print index statistics")
+    p_stats.add_argument("index")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_generate = sub.add_parser(
+        "generate", help="write a synthetic network as DIMACS"
+    )
+    p_generate.add_argument("kind", choices=("road", "power"))
+    p_generate.add_argument("vertices", type=int)
+    p_generate.add_argument("output")
+    p_generate.add_argument("--seed", type=int, default=0)
+    p_generate.set_defaults(func=_cmd_generate)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

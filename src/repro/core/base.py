@@ -1,0 +1,99 @@
+"""Common interface of all shortest-path-counting indexes.
+
+``TLIndex``, ``CTLIndex`` and ``CTLSIndex`` all answer
+``query(s, t) -> QueryResult(distance, count)`` and expose the same
+statistics surface, so benchmarks and applications treat them
+interchangeably.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.types import QueryResult, QueryStats, Vertex
+
+
+@dataclass
+class BuildStats:
+    """Instrumentation collected while constructing an index.
+
+    ``peak_memory_estimate`` is a model-based estimate (bytes) covering
+    label entries plus the largest working graph, mirroring the paper's
+    Fig. 12 without depending on allocator internals.
+    """
+
+    seconds: float = 0.0
+    ssspc_runs: int = 0
+    shortcuts_added: int = 0
+    shortcuts_pruned: int = 0
+    peak_edges: int = 0
+    peak_memory_estimate: int = 0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class IndexStats:
+    """Static shape of a built index (paper's h, w, size accounting)."""
+
+    num_vertices: int
+    num_edges: int
+    tree_nodes: int
+    height: int
+    width: int
+    total_label_entries: int
+    size_bytes: int
+
+
+class SPCIndex(abc.ABC):
+    """Abstract base for shortest path counting indexes.
+
+    Subclasses are built with a ``build(graph, ...)`` classmethod and
+    answer exact ``(sd, spc)`` queries for any vertex pair of the
+    indexed graph.
+    """
+
+    #: Human-readable algorithm name used in benchmark reports.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def query(self, source: Vertex, target: Vertex) -> QueryResult:
+        """Answer ``Q(s, t)``: shortest distance and path count."""
+
+    @abc.abstractmethod
+    def query_with_stats(self, source: Vertex, target: Vertex) -> QueryStats:
+        """Like :meth:`query`, also reporting visited label entries."""
+
+    @abc.abstractmethod
+    def stats(self) -> IndexStats:
+        """Static index statistics (sizes use the 32-bit entry model)."""
+
+    def query_many(self, pairs):
+        """Answer a batch of queries; returns a list of results.
+
+        The default implementation loops over :meth:`query`; subclasses
+        may override with a batched fast path.
+        """
+        query = self.query
+        return [query(s, t) for s, t in pairs]
+
+    def distance(self, source: Vertex, target: Vertex):
+        """Shortest distance ``sd(s, t)`` (``INF`` when disconnected)."""
+        return self.query(source, target).distance
+
+    def count(self, source: Vertex, target: Vertex) -> int:
+        """Shortest path count ``spc(s, t)`` (0 when disconnected)."""
+        return self.query(source, target).count
+
+    def size_bytes(self) -> int:
+        """Index size in bytes under the paper's accounting model."""
+        return self.stats().size_bytes
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"{type(self).__name__}(n={stats.num_vertices}, "
+            f"h={stats.height}, w={stats.width}, "
+            f"entries={stats.total_label_entries})"
+        )

@@ -1,0 +1,161 @@
+"""CTL-Index: hub labels on a balanced cut tree (paper §III).
+
+Construction (Algorithm 2, ``CTL-Construct``) recursively partitions the
+graph with BalancedCut.  Each cut becomes a tree node; for each cut
+vertex ``c`` (highest rank — smallest id — first) an SSSPC run over the
+*remaining* subgraph stores convex shortest distance/count labels from
+every subtree vertex to ``c``, after which ``c`` is removed.  Removing
+processed cut vertices is what realises convex-path semantics: a label
+to ``c`` never counts a path through a higher-ranked vertex, so during
+queries every shortest path is counted exactly once — at its
+highest-ranked hub.
+
+Query (Algorithm 1, ``CTL-Query``) scans the aligned label prefix of the
+two vertices' common ancestors: ``O(h)`` label visits.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Optional
+
+from repro.core.base import BuildStats, IndexStats, SPCIndex
+from repro.core.labeling import compute_node_labels
+from repro.exceptions import IndexBuildError, IndexQueryError
+from repro.graph.graph import Graph
+from repro.labels.store import LabelStore
+from repro.partition.balanced_cut import balanced_cut
+from repro.tree.cut_tree import CutTree
+from repro.types import INF, QueryResult, QueryStats, Vertex
+
+
+class CTLIndex(SPCIndex):
+    """Cut-tree hub-labeling index for shortest path counting."""
+
+    name = "CTL"
+
+    def __init__(
+        self, tree: CutTree, labels: LabelStore, build_stats: BuildStats,
+        num_vertices: int, num_edges: int,
+    ) -> None:
+        self.tree = tree
+        self.labels = labels
+        self.build_stats = build_stats
+        self._num_vertices = num_vertices
+        self._num_edges = num_edges
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: Graph,
+        *,
+        beta: float = 0.2,
+        leaf_size: int = 4,
+        seed: int = 0,
+        engine: str = "csr",
+        rng: Optional[random.Random] = None,
+    ) -> "CTLIndex":
+        """Run CTL-Construct (Algorithm 2) on ``graph``.
+
+        Args:
+            graph: road network to index (not modified).
+            beta: BalancedCut balance factor (paper default 0.2).
+            leaf_size: subgraphs of at most this size become leaf nodes.
+            seed: determinism seed (ignored when ``rng`` is given).
+            engine: ``"csr"`` (packed-array SSSPC, default) or
+                ``"dict"`` (reference implementation); identical output.
+        """
+        if engine not in ("csr", "dict"):
+            raise IndexBuildError(f"unknown engine {engine!r}")
+        started = time.perf_counter()
+        rng = rng or random.Random(seed)
+        tree = CutTree()
+        labels = LabelStore(graph.vertices())
+        stats = BuildStats()
+
+        # Explicit stack: tree depth can exceed Python's recursion limit.
+        stack = [(graph.copy(), -1)]
+        while stack:
+            subgraph, parent = stack.pop()
+            if subgraph.num_vertices == 0:
+                continue
+            stats.peak_edges = max(stats.peak_edges, subgraph.num_edges)
+            part = balanced_cut(subgraph, beta, leaf_size=leaf_size, rng=rng)
+            node_id = tree.add_node(part.cut, parent)
+
+            # Label computation (Algorithm 2 lines 2-4): highest rank
+            # (smallest id) first, excluding each processed cut vertex.
+            compute_node_labels(
+                subgraph, part.cut, labels, stats, engine=engine
+            )
+
+            for side in (part.left, part.right):
+                if side:
+                    stack.append((subgraph.induced_subgraph(side), node_id))
+
+        tree.finalize()
+        stats.seconds = time.perf_counter() - started
+        stats.peak_memory_estimate = (
+            8 * labels.total_entries + 24 * stats.peak_edges
+        )
+        return cls(tree, labels, stats, graph.num_vertices, graph.num_edges)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(self, source: Vertex, target: Vertex) -> QueryResult:
+        """CTL-Query (Algorithm 1): scan common-ancestor labels."""
+        result, _visited = self._query_scan(source, target)
+        return result
+
+    def query_with_stats(self, source: Vertex, target: Vertex) -> QueryStats:
+        """Query plus the number of visited label entries (Fig. 9)."""
+        result, visited = self._query_scan(source, target)
+        return QueryStats(result, visited)
+
+    def _query_scan(self, source: Vertex, target: Vertex):
+        if source == target:
+            if source not in self.labels.dist:
+                raise IndexQueryError(f"vertex {source} is not indexed")
+            return QueryResult(0, 1), 0
+        try:
+            prefix = self.tree.common_prefix_length(source, target)
+        except KeyError as exc:
+            raise IndexQueryError(f"vertex {exc.args[0]} is not indexed") from exc
+        labels = self.labels
+        best = INF
+        total = 0
+        for d_s, d_t, c_s, c_t in zip(
+            labels.dist[source][:prefix],
+            labels.dist[target][:prefix],
+            labels.count[source][:prefix],
+            labels.count[target][:prefix],
+        ):
+            d = d_s + d_t
+            if d < best:
+                best = d
+                total = c_s * c_t
+            elif d == best:
+                total += c_s * c_t
+        if total == 0:
+            return QueryResult(INF, 0), prefix
+        return QueryResult(best, total), prefix
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> IndexStats:
+        """Static index shape (32-bit label-entry size model)."""
+        return IndexStats(
+            num_vertices=self._num_vertices,
+            num_edges=self._num_edges,
+            tree_nodes=self.tree.num_nodes,
+            height=self.tree.height,
+            width=self.tree.width,
+            total_label_entries=self.labels.total_entries,
+            size_bytes=self.labels.size_bytes(),
+        )

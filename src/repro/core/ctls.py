@@ -1,0 +1,215 @@
+"""CTLS-Index: hub labels on a GSP-cut tree (paper §IV).
+
+Every tree node of the CTLS-Index is a *global shortest path cut*
+(Definition 4.1): all shortest paths of the original graph between the
+two subtrees pass through it.  This is achieved by recursing on
+count-preserved graphs (SPC-Graphs) instead of induced subgraphs — the
+shortcuts inserted by :mod:`repro.core.spc_graph_build` keep distances
+and counts of the original network intact, so BalancedCut on the
+SPC-Graph yields a GSP cut of the original graph.
+
+Labels are *strong convex* distances/counts (only same-node
+higher-ranked vertices are excluded), which lets CTLS-Query
+(Algorithm 3) scan a single tree node — the LCA — instead of all common
+ancestors: ``O(w)`` label visits, the paper's headline improvement for
+short-distance queries.
+
+Construction strategies (Section IV-C, compared in Exp-4):
+
+* ``"basic"``     — CTLS-Construct: Algorithm 4 from every border vertex.
+* ``"pruned"``    — CTLS+-Construct: Algorithm 4 plus threshold pruning.
+* ``"cutsearch"`` — CTLS*-Construct: Algorithm 5, search from cut
+  vertices plus pruning (the paper's final recommendation and this
+  class's default).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Optional
+
+from repro.core.base import BuildStats, IndexStats, SPCIndex
+from repro.core.labeling import compute_node_labels
+from repro.core.spc_graph_build import (
+    BlockOutDist,
+    build_spc_graph_basic,
+    build_spc_graph_cutsearch,
+)
+from repro.exceptions import IndexBuildError, IndexQueryError
+from repro.graph.graph import Graph
+from repro.labels.store import LabelStore
+from repro.partition.balanced_cut import balanced_cut
+from repro.tree.cut_tree import CutTree
+from repro.types import INF, QueryResult, QueryStats, Vertex
+
+STRATEGIES = ("basic", "pruned", "cutsearch")
+
+#: Paper names of the construction variants (Fig. 11/13 legends).
+STRATEGY_LABELS = {
+    "basic": "CTLS-Construct",
+    "pruned": "CTLS+-Construct",
+    "cutsearch": "CTLS*-Construct",
+}
+
+
+class CTLSIndex(SPCIndex):
+    """GSP-cut-tree hub-labeling index for shortest path counting."""
+
+    name = "CTLS"
+
+    def __init__(
+        self,
+        tree: CutTree,
+        labels: LabelStore,
+        build_stats: BuildStats,
+        num_vertices: int,
+        num_edges: int,
+        strategy: str,
+    ) -> None:
+        self.tree = tree
+        self.labels = labels
+        self.build_stats = build_stats
+        self.strategy = strategy
+        self._num_vertices = num_vertices
+        self._num_edges = num_edges
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: Graph,
+        *,
+        beta: float = 0.2,
+        leaf_size: int = 4,
+        seed: int = 0,
+        strategy: str = "cutsearch",
+        engine: str = "csr",
+        rng: Optional[random.Random] = None,
+    ) -> "CTLSIndex":
+        """Run CTLS-Construct on ``graph`` with the chosen strategy.
+
+        Args:
+            graph: road network to index (not modified).
+            beta: BalancedCut balance factor (paper default 0.2).
+            leaf_size: subgraphs of at most this size become leaf nodes.
+            seed: determinism seed (ignored when ``rng`` is given).
+            strategy: ``"basic"`` | ``"pruned"`` | ``"cutsearch"``.
+            engine: label-computation engine, ``"csr"`` (default) or
+                ``"dict"`` (reference); identical output.
+        """
+        if strategy not in STRATEGIES:
+            raise IndexBuildError(
+                f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
+        if engine not in ("csr", "dict"):
+            raise IndexBuildError(f"unknown engine {engine!r}")
+        started = time.perf_counter()
+        rng = rng or random.Random(seed)
+        tree = CutTree()
+        labels = LabelStore(graph.vertices())
+        stats = BuildStats()
+
+        stack = [(graph.copy(), -1)]
+        while stack:
+            pg, parent = stack.pop()
+            if pg.num_vertices == 0:
+                continue
+            stats.peak_edges = max(stats.peak_edges, pg.num_edges)
+            part = balanced_cut(pg, beta, leaf_size=leaf_size, rng=rng)
+            node_id = tree.add_node(part.cut, parent)
+
+            # Strong convex labels: SSSPC from each cut vertex over the
+            # SPC-Graph, excluding processed (higher-ranked) cut vertices.
+            # Ancestor vertices are *not* excluded — shortcuts represent
+            # paths through them, which is exactly the strong convex
+            # semantics.
+            blocks = compute_node_labels(
+                pg, part.cut, labels, stats, engine=engine
+            )
+
+            if not part.left and not part.right:
+                continue
+            through_cut = BlockOutDist(blocks)
+            for side in (part.left, part.right):
+                if not side:
+                    continue
+                if strategy == "cutsearch":
+                    child = build_spc_graph_cutsearch(
+                        pg, side, part.cut, through_cut, stats
+                    )
+                elif strategy == "pruned":
+                    child = build_spc_graph_basic(
+                        pg, side, stats, through_cut=through_cut, prune=True
+                    )
+                else:
+                    child = build_spc_graph_basic(pg, side, stats)
+                stack.append((child, node_id))
+
+        tree.finalize()
+        stats.seconds = time.perf_counter() - started
+        stats.peak_memory_estimate = (
+            8 * labels.total_entries + 24 * stats.peak_edges
+        )
+        stats.extras["strategy"] = strategy
+        return cls(
+            tree, labels, stats, graph.num_vertices, graph.num_edges, strategy
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(self, source: Vertex, target: Vertex) -> QueryResult:
+        """CTLS-Query (Algorithm 3): scan only the LCA node's labels."""
+        result, _visited = self._query_scan(source, target)
+        return result
+
+    def query_with_stats(self, source: Vertex, target: Vertex) -> QueryStats:
+        """Query plus the number of visited label entries (Fig. 9)."""
+        result, visited = self._query_scan(source, target)
+        return QueryStats(result, visited)
+
+    def _query_scan(self, source: Vertex, target: Vertex):
+        if source == target:
+            if source not in self.labels.dist:
+                raise IndexQueryError(f"vertex {source} is not indexed")
+            return QueryResult(0, 1), 0
+        try:
+            start, end = self.tree.lca_block_range(source, target)
+        except KeyError as exc:
+            raise IndexQueryError(f"vertex {exc.args[0]} is not indexed") from exc
+        labels = self.labels
+        best = INF
+        total = 0
+        for d_s, d_t, c_s, c_t in zip(
+            labels.dist[source][start:end],
+            labels.dist[target][start:end],
+            labels.count[source][start:end],
+            labels.count[target][start:end],
+        ):
+            d = d_s + d_t
+            if d < best:
+                best = d
+                total = c_s * c_t
+            elif d == best:
+                total += c_s * c_t
+        if total == 0:
+            return QueryResult(INF, 0), end - start
+        return QueryResult(best, total), end - start
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> IndexStats:
+        """Static index shape (32-bit label-entry size model)."""
+        return IndexStats(
+            num_vertices=self._num_vertices,
+            num_edges=self._num_edges,
+            tree_nodes=self.tree.num_nodes,
+            height=self.tree.height,
+            width=self.tree.width,
+            total_label_entries=self.labels.total_entries,
+            size_bytes=self.labels.size_bytes(),
+        )

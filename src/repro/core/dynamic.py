@@ -1,0 +1,156 @@
+"""Dynamic edge-weight updates (paper §IV-D.2).
+
+Road topology rarely changes, but edge weights (travel times) do.  This
+module keeps indexes consistent under weight updates.
+
+:class:`DynamicCTL` maintains a CTL-Index *exactly and incrementally*.
+The CTL cut tree is built from **local topological cuts** of induced
+subgraphs, so no weight change can ever invalidate the tree — only
+labels need repair.  A CTL label ``(u -> c)`` is confined to the induced
+subgraph of ``c``'s subtree, hence an update of edge ``(a, b)`` can only
+affect nodes whose subtree contains *both* endpoints: the common
+ancestors of ``X(a)`` and ``X(b)`` — a single root path.  Those nodes'
+label blocks are recomputed from scratch (the same SSSPC-and-remove
+sweep as construction), everything else is untouched.
+
+:class:`DynamicCTLS` handles the CTLS-Index, whose GSP cuts are
+*shortest-path* cuts: a weight change can re-route shortest paths around
+a cut and invalidate the tree itself (the situation §IV-D.2 detects via
+new-shortcut checks).  Exact incremental maintenance is only sketched in
+the paper; this implementation repairs by rebuilding, which is always
+correct, and records how often rebuilds happen so applications can batch
+updates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.core.ctl import CTLIndex
+from repro.core.ctls import CTLSIndex
+from repro.exceptions import EdgeError
+from repro.graph.graph import Graph
+from repro.search.dijkstra import ssspc
+from repro.tree.cut_tree import TreeNode
+from repro.types import INF, QueryResult, Vertex, Weight
+
+
+class DynamicCTL:
+    """A CTL-Index kept exactly consistent under edge weight updates."""
+
+    def __init__(self, graph: Graph, *, beta: float = 0.2, leaf_size: int = 4,
+                 seed: int = 0) -> None:
+        #: The live graph; updated in place by :meth:`update_weight`.
+        self.graph = graph.copy()
+        self.index = CTLIndex.build(
+            self.graph, beta=beta, leaf_size=leaf_size, seed=seed
+        )
+        #: Tree nodes whose labels were recomputed by the last update.
+        self.last_repaired_nodes = 0
+
+    def query(self, source: Vertex, target: Vertex) -> QueryResult:
+        """Answer ``Q(s, t)`` on the current graph."""
+        return self.index.query(source, target)
+
+    def update_weight(self, a: Vertex, b: Vertex, new_weight: Weight) -> None:
+        """Set the weight of the existing edge ``(a, b)``; repair labels.
+
+        Handles both increases and decreases.  Raises ``EdgeError`` if
+        the edge does not exist or the weight is not positive.
+        """
+        if not self.graph.has_edge(a, b):
+            raise EdgeError(f"edge ({a}, {b}) is not in the graph")
+        if new_weight <= 0:
+            raise EdgeError(f"new weight must be positive, got {new_weight}")
+        count = self.graph.count(a, b)
+        if self.graph.weight(a, b) == new_weight:
+            self.last_repaired_nodes = 0
+            return
+        self.graph.add_edge(a, b, new_weight, count)
+        self._repair_labels(a, b)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _affected_nodes(self, a: Vertex, b: Vertex) -> List[TreeNode]:
+        """Common ancestors of ``X(a)`` and ``X(b)``, root first."""
+        tree = self.index.tree
+        lca = tree.lca_node(a, b)
+        return list(tree.ancestors(lca.index))
+
+    def _subtree_vertices(self, root: TreeNode) -> Set[Vertex]:
+        tree = self.index.tree
+        result: Set[Vertex] = set()
+        stack = [root.index]
+        while stack:
+            at = stack.pop()
+            node = tree.node(at)
+            result.update(node.vertices)
+            stack.extend(node.children)
+        return result
+
+    def _repair_labels(self, a: Vertex, b: Vertex) -> None:
+        """Recompute the label blocks of every affected tree node."""
+        tree = self.index.tree
+        labels = self.index.labels
+        affected = self._affected_nodes(a, b)
+        self.last_repaired_nodes = len(affected)
+
+        for node in affected:
+            members = self._subtree_vertices(node)
+            subgraph = self.graph.induced_subgraph(members)
+            start = node.block_start
+            for offset, c in enumerate(node.vertices):
+                dist, count = ssspc(subgraph, c)
+                position = start + offset
+                for u in members:
+                    if not subgraph.has_vertex(u):
+                        continue  # a higher-ranked cut vertex, already done
+                    labels.dist[u][position] = dist.get(u, INF)
+                    labels.count[u][position] = count.get(u, 0)
+                subgraph.remove_vertex(c)
+
+
+class DynamicCTLS:
+    """A CTLS-Index kept consistent by (counted) rebuilds on update."""
+
+    def __init__(self, graph: Graph, *, beta: float = 0.2, leaf_size: int = 4,
+                 seed: int = 0, strategy: str = "cutsearch") -> None:
+        self.graph = graph.copy()
+        self._params = {
+            "beta": beta, "leaf_size": leaf_size, "seed": seed,
+            "strategy": strategy,
+        }
+        self.index = CTLSIndex.build(self.graph, **self._params)
+        #: Number of rebuilds triggered since creation.
+        self.rebuilds = 0
+        self._dirty = False
+
+    def query(self, source: Vertex, target: Vertex) -> QueryResult:
+        """Answer ``Q(s, t)``, rebuilding first if updates are pending."""
+        if self._dirty:
+            self.refresh()
+        return self.index.query(source, target)
+
+    def update_weight(self, a: Vertex, b: Vertex, new_weight: Weight) -> None:
+        """Set the weight of edge ``(a, b)``; marks the index dirty.
+
+        Rebuilding is deferred until the next query (or an explicit
+        :meth:`refresh`), so bursts of updates cost one rebuild.
+        """
+        if not self.graph.has_edge(a, b):
+            raise EdgeError(f"edge ({a}, {b}) is not in the graph")
+        if new_weight <= 0:
+            raise EdgeError(f"new weight must be positive, got {new_weight}")
+        count = self.graph.count(a, b)
+        if self.graph.weight(a, b) == new_weight:
+            return
+        self.graph.add_edge(a, b, new_weight, count)
+        self._dirty = True
+
+    def refresh(self) -> None:
+        """Rebuild the index now if any updates are pending."""
+        if self._dirty:
+            self.index = CTLSIndex.build(self.graph, **self._params)
+            self.rebuilds += 1
+            self._dirty = False

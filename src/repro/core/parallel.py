@@ -1,0 +1,166 @@
+"""Parallel CTLS-Index construction (paper §IV-D.1).
+
+The paper parallelises construction two ways: concurrent SSSPC runs per
+cut vertex, and building the two sides' SPC-Graphs in separate threads.
+CPython's GIL makes thread-level parallelism useless for CPU-bound
+searches, so this module parallelises at the natural coarser grain with
+*processes*: independent subtrees.
+
+Phase 1 runs the ordinary construction loop breadth-first until at
+least ``workers`` pending subgraphs exist (each already count-preserving
+for its subtree).  Phase 2 ships every pending SPC-Graph to a worker
+process that builds a complete sub-index, and the results are grafted
+back: worker tree nodes are re-parented under their anchors and worker
+label arrays are appended to the (already written) ancestor prefixes —
+alignment is preserved because a subtree's labels are exactly the
+suffix of its vertices' label arrays.
+
+The parallel build is deterministic for a fixed ``(seed, workers)`` but
+differs from the sequential build (the RNG is consumed in a different
+order); both are exact.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Tuple
+
+from repro.core.base import BuildStats
+from repro.core.ctls import STRATEGIES, CTLSIndex
+from repro.core.spc_graph_build import (
+    BlockOutDist,
+    build_spc_graph_basic,
+    build_spc_graph_cutsearch,
+)
+from repro.exceptions import IndexBuildError
+from repro.graph.graph import Graph
+from repro.labels.store import LabelStore
+from repro.partition.balanced_cut import balanced_cut
+from repro.search.dijkstra import ssspc
+from repro.tree.cut_tree import CutTree
+from repro.types import INF
+
+
+def _build_subtree(payload: Tuple[Graph, str, float, int, int]):
+    """Worker entry point: build a full CTLS sub-index of one subtree."""
+    subgraph, strategy, beta, leaf_size, seed = payload
+    index = CTLSIndex.build(
+        subgraph, beta=beta, leaf_size=leaf_size, seed=seed, strategy=strategy
+    )
+    tree_payload = [
+        (list(node.vertices), node.parent) for node in index.tree.nodes
+    ]
+    return tree_payload, index.labels.dist, index.labels.count, index.build_stats
+
+
+def build_ctls_parallel(
+    graph: Graph,
+    *,
+    workers: int = 2,
+    beta: float = 0.2,
+    leaf_size: int = 4,
+    seed: int = 0,
+    strategy: str = "cutsearch",
+) -> CTLSIndex:
+    """Build a CTLS-Index using ``workers`` processes for the subtrees.
+
+    Semantically equivalent to :meth:`CTLSIndex.build`; worthwhile from
+    a few thousand vertices up, where subtree construction dominates.
+    """
+    if strategy not in STRATEGIES:
+        raise IndexBuildError(
+            f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+        )
+    if workers < 1:
+        raise IndexBuildError(f"workers must be >= 1, got {workers}")
+    started = time.perf_counter()
+    rng = random.Random(seed)
+    tree = CutTree()
+    labels = LabelStore(graph.vertices())
+    stats = BuildStats()
+
+    # Phase 1: breadth-first sequential construction until the frontier
+    # is wide enough to keep every worker busy.
+    frontier: deque = deque([(graph.copy(), -1)])
+    pending: List[Tuple[Graph, int]] = []
+    while frontier:
+        if len(frontier) + len(pending) >= workers and workers > 1:
+            pending.extend(frontier)
+            frontier.clear()
+            break
+        pg, parent = frontier.popleft()
+        if pg.num_vertices == 0:
+            continue
+        stats.peak_edges = max(stats.peak_edges, pg.num_edges)
+        part = balanced_cut(pg, beta, leaf_size=leaf_size, rng=rng)
+        node_id = tree.add_node(part.cut, parent)
+
+        blocks: Dict = {v: [] for v in pg.vertices()}
+        work = pg.copy()
+        order = sorted(pg.vertices())
+        for c in part.cut:
+            dist, count = ssspc(work, c)
+            stats.ssspc_runs += 1
+            for u in order:
+                if work.has_vertex(u):
+                    d = dist.get(u, INF)
+                    labels.append(u, d, count.get(u, 0))
+                    blocks[u].append(d)
+            work.remove_vertex(c)
+
+        if not part.left and not part.right:
+            continue
+        through_cut = BlockOutDist(blocks)
+        for side in (part.left, part.right):
+            if not side:
+                continue
+            if strategy == "cutsearch":
+                child = build_spc_graph_cutsearch(
+                    pg, side, part.cut, through_cut, stats
+                )
+            elif strategy == "pruned":
+                child = build_spc_graph_basic(
+                    pg, side, stats, through_cut=through_cut, prune=True
+                )
+            else:
+                child = build_spc_graph_basic(pg, side, stats)
+            frontier.append((child, node_id))
+
+    # Phase 2: ship each pending subtree to a worker process.
+    if pending:
+        jobs = [
+            (pg, strategy, beta, leaf_size, seed * 1_000_003 + anchor)
+            for pg, anchor in pending
+        ]
+        if workers > 1 and len(jobs) > 1:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(_build_subtree, jobs))
+        else:
+            results = [_build_subtree(job) for job in jobs]
+
+        for (pg, anchor), (tree_payload, dist, count, sub_stats) in zip(
+            pending, results
+        ):
+            offset_of: Dict[int, int] = {}
+            for sub_index, (vertices, sub_parent) in enumerate(tree_payload):
+                parent = anchor if sub_parent < 0 else offset_of[sub_parent]
+                offset_of[sub_index] = tree.add_node(vertices, parent)
+            for v, entries in dist.items():
+                labels.dist[v].extend(entries)
+                labels.count[v].extend(count[v])
+            stats.ssspc_runs += sub_stats.ssspc_runs
+            stats.shortcuts_added += sub_stats.shortcuts_added
+            stats.shortcuts_pruned += sub_stats.shortcuts_pruned
+            stats.peak_edges = max(stats.peak_edges, sub_stats.peak_edges)
+
+    tree.finalize()
+    stats.seconds = time.perf_counter() - started
+    stats.peak_memory_estimate = 8 * labels.total_entries + 24 * stats.peak_edges
+    stats.extras["strategy"] = strategy
+    stats.extras["workers"] = workers
+    return CTLSIndex(
+        tree, labels, stats, graph.num_vertices, graph.num_edges, strategy
+    )

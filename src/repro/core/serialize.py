@@ -1,0 +1,170 @@
+"""Index serialization: save and load built indexes as JSON.
+
+JSON (not pickle) keeps the on-disk format inspectable and safe to load
+from untrusted sources.  Python's arbitrary-precision integers survive
+the round trip, so exact path counts are preserved.  ``INF`` distances
+(disconnected label entries) are encoded as ``null``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.baselines.tl import TLIndex
+from repro.baselines.tree_decomposition import TreeDecomposition
+from repro.core.base import BuildStats
+from repro.core.ctl import CTLIndex
+from repro.core.ctls import CTLSIndex
+from repro.exceptions import SerializationError
+from repro.labels.store import LabelStore
+from repro.tree.cut_tree import CutTree
+from repro.tree.lca import LCATable
+from repro.types import INF
+
+PathLike = Union[str, Path]
+
+_FORMAT = "repro-spc-index"
+_VERSION = 1
+
+
+def _encode_dist(values):
+    return [None if d == INF else d for d in values]
+
+
+def _decode_dist(values):
+    return [INF if d is None else d for d in values]
+
+
+def _tree_payload(tree: CutTree) -> dict:
+    return {
+        "nodes": [
+            {"vertices": list(node.vertices), "parent": node.parent}
+            for node in tree.nodes
+        ]
+    }
+
+
+def _tree_from_payload(payload: dict) -> CutTree:
+    tree = CutTree()
+    for entry in payload["nodes"]:
+        tree.add_node(entry["vertices"], entry["parent"])
+    tree.finalize()
+    return tree
+
+
+def _labels_payload(labels: LabelStore) -> dict:
+    return {
+        "dist": {str(v): _encode_dist(d) for v, d in labels.dist.items()},
+        "count": {str(v): c for v, c in labels.count.items()},
+    }
+
+
+def _labels_from_payload(payload: dict) -> LabelStore:
+    vertices = [int(v) for v in payload["dist"]]
+    labels = LabelStore(vertices)
+    for v in vertices:
+        labels.dist[v] = _decode_dist(payload["dist"][str(v)])
+        labels.count[v] = list(payload["count"][str(v)])
+    return labels
+
+
+def save_index(index, path: PathLike) -> None:
+    """Serialise a built index (CTL, CTLS, or TL) to a JSON file."""
+    if isinstance(index, CTLSIndex):
+        payload = {
+            "type": "CTLS",
+            "strategy": index.strategy,
+            "tree": _tree_payload(index.tree),
+            "labels": _labels_payload(index.labels),
+            "num_vertices": index.stats().num_vertices,
+            "num_edges": index.stats().num_edges,
+        }
+    elif isinstance(index, CTLIndex):
+        payload = {
+            "type": "CTL",
+            "tree": _tree_payload(index.tree),
+            "labels": _labels_payload(index.labels),
+            "num_vertices": index.stats().num_vertices,
+            "num_edges": index.stats().num_edges,
+        }
+    elif isinstance(index, TLIndex):
+        td = index.decomposition
+        payload = {
+            "type": "TL",
+            "order": list(td.order),
+            "parent": {str(v): td.parent[v] for v in td.order},
+            "bags": {
+                str(v): [[u, w, c] for u, w, c in bag]
+                for v, bag in td.bags.items()
+            },
+            "dist": {str(v): _encode_dist(d) for v, d in index.label_dist.items()},
+            "count": {str(v): c for v, c in index.label_count.items()},
+            "num_edges": index.stats().num_edges,
+        }
+    else:
+        raise SerializationError(
+            f"cannot serialise index of type {type(index).__name__}"
+        )
+    payload["format"] = _FORMAT
+    payload["version"] = _VERSION
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+
+
+def load_index(path: PathLike):
+    """Load an index previously written by :func:`save_index`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("format") != _FORMAT:
+        raise SerializationError(f"{path}: not a {_FORMAT} file")
+    if payload.get("version") != _VERSION:
+        raise SerializationError(
+            f"{path}: unsupported version {payload.get('version')}"
+        )
+    kind = payload.get("type")
+    if kind == "CTLS":
+        return CTLSIndex(
+            _tree_from_payload(payload["tree"]),
+            _labels_from_payload(payload["labels"]),
+            BuildStats(),
+            payload["num_vertices"],
+            payload["num_edges"],
+            payload["strategy"],
+        )
+    if kind == "CTL":
+        return CTLIndex(
+            _tree_from_payload(payload["tree"]),
+            _labels_from_payload(payload["labels"]),
+            BuildStats(),
+            payload["num_vertices"],
+            payload["num_edges"],
+        )
+    if kind == "TL":
+        order = payload["order"]
+        order_of = {v: i for i, v in enumerate(order)}
+        parent = {int(v): p for v, p in payload["parent"].items()}
+        bags = {
+            int(v): [(u, w, c) for u, w, c in bag]
+            for v, bag in payload["bags"].items()
+        }
+        depth = {}
+        for v in reversed(order):
+            p = parent[v]
+            depth[v] = 0 if p is None else depth[p] + 1
+        td = TreeDecomposition(
+            order=order, order_of=order_of, bags=bags, parent=parent, depth=depth
+        )
+        dist = {int(v): _decode_dist(d) for v, d in payload["dist"].items()}
+        count = {int(v): list(c) for v, c in payload["count"].items()}
+        vertex_ids = {v: i for i, v in enumerate(order)}
+        parents = [
+            -1 if td.parent[v] is None else vertex_ids[td.parent[v]]
+            for v in td.order
+        ]
+        return TLIndex(
+            td, dist, count, LCATable(parents), vertex_ids, BuildStats(),
+            payload["num_edges"],
+        )
+    raise SerializationError(f"{path}: unknown index type {kind!r}")

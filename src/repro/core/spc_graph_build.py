@@ -1,0 +1,180 @@
+"""SPC-Graph construction for CTLS-Index (paper §IV-B and §IV-C).
+
+Given the current node's graph ``PG`` (itself an SPC-Graph of the
+original network), its cut ``C`` and one side ``L``, these builders
+produce a count-preserved graph over ``L`` — the graph the recursion
+partitions next.  Three strategies mirror the paper's construction
+variants:
+
+* ``basic`` (Algorithm 4, plain CTLS-Construct): search the boundary
+  graph of ``L`` from every border vertex and add all Outer-Only
+  shortcuts.
+* ``pruned`` (CTLS+-Construct): same searches, but a shortcut is kept
+  only when its distance equals the through-cut distance
+  ``sd_G(u, v, C)`` obtained from the labels just computed (Lemma 4.4).
+* ``cutsearch`` (CTLS*-Construct, Algorithm 5): search only from the
+  (few) cut vertices in the boundary graph of ``L ∪ C``, then eliminate
+  the cut vertices one by one, connecting neighbour pairs whose two-hop
+  distance matches the through-cut threshold.
+
+Outer-Only semantics — interiors of restored paths must avoid the side
+being preserved — is enforced by running SSSPC with the border/cut set
+as *terminal* vertices (reachable, never traversed).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Callable, Dict, Iterable, List, Tuple
+
+from repro.core.base import BuildStats
+from repro.graph.csr import CSRGraph
+from repro.graph.graph import Graph
+from repro.graph.spc_graph import add_shortcut
+from repro.graph.subgraph import boundary_graph
+from repro.search.fast import ssspc_csr
+from repro.types import INF, Vertex, Weight
+
+#: ``(u, v) -> sd_G(u, v, C)``: shortest distance through the cut.
+ThroughCutDistance = Callable[[Vertex, Vertex], Weight]
+
+
+class BlockOutDist:
+    """Through-cut distances ``sd_G(u, v, C)`` from node label blocks.
+
+    ``blocks[v]`` holds the strong convex distances from ``v`` to the
+    current node's cut vertices in ascending-id order (truncated at the
+    vertex's own position for cut vertices).  The through-cut distance
+    of a pair is the minimum label sum over the shared prefix — Eq. (1)
+    restricted to the cut, as in Algorithm 5 lines 2-3 and 11-13.
+    """
+
+    def __init__(self, blocks: Dict[Vertex, List[Weight]]) -> None:
+        self._blocks = blocks
+        self._cache: Dict[Tuple[Vertex, Vertex], Weight] = {}
+
+    def __call__(self, u: Vertex, v: Vertex) -> Weight:
+        if u > v:
+            u, v = v, u
+        key = (u, v)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        du = self._blocks[u]
+        dv = self._blocks[v]
+        best = INF
+        for a, b in zip(du, dv):
+            d = a + b
+            if d < best:
+                best = d
+        self._cache[key] = best
+        return best
+
+
+def _border_of(pg: Graph, side_set: set) -> List[Vertex]:
+    """Vertices of ``side_set`` with an edge leaving it, ascending."""
+    return sorted(
+        v
+        for v in side_set
+        if any(u not in side_set for u in pg.adj(v))
+    )
+
+
+def build_spc_graph_basic(
+    pg: Graph,
+    side: Iterable[Vertex],
+    stats: BuildStats,
+    *,
+    through_cut: ThroughCutDistance = None,
+    prune: bool = False,
+) -> Graph:
+    """Algorithm 4: SPC-Graph of ``side`` by border-vertex searches.
+
+    With ``prune=True`` (CTLS+), a shortcut ``(u, v)`` is added only
+    when its Outer-Only distance equals ``through_cut(u, v)``; redundant
+    shortcuts — dominated by shorter global routes — are dropped.
+    """
+    side_set = set(side)
+    border = _border_of(pg, side_set)
+    result = pg.induced_subgraph(side_set)
+    if not border:
+        return result
+    bg = CSRGraph(boundary_graph(pg, side_set))
+    border_set = set(border)
+
+    for u in border:
+        if u not in bg.vertex_ids:
+            continue
+        oo_dist, oo_cnt = ssspc_csr(bg, u, terminal=border_set)
+        stats.ssspc_runs += 1
+        for v in border:
+            if v <= u:
+                continue
+            d = oo_dist.get(v)
+            if d is None:
+                continue
+            if prune and d != through_cut(u, v):
+                stats.shortcuts_pruned += 1
+                continue
+            add_shortcut(result, u, v, d, oo_cnt[v])
+            stats.shortcuts_added += 1
+    return result
+
+
+def build_spc_graph_cutsearch(
+    pg: Graph,
+    side: Iterable[Vertex],
+    cut: Iterable[Vertex],
+    through_cut: ThroughCutDistance,
+    stats: BuildStats,
+) -> Graph:
+    """Algorithm 5: SPC-Graph of ``side`` by searching from cut vertices.
+
+    Phase 1 restores Outer-Only shortest paths *between cut vertices*
+    through the far side (boundary graph of ``side ∪ cut``), pruned by
+    global shortest distances (labels make ``sd_G(u, v, C)`` exact for
+    cut pairs).  Phase 2 eliminates the cut vertices from
+    ``PG[side ∪ cut]``, contraction-style: removing ``c`` connects each
+    neighbour pair whose two-hop distance matches the through-cut
+    threshold.  What remains is a count-preserved graph over ``side``.
+    """
+    side_set = set(side)
+    cut_list = sorted(cut)
+    cut_set = set(cut_list)
+    zone = side_set | cut_set
+
+    # Working graph Z: the induced graph on side + cut.
+    work = pg.induced_subgraph(zone)
+
+    # Phase 1 (lines 4-9): cut-to-cut shortcuts through the far side.
+    bg = CSRGraph(boundary_graph(pg, zone))
+    for u in cut_list:
+        if u not in bg.vertex_ids:
+            continue
+        oo_dist, oo_cnt = ssspc_csr(bg, u, terminal=cut_set)
+        stats.ssspc_runs += 1
+        for v in cut_list:
+            if v <= u:
+                continue
+            d = oo_dist.get(v)
+            if d is None:
+                continue
+            if d != through_cut(u, v):
+                stats.shortcuts_pruned += 1
+                continue
+            add_shortcut(work, u, v, d, oo_cnt[v])
+            stats.shortcuts_added += 1
+
+    # Phase 2 (lines 14-19): eliminate cut vertices, preserving counts
+    # between the remaining neighbours.
+    for c in cut_list:
+        neighbours = sorted(work.adj(c).items())
+        for (u, (du, cu)), (v, (dv, cv)) in combinations(neighbours, 2):
+            d = du + dv
+            if through_cut(u, v) != d:
+                stats.shortcuts_pruned += 1
+                continue
+            add_shortcut(work, u, v, d, cu * cv)
+            stats.shortcuts_added += 1
+        work.remove_vertex(c)
+    return work

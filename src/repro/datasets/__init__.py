@@ -1,0 +1,24 @@
+"""Evaluation dataset registry (synthetic stand-ins for Table I)."""
+
+from repro.datasets.registry import (
+    DATASET_SPECS,
+    FULL_DATASETS,
+    MEDIUM_DATASETS,
+    QUICK_DATASETS,
+    DatasetSpec,
+    dataset_names,
+    load_dataset,
+)
+from repro.datasets.stats import DatasetRow, dataset_statistics
+
+__all__ = [
+    "DATASET_SPECS",
+    "DatasetRow",
+    "DatasetSpec",
+    "FULL_DATASETS",
+    "MEDIUM_DATASETS",
+    "QUICK_DATASETS",
+    "dataset_names",
+    "dataset_statistics",
+    "load_dataset",
+]

@@ -1,0 +1,112 @@
+"""The 12 evaluation datasets (paper Table I), synthetic substitutes.
+
+The paper evaluates on one power network and 11 DIMACS USA road networks
+(5.3k - 23.9M vertices).  Those graphs cannot be shipped or, at the
+larger sizes, indexed in pure Python, so this registry generates
+deterministic synthetic stand-ins with the same names, the same relative
+size ordering, and road-like structure (see DESIGN.md, "Substitutions").
+Real DIMACS files can be loaded with :func:`repro.graph.io.read_dimacs`
+and swapped in.
+
+Datasets are built on first use and cached for the process lifetime.
+Two tiers keep benchmark runs tractable:
+
+* ``quick`` — the four smallest datasets; used by the pytest benchmarks.
+* ``full``  — all 12; used by the EXPERIMENTS.md runner
+  (``REPRO_DATASETS=full``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Dict, List, Tuple
+
+from repro.graph.generators import power_grid_network, road_network
+from repro.graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One evaluation dataset and its paper-scale counterpart."""
+
+    name: str
+    description: str
+    #: Target synthetic size (vertices); actual size varies slightly
+    #: because generators keep the largest connected component.
+    target_vertices: int
+    #: Vertex/edge counts of the real dataset in the paper's Table I.
+    paper_vertices: int
+    paper_edges: int
+    generator: Callable[..., Graph]
+    seed: int
+    aspect: float = 1.0
+
+
+def _road(spec: DatasetSpec) -> Graph:
+    return road_network(spec.target_vertices, seed=spec.seed, aspect=spec.aspect)
+
+
+def _power(spec: DatasetSpec) -> Graph:
+    return power_grid_network(spec.target_vertices, seed=spec.seed)
+
+
+_SPECS: Tuple[DatasetSpec, ...] = (
+    DatasetSpec("PWR", "Power Network", 1300, 5_300, 8_271, _power, seed=11),
+    DatasetSpec("NY", "New York City", 2600, 264_346, 733_846, _road, seed=12, aspect=0.8),
+    DatasetSpec("BAY", "San Francisco Bay Area", 3200, 321_270, 800_172, _road, seed=13),
+    DatasetSpec("COL", "Colorado", 4400, 435_666, 1_057_066, _road, seed=14),
+    DatasetSpec("FLA", "Florida", 5400, 1_070_376, 2_712_798, _road, seed=15, aspect=1.6),
+    DatasetSpec("NW", "Northwest USA", 6100, 1_207_945, 2_840_208, _road, seed=16),
+    DatasetSpec("NE", "Northeast USA", 7600, 1_524_453, 3_897_636, _road, seed=17),
+    DatasetSpec("CAL", "California", 9500, 1_890_815, 4_657_742, _road, seed=18, aspect=1.4),
+    DatasetSpec("E", "Eastern USA", 12000, 3_598_623, 8_778_114, _road, seed=19),
+    DatasetSpec("W", "Western USA", 16000, 6_262_104, 15_248_146, _road, seed=20),
+    DatasetSpec("CTR", "Central USA", 20000, 14_081_816, 34_292_496, _road, seed=21),
+    DatasetSpec("USA", "United States", 24000, 23_947_347, 58_333_344, _road, seed=22),
+)
+
+DATASET_SPECS: Dict[str, DatasetSpec] = {spec.name: spec for spec in _SPECS}
+
+#: Datasets small enough for routine pytest benchmark runs.
+QUICK_DATASETS: Tuple[str, ...] = ("PWR", "NY", "BAY", "COL")
+
+#: Mid-size tier for the EXPERIMENTS.md runner default.
+MEDIUM_DATASETS: Tuple[str, ...] = QUICK_DATASETS + ("FLA", "NW", "NE", "CAL")
+
+FULL_DATASETS: Tuple[str, ...] = tuple(spec.name for spec in _SPECS)
+
+
+def dataset_names(tier: str = None) -> List[str]:
+    """Dataset names in Table I order.
+
+    ``tier`` may be ``"quick"``, ``"medium"``, ``"full"``, or ``None``
+    to honour the ``REPRO_DATASETS`` environment variable (default
+    ``quick``).
+    """
+    if tier is None:
+        tier = os.environ.get("REPRO_DATASETS", "quick")
+    tiers = {
+        "quick": QUICK_DATASETS,
+        "medium": MEDIUM_DATASETS,
+        "full": FULL_DATASETS,
+    }
+    try:
+        return list(tiers[tier])
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset tier {tier!r}; expected one of {sorted(tiers)}"
+        ) from None
+
+
+@lru_cache(maxsize=None)
+def load_dataset(name: str) -> Graph:
+    """Build (or fetch from cache) the named dataset graph."""
+    try:
+        spec = DATASET_SPECS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; expected one of {FULL_DATASETS}"
+        ) from None
+    return spec.generator(spec)

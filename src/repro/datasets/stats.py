@@ -1,0 +1,46 @@
+"""Table I: statistics of the evaluation datasets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.datasets.registry import DATASET_SPECS, dataset_names, load_dataset
+
+
+@dataclass(frozen=True)
+class DatasetRow:
+    """One row of Table I: synthetic size next to the paper's size."""
+
+    name: str
+    description: str
+    num_vertices: int
+    num_edges: int
+    paper_vertices: int
+    paper_edges: int
+
+    @property
+    def avg_degree(self) -> float:
+        """Average vertex degree of the synthetic graph."""
+        if self.num_vertices == 0:
+            return 0.0
+        return 2 * self.num_edges / self.num_vertices
+
+
+def dataset_statistics(tier: Optional[str] = None) -> List[DatasetRow]:
+    """Materialise Table I rows for the chosen dataset tier."""
+    rows = []
+    for name in dataset_names(tier):
+        spec = DATASET_SPECS[name]
+        graph = load_dataset(name)
+        rows.append(
+            DatasetRow(
+                name=name,
+                description=spec.description,
+                num_vertices=graph.num_vertices,
+                num_edges=graph.num_edges,
+                paper_vertices=spec.paper_vertices,
+                paper_edges=spec.paper_edges,
+            )
+        )
+    return rows

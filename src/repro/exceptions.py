@@ -1,0 +1,66 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Invalid graph structure or an operation on a malformed graph."""
+
+
+class VertexNotFoundError(GraphError):
+    """A vertex id referenced by the caller does not exist in the graph."""
+
+    def __init__(self, vertex: int) -> None:
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeError(GraphError):
+    """Invalid edge: self-loop, non-positive weight, or missing endpoint."""
+
+
+class DisconnectedError(ReproError):
+    """Two query vertices lie in different connected components."""
+
+    def __init__(self, source: int, target: int) -> None:
+        super().__init__(
+            f"vertices {source} and {target} are not connected; "
+            "no shortest path exists"
+        )
+        self.source = source
+        self.target = target
+
+
+class IndexBuildError(ReproError):
+    """Index construction failed (degenerate cut, invariant violation...)."""
+
+
+class IndexQueryError(ReproError):
+    """A query was issued against an index in an invalid way."""
+
+
+class SerializationError(ReproError):
+    """Saving or loading an index failed."""
+
+
+class ParseError(ReproError):
+    """A graph file could not be parsed."""
+
+    def __init__(self, message: str, line_number: int | None = None) -> None:
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+class WorkloadError(ReproError):
+    """A benchmark workload could not be generated as requested."""

@@ -1,0 +1,16 @@
+"""Max-flow and minimum vertex cuts (BalancedCut's cut engine)."""
+
+from repro.flow.dinitz import max_flow, residual_reachable
+from repro.flow.network import FlowNetwork
+from repro.flow.vertex_cut import (
+    min_vertex_cut_between_regions,
+    min_vertex_cut_pair,
+)
+
+__all__ = [
+    "FlowNetwork",
+    "max_flow",
+    "min_vertex_cut_between_regions",
+    "min_vertex_cut_pair",
+    "residual_reachable",
+]

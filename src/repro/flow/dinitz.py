@@ -1,0 +1,99 @@
+"""Dinitz' max-flow algorithm (the min-cut engine behind BalancedCut).
+
+Level graph by BFS, blocking flow by iterative DFS with the current-arc
+optimisation.  ``O(V^2 E)`` in general, and ``O(E * sqrt(V))`` on the
+unit-capacity vertex-split networks produced by
+:mod:`repro.flow.vertex_cut`, which is what the paper's Lemma 3.5 relies
+on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Set
+
+from repro.flow.network import FlowNetwork, Node
+
+
+def _bfs_levels(net: FlowNetwork, s: int, t: int) -> List[int]:
+    levels = [-1] * net.num_nodes
+    levels[s] = 0
+    queue = deque([s])
+    while queue:
+        v = queue.popleft()
+        for edge in net.adjacency[v]:
+            if net.capacity[edge] <= 0:
+                continue
+            w = net.to[edge]
+            if levels[w] == -1:
+                levels[w] = levels[v] + 1
+                queue.append(w)
+    return levels
+
+
+def _blocking_flow(
+    net: FlowNetwork, s: int, t: int, levels: List[int], cursor: List[int]
+) -> int:
+    """Push one augmenting path along the level graph; 0 when exhausted."""
+    path: List[int] = []  # edge indices
+    v = s
+    while True:
+        if v == t:
+            bottleneck = min(net.capacity[e] for e in path)
+            for e in path:
+                net.push(e, bottleneck)
+            return bottleneck
+        advanced = False
+        while cursor[v] < len(net.adjacency[v]):
+            edge = net.adjacency[v][cursor[v]]
+            w = net.to[edge]
+            if net.capacity[edge] > 0 and levels[w] == levels[v] + 1:
+                path.append(edge)
+                v = w
+                advanced = True
+                break
+            cursor[v] += 1
+        if advanced:
+            continue
+        if v == s:
+            return 0
+        # Dead end: retreat and invalidate the vertex for this phase.
+        levels[v] = -1
+        v = net.to[path.pop() ^ 1]
+        cursor[v] += 1
+
+
+def max_flow(net: FlowNetwork, source: Node, sink: Node) -> int:
+    """Total maximum flow from ``source`` to ``sink``."""
+    s = net.node_id(source)
+    t = net.node_id(sink)
+    total = 0
+    while True:
+        levels = _bfs_levels(net, s, t)
+        if levels[t] == -1:
+            return total
+        cursor = [0] * net.num_nodes
+        while True:
+            pushed = _blocking_flow(net, s, t, levels, cursor)
+            if pushed == 0:
+                break
+            total += pushed
+
+
+def residual_reachable(net: FlowNetwork, source: Node) -> Set[int]:
+    """Node ids reachable from ``source`` in the residual network.
+
+    Call after :func:`max_flow`; the returned set is the source side of
+    a minimum cut (max-flow min-cut theorem).
+    """
+    s = net.node_id(source)
+    seen = {s}
+    queue = deque([s])
+    while queue:
+        v = queue.popleft()
+        for edge in net.adjacency[v]:
+            w = net.to[edge]
+            if net.capacity[edge] > 0 and w not in seen:
+                seen.add(w)
+                queue.append(w)
+    return seen

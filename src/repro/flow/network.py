@@ -1,0 +1,68 @@
+"""A compact directed flow network for Dinitz' algorithm.
+
+Nodes are arbitrary hashable objects (the vertex-cut reduction uses
+``(v, "in")`` / ``(v, "out")`` pairs and sentinel super-terminals).
+Edges are stored in flat parallel lists with paired residual arcs, the
+standard adjacency-list max-flow layout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List
+
+Node = Hashable
+
+
+class FlowNetwork:
+    """Directed network with integer capacities and residual arcs."""
+
+    def __init__(self) -> None:
+        self._index: Dict[Node, int] = {}
+        self.adjacency: List[List[int]] = []
+        self.to: List[int] = []
+        self.capacity: List[int] = []
+
+    def node_id(self, node: Node) -> int:
+        """Dense integer id of ``node``, creating it on first use."""
+        idx = self._index.get(node)
+        if idx is None:
+            idx = len(self.adjacency)
+            self._index[node] = idx
+            self.adjacency.append([])
+        return idx
+
+    def has_node(self, node: Node) -> bool:
+        """Whether ``node`` was added to the network."""
+        return node in self._index
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes created so far."""
+        return len(self.adjacency)
+
+    def add_edge(self, source: Node, target: Node, capacity: int) -> int:
+        """Add a directed arc and its zero-capacity residual twin.
+
+        Returns the arc's edge index (the twin is ``index ^ 1``).
+        """
+        if capacity < 0:
+            raise ValueError(f"negative capacity {capacity}")
+        u = self.node_id(source)
+        v = self.node_id(target)
+        index = len(self.to)
+        self.to.append(v)
+        self.capacity.append(capacity)
+        self.adjacency[u].append(index)
+        self.to.append(u)
+        self.capacity.append(0)
+        self.adjacency[v].append(index + 1)
+        return index
+
+    def residual(self, edge_index: int) -> int:
+        """Remaining capacity of an arc."""
+        return self.capacity[edge_index]
+
+    def push(self, edge_index: int, amount: int) -> None:
+        """Send ``amount`` units along an arc, updating the residual twin."""
+        self.capacity[edge_index] -= amount
+        self.capacity[edge_index ^ 1] += amount

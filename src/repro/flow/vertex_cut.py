@@ -1,0 +1,110 @@
+"""Minimum s-t *vertex* cut via vertex splitting.
+
+BalancedCut contracts its two grown regions into supernodes and needs the
+smallest set of middle-region vertices whose removal disconnects them.
+The classic reduction: every splittable vertex ``v`` becomes an arc
+``v_in -> v_out`` of capacity 1, original edges become infinite-capacity
+arcs between the corresponding sides, and the min edge cut of the
+transformed network — all of whose saturated arcs are split arcs — is the
+min vertex cut.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+from repro.flow.dinitz import max_flow, residual_reachable
+from repro.flow.network import FlowNetwork
+from repro.graph.graph import Graph
+from repro.types import Vertex
+
+_SOURCE = ("super", "source")
+_SINK = ("super", "sink")
+
+
+def _in(v: Vertex) -> Tuple[Vertex, str]:
+    return (v, "in")
+
+
+def _out(v: Vertex) -> Tuple[Vertex, str]:
+    return (v, "out")
+
+
+def min_vertex_cut_between_regions(
+    graph: Graph,
+    left_region: Iterable[Vertex],
+    right_region: Iterable[Vertex],
+    middle: Iterable[Vertex],
+) -> List[Vertex]:
+    """Smallest subset of ``middle`` separating the two regions.
+
+    ``left_region`` and ``right_region`` are contracted into a source and
+    a sink supernode; only ``middle`` vertices are splittable (capacity
+    1).  The three sets must be disjoint and cover every vertex incident
+    to a crossing edge.  Raises ``ValueError`` when the regions are
+    directly adjacent (no vertex cut inside ``middle`` can exist).
+
+    Returns the cut sorted by vertex id.
+    """
+    left = set(left_region)
+    right = set(right_region)
+    middle_set = set(middle)
+    infinite = len(middle_set) + 1  # any finite cut beats this
+
+    net = FlowNetwork()
+    net.node_id(_SOURCE)
+    net.node_id(_SINK)
+    for v in middle_set:
+        net.add_edge(_in(v), _out(v), 1)
+
+    for u, v, _w, _c in graph.edges():
+        u_left, v_left = u in left, v in left
+        u_right, v_right = u in right, v in right
+        if (u_left and v_right) or (u_right and v_left):
+            raise ValueError(
+                f"regions are directly adjacent via edge ({u}, {v}); "
+                "no vertex cut inside the middle region exists"
+            )
+        if u_left and v in middle_set:
+            net.add_edge(_SOURCE, _in(v), infinite)
+        elif v_left and u in middle_set:
+            net.add_edge(_SOURCE, _in(u), infinite)
+        elif u_right and v in middle_set:
+            net.add_edge(_out(v), _SINK, infinite)
+        elif v_right and u in middle_set:
+            net.add_edge(_out(u), _SINK, infinite)
+        elif u in middle_set and v in middle_set:
+            net.add_edge(_out(u), _in(v), infinite)
+            net.add_edge(_out(v), _in(u), infinite)
+        # Edges inside one region, or touching vertices outside all three
+        # sets, are irrelevant to the cut.
+
+    flow = max_flow(net, _SOURCE, _SINK)
+    if flow >= infinite:
+        raise ValueError("regions are connected outside the middle region")
+
+    reachable = residual_reachable(net, _SOURCE)
+    cut = [
+        v
+        for v in middle_set
+        if net.has_node(_in(v))
+        and net.node_id(_in(v)) in reachable
+        and (net.has_node(_out(v)) and net.node_id(_out(v)) not in reachable)
+    ]
+    if len(cut) != flow:
+        raise AssertionError(
+            f"min-cut extraction mismatch: flow={flow}, |cut|={len(cut)}"
+        )
+    return sorted(cut)
+
+
+def min_vertex_cut_pair(
+    graph: Graph, source: Vertex, target: Vertex
+) -> List[Vertex]:
+    """Smallest vertex set (excluding endpoints) separating two vertices.
+
+    Raises ``ValueError`` when the vertices are adjacent.  Convenience
+    wrapper used by tests and the partition module's sanity checks.
+    """
+    middle: Set[Vertex] = set(graph.vertices()) - {source, target}
+    return min_vertex_cut_between_regions(graph, [source], [target], middle)

@@ -1,0 +1,37 @@
+"""Graph substrate: structures, IO, generators, connectivity utilities."""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.components import (
+    bfs_order,
+    component_of,
+    connected_components,
+    is_connected,
+    largest_component,
+    relabel_to_dense,
+)
+from repro.graph.graph import Graph
+from repro.graph.simplify import contract_degree_two, prune_degree_one
+from repro.graph.spc_graph import add_shortcut, is_spc_graph_of, union_with_shortcuts
+from repro.graph.subgraph import border_vertices, boundary_graph, crossing_edges
+from repro.graph.validation import check_graph, validate_graph
+
+__all__ = [
+    "CSRGraph",
+    "Graph",
+    "add_shortcut",
+    "bfs_order",
+    "border_vertices",
+    "boundary_graph",
+    "check_graph",
+    "component_of",
+    "connected_components",
+    "contract_degree_two",
+    "prune_degree_one",
+    "crossing_edges",
+    "is_connected",
+    "is_spc_graph_of",
+    "largest_component",
+    "relabel_to_dense",
+    "union_with_shortcuts",
+    "validate_graph",
+]

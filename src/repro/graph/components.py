@@ -1,0 +1,114 @@
+"""Connectivity utilities: components, reachability, traversal orders."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.graph.graph import Graph
+from repro.types import Vertex
+
+
+def bfs_order(graph: Graph, source: Vertex) -> List[Vertex]:
+    """Vertices reachable from ``source`` in breadth-first order."""
+    seen: Set[Vertex] = {source}
+    order: List[Vertex] = [source]
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in graph.adj(v):
+            if u not in seen:
+                seen.add(u)
+                order.append(u)
+                queue.append(u)
+    return order
+
+
+def connected_components(
+    graph: Graph, within: Optional[Iterable[Vertex]] = None
+) -> List[List[Vertex]]:
+    """Connected components, each as a list of vertices.
+
+    ``within`` restricts the search to an induced vertex subset without
+    materialising the subgraph.  Components are ordered by discovery;
+    vertices within a component are in BFS order.
+    """
+    if within is None:
+        allowed: Optional[Set[Vertex]] = None
+        universe: Iterable[Vertex] = graph.vertices()
+    else:
+        allowed = set(within)
+        universe = allowed
+
+    seen: Set[Vertex] = set()
+    components: List[List[Vertex]] = []
+    for start in universe:
+        if start in seen:
+            continue
+        seen.add(start)
+        component = [start]
+        queue = deque([start])
+        while queue:
+            v = queue.popleft()
+            for u in graph.adj(v):
+                if u in seen or (allowed is not None and u not in allowed):
+                    continue
+                seen.add(u)
+                component.append(u)
+                queue.append(u)
+        components.append(component)
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph has exactly one connected component.
+
+    The empty graph is considered connected.
+    """
+    n = graph.num_vertices
+    if n <= 1:
+        return True
+    start = next(iter(graph.vertices()))
+    return len(bfs_order(graph, start)) == n
+
+
+def largest_component(graph: Graph) -> Graph:
+    """The induced subgraph of the largest connected component."""
+    components = connected_components(graph)
+    if not components:
+        return graph.copy()
+    biggest = max(components, key=len)
+    return graph.induced_subgraph(biggest)
+
+
+def component_of(graph: Graph, v: Vertex, removed: Set[Vertex]) -> Set[Vertex]:
+    """The component containing ``v`` after deleting ``removed`` vertices."""
+    if v in removed:
+        return set()
+    seen: Set[Vertex] = {v}
+    queue = deque([v])
+    while queue:
+        x = queue.popleft()
+        for u in graph.adj(x):
+            if u not in seen and u not in removed:
+                seen.add(u)
+                queue.append(u)
+    return seen
+
+
+def relabel_to_dense(graph: Graph) -> "tuple[Graph, Dict[Vertex, Vertex]]":
+    """Relabel vertices to ``0..n-1`` (sorted by original id).
+
+    Returns the relabelled graph and the ``old -> new`` mapping.
+    """
+    mapping = {old: new for new, old in enumerate(sorted(graph.vertices()))}
+    dense = Graph()
+    for old in graph.vertices():
+        dense.add_vertex(mapping[old])
+    for u, v, w, c in graph.edges():
+        dense.add_edge(mapping[u], mapping[v], w, c)
+    if graph.coordinates is not None:
+        dense.coordinates = {
+            mapping[v]: xy for v, xy in graph.coordinates.items() if v in mapping
+        }
+    return dense, mapping

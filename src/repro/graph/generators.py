@@ -1,0 +1,261 @@
+"""Deterministic synthetic network generators.
+
+The paper evaluates on DIMACS USA road networks (up to 24M vertices) and a
+5.3k-vertex power network.  Those graphs are not shipped here and are out
+of reach for pure-Python index construction, so the dataset registry
+(:mod:`repro.datasets`) substitutes the generators below.  They reproduce
+the structural properties the experiments depend on:
+
+* average degree around 2.5-2.8 (road fabrics) with long diameters,
+* ``O(sqrt n)`` balanced separators (planar-like growth),
+* shortest-path ties (weights drawn from a coarse lattice), so path
+  counts are non-trivial yet bounded.
+
+All generators are deterministic given ``seed`` and return graphs with
+dense ``0..n-1`` vertex ids and attached planar coordinates.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional, Sequence, Tuple
+
+from repro.graph.components import largest_component, relabel_to_dense
+from repro.graph.graph import Graph
+
+#: Coarse lattice of edge weights: coarse enough for shortest-path ties
+#: (non-trivial counts), fine enough to avoid combinatorial blow-ups.
+_WEIGHT_CHOICES: Sequence[int] = tuple(range(60, 150, 10))
+
+
+def _random_weight(rng: random.Random, scale: float = 1.0) -> int:
+    return max(1, int(rng.choice(_WEIGHT_CHOICES) * scale))
+
+
+# ----------------------------------------------------------------------
+# elementary test graphs (unit weights)
+# ----------------------------------------------------------------------
+def path_graph(n: int, weight: int = 1) -> Graph:
+    """A path ``0 - 1 - ... - n-1`` with uniform edge weight."""
+    return Graph.from_edges(
+        ((i, i + 1, weight) for i in range(n - 1)), vertices=range(n)
+    )
+
+
+def cycle_graph(n: int, weight: int = 1) -> Graph:
+    """A cycle on ``n >= 3`` vertices with uniform edge weight."""
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 vertices")
+    edges = [(i, (i + 1) % n, weight) for i in range(n)]
+    return Graph.from_edges(edges)
+
+
+def complete_graph(n: int, weight: int = 1) -> Graph:
+    """The complete graph ``K_n`` with uniform edge weight."""
+    edges = [(i, j, weight) for i in range(n) for j in range(i + 1, n)]
+    return Graph.from_edges(edges, vertices=range(n))
+
+
+def star_graph(n_leaves: int, weight: int = 1) -> Graph:
+    """A star: centre ``0`` joined to leaves ``1..n_leaves``."""
+    return Graph.from_edges((0, i, weight) for i in range(1, n_leaves + 1))
+
+
+def grid_graph(rows: int, cols: int, weight: int = 1) -> Graph:
+    """A ``rows x cols`` lattice with uniform weights (maximal SP ties)."""
+    graph = Graph()
+    coords = {}
+
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            v = vid(r, c)
+            graph.add_vertex(v)
+            coords[v] = (float(c), float(r))
+            if c + 1 < cols:
+                graph.add_edge(v, vid(r, c + 1), weight)
+            if r + 1 < rows:
+                graph.add_edge(v, vid(r + 1, c), weight)
+    graph.coordinates = coords
+    return graph
+
+
+# ----------------------------------------------------------------------
+# road networks
+# ----------------------------------------------------------------------
+def grid_road_network(
+    rows: int,
+    cols: int,
+    *,
+    hole_fraction: float = 0.12,
+    diagonal_fraction: float = 0.05,
+    weight_scale: float = 1.0,
+    seed: int = 0,
+) -> Graph:
+    """A road-like fabric: a grid with punched holes and a few diagonals.
+
+    Starting from a ``rows x cols`` lattice, the generator removes
+    clustered "holes" (lakes, parks) covering roughly ``hole_fraction``
+    of the vertices, adds diagonal shortcuts to ``diagonal_fraction`` of
+    the cells, draws edge weights from a coarse lattice, and keeps the
+    largest connected component relabelled to ``0..n-1``.
+    """
+    if not 0 <= hole_fraction < 1:
+        raise ValueError("hole_fraction must be in [0, 1)")
+    rng = random.Random(seed)
+
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    # Punch clustered holes: pick centres, remove small random blobs.
+    removed = set()
+    target_removed = int(rows * cols * hole_fraction)
+    while len(removed) < target_removed:
+        cr, cc = rng.randrange(rows), rng.randrange(cols)
+        blob = rng.randint(1, 6)
+        frontier = [(cr, cc)]
+        for _ in range(blob):
+            if not frontier:
+                break
+            r, c = frontier.pop(rng.randrange(len(frontier)))
+            removed.add((r, c))
+            for dr, dc in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                nr, nc = r + dr, c + dc
+                if 0 <= nr < rows and 0 <= nc < cols and (nr, nc) not in removed:
+                    frontier.append((nr, nc))
+
+    graph = Graph()
+    coords = {}
+    for r in range(rows):
+        for c in range(cols):
+            if (r, c) in removed:
+                continue
+            v = vid(r, c)
+            graph.add_vertex(v)
+            coords[v] = (float(c), float(r))
+            if c + 1 < cols and (r, c + 1) not in removed:
+                graph.add_edge(v, vid(r, c + 1), _random_weight(rng, weight_scale))
+            if r + 1 < rows and (r + 1, c) not in removed:
+                graph.add_edge(v, vid(r + 1, c), _random_weight(rng, weight_scale))
+
+    # Diagonal shortcuts (sqrt(2) longer on average).
+    for r in range(rows - 1):
+        for c in range(cols - 1):
+            if rng.random() >= diagonal_fraction:
+                continue
+            corners = [(r, c), (r, c + 1), (r + 1, c), (r + 1, c + 1)]
+            if any(x in removed for x in corners):
+                continue
+            if rng.random() < 0.5:
+                u, v = vid(r, c), vid(r + 1, c + 1)
+            else:
+                u, v = vid(r, c + 1), vid(r + 1, c)
+            graph.add_edge(u, v, _random_weight(rng, weight_scale * 1.4))
+
+    graph.coordinates = coords
+    dense, _mapping = relabel_to_dense(largest_component(graph))
+    return dense
+
+
+def road_network(
+    num_vertices: int, *, seed: int = 0, aspect: float = 1.0
+) -> Graph:
+    """A road-like network with approximately ``num_vertices`` vertices.
+
+    Thin wrapper over :func:`grid_road_network` choosing grid dimensions
+    to land near the target size after hole removal.  ``aspect`` > 1
+    stretches the fabric horizontally (long thin states like FLA).
+    """
+    if num_vertices < 4:
+        raise ValueError("road_network needs at least 4 vertices")
+    hole_fraction = 0.12
+    cells = num_vertices / (1 - hole_fraction)
+    rows = max(2, int(math.sqrt(cells / aspect)))
+    cols = max(2, int(cells / rows))
+    return grid_road_network(rows, cols, hole_fraction=hole_fraction, seed=seed)
+
+
+def random_geometric_network(
+    num_vertices: int,
+    *,
+    radius: Optional[float] = None,
+    seed: int = 0,
+) -> Graph:
+    """A random geometric graph in the unit square with metric weights.
+
+    Points are connected when within ``radius`` (default chosen for an
+    average degree around 5 before trimming); weights are Euclidean
+    distances scaled to integers.  Returns the largest component with
+    dense ids.
+    """
+    rng = random.Random(seed)
+    if radius is None:
+        radius = math.sqrt(1.7 / (math.pi * num_vertices)) * 2
+    points = [(rng.random(), rng.random()) for _ in range(num_vertices)]
+
+    # Uniform grid buckets so neighbour search is near-linear.
+    cell = radius
+    buckets = {}
+    for i, (x, y) in enumerate(points):
+        buckets.setdefault((int(x / cell), int(y / cell)), []).append(i)
+
+    graph = Graph()
+    for i in range(num_vertices):
+        graph.add_vertex(i)
+    for i, (x, y) in enumerate(points):
+        bx, by = int(x / cell), int(y / cell)
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for j in buckets.get((bx + dx, by + dy), ()):
+                    if j <= i:
+                        continue
+                    px, py = points[j]
+                    dist = math.hypot(x - px, y - py)
+                    if dist <= radius:
+                        graph.add_edge(i, j, max(1, int(dist * 10000)))
+    graph.coordinates = {i: points[i] for i in range(num_vertices)}
+    dense, _mapping = relabel_to_dense(largest_component(graph))
+    return dense
+
+
+def power_grid_network(num_vertices: int, *, seed: int = 0) -> Graph:
+    """A sparse spatial network resembling a power grid (paper's PWR).
+
+    Each node connects to its nearest already-placed node (a spanning
+    spatial tree), plus sparse extra local links, giving average degree
+    around 3 and tree-like stretches with occasional meshes.
+    """
+    rng = random.Random(seed)
+    points: list[Tuple[float, float]] = []
+    graph = Graph()
+    graph.add_vertex(0)
+    points.append((rng.random(), rng.random()))
+
+    for i in range(1, num_vertices):
+        x, y = rng.random(), rng.random()
+        points.append((x, y))
+        graph.add_vertex(i)
+        # Connect to the nearest of a random sample of placed nodes
+        # (keeps generation O(n * sample)).
+        sample_size = min(i, 24)
+        candidates = rng.sample(range(i), sample_size)
+        nearest = min(
+            candidates,
+            key=lambda j: (points[j][0] - x) ** 2 + (points[j][1] - y) ** 2,
+        )
+        px, py = points[nearest]
+        graph.add_edge(i, nearest, max(1, int(math.hypot(px - x, py - y) * 10000)))
+        # Occasional second local link creates loops (meshing).
+        if len(candidates) > 1 and rng.random() < 0.55:
+            second = min(
+                (j for j in candidates if j != nearest),
+                key=lambda j: (points[j][0] - x) ** 2 + (points[j][1] - y) ** 2,
+            )
+            px, py = points[second]
+            graph.add_edge(i, second, max(1, int(math.hypot(px - x, py - y) * 10000)))
+
+    graph.coordinates = {i: points[i] for i in range(num_vertices)}
+    return graph

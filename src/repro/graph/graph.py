@@ -1,0 +1,253 @@
+"""Mutable undirected weighted graph with shortest-path-count edge weights.
+
+Every edge carries two weights:
+
+* a *distance weight* ``phi(u, v) > 0`` — the length of the road segment;
+* a *count weight* ``sigma(u, v) >= 1`` — the number of shortest paths
+  between the endpoints that the edge represents (Definition 4.3 in the
+  paper).  Plain road networks have ``sigma = 1`` everywhere; SPC-Graphs
+  produced during CTLS-Index construction use larger values for shortcuts.
+
+The class is optimised for the access pattern of Dijkstra-style searches:
+``graph.adj(v)`` exposes the underlying neighbour mapping
+``{neighbour: (distance, count)}`` without copying.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+from repro.exceptions import EdgeError, VertexNotFoundError
+from repro.types import Vertex, Weight, WeightedEdge
+
+EdgeData = Tuple[Weight, int]
+
+
+class Graph:
+    """An undirected graph with positive distance and count edge weights.
+
+    Vertices are hashable integers; they need not be contiguous (induced
+    subgraphs keep original ids).  Self-loops and parallel edges are
+    rejected — ``add_edge`` on an existing edge overwrites it, and
+    :func:`repro.graph.spc_graph.add_shortcut` implements the paper's
+    merge semantics instead.
+    """
+
+    __slots__ = ("_adj", "_num_edges", "coordinates")
+
+    def __init__(self) -> None:
+        self._adj: Dict[Vertex, Dict[Vertex, EdgeData]] = {}
+        self._num_edges = 0
+        #: Optional vertex coordinates ``{v: (x, y)}`` attached by
+        #: generators; purely informational.
+        self.coordinates: Optional[Dict[Vertex, Tuple[float, float]]] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[WeightedEdge],
+        vertices: Optional[Iterable[Vertex]] = None,
+    ) -> "Graph":
+        """Build a graph from ``(u, v, weight)`` triples.
+
+        Endpoints are added implicitly.  ``vertices`` may list extra
+        (possibly isolated) vertices to include.
+        """
+        graph = cls()
+        if vertices is not None:
+            for v in vertices:
+                graph.add_vertex(v)
+        for u, v, w in edges:
+            graph.add_vertex(u)
+            graph.add_vertex(v)
+            graph.add_edge(u, v, w)
+        return graph
+
+    def add_vertex(self, v: Vertex) -> None:
+        """Add an isolated vertex; a no-op if it already exists."""
+        if v not in self._adj:
+            self._adj[v] = {}
+
+    def add_edge(self, u: Vertex, v: Vertex, weight: Weight, count: int = 1) -> None:
+        """Add (or overwrite) the undirected edge ``(u, v)``.
+
+        Raises:
+            EdgeError: on self-loops, non-positive weights or counts.
+        """
+        if u == v:
+            raise EdgeError(f"self-loop on vertex {u} is not allowed")
+        if weight <= 0:
+            raise EdgeError(f"edge ({u}, {v}) has non-positive weight {weight}")
+        if count < 1:
+            raise EdgeError(f"edge ({u}, {v}) has count weight {count} < 1")
+        self.add_vertex(u)
+        self.add_vertex(v)
+        if v not in self._adj[u]:
+            self._num_edges += 1
+        data = (weight, count)
+        self._adj[u][v] = data
+        self._adj[v][u] = data
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove the edge ``(u, v)``; raises if absent."""
+        try:
+            del self._adj[u][v]
+            del self._adj[v][u]
+        except KeyError:
+            raise EdgeError(f"edge ({u}, {v}) is not in the graph") from None
+        self._num_edges -= 1
+
+    def remove_vertex(self, v: Vertex) -> None:
+        """Remove ``v`` and all its incident edges."""
+        try:
+            neighbours = self._adj.pop(v)
+        except KeyError:
+            raise VertexNotFoundError(v) from None
+        for u in neighbours:
+            del self._adj[u][v]
+        self._num_edges -= len(neighbours)
+        if self.coordinates is not None:
+            self.coordinates.pop(v, None)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m``."""
+        return self._num_edges
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over all vertex ids."""
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[Tuple[Vertex, Vertex, Weight, int]]:
+        """Iterate over undirected edges as ``(u, v, weight, count)``.
+
+        Each edge is reported once, with ``u < v`` for comparable ids.
+        """
+        for u, neighbours in self._adj.items():
+            for v, (w, c) in neighbours.items():
+                if u < v:
+                    yield u, v, w, c
+
+    def has_vertex(self, v: Vertex) -> bool:
+        """Whether ``v`` is in the graph."""
+        return v in self._adj
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Whether the undirected edge ``(u, v)`` exists."""
+        adj_u = self._adj.get(u)
+        return adj_u is not None and v in adj_u
+
+    def weight(self, u: Vertex, v: Vertex) -> Weight:
+        """Distance weight ``phi(u, v)``; raises ``EdgeError`` if absent."""
+        return self._edge_data(u, v)[0]
+
+    def count(self, u: Vertex, v: Vertex) -> int:
+        """Count weight ``sigma(u, v)``; raises ``EdgeError`` if absent."""
+        return self._edge_data(u, v)[1]
+
+    def _edge_data(self, u: Vertex, v: Vertex) -> EdgeData:
+        try:
+            return self._adj[u][v]
+        except KeyError:
+            raise EdgeError(f"edge ({u}, {v}) is not in the graph") from None
+
+    def adj(self, v: Vertex) -> Dict[Vertex, EdgeData]:
+        """The neighbour mapping ``{u: (weight, count)}`` of ``v``.
+
+        This is the live internal mapping (no copy) — do not mutate it;
+        use the ``add_*``/``remove_*`` methods instead.
+        """
+        try:
+            return self._adj[v]
+        except KeyError:
+            raise VertexNotFoundError(v) from None
+
+    def neighbors(self, v: Vertex) -> Iterator[Vertex]:
+        """Iterate over the neighbours of ``v``."""
+        return iter(self.adj(v))
+
+    def degree(self, v: Vertex) -> int:
+        """Number of edges incident to ``v``."""
+        return len(self.adj(v))
+
+    def max_degree(self) -> int:
+        """Maximum vertex degree; 0 for an empty graph."""
+        if not self._adj:
+            return 0
+        return max(len(nbrs) for nbrs in self._adj.values())
+
+    # ------------------------------------------------------------------
+    # derivation
+    # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        """Deep copy of the adjacency structure (edge data is shared)."""
+        clone = Graph()
+        clone._adj = {v: dict(nbrs) for v, nbrs in self._adj.items()}
+        clone._num_edges = self._num_edges
+        if self.coordinates is not None:
+            clone.coordinates = dict(self.coordinates)
+        return clone
+
+    def induced_subgraph(self, keep: Iterable[Vertex]) -> "Graph":
+        """The subgraph ``G[S]`` induced by the vertex set ``keep``.
+
+        Vertices keep their original ids.  Unknown ids raise
+        :class:`VertexNotFoundError`.
+        """
+        keep_set = set(keep)
+        sub = Graph()
+        for v in keep_set:
+            if v not in self._adj:
+                raise VertexNotFoundError(v)
+            sub._adj[v] = {}
+        for v in keep_set:
+            nbrs = self._adj[v]
+            sub_nbrs = sub._adj[v]
+            for u, data in nbrs.items():
+                if u in keep_set:
+                    sub_nbrs[u] = data
+        sub._num_edges = sum(len(nbrs) for nbrs in sub._adj.values()) // 2
+        if self.coordinates is not None:
+            sub.coordinates = {
+                v: self.coordinates[v] for v in keep_set if v in self.coordinates
+            }
+        return sub
+
+    # ------------------------------------------------------------------
+    # dunder helpers
+    # ------------------------------------------------------------------
+    def __contains__(self, v: object) -> bool:
+        return v in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._adj)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(n={self.num_vertices}, m={self.num_edges})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __ne__(self, other: object) -> bool:
+        eq = self.__eq__(other)
+        return eq if eq is NotImplemented else not eq
+
+    __hash__ = None  # type: ignore[assignment]  # mutable container

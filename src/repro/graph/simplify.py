@@ -1,0 +1,97 @@
+"""Count-preserving graph simplification.
+
+Real road networks are full of degree-2 chains (curved roads sampled as
+many tiny segments).  Contracting them is standard preprocessing: it
+shrinks DIMACS graphs by 30-60% before index construction while keeping
+every junction-to-junction query exact — the contracted graph is an
+SPC-Graph (Definition 4.3) of the original over the surviving vertices.
+
+Contraction of a degree-2 vertex ``x`` with neighbours ``u, v`` replaces
+its two edges by a shortcut ``(u, v)`` of combined length and multiplied
+count weight, merged by the usual ``addEdge`` rule; rings collapse
+gracefully because dominated (longer) parallels are dropped and equal
+parallels merge counts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Tuple
+
+from repro.graph.graph import Graph
+from repro.graph.spc_graph import add_shortcut
+from repro.types import Vertex
+
+
+def contract_degree_two(
+    graph: Graph, *, keep: Iterable[Vertex] = ()
+) -> Tuple[Graph, Dict[Vertex, Tuple[Vertex, Vertex]]]:
+    """Contract all degree-2 chains; returns ``(simplified, removed)``.
+
+    ``keep`` vertices are never contracted (query endpoints, POIs).
+    ``removed`` maps each contracted vertex to the two neighbours it
+    had at removal time — enough to locate it on the surviving fabric.
+
+    The result preserves shortest distances *and counts* between all
+    surviving vertices.  Queries touching removed vertices must be
+    answered on the original graph.
+    """
+    result = graph.copy()
+    keep_set = set(keep)
+    removed: Dict[Vertex, Tuple[Vertex, Vertex]] = {}
+
+    queue = deque(
+        v
+        for v in result.vertices()
+        if result.degree(v) == 2 and v not in keep_set
+    )
+    while queue:
+        x = queue.popleft()
+        if (
+            not result.has_vertex(x)
+            or x in keep_set
+            or result.degree(x) != 2
+        ):
+            continue
+        (u, (w1, c1)), (v, (w2, c2)) = sorted(result.adj(x).items())
+        result.remove_vertex(x)
+        removed[x] = (u, v)
+        add_shortcut(result, u, v, w1 + w2, c1 * c2)
+        for endpoint in (u, v):
+            if (
+                result.has_vertex(endpoint)
+                and result.degree(endpoint) == 2
+                and endpoint not in keep_set
+            ):
+                queue.append(endpoint)
+    return result, removed
+
+
+def prune_degree_one(
+    graph: Graph, *, keep: Iterable[Vertex] = ()
+) -> Tuple[Graph, List[Vertex]]:
+    """Iteratively strip dangling degree-1 vertices (dead-end spurs).
+
+    Returns ``(pruned, removed_order)``.  Queries between surviving
+    vertices are unaffected — a dead end can only be a path *endpoint*,
+    never an intermediate.
+    """
+    result = graph.copy()
+    keep_set = set(keep)
+    removed: List[Vertex] = []
+    queue = deque(
+        v
+        for v in result.vertices()
+        if result.degree(v) <= 1 and v not in keep_set
+    )
+    while queue:
+        x = queue.popleft()
+        if not result.has_vertex(x) or x in keep_set or result.degree(x) > 1:
+            continue
+        neighbours = list(result.adj(x))
+        result.remove_vertex(x)
+        removed.append(x)
+        for y in neighbours:
+            if result.degree(y) <= 1 and y not in keep_set:
+                queue.append(y)
+    return result, removed

@@ -1,0 +1,89 @@
+"""SPC-Graph helpers: count-preserving shortcuts (paper Definition 4.3).
+
+An SPC-Graph of ``G`` is a graph over a vertex subset whose pairwise
+shortest distances *and* shortest path counts match ``G``.  The key
+primitive is :func:`add_shortcut` — the paper's ``addEdge`` procedure
+(Algorithm 4, lines 8-14): inserting a shortcut either creates the edge,
+replaces a longer edge, or *merges* path counts into an equally long one.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Optional, Tuple
+
+from repro.graph.graph import Graph
+from repro.types import Vertex, Weight
+
+
+def add_shortcut(
+    graph: Graph, u: Vertex, v: Vertex, distance: Weight, count: int
+) -> None:
+    """Insert a shortcut ``(u, v)`` with the paper's merge semantics.
+
+    * no edge yet, or ``distance`` is shorter -> set ``(distance, count)``;
+    * equal distance -> add ``count`` to the existing count weight;
+    * longer distance -> no-op (the shortcut is dominated).
+    """
+    if count == 0:
+        return
+    adj_u = graph.adj(u)
+    existing = adj_u.get(v)
+    if existing is None or distance < existing[0]:
+        graph.add_edge(u, v, distance, count)
+    elif distance == existing[0]:
+        graph.add_edge(u, v, distance, existing[1] + count)
+
+
+def union_with_shortcuts(
+    base: Graph,
+    shortcuts: Iterable[Tuple[Vertex, Vertex, Weight, int]],
+) -> Graph:
+    """Copy ``base`` and merge every ``(u, v, dist, count)`` shortcut in."""
+    result = base.copy()
+    for u, v, dist, count in shortcuts:
+        add_shortcut(result, u, v, dist, count)
+    return result
+
+
+def is_spc_graph_of(
+    candidate: Graph,
+    original: Graph,
+    sample_pairs: Optional[Iterable[Tuple[Vertex, Vertex]]] = None,
+) -> bool:
+    """Check Definition 4.3: ``candidate`` preserves distances and counts.
+
+    Compares the shortest distance and shortest path count of vertex
+    pairs of ``candidate`` against ``original``.  By default all pairs
+    are checked (quadratic — intended for tests and small graphs); pass
+    ``sample_pairs`` to restrict the check.
+    """
+    # Imported here to avoid a cycle: repro.search depends on repro.graph.
+    from repro.search.dijkstra import ssspc
+
+    vertices = sorted(candidate.vertices())
+    if any(not original.has_vertex(v) for v in vertices):
+        return False
+
+    if sample_pairs is None:
+        pairs: Iterable[Tuple[Vertex, Vertex]] = combinations(vertices, 2)
+        sources = vertices
+    else:
+        pairs = list(sample_pairs)
+        sources = sorted({u for u, _ in pairs})
+
+    per_source = {u: [] for u in sources}
+    for u, v in pairs:
+        if u not in per_source:
+            per_source[u] = []
+        per_source[u].append(v)
+
+    for u, targets in per_source.items():
+        dist_cand, cnt_cand = ssspc(candidate, u)
+        dist_orig, cnt_orig = ssspc(original, u)
+        for v in targets:
+            if dist_cand.get(v) != dist_orig.get(v):
+                return False
+            if cnt_cand.get(v, 0) != cnt_orig.get(v, 0):
+                return False
+    return True

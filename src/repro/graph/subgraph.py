@@ -1,0 +1,56 @@
+"""Border vertices and boundary graphs (paper Definition 4.4).
+
+Given a vertex set ``L`` of ``G``:
+
+* the *border vertices* ``B`` are the vertices of ``L`` with at least one
+  edge leaving ``L``;
+* the *boundary graph* ``BG = G \\ G[L]`` keeps every edge of ``G`` except
+  those with both endpoints inside ``L``, and drops vertices isolated by
+  that removal.
+
+Outer-Only shortest paths between vertices of ``L`` (paths whose interior
+lies entirely outside ``L``) are exactly shortest paths of the boundary
+graph — the fact Algorithm 4 builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+from repro.graph.graph import Graph
+from repro.types import Vertex
+
+
+def border_vertices(graph: Graph, part: Iterable[Vertex]) -> List[Vertex]:
+    """Vertices of ``part`` with a neighbour outside ``part``, sorted."""
+    part_set = set(part)
+    border = [
+        v
+        for v in part_set
+        if any(u not in part_set for u in graph.adj(v))
+    ]
+    return sorted(border)
+
+
+def boundary_graph(graph: Graph, part: Iterable[Vertex]) -> Graph:
+    """The boundary graph ``G \\ G[part]``.
+
+    Keeps every edge with at most one endpoint in ``part`` and drops
+    vertices left isolated.  Interior vertices of ``part`` therefore
+    disappear, while its border vertices remain as terminals.
+    """
+    part_set: Set[Vertex] = set(part)
+    bg = Graph()
+    for u, v, w, c in graph.edges():
+        if u in part_set and v in part_set:
+            continue
+        bg.add_edge(u, v, w, c)
+    return bg
+
+
+def crossing_edges(graph: Graph, part: Iterable[Vertex]):
+    """Edges with exactly one endpoint in ``part``, as an iterator."""
+    part_set = set(part)
+    for u, v, w, c in graph.edges():
+        if (u in part_set) != (v in part_set):
+            yield u, v, w, c

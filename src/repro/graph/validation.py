@@ -1,0 +1,55 @@
+"""Structural invariants for graphs used by the indexes.
+
+:func:`validate_graph` raises :class:`~repro.exceptions.GraphError` with a
+precise message on the first violated invariant; :func:`check_graph`
+returns the list of problems instead (handy in tests and data pipelines).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.exceptions import GraphError
+from repro.graph.graph import Graph
+
+
+def check_graph(graph: Graph) -> List[str]:
+    """Collect invariant violations; empty list means the graph is sound.
+
+    Checks: adjacency symmetry, no self-loops, positive distance weights,
+    count weights >= 1, and an accurate cached edge count.
+    """
+    problems: List[str] = []
+    seen_edges = 0
+    for v in graph.vertices():
+        for u, (w, c) in graph.adj(v).items():
+            if u == v:
+                problems.append(f"self-loop on vertex {v}")
+                continue
+            if not graph.has_vertex(u):
+                problems.append(f"edge ({v}, {u}) points to unknown vertex {u}")
+                continue
+            back = graph.adj(u).get(v)
+            if back is None:
+                problems.append(f"edge ({v}, {u}) missing reverse direction")
+            elif back != (w, c):
+                problems.append(
+                    f"edge ({v}, {u}) asymmetric weights {(w, c)} != {back}"
+                )
+            if w <= 0:
+                problems.append(f"edge ({v}, {u}) has non-positive weight {w}")
+            if c < 1:
+                problems.append(f"edge ({v}, {u}) has count weight {c} < 1")
+            seen_edges += 1
+    if seen_edges % 2 == 0 and seen_edges // 2 != graph.num_edges:
+        problems.append(
+            f"cached edge count {graph.num_edges} != actual {seen_edges // 2}"
+        )
+    return problems
+
+
+def validate_graph(graph: Graph) -> None:
+    """Raise :class:`GraphError` on the first invariant violation."""
+    problems = check_graph(graph)
+    if problems:
+        raise GraphError(problems[0])

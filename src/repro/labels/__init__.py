@@ -1,0 +1,5 @@
+"""Hub-label storage shared by the TL, CTL, and CTLS indexes."""
+
+from repro.labels.store import LabelStore
+
+__all__ = ["LabelStore"]

@@ -1,0 +1,6 @@
+"""Balanced graph partitioning (BalancedCut of HC2L, paper §III-D)."""
+
+from repro.partition.balanced_cut import balanced_cut
+from repro.partition.grow import closed_neighborhood, grow_region
+
+__all__ = ["balanced_cut", "closed_neighborhood", "grow_region"]

@@ -1,0 +1,59 @@
+"""Region growing: the first phase of BalancedCut.
+
+From two distant endpoints, grow two regions of roughly ``beta * n``
+vertices each in Dijkstra (distance) order.  The second region refuses
+vertices adjacent to the first, so the regions are never directly
+adjacent and a vertex cut between them always exists in the remaining
+middle region.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Optional, Set
+
+from repro.graph.graph import Graph
+from repro.types import Vertex
+
+
+def grow_region(
+    graph: Graph,
+    source: Vertex,
+    target_size: int,
+    *,
+    forbidden: Optional[Set[Vertex]] = None,
+) -> Set[Vertex]:
+    """The ``target_size`` vertices nearest to ``source``.
+
+    Vertices in ``forbidden`` are neither entered nor traversed.  The
+    region is grown in settled-distance order, so it is connected.
+    Returns fewer vertices when the reachable area is smaller.
+    """
+    banned = forbidden or set()
+    if source in banned:
+        return set()
+    region: Set[Vertex] = set()
+    dist = {source: 0}
+    heap: list = [(0, source)]
+    while heap and len(region) < target_size:
+        d, v = heappop(heap)
+        if v in region:
+            continue
+        region.add(v)
+        for w, (weight, _count) in graph.adj(v).items():
+            if w in region or w in banned:
+                continue
+            nd = d + weight
+            old = dist.get(w)
+            if old is None or nd < old:
+                dist[w] = nd
+                heappush(heap, (nd, w))
+    return region
+
+
+def closed_neighborhood(graph: Graph, region: Set[Vertex]) -> Set[Vertex]:
+    """``region`` plus every vertex adjacent to it."""
+    result = set(region)
+    for v in region:
+        result.update(graph.adj(v))
+    return result

@@ -1,0 +1,34 @@
+"""Shortest-path searches: Dijkstra, SSSPC, oracles, diameter sweeps."""
+
+from repro.search.dijkstra import (
+    dijkstra,
+    shortest_path_tree_edges,
+    ssspc,
+    ssspc_multi_target,
+)
+from repro.search.fast import ssspc_csr, ssspc_csr_arrays
+from repro.search.pairwise import (
+    all_pairs_spc,
+    count_paths_bruteforce,
+    distance_query,
+    enumerate_shortest_paths,
+    spc_query,
+)
+from repro.search.sweep import approximate_diameter, distant_endpoints, farthest_vertex
+
+__all__ = [
+    "all_pairs_spc",
+    "approximate_diameter",
+    "count_paths_bruteforce",
+    "dijkstra",
+    "distance_query",
+    "distant_endpoints",
+    "enumerate_shortest_paths",
+    "farthest_vertex",
+    "shortest_path_tree_edges",
+    "spc_query",
+    "ssspc",
+    "ssspc_csr",
+    "ssspc_csr_arrays",
+    "ssspc_multi_target",
+]

@@ -1,0 +1,177 @@
+"""Dijkstra-style searches, including the paper's SSSPC procedure.
+
+``SSSPC`` (Algorithm 2, lines 12-27, with the Section IV-B count-weight
+update) is a single-source shortest path *and count* search:
+
+* when a strictly shorter path to ``w`` via ``v`` is found, the count is
+  reset to ``PC[v] * sigma(v, w)``;
+* when an equally short path is found, ``PC[v] * sigma(v, w)`` is added.
+
+Counts are exact Python integers.  All searches accept an ``excluded``
+vertex set, which the index constructions use to realise convex-path
+semantics (higher-ranked vertices are excluded) without copying graphs.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.exceptions import VertexNotFoundError
+from repro.graph.graph import Graph
+from repro.types import Vertex, Weight
+
+DistMap = Dict[Vertex, Weight]
+CountMap = Dict[Vertex, int]
+
+
+def dijkstra(
+    graph: Graph,
+    source: Vertex,
+    *,
+    excluded: Optional[Set[Vertex]] = None,
+    target: Optional[Vertex] = None,
+) -> DistMap:
+    """Shortest distances from ``source`` to every reachable vertex.
+
+    ``excluded`` vertices are treated as deleted (the source itself may
+    not be excluded).  With ``target`` set, the search stops as soon as
+    the target is settled.  Unreachable vertices are absent from the
+    result.
+    """
+    if not graph.has_vertex(source):
+        raise VertexNotFoundError(source)
+    banned = excluded or ()
+    dist: DistMap = {source: 0}
+    settled: Set[Vertex] = set()
+    heap: list = [(0, source)]
+    while heap:
+        d, v = heappop(heap)
+        if v in settled:
+            continue
+        settled.add(v)
+        if v == target:
+            break
+        for w, (weight, _count) in graph.adj(v).items():
+            if w in settled or w in banned:
+                continue
+            nd = d + weight
+            old = dist.get(w)
+            if old is None or nd < old:
+                dist[w] = nd
+                heappush(heap, (nd, w))
+    return dist
+
+
+def ssspc(
+    graph: Graph,
+    source: Vertex,
+    *,
+    excluded: Optional[Set[Vertex]] = None,
+    target: Optional[Vertex] = None,
+    terminal: Optional[Set[Vertex]] = None,
+) -> Tuple[DistMap, CountMap]:
+    """Single-source shortest path distances *and counts* (SSSPC).
+
+    Returns ``(dist, count)`` maps over reachable vertices; counts fold
+    in the count weights ``sigma`` of traversed edges, so running this on
+    an SPC-Graph yields the counts of the original graph.
+
+    ``terminal`` vertices may be *reached* but never *traversed*: their
+    outgoing edges are not relaxed.  This restricts the search to paths
+    whose interior avoids the terminal set — exactly the Outer-Only
+    path semantics of SPC-Graph construction (Definition 4.4ff), where
+    border vertices are admissible endpoints but not intermediates.
+    """
+    if not graph.has_vertex(source):
+        raise VertexNotFoundError(source)
+    banned = excluded or ()
+    frozen = terminal or ()
+    dist: DistMap = {source: 0}
+    count: CountMap = {source: 1}
+    settled: Set[Vertex] = set()
+    heap: list = [(0, source)]
+    while heap:
+        d, v = heappop(heap)
+        if v in settled:
+            continue
+        settled.add(v)
+        if v == target:
+            break
+        if v != source and v in frozen:
+            continue
+        pc_v = count[v]
+        for w, (weight, sigma) in graph.adj(v).items():
+            if w in settled or w in banned:
+                continue
+            nd = d + weight
+            old = dist.get(w)
+            if old is None or nd < old:
+                dist[w] = nd
+                count[w] = pc_v * sigma
+                heappush(heap, (nd, w))
+            elif nd == old:
+                count[w] += pc_v * sigma
+    return dist, count
+
+
+def ssspc_multi_target(
+    graph: Graph,
+    source: Vertex,
+    targets: Iterable[Vertex],
+    *,
+    excluded: Optional[Set[Vertex]] = None,
+) -> Tuple[DistMap, CountMap]:
+    """SSSPC that stops once every target is settled.
+
+    Useful when only a few labels are needed (dynamic maintenance,
+    shortcut computation on large boundary graphs).
+    """
+    if not graph.has_vertex(source):
+        raise VertexNotFoundError(source)
+    banned = excluded or ()
+    pending = set(targets)
+    pending.discard(source)
+    dist: DistMap = {source: 0}
+    count: CountMap = {source: 1}
+    settled: Set[Vertex] = set()
+    heap: list = [(0, source)]
+    while heap and (pending or not settled):
+        d, v = heappop(heap)
+        if v in settled:
+            continue
+        settled.add(v)
+        pending.discard(v)
+        if not pending and v != source:
+            # All targets settled; their counts are final.
+            break
+        pc_v = count[v]
+        for w, (weight, sigma) in graph.adj(v).items():
+            if w in settled or w in banned:
+                continue
+            nd = d + weight
+            old = dist.get(w)
+            if old is None or nd < old:
+                dist[w] = nd
+                count[w] = pc_v * sigma
+                heappush(heap, (nd, w))
+            elif nd == old:
+                count[w] += pc_v * sigma
+    return dist, count
+
+
+def shortest_path_tree_edges(
+    graph: Graph, source: Vertex
+) -> Dict[Vertex, list]:
+    """Predecessors on shortest paths: ``{v: [parents on some SP]}``.
+
+    The shortest-path DAG of ``source``; used by path enumeration and
+    the betweenness application.
+    """
+    dist = dijkstra(graph, source)
+    parents: Dict[Vertex, list] = {v: [] for v in dist}
+    for v, d in dist.items():
+        for u, (weight, _count) in graph.adj(v).items():
+            if u in dist and dist[u] + weight == d:
+                parents[v].append(u)
+    return parents

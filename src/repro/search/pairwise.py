@@ -1,0 +1,120 @@
+"""Pairwise shortest-path queries and exact test oracles.
+
+:func:`spc_query` is the reference (index-free) way to answer a single
+``Q(s, t)``; :func:`count_paths_bruteforce` enumerates simple paths and
+is the exponential-time oracle used by the test suite on small graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.exceptions import VertexNotFoundError
+from repro.graph.graph import Graph
+from repro.search.dijkstra import dijkstra, ssspc
+from repro.types import INF, QueryResult, Vertex
+
+
+def spc_query(graph: Graph, source: Vertex, target: Vertex) -> QueryResult:
+    """Answer ``Q(s, t)`` with a single target-stopping SSSPC run."""
+    if not graph.has_vertex(target):
+        raise VertexNotFoundError(target)
+    if source == target:
+        if not graph.has_vertex(source):
+            raise VertexNotFoundError(source)
+        return QueryResult(0, 1)
+    dist, count = ssspc(graph, source, target=target)
+    if target not in dist:
+        return QueryResult(INF, 0)
+    return QueryResult(dist[target], count[target])
+
+
+def distance_query(graph: Graph, source: Vertex, target: Vertex):
+    """Shortest distance only (``INF`` when disconnected)."""
+    if source == target:
+        if not graph.has_vertex(source):
+            raise VertexNotFoundError(source)
+        return 0
+    dist = dijkstra(graph, source, target=target)
+    return dist.get(target, INF)
+
+
+def all_pairs_spc(graph: Graph) -> Dict[Vertex, Tuple[dict, dict]]:
+    """``{v: (dist_map, count_map)}`` for every vertex — small graphs only."""
+    return {v: ssspc(graph, v) for v in graph.vertices()}
+
+
+def count_paths_bruteforce(
+    graph: Graph, source: Vertex, target: Vertex
+) -> QueryResult:
+    """Exact ``Q(s, t)`` by enumerating all simple paths (oracle).
+
+    Exponential time; intended for graphs of at most a few dozen
+    vertices in tests.  Honours count weights (a path's contribution is
+    the product of its edges' ``sigma`` values).
+    """
+    if not graph.has_vertex(source):
+        raise VertexNotFoundError(source)
+    if not graph.has_vertex(target):
+        raise VertexNotFoundError(target)
+    if source == target:
+        return QueryResult(0, 1)
+
+    best: List = [INF, 0]  # distance, count
+    on_path = {source}
+
+    def extend(v: Vertex, dist_so_far, count_so_far: int) -> None:
+        if dist_so_far > best[0]:
+            return
+        if v == target:
+            if dist_so_far < best[0]:
+                best[0] = dist_so_far
+                best[1] = count_so_far
+            elif dist_so_far == best[0]:
+                best[1] += count_so_far
+            return
+        for u, (weight, sigma) in graph.adj(v).items():
+            if u in on_path:
+                continue
+            on_path.add(u)
+            extend(u, dist_so_far + weight, count_so_far * sigma)
+            on_path.discard(u)
+
+    extend(source, 0, 1)
+    if best[1] == 0:
+        return QueryResult(INF, 0)
+    return QueryResult(best[0], best[1])
+
+
+def enumerate_shortest_paths(
+    graph: Graph,
+    source: Vertex,
+    target: Vertex,
+    limit: Optional[int] = None,
+) -> Iterator[List[Vertex]]:
+    """Yield the vertex sequences of shortest ``s -> t`` paths.
+
+    Walks the shortest-path DAG backwards from ``target``.  Note that a
+    path traversing an edge with ``sigma > 1`` is yielded once even
+    though it represents several original-graph paths.
+    """
+    dist = dijkstra(graph, source)
+    if target not in dist:
+        return
+    yielded = 0
+
+    def backtrack(v: Vertex, suffix: List[Vertex]) -> Iterator[List[Vertex]]:
+        if v == source:
+            yield [source, *reversed(suffix)]
+            return
+        for u, (weight, _sigma) in graph.adj(v).items():
+            if u in dist and dist[u] + weight == dist[v]:
+                suffix.append(v)
+                yield from backtrack(u, suffix)
+                suffix.pop()
+
+    for path in backtrack(target, []):
+        yield path
+        yielded += 1
+        if limit is not None and yielded >= limit:
+            return

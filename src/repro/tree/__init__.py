@@ -1,0 +1,6 @@
+"""Cut tree structure and constant-time LCA."""
+
+from repro.tree.cut_tree import CutTree, TreeNode
+from repro.tree.lca import LCATable
+
+__all__ = ["CutTree", "LCATable", "TreeNode"]

@@ -1,0 +1,235 @@
+"""The cut tree (paper Definition 3.2) shared by CTL and CTLS indexes.
+
+A cut tree is a rooted binary tree whose nodes are disjoint vertex sets
+covering ``V``; every node is a vertex cut separating its left and right
+subtrees (within the subtree-induced subgraph for CTL, globally for
+shortest paths in the GSP-cut tree of CTLS).
+
+Vertex ranking (paper §III-B): inside a node, *smaller id = higher
+rank*; across nodes, ancestors outrank descendants.  Every vertex ``v``
+has an *ancestor vertex list* ``A(v)`` — all vertices of strict ancestor
+nodes, plus same-node vertices with id <= v — laid out in a canonical
+order (root block first, ascending id within each node).  Two vertices'
+lists agree position-by-position on their common prefix, which is what
+makes the label arrays of :mod:`repro.labels` directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import IndexBuildError
+from repro.tree.lca import LCATable
+from repro.types import Vertex
+
+
+@dataclass
+class TreeNode:
+    """One node of a cut tree: a set of graph vertices."""
+
+    index: int
+    vertices: Tuple[Vertex, ...]  # sorted ascending = highest rank first
+    parent: int  # -1 for the root
+    children: List[int] = field(default_factory=list)
+    depth: int = 0
+    #: Total number of ancestor vertices up to and including this node's
+    #: block (filled by ``finalize``).
+    block_end: int = 0
+
+    @property
+    def size(self) -> int:
+        """Number of vertices stored in this tree node."""
+        return len(self.vertices)
+
+    @property
+    def block_start(self) -> int:
+        """Offset of this node's label block (``block_end - size``)."""
+        return self.block_end - len(self.vertices)
+
+
+class CutTree:
+    """A cut tree under construction and its finalized query structures."""
+
+    def __init__(self) -> None:
+        self.nodes: List[TreeNode] = []
+        self.node_of_vertex: Dict[Vertex, int] = {}
+        self._lca: Optional[LCATable] = None
+        #: Position of each vertex inside its node's ascending-id order.
+        self._rank_in_node: Dict[Vertex, int] = {}
+        # Flat query-time arrays, filled by ``finalize``.
+        self._block_start: List[int] = []
+        self._block_end: List[int] = []
+        self._label_len: Dict[Vertex, int] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, vertices: Sequence[Vertex], parent: int = -1) -> int:
+        """Append a tree node holding ``vertices``; returns its index."""
+        if not vertices:
+            raise IndexBuildError("a tree node must contain at least one vertex")
+        ordered = tuple(sorted(vertices))
+        index = len(self.nodes)
+        node = TreeNode(index=index, vertices=ordered, parent=parent)
+        if parent >= 0:
+            parent_node = self.nodes[parent]
+            if len(parent_node.children) >= 2:
+                raise IndexBuildError(
+                    f"node {parent} already has two children (binary tree)"
+                )
+            parent_node.children.append(index)
+            node.depth = parent_node.depth + 1
+        self.nodes.append(node)
+        for position, v in enumerate(ordered):
+            if v in self.node_of_vertex:
+                raise IndexBuildError(f"vertex {v} assigned to two tree nodes")
+            self.node_of_vertex[v] = index
+            self._rank_in_node[v] = position
+        return index
+
+    def finalize(self) -> None:
+        """Compute depths, label-block offsets, and the LCA table."""
+        for node in self.nodes:
+            if node.parent >= 0:
+                parent = self.nodes[node.parent]
+                node.depth = parent.depth + 1
+                node.block_end = parent.block_end + node.size
+            else:
+                node.depth = 0
+                node.block_end = node.size
+        self._lca = LCATable([node.parent for node in self.nodes])
+        self._block_start = [node.block_start for node in self.nodes]
+        self._block_end = [node.block_end for node in self.nodes]
+        self._label_len = {
+            v: self._block_start[idx] + self._rank_in_node[v] + 1
+            for v, idx in self.node_of_vertex.items()
+        }
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of tree nodes."""
+        return len(self.nodes)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of graph vertices covered by the tree."""
+        return len(self.node_of_vertex)
+
+    @property
+    def height(self) -> int:
+        """Maximum number of ancestor vertices of any vertex (paper ``h``)."""
+        return max((node.block_end for node in self.nodes), default=0)
+
+    @property
+    def width(self) -> int:
+        """Maximum tree-node size (paper ``w``)."""
+        return max((node.size for node in self.nodes), default=0)
+
+    def node(self, index: int) -> TreeNode:
+        """The tree node with the given index."""
+        return self.nodes[index]
+
+    def node_of(self, v: Vertex) -> TreeNode:
+        """The tree node containing graph vertex ``v`` (``X(v)``)."""
+        return self.nodes[self.node_of_vertex[v]]
+
+    def rank_in_node(self, v: Vertex) -> int:
+        """Position of ``v`` in its node's ascending-id order."""
+        return self._rank_in_node[v]
+
+    def label_length(self, v: Vertex) -> int:
+        """``|A(v)|`` — number of ancestor vertices of ``v`` (incl. itself)."""
+        node = self.node_of(v)
+        return node.block_start + self._rank_in_node[v] + 1
+
+    def ancestors(self, index: int) -> Iterator[TreeNode]:
+        """Nodes from the root down to ``index`` (inclusive)."""
+        chain = []
+        at: Optional[int] = index
+        while at is not None and at >= 0:
+            chain.append(self.nodes[at])
+            at = self.nodes[at].parent if self.nodes[at].parent >= 0 else None
+        return iter(reversed(chain))
+
+    def ancestor_vertices(self, v: Vertex) -> List[Vertex]:
+        """``A(v)`` in canonical label order (root block ... v itself)."""
+        result: List[Vertex] = []
+        own = self.node_of_vertex[v]
+        for node in self.ancestors(own):
+            if node.index == own:
+                result.extend(node.vertices[: self._rank_in_node[v] + 1])
+            else:
+                result.extend(node.vertices)
+        return result
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def lca_node(self, u: Vertex, v: Vertex) -> TreeNode:
+        """Lowest common ancestor node of ``X(u)`` and ``X(v)``."""
+        if self._lca is None:
+            raise IndexBuildError("CutTree.finalize() has not been called")
+        a = self.node_of_vertex[u]
+        b = self.node_of_vertex[v]
+        return self.nodes[self._lca.lca(a, b)]
+
+    def common_prefix_length(self, u: Vertex, v: Vertex) -> int:
+        """Length of the shared prefix of ``A(u)`` and ``A(v)``.
+
+        This is exactly the number of label positions CTL-Query scans:
+        all vertices of common ancestor nodes, truncated within a shared
+        node to ids ``<= min(u, v)``.
+        """
+        node_u = self.node_of_vertex[u]
+        node_v = self.node_of_vertex[v]
+        label_len = self._label_len
+        if node_u == node_v:
+            len_u = label_len[u]
+            len_v = label_len[v]
+            return len_u if len_u < len_v else len_v
+        lca_index = self._lca.lca(node_u, node_v)
+        if lca_index == node_u:
+            return label_len[u]
+        if lca_index == node_v:
+            return label_len[v]
+        return self._block_end[lca_index]
+
+    def lca_block_range(self, u: Vertex, v: Vertex) -> "tuple[int, int]":
+        """Label positions ``[start, end)`` of the LCA node's block.
+
+        The range CTLS-Query scans: the LCA node's whole block, truncated
+        at a query vertex's own position when its node *is* the LCA.
+        """
+        node_u = self.node_of_vertex[u]
+        node_v = self.node_of_vertex[v]
+        label_len = self._label_len
+        if node_u == node_v:
+            len_u = label_len[u]
+            len_v = label_len[v]
+            end = len_u if len_u < len_v else len_v
+            return self._block_start[node_u], end
+        lca_index = self._lca.lca(node_u, node_v)
+        if lca_index == node_u:
+            return self._block_start[lca_index], label_len[u]
+        if lca_index == node_v:
+            return self._block_start[lca_index], label_len[v]
+        return self._block_start[lca_index], self._block_end[lca_index]
+
+    def validate(self) -> None:
+        """Cheap structural sanity checks; raises ``IndexBuildError``."""
+        for node in self.nodes:
+            if len(node.children) > 2:
+                raise IndexBuildError(f"node {node.index} has >2 children")
+            for child in node.children:
+                if not 0 <= child < len(self.nodes):
+                    raise IndexBuildError(
+                        f"node {node.index} references unknown child {child}"
+                    )
+                if self.nodes[child].parent != node.index:
+                    raise IndexBuildError(
+                        f"child {child} does not point back to {node.index}"
+                    )

@@ -1,0 +1,101 @@
+"""Constant-time lowest common ancestor queries.
+
+Euler tour + sparse-table range-minimum over depths: ``O(n log n)``
+preprocessing, ``O(1)`` per query.  The paper's Lemma 3.4 assumes O(1)
+LCA (via bit tricks in [8]); this module provides the classic
+equivalent.  The sparse table is built with numpy but queried through
+plain Python lists — per-query numpy scalar indexing would cost more
+than the whole label scan it serves.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+class LCATable:
+    """LCA over a static rooted tree (or forest) given as a parent array.
+
+    Args:
+        parents: ``parents[i]`` is the parent index of node ``i``; roots
+            use ``-1``.  Any node order is accepted.
+
+    For forests, queries across different trees return a root, which is
+    not a meaningful ancestor — callers are expected to query within
+    one tree (all index trees here are single-rooted).
+    """
+
+    def __init__(self, parents: Sequence[int]) -> None:
+        n = len(parents)
+        children: List[List[int]] = [[] for _ in range(n)]
+        roots: List[int] = []
+        for i, p in enumerate(parents):
+            if p < 0:
+                roots.append(i)
+            else:
+                children[p].append(i)
+
+        self.depth = [0] * n
+        euler: List[int] = []
+        first = [-1] * n
+        # Iterative Euler tour (recursion would overflow on path-like trees).
+        for root in roots:
+            stack = [(root, iter(children[root]))]
+            self.depth[root] = 0
+            first[root] = len(euler)
+            euler.append(root)
+            while stack:
+                node, it = stack[-1]
+                child = next(it, None)
+                if child is None:
+                    stack.pop()
+                    if stack:
+                        euler.append(stack[-1][0])
+                    continue
+                self.depth[child] = self.depth[node] + 1
+                first[child] = len(euler)
+                euler.append(child)
+                stack.append((child, iter(children[child])))
+
+        self._first = first
+        self._euler = euler
+        depths = np.asarray([self.depth[v] for v in euler], dtype=np.int64)
+
+        # Sparse table of (depth << 32 | euler position): np.minimum on
+        # the packed value picks the shallower node.
+        m = len(euler)
+        levels = max(1, m.bit_length())
+        packed = depths << 32 | np.arange(m, dtype=np.int64)
+        table_np = [packed]
+        for k in range(1, levels):
+            span = 1 << k
+            half = span >> 1
+            if span > m:
+                break
+            prev = table_np[k - 1]
+            table_np.append(
+                np.minimum(prev[: m - span + 1], prev[half: m - span + 1 + half])
+            )
+        # Python lists for fast scalar access at query time.
+        self._table: List[List[int]] = [row.tolist() for row in table_np]
+
+    def lca(self, a: int, b: int) -> int:
+        """The lowest common ancestor of nodes ``a`` and ``b``."""
+        if a == b:
+            return a
+        i = self._first[a]
+        j = self._first[b]
+        if i > j:
+            i, j = j, i
+        k = (j - i + 1).bit_length() - 1
+        row = self._table[k]
+        left = row[i]
+        right = row[j - (1 << k) + 1]
+        best = left if left < right else right
+        return self._euler[best & 0xFFFFFFFF]
+
+    def is_ancestor(self, ancestor: int, node: int) -> bool:
+        """Whether ``ancestor`` lies on the root path of ``node``."""
+        return self.lca(ancestor, node) == ancestor

@@ -1,0 +1,85 @@
+"""Shared value types for the :mod:`repro` library.
+
+The library works on undirected road networks with positive integer (or
+float) edge weights.  Path *counts* are exact Python integers throughout:
+unit-weight grids produce combinatorially large counts that would silently
+overflow fixed-width integers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+#: Vertex identifier.  Vertices are dense integers ``0..n-1``.
+Vertex = int
+
+#: Edge weight (distance).  Positive; DIMACS road networks use integers.
+Weight = Union[int, float]
+
+#: An undirected edge with a weight, as ``(u, v, weight)``.
+WeightedEdge = Tuple[int, int, Weight]
+
+#: Sentinel distance for "unreachable".
+INF: float = math.inf
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Answer to a shortest path counting query ``Q(s, t)``.
+
+    Attributes:
+        distance: shortest path distance ``sd(s, t)``; ``INF`` when the
+            two vertices are disconnected.
+        count: number of distinct shortest paths ``spc(s, t)``; ``0`` when
+            disconnected.  ``Q(v, v)`` is ``(0, 1)`` by convention.
+    """
+
+    distance: Weight
+    count: int
+
+    def __iter__(self):
+        """Allow ``dist, count = index.query(s, t)`` tuple unpacking."""
+        yield self.distance
+        yield self.count
+
+    @property
+    def connected(self) -> bool:
+        """Whether a path between the query vertices exists."""
+        return self.count > 0
+
+
+@dataclass(frozen=True)
+class QueryStats:
+    """A query result enriched with work counters (Exp-2, Fig. 9)."""
+
+    result: QueryResult
+    visited_labels: int
+
+    def __iter__(self):
+        yield self.result
+        yield self.visited_labels
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A vertex cut partition ``(L, C, R)`` of a graph.
+
+    ``C`` separates ``L`` from ``R``; the three parts are disjoint and
+    their union is the full vertex set of the partitioned graph.
+    """
+
+    left: Tuple[int, ...]
+    cut: Tuple[int, ...]
+    right: Tuple[int, ...]
+
+    def __iter__(self):
+        yield self.left
+        yield self.cut
+        yield self.right
+
+    @property
+    def is_degenerate(self) -> bool:
+        """True when no split was found and the cut swallowed every vertex."""
+        return not self.left and not self.right

@@ -1,0 +1,121 @@
+"""Tests for betweenness centrality applications."""
+
+import itertools
+
+import pytest
+
+from repro.apps.betweenness import (
+    betweenness_exact,
+    betweenness_sampled,
+    pair_dependency,
+)
+from repro.core.ctls import CTLSIndex
+from repro.graph.generators import grid_graph, path_graph, star_graph
+from repro.graph.graph import Graph
+
+
+class TestExactBrandes:
+    def test_path_center_dominates(self):
+        g = path_graph(5)
+        bc = betweenness_exact(g)
+        # Middle vertex lies on all 2*... pairs: positions 1,2,3 carry load.
+        assert bc[2] > bc[1] > bc[0]
+        assert bc[0] == 0.0
+
+    def test_path_values_exact(self):
+        g = path_graph(4)
+        bc = betweenness_exact(g)
+        # Vertex 1 is on paths (0,2), (0,3): 2 pairs.
+        assert bc[1] == 2.0
+        assert bc[2] == 2.0
+
+    def test_star_center(self):
+        g = star_graph(4)
+        bc = betweenness_exact(g)
+        assert bc[0] == 6.0  # C(4,2) leaf pairs
+        assert all(bc[leaf] == 0.0 for leaf in range(1, 5))
+
+    def test_tie_splitting_on_diamond(self, diamond):
+        bc = betweenness_exact(diamond)
+        # Pair (0,3) has two shortest paths, one through each middle.
+        assert bc[1] == pytest.approx(0.5)
+        assert bc[2] == pytest.approx(0.5)
+
+    def test_normalized(self):
+        g = path_graph(4)
+        bc = betweenness_exact(g, normalized=True)
+        assert bc[1] == pytest.approx(2.0 / 3.0)
+
+    def test_matches_definition_by_pair_dependency(self):
+        """Brandes equals the direct sum over pairs of dependencies."""
+        g = grid_graph(3, 3)
+        index = CTLSIndex.build(g)
+        bc = betweenness_exact(g)
+        for v in g.vertices():
+            direct = sum(
+                pair_dependency(index, v, s, t)
+                for s, t in itertools.combinations(sorted(g.vertices()), 2)
+            )
+            assert bc[v] == pytest.approx(direct)
+
+
+class TestPairDependency:
+    def test_on_path(self):
+        g = path_graph(4)
+        index = CTLSIndex.build(g)
+        assert pair_dependency(index, 1, 0, 3) == 1.0
+        assert pair_dependency(index, 1, 2, 3) == 0.0
+
+    def test_endpoints_excluded(self, diamond):
+        index = CTLSIndex.build(diamond)
+        assert pair_dependency(index, 0, 0, 3) == 0.0
+
+    def test_fractional_on_diamond(self, diamond):
+        index = CTLSIndex.build(diamond)
+        assert pair_dependency(index, 1, 0, 3) == pytest.approx(0.5)
+
+    def test_disconnected_pair(self, two_components):
+        index = CTLSIndex.build(two_components)
+        assert pair_dependency(index, 1, 0, 3) == 0.0
+
+    def test_off_path_vertex(self):
+        g = grid_graph(3, 3)
+        index = CTLSIndex.build(g)
+        # Vertex 6 (bottom-left corner) is on no shortest 0->2 path.
+        assert pair_dependency(index, 6, 0, 2) == 0.0
+
+
+class TestSampledBetweenness:
+    def test_explicit_pairs_match_average(self):
+        g = path_graph(5)
+        index = CTLSIndex.build(g)
+        scores = betweenness_sampled(
+            index, vertices=[2], pairs=[(0, 4), (1, 3), (0, 1)]
+        )
+        assert scores[2] == pytest.approx(2 / 3)
+
+    def test_sampling_is_deterministic(self):
+        g = grid_graph(3, 3)
+        index = CTLSIndex.build(g)
+        a = betweenness_sampled(index, vertices=[4], num_samples=50, seed=1,
+                                population=sorted(g.vertices()))
+        b = betweenness_sampled(index, vertices=[4], num_samples=50, seed=1,
+                                population=sorted(g.vertices()))
+        assert a == b
+
+    def test_center_ranks_highest(self):
+        g = grid_graph(3, 3)
+        index = CTLSIndex.build(g)
+        scores = betweenness_sampled(
+            index,
+            vertices=sorted(g.vertices()),
+            num_samples=300,
+            seed=2,
+        )
+        assert max(scores, key=scores.get) == 4  # grid centre
+
+    def test_empty_pairs(self):
+        g = path_graph(3)
+        index = CTLSIndex.build(g)
+        scores = betweenness_sampled(index, vertices=[1], pairs=[(0, 0)])
+        assert scores == {1: 0.0}

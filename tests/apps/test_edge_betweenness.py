@@ -1,0 +1,52 @@
+"""Tests for edge dependency and edge betweenness estimation."""
+
+import pytest
+
+from repro.apps.betweenness import edge_betweenness_sampled, edge_dependency
+from repro.core.ctls import CTLSIndex
+from repro.graph.generators import grid_graph, path_graph
+
+
+class TestEdgeDependency:
+    def test_bridge_edge_carries_everything(self):
+        g = path_graph(4)
+        index = CTLSIndex.build(g)
+        assert edge_dependency(index, 1, 2, 1, 0, 3) == 1.0
+        assert edge_dependency(index, 2, 1, 1, 0, 3) == 1.0  # orientation-free
+
+    def test_off_path_edge(self):
+        g = grid_graph(3, 3)
+        index = CTLSIndex.build(g)
+        # Edge (6, 7) is on no shortest 0 -> 2 path (top row pair).
+        assert edge_dependency(index, 6, 7, 1, 0, 2) == 0.0
+
+    def test_fractional_split(self, diamond):
+        index = CTLSIndex.build(diamond)
+        # Two shortest 0->3 paths; edge (0, 1) carries one of them.
+        assert edge_dependency(index, 0, 1, 1, 0, 3) == pytest.approx(0.5)
+
+    def test_disconnected(self, two_components):
+        index = CTLSIndex.build(two_components)
+        assert edge_dependency(index, 0, 1, 5, 0, 3) == 0.0
+
+
+class TestEdgeBetweennessSampled:
+    def test_bridge_dominates(self):
+        g = path_graph(5)
+        index = CTLSIndex.build(g)
+        edges = [(u, v, w) for u, v, w, _c in g.edges()]
+        scores = edge_betweenness_sampled(
+            index, edges, population=list(range(5)), num_samples=300, seed=1
+        )
+        # The central edge (2, 3)/(1, 2) should outrank the end edges.
+        assert scores[(1, 2)] > scores[(0, 1)]
+        assert scores[(2, 3)] > scores[(3, 4)]
+
+    def test_deterministic(self):
+        g = grid_graph(3, 3)
+        index = CTLSIndex.build(g)
+        edges = [(u, v, w) for u, v, w, _c in g.edges()][:4]
+        kwargs = dict(population=sorted(g.vertices()), num_samples=50, seed=2)
+        assert edge_betweenness_sampled(index, edges, **kwargs) == (
+            edge_betweenness_sampled(index, edges, **kwargs)
+        )

@@ -1,0 +1,65 @@
+"""Tests for POI recommendation."""
+
+from repro.apps.poi import recommend_pois
+from repro.core.ctls import CTLSIndex
+from repro.graph.generators import grid_graph
+from repro.graph.graph import Graph
+
+
+def build_index(graph):
+    return CTLSIndex.build(graph)
+
+
+class TestRecommendPois:
+    def test_orders_by_distance(self, path5):
+        index = build_index(path5)
+        recs = recommend_pois(index, 0, [1, 2, 3, 4], k=3)
+        assert [r.vertex for r in recs] == [1, 2, 3]
+
+    def test_count_breaks_exact_ties(self):
+        # Vertex 0 is at distance 2 of both 3 (two routes) and 4 (one).
+        g = Graph.from_edges(
+            [(0, 1, 1), (0, 2, 1), (1, 3, 1), (2, 3, 1), (0, 5, 1), (5, 4, 1)]
+        )
+        index = build_index(g)
+        recs = recommend_pois(index, 0, [3, 4], k=2)
+        assert [r.vertex for r in recs] == [3, 4]
+        assert recs[0].route_count == 2
+
+    def test_unreachable_dropped(self, two_components):
+        index = build_index(two_components)
+        recs = recommend_pois(index, 0, [1, 2, 3], k=5)
+        assert [r.vertex for r in recs] == [1]
+
+    def test_source_excluded(self, path5):
+        index = build_index(path5)
+        recs = recommend_pois(index, 2, [2, 1, 3], k=5)
+        assert all(r.vertex != 2 for r in recs)
+
+    def test_k_zero(self, path5):
+        index = build_index(path5)
+        assert recommend_pois(index, 0, [1, 2], k=0) == []
+
+    def test_k_limits(self, path5):
+        index = build_index(path5)
+        recs = recommend_pois(index, 0, [1, 2, 3, 4], k=2)
+        assert len(recs) == 2
+
+    def test_tolerance_prefers_flexible_routes(self):
+        g = grid_graph(4, 4)
+        index = build_index(g)
+        # POI 5 (diagonal neighbour, distance 2, two routes) vs POI 2
+        # (straight, distance 2, one route): both distance 2.  POI 12
+        # is distance 3.
+        recs = recommend_pois(index, 0, [2, 5, 12], k=3, tolerance=0.6)
+        # Within the 0.6 band (distances 2..3.2), route count dominates:
+        # 0->5 has 2 routes, 0->12 has 1, 0->2 has 1.
+        assert recs[0].vertex == 5
+        assert recs[0].route_count == 2
+
+    def test_results_have_fields(self, path5):
+        index = build_index(path5)
+        rec = recommend_pois(index, 0, [3], k=1)[0]
+        assert rec.vertex == 3
+        assert rec.distance == 3
+        assert rec.route_count == 1

@@ -1,0 +1,39 @@
+"""Tests for the index-free online baseline."""
+
+import pytest
+
+from repro.baselines.online import OnlineSPC
+from repro.exceptions import IndexQueryError
+from repro.search.pairwise import spc_query
+from repro.types import INF
+
+
+class TestOnlineSPC:
+    def test_matches_oracle(self, diamond):
+        online = OnlineSPC.build(diamond)
+        assert tuple(online.query(0, 3)) == (2, 2)
+        assert tuple(online.query(1, 1)) == (0, 1)
+
+    def test_disconnected(self, two_components):
+        online = OnlineSPC.build(two_components)
+        result = online.query(0, 2)
+        assert result.distance == INF and result.count == 0
+
+    def test_stats_are_zero_index(self, diamond):
+        online = OnlineSPC.build(diamond)
+        st = online.stats()
+        assert st.size_bytes == 0
+        assert st.total_label_entries == 0
+
+    def test_visited_counts_settled(self, road_graph, road_pairs):
+        online = OnlineSPC.build(road_graph)
+        s, t = road_pairs[0]
+        stats = online.query_with_stats(s, t)
+        assert tuple(stats.result) == tuple(spc_query(road_graph, s, t))
+        if s != t:
+            assert stats.visited_labels >= 1
+
+    def test_unknown_vertex(self, diamond):
+        online = OnlineSPC.build(diamond)
+        with pytest.raises(IndexQueryError):
+            online.query(0, 99)

@@ -1,0 +1,78 @@
+"""Tests for the TL-Index baseline."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.baselines.tl import TLIndex
+from repro.exceptions import IndexQueryError
+from repro.graph.generators import cycle_graph, grid_graph
+from repro.graph.graph import Graph
+from repro.search.pairwise import spc_query
+from repro.types import INF
+
+
+class TestTLCorrectness:
+    def test_exhaustive_small_grid(self):
+        g = grid_graph(4, 3)
+        index = TLIndex.build(g)
+        for s, t in itertools.product(range(12), repeat=2):
+            assert tuple(index.query(s, t)) == tuple(spc_query(g, s, t))
+
+    def test_cycle(self):
+        g = cycle_graph(9)
+        index = TLIndex.build(g)
+        for s, t in itertools.product(range(9), repeat=2):
+            assert tuple(index.query(s, t)) == tuple(spc_query(g, s, t))
+
+    def test_road_network(self, road_graph, road_pairs):
+        index = TLIndex.build(road_graph)
+        for s, t in road_pairs:
+            assert tuple(index.query(s, t)) == tuple(
+                spc_query(road_graph, s, t)
+            )
+
+    def test_disconnected(self, two_components):
+        index = TLIndex.build(two_components)
+        result = index.query(0, 3)
+        assert result.distance == INF
+        assert result.count == 0
+        assert tuple(index.query(0, 1)) == (5, 1)
+
+    def test_same_vertex(self, diamond):
+        index = TLIndex.build(diamond)
+        assert tuple(index.query(2, 2)) == (0, 1)
+
+    def test_unknown_vertex(self, diamond):
+        index = TLIndex.build(diamond)
+        with pytest.raises(IndexQueryError):
+            index.query(0, 77)
+        with pytest.raises(IndexQueryError):
+            index.query(77, 77)
+
+
+class TestTLStats:
+    def test_stats_shape(self, road_graph):
+        index = TLIndex.build(road_graph)
+        st = index.stats()
+        assert st.num_vertices == road_graph.num_vertices
+        assert st.height >= 1
+        assert st.width >= 2
+        assert st.total_label_entries > road_graph.num_vertices
+        assert st.size_bytes == 8 * st.total_label_entries
+        assert index.build_stats.seconds > 0
+
+    def test_visited_labels_counts_prefix(self, road_graph, road_pairs):
+        index = TLIndex.build(road_graph)
+        for s, t in road_pairs[:20]:
+            if s == t:
+                continue
+            stats = index.query_with_stats(s, t)
+            assert stats.visited_labels >= 1
+            assert stats.visited_labels <= index.stats().height
+
+    def test_distance_and_count_helpers(self, diamond):
+        index = TLIndex.build(diamond)
+        assert index.distance(0, 3) == 2
+        assert index.count(0, 3) == 2

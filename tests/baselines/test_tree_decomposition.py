@@ -1,0 +1,86 @@
+"""Tests for minimum-degree elimination tree decomposition."""
+
+from repro.baselines.tree_decomposition import minimum_degree_elimination
+from repro.graph.generators import cycle_graph, grid_graph, path_graph
+from repro.graph.graph import Graph
+from repro.search.pairwise import spc_query
+
+
+class TestElimination:
+    def test_path_order_prefers_low_degree(self):
+        td = minimum_degree_elimination(path_graph(4))
+        # Degree-1 endpoints go first.
+        assert td.order[0] in (0, 3)
+        assert len(td.order) == 4
+        assert set(td.order) == {0, 1, 2, 3}
+
+    def test_bags_reference_later_vertices(self):
+        td = minimum_degree_elimination(grid_graph(3, 3))
+        for v, bag in td.bags.items():
+            for u, _w, _c in bag:
+                assert td.order_of[u] > td.order_of[v]
+
+    def test_single_root_for_connected(self):
+        td = minimum_degree_elimination(grid_graph(3, 3))
+        roots = [v for v in td.order if td.parent[v] is None]
+        assert len(roots) == 1
+        assert roots[0] == td.order[-1]
+
+    def test_depth_consistency(self):
+        td = minimum_degree_elimination(cycle_graph(10))
+        for v in td.order:
+            p = td.parent[v]
+            if p is None:
+                assert td.depth[v] == 0
+            else:
+                assert td.depth[v] == td.depth[p] + 1
+
+    def test_parent_is_first_removed_bag_neighbor(self):
+        td = minimum_degree_elimination(grid_graph(3, 3))
+        for v, bag in td.bags.items():
+            if not bag:
+                continue
+            expected = min((u for u, _w, _c in bag), key=td.order_of.__getitem__)
+            assert td.parent[v] == expected
+
+    def test_disconnected_graph_single_tree(self):
+        g = Graph.from_edges([(0, 1, 1), (2, 3, 1)])
+        td = minimum_degree_elimination(g)
+        roots = [v for v in td.order if td.parent[v] is None]
+        assert len(roots) == 1
+
+    def test_height_and_width(self):
+        td = minimum_degree_elimination(path_graph(10))
+        assert td.width == 2  # paths have treewidth 1
+        assert td.height >= 2
+
+    def test_children_map(self):
+        td = minimum_degree_elimination(path_graph(4))
+        children = td.children()
+        total_children = sum(len(c) for c in children.values())
+        assert total_children == 3  # n - 1 edges in the vertex tree
+
+
+class TestContractionPreservesCounts:
+    def test_shortcuts_preserve_spc(self, diamond):
+        # Eliminate on a copy manually: the bag edges of the first
+        # eliminated vertex must keep distances/counts intact between
+        # its neighbours.
+        td = minimum_degree_elimination(diamond)
+        first = td.order[0]
+        bag = td.bags[first]
+        # Reconstruct the contracted graph after removing `first`.
+        contracted = diamond.copy()
+        from repro.graph.spc_graph import add_shortcut
+
+        neighbours = bag
+        contracted.remove_vertex(first)
+        for i, (u, w_u, c_u) in enumerate(neighbours):
+            for u2, w_u2, c_u2 in neighbours[i + 1:]:
+                add_shortcut(contracted, u, u2, w_u + w_u2, c_u * c_u2)
+        for s in contracted.vertices():
+            for t in contracted.vertices():
+                if s < t:
+                    assert tuple(spc_query(contracted, s, t)) == tuple(
+                        spc_query(diamond, s, t)
+                    )

@@ -1,0 +1,88 @@
+"""Tests for index structure analysis."""
+
+import pytest
+
+from repro.bench.analysis import (
+    average_label_length,
+    label_length_histogram,
+    tree_balance,
+    tree_profile,
+)
+from repro.core.ctl import CTLIndex
+from repro.graph.generators import grid_graph, road_network
+from repro.tree.cut_tree import CutTree
+
+
+def perfect_tree():
+    tree = CutTree()
+    root = tree.add_node([0])
+    left = tree.add_node([1], parent=root)
+    right = tree.add_node([2], parent=root)
+    tree.add_node([3], parent=left)
+    tree.add_node([4], parent=left)
+    tree.add_node([5], parent=right)
+    tree.add_node([6], parent=right)
+    tree.finalize()
+    return tree
+
+
+def chain_tree():
+    tree = CutTree()
+    at = tree.add_node([0])
+    for v in range(1, 5):
+        at = tree.add_node([v], parent=at)
+    tree.finalize()
+    return tree
+
+
+class TestTreeBalance:
+    def test_perfect_tree_is_balanced(self):
+        assert tree_balance(perfect_tree()) == 1.0
+
+    def test_chain_is_unbalanced(self):
+        assert tree_balance(chain_tree()) == 0.0
+
+    def test_empty_tree(self):
+        assert tree_balance(CutTree()) == 1.0
+
+    def test_real_index_is_reasonably_balanced(self):
+        index = CTLIndex.build(road_network(400, seed=2))
+        balance = tree_balance(index.tree)
+        assert 0.0 < balance <= 1.0
+
+
+class TestTreeProfile:
+    def test_fields(self):
+        profile = tree_profile(perfect_tree())
+        assert profile.num_nodes == 7
+        assert profile.num_vertices == 7
+        assert profile.max_depth == 2
+        assert profile.avg_leaf_depth == 2.0
+        assert profile.avg_node_size == 1.0
+        assert profile.height == 3
+
+    def test_empty(self):
+        profile = tree_profile(CutTree())
+        assert profile.num_nodes == 0
+        assert profile.balance == 1.0
+
+
+class TestLabelHistogram:
+    def test_buckets(self):
+        lengths = {0: 3, 1: 27, 2: 26, 3: 51}
+        assert label_length_histogram(lengths, bucket=25) == {0: 1, 25: 2, 50: 1}
+
+    def test_accepts_lists(self):
+        lengths = {0: [1, 2, 3], 1: [1]}
+        hist = label_length_histogram(lengths, bucket=2)
+        assert hist == {0: 1, 2: 1}
+
+    def test_average(self):
+        assert average_label_length({0: 2, 1: 4}) == 3.0
+        assert average_label_length({}) == 0.0
+        assert average_label_length({0: [1, 1]}) == 2.0
+
+    def test_on_real_index(self):
+        index = CTLIndex.build(grid_graph(6, 6))
+        avg = average_label_length(index.labels.dist)
+        assert 1 <= avg <= index.stats().height

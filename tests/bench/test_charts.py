@@ -1,0 +1,55 @@
+"""Tests for plain-text chart rendering."""
+
+from repro.bench.charts import bar_chart, grouped_bar_chart, line_chart
+
+
+class TestBarChart:
+    def test_scales_to_peak(self):
+        out = bar_chart({"a": 10.0, "b": 5.0}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_empty(self):
+        assert bar_chart({}) == "(no data)"
+
+    def test_unit_suffix(self):
+        out = bar_chart({"x": 1.0}, unit="us")
+        assert "1.00us" in out
+
+
+class TestGroupedBarChart:
+    def test_groups_render(self):
+        out = grouped_bar_chart(
+            {"PWR": {"TL": 2.0, "CTLS": 1.0}, "NY": {"TL": 4.0, "CTLS": 2.0}}
+        )
+        assert "PWR:" in out and "NY:" in out
+        assert out.count("CTLS") == 2
+
+    def test_empty(self):
+        assert grouped_bar_chart({}) == "(no data)"
+
+
+class TestLineChart:
+    def test_renders_series(self):
+        out = line_chart(
+            ["Q1", "Q2", "Q3"],
+            {"TL": [3.0, 2.0, 1.0], "CTLS": [1.0, 2.0, 3.0]},
+            height=5,
+        )
+        assert "*=TL" in out
+        assert "o=CTLS" in out
+        assert "3.00" in out and "1.00" in out
+
+    def test_handles_missing_points(self):
+        out = line_chart(["a", "b"], {"s": [1.0, None]}, height=3)
+        assert "s" in out
+
+    def test_empty(self):
+        assert line_chart([], {}) == "(no data)"
+
+    def test_collision_marker(self):
+        out = line_chart(
+            ["a", "b"], {"x": [1.0, 2.0], "y": [1.0, 3.0]}, height=4
+        )
+        assert "+" in out  # overlapping first column

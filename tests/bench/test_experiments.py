@@ -1,0 +1,87 @@
+"""Tests for the experiment runners (small scale)."""
+
+import pytest
+
+from repro.bench.experiments import (
+    IndexCache,
+    exp1_query_time,
+    exp2_visited_labels,
+    exp3_query_distance,
+    exp4_construction,
+    exp5_index_size,
+)
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return IndexCache()
+
+
+DATASETS = ["PWR"]
+
+
+class TestIndexCache:
+    def test_caches_instances(self, cache):
+        a = cache.get("PWR", "CTL")
+        b = cache.get("PWR", "CTL")
+        assert a is b
+
+    def test_build_seconds_recorded(self, cache):
+        assert cache.build_seconds("PWR", "CTL") > 0
+
+    def test_unknown_algorithm(self, cache):
+        with pytest.raises(ValueError):
+            cache.get("PWR", "XXX")
+
+
+class TestExperimentRunners:
+    def test_exp1(self, cache):
+        rows = exp1_query_time(datasets=DATASETS, num_queries=100, cache=cache)
+        assert len(rows) == 3
+        by_alg = {r.algorithm: r for r in rows}
+        assert by_alg["TL"].speedup_over_tl == pytest.approx(1.0)
+        assert all(r.avg_query_us > 0 for r in rows)
+
+    def test_exp2(self, cache):
+        rows = exp2_visited_labels(datasets=DATASETS, num_queries=100, cache=cache)
+        by_alg = {r.algorithm: r for r in rows}
+        # Fig. 9 shape: TL visits the most labels, CTLS the fewest.
+        assert (
+            by_alg["TL"].avg_visited_labels
+            > by_alg["CTL"].avg_visited_labels
+            > by_alg["CTLS"].avg_visited_labels
+        )
+
+    def test_exp3(self, cache):
+        rows = exp3_query_distance(
+            datasets=DATASETS, per_bin=10, cache=cache
+        )
+        assert rows
+        assert {r.algorithm for r in rows} == {"TL", "CTL", "CTLS"}
+        assert all(1 <= r.bin_index <= 10 for r in rows)
+        assert all(r.num_pairs > 0 for r in rows)
+
+    def test_exp4(self):
+        rows = exp4_construction(
+            datasets=DATASETS, algorithms=("CTL", "CTLS", "CTLS*")
+        )
+        by_alg = {r.algorithm: r for r in rows}
+        assert by_alg["CTLS"].speedup_over_ctls == pytest.approx(1.0)
+        assert by_alg["CTLS*"].speedup_over_ctls > 0
+        assert by_alg["CTL"].speedup_over_ctls == 0.0
+        assert all(r.build_seconds > 0 for r in rows)
+        assert all(r.memory_estimate_bytes > 0 for r in rows)
+
+    def test_exp4_skip_basic_on_large(self):
+        rows = exp4_construction(
+            datasets=DATASETS, algorithms=("CTLS", "CTLS*"), skip_basic_above=10
+        )
+        algorithms = {r.algorithm for r in rows}
+        assert "CTLS" not in algorithms  # skipped (paper: OOM on USA)
+        assert "CTLS*" in algorithms
+
+    def test_exp5(self, cache):
+        rows = exp5_index_size(datasets=DATASETS, cache=cache)
+        by_alg = {r.algorithm: r for r in rows}
+        assert by_alg["TL"].tl_ratio == pytest.approx(1.0)
+        assert all(r.size_bytes > 0 for r in rows)

@@ -1,0 +1,44 @@
+"""Tests for measurement helpers."""
+
+import pytest
+
+from repro.bench.measure import (
+    average_query_seconds,
+    average_visited_labels,
+    geometric_mean,
+    run_queries,
+    timed,
+)
+from repro.core.ctls import CTLSIndex
+from repro.graph.generators import grid_graph
+
+
+@pytest.fixture(scope="module")
+def index():
+    return CTLSIndex.build(grid_graph(4, 4))
+
+
+class TestMeasure:
+    def test_run_queries_checksum(self, index):
+        checksum = run_queries(index, [(0, 15), (1, 14)])
+        assert checksum == run_queries(index, [(0, 15), (1, 14)])
+
+    def test_average_query_seconds(self, index):
+        avg = average_query_seconds(index, [(0, 15)] * 10)
+        assert avg > 0
+        assert average_query_seconds(index, []) == 0.0
+
+    def test_average_visited_labels(self, index):
+        avg = average_visited_labels(index, [(0, 15), (2, 13)])
+        assert avg > 0
+        assert average_visited_labels(index, []) == 0.0
+
+    def test_timed(self):
+        result, seconds = timed(sum, [1, 2, 3])
+        assert result == 6
+        assert seconds >= 0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([1, 0]) == 0.0

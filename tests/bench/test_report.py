@@ -1,0 +1,77 @@
+"""Tests for result rendering."""
+
+from repro.bench.experiments import (
+    ConstructionRow,
+    IndexSizeRow,
+    QueryTimeRow,
+    VisitedLabelsRow,
+)
+from repro.bench.report import (
+    format_table,
+    render_exp1,
+    render_exp2,
+    render_exp4,
+    render_exp5,
+)
+
+
+class TestFormatTable:
+    def test_text_alignment(self):
+        out = format_table(["a", "bbbb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "333" in lines[3]
+
+    def test_markdown(self):
+        out = format_table(["x"], [[1]], markdown=True)
+        assert out.splitlines()[0].startswith("| x")
+        assert out.splitlines()[1].startswith("|-")
+
+
+def _exp1_rows():
+    return [
+        QueryTimeRow("PWR", "TL", 10.0, 1.0),
+        QueryTimeRow("PWR", "CTL", 5.0, 2.0),
+        QueryTimeRow("PWR", "CTLS", 4.0, 2.5),
+    ]
+
+
+class TestRenderers:
+    def test_exp1(self):
+        out = render_exp1(_exp1_rows())
+        assert "PWR" in out
+        assert "2.50x" in out
+
+    def test_exp2(self):
+        rows = [
+            VisitedLabelsRow("PWR", "TL", 100.0),
+            VisitedLabelsRow("PWR", "CTL", 50.0),
+            VisitedLabelsRow("PWR", "CTLS", 25.0),
+        ]
+        out = render_exp2(rows)
+        assert "100.0" in out and "25.0" in out
+
+    def test_exp4(self):
+        rows = [
+            ConstructionRow("PWR", "CTLS", 10.0, 1_000_000, 1.0),
+            ConstructionRow("PWR", "CTLS*", 2.0, 900_000, 5.0),
+            ConstructionRow("PWR", "TL", 3.0, 800_000, 0.0),
+        ]
+        out = render_exp4(rows)
+        assert "5.00x" in out
+        assert out.count("PWR") == 3
+
+    def test_exp5(self):
+        rows = [
+            IndexSizeRow("PWR", "TL", 4_000_000, 1.0),
+            IndexSizeRow("PWR", "CTL", 1_000_000, 4.0),
+            IndexSizeRow("PWR", "CTLS", 2_000_000, 2.0),
+        ]
+        out = render_exp5(rows)
+        assert "4.00x" in out
+        assert "2.00x" in out
+
+    def test_missing_cells_dash(self):
+        out = render_exp2([VisitedLabelsRow("PWR", "TL", 1.0)])
+        assert "-" in out

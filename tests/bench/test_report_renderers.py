@@ -1,0 +1,39 @@
+"""Tests for the remaining report renderers (Table I, Exp-3)."""
+
+from repro.bench.experiments import DistanceBinRow
+from repro.bench.report import render_exp3, render_table1
+from repro.datasets.stats import DatasetRow
+
+
+class TestRenderTable1:
+    def test_contains_paper_sizes(self):
+        rows = [
+            DatasetRow("PWR", "Power Network", 1300, 2000, 5300, 8271),
+        ]
+        out = render_table1(rows)
+        assert "5,300" in out
+        assert "Power Network" in out
+        assert "3.08" in out  # avg degree
+
+    def test_markdown_mode(self):
+        rows = [DatasetRow("NY", "New York City", 10, 9, 100, 200)]
+        out = render_table1(rows, markdown=True)
+        assert out.splitlines()[0].startswith("| Name")
+
+
+class TestRenderExp3:
+    def test_rows_render_in_order(self):
+        rows = [
+            DistanceBinRow("PWR", "TL", 1, 1.0, 2.0, 100, 12.5),
+            DistanceBinRow("PWR", "TL", 2, 2.0, 4.0, 100, 10.0),
+            DistanceBinRow("PWR", "CTLS", 1, 1.0, 2.0, 100, 3.0),
+        ]
+        out = render_exp3(rows)
+        lines = out.splitlines()
+        assert "Q1" in lines[2]
+        assert "Q2" in lines[3]
+        assert "12.50" in out and "3.00" in out
+
+    def test_empty(self):
+        out = render_exp3([])
+        assert "Dataset" in out

@@ -1,0 +1,82 @@
+"""Tests for workload generators."""
+
+import pytest
+
+from repro.bench.workloads import (
+    distance_binned_queries,
+    geometric_bin_edges,
+    random_pairs,
+)
+from repro.exceptions import WorkloadError
+from repro.graph.generators import road_network
+from repro.graph.graph import Graph
+from repro.search.pairwise import distance_query
+
+
+class TestRandomPairs:
+    def test_count_and_determinism(self, small_grid):
+        pairs = random_pairs(small_grid, 50, seed=3)
+        assert len(pairs) == 50
+        assert pairs == random_pairs(small_grid, 50, seed=3)
+        assert all(s != t for s, t in pairs)
+
+    def test_allow_same(self, small_grid):
+        pairs = random_pairs(small_grid, 200, seed=3, distinct=False)
+        assert any(s == t for s, t in pairs)
+
+    def test_empty_graph(self):
+        with pytest.raises(WorkloadError):
+            random_pairs(Graph(), 5)
+
+    def test_single_vertex_distinct(self):
+        g = Graph()
+        g.add_vertex(0)
+        with pytest.raises(WorkloadError):
+            random_pairs(g, 5)
+
+
+class TestGeometricEdges:
+    def test_edges(self):
+        edges = geometric_bin_edges(1, 1024, bins=10)
+        assert len(edges) == 11
+        assert edges[0] == 1
+        assert edges[-1] == pytest.approx(1024)
+        ratios = [edges[i + 1] / edges[i] for i in range(10)]
+        assert all(r == pytest.approx(2.0) for r in ratios)
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            geometric_bin_edges(0, 10)
+        with pytest.raises(WorkloadError):
+            geometric_bin_edges(10, 10)
+
+
+class TestDistanceBinned:
+    def test_bins_respect_ranges(self):
+        g = road_network(400, seed=5)
+        groups = distance_binned_queries(g, per_bin=20, seed=1, max_sources=200)
+        assert len(groups) == 10
+        for group in groups:
+            assert group.low < group.high
+            for s, t in group.pairs:
+                d = distance_query(g, s, t)
+                assert group.low < d <= group.high
+
+    def test_bin_indices_are_one_based(self):
+        g = road_network(300, seed=5)
+        groups = distance_binned_queries(g, per_bin=5, seed=1, max_sources=60)
+        assert [g_.index for g_ in groups] == list(range(1, 11))
+
+    def test_deterministic(self):
+        g = road_network(300, seed=5)
+        a = distance_binned_queries(g, per_bin=10, seed=2, max_sources=50)
+        b = distance_binned_queries(g, per_bin=10, seed=2, max_sources=50)
+        assert a == b
+
+    def test_middle_bins_fill(self):
+        g = road_network(400, seed=5)
+        groups = distance_binned_queries(g, per_bin=15, seed=1, max_sources=300)
+        filled = [len(g_.pairs) for g_ in groups]
+        # The mid-range bins of a road network always have pairs.
+        assert max(filled) == 15
+        assert sum(1 for f in filled if f == 15) >= 5

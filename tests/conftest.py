@@ -1,0 +1,97 @@
+"""Shared fixtures: small reference graphs and session-built indexes."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.generators import (
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    power_grid_network,
+    road_network,
+)
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """A weighted triangle: two shortest 0-2 routes of distance 2."""
+    g = Graph()
+    g.add_edge(0, 1, 1)
+    g.add_edge(1, 2, 1)
+    g.add_edge(0, 2, 2)
+    return g
+
+
+@pytest.fixture
+def diamond() -> Graph:
+    """Two parallel length-2 routes between 0 and 3 (spc = 2)."""
+    g = Graph()
+    g.add_edge(0, 1, 1)
+    g.add_edge(0, 2, 1)
+    g.add_edge(1, 3, 1)
+    g.add_edge(2, 3, 1)
+    return g
+
+
+@pytest.fixture
+def two_components() -> Graph:
+    """Two disjoint edges: 0-1 and 2-3."""
+    g = Graph()
+    g.add_edge(0, 1, 5)
+    g.add_edge(2, 3, 7)
+    return g
+
+
+@pytest.fixture
+def small_grid() -> Graph:
+    """4x4 unit grid: maximal shortest-path multiplicity."""
+    return grid_graph(4, 4)
+
+
+@pytest.fixture
+def weighted_grid() -> Graph:
+    """5x5 grid with deterministic varied weights (some ties)."""
+    g = grid_graph(5, 5)
+    rng = random.Random(99)
+    out = Graph()
+    for u, v, _w, _c in g.edges():
+        out.add_edge(u, v, rng.choice((2, 3, 3, 4)))
+    return out
+
+
+@pytest.fixture(scope="session")
+def road_graph() -> Graph:
+    """A ~400-vertex road network used across index tests."""
+    return road_network(400, seed=3)
+
+
+@pytest.fixture(scope="session")
+def power_graph() -> Graph:
+    """A ~250-vertex power-grid network."""
+    return power_grid_network(250, seed=4)
+
+
+@pytest.fixture(scope="session")
+def road_pairs(road_graph):
+    """Deterministic random query pairs on ``road_graph``."""
+    rng = random.Random(7)
+    vertices = sorted(road_graph.vertices())
+    return [
+        (rng.choice(vertices), rng.choice(vertices)) for _ in range(200)
+    ]
+
+
+@pytest.fixture
+def path5() -> Graph:
+    """A 5-vertex unit path."""
+    return path_graph(5)
+
+
+@pytest.fixture
+def cycle6() -> Graph:
+    """A 6-vertex unit cycle (two shortest routes between antipodes)."""
+    return cycle_graph(6)

@@ -1,0 +1,118 @@
+"""Tests for the CTL-Index (Algorithms 1-2)."""
+
+import itertools
+
+import pytest
+
+from repro.core.ctl import CTLIndex
+from repro.exceptions import IndexQueryError
+from repro.graph.generators import cycle_graph, grid_graph, power_grid_network
+from repro.search.pairwise import spc_query
+from repro.types import INF
+
+
+class TestCTLCorrectness:
+    def test_exhaustive_small_grid(self):
+        g = grid_graph(4, 3)
+        index = CTLIndex.build(g)
+        for s, t in itertools.product(range(12), repeat=2):
+            assert tuple(index.query(s, t)) == tuple(spc_query(g, s, t))
+
+    def test_cycle(self):
+        g = cycle_graph(9)
+        index = CTLIndex.build(g)
+        for s, t in itertools.product(range(9), repeat=2):
+            assert tuple(index.query(s, t)) == tuple(spc_query(g, s, t))
+
+    def test_road_network(self, road_graph, road_pairs):
+        index = CTLIndex.build(road_graph)
+        for s, t in road_pairs:
+            assert tuple(index.query(s, t)) == tuple(
+                spc_query(road_graph, s, t)
+            )
+
+    def test_power_network(self, power_graph):
+        index = CTLIndex.build(power_graph)
+        vertices = sorted(power_graph.vertices())
+        for s in vertices[::17]:
+            for t in vertices[::29]:
+                assert tuple(index.query(s, t)) == tuple(
+                    spc_query(power_graph, s, t)
+                )
+
+    def test_disconnected(self, two_components):
+        index = CTLIndex.build(two_components)
+        result = index.query(0, 3)
+        assert result.distance == INF and result.count == 0
+        assert tuple(index.query(2, 3)) == (7, 1)
+
+    def test_same_vertex(self, diamond):
+        index = CTLIndex.build(diamond)
+        assert tuple(index.query(3, 3)) == (0, 1)
+
+    def test_unknown_vertex(self, diamond):
+        index = CTLIndex.build(diamond)
+        with pytest.raises(IndexQueryError):
+            index.query(0, 42)
+        with pytest.raises(IndexQueryError):
+            index.query(42, 42)
+
+    def test_beta_variations_stay_correct(self, weighted_grid):
+        for beta in (0.1, 0.2, 0.4):
+            index = CTLIndex.build(weighted_grid, beta=beta)
+            for s, t in itertools.product(range(0, 25, 3), repeat=2):
+                assert tuple(index.query(s, t)) == tuple(
+                    spc_query(weighted_grid, s, t)
+                )
+
+    def test_leaf_size_variations_stay_correct(self, weighted_grid):
+        for leaf_size in (1, 2, 8):
+            index = CTLIndex.build(weighted_grid, leaf_size=leaf_size)
+            for s, t in itertools.product(range(0, 25, 4), repeat=2):
+                assert tuple(index.query(s, t)) == tuple(
+                    spc_query(weighted_grid, s, t)
+                )
+
+
+class TestCTLStructure:
+    def test_tree_covers_all_vertices(self, road_graph):
+        index = CTLIndex.build(road_graph)
+        assert index.tree.num_vertices == road_graph.num_vertices
+
+    def test_label_lengths_match_tree(self, road_graph):
+        index = CTLIndex.build(road_graph)
+        for v in road_graph.vertices():
+            assert index.labels.label_length(v) == index.tree.label_length(v)
+
+    def test_stats(self, road_graph):
+        index = CTLIndex.build(road_graph)
+        st = index.stats()
+        assert st.num_vertices == road_graph.num_vertices
+        assert st.num_edges == road_graph.num_edges
+        assert st.height == index.labels.max_label_length()
+        assert st.size_bytes == 8 * st.total_label_entries
+        assert index.build_stats.ssspc_runs >= st.tree_nodes
+
+    def test_deterministic_build(self, power_graph):
+        a = CTLIndex.build(power_graph, seed=5)
+        b = CTLIndex.build(power_graph, seed=5)
+        assert a.labels.dist == b.labels.dist
+        assert a.labels.count == b.labels.count
+
+    def test_visited_labels_bounded_by_height(self, road_graph, road_pairs):
+        index = CTLIndex.build(road_graph)
+        h = index.stats().height
+        for s, t in road_pairs[:50]:
+            stats = index.query_with_stats(s, t)
+            assert 0 <= stats.visited_labels <= h
+
+    def test_input_graph_not_modified(self, road_graph):
+        before_n = road_graph.num_vertices
+        before_m = road_graph.num_edges
+        CTLIndex.build(road_graph)
+        assert road_graph.num_vertices == before_n
+        assert road_graph.num_edges == before_m
+
+    def test_invalid_strategy_like_beta(self, diamond):
+        with pytest.raises(ValueError):
+            CTLIndex.build(diamond, beta=0.7)

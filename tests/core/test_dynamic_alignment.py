@@ -1,0 +1,65 @@
+"""Structural integrity of DynamicCTL repairs.
+
+Beyond answer correctness (covered elsewhere), repairs must not disturb
+the label-array geometry: lengths, alignment with the tree, and blocks
+of *unaffected* nodes must be bit-identical.
+"""
+
+import random
+
+from repro.core.dynamic import DynamicCTL
+from repro.graph.generators import road_network
+
+
+class TestRepairGeometry:
+    def test_label_lengths_unchanged_by_updates(self):
+        g = road_network(250, seed=10)
+        dyn = DynamicCTL(g)
+        before = {
+            v: dyn.index.labels.label_length(v) for v in g.vertices()
+        }
+        rng = random.Random(1)
+        edges = sorted((u, v) for u, v, _w, _c in g.edges())
+        for _ in range(5):
+            u, v = edges[rng.randrange(len(edges))]
+            dyn.update_weight(u, v, dyn.graph.weight(u, v) + 13)
+        after = {v: dyn.index.labels.label_length(v) for v in g.vertices()}
+        assert before == after
+
+    def test_unaffected_blocks_untouched(self):
+        g = road_network(250, seed=10)
+        dyn = DynamicCTL(g)
+        tree = dyn.index.tree
+        labels = dyn.index.labels
+
+        u, v, w, _c = next(iter(g.edges()))
+        affected = {node.index for node in dyn._affected_nodes(u, v)}
+
+        # Snapshot one vertex whose root-path avoids deep affected nodes:
+        # entries beyond the affected blocks must stay identical.
+        snapshot = {
+            vertex: (list(labels.dist[vertex]), list(labels.count[vertex]))
+            for vertex in list(g.vertices())[:40]
+        }
+        dyn.update_weight(u, v, w + 29)
+
+        for vertex, (dist_before, count_before) in snapshot.items():
+            node = tree.node_of(vertex)
+            for position in range(labels.label_length(vertex)):
+                # Positions outside affected nodes' blocks are untouched.
+                inside_affected = any(
+                    tree.node(idx).block_start <= position < tree.node(idx).block_end
+                    for idx in affected
+                )
+                if inside_affected:
+                    continue
+                assert labels.dist[vertex][position] == dist_before[position]
+                assert labels.count[vertex][position] == count_before[position]
+
+    def test_repair_count_matches_ancestor_path(self):
+        g = road_network(250, seed=10)
+        dyn = DynamicCTL(g)
+        u, v, w, _c = next(iter(g.edges()))
+        expected = len(dyn._affected_nodes(u, v))
+        dyn.update_weight(u, v, w + 5)
+        assert dyn.last_repaired_nodes == expected

@@ -1,0 +1,116 @@
+"""Edge-case hardening: degenerate graphs across all three indexes."""
+
+import itertools
+
+import pytest
+
+from repro.baselines.tl import TLIndex
+from repro.core.ctl import CTLIndex
+from repro.core.ctls import CTLSIndex
+from repro.exceptions import IndexQueryError
+from repro.graph.generators import complete_graph, star_graph
+from repro.graph.graph import Graph
+from repro.search.pairwise import spc_query
+
+ALL_BUILDERS = [
+    pytest.param(lambda g: TLIndex.build(g), id="tl"),
+    pytest.param(lambda g: CTLIndex.build(g), id="ctl"),
+    pytest.param(lambda g: CTLSIndex.build(g, strategy="basic"), id="ctls-basic"),
+    pytest.param(lambda g: CTLSIndex.build(g, strategy="pruned"), id="ctls-pruned"),
+    pytest.param(
+        lambda g: CTLSIndex.build(g, strategy="cutsearch"), id="ctls-cutsearch"
+    ),
+]
+
+
+@pytest.mark.parametrize("build", ALL_BUILDERS)
+class TestDegenerateGraphs:
+    def test_empty_graph(self, build):
+        index = build(Graph())
+        with pytest.raises(IndexQueryError):
+            index.query(0, 0)
+
+    def test_single_vertex(self, build):
+        g = Graph()
+        g.add_vertex(5)
+        index = build(g)
+        assert tuple(index.query(5, 5)) == (0, 1)
+
+    def test_single_edge(self, build):
+        g = Graph()
+        g.add_edge(0, 1, 9)
+        index = build(g)
+        assert tuple(index.query(0, 1)) == (9, 1)
+        assert tuple(index.query(1, 0)) == (9, 1)
+
+    def test_many_isolated_vertices(self, build):
+        g = Graph()
+        for v in range(6):
+            g.add_vertex(v)
+        g.add_edge(0, 1, 2)
+        index = build(g)
+        assert tuple(index.query(0, 1)) == (2, 1)
+        assert index.query(2, 5).count == 0
+        assert tuple(index.query(3, 3)) == (0, 1)
+
+    def test_complete_graph(self, build):
+        g = complete_graph(7)
+        index = build(g)
+        for s, t in itertools.combinations(range(7), 2):
+            assert tuple(index.query(s, t)) == (1, 1)
+
+    def test_star(self, build):
+        g = star_graph(6)
+        index = build(g)
+        assert tuple(index.query(1, 2)) == (2, 1)
+        assert tuple(index.query(0, 4)) == (1, 1)
+
+    def test_float_weights(self, build):
+        g = Graph()
+        g.add_edge(0, 1, 1.5)
+        g.add_edge(1, 2, 2.5)
+        g.add_edge(0, 2, 4.0)
+        index = build(g)
+        assert tuple(index.query(0, 2)) == (4.0, 2)
+
+    def test_parallel_tie_heavy_multigraph_style(self, build):
+        # Many equal-length routes through a bipartite-like middle.
+        g = Graph()
+        for middle in (1, 2, 3, 4):
+            g.add_edge(0, middle, 1)
+            g.add_edge(middle, 5, 1)
+        index = build(g)
+        assert tuple(index.query(0, 5)) == (2, 4)
+
+    def test_three_components(self, build):
+        g = Graph.from_edges(
+            [(0, 1, 1), (2, 3, 1), (3, 4, 1), (5, 6, 2), (6, 7, 2), (5, 7, 4)]
+        )
+        index = build(g)
+        for s, t in itertools.product(range(8), repeat=2):
+            assert tuple(index.query(s, t)) == tuple(spc_query(g, s, t))
+
+    def test_large_weights(self, build):
+        g = Graph()
+        g.add_edge(0, 1, 10**12)
+        g.add_edge(1, 2, 10**12)
+        g.add_edge(0, 2, 2 * 10**12)
+        index = build(g)
+        assert tuple(index.query(0, 2)) == (2 * 10**12, 2)
+
+    def test_huge_exact_counts(self, build):
+        # A chain of diamonds: counts multiply, 2**20 exceeds float
+        # precision limits and must come back exact.
+        g = Graph()
+        node = 0
+        for step in range(20):
+            a, b, c = node + 1, node + 2, node + 3
+            g.add_edge(node, a, 1)
+            g.add_edge(node, b, 1)
+            g.add_edge(a, c, 1)
+            g.add_edge(b, c, 1)
+            node = c
+        index = build(g)
+        result = index.query(0, node)
+        assert result.count == 2**20
+        assert isinstance(result.count, int)

@@ -1,0 +1,75 @@
+"""Tests for the shared label-computation engines."""
+
+import pytest
+
+from repro.core.base import BuildStats
+from repro.core.labeling import compute_node_labels
+from repro.graph.generators import grid_graph
+from repro.graph.graph import Graph
+from repro.labels.store import LabelStore
+from repro.partition.balanced_cut import balanced_cut
+from repro.types import INF
+
+
+@pytest.fixture
+def node_case():
+    graph = grid_graph(5, 5)
+    part = balanced_cut(graph)
+    assert not part.is_degenerate
+    return graph, part
+
+
+@pytest.mark.parametrize("engine", ["dict", "csr"])
+class TestComputeNodeLabels:
+    def test_appends_one_entry_per_cut_vertex(self, node_case, engine):
+        graph, part = node_case
+        labels = LabelStore(graph.vertices())
+        stats = BuildStats()
+        compute_node_labels(graph, part.cut, labels, stats, engine=engine)
+        for v in part.left + part.right:
+            assert labels.label_length(v) == len(part.cut)
+        # Cut vertices get truncated rows ending at themselves.
+        for position, c in enumerate(part.cut):
+            assert labels.label_length(c) == position + 1
+            assert labels.entry(c, position) == (0, 1)
+        assert stats.ssspc_runs == len(part.cut)
+
+    def test_blocks_mirror_label_distances(self, node_case, engine):
+        graph, part = node_case
+        labels = LabelStore(graph.vertices())
+        blocks = compute_node_labels(
+            graph, part.cut, labels, BuildStats(), engine=engine
+        )
+        for v in graph.vertices():
+            assert blocks[v] == labels.dist[v]
+
+    def test_does_not_mutate_graph(self, node_case, engine):
+        graph, part = node_case
+        before_n, before_m = graph.num_vertices, graph.num_edges
+        compute_node_labels(
+            graph, part.cut, LabelStore(graph.vertices()), BuildStats(),
+            engine=engine,
+        )
+        assert (graph.num_vertices, graph.num_edges) == (before_n, before_m)
+
+    def test_unreachable_padding(self, engine):
+        graph = Graph.from_edges([(0, 1, 1), (2, 3, 1)])
+        labels = LabelStore(graph.vertices())
+        compute_node_labels(graph, (0, 2), labels, BuildStats(), engine=engine)
+        # Vertex 3 is unreachable from cut vertex 0: padded with INF.
+        assert labels.dist[3][0] == INF
+        assert labels.count[3][0] == 0
+        assert labels.dist[3][1] == 1  # reachable from cut vertex 2
+
+
+def test_engines_agree_exactly(node_case=None):
+    graph = grid_graph(6, 6)
+    part = balanced_cut(graph)
+    results = {}
+    for engine in ("dict", "csr"):
+        labels = LabelStore(graph.vertices())
+        blocks = compute_node_labels(
+            graph, part.cut, labels, BuildStats(), engine=engine
+        )
+        results[engine] = (labels.dist, labels.count, blocks)
+    assert results["dict"] == results["csr"]

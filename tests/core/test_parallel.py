@@ -1,0 +1,81 @@
+"""Tests for parallel CTLS construction (§IV-D.1)."""
+
+import random
+
+import pytest
+
+from repro.core.ctls import CTLSIndex
+from repro.core.parallel import build_ctls_parallel
+from repro.exceptions import IndexBuildError
+from repro.graph.generators import grid_graph, road_network
+from repro.search.pairwise import spc_query
+
+
+@pytest.fixture(scope="module")
+def network():
+    return road_network(300, seed=12)
+
+
+class TestParallelBuild:
+    def test_matches_oracle(self, network):
+        index = build_ctls_parallel(network, workers=3)
+        rng = random.Random(2)
+        vertices = sorted(network.vertices())
+        for _ in range(100):
+            s, t = rng.choice(vertices), rng.choice(vertices)
+            assert tuple(index.query(s, t)) == tuple(
+                spc_query(network, s, t)
+            )
+
+    def test_matches_sequential_results(self, network):
+        parallel = build_ctls_parallel(network, workers=3)
+        sequential = CTLSIndex.build(network)
+        rng = random.Random(3)
+        vertices = sorted(network.vertices())
+        for _ in range(100):
+            s, t = rng.choice(vertices), rng.choice(vertices)
+            assert tuple(parallel.query(s, t)) == tuple(sequential.query(s, t))
+
+    def test_deterministic(self, network):
+        a = build_ctls_parallel(network, workers=3, seed=4)
+        b = build_ctls_parallel(network, workers=3, seed=4)
+        assert a.labels.dist == b.labels.dist
+        assert a.labels.count == b.labels.count
+
+    def test_single_worker_is_sequential_path(self, network):
+        index = build_ctls_parallel(network, workers=1)
+        assert index.build_stats.extras["workers"] == 1
+        rng = random.Random(5)
+        vertices = sorted(network.vertices())
+        for _ in range(50):
+            s, t = rng.choice(vertices), rng.choice(vertices)
+            assert tuple(index.query(s, t)) == tuple(
+                spc_query(network, s, t)
+            )
+
+    def test_small_graph_no_dispatch(self):
+        g = grid_graph(3, 3)
+        index = build_ctls_parallel(g, workers=8)
+        for s in range(9):
+            for t in range(9):
+                assert tuple(index.query(s, t)) == tuple(spc_query(g, s, t))
+
+    @pytest.mark.parametrize("strategy", ["basic", "pruned", "cutsearch"])
+    def test_all_strategies(self, strategy):
+        g = grid_graph(6, 6)
+        index = build_ctls_parallel(g, workers=2, strategy=strategy)
+        assert index.strategy == strategy
+        for s in range(0, 36, 5):
+            for t in range(0, 36, 7):
+                assert tuple(index.query(s, t)) == tuple(spc_query(g, s, t))
+
+    def test_invalid_args(self, network):
+        with pytest.raises(IndexBuildError):
+            build_ctls_parallel(network, workers=0)
+        with pytest.raises(IndexBuildError):
+            build_ctls_parallel(network, strategy="nope")
+
+    def test_tree_is_structurally_valid(self, network):
+        index = build_ctls_parallel(network, workers=3)
+        index.tree.validate()
+        assert index.tree.num_vertices == network.num_vertices

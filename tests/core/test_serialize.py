@@ -1,0 +1,94 @@
+"""Tests for index save/load round trips."""
+
+import json
+
+import pytest
+
+from repro.baselines.tl import TLIndex
+from repro.core.ctl import CTLIndex
+from repro.core.ctls import CTLSIndex
+from repro.core.serialize import load_index, save_index
+from repro.exceptions import SerializationError
+from repro.graph.generators import grid_graph
+
+
+@pytest.fixture
+def graph():
+    return grid_graph(4, 4)
+
+
+def pairs():
+    return [(0, 15), (3, 12), (5, 5), (1, 14), (0, 1)]
+
+
+@pytest.mark.parametrize(
+    "builder",
+    [
+        lambda g: CTLIndex.build(g),
+        lambda g: CTLSIndex.build(g, strategy="cutsearch"),
+        lambda g: CTLSIndex.build(g, strategy="basic"),
+        lambda g: TLIndex.build(g),
+    ],
+    ids=["ctl", "ctls-cutsearch", "ctls-basic", "tl"],
+)
+def test_round_trip(tmp_path, graph, builder):
+    index = builder(graph)
+    path = tmp_path / "index.json"
+    save_index(index, path)
+    loaded = load_index(path)
+    assert type(loaded) is type(index)
+    for s, t in pairs():
+        assert tuple(loaded.query(s, t)) == tuple(index.query(s, t))
+    assert loaded.stats().total_label_entries == index.stats().total_label_entries
+
+
+def test_round_trip_preserves_inf(tmp_path, two_components):
+    index = CTLIndex.build(two_components)
+    path = tmp_path / "index.json"
+    save_index(index, path)
+    loaded = load_index(path)
+    assert loaded.query(0, 3).count == 0
+
+
+def test_round_trip_preserves_strategy(tmp_path, graph):
+    index = CTLSIndex.build(graph, strategy="pruned")
+    path = tmp_path / "index.json"
+    save_index(index, path)
+    assert load_index(path).strategy == "pruned"
+
+
+def test_unknown_object_rejected(tmp_path):
+    with pytest.raises(SerializationError):
+        save_index(object(), tmp_path / "x.json")
+
+
+def test_bad_format_rejected(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"format": "something-else"}))
+    with pytest.raises(SerializationError):
+        load_index(path)
+
+
+def test_bad_version_rejected(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"format": "repro-spc-index", "version": 99}))
+    with pytest.raises(SerializationError):
+        load_index(path)
+
+
+def test_unknown_type_rejected(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(
+        json.dumps({"format": "repro-spc-index", "version": 1, "type": "XXX"})
+    )
+    with pytest.raises(SerializationError):
+        load_index(path)
+
+
+def test_big_counts_survive_json(tmp_path):
+    g = grid_graph(8, 8)  # counts up to C(14,7) = 3432; json-safe ints
+    index = CTLSIndex.build(g)
+    path = tmp_path / "index.json"
+    save_index(index, path)
+    loaded = load_index(path)
+    assert loaded.query(0, 63).count == index.query(0, 63).count == 3432

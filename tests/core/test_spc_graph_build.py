@@ -1,0 +1,118 @@
+"""Tests for SPC-Graph construction (Algorithms 4-5) in isolation."""
+
+import pytest
+
+from repro.core.base import BuildStats
+from repro.core.spc_graph_build import (
+    BlockOutDist,
+    build_spc_graph_basic,
+    build_spc_graph_cutsearch,
+)
+from repro.graph.generators import grid_graph
+from repro.graph.graph import Graph
+from repro.graph.spc_graph import is_spc_graph_of
+from repro.partition.balanced_cut import balanced_cut
+from repro.search.dijkstra import ssspc
+from repro.types import INF
+
+
+def node_blocks(graph, cut):
+    """Labels from each vertex to the cut, as BlockOutDist expects."""
+    work = graph.copy()
+    blocks = {v: [] for v in graph.vertices()}
+    for c in sorted(cut):
+        dist, _count = ssspc(work, c)
+        for v in sorted(work.vertices()):
+            blocks[v].append(dist.get(v, INF))
+        work.remove_vertex(c)
+    return blocks
+
+
+@pytest.fixture
+def partitioned_grid():
+    g = grid_graph(5, 5)
+    part = balanced_cut(g)
+    assert not part.is_degenerate
+    return g, part
+
+
+class TestBlockOutDist:
+    def test_min_over_cut(self):
+        blocks = {0: [3, 10], 1: [4, 1]}
+        out = BlockOutDist(blocks)
+        assert out(0, 1) == 7  # min(3+4, 10+1)
+        assert out(1, 0) == 7  # symmetric access
+
+    def test_truncated_blocks(self):
+        # Cut vertex with rank 0 has a single entry; pairs use the
+        # shared prefix only.
+        blocks = {0: [0], 1: [5, 9]}
+        out = BlockOutDist(blocks)
+        assert out(0, 1) == 5
+
+    def test_inf_handling(self):
+        blocks = {0: [INF], 1: [2]}
+        out = BlockOutDist(blocks)
+        assert out(0, 1) == INF
+
+
+class TestBasicBuilder:
+    def test_preserves_counts_left(self, partitioned_grid):
+        g, part = partitioned_grid
+        stats = BuildStats()
+        spc = build_spc_graph_basic(g, part.left, stats)
+        assert is_spc_graph_of(spc, g)
+
+    def test_preserves_counts_right(self, partitioned_grid):
+        g, part = partitioned_grid
+        stats = BuildStats()
+        spc = build_spc_graph_basic(g, part.right, stats)
+        assert is_spc_graph_of(spc, g)
+
+    def test_pruned_still_preserves(self, partitioned_grid):
+        g, part = partitioned_grid
+        blocks = node_blocks(g, part.cut)
+        stats = BuildStats()
+        spc = build_spc_graph_basic(
+            g, part.left, stats, through_cut=BlockOutDist(blocks), prune=True
+        )
+        assert is_spc_graph_of(spc, g)
+
+    def test_no_border_returns_induced(self, two_components):
+        stats = BuildStats()
+        spc = build_spc_graph_basic(two_components, [0, 1], stats)
+        assert sorted(spc.vertices()) == [0, 1]
+        assert stats.shortcuts_added == 0
+
+
+class TestCutsearchBuilder:
+    def test_preserves_counts_both_sides(self, partitioned_grid):
+        g, part = partitioned_grid
+        blocks = node_blocks(g, part.cut)
+        for side in (part.left, part.right):
+            stats = BuildStats()
+            spc = build_spc_graph_cutsearch(
+                g, side, part.cut, BlockOutDist(blocks), stats
+            )
+            assert sorted(spc.vertices()) == sorted(side)
+            assert is_spc_graph_of(spc, g)
+
+    def test_weighted_graph_preserved(self):
+        g = Graph.from_edges(
+            [
+                (0, 1, 2), (1, 2, 2), (0, 3, 3), (3, 2, 1),
+                (2, 4, 2), (4, 5, 1), (2, 5, 3), (5, 6, 2), (3, 6, 4),
+            ]
+        )
+        part = balanced_cut(g, leaf_size=2)
+        if part.is_degenerate:
+            pytest.skip("degenerate partition on this toy graph")
+        blocks = node_blocks(g, part.cut)
+        for side in (part.left, part.right):
+            if not side:
+                continue
+            stats = BuildStats()
+            spc = build_spc_graph_cutsearch(
+                g, side, part.cut, BlockOutDist(blocks), stats
+            )
+            assert is_spc_graph_of(spc, g)

@@ -1,0 +1,51 @@
+"""Tests for post-build index verification."""
+
+from repro.core.ctls import CTLSIndex
+from repro.core.verify import verify_index
+from repro.graph.generators import grid_graph
+from repro.graph.graph import Graph
+
+
+class TestVerifyIndex:
+    def test_correct_index_passes(self):
+        g = grid_graph(4, 4)
+        index = CTLSIndex.build(g)
+        report = verify_index(index, g, num_samples=50)
+        assert report.ok
+        assert report.checked_pairs >= 50
+
+    def test_detects_tampered_labels(self):
+        g = grid_graph(4, 4)
+        index = CTLSIndex.build(g)
+        # Corrupt one label entry.
+        victim = next(v for v in g.vertices() if index.labels.dist[v])
+        index.labels.dist[victim][0] = 1
+        index.labels.count[victim][0] = 99
+        report = verify_index(index, g, num_samples=300)
+        assert not report.ok
+        assert report.mismatches
+
+    def test_fail_fast_stops_early(self):
+        g = grid_graph(4, 4)
+        index = CTLSIndex.build(g)
+        for v in g.vertices():
+            if index.labels.dist[v]:
+                index.labels.dist[v][0] = 1
+                index.labels.count[v][0] = 99
+        report = verify_index(index, g, num_samples=300, fail_fast=True)
+        assert len(report.mismatches) == 1
+        assert report.checked_pairs < 303
+
+    def test_explicit_pairs(self):
+        g = grid_graph(3, 3)
+        index = CTLSIndex.build(g)
+        report = verify_index(index, g, pairs=[(0, 8), (4, 4)])
+        assert report.ok
+        assert report.checked_pairs == 2
+
+    def test_empty_graph(self):
+        g = Graph()
+        index = CTLSIndex.build(g)
+        report = verify_index(index, g)
+        assert report.ok
+        assert report.checked_pairs == 0

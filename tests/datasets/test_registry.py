@@ -1,0 +1,59 @@
+"""Tests for the dataset registry."""
+
+import pytest
+
+from repro.datasets.registry import (
+    DATASET_SPECS,
+    FULL_DATASETS,
+    QUICK_DATASETS,
+    dataset_names,
+    load_dataset,
+)
+from repro.graph.components import is_connected
+from repro.graph.validation import check_graph
+
+
+class TestRegistry:
+    def test_twelve_datasets(self):
+        assert len(FULL_DATASETS) == 12
+        assert FULL_DATASETS[0] == "PWR"
+        assert FULL_DATASETS[-1] == "USA"
+
+    def test_quick_subset(self):
+        assert set(QUICK_DATASETS) <= set(FULL_DATASETS)
+
+    def test_tier_selection(self):
+        assert dataset_names("quick") == list(QUICK_DATASETS)
+        assert dataset_names("full") == list(FULL_DATASETS)
+        assert len(dataset_names("medium")) == 8
+
+    def test_tier_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DATASETS", raising=False)
+        assert dataset_names() == list(QUICK_DATASETS)
+        monkeypatch.setenv("REPRO_DATASETS", "medium")
+        assert dataset_names() == dataset_names("medium")
+
+    def test_unknown_tier(self):
+        with pytest.raises(ValueError):
+            dataset_names("gigantic")
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            load_dataset("MARS")
+
+    def test_paper_size_ordering_preserved(self):
+        paper = [DATASET_SPECS[n].paper_vertices for n in FULL_DATASETS]
+        ours = [DATASET_SPECS[n].target_vertices for n in FULL_DATASETS]
+        assert paper == sorted(paper)
+        assert ours == sorted(ours)
+
+    @pytest.mark.parametrize("name", QUICK_DATASETS)
+    def test_quick_datasets_are_sound(self, name):
+        g = load_dataset(name)
+        assert is_connected(g)
+        assert check_graph(g) == []
+        spec = DATASET_SPECS[name]
+        assert 0.5 * spec.target_vertices <= g.num_vertices <= 1.5 * spec.target_vertices
+
+    def test_cached_instance(self):
+        assert load_dataset("PWR") is load_dataset("PWR")

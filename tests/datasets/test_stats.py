@@ -1,0 +1,20 @@
+"""Tests for Table I statistics."""
+
+from repro.datasets.stats import dataset_statistics
+
+
+class TestDatasetStatistics:
+    def test_quick_rows(self):
+        rows = dataset_statistics("quick")
+        assert [r.name for r in rows] == ["PWR", "NY", "BAY", "COL"]
+        for row in rows:
+            assert row.num_vertices > 0
+            assert row.num_edges > 0
+            assert row.paper_vertices > row.num_vertices  # scaled down
+            assert 1.0 < row.avg_degree < 6.0
+
+    def test_row_fields(self):
+        row = dataset_statistics("quick")[0]
+        assert row.description == "Power Network"
+        assert row.paper_vertices == 5300
+        assert row.paper_edges == 8271

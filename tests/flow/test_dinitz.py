@@ -1,0 +1,80 @@
+"""Tests for the flow network and Dinitz max-flow."""
+
+import pytest
+
+from repro.flow.dinitz import max_flow, residual_reachable
+from repro.flow.network import FlowNetwork
+
+
+def test_node_ids_are_stable():
+    net = FlowNetwork()
+    a = net.node_id("a")
+    assert net.node_id("a") == a
+    assert net.has_node("a")
+    assert not net.has_node("b")
+    assert net.num_nodes == 1
+
+
+def test_negative_capacity_rejected():
+    net = FlowNetwork()
+    with pytest.raises(ValueError):
+        net.add_edge("a", "b", -1)
+
+
+def test_single_edge_flow():
+    net = FlowNetwork()
+    net.add_edge("s", "t", 5)
+    assert max_flow(net, "s", "t") == 5
+
+
+def test_bottleneck():
+    net = FlowNetwork()
+    net.add_edge("s", "m", 10)
+    net.add_edge("m", "t", 3)
+    assert max_flow(net, "s", "t") == 3
+
+
+def test_parallel_paths():
+    net = FlowNetwork()
+    net.add_edge("s", "a", 2)
+    net.add_edge("a", "t", 2)
+    net.add_edge("s", "b", 3)
+    net.add_edge("b", "t", 3)
+    assert max_flow(net, "s", "t") == 5
+
+
+def test_classic_augmenting_case():
+    # The diamond with a cross edge that tempts a greedy algorithm.
+    net = FlowNetwork()
+    net.add_edge("s", "a", 1)
+    net.add_edge("s", "b", 1)
+    net.add_edge("a", "b", 1)
+    net.add_edge("a", "t", 1)
+    net.add_edge("b", "t", 1)
+    assert max_flow(net, "s", "t") == 2
+
+
+def test_no_path_gives_zero():
+    net = FlowNetwork()
+    net.node_id("s")
+    net.node_id("t")
+    assert max_flow(net, "s", "t") == 0
+
+
+def test_residual_reachable_is_min_cut_side():
+    net = FlowNetwork()
+    net.add_edge("s", "a", 2)
+    net.add_edge("a", "t", 1)
+    max_flow(net, "s", "t")
+    reachable = residual_reachable(net, "s")
+    assert net.node_id("s") in reachable
+    assert net.node_id("a") in reachable  # s->a not saturated (2 > 1)
+    assert net.node_id("t") not in reachable
+
+
+def test_push_updates_residual():
+    net = FlowNetwork()
+    e = net.add_edge("s", "t", 4)
+    net.push(e, 3)
+    assert net.residual(e) == 1
+    assert net.residual(e ^ 1) == 3

@@ -1,0 +1,67 @@
+"""Tests for minimum vertex cuts via vertex splitting."""
+
+import pytest
+
+from repro.flow.vertex_cut import (
+    min_vertex_cut_between_regions,
+    min_vertex_cut_pair,
+)
+from repro.graph.generators import cycle_graph, grid_graph, path_graph
+from repro.graph.graph import Graph
+from repro.search.dijkstra import dijkstra
+
+
+class TestPairCut:
+    def test_path_cut_is_single_vertex(self):
+        g = path_graph(5)
+        cut = min_vertex_cut_pair(g, 0, 4)
+        assert len(cut) == 1
+
+    def test_cycle_cut_is_two(self):
+        cut = min_vertex_cut_pair(cycle_graph(8), 0, 4)
+        assert len(cut) == 2
+
+    def test_grid_corner_cut_is_its_neighbors(self):
+        g = grid_graph(3, 5)
+        cut = min_vertex_cut_pair(g, 0, 14)
+        assert cut == [1, 5]  # the corner's two neighbours
+
+    def test_adjacent_vertices_rejected(self):
+        g = path_graph(2)
+        with pytest.raises(ValueError):
+            min_vertex_cut_pair(g, 0, 1)
+
+    def test_cut_disconnects(self):
+        g = grid_graph(4, 4)
+        cut = min_vertex_cut_pair(g, 0, 15)
+        dist = dijkstra(g, 0, excluded=set(cut))
+        assert 15 not in dist
+
+
+class TestRegionCut:
+    def test_regions_with_middle(self):
+        g = path_graph(7)
+        cut = min_vertex_cut_between_regions(g, [0, 1], [5, 6], [2, 3, 4])
+        assert len(cut) == 1
+        assert cut[0] in (2, 3, 4)
+
+    def test_adjacent_regions_raise(self):
+        g = path_graph(4)
+        with pytest.raises(ValueError):
+            min_vertex_cut_between_regions(g, [0, 1], [2, 3], [])
+
+    def test_disconnected_regions_zero_cut(self):
+        g = Graph.from_edges([(0, 1, 1), (2, 3, 1)])
+        cut = min_vertex_cut_between_regions(g, [0, 1], [2, 3], [])
+        assert cut == []
+
+    def test_cut_is_minimum(self):
+        # Two disjoint 0-..-9 routes => min cut 2.
+        g = Graph.from_edges(
+            [
+                (0, 1, 1), (1, 2, 1), (2, 9, 1),
+                (0, 3, 1), (3, 4, 1), (4, 9, 1),
+            ]
+        )
+        cut = min_vertex_cut_between_regions(g, [0], [9], [1, 2, 3, 4])
+        assert len(cut) == 2

@@ -1,0 +1,87 @@
+"""Tests for connectivity utilities."""
+
+from repro.graph.components import (
+    bfs_order,
+    component_of,
+    connected_components,
+    is_connected,
+    largest_component,
+    relabel_to_dense,
+)
+from repro.graph.graph import Graph
+
+
+class TestBfsOrder:
+    def test_starts_at_source(self, path5):
+        order = bfs_order(path5, 2)
+        assert order[0] == 2
+        assert set(order) == {0, 1, 2, 3, 4}
+
+    def test_only_reachable(self, two_components):
+        assert set(bfs_order(two_components, 0)) == {0, 1}
+
+
+class TestConnectedComponents:
+    def test_single_component(self, path5):
+        comps = connected_components(path5)
+        assert len(comps) == 1
+        assert sorted(comps[0]) == [0, 1, 2, 3, 4]
+
+    def test_two_components(self, two_components):
+        comps = connected_components(two_components)
+        assert sorted(sorted(c) for c in comps) == [[0, 1], [2, 3]]
+
+    def test_within_restriction(self, path5):
+        # Removing vertex 2 splits the path.
+        comps = connected_components(path5, within=[0, 1, 3, 4])
+        assert sorted(sorted(c) for c in comps) == [[0, 1], [3, 4]]
+
+    def test_empty_graph(self):
+        assert connected_components(Graph()) == []
+
+
+class TestIsConnected:
+    def test_empty_and_singleton(self):
+        assert is_connected(Graph())
+        g = Graph()
+        g.add_vertex(0)
+        assert is_connected(g)
+
+    def test_connected(self, path5):
+        assert is_connected(path5)
+
+    def test_disconnected(self, two_components):
+        assert not is_connected(two_components)
+
+
+class TestLargestComponent:
+    def test_picks_bigger(self):
+        g = Graph.from_edges([(0, 1, 1), (1, 2, 1), (5, 6, 1)])
+        big = largest_component(g)
+        assert sorted(big.vertices()) == [0, 1, 2]
+
+
+class TestComponentOf:
+    def test_respects_removed(self, path5):
+        assert component_of(path5, 0, removed={2}) == {0, 1}
+        assert component_of(path5, 4, removed={2}) == {3, 4}
+
+    def test_removed_vertex_is_empty(self, path5):
+        assert component_of(path5, 2, removed={2}) == set()
+
+
+class TestRelabel:
+    def test_dense_ids(self):
+        g = Graph.from_edges([(10, 20, 3), (20, 40, 5)])
+        dense, mapping = relabel_to_dense(g)
+        assert sorted(dense.vertices()) == [0, 1, 2]
+        assert mapping == {10: 0, 20: 1, 40: 2}
+        assert dense.weight(0, 1) == 3
+
+    def test_preserves_counts_and_coords(self):
+        g = Graph()
+        g.add_edge(3, 9, 2, count=4)
+        g.coordinates = {3: (0.5, 0.5), 9: (1.0, 1.0)}
+        dense, mapping = relabel_to_dense(g)
+        assert dense.count(mapping[3], mapping[9]) == 4
+        assert dense.coordinates[mapping[3]] == (0.5, 0.5)

@@ -1,0 +1,44 @@
+"""Tests for packed-adjacency graph snapshots."""
+
+import pytest
+
+from repro.exceptions import VertexNotFoundError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import grid_graph, road_network
+from repro.graph.graph import Graph
+
+
+class TestCSRGraph:
+    def test_counts_match_source(self):
+        g = road_network(200, seed=5)
+        csr = CSRGraph(g)
+        assert csr.num_vertices == g.num_vertices
+        assert csr.num_edges == g.num_edges
+
+    def test_dense_ids_are_sorted_originals(self):
+        g = Graph.from_edges([(10, 30, 1), (30, 20, 2)])
+        csr = CSRGraph(g)
+        assert csr.vertices == [10, 20, 30]
+        assert csr.dense_id(20) == 1
+
+    def test_unknown_vertex(self):
+        csr = CSRGraph(Graph.from_edges([(0, 1, 1)]))
+        with pytest.raises(VertexNotFoundError):
+            csr.dense_id(9)
+
+    def test_neighbors_preserve_weights_and_counts(self):
+        g = Graph()
+        g.add_edge(0, 1, 7, count=3)
+        csr = CSRGraph(g)
+        assert csr.neighbors[0] == ((1, 7, 3),)
+        assert csr.neighbors[1] == ((0, 7, 3),)
+
+    def test_degree(self):
+        g = grid_graph(3, 3)
+        csr = CSRGraph(g)
+        assert csr.degree(csr.dense_id(4)) == 4  # grid centre
+
+    def test_empty_graph(self):
+        csr = CSRGraph(Graph())
+        assert csr.num_vertices == 0
+        assert csr.num_edges == 0

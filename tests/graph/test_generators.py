@@ -1,0 +1,107 @@
+"""Tests for synthetic network generators."""
+
+import pytest
+
+from repro.graph.components import is_connected
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    grid_road_network,
+    path_graph,
+    power_grid_network,
+    random_geometric_network,
+    road_network,
+    star_graph,
+)
+from repro.graph.validation import check_graph
+
+
+class TestElementaryGraphs:
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 4
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert g.num_edges == 6
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.num_edges == 10
+
+    def test_star(self):
+        g = star_graph(4)
+        assert g.degree(0) == 4
+        assert g.num_edges == 4
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4
+        assert g.coordinates is not None
+
+
+class TestRoadNetworks:
+    def test_deterministic(self):
+        a = road_network(500, seed=5)
+        b = road_network(500, seed=5)
+        assert a == b
+
+    def test_seed_changes_graph(self):
+        a = road_network(500, seed=5)
+        b = road_network(500, seed=6)
+        assert a != b
+
+    def test_connected_dense_ids(self):
+        g = road_network(500, seed=5)
+        assert is_connected(g)
+        assert sorted(g.vertices()) == list(range(g.num_vertices))
+
+    def test_size_near_target(self):
+        g = road_network(1000, seed=1)
+        assert 700 <= g.num_vertices <= 1300
+
+    def test_invariants(self):
+        assert check_graph(road_network(300, seed=2)) == []
+
+    def test_aspect(self):
+        g = road_network(500, seed=5, aspect=2.0)
+        xs = [x for x, _y in g.coordinates.values()]
+        ys = [y for _x, y in g.coordinates.values()]
+        assert max(xs) > max(ys)  # stretched horizontally
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            road_network(2)
+
+    def test_hole_fraction_validated(self):
+        with pytest.raises(ValueError):
+            grid_road_network(5, 5, hole_fraction=1.5)
+
+
+class TestOtherGenerators:
+    def test_power_grid(self):
+        g = power_grid_network(300, seed=1)
+        assert g.num_vertices == 300
+        assert is_connected(g)
+        avg_degree = 2 * g.num_edges / g.num_vertices
+        assert 2.0 <= avg_degree <= 4.0
+        assert check_graph(g) == []
+
+    def test_random_geometric(self):
+        g = random_geometric_network(300, seed=1)
+        assert is_connected(g)
+        assert g.num_vertices > 200
+        assert check_graph(g) == []
+
+    def test_random_geometric_deterministic(self):
+        assert random_geometric_network(200, seed=3) == random_geometric_network(
+            200, seed=3
+        )

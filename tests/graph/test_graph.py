@@ -1,0 +1,184 @@
+"""Unit tests for the core Graph structure."""
+
+import pytest
+
+from repro.exceptions import EdgeError, VertexNotFoundError
+from repro.graph.graph import Graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert list(g.vertices()) == []
+        assert list(g.edges()) == []
+
+    def test_add_vertex(self):
+        g = Graph()
+        g.add_vertex(5)
+        assert g.has_vertex(5)
+        assert g.num_vertices == 1
+        assert g.degree(5) == 0
+
+    def test_add_vertex_idempotent(self):
+        g = Graph()
+        g.add_vertex(1)
+        g.add_vertex(1)
+        assert g.num_vertices == 1
+
+    def test_add_edge_creates_endpoints(self):
+        g = Graph()
+        g.add_edge(1, 2, 10)
+        assert g.has_vertex(1) and g.has_vertex(2)
+        assert g.num_edges == 1
+        assert g.weight(1, 2) == 10
+        assert g.count(1, 2) == 1
+
+    def test_add_edge_symmetric(self):
+        g = Graph()
+        g.add_edge(1, 2, 10, count=3)
+        assert g.weight(2, 1) == 10
+        assert g.count(2, 1) == 3
+
+    def test_add_edge_overwrites(self):
+        g = Graph()
+        g.add_edge(1, 2, 10)
+        g.add_edge(1, 2, 4, count=2)
+        assert g.num_edges == 1
+        assert g.weight(1, 2) == 4
+        assert g.count(1, 2) == 2
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(EdgeError):
+            g.add_edge(1, 1, 5)
+
+    @pytest.mark.parametrize("weight", [0, -1, -0.5])
+    def test_non_positive_weight_rejected(self, weight):
+        g = Graph()
+        with pytest.raises(EdgeError):
+            g.add_edge(1, 2, weight)
+
+    @pytest.mark.parametrize("count", [0, -1])
+    def test_bad_count_rejected(self, count):
+        g = Graph()
+        with pytest.raises(EdgeError):
+            g.add_edge(1, 2, 5, count=count)
+
+    def test_from_edges(self):
+        g = Graph.from_edges([(0, 1, 2), (1, 2, 3)], vertices=[7])
+        assert g.num_vertices == 4
+        assert g.has_vertex(7)
+        assert g.degree(7) == 0
+
+
+class TestRemoval:
+    def test_remove_edge(self):
+        g = Graph.from_edges([(0, 1, 1), (1, 2, 1)])
+        g.remove_edge(0, 1)
+        assert not g.has_edge(0, 1)
+        assert g.num_edges == 1
+        assert g.has_vertex(0)
+
+    def test_remove_missing_edge(self):
+        g = Graph.from_edges([(0, 1, 1)])
+        with pytest.raises(EdgeError):
+            g.remove_edge(0, 2)
+
+    def test_remove_vertex(self):
+        g = Graph.from_edges([(0, 1, 1), (1, 2, 1), (0, 2, 1)])
+        g.remove_vertex(1)
+        assert not g.has_vertex(1)
+        assert g.num_edges == 1
+        assert g.has_edge(0, 2)
+        assert 1 not in list(g.adj(0))
+
+    def test_remove_missing_vertex(self):
+        g = Graph()
+        with pytest.raises(VertexNotFoundError):
+            g.remove_vertex(9)
+
+    def test_remove_vertex_updates_coordinates(self):
+        g = Graph.from_edges([(0, 1, 1)])
+        g.coordinates = {0: (0.0, 0.0), 1: (1.0, 1.0)}
+        g.remove_vertex(1)
+        assert g.coordinates == {0: (0.0, 0.0)}
+
+
+class TestInspection:
+    def test_edges_reported_once(self):
+        g = Graph.from_edges([(0, 1, 2), (1, 2, 3), (0, 2, 4)])
+        edges = sorted(g.edges())
+        assert edges == [(0, 1, 2, 1), (0, 2, 4, 1), (1, 2, 3, 1)]
+
+    def test_weight_of_missing_edge(self):
+        g = Graph.from_edges([(0, 1, 1)])
+        with pytest.raises(EdgeError):
+            g.weight(0, 2)
+
+    def test_adj_of_missing_vertex(self):
+        g = Graph()
+        with pytest.raises(VertexNotFoundError):
+            g.adj(3)
+
+    def test_neighbors_and_degree(self):
+        g = Graph.from_edges([(0, 1, 1), (0, 2, 1), (0, 3, 1)])
+        assert sorted(g.neighbors(0)) == [1, 2, 3]
+        assert g.degree(0) == 3
+        assert g.degree(1) == 1
+
+    def test_max_degree(self):
+        g = Graph.from_edges([(0, 1, 1), (0, 2, 1)])
+        assert g.max_degree() == 2
+        assert Graph().max_degree() == 0
+
+    def test_dunder_protocols(self):
+        g = Graph.from_edges([(0, 1, 1)])
+        assert 0 in g
+        assert 5 not in g
+        assert len(g) == 2
+        assert sorted(g) == [0, 1]
+        assert "n=2" in repr(g)
+
+    def test_equality(self):
+        a = Graph.from_edges([(0, 1, 2)])
+        b = Graph.from_edges([(0, 1, 2)])
+        c = Graph.from_edges([(0, 1, 3)])
+        assert a == b
+        assert a != c
+        assert a != "not a graph"
+
+
+class TestDerivation:
+    def test_copy_is_independent(self):
+        g = Graph.from_edges([(0, 1, 1)])
+        clone = g.copy()
+        clone.add_edge(1, 2, 5)
+        assert g.num_vertices == 2
+        assert clone.num_vertices == 3
+
+    def test_copy_preserves_coordinates(self):
+        g = Graph.from_edges([(0, 1, 1)])
+        g.coordinates = {0: (0, 0), 1: (1, 0)}
+        clone = g.copy()
+        clone.coordinates[0] = (9, 9)
+        assert g.coordinates[0] == (0, 0)
+
+    def test_induced_subgraph(self):
+        g = Graph.from_edges([(0, 1, 1), (1, 2, 1), (2, 3, 1), (0, 3, 1)])
+        sub = g.induced_subgraph([0, 1, 2])
+        assert sorted(sub.vertices()) == [0, 1, 2]
+        assert sub.num_edges == 2
+        assert not sub.has_edge(0, 3)
+
+    def test_induced_subgraph_unknown_vertex(self):
+        g = Graph.from_edges([(0, 1, 1)])
+        with pytest.raises(VertexNotFoundError):
+            g.induced_subgraph([0, 9])
+
+    def test_induced_subgraph_keeps_counts(self):
+        g = Graph()
+        g.add_edge(0, 1, 2, count=4)
+        sub = g.induced_subgraph([0, 1])
+        assert sub.count(0, 1) == 4

@@ -1,0 +1,128 @@
+"""Tests for graph readers and writers."""
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    read_dimacs,
+    read_edge_list,
+    read_json,
+    write_dimacs,
+    write_edge_list,
+    write_json,
+)
+
+
+@pytest.fixture
+def dimacs_file(tmp_path):
+    path = tmp_path / "toy.gr"
+    path.write_text(
+        "c a toy road network\n"
+        "p sp 4 6\n"
+        "a 1 2 10\n"
+        "a 2 1 10\n"
+        "a 2 3 5\n"
+        "a 3 2 5\n"
+        "a 3 4 2\n"
+        "a 4 3 2\n"
+    )
+    return path
+
+
+class TestDimacs:
+    def test_read(self, dimacs_file):
+        g = read_dimacs(dimacs_file)
+        assert g.num_vertices == 4
+        assert g.num_edges == 3
+        assert g.weight(0, 1) == 10
+        assert g.weight(2, 3) == 2
+
+    def test_read_keeps_min_weight_of_duplicates(self, tmp_path):
+        path = tmp_path / "dup.gr"
+        path.write_text("p sp 2 2\na 1 2 9\na 2 1 4\n")
+        g = read_dimacs(path)
+        assert g.weight(0, 1) == 4
+
+    def test_read_skips_self_loops(self, tmp_path):
+        path = tmp_path / "loop.gr"
+        path.write_text("p sp 2 2\na 1 1 3\na 1 2 3\n")
+        g = read_dimacs(path)
+        assert g.num_edges == 1
+
+    def test_missing_problem_line(self, tmp_path):
+        path = tmp_path / "bad.gr"
+        path.write_text("a 1 2 3\n")
+        with pytest.raises(ParseError):
+            read_dimacs(path)
+
+    def test_bad_arc_line(self, tmp_path):
+        path = tmp_path / "bad.gr"
+        path.write_text("p sp 2 1\na 1 2\n")
+        with pytest.raises(ParseError) as err:
+            read_dimacs(path)
+        assert err.value.line_number == 2
+
+    def test_negative_weight(self, tmp_path):
+        path = tmp_path / "bad.gr"
+        path.write_text("p sp 2 1\na 1 2 -4\n")
+        with pytest.raises(ParseError):
+            read_dimacs(path)
+
+    def test_unknown_tag(self, tmp_path):
+        path = tmp_path / "bad.gr"
+        path.write_text("p sp 2 1\nz 1 2 3\n")
+        with pytest.raises(ParseError):
+            read_dimacs(path)
+
+    def test_round_trip(self, tmp_path, diamond):
+        path = tmp_path / "out.gr"
+        write_dimacs(diamond, path, comment="diamond")
+        again = read_dimacs(path)
+        assert again == diamond
+
+    def test_write_requires_dense_ids(self, tmp_path):
+        g = Graph.from_edges([(0, 5, 1)])
+        with pytest.raises(ParseError):
+            write_dimacs(g, tmp_path / "x.gr")
+
+
+class TestEdgeList:
+    def test_round_trip_with_counts(self, tmp_path):
+        g = Graph()
+        g.add_edge(0, 1, 3, count=2)
+        g.add_edge(1, 2, 4)
+        path = tmp_path / "edges.txt"
+        write_edge_list(g, path)
+        again = read_edge_list(path)
+        assert again == g
+
+    def test_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# header\n\n0 1 5\n")
+        g = read_edge_list(path)
+        assert g.weight(0, 1) == 5
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(ParseError):
+            read_edge_list(path)
+
+
+class TestJson:
+    def test_round_trip_with_coordinates(self, tmp_path):
+        g = Graph()
+        g.add_edge(0, 1, 3, count=7)
+        g.add_vertex(2)
+        g.coordinates = {0: (0.0, 0.0), 1: (1.0, 0.5), 2: (2.0, 2.0)}
+        path = tmp_path / "graph.json"
+        write_json(g, path)
+        again = read_json(path)
+        assert again == g
+        assert again.coordinates == g.coordinates
+
+    def test_round_trip_without_coordinates(self, tmp_path, diamond):
+        path = tmp_path / "graph.json"
+        write_json(diamond, path)
+        assert read_json(path) == diamond

@@ -1,0 +1,104 @@
+"""Tests for count-preserving graph simplification."""
+
+import pytest
+
+from repro.graph.generators import cycle_graph, path_graph, road_network
+from repro.graph.graph import Graph
+from repro.graph.simplify import contract_degree_two, prune_degree_one
+from repro.graph.spc_graph import is_spc_graph_of
+from repro.search.pairwise import spc_query
+
+
+class TestContractDegreeTwo:
+    def test_chain_collapses_to_edge(self):
+        g = path_graph(6, weight=2)
+        simplified, removed = contract_degree_two(g)
+        assert sorted(simplified.vertices()) == [0, 5]
+        assert simplified.weight(0, 5) == 10
+        assert simplified.count(0, 5) == 1
+        assert set(removed) == {1, 2, 3, 4}
+
+    def test_keep_vertices_survive(self):
+        g = path_graph(6)
+        simplified, _removed = contract_degree_two(g, keep=[3])
+        assert simplified.has_vertex(3)
+        assert simplified.weight(0, 3) == 3
+        assert simplified.weight(3, 5) == 2
+
+    def test_parallel_chains_merge_counts(self):
+        # Two disjoint 3-hop chains between 0 and 9.
+        g = Graph.from_edges(
+            [
+                (0, 1, 1), (1, 2, 1), (2, 9, 1),
+                (0, 3, 1), (3, 4, 1), (4, 9, 1),
+            ]
+        )
+        simplified, _removed = contract_degree_two(g, keep=[0, 9])
+        assert simplified.count(0, 9) == 2
+        assert simplified.weight(0, 9) == 3
+
+    def test_unequal_chains_keep_shorter(self):
+        g = Graph.from_edges(
+            [
+                (0, 1, 1), (1, 9, 1),          # length 2
+                (0, 2, 2), (2, 3, 2), (3, 9, 2),  # length 6
+            ]
+        )
+        simplified, _removed = contract_degree_two(g, keep=[0, 9])
+        assert simplified.weight(0, 9) == 2
+        assert simplified.count(0, 9) == 1
+
+    def test_ring_collapses(self):
+        g = cycle_graph(8)
+        simplified, _removed = contract_degree_two(g, keep=[0, 4])
+        # Antipodal survivors: two equal 4-hop arcs merge into count 2.
+        assert sorted(simplified.vertices()) == [0, 4]
+        assert simplified.weight(0, 4) == 4
+        assert simplified.count(0, 4) == 2
+
+    def test_is_spc_graph_of_original(self):
+        g = road_network(250, seed=7)
+        junctions = [v for v in g.vertices() if g.degree(v) != 2]
+        simplified, _removed = contract_degree_two(g)
+        assert set(simplified.vertices()) >= set(junctions)
+        assert is_spc_graph_of(
+            simplified,
+            g,
+            sample_pairs=[
+                (junctions[i], junctions[-1 - i]) for i in range(10)
+            ],
+        )
+
+    def test_index_on_simplified_graph_is_exact(self):
+        from repro.core.ctls import CTLSIndex
+
+        g = road_network(250, seed=7)
+        simplified, _removed = contract_degree_two(g)
+        index = CTLSIndex.build(simplified)
+        survivors = sorted(simplified.vertices())
+        for s, t in zip(survivors[:12], survivors[-12:]):
+            assert tuple(index.query(s, t)) == tuple(spc_query(g, s, t))
+
+
+class TestPruneDegreeOne:
+    def test_spur_removed(self):
+        g = Graph.from_edges([(0, 1, 1), (1, 2, 1), (2, 0, 1), (2, 3, 1)])
+        pruned, removed = prune_degree_one(g)
+        assert removed == [3]
+        assert sorted(pruned.vertices()) == [0, 1, 2]
+
+    def test_cascading_removal(self):
+        g = path_graph(5)
+        pruned, removed = prune_degree_one(g, keep=[0])
+        # The whole path unravels from the far end, sparing vertex 0.
+        assert sorted(pruned.vertices()) == [0]
+        assert len(removed) == 4
+
+    def test_queries_between_survivors_unchanged(self):
+        g = road_network(250, seed=8)
+        pruned, removed = prune_degree_one(g)
+        removed_set = set(removed)
+        survivors = sorted(pruned.vertices())
+        for s, t in zip(survivors[:8], survivors[-8:]):
+            assert (s in removed_set) is False
+            assert tuple(spc_query(pruned, s, t)) == tuple(spc_query(g, s, t))

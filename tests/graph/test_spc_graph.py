@@ -1,0 +1,81 @@
+"""Tests for shortcut merge semantics and SPC-Graph validation."""
+
+from repro.graph.graph import Graph
+from repro.graph.spc_graph import add_shortcut, is_spc_graph_of, union_with_shortcuts
+
+
+class TestAddShortcut:
+    def test_creates_missing_edge(self):
+        g = Graph.from_edges([(0, 1, 1)])
+        g.add_vertex(2)
+        add_shortcut(g, 0, 2, 5, 3)
+        assert g.weight(0, 2) == 5
+        assert g.count(0, 2) == 3
+
+    def test_shorter_replaces(self):
+        g = Graph()
+        g.add_edge(0, 1, 10, count=2)
+        add_shortcut(g, 0, 1, 4, 7)
+        assert g.weight(0, 1) == 4
+        assert g.count(0, 1) == 7
+
+    def test_equal_merges_counts(self):
+        g = Graph()
+        g.add_edge(0, 1, 10, count=2)
+        add_shortcut(g, 0, 1, 10, 5)
+        assert g.weight(0, 1) == 10
+        assert g.count(0, 1) == 7
+
+    def test_longer_is_noop(self):
+        g = Graph()
+        g.add_edge(0, 1, 3, count=2)
+        add_shortcut(g, 0, 1, 9, 5)
+        assert g.weight(0, 1) == 3
+        assert g.count(0, 1) == 2
+
+    def test_zero_count_is_noop(self):
+        g = Graph()
+        g.add_vertex(0)
+        g.add_vertex(1)
+        add_shortcut(g, 0, 1, 3, 0)
+        assert not g.has_edge(0, 1)
+
+
+class TestUnionWithShortcuts:
+    def test_base_untouched(self):
+        base = Graph.from_edges([(0, 1, 2)])
+        merged = union_with_shortcuts(base, [(0, 1, 2, 4)])
+        assert base.count(0, 1) == 1
+        assert merged.count(0, 1) == 5
+
+
+class TestIsSpcGraphOf:
+    def test_identity_is_spc_graph(self, diamond):
+        assert is_spc_graph_of(diamond, diamond)
+
+    def test_detects_distance_change(self, diamond):
+        broken = diamond.copy()
+        broken.add_edge(0, 3, 1)  # introduces a shorter path
+        assert not is_spc_graph_of(broken, diamond)
+
+    def test_detects_count_change(self, diamond):
+        broken = diamond.copy()
+        broken.add_edge(0, 3, 2)  # same distance, extra path
+        assert not is_spc_graph_of(broken, diamond)
+
+    def test_proper_shortcut_subgraph(self, diamond):
+        # Removing vertex 2 and adding shortcut (0,3) with count 1
+        # preserves distance/count between the remaining vertices.
+        reduced = diamond.induced_subgraph([0, 1, 3])
+        add_shortcut(reduced, 0, 3, 2, 1)
+        assert is_spc_graph_of(reduced, diamond)
+
+    def test_sample_pairs(self, diamond):
+        reduced = diamond.induced_subgraph([0, 1, 3])
+        add_shortcut(reduced, 0, 3, 2, 1)
+        assert is_spc_graph_of(reduced, diamond, sample_pairs=[(0, 3)])
+
+    def test_extra_vertex_rejected(self, diamond):
+        other = diamond.copy()
+        other.add_edge(3, 9, 1)
+        assert not is_spc_graph_of(other, diamond)

@@ -1,0 +1,59 @@
+"""Tests for border vertices and boundary graphs (Definition 4.4)."""
+
+from repro.graph.graph import Graph
+from repro.graph.subgraph import border_vertices, boundary_graph, crossing_edges
+
+
+def _sample():
+    # L = {0, 1, 2}; 2 is interior (only edges inside L); 0, 1 are border.
+    g = Graph.from_edges(
+        [
+            (0, 1, 1),
+            (0, 2, 1),
+            (1, 2, 1),
+            (0, 3, 2),
+            (1, 4, 2),
+            (3, 4, 1),
+        ]
+    )
+    return g
+
+
+class TestBorderVertices:
+    def test_identifies_border(self):
+        assert border_vertices(_sample(), [0, 1, 2]) == [0, 1]
+
+    def test_no_border_when_isolated_part(self, two_components):
+        assert border_vertices(two_components, [0, 1]) == []
+
+    def test_all_border(self, cycle6):
+        assert border_vertices(cycle6, [0, 3]) == [0, 3]
+
+
+class TestBoundaryGraph:
+    def test_excludes_internal_edges(self):
+        bg = boundary_graph(_sample(), [0, 1, 2])
+        assert not bg.has_edge(0, 1)
+        assert not bg.has_edge(0, 2)
+        assert bg.has_edge(0, 3)
+        assert bg.has_edge(1, 4)
+        assert bg.has_edge(3, 4)
+
+    def test_drops_isolated_interior(self):
+        bg = boundary_graph(_sample(), [0, 1, 2])
+        assert not bg.has_vertex(2)
+
+    def test_preserves_counts(self):
+        g = Graph()
+        g.add_edge(0, 1, 1, count=5)
+        g.add_edge(1, 2, 1)
+        bg = boundary_graph(g, [0])
+        assert bg.count(0, 1) == 5
+
+
+class TestCrossingEdges:
+    def test_exactly_one_endpoint(self):
+        crossing = sorted(
+            (u, v) for u, v, _w, _c in crossing_edges(_sample(), [0, 1, 2])
+        )
+        assert crossing == [(0, 3), (1, 4)]

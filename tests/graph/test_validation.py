@@ -1,0 +1,48 @@
+"""Tests for graph invariant checking."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.graph import Graph
+from repro.graph.validation import check_graph, validate_graph
+
+
+class TestCheckGraph:
+    def test_sound_graph(self, diamond):
+        assert check_graph(diamond) == []
+
+    def test_validate_passes(self, diamond):
+        validate_graph(diamond)  # no exception
+
+    def test_detects_asymmetry(self):
+        g = Graph.from_edges([(0, 1, 2)])
+        g._adj[0][1] = (3, 1)  # corrupt one direction
+        problems = check_graph(g)
+        assert any("asymmetric" in p for p in problems)
+
+    def test_detects_missing_reverse(self):
+        g = Graph.from_edges([(0, 1, 2)])
+        del g._adj[1][0]
+        problems = check_graph(g)
+        assert any("reverse" in p for p in problems)
+
+    def test_detects_bad_weight(self):
+        g = Graph.from_edges([(0, 1, 2)])
+        g._adj[0][1] = g._adj[1][0] = (-1, 1)
+        assert any("non-positive" in p for p in check_graph(g))
+
+    def test_detects_bad_count(self):
+        g = Graph.from_edges([(0, 1, 2)])
+        g._adj[0][1] = g._adj[1][0] = (2, 0)
+        assert any("count" in p for p in check_graph(g))
+
+    def test_detects_stale_edge_count(self):
+        g = Graph.from_edges([(0, 1, 2)])
+        g._num_edges = 5
+        assert any("cached edge count" in p for p in check_graph(g))
+
+    def test_validate_raises(self):
+        g = Graph.from_edges([(0, 1, 2)])
+        g._num_edges = 5
+        with pytest.raises(GraphError):
+            validate_graph(g)

@@ -1,0 +1,64 @@
+"""The Exp-3 mechanism, tested without timing noise.
+
+Fig. 10's trends are driven by *how many labels* each algorithm scans
+at a given query distance: TL/CTL scan root-to-LCA prefixes that
+shrink as pairs get farther apart (shallower LCAs), while CTLS scans
+LCA node blocks that grow (wider cuts near the root).  Visited-label
+counters expose this deterministically.
+"""
+
+import pytest
+
+from repro.baselines.tl import TLIndex
+from repro.bench.measure import average_visited_labels
+from repro.bench.workloads import distance_binned_queries
+from repro.core.ctl import CTLIndex
+from repro.core.ctls import CTLSIndex
+from repro.graph.generators import road_network
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = road_network(900, seed=33)
+    groups = [
+        g
+        for g in distance_binned_queries(
+            graph, per_bin=60, seed=2, max_sources=300
+        )
+        if len(g.pairs) >= 30
+    ]
+    assert len(groups) >= 4, "workload generation must fill several bins"
+    indexes = {
+        "TL": TLIndex.build(graph),
+        "CTL": CTLIndex.build(graph),
+        "CTLS": CTLSIndex.build(graph),
+    }
+    return groups, indexes
+
+
+def visits_by_bin(index, groups):
+    return [average_visited_labels(index, g.pairs) for g in groups]
+
+
+class TestFig10Mechanism:
+    def test_tl_and_ctl_visits_shrink_with_distance(self, setup):
+        groups, indexes = setup
+        for name in ("TL", "CTL"):
+            visits = visits_by_bin(indexes[name], groups)
+            # Compare the first filled bins against the last: long-range
+            # pairs meet at shallow LCAs -> much shorter prefixes.
+            assert visits[0] > visits[-1], (name, visits)
+
+    def test_ctls_visits_grow_with_distance(self, setup):
+        groups, indexes = setup
+        visits = visits_by_bin(indexes["CTLS"], groups)
+        assert visits[0] < visits[-1], visits
+
+    def test_ctls_dominates_short_distance(self, setup):
+        groups, indexes = setup
+        short = groups[0].pairs
+        ctls = average_visited_labels(indexes["CTLS"], short)
+        tl = average_visited_labels(indexes["TL"], short)
+        # The paper's short-distance headline (up to 16x) comes from
+        # exactly this gap.
+        assert ctls * 2 < tl, (ctls, tl)

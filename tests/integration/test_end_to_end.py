@@ -1,0 +1,120 @@
+"""Integration tests: whole-library flows across modules."""
+
+import random
+
+import pytest
+
+from repro import (
+    CTLIndex,
+    CTLSIndex,
+    DynamicCTL,
+    OnlineSPC,
+    TLIndex,
+    load_index,
+    road_network,
+    save_index,
+    spc_query,
+)
+from repro.apps.betweenness import betweenness_exact, betweenness_sampled
+from repro.apps.poi import recommend_pois
+from repro.bench.workloads import distance_binned_queries, random_pairs
+from repro.graph.io import read_dimacs, write_dimacs
+
+
+@pytest.fixture(scope="module")
+def network():
+    return road_network(350, seed=21)
+
+
+@pytest.fixture(scope="module")
+def all_indexes(network):
+    return {
+        "TL": TLIndex.build(network),
+        "CTL": CTLIndex.build(network),
+        "CTLS-basic": CTLSIndex.build(network, strategy="basic"),
+        "CTLS-pruned": CTLSIndex.build(network, strategy="pruned"),
+        "CTLS-cutsearch": CTLSIndex.build(network, strategy="cutsearch"),
+        "online": OnlineSPC.build(network),
+    }
+
+
+class TestAllIndexesAgree:
+    def test_random_queries(self, network, all_indexes):
+        pairs = random_pairs(network, 150, seed=9)
+        for s, t in pairs:
+            expected = tuple(spc_query(network, s, t))
+            for name, index in all_indexes.items():
+                assert tuple(index.query(s, t)) == expected, (name, s, t)
+
+    def test_distance_binned_queries(self, network, all_indexes):
+        groups = distance_binned_queries(
+            network, per_bin=5, seed=2, max_sources=80
+        )
+        for group in groups:
+            for s, t in group.pairs:
+                expected = tuple(spc_query(network, s, t))
+                for name, index in all_indexes.items():
+                    assert tuple(index.query(s, t)) == expected, (name, s, t)
+
+
+class TestFileRoundTrips:
+    def test_dimacs_then_index(self, tmp_path, network):
+        path = tmp_path / "net.gr"
+        write_dimacs(network, path)
+        again = read_dimacs(path)
+        index = CTLSIndex.build(again)
+        s, t = 0, network.num_vertices - 1
+        assert tuple(index.query(s, t)) == tuple(spc_query(network, s, t))
+
+    def test_save_load_query(self, tmp_path, all_indexes, network):
+        pairs = random_pairs(network, 20, seed=4)
+        for name in ("TL", "CTL", "CTLS-cutsearch"):
+            index = all_indexes[name]
+            path = tmp_path / f"{name}.json"
+            save_index(index, path)
+            loaded = load_index(path)
+            for s, t in pairs:
+                assert tuple(loaded.query(s, t)) == tuple(index.query(s, t))
+
+
+class TestApplicationsOnIndexes:
+    def test_betweenness_estimate_correlates_with_exact(self, network, all_indexes):
+        exact = betweenness_exact(network)
+        top_exact = sorted(exact, key=exact.get, reverse=True)[:5]
+        estimated = betweenness_sampled(
+            all_indexes["CTLS-cutsearch"],
+            vertices=top_exact + sorted(network.vertices())[:5],
+            num_samples=400,
+            population=sorted(network.vertices()),
+            seed=11,
+        )
+        # The globally best vertex should score well in the estimate.
+        best = top_exact[0]
+        assert estimated[best] > 0
+
+    def test_poi_agrees_between_indexes(self, network, all_indexes):
+        rng = random.Random(2)
+        vertices = sorted(network.vertices())
+        candidates = rng.sample(vertices, 12)
+        source = vertices[0]
+        results = {
+            name: [r.vertex for r in recommend_pois(idx, source, candidates, k=5)]
+            for name, idx in all_indexes.items()
+        }
+        baseline = results["online"]
+        for name, ranking in results.items():
+            assert ranking == baseline, name
+
+
+class TestDynamicFlow:
+    def test_traffic_update_sequence(self, network):
+        dyn = DynamicCTL(network, seed=1)
+        rng = random.Random(6)
+        edges = sorted((u, v) for u, v, _w, _c in network.edges())
+        vertices = sorted(network.vertices())
+        for _round in range(3):
+            u, v = edges[rng.randrange(len(edges))]
+            old = dyn.graph.weight(u, v)
+            dyn.update_weight(u, v, old * 2)  # congestion doubles time
+            s, t = rng.choice(vertices), rng.choice(vertices)
+            assert tuple(dyn.query(s, t)) == tuple(spc_query(dyn.graph, s, t))

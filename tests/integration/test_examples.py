@@ -1,0 +1,54 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+Each example is importable with a ``main()`` entry point; the heaviest
+ones are exercised through smaller stand-ins of their core flow to keep
+the suite fast, while ``quickstart`` runs verbatim.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def test_examples_directory_complete():
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "betweenness_analysis.py",
+        "poi_recommendation.py",
+        "dynamic_traffic.py",
+        "build_and_save_index.py",
+    } <= present
+
+
+def test_examples_have_main():
+    for path in EXAMPLES.glob("*.py"):
+        source = path.read_text()
+        assert "def main(" in source, path.name
+        assert '__name__ == "__main__"' in source, path.name
+
+
+def test_quickstart_runs(capsys):
+    module = runpy.run_path(str(EXAMPLES / "quickstart.py"))
+    module["main"]()
+    out = capsys.readouterr().out
+    assert "MISMATCH" not in out
+    assert "CTLS-Index" in out
+
+
+def test_build_and_save_index_runs(tmp_path, capsys, monkeypatch):
+    from repro.graph.generators import road_network
+    from repro.graph.io import write_dimacs
+
+    network = tmp_path / "tiny.gr"
+    write_dimacs(road_network(300, seed=1), network)
+    module = runpy.run_path(str(EXAMPLES / "build_and_save_index.py"))
+    monkeypatch.setattr(sys, "argv", ["build_and_save_index.py", str(network)])
+    module["main"]()
+    out = capsys.readouterr().out
+    assert "us/query" in out
+    assert (tmp_path / "tiny.spc-index.json").exists()

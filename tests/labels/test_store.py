@@ -1,0 +1,48 @@
+"""Tests for the label store."""
+
+from repro.labels.store import LabelStore
+
+
+class TestLabelStore:
+    def test_initial_state(self):
+        store = LabelStore([0, 1, 2])
+        assert store.num_vertices == 3
+        assert store.total_entries == 0
+        assert store.label_length(1) == 0
+
+    def test_append_and_entry(self):
+        store = LabelStore([0, 1])
+        store.append(0, 5, 2)
+        store.append(0, 7, 1)
+        assert store.entry(0, 0) == (5, 2)
+        assert store.entry(0, 1) == (7, 1)
+        assert store.label_length(0) == 2
+        assert store.total_entries == 2
+
+    def test_accepts_iterator_of_vertices(self):
+        store = LabelStore(iter([0, 1, 2]))
+        assert store.num_vertices == 3
+        store.append(2, 1, 1)
+        assert store.count[2] == [1]
+
+    def test_size_bytes_model(self):
+        store = LabelStore([0])
+        store.append(0, 5, 2)
+        store.append(0, 7, 1)
+        # Two entries, two 32-bit elements each.
+        assert store.size_bytes() == 16
+        assert store.size_bytes(bytes_per_element=8) == 32
+
+    def test_max_label_length(self):
+        store = LabelStore([0, 1])
+        assert store.max_label_length() == 0
+        store.append(0, 1, 1)
+        store.append(0, 2, 1)
+        store.append(1, 3, 1)
+        assert store.max_label_length() == 2
+
+    def test_exact_big_counts(self):
+        store = LabelStore([0])
+        huge = 2**80
+        store.append(0, 1, huge)
+        assert store.entry(0, 0)[1] == huge

@@ -1,0 +1,57 @@
+"""Property tests: dynamic maintenance stays exact under random updates."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.dynamic import DynamicCTL
+from repro.graph.graph import Graph
+from repro.search.pairwise import spc_query
+
+
+@st.composite
+def graph_and_updates(draw):
+    """A small random graph plus a sequence of edge weight updates."""
+    seed = draw(st.integers(min_value=0, max_value=5_000))
+    n = draw(st.integers(min_value=4, max_value=12))
+    rng = random.Random(seed)
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    for v in range(1, n):
+        g.add_edge(rng.randrange(v), v, rng.choice((1, 2, 3)))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if not g.has_edge(u, v) and rng.random() < 0.3:
+                g.add_edge(u, v, rng.choice((1, 2, 3, 4)))
+    edges = sorted((u, v) for u, v, _w, _c in g.edges())
+    num_updates = draw(st.integers(min_value=1, max_value=5))
+    updates = [
+        (edges[draw(st.integers(min_value=0, max_value=len(edges) - 1))],
+         draw(st.sampled_from((1, 2, 3, 5, 8))))
+        for _ in range(num_updates)
+    ]
+    return g, updates
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(data=graph_and_updates())
+def test_dynamic_ctl_exact_after_every_update(data):
+    graph, updates = data
+    dynamic = DynamicCTL(graph)
+    vertices = sorted(graph.vertices())
+    for (u, v), new_weight in updates:
+        dynamic.update_weight(u, v, new_weight)
+        # Exhaustive check on these small graphs.
+        for s in vertices:
+            for t in vertices:
+                assert tuple(dynamic.query(s, t)) == tuple(
+                    spc_query(dynamic.graph, s, t)
+                ), (s, t, updates)

@@ -1,0 +1,145 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Random small weighted graphs are generated and every index is checked
+against the SSSPC oracle, plus structural invariants of partitions,
+SPC-Graphs and trees.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.tl import TLIndex
+from repro.core.base import BuildStats
+from repro.core.ctl import CTLIndex
+from repro.core.ctls import CTLSIndex
+from repro.core.spc_graph_build import BlockOutDist, build_spc_graph_cutsearch
+from repro.graph.graph import Graph
+from repro.graph.spc_graph import is_spc_graph_of
+from repro.partition.balanced_cut import balanced_cut
+from repro.search.dijkstra import ssspc
+from repro.search.pairwise import spc_query
+from repro.types import INF
+
+
+@st.composite
+def random_graphs(draw, max_vertices: int = 14):
+    """Connected-ish random weighted graphs with tie-prone weights."""
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    density = draw(st.floats(min_value=0.1, max_value=0.6))
+    rng = random.Random(seed)
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    # A random spanning tree keeps things mostly connected.
+    for v in range(1, n):
+        u = rng.randrange(v)
+        g.add_edge(u, v, rng.choice((1, 1, 2, 2, 3)))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if not g.has_edge(u, v) and rng.random() < density:
+                g.add_edge(u, v, rng.choice((1, 2, 2, 3, 4)))
+    return g
+
+
+common_settings = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@common_settings
+@given(graph=random_graphs(), data=st.data())
+def test_ctl_matches_oracle(graph, data):
+    index = CTLIndex.build(graph, leaf_size=2)
+    n = graph.num_vertices
+    s = data.draw(st.integers(min_value=0, max_value=n - 1))
+    t = data.draw(st.integers(min_value=0, max_value=n - 1))
+    assert tuple(index.query(s, t)) == tuple(spc_query(graph, s, t))
+
+
+@common_settings
+@given(graph=random_graphs(), strategy=st.sampled_from(["basic", "pruned", "cutsearch"]),
+       data=st.data())
+def test_ctls_matches_oracle(graph, strategy, data):
+    index = CTLSIndex.build(graph, leaf_size=2, strategy=strategy)
+    n = graph.num_vertices
+    s = data.draw(st.integers(min_value=0, max_value=n - 1))
+    t = data.draw(st.integers(min_value=0, max_value=n - 1))
+    assert tuple(index.query(s, t)) == tuple(spc_query(graph, s, t))
+
+
+@common_settings
+@given(graph=random_graphs(), data=st.data())
+def test_tl_matches_oracle(graph, data):
+    index = TLIndex.build(graph)
+    n = graph.num_vertices
+    s = data.draw(st.integers(min_value=0, max_value=n - 1))
+    t = data.draw(st.integers(min_value=0, max_value=n - 1))
+    assert tuple(index.query(s, t)) == tuple(spc_query(graph, s, t))
+
+
+@common_settings
+@given(graph=random_graphs(max_vertices=20))
+def test_balanced_cut_is_valid_partition(graph):
+    part = balanced_cut(graph, leaf_size=2)
+    left, cut, right = set(part.left), set(part.cut), set(part.right)
+    assert not (left & right) and not (left & cut) and not (right & cut)
+    assert left | cut | right == set(graph.vertices())
+    for u, v, _w, _c in graph.edges():
+        crosses = (u in left and v in right) or (u in right and v in left)
+        assert not crosses
+
+
+@common_settings
+@given(graph=random_graphs(max_vertices=12))
+def test_cutsearch_spc_graph_preserved(graph):
+    part = balanced_cut(graph, leaf_size=2)
+    if part.is_degenerate:
+        return
+    work = graph.copy()
+    blocks = {v: [] for v in graph.vertices()}
+    for c in part.cut:
+        dist, _count = ssspc(work, c)
+        for v in sorted(work.vertices()):
+            blocks[v].append(dist.get(v, INF))
+        work.remove_vertex(c)
+    through = BlockOutDist(blocks)
+    for side in (part.left, part.right):
+        if not side:
+            continue
+        spc = build_spc_graph_cutsearch(
+            graph, side, part.cut, through, BuildStats()
+        )
+        assert is_spc_graph_of(spc, graph)
+
+
+@common_settings
+@given(graph=random_graphs())
+def test_query_symmetry(graph):
+    """Q(s, t) == Q(t, s) for every index (undirected graphs)."""
+    ctls = CTLSIndex.build(graph, leaf_size=2)
+    vertices = sorted(graph.vertices())
+    for s in vertices[:4]:
+        for t in vertices[-4:]:
+            assert tuple(ctls.query(s, t)) == tuple(ctls.query(t, s))
+
+
+@common_settings
+@given(graph=random_graphs(), data=st.data())
+def test_triangle_inequality_of_index_distances(graph, data):
+    index = CTLIndex.build(graph, leaf_size=2)
+    n = graph.num_vertices
+    a = data.draw(st.integers(min_value=0, max_value=n - 1))
+    b = data.draw(st.integers(min_value=0, max_value=n - 1))
+    c = data.draw(st.integers(min_value=0, max_value=n - 1))
+    dab = index.query(a, b).distance
+    dbc = index.query(b, c).distance
+    dac = index.query(a, c).distance
+    if dab < INF and dbc < INF:
+        assert dac <= dab + dbc

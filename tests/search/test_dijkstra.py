@@ -1,0 +1,116 @@
+"""Tests for Dijkstra and the SSSPC counting search."""
+
+import pytest
+
+from repro.exceptions import VertexNotFoundError
+from repro.graph.generators import grid_graph
+from repro.graph.graph import Graph
+from repro.search.dijkstra import (
+    dijkstra,
+    shortest_path_tree_edges,
+    ssspc,
+    ssspc_multi_target,
+)
+
+
+class TestDijkstra:
+    def test_distances_on_path(self, path5):
+        dist = dijkstra(path5, 0)
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_unreachable_absent(self, two_components):
+        dist = dijkstra(two_components, 0)
+        assert 2 not in dist and 3 not in dist
+
+    def test_missing_source(self, path5):
+        with pytest.raises(VertexNotFoundError):
+            dijkstra(path5, 99)
+
+    def test_excluded_vertices(self, cycle6):
+        dist = dijkstra(cycle6, 0, excluded={1})
+        # Forced to go the long way around.
+        assert dist[2] == 4
+
+    def test_target_early_exit(self, path5):
+        dist = dijkstra(path5, 0, target=2)
+        assert dist[2] == 2
+
+    def test_weighted_choice(self, triangle):
+        dist = dijkstra(triangle, 0)
+        assert dist[2] == 2  # both the direct edge and via 1
+
+
+class TestSSSPC:
+    def test_counts_on_diamond(self, diamond):
+        dist, count = ssspc(diamond, 0)
+        assert dist[3] == 2
+        assert count[3] == 2
+
+    def test_counts_on_triangle_tie(self, triangle):
+        dist, count = ssspc(triangle, 0)
+        assert dist[2] == 2
+        assert count[2] == 2  # direct edge (2) and via vertex 1 (1+1)
+
+    def test_grid_binomial_counts(self):
+        g = grid_graph(4, 4)
+        _dist, count = ssspc(g, 0)
+        assert count[15] == 20  # C(6, 3)
+
+    def test_count_weights_multiply(self):
+        g = Graph()
+        g.add_edge(0, 1, 1, count=3)
+        g.add_edge(1, 2, 1, count=2)
+        _dist, count = ssspc(g, 0)
+        assert count[2] == 6
+
+    def test_count_weights_add_on_tie(self):
+        g = Graph()
+        g.add_edge(0, 1, 2, count=3)
+        g.add_edge(0, 2, 1)
+        g.add_edge(2, 1, 1, count=4)
+        _dist, count = ssspc(g, 0)
+        assert count[1] == 7
+
+    def test_excluded_affect_counts(self, diamond):
+        _dist, count = ssspc(diamond, 0, excluded={1})
+        assert count[3] == 1
+
+    def test_terminal_vertices_not_traversed(self, path5):
+        dist, _count = ssspc(path5, 0, terminal={2})
+        assert dist[2] == 2  # reachable
+        assert 3 not in dist  # but not traversed
+
+    def test_terminal_source_still_expands(self, path5):
+        dist, _count = ssspc(path5, 2, terminal={2})
+        assert dist == {0: 2, 1: 1, 2: 0, 3: 1, 4: 2}
+
+    def test_source_label(self, path5):
+        dist, count = ssspc(path5, 3)
+        assert dist[3] == 0
+        assert count[3] == 1
+
+
+class TestSSSPCMultiTarget:
+    def test_stops_after_targets(self, path5):
+        dist, count = ssspc_multi_target(path5, 0, targets=[1, 2])
+        assert dist[1] == 1 and dist[2] == 2
+        assert count[2] == 1
+
+    def test_counts_final_at_stop(self, diamond):
+        _dist, count = ssspc_multi_target(diamond, 0, targets=[3])
+        assert count[3] == 2
+
+    def test_empty_targets(self, path5):
+        dist, _count = ssspc_multi_target(path5, 0, targets=[])
+        assert dist[0] == 0
+
+    def test_unreachable_target_terminates(self, two_components):
+        dist, _count = ssspc_multi_target(two_components, 0, targets=[3])
+        assert 3 not in dist
+
+
+class TestShortestPathTree:
+    def test_predecessors_on_diamond(self, diamond):
+        parents = shortest_path_tree_edges(diamond, 0)
+        assert sorted(parents[3]) == [1, 2]
+        assert parents[0] == []

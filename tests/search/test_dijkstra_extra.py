@@ -1,0 +1,62 @@
+"""Additional SSSPC behaviours: target stopping, weight shapes, ties."""
+
+import itertools
+
+from repro.graph.graph import Graph
+from repro.search.dijkstra import dijkstra, ssspc
+
+
+class TestTargetStop:
+    def test_count_final_at_target(self):
+        # Multiple equal predecessors must all be folded in before the
+        # target is reported, even with early exit.
+        g = Graph()
+        for middle in (1, 2, 3):
+            g.add_edge(0, middle, 1)
+            g.add_edge(middle, 4, 1)
+        g.add_edge(4, 5, 10)  # beyond the target
+        dist, count = ssspc(g, 0, target=4)
+        assert dist[4] == 2
+        assert count[4] == 3
+
+    def test_stop_does_not_expand_past_target(self):
+        g = Graph.from_edges([(0, 1, 1), (1, 2, 1), (2, 3, 1)])
+        dist = dijkstra(g, 0, target=1)
+        assert 3 not in dist
+
+
+class TestTieShapes:
+    def test_long_tie_chain(self):
+        # Two parallel routes of equal total weight but different hop
+        # counts must both be counted.
+        g = Graph.from_edges(
+            [(0, 1, 1), (1, 2, 1), (2, 5, 1), (0, 3, 2), (3, 5, 1)]
+        )
+        dist, count = ssspc(g, 0)
+        assert dist[5] == 3
+        assert count[5] == 2
+
+    def test_asymmetric_weights_no_false_ties(self):
+        g = Graph.from_edges([(0, 1, 2), (1, 3, 2), (0, 2, 1), (2, 3, 4)])
+        _dist, count = ssspc(g, 0)
+        assert count[3] == 1  # 4 < 5
+
+    def test_all_pairs_symmetry(self):
+        g = Graph.from_edges(
+            [(0, 1, 1), (1, 2, 2), (2, 3, 1), (3, 0, 2), (0, 2, 3)]
+        )
+        for s, t in itertools.combinations(range(4), 2):
+            ds, cs = ssspc(g, s)
+            dt, ct = ssspc(g, t)
+            assert ds[t] == dt[s]
+            assert cs[t] == ct[s]
+
+
+class TestMixedWeightTypes:
+    def test_int_and_float_weights(self):
+        g = Graph()
+        g.add_edge(0, 1, 1)
+        g.add_edge(1, 2, 0.5)
+        dist, count = ssspc(g, 0)
+        assert dist[2] == 1.5
+        assert count[2] == 1

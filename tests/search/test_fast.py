@@ -1,0 +1,107 @@
+"""Cross-tests: CSR-based SSSPC must agree with the dict reference."""
+
+import random
+
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import grid_graph, power_grid_network, road_network
+from repro.search.dijkstra import ssspc
+from repro.search.fast import ssspc_csr, ssspc_csr_arrays
+from repro.types import INF
+
+
+@pytest.mark.parametrize(
+    "graph_factory",
+    [
+        lambda: grid_graph(5, 5),
+        lambda: road_network(300, seed=2),
+        lambda: power_grid_network(200, seed=3),
+    ],
+    ids=["grid", "road", "power"],
+)
+class TestAgainstReference:
+    def test_plain_search(self, graph_factory):
+        g = graph_factory()
+        csr = CSRGraph(g)
+        for source in sorted(g.vertices())[::37]:
+            want = ssspc(g, source)
+            got = ssspc_csr(csr, source)
+            assert got == want
+
+    def test_excluded(self, graph_factory):
+        g = graph_factory()
+        csr = CSRGraph(g)
+        rng = random.Random(1)
+        vertices = sorted(g.vertices())
+        excluded = set(rng.sample(vertices, len(vertices) // 10))
+        source = next(v for v in vertices if v not in excluded)
+        assert ssspc_csr(csr, source, excluded=excluded) == ssspc(
+            g, source, excluded=excluded
+        )
+
+    def test_terminal(self, graph_factory):
+        g = graph_factory()
+        csr = CSRGraph(g)
+        rng = random.Random(2)
+        vertices = sorted(g.vertices())
+        terminal = set(rng.sample(vertices, len(vertices) // 8))
+        source = vertices[0]
+        assert ssspc_csr(csr, source, terminal=terminal) == ssspc(
+            g, source, terminal=terminal
+        )
+
+
+class TestArraysVariant:
+    def test_matches_map_variant(self):
+        g = road_network(200, seed=4)
+        csr = CSRGraph(g)
+        source = sorted(g.vertices())[0]
+        dist_map, count_map = ssspc_csr(csr, source)
+        dist, count = ssspc_csr_arrays(csr, csr.dense_id(source))
+        for idx, v in enumerate(csr.vertices):
+            if v in dist_map:
+                assert dist[idx] == dist_map[v]
+                assert count[idx] == count_map[v]
+            else:
+                assert dist[idx] is None
+
+    def test_banned_mask(self, diamond):
+        csr = CSRGraph(diamond)
+        banned = [False] * csr.num_vertices
+        banned[csr.dense_id(1)] = True
+        dist, count = ssspc_csr_arrays(csr, csr.dense_id(0), banned=banned)
+        assert dist[csr.dense_id(3)] == 2
+        assert count[csr.dense_id(3)] == 1
+        assert dist[csr.dense_id(1)] is None
+
+
+class TestEngineParity:
+    def test_ctl_engines_identical(self):
+        from repro.core.ctl import CTLIndex
+
+        g = road_network(250, seed=6)
+        a = CTLIndex.build(g, engine="dict")
+        b = CTLIndex.build(g, engine="csr")
+        assert a.labels.dist == b.labels.dist
+        assert a.labels.count == b.labels.count
+
+    @pytest.mark.parametrize("strategy", ["basic", "pruned", "cutsearch"])
+    def test_ctls_engines_identical(self, strategy):
+        from repro.core.ctls import CTLSIndex
+
+        g = road_network(250, seed=6)
+        a = CTLSIndex.build(g, engine="dict", strategy=strategy)
+        b = CTLSIndex.build(g, engine="csr", strategy=strategy)
+        assert a.labels.dist == b.labels.dist
+        assert a.labels.count == b.labels.count
+
+    def test_unknown_engine_rejected(self, diamond):
+        from repro.core.ctl import CTLIndex
+        from repro.core.ctls import CTLSIndex
+        from repro.exceptions import IndexBuildError
+
+        with pytest.raises(IndexBuildError):
+            CTLIndex.build(diamond, engine="gpu")
+        with pytest.raises(IndexBuildError):
+            CTLSIndex.build(diamond, engine="gpu")

@@ -1,0 +1,88 @@
+"""Tests for pairwise queries and the brute-force oracle."""
+
+import pytest
+
+from repro.exceptions import VertexNotFoundError
+from repro.graph.generators import grid_graph
+from repro.graph.graph import Graph
+from repro.search.pairwise import (
+    all_pairs_spc,
+    count_paths_bruteforce,
+    distance_query,
+    enumerate_shortest_paths,
+    spc_query,
+)
+from repro.types import INF
+
+
+class TestSpcQuery:
+    def test_same_vertex(self, diamond):
+        assert tuple(spc_query(diamond, 1, 1)) == (0, 1)
+
+    def test_diamond(self, diamond):
+        assert tuple(spc_query(diamond, 0, 3)) == (2, 2)
+
+    def test_disconnected(self, two_components):
+        result = spc_query(two_components, 0, 3)
+        assert result.distance == INF
+        assert result.count == 0
+        assert not result.connected
+
+    def test_missing_vertices(self, diamond):
+        with pytest.raises(VertexNotFoundError):
+            spc_query(diamond, 0, 99)
+        with pytest.raises(VertexNotFoundError):
+            spc_query(diamond, 99, 0)
+
+    def test_distance_query(self, diamond, two_components):
+        assert distance_query(diamond, 0, 3) == 2
+        assert distance_query(diamond, 2, 2) == 0
+        assert distance_query(two_components, 0, 2) == INF
+
+
+class TestBruteforceOracle:
+    def test_matches_ssspc_on_grid(self):
+        g = grid_graph(3, 3)
+        for s in range(9):
+            for t in range(9):
+                assert tuple(count_paths_bruteforce(g, s, t)) == tuple(
+                    spc_query(g, s, t)
+                )
+
+    def test_respects_count_weights(self):
+        g = Graph()
+        g.add_edge(0, 1, 1, count=3)
+        g.add_edge(1, 2, 1, count=2)
+        assert tuple(count_paths_bruteforce(g, 0, 2)) == (2, 6)
+
+    def test_disconnected(self, two_components):
+        result = count_paths_bruteforce(two_components, 0, 2)
+        assert result.count == 0
+
+    def test_missing_vertex(self, diamond):
+        with pytest.raises(VertexNotFoundError):
+            count_paths_bruteforce(diamond, 0, 42)
+
+
+class TestAllPairs:
+    def test_covers_all_sources(self, diamond):
+        table = all_pairs_spc(diamond)
+        assert set(table) == {0, 1, 2, 3}
+        dist, count = table[0]
+        assert dist[3] == 2 and count[3] == 2
+
+
+class TestEnumeratePaths:
+    def test_diamond_paths(self, diamond):
+        paths = sorted(enumerate_shortest_paths(diamond, 0, 3))
+        assert paths == [[0, 1, 3], [0, 2, 3]]
+
+    def test_limit(self, diamond):
+        paths = list(enumerate_shortest_paths(diamond, 0, 3, limit=1))
+        assert len(paths) == 1
+
+    def test_unreachable_yields_nothing(self, two_components):
+        assert list(enumerate_shortest_paths(two_components, 0, 3)) == []
+
+    def test_single_path(self, path5):
+        assert list(enumerate_shortest_paths(path5, 0, 4)) == [[0, 1, 2, 3, 4]]

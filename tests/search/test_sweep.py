@@ -1,0 +1,49 @@
+"""Tests for double-sweep diameter heuristics."""
+
+import pytest
+
+from repro.graph.generators import path_graph, road_network
+from repro.graph.graph import Graph
+from repro.search.sweep import approximate_diameter, distant_endpoints, farthest_vertex
+
+
+class TestFarthestVertex:
+    def test_path_end(self, path5):
+        far, dist = farthest_vertex(path5, 0)
+        assert (far, dist) == (4, 4)
+
+    def test_middle_source(self, path5):
+        far, dist = farthest_vertex(path5, 2)
+        assert dist == 2
+        assert far in (0, 4)
+
+
+class TestDistantEndpoints:
+    def test_path_finds_diameter(self):
+        g = path_graph(30)
+        a, b, dist = distant_endpoints(g)
+        assert dist == 29
+        assert {a, b} == {0, 29}
+
+    def test_singleton(self):
+        g = Graph()
+        g.add_vertex(7)
+        assert distant_endpoints(g) == (7, 7, 0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            distant_endpoints(Graph())
+
+    def test_deterministic(self):
+        g = road_network(300, seed=1)
+        assert distant_endpoints(g) == distant_endpoints(g)
+
+
+class TestApproximateDiameter:
+    def test_lower_bound_close_on_roads(self):
+        g = road_network(300, seed=1)
+        estimate = approximate_diameter(g)
+        assert estimate > 0
+        # The double sweep is a lower bound, so it never exceeds the
+        # sum of all weights (a crude upper bound).
+        assert estimate <= sum(w for _u, _v, w, _c in g.edges())

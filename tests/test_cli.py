@@ -1,0 +1,73 @@
+"""Tests for the repro-spc command line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph.generators import grid_graph
+from repro.graph.io import write_dimacs
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "net.gr"
+    write_dimacs(grid_graph(4, 4), path)
+    return path
+
+
+class TestGenerate:
+    def test_generate_road(self, tmp_path, capsys):
+        out = tmp_path / "road.gr"
+        assert main(["generate", "road", "200", str(out), "--seed", "3"]) == 0
+        assert out.exists()
+        assert "wrote Graph" in capsys.readouterr().out
+
+    def test_generate_power(self, tmp_path):
+        out = tmp_path / "power.gr"
+        assert main(["generate", "power", "100", str(out)]) == 0
+        assert out.exists()
+
+
+class TestBuildQueryStats:
+    @pytest.mark.parametrize("algorithm", ["tl", "ctl", "ctls"])
+    def test_full_cycle(self, tmp_path, graph_file, capsys, algorithm):
+        index_path = tmp_path / "index.json"
+        assert main(
+            ["build", str(graph_file), str(index_path), "--algorithm", algorithm]
+        ) == 0
+        assert index_path.exists()
+
+        assert main(["query", str(index_path), "0", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "distance=6" in out
+        assert "shortest_paths=20" in out
+
+        assert main(["stats", str(index_path)]) == 0
+        out = capsys.readouterr().out
+        assert "vertices:           16" in out
+
+    def test_build_with_strategy(self, tmp_path, graph_file):
+        index_path = tmp_path / "index.json"
+        assert main(
+            [
+                "build", str(graph_file), str(index_path),
+                "--algorithm", "ctls", "--strategy", "pruned",
+            ]
+        ) == 0
+
+    def test_query_disconnected_exit_code(self, tmp_path):
+        from repro.graph.graph import Graph
+        from repro.graph.io import write_json
+
+        g = Graph.from_edges([(0, 1, 1), (2, 3, 1)])
+        graph_path = tmp_path / "g.json"
+        write_json(g, graph_path)
+        index_path = tmp_path / "i.json"
+        assert main(["build", str(graph_path), str(index_path)]) == 0
+        assert main(["query", str(index_path), "0", "3"]) == 1
+
+    def test_edge_list_input(self, tmp_path):
+        edge_path = tmp_path / "edges.txt"
+        edge_path.write_text("0 1 2\n1 2 2\n")
+        index_path = tmp_path / "i.json"
+        assert main(["build", str(edge_path), str(index_path)]) == 0
+        assert main(["query", str(index_path), "0", "2"]) == 0

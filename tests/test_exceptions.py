@@ -1,0 +1,50 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    DisconnectedError,
+    EdgeError,
+    GraphError,
+    IndexBuildError,
+    IndexQueryError,
+    ParseError,
+    ReproError,
+    SerializationError,
+    VertexNotFoundError,
+    WorkloadError,
+)
+
+
+ALL_ERRORS = [
+    DisconnectedError(0, 1),
+    EdgeError("x"),
+    GraphError("x"),
+    IndexBuildError("x"),
+    IndexQueryError("x"),
+    ParseError("x"),
+    SerializationError("x"),
+    VertexNotFoundError(3),
+    WorkloadError("x"),
+]
+
+
+@pytest.mark.parametrize("error", ALL_ERRORS, ids=lambda e: type(e).__name__)
+def test_all_derive_from_repro_error(error):
+    assert isinstance(error, ReproError)
+
+
+def test_vertex_not_found_payload():
+    err = VertexNotFoundError(42)
+    assert err.vertex == 42
+    assert "42" in str(err)
+
+
+def test_parse_error_line_numbers():
+    assert "line 3" in str(ParseError("bad", line_number=3))
+    assert ParseError("bad").line_number is None
+
+
+def test_disconnected_payload():
+    err = DisconnectedError(1, 2)
+    assert (err.source, err.target) == (1, 2)

@@ -1,0 +1,88 @@
+"""Cross-checks against networkx reference implementations.
+
+networkx is a dev-environment dependency only (the library itself does
+not import it); these tests exist because independent implementations
+are the strongest oracle available for flow and centrality code.
+"""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.apps.betweenness import betweenness_exact
+from repro.flow.dinitz import max_flow
+from repro.flow.network import FlowNetwork
+from repro.graph.generators import grid_graph, road_network
+from repro.graph.graph import Graph
+from repro.search.dijkstra import ssspc
+
+
+def random_digraph_flow_case(seed):
+    rng = random.Random(seed)
+    n = rng.randint(4, 10)
+    net = FlowNetwork()
+    nxg = nx.DiGraph()
+    for u in range(n):
+        for v in range(n):
+            if u != v and rng.random() < 0.35:
+                capacity = rng.randint(1, 9)
+                net.add_edge(u, v, capacity)
+                nxg.add_edge(u, v, capacity=capacity)
+    nxg.add_node(0)
+    nxg.add_node(n - 1)
+    net.node_id(0)
+    net.node_id(n - 1)
+    return net, nxg, 0, n - 1
+
+
+class TestDinitzAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_max_flow_values_agree(self, seed):
+        net, nxg, s, t = random_digraph_flow_case(seed)
+        expected = nx.maximum_flow_value(nxg, s, t) if nxg.has_node(s) else 0
+        assert max_flow(net, s, t) == expected
+
+
+def to_networkx(graph: Graph) -> nx.Graph:
+    nxg = nx.Graph()
+    nxg.add_nodes_from(graph.vertices())
+    for u, v, w, _c in graph.edges():
+        nxg.add_edge(u, v, weight=w)
+    return nxg
+
+
+class TestBetweennessAgainstNetworkx:
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [lambda: grid_graph(4, 4), lambda: road_network(150, seed=3)],
+        ids=["grid", "road"],
+    )
+    def test_exact_brandes_agrees(self, graph_factory):
+        graph = graph_factory()
+        ours = betweenness_exact(graph)
+        theirs = nx.betweenness_centrality(
+            to_networkx(graph), weight="weight", normalized=False
+        )
+        for v in graph.vertices():
+            assert ours[v] == pytest.approx(theirs[v], abs=1e-9)
+
+
+class TestCountsAgainstNetworkx:
+    def test_ssspc_counts_match_all_shortest_paths(self):
+        graph = road_network(120, seed=9)
+        nxg = to_networkx(graph)
+        source = sorted(graph.vertices())[0]
+        dist, count = ssspc(graph, source)
+        rng = random.Random(1)
+        targets = rng.sample(sorted(graph.vertices()), 15)
+        for t in targets:
+            if t == source:
+                continue
+            paths = list(
+                nx.all_shortest_paths(nxg, source, t, weight="weight")
+            )
+            assert count[t] == len(paths)
+            assert dist[t] == nx.shortest_path_length(
+                nxg, source, t, weight="weight"
+            )

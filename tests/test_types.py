@@ -1,0 +1,34 @@
+"""Tests for shared value types."""
+
+from repro.types import INF, Partition, QueryResult, QueryStats
+
+
+class TestQueryResult:
+    def test_unpacking(self):
+        dist, count = QueryResult(5, 3)
+        assert (dist, count) == (5, 3)
+
+    def test_connected(self):
+        assert QueryResult(5, 3).connected
+        assert not QueryResult(INF, 0).connected
+
+    def test_equality_and_hash(self):
+        assert QueryResult(1, 2) == QueryResult(1, 2)
+        assert hash(QueryResult(1, 2)) == hash(QueryResult(1, 2))
+
+
+class TestQueryStats:
+    def test_unpacking(self):
+        result, visited = QueryStats(QueryResult(1, 1), 7)
+        assert visited == 7
+        assert tuple(result) == (1, 1)
+
+
+class TestPartition:
+    def test_unpacking(self):
+        left, cut, right = Partition((0,), (1,), (2,))
+        assert (left, cut, right) == ((0,), (1,), (2,))
+
+    def test_degenerate(self):
+        assert Partition((), (0, 1), ()).is_degenerate
+        assert not Partition((0,), (1,), ()).is_degenerate

@@ -1,0 +1,124 @@
+"""Tests for the CutTree structure."""
+
+import pytest
+
+from repro.exceptions import IndexBuildError
+from repro.tree.cut_tree import CutTree
+
+
+def build_sample():
+    """Root {1, 5}; left child {2}; right child {3, 4}; grandchild {6}."""
+    tree = CutTree()
+    root = tree.add_node([5, 1])  # stored sorted: (1, 5)
+    left = tree.add_node([2], parent=root)
+    right = tree.add_node([4, 3], parent=root)
+    tree.add_node([6], parent=left)
+    tree.finalize()
+    return tree, root, left, right
+
+
+class TestConstruction:
+    def test_vertices_sorted_in_node(self):
+        tree, root, _l, right = build_sample()
+        assert tree.node(root).vertices == (1, 5)
+        assert tree.node(right).vertices == (3, 4)
+
+    def test_empty_node_rejected(self):
+        tree = CutTree()
+        with pytest.raises(IndexBuildError):
+            tree.add_node([])
+
+    def test_duplicate_vertex_rejected(self):
+        tree = CutTree()
+        tree.add_node([1])
+        with pytest.raises(IndexBuildError):
+            tree.add_node([1])
+
+    def test_third_child_rejected(self):
+        tree = CutTree()
+        root = tree.add_node([0])
+        tree.add_node([1], parent=root)
+        tree.add_node([2], parent=root)
+        with pytest.raises(IndexBuildError):
+            tree.add_node([3], parent=root)
+
+    def test_counts(self):
+        tree, *_ = build_sample()
+        assert tree.num_nodes == 4
+        assert tree.num_vertices == 6
+        assert tree.width == 2
+        assert tree.height == 4  # path root(2) -> left(1) -> grandchild(1)
+
+    def test_validate_passes(self):
+        tree, *_ = build_sample()
+        tree.validate()
+
+
+class TestOffsets:
+    def test_block_offsets(self):
+        tree, root, left, right = build_sample()
+        assert tree.node(root).block_start == 0
+        assert tree.node(root).block_end == 2
+        assert tree.node(left).block_end == 3
+        assert tree.node(right).block_end == 4
+
+    def test_label_lengths(self):
+        tree, *_ = build_sample()
+        assert tree.label_length(1) == 1  # rank 0 in root
+        assert tree.label_length(5) == 2
+        assert tree.label_length(2) == 3
+        assert tree.label_length(3) == 3  # root block + own position
+        assert tree.label_length(4) == 4
+        assert tree.label_length(6) == 4
+
+    def test_ancestor_vertices(self):
+        tree, *_ = build_sample()
+        assert tree.ancestor_vertices(6) == [1, 5, 2, 6]
+        assert tree.ancestor_vertices(4) == [1, 5, 3, 4]
+        assert tree.ancestor_vertices(5) == [1, 5]
+        assert tree.ancestor_vertices(1) == [1]
+
+
+class TestQueries:
+    def test_lca_node(self):
+        tree, root, left, right = build_sample()
+        assert tree.lca_node(6, 4).index == root
+        assert tree.lca_node(2, 6).index == left
+        assert tree.lca_node(3, 4).index == right
+        assert tree.lca_node(1, 6).index == root
+
+    def test_lca_before_finalize_raises(self):
+        tree = CutTree()
+        tree.add_node([0, 1])
+        with pytest.raises(IndexBuildError):
+            tree.lca_node(0, 1)
+
+    def test_common_prefix_cross_branch(self):
+        tree, *_ = build_sample()
+        # 6 (left branch) vs 4 (right branch): LCA is the root block.
+        assert tree.common_prefix_length(6, 4) == 2
+
+    def test_common_prefix_ancestor_relation(self):
+        tree, *_ = build_sample()
+        # 2's node is an ancestor of 6's node: prefix = A(2).
+        assert tree.common_prefix_length(2, 6) == 3
+        assert tree.common_prefix_length(6, 2) == 3
+
+    def test_common_prefix_same_node(self):
+        tree, *_ = build_sample()
+        # 3 and 4 share a node: truncate at min rank.
+        assert tree.common_prefix_length(3, 4) == 3
+        assert tree.common_prefix_length(1, 5) == 1
+
+    def test_lca_block_range_cross_branch(self):
+        tree, root, _l, right = build_sample()
+        assert tree.lca_block_range(6, 4) == (0, 2)
+
+    def test_lca_block_range_same_node(self):
+        tree, *_ = build_sample()
+        assert tree.lca_block_range(3, 4) == (2, 3)
+
+    def test_lca_block_range_ancestor(self):
+        tree, *_ = build_sample()
+        # LCA node is 2's own node; end truncates at 2's label length.
+        assert tree.lca_block_range(2, 6) == (2, 3)
