@@ -1,0 +1,78 @@
+"""Profile a query workload end to end with the ``repro-spc`` CLI.
+
+Run with::
+
+    python examples/profile_query_workload.py [num_vertices]
+
+The script drives the same code paths as the shell loop::
+
+    repro-spc generate road 2000 network.gr --seed 7
+    repro-spc build network.gr index.json --trace build-trace.json
+    repro-spc profile index.json pairs.txt --repeats 3
+
+and finishes by loading the emitted Chrome trace back in and printing
+where the build time went — open the trace file in
+https://ui.perfetto.dev to explore it interactively.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.bench.workloads import random_pairs
+from repro.cli import main as repro_spc
+from repro.graph.io import read_dimacs
+from repro.obs import span_summary, validate_chrome_trace
+from repro.obs.tracing import SpanEvent
+
+
+def main() -> None:
+    num_vertices = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+    workdir = Path(tempfile.mkdtemp(prefix="repro_profile_"))
+    network = workdir / "network.gr"
+    index = workdir / "index.json"
+    pairs_file = workdir / "pairs.txt"
+    trace_file = workdir / "build-trace.json"
+
+    print(f"Working in {workdir}")
+    assert repro_spc(
+        ["generate", "road", str(num_vertices), str(network), "--seed", "7"]
+    ) == 0
+
+    print("\n== repro-spc build --trace ==")
+    assert repro_spc(
+        ["build", str(network), str(index), "--trace", str(trace_file)]
+    ) == 0
+
+    graph = read_dimacs(network)
+    pairs = random_pairs(graph, 500, seed=9)
+    pairs_file.write_text(
+        "".join(f"{s} {t}\n" for s, t in pairs)
+    )
+
+    print("\n== repro-spc profile ==")
+    assert repro_spc(
+        ["profile", str(index), str(pairs_file), "--repeats", "3"]
+    ) == 0
+
+    print("\n== build trace breakdown ==")
+    payload = json.loads(trace_file.read_text())
+    problems = validate_chrome_trace(payload)
+    assert not problems, problems
+    events = [
+        SpanEvent(e["name"], e["ts"] / 1e6, e["dur"] / 1e6, e.get("args", {}))
+        for e in payload["traceEvents"]
+    ]
+    for name, entry in span_summary(events).items():
+        print(
+            f"  {name:<28} x{entry['count']:<5} "
+            f"{entry['total_seconds'] * 1e3:9.1f} ms total"
+        )
+    print(f"\nOpen {trace_file} in https://ui.perfetto.dev to drill in.")
+
+
+if __name__ == "__main__":
+    main()

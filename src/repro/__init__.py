@@ -18,6 +18,7 @@ All indexes answer exact queries: ``distance`` is the shortest path
 distance and ``count`` the number of distinct shortest paths.
 """
 
+import repro.obs as obs
 from repro.baselines import OnlineSPC, TLIndex
 from repro.core import (
     CTLIndex,
@@ -57,6 +58,7 @@ __all__ = [
     "TLIndex",
     "grid_road_network",
     "load_index",
+    "obs",
     "power_grid_network",
     "random_geometric_network",
     "read_dimacs",

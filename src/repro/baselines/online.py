@@ -14,7 +14,7 @@ from repro.core.base import BuildStats, IndexStats, SPCIndex
 from repro.exceptions import IndexQueryError, VertexNotFoundError
 from repro.graph.graph import Graph
 from repro.search.dijkstra import ssspc
-from repro.types import INF, QueryResult, QueryStats, Vertex
+from repro.types import INF, QueryResult, Vertex
 
 
 class OnlineSPC(SPCIndex):
@@ -34,25 +34,24 @@ class OnlineSPC(SPCIndex):
         instance.build_stats.seconds = time.perf_counter() - started
         return instance
 
-    def query(self, source: Vertex, target: Vertex) -> QueryResult:
-        """Run a target-stopping counting Dijkstra."""
-        return self.query_with_stats(source, target).result
+    def _query_scan(self, source: Vertex, target: Vertex):
+        """Run a target-stopping counting Dijkstra.
 
-    def query_with_stats(self, source: Vertex, target: Vertex) -> QueryStats:
-        """Query; ``visited_labels`` reports settled vertices."""
+        ``visited_labels`` reports settled vertices.
+        """
         try:
             if not self.graph.has_vertex(target):
                 raise VertexNotFoundError(target)
             if source == target:
                 if not self.graph.has_vertex(source):
                     raise VertexNotFoundError(source)
-                return QueryStats(QueryResult(0, 1), 0)
+                return QueryResult(0, 1), 0
             dist, count = ssspc(self.graph, source, target=target)
         except VertexNotFoundError as exc:
             raise IndexQueryError(str(exc)) from exc
         if target not in dist:
-            return QueryStats(QueryResult(INF, 0), len(dist))
-        return QueryStats(QueryResult(dist[target], count[target]), len(dist))
+            return QueryResult(INF, 0), len(dist)
+        return QueryResult(dist[target], count[target]), len(dist)
 
     def stats(self) -> IndexStats:
         """Zero-size stats: this baseline stores no index."""

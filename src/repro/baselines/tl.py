@@ -24,6 +24,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List
 
+import repro.obs as obs
 from repro.baselines.tree_decomposition import (
     TreeDecomposition,
     minimum_degree_elimination,
@@ -32,7 +33,7 @@ from repro.core.base import BuildStats, IndexStats, SPCIndex
 from repro.exceptions import IndexQueryError
 from repro.graph.graph import Graph
 from repro.tree.lca import LCATable
-from repro.types import INF, QueryResult, QueryStats, Vertex
+from repro.types import INF, QueryResult, Vertex
 
 
 class TLIndex(SPCIndex):
@@ -66,62 +67,69 @@ class TLIndex(SPCIndex):
     def build(cls, graph: Graph) -> "TLIndex":
         """Run TL-Construct: tree decomposition + upward label DP."""
         started = time.perf_counter()
-        stats = BuildStats()
-        td = minimum_degree_elimination(graph)
+        rec = obs.build_scope()
+        with rec.span("tl.build", n=graph.num_vertices, m=graph.num_edges):
+            with rec.span("tl.build.decomposition"):
+                td = minimum_degree_elimination(graph)
 
-        # Upward framework: parents (eliminated later) before children.
-        dist: Dict[Vertex, List] = {}
-        count: Dict[Vertex, List[int]] = {}
-        for v in reversed(td.order):
-            depth_v = td.depth[v]
-            dv: List = [INF] * (depth_v + 1)
-            cv: List[int] = [0] * (depth_v + 1)
-            dv[depth_v] = 0
-            cv[depth_v] = 1
-            for u, phi, sigma in td.bags[v]:
-                du = dist[u]
-                cu = count[u]
-                for i in range(len(du)):
-                    base = du[i]
-                    if base is INF or base == INF:
-                        continue
-                    cand = phi + base
-                    if cand < dv[i]:
-                        dv[i] = cand
-                        cv[i] = sigma * cu[i]
-                    elif cand == dv[i]:
-                        cv[i] += sigma * cu[i]
-            dist[v] = dv
-            count[v] = cv
+            # Upward framework: parents (eliminated later) before children.
+            dist: Dict[Vertex, List] = {}
+            count: Dict[Vertex, List[int]] = {}
+            with rec.span("tl.build.labels"):
+                for v in reversed(td.order):
+                    depth_v = td.depth[v]
+                    dv: List = [INF] * (depth_v + 1)
+                    cv: List[int] = [0] * (depth_v + 1)
+                    dv[depth_v] = 0
+                    cv[depth_v] = 1
+                    for u, phi, sigma in td.bags[v]:
+                        du = dist[u]
+                        cu = count[u]
+                        for i in range(len(du)):
+                            base = du[i]
+                            if base is INF or base == INF:
+                                continue
+                            cand = phi + base
+                            if cand < dv[i]:
+                                dv[i] = cand
+                                cv[i] = sigma * cu[i]
+                            elif cand == dv[i]:
+                                cv[i] += sigma * cu[i]
+                    dist[v] = dv
+                    count[v] = cv
+                    rec.incr("build.label_entries", depth_v + 1)
 
-        # O(1) LCA over the vertex tree.
-        vertex_ids = {v: i for i, v in enumerate(td.order)}
-        parents = [
-            -1 if td.parent[v] is None else vertex_ids[td.parent[v]]
-            for v in td.order
-        ]
-        lca = LCATable(parents)
+            # O(1) LCA over the vertex tree.
+            with rec.span("tl.build.lca"):
+                vertex_ids = {v: i for i, v in enumerate(td.order)}
+                parents = [
+                    -1 if td.parent[v] is None else vertex_ids[td.parent[v]]
+                    for v in td.order
+                ]
+                lca = LCATable(parents)
 
-        stats.seconds = time.perf_counter() - started
         total_entries = sum(len(x) for x in dist.values())
-        stats.peak_edges = graph.num_edges
-        stats.peak_memory_estimate = 8 * total_entries + 24 * graph.num_edges
+        rec.gauge_max("build.peak_edges", graph.num_edges)
+        stats = BuildStats.from_recorder(
+            rec,
+            seconds=time.perf_counter() - started,
+            total_label_entries=total_entries,
+        )
         return cls(td, dist, count, lca, vertex_ids, stats, graph.num_edges)
 
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
-    def query(self, source: Vertex, target: Vertex) -> QueryResult:
-        """TL-Query: scan labels of all common ancestors (Eq. 1)."""
-        result, _visited = self._query_scan(source, target)
-        return result
-
-    def query_with_stats(self, source: Vertex, target: Vertex) -> QueryStats:
-        """Query plus the number of visited label entries (Fig. 9)."""
-        result, visited = self._query_scan(source, target)
-        return QueryStats(result, visited)
+    def _lca_depth(self, source: Vertex, target: Vertex):
+        try:
+            a = self._vertex_ids[source]
+            b = self._vertex_ids[target]
+        except KeyError:
+            return None
+        return self._depth_by_id[self._lca.lca(a, b)]
 
     def _query_scan(self, source: Vertex, target: Vertex):
+        """TL-Query: scan labels of all common ancestors (Eq. 1)."""
         if source == target:
             if source not in self.label_dist:
                 raise IndexQueryError(f"vertex {source} is not indexed")

@@ -1,11 +1,20 @@
-"""Timing and size measurement helpers shared by the experiments."""
+"""Timing and size measurement helpers shared by the experiments.
+
+:func:`profile_queries` is the shared replay path: the ``repro-spc
+profile`` subcommand and the benchmark suite both run it, so live
+profiling and experiment tables report from the same metrics objects
+(an :class:`repro.obs.Histogram` of per-query latencies).
+"""
 
 from __future__ import annotations
 
 import time
-from typing import Callable, Iterable, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence, Tuple
 
+import repro.obs as obs
 from repro.core.base import SPCIndex
+from repro.obs.metrics import Histogram
 from repro.types import Vertex
 
 Pair = Tuple[Vertex, Vertex]
@@ -66,11 +75,91 @@ def index_size_bytes(index: SPCIndex) -> int:
 
 
 def geometric_mean(values: Iterable[float]) -> float:
-    """Geometric mean (0 when empty or any value is non-positive)."""
-    values = list(values)
-    if not values or any(v <= 0 for v in values):
+    """Geometric mean over the positive values.
+
+    Non-positive values (a zeroed timing cell, a missing measurement)
+    are skipped rather than zeroing the whole mean; the result is 0 only
+    when no positive value remains.
+    """
+    positives = [v for v in values if v > 0]
+    if not positives:
         return 0.0
     product = 1.0
-    for v in values:
+    for v in positives:
         product *= v
-    return product ** (1.0 / len(values))
+    return product ** (1.0 / len(positives))
+
+
+@dataclass
+class ProfileResult:
+    """Outcome of one workload replay (:func:`profile_queries`).
+
+    ``latency`` is the fixed-bucket histogram of per-query wall-clock
+    seconds; percentiles are estimated from its buckets, exactly what
+    ``repro-spc profile`` prints.
+    """
+
+    num_queries: int
+    repeats: int
+    total_seconds: float
+    latency: Histogram
+    checksum: int
+
+    @property
+    def p50(self) -> float:
+        """Median per-query latency in seconds."""
+        return self.latency.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile per-query latency in seconds."""
+        return self.latency.percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile per-query latency in seconds."""
+        return self.latency.percentile(0.99)
+
+
+def profile_queries(
+    index: SPCIndex,
+    pairs: Sequence[Pair],
+    *,
+    repeats: int = 1,
+    recorder: Optional["obs.Recorder"] = None,
+) -> ProfileResult:
+    """Replay ``pairs`` against ``index``, timing every single query.
+
+    Each query's latency is observed into the ``profile.latency_seconds``
+    histogram of ``recorder`` (a fresh one by default; pass the active
+    :func:`repro.obs.recorder` to fold the replay into a live trace —
+    the name is distinct from the index's own ``query.latency_seconds``
+    so the two never double count).
+    """
+    rec = recorder if recorder is not None else obs.Recorder()
+    checksum = 0
+    query = index.query
+    perf_counter = time.perf_counter
+    started = perf_counter()
+    with rec.span(
+        "profile.replay", queries=len(pairs), repeats=max(1, repeats)
+    ):
+        for _ in range(max(1, repeats)):
+            for s, t in pairs:
+                begin = perf_counter()
+                result = query(s, t)
+                rec.observe(
+                    "profile.latency_seconds", perf_counter() - begin
+                )
+                checksum ^= result.count & 0xFFFFFFFF
+    total = perf_counter() - started
+    latency = rec.histogram("profile.latency_seconds") or Histogram(
+        obs.LATENCY_BUCKETS_SECONDS
+    )
+    return ProfileResult(
+        num_queries=len(pairs),
+        repeats=max(1, repeats),
+        total_seconds=total,
+        latency=latency,
+        checksum=checksum,
+    )

@@ -11,6 +11,7 @@ from repro.bench.experiments import (
     QueryTimeRow,
     VisitedLabelsRow,
 )
+from repro.bench.measure import ProfileResult
 from repro.datasets.stats import DatasetRow
 
 
@@ -153,6 +154,36 @@ def render_exp4(rows: Sequence[ConstructionRow], *, markdown: bool = False) -> s
         body,
         markdown=markdown,
     )
+
+
+def render_profile(result: ProfileResult, *, bar_width: int = 40) -> str:
+    """Latency histogram + percentile lines for one workload replay.
+
+    The output of ``repro-spc profile``: per-bucket counts with a text
+    bar, then p50/p95/p99/mean estimated from the same histogram the
+    benchmarks record.
+    """
+    hist = result.latency
+    lines = [
+        f"replayed {result.num_queries} queries x{result.repeats} "
+        f"repeats in {result.total_seconds:.3f}s",
+    ]
+    buckets = hist.nonzero_buckets()
+    if buckets:
+        peak = max(buckets.values())
+        label_width = max(len(f"{label}s") for label in buckets)
+        for label, count in buckets.items():
+            bar = "#" * max(1, round(bar_width * count / peak))
+            lines.append(f"  {f'{label}s':>{label_width}}  {count:>8}  {bar}")
+    lines.append(
+        "latency: "
+        f"p50={hist.percentile(0.50) * 1e6:.2f}us "
+        f"p95={hist.percentile(0.95) * 1e6:.2f}us "
+        f"p99={hist.percentile(0.99) * 1e6:.2f}us "
+        f"mean={hist.mean * 1e6:.2f}us "
+        f"max={hist.max * 1e6:.2f}us"
+    )
+    return "\n".join(lines)
 
 
 def render_exp5(rows: Sequence[IndexSizeRow], *, markdown: bool = False) -> str:

@@ -1,4 +1,4 @@
-"""Command-line interface: build, inspect, and query SPC indexes.
+"""Command-line interface: build, inspect, query, and profile SPC indexes.
 
 Installed as the ``repro-spc`` console script::
 
@@ -6,23 +6,36 @@ Installed as the ``repro-spc`` console script::
     repro-spc query index.json 17 3405
     repro-spc stats index.json
     repro-spc generate road 2000 network.gr --seed 7
+    repro-spc profile index.json pairs.txt --repeats 3
 
 Graphs are DIMACS ``.gr`` files (``.json``/``.txt`` edge lists are
 auto-detected by extension); indexes are the JSON format of
 :mod:`repro.core.serialize`.
+
+``build``, ``query``, and ``profile`` accept ``--metrics`` (print the
+metrics snapshot as JSON on completion) and ``--trace out.json`` (write
+a Chrome trace-event file loadable in ``chrome://tracing`` or
+Perfetto).  Exit codes: 0 on success — including a disconnected query
+pair, which is an answer, not an error — and 1 for real failures (bad
+paths, malformed files, unknown vertices).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
 
+import repro.obs as obs
 from repro.baselines.tl import TLIndex
+from repro.bench.measure import profile_queries
+from repro.bench.report import render_profile
 from repro.core.ctl import CTLIndex
 from repro.core.ctls import CTLSIndex
 from repro.core.serialize import load_index, save_index
+from repro.exceptions import ParseError, ReproError
 from repro.graph.generators import power_grid_network, road_network
 from repro.graph.graph import Graph
 from repro.graph.io import read_dimacs, read_edge_list, read_json, write_dimacs
@@ -44,34 +57,101 @@ def _load_graph(path: str) -> Graph:
     return read_edge_list(path)
 
 
+def _load_pairs(path: str):
+    """Parse a query-pair file: one ``source target`` pair per line."""
+    pairs = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            text = line.split("#", 1)[0].strip()
+            if not text:
+                continue
+            fields = text.split()
+            if len(fields) != 2:
+                raise ParseError(
+                    f"expected 'source target', got {text!r}", line_number
+                )
+            try:
+                pairs.append((int(fields[0]), int(fields[1])))
+            except ValueError:
+                raise ParseError(
+                    f"non-integer vertex id in {text!r}", line_number
+                ) from None
+    if not pairs:
+        raise ParseError(f"{path}: no query pairs found")
+    return pairs
+
+
+def _obs_begin(args):
+    """Configure the global recorder when ``--trace``/``--metrics`` ask."""
+    if getattr(args, "trace", None) or getattr(args, "metrics", False):
+        return obs.configure()
+    return None
+
+
+def _obs_end(args, rec) -> None:
+    """Emit the requested trace/metrics output and reset the recorder."""
+    if rec is None:
+        return
+    try:
+        if args.trace:
+            obs.write_chrome_trace(args.trace, rec.trace_events)
+            print(f"trace written to {args.trace}")
+        if args.metrics:
+            print(json.dumps(rec.metrics_snapshot(), indent=2, default=str))
+    finally:
+        obs.disable()
+
+
 def _cmd_build(args: argparse.Namespace) -> int:
-    graph = _load_graph(args.graph)
-    print(f"loaded {graph!r}")
-    build = _ALGORITHMS[args.algorithm]
-    started = time.perf_counter()
-    index = build(graph, args.strategy)
-    elapsed = time.perf_counter() - started
-    stats = index.stats()
-    print(
-        f"built {args.algorithm.upper()} in {elapsed:.2f}s "
-        f"(h={stats.height}, w={stats.width}, "
-        f"size={stats.size_bytes / 1e6:.2f} MB)"
-    )
-    save_index(index, args.index)
-    print(f"saved to {args.index}")
+    rec = _obs_begin(args)
+    try:
+        with obs.span("cli.build", algorithm=args.algorithm):
+            graph = _load_graph(args.graph)
+            print(f"loaded {graph!r}")
+            build = _ALGORITHMS[args.algorithm]
+            started = time.perf_counter()
+            index = build(graph, args.strategy)
+            elapsed = time.perf_counter() - started
+            stats = index.stats()
+            print(
+                f"built {args.algorithm.upper()} in {elapsed:.2f}s "
+                f"(h={stats.height}, w={stats.width}, "
+                f"size={stats.size_bytes / 1e6:.2f} MB)"
+            )
+            save_index(index, args.index)
+            print(f"saved to {args.index}")
+    finally:
+        _obs_end(args, rec)
     return 0
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    index = load_index(args.index)
-    result = index.query(args.source, args.target)
-    if result.distance == INF:
-        print(f"Q({args.source}, {args.target}): disconnected")
-        return 1
-    print(
-        f"Q({args.source}, {args.target}): distance={result.distance} "
-        f"shortest_paths={result.count}"
-    )
+    rec = _obs_begin(args)
+    try:
+        index = load_index(args.index)
+        result = index.query(args.source, args.target)
+        if result.distance == INF:
+            print(f"Q({args.source}, {args.target}): disconnected")
+        else:
+            print(
+                f"Q({args.source}, {args.target}): "
+                f"distance={result.distance} shortest_paths={result.count}"
+            )
+    finally:
+        _obs_end(args, rec)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    rec = _obs_begin(args)
+    try:
+        index = load_index(args.index)
+        pairs = _load_pairs(args.pairs)
+        result = profile_queries(index, pairs, repeats=args.repeats,
+                                 recorder=rec)
+        print(render_profile(result))
+    finally:
+        _obs_end(args, rec)
     return 0
 
 
@@ -99,6 +179,20 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="OUT.json",
+        default=None,
+        help="write a Chrome trace-event JSON file of the run",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics snapshot as JSON when done",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro-spc`` argument parser (exposed for tests/docs)."""
     parser = argparse.ArgumentParser(
@@ -119,13 +213,30 @@ def build_parser() -> argparse.ArgumentParser:
         default="cutsearch",
         help="CTLS construction variant (ignored for tl/ctl)",
     )
+    _add_obs_flags(p_build)
     p_build.set_defaults(func=_cmd_build)
 
     p_query = sub.add_parser("query", help="answer one Q(s, t)")
     p_query.add_argument("index")
     p_query.add_argument("source", type=int)
     p_query.add_argument("target", type=int)
+    _add_obs_flags(p_query)
     p_query.set_defaults(func=_cmd_query)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="replay a query workload and print latency percentiles",
+    )
+    p_profile.add_argument("index")
+    p_profile.add_argument(
+        "pairs", help="workload file: one 'source target' pair per line"
+    )
+    p_profile.add_argument(
+        "--repeats", type=int, default=1,
+        help="replay the whole workload this many times (default 1)",
+    )
+    _add_obs_flags(p_profile)
+    p_profile.set_defaults(func=_cmd_profile)
 
     p_stats = sub.add_parser("stats", help="print index statistics")
     p_stats.add_argument("index")
@@ -145,7 +256,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ReproError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -4,20 +4,32 @@
 ``query(s, t) -> QueryResult(distance, count)`` and expose the same
 statistics surface, so benchmarks and applications treat them
 interchangeably.
+
+Query instrumentation lives here: when :mod:`repro.obs` is configured,
+every query records its latency, visited label entries, and LCA depth
+into the active recorder.  When observability is off (the default) the
+only extra work per query is one module-attribute check.
 """
 
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
+import repro.obs as obs
 from repro.types import QueryResult, QueryStats, Vertex
 
 
 @dataclass
 class BuildStats:
     """Instrumentation collected while constructing an index.
+
+    Populated from the build-scoped :class:`~repro.obs.Recorder` via
+    :meth:`from_recorder` — construction code increments recorder
+    counters (``build.ssspc_runs``, ``build.shortcuts_added``, ...)
+    instead of threading this object through every helper.
 
     ``peak_memory_estimate`` is a model-based estimate (bytes) covering
     label entries plus the largest working graph, mirroring the paper's
@@ -31,6 +43,30 @@ class BuildStats:
     peak_edges: int = 0
     peak_memory_estimate: int = 0
     extras: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_recorder(
+        cls,
+        rec,
+        *,
+        seconds: float,
+        total_label_entries: int = 0,
+    ) -> "BuildStats":
+        """Read the ``build.*`` metrics of a build-scoped recorder.
+
+        ``peak_memory_estimate`` follows the established model: 8 bytes
+        per label entry plus 24 bytes per edge of the largest working
+        graph (the ``build.peak_edges`` gauge).
+        """
+        peak_edges = int(rec.gauge_value("build.peak_edges"))
+        return cls(
+            seconds=seconds,
+            ssspc_runs=int(rec.counter_value("build.ssspc_runs")),
+            shortcuts_added=int(rec.counter_value("build.shortcuts_added")),
+            shortcuts_pruned=int(rec.counter_value("build.shortcuts_pruned")),
+            peak_edges=peak_edges,
+            peak_memory_estimate=8 * total_label_entries + 24 * peak_edges,
+        )
 
 
 @dataclass(frozen=True)
@@ -50,24 +86,61 @@ class SPCIndex(abc.ABC):
     """Abstract base for shortest path counting indexes.
 
     Subclasses are built with a ``build(graph, ...)`` classmethod and
-    answer exact ``(sd, spc)`` queries for any vertex pair of the
-    indexed graph.
+    implement :meth:`_query_scan`; the base class turns it into the
+    public :meth:`query`/:meth:`query_with_stats` pair and records
+    observability metrics when :mod:`repro.obs` is configured.
     """
 
     #: Human-readable algorithm name used in benchmark reports.
     name: str = "abstract"
 
     @abc.abstractmethod
-    def query(self, source: Vertex, target: Vertex) -> QueryResult:
-        """Answer ``Q(s, t)``: shortest distance and path count."""
-
-    @abc.abstractmethod
-    def query_with_stats(self, source: Vertex, target: Vertex) -> QueryStats:
-        """Like :meth:`query`, also reporting visited label entries."""
+    def _query_scan(
+        self, source: Vertex, target: Vertex
+    ) -> Tuple[QueryResult, int]:
+        """Answer ``Q(s, t)``; returns ``(result, visited_labels)``."""
 
     @abc.abstractmethod
     def stats(self) -> IndexStats:
         """Static index statistics (sizes use the 32-bit entry model)."""
+
+    def query(self, source: Vertex, target: Vertex) -> QueryResult:
+        """Answer ``Q(s, t)``: shortest distance and path count."""
+        if not obs.ENABLED:
+            return self._query_scan(source, target)[0]
+        started = time.perf_counter()
+        result, visited = self._query_scan(source, target)
+        self._record_query(
+            time.perf_counter() - started, visited, source, target
+        )
+        return result
+
+    def query_with_stats(self, source: Vertex, target: Vertex) -> QueryStats:
+        """Like :meth:`query`, also reporting visited label entries."""
+        if not obs.ENABLED:
+            result, visited = self._query_scan(source, target)
+            return QueryStats(result, visited)
+        started = time.perf_counter()
+        result, visited = self._query_scan(source, target)
+        self._record_query(
+            time.perf_counter() - started, visited, source, target
+        )
+        return QueryStats(result, visited)
+
+    def _lca_depth(self, source: Vertex, target: Vertex) -> Optional[int]:
+        """Tree depth of the queried pair's LCA node, if the index has one."""
+        return None
+
+    def _record_query(
+        self, elapsed: float, visited: int, source: Vertex, target: Vertex
+    ) -> None:
+        rec = obs.recorder()
+        rec.incr("query.count")
+        rec.observe("query.latency_seconds", elapsed)
+        rec.observe("query.visited_labels", visited)
+        depth = self._lca_depth(source, target)
+        if depth is not None:
+            rec.observe("query.lca_depth", depth)
 
     def query_many(self, pairs):
         """Answer a batch of queries; returns a list of results.

@@ -20,6 +20,7 @@ import random
 import time
 from typing import Optional
 
+import repro.obs as obs
 from repro.core.base import BuildStats, IndexStats, SPCIndex
 from repro.core.labeling import compute_node_labels
 from repro.exceptions import IndexBuildError, IndexQueryError
@@ -27,7 +28,7 @@ from repro.graph.graph import Graph
 from repro.labels.store import LabelStore
 from repro.partition.balanced_cut import balanced_cut
 from repro.tree.cut_tree import CutTree
-from repro.types import INF, QueryResult, QueryStats, Vertex
+from repro.types import INF, QueryResult, Vertex
 
 
 class CTLIndex(SPCIndex):
@@ -75,49 +76,62 @@ class CTLIndex(SPCIndex):
         rng = rng or random.Random(seed)
         tree = CutTree()
         labels = LabelStore(graph.vertices())
-        stats = BuildStats()
+        rec = obs.build_scope()
 
-        # Explicit stack: tree depth can exceed Python's recursion limit.
-        stack = [(graph.copy(), -1)]
-        while stack:
-            subgraph, parent = stack.pop()
-            if subgraph.num_vertices == 0:
-                continue
-            stats.peak_edges = max(stats.peak_edges, subgraph.num_edges)
-            part = balanced_cut(subgraph, beta, leaf_size=leaf_size, rng=rng)
-            node_id = tree.add_node(part.cut, parent)
+        with rec.span("ctl.build", n=graph.num_vertices, m=graph.num_edges):
+            # Explicit stack: tree depth can exceed Python's recursion
+            # limit.
+            stack = [(graph.copy(), -1, 0)]
+            while stack:
+                subgraph, parent, depth = stack.pop()
+                if subgraph.num_vertices == 0:
+                    continue
+                rec.gauge_max("build.peak_edges", subgraph.num_edges)
+                with rec.span(
+                    "ctl.build.node", depth=depth, n=subgraph.num_vertices
+                ) as node_span:
+                    part = balanced_cut(
+                        subgraph, beta, leaf_size=leaf_size, rng=rng, rec=rec
+                    )
+                    node_id = tree.add_node(part.cut, parent)
+                    node_span.set(node=node_id, cut_size=len(part.cut))
 
-            # Label computation (Algorithm 2 lines 2-4): highest rank
-            # (smallest id) first, excluding each processed cut vertex.
-            compute_node_labels(
-                subgraph, part.cut, labels, stats, engine=engine
-            )
+                    # Label computation (Algorithm 2 lines 2-4): highest
+                    # rank (smallest id) first, excluding each processed
+                    # cut vertex.
+                    with rec.span(
+                        "ctl.build.labels", node=node_id, cut=len(part.cut)
+                    ):
+                        compute_node_labels(
+                            subgraph, part.cut, labels, rec, engine=engine
+                        )
 
-            for side in (part.left, part.right):
-                if side:
-                    stack.append((subgraph.induced_subgraph(side), node_id))
+                    for side in (part.left, part.right):
+                        if side:
+                            stack.append(
+                                (subgraph.induced_subgraph(side), node_id,
+                                 depth + 1)
+                            )
 
-        tree.finalize()
-        stats.seconds = time.perf_counter() - started
-        stats.peak_memory_estimate = (
-            8 * labels.total_entries + 24 * stats.peak_edges
+            tree.finalize()
+        stats = BuildStats.from_recorder(
+            rec,
+            seconds=time.perf_counter() - started,
+            total_label_entries=labels.total_entries,
         )
         return cls(tree, labels, stats, graph.num_vertices, graph.num_edges)
 
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
-    def query(self, source: Vertex, target: Vertex) -> QueryResult:
-        """CTL-Query (Algorithm 1): scan common-ancestor labels."""
-        result, _visited = self._query_scan(source, target)
-        return result
-
-    def query_with_stats(self, source: Vertex, target: Vertex) -> QueryStats:
-        """Query plus the number of visited label entries (Fig. 9)."""
-        result, visited = self._query_scan(source, target)
-        return QueryStats(result, visited)
+    def _lca_depth(self, source: Vertex, target: Vertex):
+        try:
+            return self.tree.lca_node(source, target).depth
+        except KeyError:
+            return None
 
     def _query_scan(self, source: Vertex, target: Vertex):
+        """CTL-Query (Algorithm 1): scan common-ancestor labels."""
         if source == target:
             if source not in self.labels.dist:
                 raise IndexQueryError(f"vertex {source} is not indexed")

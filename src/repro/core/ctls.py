@@ -29,6 +29,7 @@ import random
 import time
 from typing import Optional
 
+import repro.obs as obs
 from repro.core.base import BuildStats, IndexStats, SPCIndex
 from repro.core.labeling import compute_node_labels
 from repro.core.spc_graph_build import (
@@ -41,7 +42,7 @@ from repro.graph.graph import Graph
 from repro.labels.store import LabelStore
 from repro.partition.balanced_cut import balanced_cut
 from repro.tree.cut_tree import CutTree
-from repro.types import INF, QueryResult, QueryStats, Vertex
+from repro.types import INF, QueryResult, Vertex
 
 STRATEGIES = ("basic", "pruned", "cutsearch")
 
@@ -110,48 +111,66 @@ class CTLSIndex(SPCIndex):
         rng = rng or random.Random(seed)
         tree = CutTree()
         labels = LabelStore(graph.vertices())
-        stats = BuildStats()
+        rec = obs.build_scope()
 
-        stack = [(graph.copy(), -1)]
-        while stack:
-            pg, parent = stack.pop()
-            if pg.num_vertices == 0:
-                continue
-            stats.peak_edges = max(stats.peak_edges, pg.num_edges)
-            part = balanced_cut(pg, beta, leaf_size=leaf_size, rng=rng)
-            node_id = tree.add_node(part.cut, parent)
-
-            # Strong convex labels: SSSPC from each cut vertex over the
-            # SPC-Graph, excluding processed (higher-ranked) cut vertices.
-            # Ancestor vertices are *not* excluded — shortcuts represent
-            # paths through them, which is exactly the strong convex
-            # semantics.
-            blocks = compute_node_labels(
-                pg, part.cut, labels, stats, engine=engine
-            )
-
-            if not part.left and not part.right:
-                continue
-            through_cut = BlockOutDist(blocks)
-            for side in (part.left, part.right):
-                if not side:
+        with rec.span(
+            "ctls.build",
+            n=graph.num_vertices,
+            m=graph.num_edges,
+            strategy=strategy,
+        ):
+            stack = [(graph.copy(), -1, 0)]
+            while stack:
+                pg, parent, depth = stack.pop()
+                if pg.num_vertices == 0:
                     continue
-                if strategy == "cutsearch":
-                    child = build_spc_graph_cutsearch(
-                        pg, side, part.cut, through_cut, stats
+                rec.gauge_max("build.peak_edges", pg.num_edges)
+                with rec.span(
+                    "ctls.build.node", depth=depth, n=pg.num_vertices
+                ) as node_span:
+                    part = balanced_cut(
+                        pg, beta, leaf_size=leaf_size, rng=rng, rec=rec
                     )
-                elif strategy == "pruned":
-                    child = build_spc_graph_basic(
-                        pg, side, stats, through_cut=through_cut, prune=True
-                    )
-                else:
-                    child = build_spc_graph_basic(pg, side, stats)
-                stack.append((child, node_id))
+                    node_id = tree.add_node(part.cut, parent)
+                    node_span.set(node=node_id, cut_size=len(part.cut))
 
-        tree.finalize()
-        stats.seconds = time.perf_counter() - started
-        stats.peak_memory_estimate = (
-            8 * labels.total_entries + 24 * stats.peak_edges
+                    # Strong convex labels: SSSPC from each cut vertex over
+                    # the SPC-Graph, excluding processed (higher-ranked) cut
+                    # vertices.  Ancestor vertices are *not* excluded —
+                    # shortcuts represent paths through them, which is
+                    # exactly the strong convex semantics.
+                    with rec.span(
+                        "ctls.build.labels", node=node_id, cut=len(part.cut)
+                    ):
+                        blocks = compute_node_labels(
+                            pg, part.cut, labels, rec, engine=engine
+                        )
+
+                    if not part.left and not part.right:
+                        continue
+                    through_cut = BlockOutDist(blocks)
+                    with rec.span("ctls.build.shortcuts", node=node_id):
+                        for side in (part.left, part.right):
+                            if not side:
+                                continue
+                            if strategy == "cutsearch":
+                                child = build_spc_graph_cutsearch(
+                                    pg, side, part.cut, through_cut, rec
+                                )
+                            elif strategy == "pruned":
+                                child = build_spc_graph_basic(
+                                    pg, side, rec,
+                                    through_cut=through_cut, prune=True,
+                                )
+                            else:
+                                child = build_spc_graph_basic(pg, side, rec)
+                            stack.append((child, node_id, depth + 1))
+
+            tree.finalize()
+        stats = BuildStats.from_recorder(
+            rec,
+            seconds=time.perf_counter() - started,
+            total_label_entries=labels.total_entries,
         )
         stats.extras["strategy"] = strategy
         return cls(
@@ -161,17 +180,14 @@ class CTLSIndex(SPCIndex):
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
-    def query(self, source: Vertex, target: Vertex) -> QueryResult:
-        """CTLS-Query (Algorithm 3): scan only the LCA node's labels."""
-        result, _visited = self._query_scan(source, target)
-        return result
-
-    def query_with_stats(self, source: Vertex, target: Vertex) -> QueryStats:
-        """Query plus the number of visited label entries (Fig. 9)."""
-        result, visited = self._query_scan(source, target)
-        return QueryStats(result, visited)
+    def _lca_depth(self, source: Vertex, target: Vertex):
+        try:
+            return self.tree.lca_node(source, target).depth
+        except KeyError:
+            return None
 
     def _query_scan(self, source: Vertex, target: Vertex):
+        """CTLS-Query (Algorithm 3): scan only the LCA node's labels."""
         if source == target:
             if source not in self.labels.dist:
                 raise IndexQueryError(f"vertex {source} is not indexed")

@@ -17,13 +17,16 @@ Two engines produce byte-identical labels:
 Both also return the *label blocks* (each vertex's distances to this
 node's cut), which CTLS construction feeds into the through-cut
 pruning thresholds of Algorithm 5.
+
+Instrumentation goes through the build-scoped :mod:`repro.obs`
+recorder (``build.ssspc_runs``, ``build.label_entries``) instead of a
+hand-threaded stats object.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from repro.core.base import BuildStats
 from repro.graph.csr import CSRGraph
 from repro.graph.graph import Graph
 from repro.labels.store import LabelStore
@@ -38,33 +41,36 @@ def compute_node_labels(
     subgraph: Graph,
     cut: Sequence[Vertex],
     labels: LabelStore,
-    stats: BuildStats,
+    rec,
     *,
     engine: str = "csr",
 ) -> Dict[Vertex, List]:
     """Append this node's label block to every subtree vertex.
 
-    Returns ``{vertex: [distances to cut vertices]}`` — truncated at a
-    cut vertex's own position — for through-cut threshold computation.
+    ``rec`` is an :class:`repro.obs.Recorder` (or the null recorder);
+    SSSPC runs and label entries are counted on it.  Returns
+    ``{vertex: [distances to cut vertices]}`` — truncated at a cut
+    vertex's own position — for through-cut threshold computation.
     ``subgraph`` is not modified.
     """
     if engine == "csr":
-        return _labels_csr(subgraph, cut, labels, stats)
-    return _labels_dict(subgraph, cut, labels, stats)
+        return _labels_csr(subgraph, cut, labels, rec)
+    return _labels_dict(subgraph, cut, labels, rec)
 
 
 def _labels_dict(
     subgraph: Graph,
     cut: Sequence[Vertex],
     labels: LabelStore,
-    stats: BuildStats,
+    rec,
 ) -> Dict[Vertex, List]:
     order = sorted(subgraph.vertices())
     blocks: Dict[Vertex, List] = {v: [] for v in order}
     processed: set = set()
     for c in cut:
         dist, count = ssspc(subgraph, c, excluded=processed)
-        stats.ssspc_runs += 1
+        rec.incr("build.ssspc_runs")
+        rec.incr("build.label_entries", len(order) - len(processed))
         for u in order:
             if u in processed:
                 continue
@@ -79,7 +85,7 @@ def _labels_csr(
     subgraph: Graph,
     cut: Sequence[Vertex],
     labels: LabelStore,
-    stats: BuildStats,
+    rec,
 ) -> Dict[Vertex, List]:
     csr = CSRGraph(subgraph)
     vertices = csr.vertices  # ascending original ids
@@ -87,11 +93,13 @@ def _labels_csr(
     banned = [False] * csr.num_vertices
     label_dist = labels.dist
     label_count = labels.count
+    remaining = csr.num_vertices
     for c in cut:
         dist, count = ssspc_csr_arrays(
             csr, csr.vertex_ids[c], banned=banned
         )
-        stats.ssspc_runs += 1
+        rec.incr("build.ssspc_runs")
+        rec.incr("build.label_entries", remaining)
         for idx, u in enumerate(vertices):
             if banned[idx]:
                 continue
@@ -105,4 +113,5 @@ def _labels_csr(
                 label_count[u].append(count[idx])
                 blocks[u].append(d)
         banned[csr.vertex_ids[c]] = True
+        remaining -= 1
     return blocks

@@ -28,6 +28,7 @@ from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Tuple
 
+import repro.obs as obs
 from repro.core.base import BuildStats
 from repro.core.ctls import STRATEGIES, CTLSIndex
 from repro.core.spc_graph_build import (
@@ -80,85 +81,103 @@ def build_ctls_parallel(
     rng = random.Random(seed)
     tree = CutTree()
     labels = LabelStore(graph.vertices())
-    stats = BuildStats()
+    rec = obs.build_scope()
 
-    # Phase 1: breadth-first sequential construction until the frontier
-    # is wide enough to keep every worker busy.
-    frontier: deque = deque([(graph.copy(), -1)])
-    pending: List[Tuple[Graph, int]] = []
-    while frontier:
-        if len(frontier) + len(pending) >= workers and workers > 1:
-            pending.extend(frontier)
-            frontier.clear()
-            break
-        pg, parent = frontier.popleft()
-        if pg.num_vertices == 0:
-            continue
-        stats.peak_edges = max(stats.peak_edges, pg.num_edges)
-        part = balanced_cut(pg, beta, leaf_size=leaf_size, rng=rng)
-        node_id = tree.add_node(part.cut, parent)
-
-        blocks: Dict = {v: [] for v in pg.vertices()}
-        work = pg.copy()
-        order = sorted(pg.vertices())
-        for c in part.cut:
-            dist, count = ssspc(work, c)
-            stats.ssspc_runs += 1
-            for u in order:
-                if work.has_vertex(u):
-                    d = dist.get(u, INF)
-                    labels.append(u, d, count.get(u, 0))
-                    blocks[u].append(d)
-            work.remove_vertex(c)
-
-        if not part.left and not part.right:
-            continue
-        through_cut = BlockOutDist(blocks)
-        for side in (part.left, part.right):
-            if not side:
-                continue
-            if strategy == "cutsearch":
-                child = build_spc_graph_cutsearch(
-                    pg, side, part.cut, through_cut, stats
+    with rec.span(
+        "ctls.parallel.build",
+        n=graph.num_vertices,
+        m=graph.num_edges,
+        workers=workers,
+    ):
+        # Phase 1: breadth-first sequential construction until the
+        # frontier is wide enough to keep every worker busy.
+        frontier: deque = deque([(graph.copy(), -1)])
+        pending: List[Tuple[Graph, int]] = []
+        with rec.span("ctls.parallel.sequential"):
+            while frontier:
+                if len(frontier) + len(pending) >= workers and workers > 1:
+                    pending.extend(frontier)
+                    frontier.clear()
+                    break
+                pg, parent = frontier.popleft()
+                if pg.num_vertices == 0:
+                    continue
+                rec.gauge_max("build.peak_edges", pg.num_edges)
+                part = balanced_cut(
+                    pg, beta, leaf_size=leaf_size, rng=rng, rec=rec
                 )
-            elif strategy == "pruned":
-                child = build_spc_graph_basic(
-                    pg, side, stats, through_cut=through_cut, prune=True
-                )
-            else:
-                child = build_spc_graph_basic(pg, side, stats)
-            frontier.append((child, node_id))
+                node_id = tree.add_node(part.cut, parent)
 
-    # Phase 2: ship each pending subtree to a worker process.
-    if pending:
-        jobs = [
-            (pg, strategy, beta, leaf_size, seed * 1_000_003 + anchor)
-            for pg, anchor in pending
-        ]
-        if workers > 1 and len(jobs) > 1:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(_build_subtree, jobs))
-        else:
-            results = [_build_subtree(job) for job in jobs]
+                blocks: Dict = {v: [] for v in pg.vertices()}
+                work = pg.copy()
+                order = sorted(pg.vertices())
+                for c in part.cut:
+                    dist, count = ssspc(work, c)
+                    rec.incr("build.ssspc_runs")
+                    rec.incr("build.label_entries", work.num_vertices)
+                    for u in order:
+                        if work.has_vertex(u):
+                            d = dist.get(u, INF)
+                            labels.append(u, d, count.get(u, 0))
+                            blocks[u].append(d)
+                    work.remove_vertex(c)
 
-        for (pg, anchor), (tree_payload, dist, count, sub_stats) in zip(
-            pending, results
-        ):
-            offset_of: Dict[int, int] = {}
-            for sub_index, (vertices, sub_parent) in enumerate(tree_payload):
-                parent = anchor if sub_parent < 0 else offset_of[sub_parent]
-                offset_of[sub_index] = tree.add_node(vertices, parent)
-            for v, entries in dist.items():
-                labels.dist[v].extend(entries)
-                labels.count[v].extend(count[v])
-            stats.ssspc_runs += sub_stats.ssspc_runs
-            stats.shortcuts_added += sub_stats.shortcuts_added
-            stats.shortcuts_pruned += sub_stats.shortcuts_pruned
-            stats.peak_edges = max(stats.peak_edges, sub_stats.peak_edges)
+                if not part.left and not part.right:
+                    continue
+                through_cut = BlockOutDist(blocks)
+                for side in (part.left, part.right):
+                    if not side:
+                        continue
+                    if strategy == "cutsearch":
+                        child = build_spc_graph_cutsearch(
+                            pg, side, part.cut, through_cut, rec
+                        )
+                    elif strategy == "pruned":
+                        child = build_spc_graph_basic(
+                            pg, side, rec, through_cut=through_cut, prune=True
+                        )
+                    else:
+                        child = build_spc_graph_basic(pg, side, rec)
+                    frontier.append((child, node_id))
 
-    tree.finalize()
-    stats.seconds = time.perf_counter() - started
-    stats.peak_memory_estimate = 8 * labels.total_entries + 24 * stats.peak_edges
+        # Phase 2: ship each pending subtree to a worker process.
+        if pending:
+            jobs = [
+                (pg, strategy, beta, leaf_size, seed * 1_000_003 + anchor)
+                for pg, anchor in pending
+            ]
+            with rec.span("ctls.parallel.workers", subtrees=len(jobs)):
+                if workers > 1 and len(jobs) > 1:
+                    with ProcessPoolExecutor(max_workers=workers) as pool:
+                        results = list(pool.map(_build_subtree, jobs))
+                else:
+                    results = [_build_subtree(job) for job in jobs]
+
+            for (pg, anchor), (tree_payload, dist, count, sub_stats) in zip(
+                pending, results
+            ):
+                offset_of: Dict[int, int] = {}
+                for sub_index, (vertices, sub_parent) in enumerate(
+                    tree_payload
+                ):
+                    parent = (
+                        anchor if sub_parent < 0 else offset_of[sub_parent]
+                    )
+                    offset_of[sub_index] = tree.add_node(vertices, parent)
+                for v, entries in dist.items():
+                    labels.dist[v].extend(entries)
+                    labels.count[v].extend(count[v])
+                rec.incr("build.ssspc_runs", sub_stats.ssspc_runs)
+                rec.incr("build.shortcuts_added", sub_stats.shortcuts_added)
+                rec.incr("build.shortcuts_pruned", sub_stats.shortcuts_pruned)
+                rec.gauge_max("build.peak_edges", sub_stats.peak_edges)
+
+        tree.finalize()
+    stats = BuildStats.from_recorder(
+        rec,
+        seconds=time.perf_counter() - started,
+        total_label_entries=labels.total_entries,
+    )
     stats.extras["strategy"] = strategy
     stats.extras["workers"] = workers
     return CTLSIndex(

@@ -20,6 +20,10 @@ variants:
 Outer-Only semantics — interiors of restored paths must avoid the side
 being preserved — is enforced by running SSSPC with the border/cut set
 as *terminal* vertices (reachable, never traversed).
+
+Instrumentation (``build.ssspc_runs``, ``build.shortcuts_added``,
+``build.shortcuts_pruned``) goes through the build-scoped
+:mod:`repro.obs` recorder passed as ``rec``.
 """
 
 from __future__ import annotations
@@ -27,7 +31,6 @@ from __future__ import annotations
 from itertools import combinations
 from typing import Callable, Dict, Iterable, List, Tuple
 
-from repro.core.base import BuildStats
 from repro.graph.csr import CSRGraph
 from repro.graph.graph import Graph
 from repro.graph.spc_graph import add_shortcut
@@ -83,7 +86,7 @@ def _border_of(pg: Graph, side_set: set) -> List[Vertex]:
 def build_spc_graph_basic(
     pg: Graph,
     side: Iterable[Vertex],
-    stats: BuildStats,
+    rec,
     *,
     through_cut: ThroughCutDistance = None,
     prune: bool = False,
@@ -106,7 +109,7 @@ def build_spc_graph_basic(
         if u not in bg.vertex_ids:
             continue
         oo_dist, oo_cnt = ssspc_csr(bg, u, terminal=border_set)
-        stats.ssspc_runs += 1
+        rec.incr("build.ssspc_runs")
         for v in border:
             if v <= u:
                 continue
@@ -114,10 +117,10 @@ def build_spc_graph_basic(
             if d is None:
                 continue
             if prune and d != through_cut(u, v):
-                stats.shortcuts_pruned += 1
+                rec.incr("build.shortcuts_pruned")
                 continue
             add_shortcut(result, u, v, d, oo_cnt[v])
-            stats.shortcuts_added += 1
+            rec.incr("build.shortcuts_added")
     return result
 
 
@@ -126,7 +129,7 @@ def build_spc_graph_cutsearch(
     side: Iterable[Vertex],
     cut: Iterable[Vertex],
     through_cut: ThroughCutDistance,
-    stats: BuildStats,
+    rec,
 ) -> Graph:
     """Algorithm 5: SPC-Graph of ``side`` by searching from cut vertices.
 
@@ -152,7 +155,7 @@ def build_spc_graph_cutsearch(
         if u not in bg.vertex_ids:
             continue
         oo_dist, oo_cnt = ssspc_csr(bg, u, terminal=cut_set)
-        stats.ssspc_runs += 1
+        rec.incr("build.ssspc_runs")
         for v in cut_list:
             if v <= u:
                 continue
@@ -160,10 +163,10 @@ def build_spc_graph_cutsearch(
             if d is None:
                 continue
             if d != through_cut(u, v):
-                stats.shortcuts_pruned += 1
+                rec.incr("build.shortcuts_pruned")
                 continue
             add_shortcut(work, u, v, d, oo_cnt[v])
-            stats.shortcuts_added += 1
+            rec.incr("build.shortcuts_added")
 
     # Phase 2 (lines 14-19): eliminate cut vertices, preserving counts
     # between the remaining neighbours.
@@ -172,9 +175,9 @@ def build_spc_graph_cutsearch(
         for (u, (du, cu)), (v, (dv, cv)) in combinations(neighbours, 2):
             d = du + dv
             if through_cut(u, v) != d:
-                stats.shortcuts_pruned += 1
+                rec.incr("build.shortcuts_pruned")
                 continue
             add_shortcut(work, u, v, d, cu * cv)
-            stats.shortcuts_added += 1
+            rec.incr("build.shortcuts_added")
         work.remove_vertex(c)
     return work

@@ -1,0 +1,119 @@
+"""Process-local observability: a metrics registry plus span tracing.
+
+The paper's headline claims are measurements — construction time
+(Fig. 12), visited labels per query (Fig. 9), index size (Fig. 14) —
+so the library carries a first-class instrumentation layer:
+
+* **Metrics** — counters, gauges, and fixed-bucket histograms kept in a
+  :class:`~repro.obs.recorders.Recorder`.
+* **Spans** — nested timed sections (``with rec.span("ctls.build.node",
+  depth=3): ...``) exportable as Chrome trace-event JSON
+  (``chrome://tracing`` / Perfetto) or aggregated into a flat summary.
+
+Observability is *disabled by default* and costs near zero when off:
+the module-level :data:`ENABLED` flag gates per-query timing, and the
+active recorder is a :data:`NULL_RECORDER` whose methods are no-ops.
+Enable it with::
+
+    from repro import obs
+
+    rec = obs.configure()
+    index.query(s, t)                        # now observed
+    rec.metrics_snapshot()                   # counters/gauges/histograms
+    obs.write_chrome_trace("out.json", rec.trace_events)
+    obs.disable()
+
+Index *construction* always records into a build-local recorder (that
+is where :class:`~repro.core.base.BuildStats` comes from); when the
+global recorder is configured, build-local events are forwarded to it
+so ``repro-spc build --trace`` sees every span.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS_SECONDS,
+    Counter,
+    Gauge,
+    Histogram,
+)
+from repro.obs.recorders import NULL_RECORDER, NullRecorder, Recorder
+from repro.obs.tracing import (
+    SpanEvent,
+    chrome_trace_payload,
+    span_summary,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+#: Fast-path gate: per-query instrumentation in the indexes checks this
+#: one module attribute and skips all timing work when ``False``.
+ENABLED: bool = False
+
+_active = NULL_RECORDER
+
+
+def configure(recorder: Optional[Recorder] = None) -> Recorder:
+    """Install ``recorder`` (or a fresh one) as the active recorder.
+
+    Returns the now-active recorder; all query instrumentation and all
+    build-scope forwarding target it until :func:`disable` is called.
+    """
+    global ENABLED, _active
+    _active = recorder if recorder is not None else Recorder()
+    ENABLED = True
+    return _active
+
+
+def disable() -> None:
+    """Swap the no-op recorder back in (the default state)."""
+    global ENABLED, _active
+    _active = NULL_RECORDER
+    ENABLED = False
+
+
+def recorder():
+    """The active recorder (:data:`NULL_RECORDER` when disabled)."""
+    return _active
+
+
+def build_scope() -> Recorder:
+    """A fresh recorder scoped to one index build.
+
+    Always a real :class:`Recorder` — construction counters feed
+    :class:`~repro.core.base.BuildStats` even when observability is
+    globally disabled.  When configured, every increment, observation,
+    and span is forwarded to the active recorder too.
+    """
+    return Recorder(forward_to=_active if ENABLED else None)
+
+
+def span(name: str, **attrs):
+    """A span on the active recorder (no-op context manager when off)."""
+    return _active.span(name, **attrs)
+
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "Counter",
+    "ENABLED",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS_SECONDS",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "SpanEvent",
+    "build_scope",
+    "chrome_trace_payload",
+    "configure",
+    "disable",
+    "recorder",
+    "span",
+    "span_summary",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,158 @@
+"""Metric instruments: counters, gauges, fixed-bucket histograms.
+
+All instruments are plain stdlib objects owned by a
+:class:`~repro.obs.recorders.Recorder`; nothing here is thread-aware —
+the library's parallelism is process-based, and each process records
+locally.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+
+def decade_buckets(
+    low_exponent: int,
+    high_exponent: int,
+    mantissas: Sequence[float] = (1.0, 2.5, 5.0),
+) -> Tuple[float, ...]:
+    """Log-spaced bucket boundaries ``m * 10^e`` over the decade range."""
+    return tuple(
+        m * 10.0 ** e
+        for e in range(low_exponent, high_exponent + 1)
+        for m in mantissas
+    )
+
+
+#: Default boundaries for ``*_seconds`` histograms: 100 ns .. 500 s.
+LATENCY_BUCKETS_SECONDS = decade_buckets(-7, 2)
+
+#: Default boundaries for dimensionless histograms: 1 .. 5e9.
+COUNT_BUCKETS = decade_buckets(0, 9)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Number = 0
+
+    def incr(self, amount: Number = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value, settable or tracked as a running maximum."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        """Overwrite the gauge."""
+        self.value = value
+
+    def update_max(self, value: Number) -> None:
+        """Keep the larger of the current and the new value."""
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """A fixed-boundary histogram with streaming min/max/sum.
+
+    Bucket ``i`` covers ``(boundaries[i-1], boundaries[i]]``; one
+    overflow bucket catches values above the last boundary.  Percentiles
+    are estimated by linear interpolation inside the covering bucket,
+    clamped to the observed ``[min, max]`` range — exact enough for
+    p50/p95/p99 reporting with log-spaced boundaries.
+    """
+
+    __slots__ = ("boundaries", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, boundaries: Sequence[float]) -> None:
+        ordered = tuple(sorted(boundaries))
+        if not ordered:
+            raise ValueError("a histogram needs at least one boundary")
+        self.boundaries = ordered
+        self.bucket_counts = [0] * (len(ordered) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = 0.0
+        self.max = 0.0
+
+    def observe(self, value: Number) -> None:
+        """Record one sample."""
+        self.bucket_counts[bisect_left(self.boundaries, value)] += 1
+        if self.count == 0:
+            self.min = self.max = value
+        elif value < self.min:
+            self.min = value
+        elif value > self.max:
+            self.max = value
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all samples (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-quantile, ``q`` in ``[0, 1]``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.bucket_counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                low = self.boundaries[i - 1] if i > 0 else self.min
+                high = (
+                    self.boundaries[i]
+                    if i < len(self.boundaries)
+                    else self.max
+                )
+                fraction = (rank - cumulative) / bucket_count
+                value = low + fraction * (high - low)
+                return min(max(value, self.min), self.max)
+            cumulative += bucket_count
+        return self.max
+
+    def bucket_label(self, index: int) -> str:
+        """Human-readable label of bucket ``index`` (for reports)."""
+        if index < len(self.boundaries):
+            return f"<= {self.boundaries[index]:g}"
+        return f"> {self.boundaries[-1]:g}"
+
+    def nonzero_buckets(self) -> Dict[str, int]:
+        """``{bucket label: count}`` for buckets with at least one sample."""
+        return {
+            self.bucket_label(i): c
+            for i, c in enumerate(self.bucket_counts)
+            if c
+        }
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-friendly summary of the histogram state."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+            "buckets": self.nonzero_buckets(),
+        }

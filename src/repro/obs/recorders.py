@@ -1,0 +1,258 @@
+"""The metrics/trace recorder and its no-op twin.
+
+A :class:`Recorder` owns the metric instruments and the span buffer; a
+:class:`NullRecorder` exposes the same surface as pure no-ops, so hot
+paths call ``rec.incr(...)`` unconditionally and pay nothing when
+observability is off.  Recorders can *forward*: a build-scoped recorder
+created while the global recorder is configured replays every event
+into it, so one trace captures a whole CLI run.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS_SECONDS,
+    Counter,
+    Gauge,
+    Histogram,
+    Number,
+)
+from repro.obs.tracing import SpanEvent, span_summary
+
+#: All recorders in a process share one time origin, so events forwarded
+#: between recorders stay on a single consistent timeline.
+_EPOCH = time.perf_counter()
+
+
+def default_boundaries(name: str):
+    """Histogram boundaries inferred from the metric name."""
+    if name.endswith("_seconds"):
+        return LATENCY_BUCKETS_SECONDS
+    return COUNT_BUCKETS
+
+
+class _NullSpan:
+    """Reusable no-op context manager for spans and timers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        """No-op attribute update (parity with :class:`_Span`)."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """A recorder that records nothing; every method is a no-op."""
+
+    __slots__ = ()
+
+    def incr(self, name: str, value: Number = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: Number) -> None:
+        pass
+
+    def gauge_max(self, name: str, value: Number) -> None:
+        pass
+
+    def observe(self, name: str, value: Number, *, boundaries=None) -> None:
+        pass
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def timer(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def counter_value(self, name: str) -> Number:
+        return 0
+
+    def gauge_value(self, name: str) -> Number:
+        return 0
+
+    def histogram(self, name: str) -> None:
+        return None
+
+    @property
+    def trace_events(self) -> tuple:
+        return ()
+
+    def metrics_snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def span_summary(self) -> dict:
+        return {}
+
+    def _record_event(self, event: SpanEvent) -> None:
+        pass
+
+
+NULL_RECORDER = NullRecorder()
+
+
+class _Span:
+    """A live span; records a :class:`SpanEvent` on exit."""
+
+    __slots__ = ("_recorder", "name", "attrs", "_start")
+
+    def __init__(self, recorder: "Recorder", name: str, attrs: dict) -> None:
+        self._recorder = recorder
+        self.name = name
+        self.attrs = attrs
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def set(self, **attrs) -> None:
+        """Attach attributes discovered while the span is running."""
+        self.attrs.update(attrs)
+
+    def __exit__(self, *exc_info) -> bool:
+        now = time.perf_counter()
+        self._recorder._record_event(
+            SpanEvent(self.name, self._start - _EPOCH, now - self._start,
+                      self.attrs)
+        )
+        return False
+
+
+class _Timer:
+    """Context manager observing its elapsed seconds into a histogram."""
+
+    __slots__ = ("_recorder", "name", "_start")
+
+    def __init__(self, recorder: "Recorder", name: str) -> None:
+        self._recorder = recorder
+        self.name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self._recorder.observe(
+            self.name, time.perf_counter() - self._start
+        )
+        return False
+
+
+class Recorder:
+    """Process-local registry of counters, gauges, histograms, and spans."""
+
+    def __init__(self, *, forward_to: Optional["Recorder"] = None) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.events: List[SpanEvent] = []
+        self._forward = forward_to
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def incr(self, name: str, value: Number = 1) -> None:
+        """Increase counter ``name`` by ``value`` (creating it at 0)."""
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter()
+        counter.incr(value)
+        if self._forward is not None:
+            self._forward.incr(name, value)
+
+    def gauge(self, name: str, value: Number) -> None:
+        """Set gauge ``name`` to ``value``."""
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge()
+        gauge.set(value)
+        if self._forward is not None:
+            self._forward.gauge(name, value)
+
+    def gauge_max(self, name: str, value: Number) -> None:
+        """Raise gauge ``name`` to ``value`` if it is larger."""
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge()
+        gauge.update_max(value)
+        if self._forward is not None:
+            self._forward.gauge_max(name, value)
+
+    def observe(self, name: str, value: Number, *, boundaries=None) -> None:
+        """Record ``value`` into histogram ``name``.
+
+        The histogram is created on first use with ``boundaries`` (or
+        name-derived defaults: latency decades for ``*_seconds`` names,
+        count decades otherwise).
+        """
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram(
+                boundaries if boundaries is not None
+                else default_boundaries(name)
+            )
+        histogram.observe(value)
+        if self._forward is not None:
+            self._forward.observe(name, value, boundaries=boundaries)
+
+    def span(self, name: str, **attrs) -> _Span:
+        """A timed section; the event is recorded when the span exits."""
+        return _Span(self, name, attrs)
+
+    def timer(self, name: str) -> _Timer:
+        """Time a section into histogram ``name`` (no trace event)."""
+        return _Timer(self, name)
+
+    def _record_event(self, event: SpanEvent) -> None:
+        self.events.append(event)
+        if self._forward is not None:
+            self._forward._record_event(event)
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def counter_value(self, name: str) -> Number:
+        """Current value of counter ``name`` (0 when never incremented)."""
+        counter = self.counters.get(name)
+        return counter.value if counter is not None else 0
+
+    def gauge_value(self, name: str) -> Number:
+        """Current value of gauge ``name`` (0 when never set)."""
+        gauge = self.gauges.get(name)
+        return gauge.value if gauge is not None else 0
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        """Histogram ``name``, or ``None`` if nothing was observed."""
+        return self.histograms.get(name)
+
+    @property
+    def trace_events(self) -> List[SpanEvent]:
+        """All completed span events in completion order."""
+        return self.events
+
+    def metrics_snapshot(self) -> dict:
+        """A JSON-friendly dump of every instrument."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self.counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self.gauges.items())},
+            "histograms": {
+                k: h.snapshot() for k, h in sorted(self.histograms.items())
+            },
+        }
+
+    def span_summary(self) -> dict:
+        """Flat per-name aggregation of the recorded spans."""
+        return span_summary(self.events)

@@ -1,0 +1,126 @@
+"""Span events, Chrome trace-event export, and flat span summaries.
+
+The export format is the Chrome trace-event JSON object form —
+``{"traceEvents": [...]}`` with complete (``"ph": "X"``) events — which
+both ``chrome://tracing`` and https://ui.perfetto.dev load directly.
+Nesting in the viewer comes from time containment on the same
+``pid``/``tid``, so spans need no explicit parent links.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+TRACE_CATEGORY = "repro"
+
+
+@dataclass
+class SpanEvent:
+    """One completed span: a named, timed section with attributes.
+
+    ``start`` is seconds since the recorder epoch (a process-local
+    ``perf_counter`` origin); ``duration`` is seconds.
+    """
+
+    name: str
+    start: float
+    duration: float
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        """``start + duration`` in epoch seconds."""
+        return self.start + self.duration
+
+
+def chrome_trace_payload(
+    events: Iterable[SpanEvent], *, pid: int = None
+) -> dict:
+    """The Chrome trace-event JSON object for ``events``."""
+    if pid is None:
+        pid = os.getpid()
+    return {
+        "displayTimeUnit": "ms",
+        "traceEvents": [
+            {
+                "name": event.name,
+                "cat": TRACE_CATEGORY,
+                "ph": "X",
+                "ts": round(event.start * 1e6, 3),
+                "dur": round(event.duration * 1e6, 3),
+                "pid": pid,
+                "tid": 1,
+                "args": dict(event.attrs),
+            }
+            for event in events
+        ],
+    }
+
+
+def write_chrome_trace(
+    path: Union[str, Path], events: Iterable[SpanEvent]
+) -> None:
+    """Write ``events`` to ``path`` as Chrome trace-event JSON."""
+    with open(path, "w") as handle:
+        json.dump(chrome_trace_payload(events), handle)
+
+
+def span_summary(events: Iterable[SpanEvent]) -> Dict[str, dict]:
+    """Aggregate span timings per name (the flat JSON summary).
+
+    Returns ``{name: {count, total_seconds, min_seconds, max_seconds}}``
+    with names in first-seen order.
+    """
+    summary: Dict[str, dict] = {}
+    for event in events:
+        entry = summary.get(event.name)
+        if entry is None:
+            summary[event.name] = {
+                "count": 1,
+                "total_seconds": event.duration,
+                "min_seconds": event.duration,
+                "max_seconds": event.duration,
+            }
+        else:
+            entry["count"] += 1
+            entry["total_seconds"] += event.duration
+            entry["min_seconds"] = min(entry["min_seconds"], event.duration)
+            entry["max_seconds"] = max(entry["max_seconds"], event.duration)
+    return summary
+
+
+def validate_chrome_trace(payload: object) -> List[str]:
+    """Schema-check a Chrome trace payload; returns a list of problems.
+
+    An empty list means the payload is a well-formed object-format trace
+    of complete events (the only form this library emits).
+    """
+    errors: List[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not a JSON object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        if not isinstance(event.get("name"), str) or not event.get("name"):
+            errors.append(f"{where}: missing 'name'")
+        if event.get("ph") != "X":
+            errors.append(f"{where}: 'ph' is not 'X'")
+        for key in ("ts", "dur"):
+            value = event.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                errors.append(f"{where}: '{key}' is not a non-negative number")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                errors.append(f"{where}: '{key}' is not an integer")
+        if "args" in event and not isinstance(event["args"], dict):
+            errors.append(f"{where}: 'args' is not an object")
+    return errors

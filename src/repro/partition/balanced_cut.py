@@ -24,6 +24,7 @@ from __future__ import annotations
 import random
 from typing import Optional
 
+import repro.obs as obs
 from repro.graph.components import connected_components
 from repro.graph.graph import Graph
 from repro.partition.grow import closed_neighborhood, grow_region
@@ -55,6 +56,7 @@ def balanced_cut(
     *,
     leaf_size: int = 4,
     rng: Optional[random.Random] = None,
+    rec=None,
 ) -> Partition:
     """Partition ``graph`` into ``(L, C, R)`` with a small balanced cut ``C``.
 
@@ -66,10 +68,35 @@ def balanced_cut(
             (returned as a degenerate all-cut partition).
         rng: randomness for the double sweep start; defaults to a fresh
             ``Random(0)`` so results are deterministic.
+        rec: :mod:`repro.obs` recorder for cut-quality metrics and the
+            ``partition.balanced_cut`` span; defaults to the globally
+            active recorder (a no-op unless ``obs.configure()`` ran).
 
     The returned partition satisfies: ``L``, ``C``, ``R`` disjoint, their
     union is ``V``, and every path between ``L`` and ``R`` crosses ``C``.
     """
+    if rec is None:
+        rec = obs.recorder()
+    with rec.span("partition.balanced_cut", n=graph.num_vertices) as span:
+        part = _balanced_cut(graph, beta, leaf_size, rng)
+        span.set(cut_size=len(part.cut), degenerate=part.is_degenerate)
+    rec.observe("partition.cut_size", len(part.cut))
+    if not part.is_degenerate:
+        smaller = min(len(part.left), len(part.right))
+        rec.observe(
+            "partition.balance",
+            smaller / graph.num_vertices,
+            boundaries=(0.05, 0.1, 0.2, 0.3, 0.4, 0.5),
+        )
+    return part
+
+
+def _balanced_cut(
+    graph: Graph,
+    beta: float,
+    leaf_size: int,
+    rng: Optional[random.Random],
+) -> Partition:
     if not 0 < beta <= 0.5:
         raise ValueError(f"beta must be in (0, 0.5], got {beta}")
     n = graph.num_vertices

@@ -3,14 +3,17 @@
 import pytest
 
 from repro.bench.measure import (
+    ProfileResult,
     average_query_seconds,
     average_visited_labels,
     geometric_mean,
+    profile_queries,
     run_queries,
     timed,
 )
 from repro.core.ctls import CTLSIndex
 from repro.graph.generators import grid_graph
+from repro.obs import Recorder
 
 
 @pytest.fixture(scope="module")
@@ -41,4 +44,39 @@ class TestMeasure:
     def test_geometric_mean(self):
         assert geometric_mean([2, 8]) == pytest.approx(4.0)
         assert geometric_mean([]) == 0.0
-        assert geometric_mean([1, 0]) == 0.0
+
+    def test_geometric_mean_skips_non_positive(self):
+        # Zeroed cells and missing measurements must not zero the mean.
+        assert geometric_mean([1, 0]) == pytest.approx(1.0)
+        assert geometric_mean([2, 8, 0, -3]) == pytest.approx(4.0)
+        assert geometric_mean([0, -1]) == 0.0
+        assert geometric_mean([0.0]) == 0.0
+
+
+class TestProfileQueries:
+    def test_records_every_query(self, index):
+        pairs = [(0, 15), (1, 14), (2, 13)]
+        result = profile_queries(index, pairs, repeats=2)
+        assert isinstance(result, ProfileResult)
+        assert result.num_queries == 3
+        assert result.repeats == 2
+        assert result.latency.count == 6
+        assert result.total_seconds > 0
+
+    def test_percentiles_ordered(self, index):
+        result = profile_queries(index, [(0, 15)] * 20)
+        assert 0 < result.p50 <= result.p95 <= result.p99
+        assert result.p99 <= result.latency.max
+
+    def test_checksum_matches_run_queries(self, index):
+        pairs = [(0, 15), (1, 14)]
+        assert profile_queries(index, pairs).checksum == run_queries(
+            index, pairs
+        )
+
+    def test_uses_supplied_recorder(self, index):
+        rec = Recorder()
+        profile_queries(index, [(0, 15)], recorder=rec)
+        hist = rec.histogram("profile.latency_seconds")
+        assert hist is not None and hist.count == 1
+        assert "profile.replay" in rec.span_summary()

@@ -2,11 +2,11 @@
 
 import pytest
 
-from repro.core.base import BuildStats
 from repro.core.labeling import compute_node_labels
 from repro.graph.generators import grid_graph
 from repro.graph.graph import Graph
 from repro.labels.store import LabelStore
+from repro.obs import Recorder
 from repro.partition.balanced_cut import balanced_cut
 from repro.types import INF
 
@@ -24,21 +24,22 @@ class TestComputeNodeLabels:
     def test_appends_one_entry_per_cut_vertex(self, node_case, engine):
         graph, part = node_case
         labels = LabelStore(graph.vertices())
-        stats = BuildStats()
-        compute_node_labels(graph, part.cut, labels, stats, engine=engine)
+        rec = Recorder()
+        compute_node_labels(graph, part.cut, labels, rec, engine=engine)
         for v in part.left + part.right:
             assert labels.label_length(v) == len(part.cut)
         # Cut vertices get truncated rows ending at themselves.
         for position, c in enumerate(part.cut):
             assert labels.label_length(c) == position + 1
             assert labels.entry(c, position) == (0, 1)
-        assert stats.ssspc_runs == len(part.cut)
+        assert rec.counter_value("build.ssspc_runs") == len(part.cut)
+        assert rec.counter_value("build.label_entries") == labels.total_entries
 
     def test_blocks_mirror_label_distances(self, node_case, engine):
         graph, part = node_case
         labels = LabelStore(graph.vertices())
         blocks = compute_node_labels(
-            graph, part.cut, labels, BuildStats(), engine=engine
+            graph, part.cut, labels, Recorder(), engine=engine
         )
         for v in graph.vertices():
             assert blocks[v] == labels.dist[v]
@@ -47,7 +48,7 @@ class TestComputeNodeLabels:
         graph, part = node_case
         before_n, before_m = graph.num_vertices, graph.num_edges
         compute_node_labels(
-            graph, part.cut, LabelStore(graph.vertices()), BuildStats(),
+            graph, part.cut, LabelStore(graph.vertices()), Recorder(),
             engine=engine,
         )
         assert (graph.num_vertices, graph.num_edges) == (before_n, before_m)
@@ -55,7 +56,7 @@ class TestComputeNodeLabels:
     def test_unreachable_padding(self, engine):
         graph = Graph.from_edges([(0, 1, 1), (2, 3, 1)])
         labels = LabelStore(graph.vertices())
-        compute_node_labels(graph, (0, 2), labels, BuildStats(), engine=engine)
+        compute_node_labels(graph, (0, 2), labels, Recorder(), engine=engine)
         # Vertex 3 is unreachable from cut vertex 0: padded with INF.
         assert labels.dist[3][0] == INF
         assert labels.count[3][0] == 0
@@ -69,7 +70,7 @@ def test_engines_agree_exactly(node_case=None):
     for engine in ("dict", "csr"):
         labels = LabelStore(graph.vertices())
         blocks = compute_node_labels(
-            graph, part.cut, labels, BuildStats(), engine=engine
+            graph, part.cut, labels, Recorder(), engine=engine
         )
         results[engine] = (labels.dist, labels.count, blocks)
     assert results["dict"] == results["csr"]

@@ -1,0 +1,67 @@
+"""query_with_stats must agree with query across every index type.
+
+The two paths share ``_query_scan``, so they can only drift if a
+subclass overrides one of them — this test pins the contract for
+TL, CTL, and CTLS on one shared graph.
+"""
+
+import itertools
+
+import pytest
+
+from repro.baselines.tl import TLIndex
+from repro.core.ctl import CTLIndex
+from repro.core.ctls import CTLSIndex
+from repro.graph.generators import grid_graph
+from repro.graph.graph import Graph
+from repro.types import INF
+
+
+@pytest.fixture(scope="module")
+def shared_graph():
+    return grid_graph(5, 5)
+
+
+@pytest.fixture(scope="module")
+def indexes(shared_graph):
+    return {
+        "TL": TLIndex.build(shared_graph),
+        "CTL": CTLIndex.build(shared_graph),
+        "CTLS": CTLSIndex.build(shared_graph),
+    }
+
+
+@pytest.mark.parametrize("name", ["TL", "CTL", "CTLS"])
+class TestParity:
+    def test_stats_match_query_on_all_pairs(self, indexes, shared_graph, name):
+        index = indexes[name]
+        vertices = sorted(shared_graph.vertices())
+        for s, t in itertools.combinations(vertices, 2):
+            result = index.query(s, t)
+            stats = index.query_with_stats(s, t)
+            assert stats.result.distance == result.distance
+            assert stats.result.count == result.count
+
+    def test_connected_pairs_visit_labels(self, indexes, shared_graph, name):
+        index = indexes[name]
+        vertices = sorted(shared_graph.vertices())
+        for s, t in itertools.combinations(vertices, 2):
+            stats = index.query_with_stats(s, t)
+            assert stats.result.distance < INF
+            assert stats.visited_labels >= 1
+
+    def test_self_query(self, indexes, name):
+        index = indexes[name]
+        stats = index.query_with_stats(3, 3)
+        assert stats.result.distance == 0
+        assert stats.result.count == 1
+
+
+@pytest.mark.parametrize("cls", [TLIndex, CTLIndex, CTLSIndex])
+def test_disconnected_pair_parity(cls):
+    g = Graph.from_edges([(0, 1, 1), (1, 2, 1), (3, 4, 1), (4, 5, 1)])
+    index = cls.build(g)
+    result = index.query(0, 5)
+    stats = index.query_with_stats(0, 5)
+    assert result.distance == INF and result.count == 0
+    assert stats.result == result

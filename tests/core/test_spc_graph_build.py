@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.base import BuildStats
 from repro.core.spc_graph_build import (
     BlockOutDist,
     build_spc_graph_basic,
@@ -11,6 +10,7 @@ from repro.core.spc_graph_build import (
 from repro.graph.generators import grid_graph
 from repro.graph.graph import Graph
 from repro.graph.spc_graph import is_spc_graph_of
+from repro.obs import Recorder
 from repro.partition.balanced_cut import balanced_cut
 from repro.search.dijkstra import ssspc
 from repro.types import INF
@@ -59,30 +59,28 @@ class TestBlockOutDist:
 class TestBasicBuilder:
     def test_preserves_counts_left(self, partitioned_grid):
         g, part = partitioned_grid
-        stats = BuildStats()
-        spc = build_spc_graph_basic(g, part.left, stats)
+        spc = build_spc_graph_basic(g, part.left, Recorder())
         assert is_spc_graph_of(spc, g)
 
     def test_preserves_counts_right(self, partitioned_grid):
         g, part = partitioned_grid
-        stats = BuildStats()
-        spc = build_spc_graph_basic(g, part.right, stats)
+        spc = build_spc_graph_basic(g, part.right, Recorder())
         assert is_spc_graph_of(spc, g)
 
     def test_pruned_still_preserves(self, partitioned_grid):
         g, part = partitioned_grid
         blocks = node_blocks(g, part.cut)
-        stats = BuildStats()
+        rec = Recorder()
         spc = build_spc_graph_basic(
-            g, part.left, stats, through_cut=BlockOutDist(blocks), prune=True
+            g, part.left, rec, through_cut=BlockOutDist(blocks), prune=True
         )
         assert is_spc_graph_of(spc, g)
 
     def test_no_border_returns_induced(self, two_components):
-        stats = BuildStats()
-        spc = build_spc_graph_basic(two_components, [0, 1], stats)
+        rec = Recorder()
+        spc = build_spc_graph_basic(two_components, [0, 1], rec)
         assert sorted(spc.vertices()) == [0, 1]
-        assert stats.shortcuts_added == 0
+        assert rec.counter_value("build.shortcuts_added") == 0
 
 
 class TestCutsearchBuilder:
@@ -90,9 +88,8 @@ class TestCutsearchBuilder:
         g, part = partitioned_grid
         blocks = node_blocks(g, part.cut)
         for side in (part.left, part.right):
-            stats = BuildStats()
             spc = build_spc_graph_cutsearch(
-                g, side, part.cut, BlockOutDist(blocks), stats
+                g, side, part.cut, BlockOutDist(blocks), Recorder()
             )
             assert sorted(spc.vertices()) == sorted(side)
             assert is_spc_graph_of(spc, g)
@@ -111,8 +108,7 @@ class TestCutsearchBuilder:
         for side in (part.left, part.right):
             if not side:
                 continue
-            stats = BuildStats()
             spc = build_spc_graph_cutsearch(
-                g, side, part.cut, BlockOutDist(blocks), stats
+                g, side, part.cut, BlockOutDist(blocks), Recorder()
             )
             assert is_spc_graph_of(spc, g)

@@ -22,6 +22,7 @@ def test_examples_directory_complete():
         "poi_recommendation.py",
         "dynamic_traffic.py",
         "build_and_save_index.py",
+        "profile_query_workload.py",
     } <= present
 
 
@@ -52,3 +53,15 @@ def test_build_and_save_index_runs(tmp_path, capsys, monkeypatch):
     out = capsys.readouterr().out
     assert "us/query" in out
     assert (tmp_path / "tiny.spc-index.json").exists()
+
+
+def test_profile_query_workload_runs(capsys, monkeypatch):
+    # A small vertex count keeps the generate/build/profile loop fast.
+    module = runpy.run_path(str(EXAMPLES / "profile_query_workload.py"))
+    monkeypatch.setattr(sys, "argv", ["profile_query_workload.py", "300"])
+    module["main"]()
+    out = capsys.readouterr().out
+    assert "trace written to" in out
+    assert "p50=" in out and "p99=" in out
+    assert "ctls.build" in out
+    assert "ui.perfetto.dev" in out

@@ -1,0 +1,133 @@
+"""Tests for the metric instruments (counters, gauges, histograms)."""
+
+import pytest
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS_SECONDS,
+    Counter,
+    Gauge,
+    Histogram,
+    decade_buckets,
+)
+
+
+class TestDecadeBuckets:
+    def test_shape(self):
+        buckets = decade_buckets(0, 1)
+        assert buckets == (1.0, 2.5, 5.0, 10.0, 25.0, 50.0)
+
+    def test_defaults_are_sorted(self):
+        for buckets in (LATENCY_BUCKETS_SECONDS, COUNT_BUCKETS):
+            assert list(buckets) == sorted(buckets)
+
+    def test_latency_range_covers_queries_and_builds(self):
+        # Sub-microsecond queries and multi-minute builds both land
+        # inside the boundary range, not in the overflow bucket.
+        assert LATENCY_BUCKETS_SECONDS[0] <= 1e-7
+        assert LATENCY_BUCKETS_SECONDS[-1] >= 100
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter()
+        assert c.value == 0
+        c.incr()
+        c.incr(5)
+        assert c.value == 6
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = Gauge()
+        g.set(7)
+        g.set(3)
+        assert g.value == 3
+
+    def test_update_max_keeps_peak(self):
+        g = Gauge()
+        g.update_max(3)
+        g.update_max(9)
+        g.update_max(5)
+        assert g.value == 9
+
+
+class TestHistogram:
+    def test_requires_boundaries(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+
+    def test_bucket_assignment(self):
+        h = Histogram((1, 10, 100))
+        for value in (0.5, 1, 5, 10, 50, 1000):
+            h.observe(value)
+        # Bucket i covers (boundaries[i-1], boundaries[i]]; the last
+        # bucket is overflow.
+        assert h.bucket_counts == [2, 2, 1, 1]
+        assert h.count == 6
+
+    def test_streaming_stats(self):
+        h = Histogram((1, 10))
+        for value in (2, 8, 4):
+            h.observe(value)
+        assert h.min == 2
+        assert h.max == 8
+        assert h.total == 14
+        assert h.mean == pytest.approx(14 / 3)
+
+    def test_empty_histogram(self):
+        h = Histogram((1, 10))
+        assert h.mean == 0.0
+        assert h.percentile(0.5) == 0.0
+
+    def test_percentile_bounds(self):
+        h = Histogram((1, 10, 100))
+        for value in (2, 3, 4, 20, 30):
+            h.observe(value)
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+        assert h.min <= h.percentile(0.0) <= h.percentile(1.0) <= h.max
+
+    def test_percentile_monotone(self):
+        h = Histogram(decade_buckets(-3, 3))
+        for value in (0.01, 0.02, 0.3, 0.4, 5, 60, 700):
+            h.observe(value)
+        quantiles = [h.percentile(q / 10) for q in range(11)]
+        assert quantiles == sorted(quantiles)
+
+    def test_percentile_single_value(self):
+        h = Histogram((1, 10))
+        h.observe(4)
+        assert h.percentile(0.5) == pytest.approx(4)
+        assert h.percentile(0.99) == pytest.approx(4)
+
+    def test_percentile_interpolates_within_bucket(self):
+        h = Histogram((0, 100))
+        for value in (10, 20, 30, 40, 50, 60, 70, 80, 90, 100):
+            h.observe(value)
+        # All samples sit in the (0, 100] bucket: the median estimate
+        # interpolates to the middle of it.
+        assert h.percentile(0.5) == pytest.approx(50, abs=5)
+
+    def test_bucket_labels(self):
+        h = Histogram((1, 10))
+        assert h.bucket_label(0) == "<= 1"
+        assert h.bucket_label(1) == "<= 10"
+        assert h.bucket_label(2) == "> 10"
+
+    def test_nonzero_buckets(self):
+        h = Histogram((1, 10))
+        h.observe(5)
+        h.observe(7)
+        assert h.nonzero_buckets() == {"<= 10": 2}
+
+    def test_snapshot_keys(self):
+        h = Histogram((1, 10))
+        h.observe(5)
+        snap = h.snapshot()
+        assert snap["count"] == 1
+        assert snap["sum"] == 5
+        assert set(snap) == {
+            "count", "sum", "min", "max", "mean", "p50", "p95", "p99",
+            "buckets",
+        }

@@ -1,0 +1,175 @@
+"""Tests for Recorder/NullRecorder and the module-level obs state."""
+
+import pytest
+
+import repro.obs as obs
+from repro.obs import NULL_RECORDER, Recorder
+from repro.obs.metrics import COUNT_BUCKETS, LATENCY_BUCKETS_SECONDS
+from repro.obs.recorders import default_boundaries
+
+
+@pytest.fixture(autouse=True)
+def _reset_global_state():
+    yield
+    obs.disable()
+
+
+class TestRecorder:
+    def test_counters(self):
+        rec = Recorder()
+        rec.incr("a")
+        rec.incr("a", 4)
+        assert rec.counter_value("a") == 5
+        assert rec.counter_value("missing") == 0
+
+    def test_gauges(self):
+        rec = Recorder()
+        rec.gauge("g", 3)
+        rec.gauge_max("g", 1)
+        assert rec.gauge_value("g") == 3
+        rec.gauge_max("g", 9)
+        assert rec.gauge_value("g") == 9
+        assert rec.gauge_value("missing") == 0
+
+    def test_observe_creates_histogram_with_default_boundaries(self):
+        rec = Recorder()
+        rec.observe("query.latency_seconds", 0.001)
+        rec.observe("partition.cut_size", 12)
+        assert (rec.histogram("query.latency_seconds").boundaries
+                == LATENCY_BUCKETS_SECONDS)
+        assert rec.histogram("partition.cut_size").boundaries == COUNT_BUCKETS
+        assert rec.histogram("missing") is None
+
+    def test_observe_custom_boundaries(self):
+        rec = Recorder()
+        rec.observe("balance", 0.3, boundaries=(0.1, 0.5))
+        assert rec.histogram("balance").boundaries == (0.1, 0.5)
+
+    def test_span_records_event(self):
+        rec = Recorder()
+        with rec.span("work", depth=2) as span:
+            span.set(result="ok")
+        assert len(rec.trace_events) == 1
+        event = rec.trace_events[0]
+        assert event.name == "work"
+        assert event.attrs == {"depth": 2, "result": "ok"}
+        assert event.duration >= 0
+        assert event.end == pytest.approx(event.start + event.duration)
+
+    def test_nested_spans_contained_in_time(self):
+        rec = Recorder()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+        # Inner exits first; viewer nesting relies on time containment.
+        inner, outer = rec.trace_events
+        assert inner.name == "inner"
+        assert outer.start <= inner.start
+        assert inner.end <= outer.end + 1e-9
+
+    def test_timer_observes_histogram(self):
+        rec = Recorder()
+        with rec.timer("step_seconds"):
+            pass
+        hist = rec.histogram("step_seconds")
+        assert hist.count == 1
+        assert not rec.trace_events  # timers make no trace events
+
+    def test_metrics_snapshot(self):
+        rec = Recorder()
+        rec.incr("c", 2)
+        rec.gauge("g", 7)
+        rec.observe("h", 1.0)
+        snap = rec.metrics_snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 7}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_span_summary(self):
+        rec = Recorder()
+        with rec.span("phase"):
+            pass
+        with rec.span("phase"):
+            pass
+        summary = rec.span_summary()
+        assert summary["phase"]["count"] == 2
+
+
+class TestForwarding:
+    def test_everything_forwards_to_parent(self):
+        parent = Recorder()
+        child = Recorder(forward_to=parent)
+        child.incr("c", 3)
+        child.gauge("g", 1)
+        child.gauge_max("g", 5)
+        child.observe("h", 2.0)
+        with child.span("s"):
+            pass
+        assert parent.counter_value("c") == 3
+        assert parent.gauge_value("g") == 5
+        assert parent.histogram("h").count == 1
+        assert len(parent.trace_events) == 1
+        # The child keeps its own copies too.
+        assert child.counter_value("c") == 3
+        assert len(child.trace_events) == 1
+
+
+class TestNullRecorder:
+    def test_records_nothing(self):
+        NULL_RECORDER.incr("c")
+        NULL_RECORDER.gauge("g", 1)
+        NULL_RECORDER.gauge_max("g", 2)
+        NULL_RECORDER.observe("h", 3.0)
+        with NULL_RECORDER.span("s", k=1) as span:
+            span.set(extra=2)
+        with NULL_RECORDER.timer("t"):
+            pass
+        assert NULL_RECORDER.counter_value("c") == 0
+        assert NULL_RECORDER.gauge_value("g") == 0
+        assert NULL_RECORDER.histogram("h") is None
+        assert NULL_RECORDER.trace_events == ()
+        assert NULL_RECORDER.metrics_snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        assert NULL_RECORDER.span_summary() == {}
+
+
+class TestModuleState:
+    def test_disabled_by_default(self):
+        assert not obs.ENABLED
+        assert obs.recorder() is NULL_RECORDER
+
+    def test_configure_and_disable(self):
+        rec = obs.configure()
+        assert obs.ENABLED
+        assert obs.recorder() is rec
+        obs.disable()
+        assert not obs.ENABLED
+        assert obs.recorder() is NULL_RECORDER
+
+    def test_configure_with_explicit_recorder(self):
+        mine = Recorder()
+        assert obs.configure(mine) is mine
+        assert obs.recorder() is mine
+
+    def test_module_span_targets_active_recorder(self):
+        rec = obs.configure()
+        with obs.span("top"):
+            pass
+        assert [e.name for e in rec.trace_events] == ["top"]
+
+    def test_build_scope_forwards_only_when_enabled(self):
+        scoped = obs.build_scope()
+        scoped.incr("x")
+        assert scoped.counter_value("x") == 1  # always a real recorder
+
+        rec = obs.configure()
+        forwarding = obs.build_scope()
+        forwarding.incr("y", 2)
+        assert rec.counter_value("y") == 2
+
+
+class TestDefaultBoundaries:
+    def test_seconds_suffix_gets_latency_buckets(self):
+        assert default_boundaries("a.b_seconds") == LATENCY_BUCKETS_SECONDS
+        assert default_boundaries("a.b") == COUNT_BUCKETS

@@ -1,0 +1,101 @@
+"""Tests for Chrome trace export, span summaries, and trace validation."""
+
+import json
+
+from repro.obs.tracing import (
+    SpanEvent,
+    chrome_trace_payload,
+    span_summary,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def events():
+    return [
+        SpanEvent("build", 0.0, 2.0, {"n": 25}),
+        SpanEvent("build.node", 0.1, 0.5),
+        SpanEvent("build.node", 0.7, 0.3),
+    ]
+
+
+class TestChromeTracePayload:
+    def test_event_fields(self):
+        payload = chrome_trace_payload(events(), pid=42)
+        assert payload["displayTimeUnit"] == "ms"
+        first = payload["traceEvents"][0]
+        assert first == {
+            "name": "build",
+            "cat": "repro",
+            "ph": "X",
+            "ts": 0.0,
+            "dur": 2_000_000.0,
+            "pid": 42,
+            "tid": 1,
+            "args": {"n": 25},
+        }
+
+    def test_microsecond_conversion(self):
+        payload = chrome_trace_payload(
+            [SpanEvent("q", 1.5, 0.000123)], pid=1
+        )
+        event = payload["traceEvents"][0]
+        assert event["ts"] == 1_500_000.0
+        assert event["dur"] == 123.0
+
+    def test_defaults_to_current_pid(self):
+        import os
+
+        payload = chrome_trace_payload(events())
+        assert payload["traceEvents"][0]["pid"] == os.getpid()
+
+    def test_validates_cleanly(self):
+        assert validate_chrome_trace(chrome_trace_payload(events())) == []
+
+
+class TestWriteChromeTrace:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, events())
+        payload = json.loads(path.read_text())
+        assert validate_chrome_trace(payload) == []
+        assert len(payload["traceEvents"]) == 3
+
+
+class TestSpanSummary:
+    def test_aggregates_per_name(self):
+        summary = span_summary(events())
+        assert list(summary) == ["build", "build.node"]
+        node = summary["build.node"]
+        assert node["count"] == 2
+        assert node["total_seconds"] == 0.8
+        assert node["min_seconds"] == 0.3
+        assert node["max_seconds"] == 0.5
+
+    def test_empty(self):
+        assert span_summary([]) == {}
+
+
+class TestValidateChromeTrace:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([1, 2]) == ["payload is not a JSON object"]
+
+    def test_rejects_missing_trace_events(self):
+        assert validate_chrome_trace({}) == ["missing or non-list 'traceEvents'"]
+
+    def test_flags_bad_events(self):
+        payload = {
+            "traceEvents": [
+                "not-an-object",
+                {"name": "", "ph": "X", "ts": 0, "dur": 0, "pid": 1, "tid": 1},
+                {"name": "ok", "ph": "B", "ts": -1, "dur": 0, "pid": 1,
+                 "tid": "main", "args": []},
+            ]
+        }
+        problems = validate_chrome_trace(payload)
+        assert any("traceEvents[0]" in p for p in problems)
+        assert any("missing 'name'" in p for p in problems)
+        assert any("'ph' is not 'X'" in p for p in problems)
+        assert any("'ts' is not a non-negative number" in p for p in problems)
+        assert any("'tid' is not an integer" in p for p in problems)
+        assert any("'args' is not an object" in p for p in problems)

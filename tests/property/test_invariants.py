@@ -13,7 +13,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.baselines.tl import TLIndex
-from repro.core.base import BuildStats
+from repro.obs import Recorder
 from repro.core.ctl import CTLIndex
 from repro.core.ctls import CTLSIndex
 from repro.core.spc_graph_build import BlockOutDist, build_spc_graph_cutsearch
@@ -114,7 +114,7 @@ def test_cutsearch_spc_graph_preserved(graph):
         if not side:
             continue
         spc = build_spc_graph_cutsearch(
-            graph, side, part.cut, through, BuildStats()
+            graph, side, part.cut, through, Recorder()
         )
         assert is_spc_graph_of(spc, graph)
 

@@ -54,7 +54,8 @@ class TestBuildQueryStats:
             ]
         ) == 0
 
-    def test_query_disconnected_exit_code(self, tmp_path):
+    def test_query_disconnected_exit_code(self, tmp_path, capsys):
+        # A disconnected pair is an answer, not an error: exit 0.
         from repro.graph.graph import Graph
         from repro.graph.io import write_json
 
@@ -63,7 +64,18 @@ class TestBuildQueryStats:
         write_json(g, graph_path)
         index_path = tmp_path / "i.json"
         assert main(["build", str(graph_path), str(index_path)]) == 0
-        assert main(["query", str(index_path), "0", "3"]) == 1
+        assert main(["query", str(index_path), "0", "3"]) == 0
+        assert "disconnected" in capsys.readouterr().out
+
+    def test_missing_index_exits_nonzero(self, tmp_path, capsys):
+        assert main(["query", str(tmp_path / "nope.json"), "0", "1"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_vertex_exits_nonzero(self, tmp_path, graph_file, capsys):
+        index_path = tmp_path / "index.json"
+        assert main(["build", str(graph_file), str(index_path)]) == 0
+        assert main(["query", str(index_path), "0", "9999"]) == 1
+        assert "error:" in capsys.readouterr().err
 
     def test_edge_list_input(self, tmp_path):
         edge_path = tmp_path / "edges.txt"
@@ -71,3 +83,93 @@ class TestBuildQueryStats:
         index_path = tmp_path / "i.json"
         assert main(["build", str(edge_path), str(index_path)]) == 0
         assert main(["query", str(index_path), "0", "2"]) == 0
+
+
+class TestObservabilityFlags:
+    def test_build_trace_is_valid_chrome_trace(self, tmp_path, graph_file,
+                                               capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        index_path = tmp_path / "index.json"
+        trace_path = tmp_path / "build-trace.json"
+        assert main(
+            ["build", str(graph_file), str(index_path),
+             "--trace", str(trace_path)]
+        ) == 0
+        assert f"trace written to {trace_path}" in capsys.readouterr().out
+        payload = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(payload) == []
+        names = {event["name"] for event in payload["traceEvents"]}
+        assert "cli.build" in names
+        assert "ctls.build" in names
+        assert "partition.balanced_cut" in names
+
+    def test_build_metrics_snapshot(self, tmp_path, graph_file, capsys):
+        import json
+
+        index_path = tmp_path / "index.json"
+        assert main(
+            ["build", str(graph_file), str(index_path), "--metrics"]
+        ) == 0
+        out = capsys.readouterr().out
+        snapshot = json.loads(out[out.index("{"):])
+        assert snapshot["counters"]["build.ssspc_runs"] > 0
+        assert snapshot["counters"]["build.label_entries"] > 0
+
+    def test_obs_disabled_after_run(self, tmp_path, graph_file):
+        import repro.obs as obs
+
+        index_path = tmp_path / "index.json"
+        assert main(
+            ["build", str(graph_file), str(index_path), "--metrics"]
+        ) == 0
+        assert not obs.ENABLED
+
+
+class TestProfile:
+    @pytest.fixture
+    def built_index(self, tmp_path, graph_file):
+        index_path = tmp_path / "index.json"
+        assert main(["build", str(graph_file), str(index_path)]) == 0
+        return index_path
+
+    def test_profile_prints_percentiles(self, tmp_path, built_index, capsys):
+        pairs_path = tmp_path / "pairs.txt"
+        pairs_path.write_text("0 15\n1 14\n# comment line\n2 13\n")
+        assert main(
+            ["profile", str(built_index), str(pairs_path), "--repeats", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "replayed 3 queries x2 repeats" in out
+        assert "p50=" in out and "p95=" in out and "p99=" in out
+
+    def test_profile_with_trace(self, tmp_path, built_index, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        pairs_path = tmp_path / "pairs.txt"
+        pairs_path.write_text("0 15\n")
+        trace_path = tmp_path / "profile-trace.json"
+        assert main(
+            ["profile", str(built_index), str(pairs_path),
+             "--trace", str(trace_path)]
+        ) == 0
+        payload = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(payload) == []
+        names = {event["name"] for event in payload["traceEvents"]}
+        assert "profile.replay" in names
+
+    def test_profile_malformed_pairs_exits_nonzero(self, tmp_path,
+                                                   built_index, capsys):
+        pairs_path = tmp_path / "pairs.txt"
+        pairs_path.write_text("0 15 3\n")
+        assert main(["profile", str(built_index), str(pairs_path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_profile_empty_pairs_exits_nonzero(self, tmp_path, built_index):
+        pairs_path = tmp_path / "pairs.txt"
+        pairs_path.write_text("# only comments\n")
+        assert main(["profile", str(built_index), str(pairs_path)]) == 1
