@@ -8,7 +8,7 @@ table with per-query microseconds and speedups.
 import pytest
 
 from repro.bench.experiments import QUERY_ALGORITHMS, exp1_query_time
-from repro.bench.measure import run_queries
+from repro.bench.measure import batch_speedup, run_queries
 from repro.bench.report import render_exp1
 
 from conftest import BENCH_DATASETS, QUERY_BATCH
@@ -38,3 +38,29 @@ def test_fig7_fig8_summary(benchmark, cache, capsys):
         print(render_exp1(rows))
     speedups = [r.speedup_over_tl for r in rows if r.algorithm == "CTLS"]
     assert all(s > 0 for s in speedups)
+
+
+@pytest.mark.parametrize("algorithm", QUERY_ALGORITHMS)
+def test_batch_vs_loop_speedup(cache, workloads, capsys, algorithm):
+    """``query_batch`` must never lose to an equivalent ``query`` loop.
+
+    The CI quick-bench job runs this as a performance smoke test: the
+    batch path amortises id resolution and LCA lookups and vectorises
+    the arena scans, so falling below 1x means a regression slipped in.
+    ``batch_speedup`` asserts answer equality first, so a wrong-but-fast
+    batch path cannot pass either.
+    """
+    dataset = "NY" if "NY" in BENCH_DATASETS else BENCH_DATASETS[0]
+    index = cache.get(dataset, algorithm)
+    pairs = workloads[dataset]
+    result = batch_speedup(index, pairs, repeats=3)
+    with capsys.disabled():
+        print(
+            f"\n{dataset}/{algorithm}: loop "
+            f"{result.loop_seconds / len(pairs) * 1e6:.2f} us/q, batch "
+            f"{result.batch_seconds / len(pairs) * 1e6:.2f} us/q "
+            f"({result.speedup:.2f}x)"
+        )
+    assert result.speedup >= 1.0, (
+        f"query_batch slower than per-pair loop: {result.speedup:.2f}x"
+    )

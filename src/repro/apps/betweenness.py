@@ -80,6 +80,20 @@ def betweenness_exact(graph: Graph, *, normalized: bool = False) -> Dict[Vertex,
     return centrality
 
 
+def _dependency_from(total, first, second):
+    """``spc_v(s,t)/spc(s,t)`` from already-answered leg queries.
+
+    ``total`` is ``Q(s,t)`` (``count > 0``), ``first`` is ``Q(s,v)``,
+    ``second`` is ``Q(v,t)``; zero unless the legs concatenate into a
+    shortest path.
+    """
+    if first.count == 0 or second.count == 0:
+        return 0.0
+    if first.distance + second.distance != total.distance:
+        return 0.0
+    return first.count * second.count / total.count
+
+
 def pair_dependency(
     index: SPCIndex, vertex: Vertex, source: Vertex, target: Vertex
 ):
@@ -156,9 +170,39 @@ def edge_betweenness_sampled(
     }
     if not pairs:
         return scores
-    for s, t in pairs:
+    # Batch 1: totals for every sampled pair; disconnected pairs (and
+    # their would-be leg queries) drop out here.
+    totals = index.query_batch(pairs)
+    active = [
+        (s, t, total)
+        for (s, t), total in zip(pairs, totals)
+        if total.count > 0
+    ]
+    # Batch 2: the four legs of every (pair, edge) combination — the
+    # edge used in either direction.
+    legs = []
+    for s, t, _total in active:
+        for u, v, _w in edges:
+            legs.extend(((s, u), (v, t), (s, v), (u, t)))
+    leg_results = index.query_batch(legs)
+    at = 0
+    for s, t, total in active:
         for u, v, weight in edges:
-            scores[(u, v)] += edge_dependency(index, u, v, weight, s, t)
+            through = 0
+            for first, second in (
+                (leg_results[at], leg_results[at + 1]),
+                (leg_results[at + 2], leg_results[at + 3]),
+            ):
+                if (
+                    first.count
+                    and second.count
+                    and first.distance + weight + second.distance
+                    == total.distance
+                ):
+                    through += first.count * second.count
+            at += 4
+            if through:
+                scores[(u, v)] += through / total.count
     for key in scores:
         scores[key] /= len(pairs)
     return scores
@@ -194,9 +238,29 @@ def betweenness_sampled(
     scores: Dict[Vertex, float] = {v: 0.0 for v in vertices}
     if not pair_list:
         return scores
-    for s, t in pair_list:
+    # Batch 1: totals for every sampled pair; disconnected pairs (and
+    # their would-be leg queries) drop out here.
+    totals = index.query_batch(pair_list)
+    active = [
+        (s, t, total)
+        for (s, t), total in zip(pair_list, totals)
+        if total.count > 0
+    ]
+    # Batch 2: both legs through every candidate vertex at once.
+    legs = []
+    slots = []
+    for s, t, total in active:
         for v in vertices:
-            scores[v] += pair_dependency(index, v, s, t)
+            if v == s or v == t:
+                continue
+            legs.append((s, v))
+            legs.append((v, t))
+            slots.append((v, total))
+    leg_results = index.query_batch(legs)
+    for k, (v, total) in enumerate(slots):
+        scores[v] += _dependency_from(
+            total, leg_results[2 * k], leg_results[2 * k + 1]
+        )
     for v in scores:
         scores[v] /= len(pair_list)
     return scores

@@ -45,14 +45,15 @@ def recommend_pois(
     """
     if k <= 0:
         return []
-    scored = []
-    for poi in candidates:
-        if poi == source:
-            continue
-        result = index.query(source, poi)
-        if result.distance == INF:
-            continue
-        scored.append(POIRecommendation(poi, result.distance, result.count))
+    pois = [poi for poi in candidates if poi != source]
+    # One batched call: the source's id and label range resolve once for
+    # the whole candidate list.
+    results = index.query_batch([(source, poi) for poi in pois])
+    scored = [
+        POIRecommendation(poi, result.distance, result.count)
+        for poi, result in zip(pois, results)
+        if result.distance != INF
+    ]
     scored.sort(key=lambda rec: (rec.distance, -rec.route_count, rec.vertex))
     if tolerance <= 0:
         return scored[:k]

@@ -16,22 +16,32 @@ above ``v``.
 
 TL-Query scans all common ancestors — label positions ``0 .. depth of
 the LCA`` — hence ``O(h)`` visits that *shrink* as query distance grows
-(shallower LCAs), the behaviour Exp-3 contrasts with CTLS-Query.
+(shallower LCAs), the behaviour Exp-3 contrasts with CTLS-Query.  The
+labels live in the same packed :class:`~repro.labels.LabelArena` as the
+CTL/CTLS indexes (dense id = position in the elimination order); the
+original dict-of-lists layout remains available as the ``"dict"`` query
+engine and for JSON serialization.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import repro.obs as obs
 from repro.baselines.tree_decomposition import (
     TreeDecomposition,
     minimum_degree_elimination,
 )
-from repro.core.base import BuildStats, IndexStats, SPCIndex
-from repro.exceptions import IndexQueryError
+from repro.core.base import (
+    SELF_QUERY_RESULT,
+    BuildStats,
+    IndexStats,
+    SPCIndex,
+)
+from repro.exceptions import IndexQueryError, SerializationError
 from repro.graph.graph import Graph
+from repro.labels.arena import LabelArena, record_layout_gauges
 from repro.tree.lca import LCATable
 from repro.types import INF, QueryResult, Vertex
 
@@ -44,21 +54,50 @@ class TLIndex(SPCIndex):
     def __init__(
         self,
         decomposition: TreeDecomposition,
-        dist: Dict[Vertex, List],
-        count: Dict[Vertex, List[int]],
+        dist: Optional[Dict[Vertex, List]],
+        count: Optional[Dict[Vertex, List[int]]],
         lca: LCATable,
         vertex_ids: Dict[Vertex, int],
         build_stats: BuildStats,
         num_edges: int,
+        *,
+        arena: Optional[LabelArena] = None,
     ) -> None:
         self.decomposition = decomposition
-        self.label_dist = dist
-        self.label_count = count
+        if arena is not None:
+            self.arena = arena
+        elif dist is not None and count is not None:
+            self.arena = LabelArena.from_lists(
+                decomposition.order, dist, count
+            )
+        else:
+            raise SerializationError(
+                "TLIndex needs either label dicts or a packed arena"
+            )
+        self._label_dist = dist
+        self._label_count = count
         self._lca = lca
         self._vertex_ids = vertex_ids
         self.build_stats = build_stats
         self._num_edges = num_edges
         self._depth_by_id = [decomposition.depth[v] for v in decomposition.order]
+        #: Query implementation: ``"arena"`` (packed, default) or
+        #: ``"dict"`` (reference); identical answers.
+        self.query_engine = "arena"
+
+    @property
+    def label_dist(self) -> Dict[Vertex, List]:
+        """Per-vertex distance lists (rebuilt on demand after load)."""
+        if self._label_dist is None:
+            self._label_dist, self._label_count = self.arena.to_lists()
+        return self._label_dist
+
+    @property
+    def label_count(self) -> Dict[Vertex, List[int]]:
+        """Per-vertex count lists (rebuilt on demand after load)."""
+        if self._label_count is None:
+            self._label_dist, self._label_count = self.arena.to_lists()
+        return self._label_count
 
     # ------------------------------------------------------------------
     # construction
@@ -108,14 +147,15 @@ class TLIndex(SPCIndex):
                 ]
                 lca = LCATable(parents)
 
-        total_entries = sum(len(x) for x in dist.values())
         rec.gauge_max("build.peak_edges", graph.num_edges)
-        stats = BuildStats.from_recorder(
-            rec,
-            seconds=time.perf_counter() - started,
-            total_label_entries=total_entries,
+        index = cls(
+            td, dist, count, lca, vertex_ids, BuildStats(), graph.num_edges
         )
-        return cls(td, dist, count, lca, vertex_ids, stats, graph.num_edges)
+        record_layout_gauges(rec, index.arena)
+        index.build_stats = BuildStats.from_recorder(
+            rec, seconds=time.perf_counter() - started, arena=index.arena
+        )
+        return index
 
     # ------------------------------------------------------------------
     # queries
@@ -130,8 +170,23 @@ class TLIndex(SPCIndex):
 
     def _query_scan(self, source: Vertex, target: Vertex):
         """TL-Query: scan labels of all common ancestors (Eq. 1)."""
+        if self.query_engine == "dict":
+            return self._query_scan_dict(source, target)
+        try:
+            a = self._vertex_ids[source]
+            b = self._vertex_ids[target]
+        except KeyError as exc:
+            raise IndexQueryError(f"vertex {exc.args[0]} is not indexed") from exc
         if source == target:
-            if source not in self.label_dist:
+            return SELF_QUERY_RESULT, 0
+        prefix = self._depth_by_id[self._lca.lca(a, b)] + 1
+        distance, count = self.arena.scan(a, b, 0, prefix)
+        return QueryResult(distance, count), prefix
+
+    def _query_scan_dict(self, source: Vertex, target: Vertex):
+        """Reference scan over the dict-of-lists label layout."""
+        if source == target:
+            if source not in self._vertex_ids:
                 raise IndexQueryError(f"vertex {source} is not indexed")
             return QueryResult(0, 1), 0
         try:
@@ -159,16 +214,67 @@ class TLIndex(SPCIndex):
             return QueryResult(INF, 0), prefix
         return QueryResult(best, total), prefix
 
+    def query_batch(self, pairs):
+        """TL-Query over many pairs via one batched arena scan.
+
+        Phase 1 resolves ids and ancestor prefixes for every pair in a
+        single tight loop; phase 2 hands all scan windows to
+        :meth:`LabelArena.scan_batch`, which merges them in one
+        vectorised pass when numpy is available.
+        """
+        if self.query_engine == "dict":
+            return super().query_batch(pairs)
+        enabled = obs.ENABLED
+        started = time.perf_counter() if enabled else 0.0
+        ids = self._vertex_ids
+        offsets = self.arena.offsets
+        depth_by_id = self._depth_by_id
+        lca = self._lca.lca
+        results: List[Optional[QueryResult]] = []
+        append = results.append
+        starts_a: List[int] = []
+        starts_b: List[int] = []
+        lengths: List[int] = []
+        slots: List[int] = []
+        visited = 0
+        for s, t in pairs:
+            try:
+                a = ids[s]
+                b = ids[t]
+            except KeyError as exc:
+                raise IndexQueryError(
+                    f"vertex {exc.args[0]} is not indexed"
+                ) from exc
+            if s == t:
+                append(SELF_QUERY_RESULT)
+                continue
+            prefix = depth_by_id[lca(a, b)] + 1
+            starts_a.append(offsets[a])
+            starts_b.append(offsets[b])
+            lengths.append(prefix)
+            slots.append(len(results))
+            visited += prefix
+            append(None)
+        for slot, scanned in zip(
+            slots, self.arena.scan_batch(starts_a, starts_b, lengths)
+        ):
+            results[slot] = QueryResult(*scanned)
+        if enabled:
+            self._record_batch(
+                time.perf_counter() - started, len(results), visited
+            )
+        return results
+
     # ------------------------------------------------------------------
     # statistics
     # ------------------------------------------------------------------
     def stats(self) -> IndexStats:
         """Static index shape (32-bit label-entry size model)."""
-        total_entries = sum(len(x) for x in self.label_dist.values())
+        total_entries = self.arena.total_entries
         return IndexStats(
-            num_vertices=len(self.label_dist),
+            num_vertices=self.arena.num_vertices,
             num_edges=self._num_edges,
-            tree_nodes=len(self.label_dist),
+            tree_nodes=self.arena.num_vertices,
             height=self.decomposition.height,
             width=self.decomposition.width,
             total_label_entries=total_entries,

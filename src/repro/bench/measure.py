@@ -29,6 +29,59 @@ def run_queries(index: SPCIndex, pairs: Sequence[Pair]) -> int:
     return checksum
 
 
+def run_queries_batch(index: SPCIndex, pairs: Sequence[Pair]) -> int:
+    """Batch counterpart of :func:`run_queries` (same checksum)."""
+    checksum = 0
+    for result in index.query_batch(pairs):
+        checksum ^= result.count & 0xFFFFFFFF
+    return checksum
+
+
+@dataclass(frozen=True)
+class BatchSpeedup:
+    """Per-pair loop vs. :meth:`SPCIndex.query_batch` comparison."""
+
+    num_queries: int
+    loop_seconds: float
+    batch_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """How many times faster the batch path ran (>1 is faster)."""
+        if self.batch_seconds <= 0:
+            return float("inf")
+        return self.loop_seconds / self.batch_seconds
+
+
+def batch_speedup(
+    index: SPCIndex, pairs: Sequence[Pair], *, repeats: int = 3
+) -> BatchSpeedup:
+    """Measure ``query_batch`` against an equivalent ``query`` loop.
+
+    Both paths replay the same ``pairs`` ``repeats`` times; the fastest
+    pass of each is compared (answers are asserted equal first, so a
+    broken batch path can never report a speedup).
+    """
+    loop_results = [index.query(s, t) for s, t in pairs]
+    batch_results = index.query_batch(pairs)
+    if loop_results != batch_results:
+        raise AssertionError("query_batch disagrees with query loop")
+    loop_best = None
+    batch_best = None
+    for _ in range(max(1, repeats)):
+        _, elapsed = timed(run_queries, index, pairs)
+        if loop_best is None or elapsed < loop_best:
+            loop_best = elapsed
+        _, elapsed = timed(run_queries_batch, index, pairs)
+        if batch_best is None or elapsed < batch_best:
+            batch_best = elapsed
+    return BatchSpeedup(
+        num_queries=len(pairs),
+        loop_seconds=loop_best or 0.0,
+        batch_seconds=batch_best or 0.0,
+    )
+
+
 def average_query_seconds(
     index: SPCIndex, pairs: Sequence[Pair], *, repeats: int = 3
 ) -> float:
@@ -126,6 +179,7 @@ def profile_queries(
     pairs: Sequence[Pair],
     *,
     repeats: int = 1,
+    batch_size: int = 0,
     recorder: Optional["obs.Recorder"] = None,
 ) -> ProfileResult:
     """Replay ``pairs`` against ``index``, timing every single query.
@@ -135,6 +189,12 @@ def profile_queries(
     :func:`repro.obs.recorder` to fold the replay into a live trace —
     the name is distinct from the index's own ``query.latency_seconds``
     so the two never double count).
+
+    With ``batch_size > 0`` the workload is replayed in chunks through
+    :meth:`SPCIndex.query_batch`; each chunk's wall-clock is spread
+    evenly over its queries before entering the histogram, so the
+    percentiles stay comparable with the per-pair replay (they report
+    amortised per-query cost, which is what batching changes).
     """
     rec = recorder if recorder is not None else obs.Recorder()
     checksum = 0
@@ -142,16 +202,29 @@ def profile_queries(
     perf_counter = time.perf_counter
     started = perf_counter()
     with rec.span(
-        "profile.replay", queries=len(pairs), repeats=max(1, repeats)
+        "profile.replay",
+        queries=len(pairs),
+        repeats=max(1, repeats),
+        batch_size=batch_size,
     ):
         for _ in range(max(1, repeats)):
-            for s, t in pairs:
-                begin = perf_counter()
-                result = query(s, t)
-                rec.observe(
-                    "profile.latency_seconds", perf_counter() - begin
-                )
-                checksum ^= result.count & 0xFFFFFFFF
+            if batch_size > 0:
+                for at in range(0, len(pairs), batch_size):
+                    chunk = pairs[at : at + batch_size]
+                    begin = perf_counter()
+                    results = index.query_batch(chunk)
+                    amortised = (perf_counter() - begin) / len(chunk)
+                    for result in results:
+                        rec.observe("profile.latency_seconds", amortised)
+                        checksum ^= result.count & 0xFFFFFFFF
+            else:
+                for s, t in pairs:
+                    begin = perf_counter()
+                    result = query(s, t)
+                    rec.observe(
+                        "profile.latency_seconds", perf_counter() - begin
+                    )
+                    checksum ^= result.count & 0xFFFFFFFF
     total = perf_counter() - started
     latency = rec.histogram("profile.latency_seconds") or Histogram(
         obs.LATENCY_BUCKETS_SECONDS

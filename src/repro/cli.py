@@ -3,14 +3,17 @@
 Installed as the ``repro-spc`` console script::
 
     repro-spc build network.gr index.json --algorithm ctls
+    repro-spc build network.gr index.bin --format binary
     repro-spc query index.json 17 3405
+    repro-spc query index.json --pairs workload.txt
     repro-spc stats index.json
     repro-spc generate road 2000 network.gr --seed 7
-    repro-spc profile index.json pairs.txt --repeats 3
+    repro-spc profile index.json pairs.txt --repeats 3 --batch 512
 
 Graphs are DIMACS ``.gr`` files (``.json``/``.txt`` edge lists are
-auto-detected by extension); indexes are the JSON format of
-:mod:`repro.core.serialize`.
+auto-detected by extension); indexes use the formats of
+:mod:`repro.core.serialize` — inspectable JSON (v1) or the packed
+binary container (v2), auto-detected on load.
 
 ``build``, ``query``, and ``profile`` accept ``--metrics`` (print the
 metrics snapshot as JSON on completion) and ``--trace out.json`` (write
@@ -118,24 +121,41 @@ def _cmd_build(args: argparse.Namespace) -> int:
                 f"(h={stats.height}, w={stats.width}, "
                 f"size={stats.size_bytes / 1e6:.2f} MB)"
             )
-            save_index(index, args.index)
-            print(f"saved to {args.index}")
+            save_index(index, args.index, format=args.format)
+            print(f"saved to {args.index} ({args.format})")
     finally:
         _obs_end(args, rec)
     return 0
 
 
+def _print_query_result(source: int, target: int, result) -> None:
+    if result.distance == INF:
+        print(f"Q({source}, {target}): disconnected")
+    else:
+        print(
+            f"Q({source}, {target}): "
+            f"distance={result.distance} shortest_paths={result.count}"
+        )
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
+    if args.pairs is None and (args.source is None or args.target is None):
+        raise ParseError("query needs either SOURCE TARGET or --pairs FILE")
+    if args.pairs is not None and args.source is not None:
+        raise ParseError("give either SOURCE TARGET or --pairs FILE, not both")
     rec = _obs_begin(args)
     try:
         index = load_index(args.index)
-        result = index.query(args.source, args.target)
-        if result.distance == INF:
-            print(f"Q({args.source}, {args.target}): disconnected")
+        if args.pairs is not None:
+            pairs = _load_pairs(args.pairs)
+            # One batched call: ids and LCA lookups amortise across the
+            # file.  A disconnected pair is an answer, not an error.
+            for (s, t), result in zip(pairs, index.query_batch(pairs)):
+                _print_query_result(s, t, result)
         else:
-            print(
-                f"Q({args.source}, {args.target}): "
-                f"distance={result.distance} shortest_paths={result.count}"
+            _print_query_result(
+                args.source, args.target,
+                index.query(args.source, args.target),
             )
     finally:
         _obs_end(args, rec)
@@ -148,7 +168,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         index = load_index(args.index)
         pairs = _load_pairs(args.pairs)
         result = profile_queries(index, pairs, repeats=args.repeats,
-                                 recorder=rec)
+                                 batch_size=args.batch, recorder=rec)
         print(render_profile(result))
     finally:
         _obs_end(args, rec)
@@ -213,13 +233,29 @@ def build_parser() -> argparse.ArgumentParser:
         default="cutsearch",
         help="CTLS construction variant (ignored for tl/ctl)",
     )
+    p_build.add_argument(
+        "--format",
+        choices=("json", "binary"),
+        default="json",
+        help="on-disk index format: inspectable JSON (v1, default) or "
+        "packed binary (v2, fast to load)",
+    )
     _add_obs_flags(p_build)
     p_build.set_defaults(func=_cmd_build)
 
-    p_query = sub.add_parser("query", help="answer one Q(s, t)")
+    p_query = sub.add_parser(
+        "query", help="answer one Q(s, t) or a batch from a file"
+    )
     p_query.add_argument("index")
-    p_query.add_argument("source", type=int)
-    p_query.add_argument("target", type=int)
+    p_query.add_argument("source", type=int, nargs="?", default=None)
+    p_query.add_argument("target", type=int, nargs="?", default=None)
+    p_query.add_argument(
+        "--pairs",
+        metavar="FILE",
+        default=None,
+        help="batch mode: answer every 'source target' line of FILE "
+        "through query_batch (one output line per pair)",
+    )
     _add_obs_flags(p_query)
     p_query.set_defaults(func=_cmd_query)
 
@@ -234,6 +270,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument(
         "--repeats", type=int, default=1,
         help="replay the whole workload this many times (default 1)",
+    )
+    p_profile.add_argument(
+        "--batch", type=int, default=0, metavar="N",
+        help="replay through query_batch in chunks of N "
+        "(default 0: per-pair queries)",
     )
     _add_obs_flags(p_profile)
     p_profile.set_defaults(func=_cmd_profile)

@@ -21,6 +21,10 @@ from typing import Dict, Optional, Tuple
 import repro.obs as obs
 from repro.types import QueryResult, QueryStats, Vertex
 
+#: The conventional ``Q(v, v)`` answer, shared so batch loops can avoid
+#: allocating one :class:`QueryResult` per same-vertex pair.
+SELF_QUERY_RESULT = QueryResult(0, 1)
+
 
 @dataclass
 class BuildStats:
@@ -32,7 +36,7 @@ class BuildStats:
     instead of threading this object through every helper.
 
     ``peak_memory_estimate`` is a model-based estimate (bytes) covering
-    label entries plus the largest working graph, mirroring the paper's
+    label storage plus the largest working graph, mirroring the paper's
     Fig. 12 without depending on allocator internals.
     """
 
@@ -51,21 +55,29 @@ class BuildStats:
         *,
         seconds: float,
         total_label_entries: int = 0,
+        arena=None,
     ) -> "BuildStats":
         """Read the ``build.*`` metrics of a build-scoped recorder.
 
-        ``peak_memory_estimate`` follows the established model: 8 bytes
-        per label entry plus 24 bytes per edge of the largest working
-        graph (the ``build.peak_edges`` gauge).
+        ``peak_memory_estimate`` models the packed arena layout when
+        ``arena`` (a :class:`repro.labels.LabelArena`) is given — its
+        real offset-table and array itemsize bytes — plus 24 bytes per
+        edge of the largest working graph (the ``build.peak_edges``
+        gauge).  Without an arena it falls back to the flat 8-bytes-per-
+        entry label model.
         """
         peak_edges = int(rec.gauge_value("build.peak_edges"))
+        if arena is not None:
+            label_bytes = arena.nbytes()
+        else:
+            label_bytes = 8 * total_label_entries
         return cls(
             seconds=seconds,
             ssspc_runs=int(rec.counter_value("build.ssspc_runs")),
             shortcuts_added=int(rec.counter_value("build.shortcuts_added")),
             shortcuts_pruned=int(rec.counter_value("build.shortcuts_pruned")),
             peak_edges=peak_edges,
-            peak_memory_estimate=8 * total_label_entries + 24 * peak_edges,
+            peak_memory_estimate=label_bytes + 24 * peak_edges,
         )
 
 
@@ -142,14 +154,31 @@ class SPCIndex(abc.ABC):
         if depth is not None:
             rec.observe("query.lca_depth", depth)
 
-    def query_many(self, pairs):
-        """Answer a batch of queries; returns a list of results.
+    def query_batch(self, pairs):
+        """Answer a batch of ``Q(s, t)`` queries; returns a result list.
 
-        The default implementation loops over :meth:`query`; subclasses
-        may override with a batched fast path.
+        The batched fast paths of the concrete indexes resolve vertex
+        ids and LCA ranges once per pair inside a single tight loop over
+        the packed label arena, which amortises the per-call overhead of
+        :meth:`query`.  This default implementation just loops — it is
+        the reference the fast paths are tested against.
         """
         query = self.query
         return [query(s, t) for s, t in pairs]
+
+    def query_many(self, pairs):
+        """Alias of :meth:`query_batch` (kept for API compatibility)."""
+        return self.query_batch(pairs)
+
+    def _record_batch(self, elapsed: float, count: int, visited: int) -> None:
+        """Record one batch's observability metrics (obs is enabled)."""
+        rec = obs.recorder()
+        rec.incr("query.count", count)
+        rec.incr("query.batch.count")
+        rec.observe("query.batch.size", count)
+        rec.observe("query.batch.seconds", elapsed)
+        if count:
+            rec.observe("query.visited_labels", visited / count)
 
     def distance(self, source: Vertex, target: Vertex):
         """Shortest distance ``sd(s, t)`` (``INF`` when disconnected)."""

@@ -11,24 +11,37 @@ queries every shortest path is counted exactly once — at its
 highest-ranked hub.
 
 Query (Algorithm 1, ``CTL-Query``) scans the aligned label prefix of the
-two vertices' common ancestors: ``O(h)`` label visits.
+two vertices' common ancestors: ``O(h)`` label visits.  Two query
+engines share the semantics: ``"arena"`` (default) resolves the
+endpoints to dense ids and scans the packed
+:class:`~repro.labels.LabelArena`; ``"dict"`` is the original
+dict-of-lists scan, kept as the cross-tested reference — the same
+pairing as the construction-side ``engine="csr"``/``"dict"`` split.
 """
 
 from __future__ import annotations
 
 import random
 import time
-from typing import Optional
+from typing import List, Optional, Union
 
 import repro.obs as obs
-from repro.core.base import BuildStats, IndexStats, SPCIndex
+from repro.core.base import (
+    SELF_QUERY_RESULT,
+    BuildStats,
+    IndexStats,
+    SPCIndex,
+)
 from repro.core.labeling import compute_node_labels
 from repro.exceptions import IndexBuildError, IndexQueryError
 from repro.graph.graph import Graph
+from repro.labels.arena import LabelArena, record_layout_gauges
 from repro.labels.store import LabelStore
 from repro.partition.balanced_cut import balanced_cut
 from repro.tree.cut_tree import CutTree
 from repro.types import INF, QueryResult, Vertex
+
+QUERY_ENGINES = ("arena", "dict")
 
 
 class CTLIndex(SPCIndex):
@@ -37,14 +50,51 @@ class CTLIndex(SPCIndex):
     name = "CTL"
 
     def __init__(
-        self, tree: CutTree, labels: LabelStore, build_stats: BuildStats,
-        num_vertices: int, num_edges: int,
+        self,
+        tree: CutTree,
+        labels: Union[LabelStore, LabelArena],
+        build_stats: BuildStats,
+        num_vertices: int,
+        num_edges: int,
     ) -> None:
         self.tree = tree
-        self.labels = labels
+        if isinstance(labels, LabelArena):
+            self._labels: Optional[LabelStore] = None
+            self.arena = labels
+        else:
+            self._labels = labels
+            self.arena = labels.seal()
         self.build_stats = build_stats
         self._num_vertices = num_vertices
         self._num_edges = num_edges
+        #: Query implementation: ``"arena"`` (packed, default) or
+        #: ``"dict"`` (reference); identical answers.
+        self.query_engine = "arena"
+        self._bind_dense()
+
+    def _bind_dense(self) -> None:
+        """Precompute dense-id lookup arrays for the arena query engine."""
+        tree = self.tree
+        node_of_vertex = tree.node_of_vertex
+        self._node_of_dense: List[int] = [
+            node_of_vertex[v] for v in self.arena.vertices
+        ]
+        self._label_len_dense: List[int] = [
+            tree.label_length(v) for v in self.arena.vertices
+        ]
+        self._block_ends: List[int] = tree.block_ends
+
+    @property
+    def labels(self) -> LabelStore:
+        """Dict-of-lists reference store (rebuilt on demand after load)."""
+        if self._labels is None:
+            self._labels = self.arena.to_store()
+        return self._labels
+
+    def refresh_arena(self) -> None:
+        """Re-pack the arena after in-place label mutation (dynamic repair)."""
+        self.arena = self.labels.seal()
+        self._bind_dense()
 
     # ------------------------------------------------------------------
     # construction
@@ -114,12 +164,14 @@ class CTLIndex(SPCIndex):
                             )
 
             tree.finalize()
-        stats = BuildStats.from_recorder(
-            rec,
-            seconds=time.perf_counter() - started,
-            total_label_entries=labels.total_entries,
+        index = cls(
+            tree, labels, BuildStats(), graph.num_vertices, graph.num_edges
         )
-        return cls(tree, labels, stats, graph.num_vertices, graph.num_edges)
+        record_layout_gauges(rec, index.arena)
+        index.build_stats = BuildStats.from_recorder(
+            rec, seconds=time.perf_counter() - started, arena=index.arena
+        )
+        return index
 
     # ------------------------------------------------------------------
     # queries
@@ -130,8 +182,41 @@ class CTLIndex(SPCIndex):
         except KeyError:
             return None
 
+    def _dense_prefix(self, source_dense: int, target_dense: int) -> int:
+        """Common-prefix length of two dense ids (array lookups only)."""
+        node_of = self._node_of_dense
+        nu = node_of[source_dense]
+        nv = node_of[target_dense]
+        lens = self._label_len_dense
+        if nu == nv:
+            lu = lens[source_dense]
+            lv = lens[target_dense]
+            return lu if lu < lv else lv
+        lca = self.tree.lca_index(nu, nv)
+        if lca == nu:
+            return lens[source_dense]
+        if lca == nv:
+            return lens[target_dense]
+        return self._block_ends[lca]
+
     def _query_scan(self, source: Vertex, target: Vertex):
         """CTL-Query (Algorithm 1): scan common-ancestor labels."""
+        if self.query_engine == "dict":
+            return self._query_scan_dict(source, target)
+        ids = self.arena.vertex_ids
+        try:
+            source_dense = ids[source]
+            target_dense = ids[target]
+        except KeyError as exc:
+            raise IndexQueryError(f"vertex {exc.args[0]} is not indexed") from exc
+        if source == target:
+            return SELF_QUERY_RESULT, 0
+        prefix = self._dense_prefix(source_dense, target_dense)
+        distance, count = self.arena.scan(source_dense, target_dense, 0, prefix)
+        return QueryResult(distance, count), prefix
+
+    def _query_scan_dict(self, source: Vertex, target: Vertex):
+        """Reference scan over the dict-of-lists :class:`LabelStore`."""
         if source == target:
             if source not in self.labels.dist:
                 raise IndexQueryError(f"vertex {source} is not indexed")
@@ -159,6 +244,72 @@ class CTLIndex(SPCIndex):
             return QueryResult(INF, 0), prefix
         return QueryResult(best, total), prefix
 
+    def query_batch(self, pairs):
+        """CTL-Query over many pairs via one batched arena scan.
+
+        Phase 1 resolves ids and LCA prefixes for every pair in a single
+        tight loop; phase 2 hands all scan windows to
+        :meth:`LabelArena.scan_batch`, which merges them in one
+        vectorised pass when numpy is available.
+        """
+        if self.query_engine == "dict":
+            return super().query_batch(pairs)
+        enabled = obs.ENABLED
+        started = time.perf_counter() if enabled else 0.0
+        ids = self.arena.vertex_ids
+        offsets = self.arena.offsets
+        node_of = self._node_of_dense
+        lens = self._label_len_dense
+        block_ends = self._block_ends
+        lca = self.tree.lca_table.lca
+        results: List[Optional[QueryResult]] = []
+        append = results.append
+        starts_a: List[int] = []
+        starts_b: List[int] = []
+        lengths: List[int] = []
+        slots: List[int] = []
+        visited = 0
+        for s, t in pairs:
+            try:
+                a = ids[s]
+                b = ids[t]
+            except KeyError as exc:
+                raise IndexQueryError(
+                    f"vertex {exc.args[0]} is not indexed"
+                ) from exc
+            if s == t:
+                append(SELF_QUERY_RESULT)
+                continue
+            nu = node_of[a]
+            nv = node_of[b]
+            if nu == nv:
+                lu = lens[a]
+                lv = lens[b]
+                prefix = lu if lu < lv else lv
+            else:
+                at = lca(nu, nv)
+                if at == nu:
+                    prefix = lens[a]
+                elif at == nv:
+                    prefix = lens[b]
+                else:
+                    prefix = block_ends[at]
+            starts_a.append(offsets[a])
+            starts_b.append(offsets[b])
+            lengths.append(prefix)
+            slots.append(len(results))
+            visited += prefix
+            append(None)
+        for slot, scanned in zip(
+            slots, self.arena.scan_batch(starts_a, starts_b, lengths)
+        ):
+            results[slot] = QueryResult(*scanned)
+        if enabled:
+            self._record_batch(
+                time.perf_counter() - started, len(results), visited
+            )
+        return results
+
     # ------------------------------------------------------------------
     # statistics
     # ------------------------------------------------------------------
@@ -170,6 +321,6 @@ class CTLIndex(SPCIndex):
             tree_nodes=self.tree.num_nodes,
             height=self.tree.height,
             width=self.tree.width,
-            total_label_entries=self.labels.total_entries,
-            size_bytes=self.labels.size_bytes(),
+            total_label_entries=self.arena.total_entries,
+            size_bytes=self.arena.size_bytes(),
         )

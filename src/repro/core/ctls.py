@@ -12,7 +12,9 @@ Labels are *strong convex* distances/counts (only same-node
 higher-ranked vertices are excluded), which lets CTLS-Query
 (Algorithm 3) scan a single tree node — the LCA — instead of all common
 ancestors: ``O(w)`` label visits, the paper's headline improvement for
-short-distance queries.
+short-distance queries.  Like CTL, the default ``"arena"`` query engine
+scans the packed :class:`~repro.labels.LabelArena` by dense id; the
+``"dict"`` engine is the retained dict-of-lists reference.
 
 Construction strategies (Section IV-C, compared in Exp-4):
 
@@ -27,10 +29,15 @@ from __future__ import annotations
 
 import random
 import time
-from typing import Optional
+from typing import List, Optional, Union
 
 import repro.obs as obs
-from repro.core.base import BuildStats, IndexStats, SPCIndex
+from repro.core.base import (
+    SELF_QUERY_RESULT,
+    BuildStats,
+    IndexStats,
+    SPCIndex,
+)
 from repro.core.labeling import compute_node_labels
 from repro.core.spc_graph_build import (
     BlockOutDist,
@@ -39,6 +46,7 @@ from repro.core.spc_graph_build import (
 )
 from repro.exceptions import IndexBuildError, IndexQueryError
 from repro.graph.graph import Graph
+from repro.labels.arena import LabelArena, record_layout_gauges
 from repro.labels.store import LabelStore
 from repro.partition.balanced_cut import balanced_cut
 from repro.tree.cut_tree import CutTree
@@ -62,18 +70,52 @@ class CTLSIndex(SPCIndex):
     def __init__(
         self,
         tree: CutTree,
-        labels: LabelStore,
+        labels: Union[LabelStore, LabelArena],
         build_stats: BuildStats,
         num_vertices: int,
         num_edges: int,
         strategy: str,
     ) -> None:
         self.tree = tree
-        self.labels = labels
+        if isinstance(labels, LabelArena):
+            self._labels: Optional[LabelStore] = None
+            self.arena = labels
+        else:
+            self._labels = labels
+            self.arena = labels.seal()
         self.build_stats = build_stats
         self.strategy = strategy
         self._num_vertices = num_vertices
         self._num_edges = num_edges
+        #: Query implementation: ``"arena"`` (packed, default) or
+        #: ``"dict"`` (reference); identical answers.
+        self.query_engine = "arena"
+        self._bind_dense()
+
+    def _bind_dense(self) -> None:
+        """Precompute dense-id lookup arrays for the arena query engine."""
+        tree = self.tree
+        node_of_vertex = tree.node_of_vertex
+        self._node_of_dense: List[int] = [
+            node_of_vertex[v] for v in self.arena.vertices
+        ]
+        self._label_len_dense: List[int] = [
+            tree.label_length(v) for v in self.arena.vertices
+        ]
+        self._block_starts: List[int] = tree.block_starts
+        self._block_ends: List[int] = tree.block_ends
+
+    @property
+    def labels(self) -> LabelStore:
+        """Dict-of-lists reference store (rebuilt on demand after load)."""
+        if self._labels is None:
+            self._labels = self.arena.to_store()
+        return self._labels
+
+    def refresh_arena(self) -> None:
+        """Re-pack the arena after in-place label mutation."""
+        self.arena = self.labels.seal()
+        self._bind_dense()
 
     # ------------------------------------------------------------------
     # construction
@@ -167,15 +209,17 @@ class CTLSIndex(SPCIndex):
                             stack.append((child, node_id, depth + 1))
 
             tree.finalize()
+        index = cls(
+            tree, labels, BuildStats(), graph.num_vertices, graph.num_edges,
+            strategy,
+        )
+        record_layout_gauges(rec, index.arena)
         stats = BuildStats.from_recorder(
-            rec,
-            seconds=time.perf_counter() - started,
-            total_label_entries=labels.total_entries,
+            rec, seconds=time.perf_counter() - started, arena=index.arena
         )
         stats.extras["strategy"] = strategy
-        return cls(
-            tree, labels, stats, graph.num_vertices, graph.num_edges, strategy
-        )
+        index.build_stats = stats
+        return index
 
     # ------------------------------------------------------------------
     # queries
@@ -186,8 +230,41 @@ class CTLSIndex(SPCIndex):
         except KeyError:
             return None
 
+    def _dense_block_range(self, source_dense: int, target_dense: int):
+        """The LCA node's label positions ``[start, end)`` by dense id."""
+        node_of = self._node_of_dense
+        nu = node_of[source_dense]
+        nv = node_of[target_dense]
+        lens = self._label_len_dense
+        if nu == nv:
+            lu = lens[source_dense]
+            lv = lens[target_dense]
+            return self._block_starts[nu], lu if lu < lv else lv
+        lca = self.tree.lca_index(nu, nv)
+        if lca == nu:
+            return self._block_starts[lca], lens[source_dense]
+        if lca == nv:
+            return self._block_starts[lca], lens[target_dense]
+        return self._block_starts[lca], self._block_ends[lca]
+
     def _query_scan(self, source: Vertex, target: Vertex):
         """CTLS-Query (Algorithm 3): scan only the LCA node's labels."""
+        if self.query_engine == "dict":
+            return self._query_scan_dict(source, target)
+        ids = self.arena.vertex_ids
+        try:
+            source_dense = ids[source]
+            target_dense = ids[target]
+        except KeyError as exc:
+            raise IndexQueryError(f"vertex {exc.args[0]} is not indexed") from exc
+        if source == target:
+            return SELF_QUERY_RESULT, 0
+        start, end = self._dense_block_range(source_dense, target_dense)
+        distance, count = self.arena.scan(source_dense, target_dense, start, end)
+        return QueryResult(distance, count), end - start
+
+    def _query_scan_dict(self, source: Vertex, target: Vertex):
+        """Reference scan over the dict-of-lists :class:`LabelStore`."""
         if source == target:
             if source not in self.labels.dist:
                 raise IndexQueryError(f"vertex {source} is not indexed")
@@ -215,6 +292,75 @@ class CTLSIndex(SPCIndex):
             return QueryResult(INF, 0), end - start
         return QueryResult(best, total), end - start
 
+    def query_batch(self, pairs):
+        """CTLS-Query over many pairs via one batched arena scan.
+
+        Phase 1 resolves ids and LCA block ranges for every pair in a
+        single tight loop; phase 2 hands all scan windows to
+        :meth:`LabelArena.scan_batch`, which merges them in one
+        vectorised pass when numpy is available.
+        """
+        if self.query_engine == "dict":
+            return super().query_batch(pairs)
+        enabled = obs.ENABLED
+        started = time.perf_counter() if enabled else 0.0
+        ids = self.arena.vertex_ids
+        offsets = self.arena.offsets
+        node_of = self._node_of_dense
+        lens = self._label_len_dense
+        block_starts = self._block_starts
+        block_ends = self._block_ends
+        lca = self.tree.lca_table.lca
+        results: List[Optional[QueryResult]] = []
+        append = results.append
+        starts_a: List[int] = []
+        starts_b: List[int] = []
+        lengths: List[int] = []
+        slots: List[int] = []
+        visited = 0
+        for s, t in pairs:
+            try:
+                a = ids[s]
+                b = ids[t]
+            except KeyError as exc:
+                raise IndexQueryError(
+                    f"vertex {exc.args[0]} is not indexed"
+                ) from exc
+            if s == t:
+                append(SELF_QUERY_RESULT)
+                continue
+            nu = node_of[a]
+            nv = node_of[b]
+            if nu == nv:
+                lu = lens[a]
+                lv = lens[b]
+                start = block_starts[nu]
+                end = lu if lu < lv else lv
+            else:
+                at = lca(nu, nv)
+                start = block_starts[at]
+                if at == nu:
+                    end = lens[a]
+                elif at == nv:
+                    end = lens[b]
+                else:
+                    end = block_ends[at]
+            starts_a.append(offsets[a] + start)
+            starts_b.append(offsets[b] + start)
+            lengths.append(end - start)
+            slots.append(len(results))
+            visited += end - start
+            append(None)
+        for slot, scanned in zip(
+            slots, self.arena.scan_batch(starts_a, starts_b, lengths)
+        ):
+            results[slot] = QueryResult(*scanned)
+        if enabled:
+            self._record_batch(
+                time.perf_counter() - started, len(results), visited
+            )
+        return results
+
     # ------------------------------------------------------------------
     # statistics
     # ------------------------------------------------------------------
@@ -226,6 +372,6 @@ class CTLSIndex(SPCIndex):
             tree_nodes=self.tree.num_nodes,
             height=self.tree.height,
             width=self.tree.width,
-            total_label_entries=self.labels.total_entries,
-            size_bytes=self.labels.size_bytes(),
+            total_label_entries=self.arena.total_entries,
+            size_bytes=self.arena.size_bytes(),
         )

@@ -110,6 +110,10 @@ class DynamicCTL:
                     labels.count[u][position] = count.get(u, 0)
                 subgraph.remove_vertex(c)
 
+        # The repairs above edit the mutable store; the packed arena the
+        # query engine scans must be re-sealed to match.
+        self.index.refresh_arena()
+
 
 class DynamicCTLS:
     """A CTLS-Index kept consistent by (counted) rebuilds on update."""

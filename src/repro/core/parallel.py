@@ -38,6 +38,7 @@ from repro.core.spc_graph_build import (
 )
 from repro.exceptions import IndexBuildError
 from repro.graph.graph import Graph
+from repro.labels.arena import record_layout_gauges
 from repro.labels.store import LabelStore
 from repro.partition.balanced_cut import balanced_cut
 from repro.search.dijkstra import ssspc
@@ -173,13 +174,15 @@ def build_ctls_parallel(
                 rec.gauge_max("build.peak_edges", sub_stats.peak_edges)
 
         tree.finalize()
+    index = CTLSIndex(
+        tree, labels, BuildStats(), graph.num_vertices, graph.num_edges,
+        strategy,
+    )
+    record_layout_gauges(rec, index.arena)
     stats = BuildStats.from_recorder(
-        rec,
-        seconds=time.perf_counter() - started,
-        total_label_entries=labels.total_entries,
+        rec, seconds=time.perf_counter() - started, arena=index.arena
     )
     stats.extras["strategy"] = strategy
     stats.extras["workers"] = workers
-    return CTLSIndex(
-        tree, labels, stats, graph.num_vertices, graph.num_edges, strategy
-    )
+    index.build_stats = stats
+    return index

@@ -1,14 +1,31 @@
-"""Index serialization: save and load built indexes as JSON.
+"""Index serialization: JSON (v1) and packed binary (v2) formats.
 
-JSON (not pickle) keeps the on-disk format inspectable and safe to load
-from untrusted sources.  Python's arbitrary-precision integers survive
-the round trip, so exact path counts are preserved.  ``INF`` distances
-(disconnected label entries) are encoded as ``null``.
+Two on-disk formats coexist:
+
+* **v1 (JSON)** — inspectable and safe to load from untrusted sources;
+  Python's arbitrary-precision integers survive the round trip, so
+  exact path counts are preserved.  ``INF`` distances (disconnected
+  label entries) are encoded as ``null``.  The default for
+  :func:`save_index`.
+* **v2 (binary)** — the packed :class:`~repro.labels.LabelArena`
+  written verbatim: an 8-byte magic (``RSPCIDX2``), an 8-byte
+  little-endian header length, a JSON header (index type, tree
+  structure, overflow-lane big integers, byte order), then the raw
+  ``array`` buffers (vertex ids, offset table, distances, counts).
+  Loading is a handful of bulk ``fromfile`` reads instead of millions
+  of JSON tokens, and the loaded index queries straight from the arena
+  without rebuilding per-vertex lists.  Counts beyond 64 bits live in
+  the JSON header, so exactness is preserved bit-for-bit.
+
+:func:`load_index` auto-detects the format by sniffing the magic.
 """
 
 from __future__ import annotations
 
 import json
+import struct
+import sys
+from array import array
 from pathlib import Path
 from typing import Union
 
@@ -18,6 +35,7 @@ from repro.core.base import BuildStats
 from repro.core.ctl import CTLIndex
 from repro.core.ctls import CTLSIndex
 from repro.exceptions import SerializationError
+from repro.labels.arena import LabelArena
 from repro.labels.store import LabelStore
 from repro.tree.cut_tree import CutTree
 from repro.tree.lca import LCATable
@@ -27,6 +45,13 @@ PathLike = Union[str, Path]
 
 _FORMAT = "repro-spc-index"
 _VERSION = 1
+
+#: Magic prefix of the v2 binary container.
+_MAGIC = b"RSPCIDX2"
+_BINARY_VERSION = 2
+
+#: Serialisable formats accepted by :func:`save_index`.
+FORMATS = ("json", "binary")
 
 
 def _encode_dist(values):
@@ -70,8 +95,60 @@ def _labels_from_payload(payload: dict) -> LabelStore:
     return labels
 
 
-def save_index(index, path: PathLike) -> None:
-    """Serialise a built index (CTL, CTLS, or TL) to a JSON file."""
+def _tl_metadata_payload(index: TLIndex) -> dict:
+    td = index.decomposition
+    return {
+        "order": list(td.order),
+        "parent": {str(v): td.parent[v] for v in td.order},
+        "bags": {
+            str(v): [[u, w, c] for u, w, c in bag]
+            for v, bag in td.bags.items()
+        },
+        "num_edges": index.stats().num_edges,
+    }
+
+
+def _tl_from_payload(payload: dict, dist, count, arena=None) -> TLIndex:
+    """Rebuild a :class:`TLIndex` from its serialised metadata."""
+    order = payload["order"]
+    order_of = {v: i for i, v in enumerate(order)}
+    parent = {int(v): p for v, p in payload["parent"].items()}
+    bags = {
+        int(v): [(u, w, c) for u, w, c in bag]
+        for v, bag in payload["bags"].items()
+    }
+    depth = {}
+    for v in reversed(order):
+        p = parent[v]
+        depth[v] = 0 if p is None else depth[p] + 1
+    td = TreeDecomposition(
+        order=order, order_of=order_of, bags=bags, parent=parent, depth=depth
+    )
+    vertex_ids = {v: i for i, v in enumerate(order)}
+    parents = [
+        -1 if td.parent[v] is None else vertex_ids[td.parent[v]]
+        for v in td.order
+    ]
+    return TLIndex(
+        td, dist, count, LCATable(parents), vertex_ids, BuildStats(),
+        payload["num_edges"], arena=arena,
+    )
+
+
+def save_index(index, path: PathLike, *, format: str = "json") -> None:
+    """Serialise a built index (CTL, CTLS, or TL) to ``path``.
+
+    ``format="json"`` writes the inspectable v1 document;
+    ``format="binary"`` writes the packed v2 container (raw arena
+    buffers behind a JSON header).  :func:`load_index` reads both.
+    """
+    if format not in FORMATS:
+        raise SerializationError(
+            f"unknown format {format!r}; expected one of {FORMATS}"
+        )
+    if format == "binary":
+        _save_binary(index, path)
+        return
     if isinstance(index, CTLSIndex):
         payload = {
             "type": "CTLS",
@@ -90,19 +167,11 @@ def save_index(index, path: PathLike) -> None:
             "num_edges": index.stats().num_edges,
         }
     elif isinstance(index, TLIndex):
-        td = index.decomposition
-        payload = {
-            "type": "TL",
-            "order": list(td.order),
-            "parent": {str(v): td.parent[v] for v in td.order},
-            "bags": {
-                str(v): [[u, w, c] for u, w, c in bag]
-                for v, bag in td.bags.items()
-            },
-            "dist": {str(v): _encode_dist(d) for v, d in index.label_dist.items()},
-            "count": {str(v): c for v, c in index.label_count.items()},
-            "num_edges": index.stats().num_edges,
+        payload = {"type": "TL", **_tl_metadata_payload(index)}
+        payload["dist"] = {
+            str(v): _encode_dist(d) for v, d in index.label_dist.items()
         }
+        payload["count"] = {str(v): c for v, c in index.label_count.items()}
     else:
         raise SerializationError(
             f"cannot serialise index of type {type(index).__name__}"
@@ -114,7 +183,16 @@ def save_index(index, path: PathLike) -> None:
 
 
 def load_index(path: PathLike):
-    """Load an index previously written by :func:`save_index`."""
+    """Load an index previously written by :func:`save_index`.
+
+    The format is auto-detected: files starting with the ``RSPCIDX2``
+    magic are parsed as the v2 binary container, anything else as the
+    v1 JSON document.
+    """
+    with open(path, "rb") as handle:
+        magic = handle.read(len(_MAGIC))
+    if magic == _MAGIC:
+        return _load_binary(path)
     with open(path) as handle:
         payload = json.load(handle)
     if payload.get("format") != _FORMAT:
@@ -142,29 +220,125 @@ def load_index(path: PathLike):
             payload["num_edges"],
         )
     if kind == "TL":
-        order = payload["order"]
-        order_of = {v: i for i, v in enumerate(order)}
-        parent = {int(v): p for v, p in payload["parent"].items()}
-        bags = {
-            int(v): [(u, w, c) for u, w, c in bag]
-            for v, bag in payload["bags"].items()
-        }
-        depth = {}
-        for v in reversed(order):
-            p = parent[v]
-            depth[v] = 0 if p is None else depth[p] + 1
-        td = TreeDecomposition(
-            order=order, order_of=order_of, bags=bags, parent=parent, depth=depth
-        )
         dist = {int(v): _decode_dist(d) for v, d in payload["dist"].items()}
         count = {int(v): list(c) for v, c in payload["count"].items()}
-        vertex_ids = {v: i for i, v in enumerate(order)}
-        parents = [
-            -1 if td.parent[v] is None else vertex_ids[td.parent[v]]
-            for v in td.order
-        ]
-        return TLIndex(
-            td, dist, count, LCATable(parents), vertex_ids, BuildStats(),
-            payload["num_edges"],
+        return _tl_from_payload(payload, dist, count)
+    raise SerializationError(f"{path}: unknown index type {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# v2 binary container
+# ----------------------------------------------------------------------
+def _save_binary(index, path: PathLike) -> None:
+    """Write the packed v2 container: JSON header + raw arena buffers."""
+    if isinstance(index, CTLSIndex):
+        header = {
+            "type": "CTLS",
+            "strategy": index.strategy,
+            "tree": _tree_payload(index.tree),
+            "num_vertices": index.stats().num_vertices,
+            "num_edges": index.stats().num_edges,
+        }
+    elif isinstance(index, CTLIndex):
+        header = {
+            "type": "CTL",
+            "tree": _tree_payload(index.tree),
+            "num_vertices": index.stats().num_vertices,
+            "num_edges": index.stats().num_edges,
+        }
+    elif isinstance(index, TLIndex):
+        header = {"type": "TL", **_tl_metadata_payload(index)}
+    else:
+        raise SerializationError(
+            f"cannot serialise index of type {type(index).__name__}"
         )
+    arena = index.arena
+    header["format"] = _FORMAT
+    header["version"] = _BINARY_VERSION
+    header["arena"] = {
+        "dist_typecode": arena.dist.typecode,
+        "num_vertices": arena.num_vertices,
+        "num_entries": arena.total_entries,
+        # The overflow lane rides in the header: JSON carries the
+        # arbitrary-precision counts the raw int64 buffer cannot.
+        "overflow_positions": arena.overflow_positions,
+        "overflow_counts": arena.overflow_counts,
+        "byteorder": sys.byteorder,
+    }
+    blob = json.dumps(header).encode("utf-8")
+    with open(path, "wb") as handle:
+        handle.write(_MAGIC)
+        handle.write(struct.pack("<Q", len(blob)))
+        handle.write(blob)
+        array("q", arena.vertices).tofile(handle)
+        arena.offsets.tofile(handle)
+        arena.dist.tofile(handle)
+        arena.count.tofile(handle)
+
+
+def _read_section(handle, typecode: str, length: int, swap: bool) -> array:
+    section = array(typecode)
+    try:
+        section.fromfile(handle, length)
+    except EOFError as exc:
+        raise SerializationError(f"truncated binary index file: {exc}") from exc
+    if swap:
+        section.byteswap()
+    return section
+
+
+def _load_binary(path: PathLike):
+    """Load a v2 container written by :func:`_save_binary`."""
+    with open(path, "rb") as handle:
+        handle.read(len(_MAGIC))  # magic already validated by the caller
+        (header_len,) = struct.unpack("<Q", handle.read(8))
+        try:
+            header = json.loads(handle.read(header_len).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SerializationError(
+                f"{path}: corrupt binary header: {exc}"
+            ) from exc
+        if header.get("format") != _FORMAT:
+            raise SerializationError(f"{path}: not a {_FORMAT} file")
+        if header.get("version") != _BINARY_VERSION:
+            raise SerializationError(
+                f"{path}: unsupported binary version {header.get('version')}"
+            )
+        meta = header["arena"]
+        typecode = meta["dist_typecode"]
+        if typecode not in ("q", "d"):
+            raise SerializationError(
+                f"{path}: unsupported distance typecode {typecode!r}"
+            )
+        swap = meta["byteorder"] != sys.byteorder
+        n = meta["num_vertices"]
+        entries = meta["num_entries"]
+        vertices = _read_section(handle, "q", n, swap)
+        offsets = _read_section(handle, "q", n + 1, swap)
+        dist = _read_section(handle, typecode, entries, swap)
+        count = _read_section(handle, "q", entries, swap)
+    arena = LabelArena(
+        list(vertices), offsets, dist, count,
+        meta["overflow_positions"], meta["overflow_counts"],
+    )
+    kind = header.get("type")
+    if kind == "CTLS":
+        return CTLSIndex(
+            _tree_from_payload(header["tree"]),
+            arena,
+            BuildStats(),
+            header["num_vertices"],
+            header["num_edges"],
+            header["strategy"],
+        )
+    if kind == "CTL":
+        return CTLIndex(
+            _tree_from_payload(header["tree"]),
+            arena,
+            BuildStats(),
+            header["num_vertices"],
+            header["num_edges"],
+        )
+    if kind == "TL":
+        return _tl_from_payload(header, None, None, arena=arena)
     raise SerializationError(f"{path}: unknown index type {kind!r}")

@@ -1,5 +1,12 @@
-"""Hub-label storage shared by the TL, CTL, and CTLS indexes."""
+"""Hub-label storage shared by the TL, CTL, and CTLS indexes.
 
+Two layouts of the same data: the mutable dict-of-lists
+:class:`LabelStore` used while construction appends entries (and kept
+as the cross-tested reference), and the packed dense-id
+:class:`LabelArena` that the query engines scan.
+"""
+
+from repro.labels.arena import LabelArena
 from repro.labels.store import LabelStore
 
-__all__ = ["LabelStore"]
+__all__ = ["LabelArena", "LabelStore"]

@@ -63,3 +63,14 @@ class LabelStore:
     def max_label_length(self) -> int:
         """The longest label array (equals the tree height ``h``)."""
         return max((len(entries) for entries in self.dist.values()), default=0)
+
+    def seal(self, order: Iterable[Vertex] = None):
+        """Pack this store into a query-time :class:`LabelArena`.
+
+        ``order`` fixes the dense-id assignment (ascending vertex id by
+        default).  The store itself is left untouched — it remains the
+        mutable reference layout for construction and dynamic repair.
+        """
+        from repro.labels.arena import LabelArena
+
+        return LabelArena.from_store(self, order=order)

@@ -115,6 +115,27 @@ class CutTree:
         return len(self.nodes)
 
     @property
+    def lca_table(self) -> LCATable:
+        """The O(1) LCA table over node indexes (after ``finalize``)."""
+        if self._lca is None:
+            raise IndexBuildError("CutTree.finalize() has not been called")
+        return self._lca
+
+    def lca_index(self, a: int, b: int) -> int:
+        """Index of the lowest common ancestor of nodes ``a`` and ``b``."""
+        return self.lca_table.lca(a, b)
+
+    @property
+    def block_starts(self) -> List[int]:
+        """Label-block start offset per node index (after ``finalize``)."""
+        return self._block_start
+
+    @property
+    def block_ends(self) -> List[int]:
+        """Label-block end offset per node index (after ``finalize``)."""
+        return self._block_end
+
+    @property
     def num_vertices(self) -> int:
         """Number of graph vertices covered by the tree."""
         return len(self.node_of_vertex)

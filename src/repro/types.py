@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Tuple, Union
+from typing import NamedTuple, Tuple, Union
 
 #: Vertex identifier.  Vertices are dense integers ``0..n-1``.
 Vertex = int
@@ -25,9 +25,13 @@ WeightedEdge = Tuple[int, int, Weight]
 INF: float = math.inf
 
 
-@dataclass(frozen=True)
-class QueryResult:
+class QueryResult(NamedTuple):
     """Answer to a shortest path counting query ``Q(s, t)``.
+
+    A named tuple (not a dataclass) because query engines allocate one
+    per answered pair — tuple construction is measurably cheaper on the
+    batch hot path, and unpacking ``dist, count = index.query(s, t)``
+    comes for free.
 
     Attributes:
         distance: shortest path distance ``sd(s, t)``; ``INF`` when the
@@ -38,11 +42,6 @@ class QueryResult:
 
     distance: Weight
     count: int
-
-    def __iter__(self):
-        """Allow ``dist, count = index.query(s, t)`` tuple unpacking."""
-        yield self.distance
-        yield self.count
 
     @property
     def connected(self) -> bool:

@@ -80,3 +80,42 @@ class TestProfileQueries:
         hist = rec.histogram("profile.latency_seconds")
         assert hist is not None and hist.count == 1
         assert "profile.replay" in rec.span_summary()
+
+
+class TestBatchHelpers:
+    def test_run_queries_batch_checksum_matches_loop(self, index):
+        pairs = [(0, 15), (1, 14), (5, 5), (2, 13)]
+        from repro.bench.measure import run_queries_batch
+
+        assert run_queries_batch(index, pairs) == run_queries(index, pairs)
+
+    def test_batch_speedup_fields(self, index):
+        from repro.bench.measure import batch_speedup
+
+        pairs = [(0, 15), (1, 14), (2, 13)] * 10
+        result = batch_speedup(index, pairs, repeats=2)
+        assert result.num_queries == 30
+        assert result.loop_seconds > 0
+        assert result.batch_seconds > 0
+        assert result.speedup == result.loop_seconds / result.batch_seconds
+
+    def test_batch_speedup_rejects_disagreement(self, index):
+        from repro.bench.measure import batch_speedup
+
+        class Lying:
+            def query(self, s, t):
+                return index.query(s, t)
+
+            def query_batch(self, pairs):
+                return [index.query(t, t) for _s, t in pairs]
+
+        with pytest.raises(AssertionError):
+            batch_speedup(Lying(), [(0, 15)], repeats=1)
+
+    def test_profile_queries_batched_same_checksum(self, index):
+        pairs = [(0, 15), (1, 14), (2, 13), (3, 12), (4, 11)]
+        per_pair = profile_queries(index, pairs)
+        batched = profile_queries(index, pairs, batch_size=2)
+        assert batched.checksum == per_pair.checksum
+        assert batched.num_queries == 5
+        assert batched.latency.count == 5

@@ -21,6 +21,7 @@ class TestVerifyIndex:
         victim = next(v for v in g.vertices() if index.labels.dist[v])
         index.labels.dist[victim][0] = 1
         index.labels.count[victim][0] = 99
+        index.refresh_arena()  # queries scan the packed arena
         report = verify_index(index, g, num_samples=300)
         assert not report.ok
         assert report.mismatches
@@ -32,6 +33,7 @@ class TestVerifyIndex:
             if index.labels.dist[v]:
                 index.labels.dist[v][0] = 1
                 index.labels.count[v][0] = 99
+        index.refresh_arena()  # queries scan the packed arena
         report = verify_index(index, g, num_samples=300, fail_fast=True)
         assert len(report.mismatches) == 1
         assert report.checked_pairs < 303

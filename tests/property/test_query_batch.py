@@ -1,0 +1,85 @@
+"""Property test: ``query_batch`` ≡ ``query``, pair for pair.
+
+Random generator graphs are indexed by all three index types; the batch
+API must return exactly the per-pair answers (including self pairs and
+disconnected pairs) in input order.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.tl import TLIndex
+from repro.core.ctl import CTLIndex
+from repro.core.ctls import CTLSIndex
+from repro.graph.graph import Graph
+
+
+@st.composite
+def random_graphs(draw, max_vertices: int = 14):
+    """Random weighted graphs, sometimes split into two components."""
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    density = draw(st.floats(min_value=0.1, max_value=0.6))
+    split = draw(st.booleans())
+    rng = random.Random(seed)
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    # A random spanning tree per component keeps counts interesting;
+    # `split` leaves a disconnected half so INF answers are exercised.
+    boundary = n // 2 if split and n >= 4 else 0
+    for v in range(1, n):
+        if v == boundary:
+            continue
+        u = rng.randrange(boundary, v) if v > boundary else rng.randrange(v)
+        g.add_edge(u, v, rng.choice((1, 1, 2, 2, 3)))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if split and (u < boundary) != (v < boundary):
+                continue
+            if not g.has_edge(u, v) and rng.random() < density:
+                g.add_edge(u, v, rng.choice((1, 2, 2, 3, 4)))
+    return g
+
+
+common_settings = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _assert_batch_matches(index, graph, rng):
+    vertices = sorted(graph.vertices())
+    pairs = [
+        (rng.choice(vertices), rng.choice(vertices)) for _ in range(40)
+    ]
+    pairs.append((vertices[0], vertices[0]))
+    expected = [index.query(s, t) for s, t in pairs]
+    assert index.query_batch(pairs) == expected
+
+
+@common_settings
+@given(graph=random_graphs(), seed=st.integers(min_value=0, max_value=999))
+def test_ctl_batch_matches_query(graph, seed):
+    _assert_batch_matches(
+        CTLIndex.build(graph, leaf_size=2), graph, random.Random(seed)
+    )
+
+
+@common_settings
+@given(graph=random_graphs(), seed=st.integers(min_value=0, max_value=999))
+def test_ctls_batch_matches_query(graph, seed):
+    _assert_batch_matches(
+        CTLSIndex.build(graph, leaf_size=2), graph, random.Random(seed)
+    )
+
+
+@common_settings
+@given(graph=random_graphs(), seed=st.integers(min_value=0, max_value=999))
+def test_tl_batch_matches_query(graph, seed):
+    _assert_batch_matches(TLIndex.build(graph), graph, random.Random(seed))

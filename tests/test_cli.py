@@ -173,3 +173,93 @@ class TestProfile:
         pairs_path = tmp_path / "pairs.txt"
         pairs_path.write_text("# only comments\n")
         assert main(["profile", str(built_index), str(pairs_path)]) == 1
+
+
+class TestBatchQuery:
+    @pytest.fixture
+    def built_index(self, tmp_path, graph_file):
+        index_path = tmp_path / "index.json"
+        assert main(["build", str(graph_file), str(index_path)]) == 0
+        return index_path
+
+    def test_pairs_file_one_line_per_result(self, tmp_path, built_index,
+                                            capsys):
+        pairs_path = tmp_path / "pairs.txt"
+        pairs_path.write_text("0 15\n3 3\n# comment\n1 14\n")
+        assert main(
+            ["query", str(built_index), "--pairs", str(pairs_path)]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("Q(0, 15): distance=6")
+        assert lines[1] == "Q(3, 3): distance=0 shortest_paths=1"
+
+    def test_pairs_with_disconnected_exit_zero(self, tmp_path, capsys):
+        from repro.graph.graph import Graph
+        from repro.graph.io import write_json
+
+        g = Graph.from_edges([(0, 1, 1), (2, 3, 1)])
+        graph_path = tmp_path / "g.json"
+        write_json(g, graph_path)
+        index_path = tmp_path / "i.json"
+        pairs_path = tmp_path / "pairs.txt"
+        pairs_path.write_text("0 3\n0 1\n")
+        assert main(["build", str(graph_path), str(index_path)]) == 0
+        assert main(
+            ["query", str(index_path), "--pairs", str(pairs_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Q(0, 3): disconnected" in out
+        assert "Q(0, 1): distance=1" in out
+
+    def test_query_without_pair_or_file_errors(self, built_index, capsys):
+        assert main(["query", str(built_index)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_query_with_both_modes_errors(self, tmp_path, built_index,
+                                          capsys):
+        pairs_path = tmp_path / "pairs.txt"
+        pairs_path.write_text("0 15\n")
+        assert main(
+            ["query", str(built_index), "0", "15",
+             "--pairs", str(pairs_path)]
+        ) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_vertex_in_pairs_exits_nonzero(self, tmp_path,
+                                                   built_index, capsys):
+        pairs_path = tmp_path / "pairs.txt"
+        pairs_path.write_text("0 9999\n")
+        assert main(
+            ["query", str(built_index), "--pairs", str(pairs_path)]
+        ) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBinaryFormat:
+    def test_build_binary_then_query_and_stats(self, tmp_path, graph_file,
+                                               capsys):
+        index_path = tmp_path / "index.bin"
+        assert main(
+            ["build", str(graph_file), str(index_path), "--format", "binary"]
+        ) == 0
+        assert "saved to" in capsys.readouterr().out
+        assert index_path.read_bytes()[:8] == b"RSPCIDX2"
+        assert main(["query", str(index_path), "0", "15"]) == 0
+        assert "shortest_paths=20" in capsys.readouterr().out
+        assert main(["stats", str(index_path)]) == 0
+        assert "vertices:           16" in capsys.readouterr().out
+
+
+class TestProfileBatch:
+    def test_profile_batched_replay(self, tmp_path, graph_file, capsys):
+        index_path = tmp_path / "index.json"
+        assert main(["build", str(graph_file), str(index_path)]) == 0
+        pairs_path = tmp_path / "pairs.txt"
+        pairs_path.write_text("0 15\n1 14\n2 13\n3 12\n")
+        assert main(
+            ["profile", str(index_path), str(pairs_path), "--batch", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "replayed 4 queries" in out
+        assert "p50=" in out
