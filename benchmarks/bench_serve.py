@@ -1,0 +1,112 @@
+"""Serving benchmark: micro-batching coalescing vs per-request scans.
+
+Runs the full serving stack — asyncio HTTP server, load-generator
+client, coalescer — on one machine and compares QPS with the
+coalescer on and off under identical load.  The workload is chosen so
+batch-kernel amortisation has something to amortise: a unit-weight
+grid's TL labels are wide (every grid pair has many equal-length
+paths), making the per-query scan expensive enough to dominate the
+fixed HTTP cost.
+
+Client and server share this process (and, on CI runners, usually one
+core), so the measured ratio *understates* what a dedicated server
+core would see — which makes the >= 2x assertion conservative.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve.py -v
+
+Excluded from the tier-1 test run (``testpaths = ["tests"]``) like the
+rest of ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.tl import TLIndex
+from repro.bench.report import render_load_report
+from repro.graph.generators import grid_graph
+from repro.serve import ServeConfig, ServerThread, replay
+
+#: Grid side; 100x100 gives ~73us scalar scans vs ~21us batched.
+GRID_SIDE = 100
+
+#: Distinct query pairs per run (every request misses the cache).
+NUM_PAIRS = 2000
+
+CONCURRENCY = 8
+PIPELINE = 8
+
+
+@pytest.fixture(scope="module")
+def index():
+    return TLIndex.build(grid_graph(GRID_SIDE, GRID_SIDE))
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    n = GRID_SIDE * GRID_SIDE
+    rng = random.Random(9)
+    return [
+        (rng.randrange(n), rng.randrange(n)) for _ in range(NUM_PAIRS)
+    ]
+
+
+def _run(index, pairs, *, coalesce: bool):
+    config = ServeConfig(
+        port=0,
+        coalesce=coalesce,
+        max_batch=128,
+        max_wait_us=2000,
+        cache_size=0,  # every request reaches the scan path
+    )
+    with ServerThread(index, config) as (host, port):
+        return replay(
+            host,
+            port,
+            pairs,
+            concurrency=CONCURRENCY,
+            pipeline=PIPELINE,
+        )
+
+
+def test_coalescing_doubles_qps(index, pairs, capsys):
+    """The coalesced server must at least double uncoalesced QPS."""
+    coalesced = _run(index, pairs, coalesce=True)
+    uncoalesced = _run(index, pairs, coalesce=False)
+    ratio = coalesced.qps / uncoalesced.qps
+    with capsys.disabled():
+        print(
+            f"\n\nServing benchmark ({CONCURRENCY} connections, "
+            f"pipeline depth {PIPELINE}, grid {GRID_SIDE}x{GRID_SIDE} TL)"
+        )
+        print("\n-- coalesced --")
+        print(render_load_report(coalesced))
+        print("\n-- uncoalesced --")
+        print(render_load_report(uncoalesced))
+        print(f"\ncoalescing speedup: {ratio:.2f}x")
+    assert coalesced.ok == uncoalesced.ok == NUM_PAIRS
+    assert ratio >= 2.0, (
+        f"coalescing speedup {ratio:.2f}x below the 2x acceptance bar "
+        f"({coalesced.qps:.0f} vs {uncoalesced.qps:.0f} qps)"
+    )
+
+
+def test_closed_loop_strict_request_response(index, pairs, capsys):
+    """Pipeline depth 1 (strict request/response) must not regress.
+
+    With no pipelining the coalescer can only merge requests from
+    different connections that happen to arrive in one event-loop
+    tick, so the bar is parity, not a speedup.
+    """
+    config = ServeConfig(port=0, coalesce=True, cache_size=0)
+    with ServerThread(index, config) as (host, port):
+        report = replay(
+            host, port, pairs[:500], concurrency=CONCURRENCY, pipeline=1
+        )
+    with capsys.disabled():
+        print(f"\n\nclosed-loop (pipeline=1): {report.qps:.0f} qps")
+    assert report.ok == 500

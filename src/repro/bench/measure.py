@@ -14,6 +14,7 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple
 
 import repro.obs as obs
 from repro.core.base import SPCIndex
+from repro.exceptions import WorkloadError
 from repro.obs.metrics import Histogram
 from repro.types import Vertex
 
@@ -195,7 +196,14 @@ def profile_queries(
     evenly over its queries before entering the histogram, so the
     percentiles stay comparable with the per-pair replay (they report
     amortised per-query cost, which is what batching changes).
+
+    An empty workload raises :class:`repro.exceptions.WorkloadError`
+    rather than reporting percentiles of nothing.
     """
+    if not pairs:
+        raise WorkloadError(
+            "profile_queries needs at least one query pair"
+        )
     rec = recorder if recorder is not None else obs.Recorder()
     checksum = 0
     query = index.query

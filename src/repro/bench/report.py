@@ -156,18 +156,9 @@ def render_exp4(rows: Sequence[ConstructionRow], *, markdown: bool = False) -> s
     )
 
 
-def render_profile(result: ProfileResult, *, bar_width: int = 40) -> str:
-    """Latency histogram + percentile lines for one workload replay.
-
-    The output of ``repro-spc profile``: per-bucket counts with a text
-    bar, then p50/p95/p99/mean estimated from the same histogram the
-    benchmarks record.
-    """
-    hist = result.latency
-    lines = [
-        f"replayed {result.num_queries} queries x{result.repeats} "
-        f"repeats in {result.total_seconds:.3f}s",
-    ]
+def _latency_lines(hist, bar_width: int) -> List[str]:
+    """Bucket bars + a percentile summary for one latency histogram."""
+    lines: List[str] = []
     buckets = hist.nonzero_buckets()
     if buckets:
         peak = max(buckets.values())
@@ -183,6 +174,40 @@ def render_profile(result: ProfileResult, *, bar_width: int = 40) -> str:
         f"mean={hist.mean * 1e6:.2f}us "
         f"max={hist.max * 1e6:.2f}us"
     )
+    return lines
+
+
+def render_profile(result: ProfileResult, *, bar_width: int = 40) -> str:
+    """Latency histogram + percentile lines for one workload replay.
+
+    The output of ``repro-spc profile``: per-bucket counts with a text
+    bar, then p50/p95/p99/mean estimated from the same histogram the
+    benchmarks record.
+    """
+    lines = [
+        f"replayed {result.num_queries} queries x{result.repeats} "
+        f"repeats in {result.total_seconds:.3f}s",
+    ]
+    lines.extend(_latency_lines(result.latency, bar_width))
+    return "\n".join(lines)
+
+
+def render_load_report(report, *, bar_width: int = 40) -> str:
+    """QPS, outcome counts, and latency for one load-generator run.
+
+    ``report`` is a :class:`repro.serve.client.LoadReport`; the latency
+    section reuses the same histogram rendering as ``repro-spc
+    profile``, so offline and served percentiles read side by side.
+    """
+    lines = [
+        f"replayed {report.num_requests} requests over "
+        f"{report.concurrency} connections in {report.wall_seconds:.3f}s",
+        f"throughput: {report.qps:,.0f} req/s "
+        f"(goodput {report.goodput:,.0f} ok/s)",
+        f"outcomes: ok={report.ok} shed={report.shed} "
+        f"timeout={report.timeouts} error={report.errors}",
+    ]
+    lines.extend(_latency_lines(report.latency, bar_width))
     return "\n".join(lines)
 
 

@@ -9,6 +9,7 @@ Installed as the ``repro-spc`` console script::
     repro-spc stats index.json
     repro-spc generate road 2000 network.gr --seed 7
     repro-spc profile index.json pairs.txt --repeats 3 --batch 512
+    repro-spc serve index.json --port 8355
 
 Graphs are DIMACS ``.gr`` files (``.json``/``.txt`` edge lists are
 auto-detected by extension); indexes use the formats of
@@ -26,6 +27,7 @@ paths, malformed files, unknown vertices).
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
 import time
@@ -51,13 +53,33 @@ _ALGORITHMS = {
 }
 
 
+#: Graph readers by file extension (the formats ``repro-spc`` accepts).
+_GRAPH_READERS = {
+    ".gr": read_dimacs,
+    ".json": read_json,
+    ".txt": read_edge_list,
+    ".edges": read_edge_list,
+    ".edgelist": read_edge_list,
+}
+
+
 def _load_graph(path: str) -> Graph:
-    suffix = Path(path).suffix.lower()
-    if suffix == ".gr":
-        return read_dimacs(path)
-    if suffix == ".json":
-        return read_json(path)
-    return read_edge_list(path)
+    target = Path(path)
+    if target.is_dir():
+        raise ParseError(
+            f"{path} is a directory, expected a graph file "
+            f"({'/'.join(sorted(_GRAPH_READERS))})"
+        )
+    reader = _GRAPH_READERS.get(target.suffix.lower())
+    if reader is None:
+        raise ParseError(
+            f"unrecognised graph extension {target.suffix or '(none)'!r} "
+            f"for {path}; expected one of "
+            f"{'/'.join(sorted(_GRAPH_READERS))} "
+            "(.gr = DIMACS, .json = adjacency JSON, "
+            ".txt/.edges/.edgelist = 'u v w [count]' edge list)"
+        )
+    return reader(path)
 
 
 def _load_pairs(path: str):
@@ -175,6 +197,42 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeConfig, SPCServer
+
+    index = load_index(args.index)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        coalesce=not args.no_coalesce,
+        max_batch=args.max_batch,
+        max_wait_us=args.max_wait_us,
+        cache_size=args.cache_size,
+        queue_high_water=args.high_water,
+        request_timeout_ms=args.timeout_ms,
+    )
+
+    async def _serve() -> None:
+        server = SPCServer(index, config)
+        await server.start()
+        server.install_signal_handlers()
+        mode = "coalesced" if config.coalesce else "uncoalesced"
+        print(
+            f"serving {type(index).__name__} on "
+            f"http://{server.host}:{server.port} ({mode}); "
+            "SIGTERM/SIGINT drains and exits",
+            flush=True,
+        )
+        await server.wait_stopped()
+        print("drained cleanly", flush=True)
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass  # ctrl-C on platforms without signal-handler support
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     index = load_index(args.index)
     stats = index.stats()
@@ -278,6 +336,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(p_profile)
     p_profile.set_defaults(func=_cmd_profile)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve Q(s, t) over HTTP with micro-batching "
+        "(see docs/serving.md)",
+    )
+    p_serve.add_argument("index", help="built index file to serve")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8355,
+        help="TCP port (0 picks a free one; default 8355)",
+    )
+    p_serve.add_argument(
+        "--no-coalesce", action="store_true",
+        help="answer each request with its own scan (baseline mode)",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=64, metavar="N",
+        help="coalescer window size limit (default 64)",
+    )
+    p_serve.add_argument(
+        "--max-wait-us", type=int, default=1000, metavar="US",
+        help="coalescer backstop timer in microseconds (default 1000)",
+    )
+    p_serve.add_argument(
+        "--cache-size", type=int, default=4096, metavar="N",
+        help="LRU result-cache capacity, 0 disables (default 4096)",
+    )
+    p_serve.add_argument(
+        "--high-water", type=int, default=256, metavar="N",
+        help="shed new requests (503) past this queue depth "
+        "(default 256)",
+    )
+    p_serve.add_argument(
+        "--timeout-ms", type=int, default=1000, metavar="MS",
+        help="per-request deadline; losers get 504 (default 1000)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_stats = sub.add_parser("stats", help="print index statistics")
     p_stats.add_argument("index")

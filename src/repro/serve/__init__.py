@@ -1,0 +1,49 @@
+"""Concurrent query serving: HTTP front end over the batch kernel.
+
+The indexes answer ``Q(s, t)`` fastest through :meth:`SPCIndex.query_batch`
+(one vectorised arena scan amortises id and LCA resolution), but a
+network server receives queries one at a time.  This package closes the
+gap with a **micro-batching coalescer**: concurrent in-flight requests
+are gathered for a bounded window (``max_batch`` requests or
+``max_wait_us`` microseconds, whichever first) and resolved in a single
+``query_batch`` call, so throughput under load approaches the batch
+kernel rather than the per-pair path.
+
+Layers, innermost first:
+
+* :mod:`repro.serve.cache` — LRU result cache on normalized
+  ``(min(s, t), max(s, t))`` keys (queries are symmetric).
+* :mod:`repro.serve.coalescer` — the :class:`MicroBatcher` turning
+  awaitable single submissions into ``query_batch`` calls on a worker
+  thread.
+* :mod:`repro.serve.http` — minimal stdlib HTTP/1.1 framing over
+  asyncio streams.
+* :mod:`repro.serve.server` — :class:`SPCServer`: routing, admission
+  control (load shedding), per-request deadlines, ``/health`` +
+  ``/metrics``, graceful drain on SIGTERM.
+* :mod:`repro.serve.client` — workload-replay load generator reporting
+  achieved QPS and latency percentiles.
+* :mod:`repro.serve.runner` — :class:`ServerThread`, a helper running a
+  server on a daemon thread (tests, benchmarks, examples).
+
+Start one from the command line with ``repro-spc serve index.bin`` and
+read :doc:`docs/serving.md </serving>` for the protocol and the knobs.
+"""
+
+from repro.serve.cache import ResultCache
+from repro.serve.client import LoadReport, replay, run_workload
+from repro.serve.coalescer import MicroBatcher
+from repro.serve.config import ServeConfig
+from repro.serve.runner import ServerThread
+from repro.serve.server import SPCServer
+
+__all__ = [
+    "LoadReport",
+    "MicroBatcher",
+    "ResultCache",
+    "SPCServer",
+    "ServeConfig",
+    "ServerThread",
+    "replay",
+    "run_workload",
+]

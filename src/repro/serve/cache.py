@@ -1,0 +1,84 @@
+"""LRU cache of query results keyed on normalized vertex pairs.
+
+Graphs are undirected, so ``Q(s, t) == Q(t, s)`` exactly; caching under
+``(min(s, t), max(s, t))`` doubles the effective hit surface of any
+workload with symmetric traffic.  Hit/miss totals are kept locally and
+mirrored into the server's recorder (``serve.cache.hits`` /
+``serve.cache.misses``) so ``/metrics`` exposes them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from repro.obs import NULL_RECORDER
+from repro.types import QueryResult, Vertex
+
+Key = Tuple[Vertex, Vertex]
+
+
+class ResultCache:
+    """A bounded LRU of ``pair -> QueryResult`` (capacity 0 disables)."""
+
+    __slots__ = ("capacity", "hits", "misses", "_entries", "_recorder")
+
+    def __init__(self, capacity: int, *, recorder=NULL_RECORDER) -> None:
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Key, QueryResult]" = OrderedDict()
+        self._recorder = recorder
+
+    @staticmethod
+    def key_of(source: Vertex, target: Vertex) -> Key:
+        """The normalized cache key of one query pair."""
+        return (source, target) if source <= target else (target, source)
+
+    def get(self, source: Vertex, target: Vertex) -> Optional[QueryResult]:
+        """The cached answer for the pair, refreshing its recency."""
+        if self.capacity == 0:
+            return None
+        result = self._entries.get(self.key_of(source, target))
+        if result is None:
+            self.misses += 1
+            self._recorder.incr("serve.cache.misses")
+            return None
+        self._entries.move_to_end(self.key_of(source, target))
+        self.hits += 1
+        self._recorder.incr("serve.cache.hits")
+        return result
+
+    def put(self, source: Vertex, target: Vertex, result: QueryResult) -> None:
+        """Insert (or refresh) the pair, evicting the LRU entry if full."""
+        if self.capacity == 0:
+            return
+        key = self.key_of(source, target)
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Key) -> bool:
+        return self.key_of(*key) in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before any lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        """JSON-friendly cache statistics for ``/metrics``."""
+        return {
+            "capacity": self.capacity,
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }

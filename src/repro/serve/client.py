@@ -1,0 +1,233 @@
+"""Workload-replay load generator for the SPC query server.
+
+:func:`run_workload` opens ``concurrency`` keep-alive connections and
+replays a pairs workload through them closed-loop (each worker sends
+its next query as soon as the previous answer lands — the access
+pattern that server-side micro-batching converts into full batches).
+Every response is timed into a :class:`repro.obs.Histogram` and
+classified (ok / shed / timeout / error), and the resulting
+:class:`LoadReport` renders through
+:func:`repro.bench.report.render_load_report` next to the offline
+profiling tables.
+
+With ``collect_results=True`` the decoded answers are kept in arrival
+order per request slot, so callers (the CI smoke job, the serving
+benchmark) can verify byte-for-byte agreement with
+:meth:`SPCIndex.query`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import LATENCY_BUCKETS_SECONDS, Histogram
+from repro.serve.http import HTTPProtocolError, read_head
+from repro.types import Vertex
+
+Pair = Tuple[Vertex, Vertex]
+
+#: One decoded answer: (source, target, status, distance, count).
+#: ``distance`` is ``None`` for disconnected pairs and non-200 statuses.
+Answer = Tuple[int, int, int, Optional[float], Optional[int]]
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-generator run against a live server."""
+
+    num_requests: int
+    concurrency: int
+    wall_seconds: float
+    ok: int = 0
+    shed: int = 0
+    timeouts: int = 0
+    errors: int = 0
+    latency: Histogram = field(
+        default_factory=lambda: Histogram(LATENCY_BUCKETS_SECONDS)
+    )
+    status_counts: Dict[int, int] = field(default_factory=dict)
+    results: Optional[List[Answer]] = None
+
+    @property
+    def qps(self) -> float:
+        """Completed requests (any status) per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.num_requests / self.wall_seconds
+
+    @property
+    def goodput(self) -> float:
+        """Successfully answered requests per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.ok / self.wall_seconds
+
+
+def _classify(report: LoadReport, status: int) -> None:
+    report.status_counts[status] = report.status_counts.get(status, 0) + 1
+    if status == 200:
+        report.ok += 1
+    elif status == 503:
+        report.shed += 1
+    elif status == 504:
+        report.timeouts += 1
+    else:
+        report.errors += 1
+
+
+def split_strided(items: Sequence, ways: int) -> List[List]:
+    """Deal ``items`` round-robin into ``ways`` lists (order-preserving
+    per list), so every worker sees the same mix of the workload."""
+    if ways < 1:
+        raise ValueError(f"ways must be >= 1, got {ways}")
+    return [list(items[lane::ways]) for lane in range(ways)]
+
+
+async def _read_response(reader) -> Tuple[int, bytes]:
+    """One ``(status, body)`` with minimal per-response work.
+
+    The load generator usually shares a core with the server under
+    test, so client-side parsing cost shows up directly in measured
+    QPS; this skips the header dict that
+    :func:`repro.serve.http.read_raw_response` builds.
+    """
+    head = await read_head(reader)
+    if head is None:
+        raise HTTPProtocolError("connection closed before status line")
+    try:
+        status = int(head[9:12])
+    except ValueError:
+        raise HTTPProtocolError(
+            f"malformed status line {head[:32]!r}"
+        ) from None
+    mark = head.find(b"Content-Length:")
+    if mark < 0:
+        return status, b""
+    length = int(head[mark + 15 : head.index(b"\r", mark)])
+    body = await reader.readexactly(length) if length else b""
+    return status, body
+
+
+async def _worker(
+    host: str,
+    port: int,
+    slots: Sequence[Tuple[int, Pair]],
+    report: LoadReport,
+    pipeline: int,
+) -> None:
+    reader, writer = await asyncio.open_connection(host, port)
+    # Request bytes are prebuilt so the timed loop spends its cycles on
+    # the wire, not on string formatting (the client shares cores with
+    # the server in tests and benchmarks).
+    requests = [
+        (
+            f"GET /query?source={source}&target={target} HTTP/1.1\r\n"
+            f"Host: {host}\r\n\r\n"
+        ).encode("latin-1")
+        for _, (source, target) in slots
+    ]
+    observe = report.latency.observe
+    perf_counter = time.perf_counter
+    window: deque = deque()  # send times of in-flight requests, in order
+    sent = 0
+    try:
+        for slot, (source, target) in slots:
+            # Sliding window: keep up to ``pipeline`` requests on the
+            # wire; responses come back in order on the connection.
+            while sent < len(slots) and len(window) < pipeline:
+                writer.write(requests[sent])
+                window.append(perf_counter())
+                sent += 1
+            await writer.drain()
+            status, body = await _read_response(reader)
+            observe(perf_counter() - window.popleft())
+            _classify(report, status)
+            if report.results is not None:
+                payload = json.loads(body) if body else None
+                if status == 200 and isinstance(payload, dict):
+                    report.results[slot] = (
+                        source,
+                        target,
+                        status,
+                        payload.get("distance"),
+                        payload.get("count"),
+                    )
+                else:
+                    report.results[slot] = (
+                        source, target, status, None, None
+                    )
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def run_workload(
+    host: str,
+    port: int,
+    pairs: Sequence[Pair],
+    *,
+    concurrency: int = 8,
+    repeats: int = 1,
+    pipeline: int = 1,
+    collect_results: bool = False,
+) -> LoadReport:
+    """Replay ``pairs`` (``repeats`` times) against a running server.
+
+    ``pipeline`` is the HTTP/1.1 pipelining depth per connection: each
+    worker keeps up to that many requests on the wire before reading
+    the next in-order response.  Depth 1 is strict request/response;
+    deeper windows are the standard load-generator way to saturate a
+    server without spawning hundreds of connections.
+    """
+    requests: List[Pair] = list(pairs) * max(1, repeats)
+    concurrency = max(1, min(concurrency, len(requests) or 1))
+    report = LoadReport(
+        num_requests=len(requests),
+        concurrency=concurrency,
+        wall_seconds=0.0,
+        results=[None] * len(requests) if collect_results else None,
+    )
+    lanes = split_strided(list(enumerate(requests)), concurrency)
+    pipeline = max(1, pipeline)
+    started = time.perf_counter()
+    await asyncio.gather(
+        *(
+            _worker(host, port, lane, report, pipeline)
+            for lane in lanes
+            if lane
+        )
+    )
+    report.wall_seconds = time.perf_counter() - started
+    return report
+
+
+def replay(
+    host: str,
+    port: int,
+    pairs: Sequence[Pair],
+    *,
+    concurrency: int = 8,
+    repeats: int = 1,
+    pipeline: int = 1,
+    collect_results: bool = False,
+) -> LoadReport:
+    """Synchronous wrapper around :func:`run_workload`."""
+    return asyncio.run(
+        run_workload(
+            host,
+            port,
+            pairs,
+            concurrency=concurrency,
+            repeats=repeats,
+            pipeline=pipeline,
+            collect_results=collect_results,
+        )
+    )

@@ -1,0 +1,178 @@
+"""The micro-batching coalescer: awaitable submissions, batched scans.
+
+:class:`MicroBatcher` is the core of the serving layer.  Concurrent
+request handlers call :meth:`MicroBatcher.submit` and await the future
+it returns; the batcher gathers submissions into windows and resolves
+each window with one :meth:`SPCIndex.query_batch` call on a worker
+thread, so throughput under load rides the vectorised batch kernel
+instead of the per-pair path.
+
+A window closes on the *earliest* of three signals:
+
+* **full** — ``max_batch`` submissions are pending;
+* **idle** — the event loop finished its current tick (scheduled with
+  ``call_soon``), i.e. every request that was already readable has been
+  parsed and submitted.  This is what makes batching *adaptive*: a lone
+  request flushes immediately, while a burst of concurrent requests —
+  woken by the same selector poll — lands in one window with no added
+  latency;
+* **timer** — ``max_wait_us`` elapsed since the window opened (a
+  backstop; with idle-flushing it only fires under pathological loads).
+
+While a scan is in flight the idle flush is suppressed, so the next
+window keeps filling for the scan's whole duration — batch size then
+tracks the arrival rate automatically (this is the serving analogue of
+the pipelining in the paper-adjacent batch-processing literature).
+
+The index must be read-only while served (every built index is); the
+worker thread never mutates it, and ``tests/core/
+test_concurrent_readers.py`` pins the lock-free read guarantee.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import List, Optional, Set, Tuple
+
+from repro.exceptions import ReproError
+from repro.obs import NULL_RECORDER
+from repro.types import Vertex
+
+#: One queued submission: source, target, and the future to resolve.
+_Pending = Tuple[Vertex, Vertex, "asyncio.Future"]
+
+
+class MicroBatcher:
+    """Coalesces concurrent ``Q(s, t)`` submissions into batch scans.
+
+    Must be used from a single event loop.  ``executor`` (typically a
+    one-worker ``ThreadPoolExecutor``) keeps the loop free while a
+    batch is scanned; pass ``None`` to scan inline on the loop (used by
+    unit tests for determinism).
+    """
+
+    def __init__(
+        self,
+        index,
+        *,
+        max_batch: int = 64,
+        max_wait_us: int = 1000,
+        recorder=NULL_RECORDER,
+        executor=None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self._index = index
+        self.max_batch = max_batch
+        self.max_wait_s = max(0, max_wait_us) / 1e6
+        self._recorder = recorder
+        self._executor = executor
+        self._pending: List[_Pending] = []
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._idle: Optional[asyncio.Handle] = None
+        self._scans_inflight = 0
+        self._flushes: Set["asyncio.Task"] = set()
+        self.batches_flushed = 0
+        self.queries_batched = 0
+
+    @property
+    def pending_count(self) -> int:
+        """Submissions waiting for the current window to flush."""
+        return len(self._pending)
+
+    def submit(self, source: Vertex, target: Vertex) -> "asyncio.Future":
+        """Enqueue one query; the returned future yields a QueryResult.
+
+        The future fails with the underlying :class:`ReproError` when
+        the pair cannot be answered (e.g. an unindexed vertex) — other
+        submissions in the same window are unaffected.
+        """
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._pending.append((source, target, future))
+        if len(self._pending) >= self.max_batch:
+            self._flush("full")
+            return future
+        if self._timer is None:
+            self._timer = loop.call_later(
+                self.max_wait_s, self._flush, "timer"
+            )
+        if self._scans_inflight == 0 and self._idle is None:
+            self._idle = loop.call_soon(self._flush, "idle")
+        return future
+
+    def _cancel_triggers(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if self._idle is not None:
+            self._idle.cancel()
+            self._idle = None
+
+    def _flush(self, reason: str) -> None:
+        """Move the pending window into an owned resolution task."""
+        self._cancel_triggers()
+        if not self._pending:
+            return
+        batch, self._pending = self._pending, []
+        task = asyncio.get_running_loop().create_task(
+            self._resolve(batch, reason)
+        )
+        self._flushes.add(task)
+        task.add_done_callback(self._flushes.discard)
+
+    async def _resolve(self, batch: List[_Pending], reason: str) -> None:
+        pairs = [(source, target) for source, target, _ in batch]
+        rec = self._recorder
+        rec.incr("serve.batch.count")
+        rec.incr(f"serve.batch.flush_{reason}")
+        rec.observe("serve.batch.size", len(pairs))
+        self.batches_flushed += 1
+        self.queries_batched += len(pairs)
+        self._scans_inflight += 1
+        started = time.perf_counter()
+        try:
+            if self._executor is None:
+                results = self._index.query_batch(pairs)
+            else:
+                results = await asyncio.get_running_loop().run_in_executor(
+                    self._executor, self._index.query_batch, pairs
+                )
+        except ReproError:
+            # One bad pair fails the whole batch call; fall back to
+            # per-pair queries so only the offending futures error.
+            results = []
+            for source, target in pairs:
+                try:
+                    results.append(self._index.query(source, target))
+                except ReproError as exc:
+                    results.append(exc)
+        except Exception as exc:  # unexpected: surface to every waiter
+            self._scans_inflight -= 1
+            for _, _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            raise
+        self._scans_inflight -= 1
+        rec.observe("serve.batch.seconds", time.perf_counter() - started)
+        for (_, _, future), result in zip(batch, results):
+            if future.done():
+                continue  # waiter gave up (deadline) — drop the answer
+            if isinstance(result, ReproError):
+                future.set_exception(result)
+            else:
+                future.set_result(result)
+        # Everything that arrived during the scan forms the next window.
+        if self._pending and self._scans_inflight == 0:
+            self._flush("afterscan")
+
+    async def drain(self) -> None:
+        """Flush the open window and wait for every in-flight batch."""
+        self._flush("drain")
+        while self._flushes or self._pending:
+            if self._pending:
+                self._flush("drain")
+            await asyncio.gather(
+                *list(self._flushes), return_exceptions=True
+            )

@@ -1,0 +1,60 @@
+"""Tunable knobs of the serving layer, validated in one place."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ReproError
+
+
+class ServeConfigError(ReproError):
+    """A serving configuration value is out of range."""
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Configuration of one :class:`~repro.serve.server.SPCServer`.
+
+    The coalescing window is bounded on both axes: a batch is flushed as
+    soon as ``max_batch`` requests are pending *or* ``max_wait_us``
+    microseconds have passed since the first one arrived, so an idle
+    server adds at most ``max_wait_us`` of latency and a loaded server
+    fills whole batches without waiting at all.
+    """
+
+    #: Interface to bind; loopback by default.
+    host: str = "127.0.0.1"
+    #: TCP port; 0 binds an ephemeral port (read it back off the server).
+    port: int = 8355
+    #: Resolve concurrent requests through one ``query_batch`` call.
+    #: ``False`` answers per request — the uncoalesced baseline the
+    #: serving benchmark compares against.
+    coalesce: bool = True
+    #: Flush a pending batch at this size.
+    max_batch: int = 64
+    #: Flush a pending batch after this many microseconds.
+    max_wait_us: int = 1000
+    #: LRU result-cache capacity in entries; 0 disables caching.
+    cache_size: int = 4096
+    #: Shed (HTTP 503) once this many requests are queued unanswered.
+    queue_high_water: int = 256
+    #: Per-request deadline covering queueing, batching, and the scan.
+    request_timeout_ms: int = 1000
+    #: Seconds to wait for in-flight connections during graceful drain.
+    drain_grace_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ServeConfigError("max_batch must be >= 1")
+        if self.max_wait_us < 0:
+            raise ServeConfigError("max_wait_us must be >= 0")
+        if self.cache_size < 0:
+            raise ServeConfigError("cache_size must be >= 0")
+        if self.queue_high_water < 1:
+            raise ServeConfigError("queue_high_water must be >= 1")
+        if self.request_timeout_ms <= 0:
+            raise ServeConfigError("request_timeout_ms must be > 0")
+        if self.drain_grace_s < 0:
+            raise ServeConfigError("drain_grace_s must be >= 0")
+        if not 0 <= self.port <= 65535:
+            raise ServeConfigError(f"port {self.port} is out of range")

@@ -1,0 +1,218 @@
+"""Minimal HTTP/1.1 framing over asyncio streams — stdlib only.
+
+Just enough of the protocol for the query server and its load-generator
+client: request/status lines, headers, ``Content-Length`` bodies, and
+keep-alive.  No chunked encoding, no TLS, no multipart — the payloads
+are tiny JSON objects and the parser stays a handful of allocations per
+request, which matters because framing overhead is pure per-request
+cost that micro-batching cannot amortise.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from http import HTTPStatus
+from typing import Dict, Optional, Sequence, Tuple
+from urllib.parse import unquote_plus
+
+from repro.exceptions import ReproError
+
+#: Upper bound on one request's header section, defensive only.
+MAX_HEADER_BYTES = 16 * 1024
+
+#: Upper bound on a request/response body (a big batch of pairs).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class HTTPProtocolError(ReproError):
+    """The peer sent bytes that do not frame as HTTP/1.1."""
+
+
+_REASONS = {status.value: status.phrase for status in HTTPStatus}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    params: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the connection should survive this exchange."""
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+    def json(self) -> object:
+        """The body decoded as JSON (``{}`` when empty)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except json.JSONDecodeError as exc:
+            raise HTTPProtocolError(f"request body is not JSON: {exc}") from exc
+
+
+def _parse_params(raw_query: str) -> Dict[str, str]:
+    params: Dict[str, str] = {}
+    for part in raw_query.split("&"):
+        if not part:
+            continue
+        key, _, value = part.partition("=")
+        params[unquote_plus(key)] = unquote_plus(value)
+    return params
+
+
+async def read_head(reader: asyncio.StreamReader) -> Optional[bytes]:
+    """The raw head (request/status line + headers) of one message.
+
+    One ``readuntil`` instead of a ``readline`` per header keeps the
+    await count — and the per-request event-loop cost — constant.
+    Returns ``None`` on a clean EOF before any byte.
+    """
+    try:
+        return await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HTTPProtocolError("connection closed mid-head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HTTPProtocolError("header section too large") from exc
+
+
+def _parse_headers(lines: Sequence[bytes]) -> Dict[str, str]:
+    headers: Dict[str, str] = {}
+    for line in lines:
+        if not line:
+            continue
+        name, sep, value = line.partition(b":")
+        if not sep:
+            raise HTTPProtocolError(f"malformed header line {line!r}")
+        headers[name.strip().lower().decode("latin-1")] = (
+            value.strip().decode("latin-1")
+        )
+    return headers
+
+
+async def _read_body(
+    reader: asyncio.StreamReader, headers: Dict[str, str]
+) -> bytes:
+    raw_length = headers.get("content-length")
+    if raw_length is None:
+        return b""
+    try:
+        length = int(raw_length)
+    except ValueError:
+        raise HTTPProtocolError(
+            f"bad Content-Length {raw_length!r}"
+        ) from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise HTTPProtocolError(f"Content-Length {length} out of range")
+    if length == 0:
+        return b""
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise HTTPProtocolError("connection closed mid-body") from exc
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Read one request; ``None`` on a clean EOF between requests."""
+    head = await read_head(reader)
+    if head is None:
+        return None
+    return await parse_request(head, reader)
+
+
+async def parse_request(
+    head: bytes, reader: asyncio.StreamReader
+) -> Request:
+    """Parse an already-read head (and its body) into a Request."""
+    if len(head) > MAX_HEADER_BYTES:
+        raise HTTPProtocolError("header section too large")
+    lines = head.split(b"\r\n")
+    fields = lines[0].decode("latin-1").split()
+    if len(fields) != 3 or not fields[2].startswith("HTTP/"):
+        raise HTTPProtocolError(f"malformed request line {lines[0]!r}")
+    method, target, version = fields
+    path, _, raw_query = target.partition("?")
+    headers = _parse_headers(lines[1:])
+    body = await _read_body(reader, headers)
+    return Request(
+        method=method.upper(),
+        path=path,
+        params=_parse_params(raw_query),
+        headers=headers,
+        body=body,
+        version=version,
+    )
+
+
+def response_bytes(
+    status: int,
+    payload: object,
+    *,
+    keep_alive: bool = True,
+    extra_headers: Sequence[Tuple[str, str]] = (),
+) -> bytes:
+    """Serialize one JSON response, ready to write to the transport.
+
+    ``payload`` may already be JSON-encoded ``bytes`` (the hot answer
+    path pre-serializes) — anything else goes through ``json.dumps``.
+    """
+    body = (
+        payload
+        if type(payload) is bytes
+        else json.dumps(payload, separators=(",", ":")).encode()
+    )
+    head = (
+        f"HTTP/1.1 {status} {_REASONS[status]}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+    )
+    if extra_headers:
+        head += "".join(
+            f"{name}: {value}\r\n" for name, value in extra_headers
+        )
+    return (head + "\r\n").encode("latin-1") + body
+
+
+async def read_raw_response(
+    reader: asyncio.StreamReader,
+) -> Tuple[int, Dict[str, str], bytes]:
+    """Client side: one response as ``(status, headers, raw body)``."""
+    head = await read_head(reader)
+    if head is None:
+        raise HTTPProtocolError("connection closed before status line")
+    lines = head.split(b"\r\n")
+    fields = lines[0].split(None, 2)
+    if len(fields) < 2 or not fields[0].startswith(b"HTTP/"):
+        raise HTTPProtocolError(f"malformed status line {lines[0]!r}")
+    try:
+        status = int(fields[1])
+    except ValueError:
+        raise HTTPProtocolError(
+            f"malformed status {fields[1]!r}"
+        ) from None
+    headers = _parse_headers(lines[1:])
+    body = await _read_body(reader, headers)
+    return status, headers, body
+
+
+async def read_response(
+    reader: asyncio.StreamReader,
+) -> Tuple[int, Dict[str, str], object]:
+    """Client side: read one response as ``(status, headers, json)``."""
+    status, headers, body = await read_raw_response(reader)
+    payload = json.loads(body) if body else None
+    return status, headers, payload

@@ -1,0 +1,87 @@
+"""Run an :class:`SPCServer` on a daemon thread with its own loop.
+
+Tests, benchmarks, and examples need a live server next to a
+synchronous caller; :class:`ServerThread` wraps the asyncio lifecycle
+(start → serve → drain) behind ``start()``/``stop()`` and hands back
+the bound address, so callers never touch the event loop::
+
+    with ServerThread(index, ServeConfig(port=0)) as (host, port):
+        report = replay(host, port, pairs)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional, Tuple
+
+from repro.obs import Recorder
+from repro.serve.config import ServeConfig
+from repro.serve.server import SPCServer
+
+
+class ServerThread:
+    """Owns one server event loop on a background daemon thread."""
+
+    def __init__(
+        self,
+        index,
+        config: Optional[ServeConfig] = None,
+        *,
+        recorder: Optional[Recorder] = None,
+    ) -> None:
+        self._index = index
+        self._config = config or ServeConfig(port=0)
+        self._recorder = recorder
+        self.server: Optional[SPCServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._failure: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="spc-serve", daemon=True
+        )
+
+    def start(self, timeout: float = 10.0) -> Tuple[str, int]:
+        """Start serving; returns the bound ``(host, port)``."""
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("server thread did not start in time")
+        if self._failure is not None:
+            raise RuntimeError(
+                f"server thread failed to start: {self._failure!r}"
+            ) from self._failure
+        assert self.server is not None
+        return self.server.host, self.server.port
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Trigger a graceful drain and join the thread."""
+        if self._loop is not None and self.server is not None:
+            try:
+                asyncio.run_coroutine_threadsafe(
+                    self.server.shutdown(), self._loop
+                ).result(timeout)
+            except (RuntimeError, asyncio.CancelledError):
+                pass  # loop already gone: the server finished on its own
+        self._thread.join(timeout)
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surface startup failures to start()
+            self._failure = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self.server = SPCServer(
+            self._index, self._config, recorder=self._recorder
+        )
+        await self.server.start()
+        self._loop = asyncio.get_running_loop()
+        self._ready.set()
+        await self.server.wait_stopped()
+
+    def __enter__(self) -> Tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

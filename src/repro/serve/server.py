@@ -1,0 +1,520 @@
+"""The asyncio SPC query server: routing, shedding, deadlines, drain.
+
+:class:`SPCServer` owns one read-only index and answers ``Q(s, t)``
+over a small JSON/HTTP surface:
+
+* ``GET /query?source=S&target=T`` — one query.
+* ``POST /query`` with ``{"source": S, "target": T}`` or
+  ``{"pairs": [[S, T], ...]}`` — one query or an explicit batch.
+* ``GET /health`` — liveness; 503 once draining.
+* ``GET /metrics`` — the server recorder's metrics snapshot
+  (:mod:`repro.obs` instruments: cache hits, batch sizes, shed counts).
+
+Answers are ``{"source", "target", "distance", "count"}`` with
+``distance: null`` for a disconnected pair — exactly the values
+:meth:`SPCIndex.query` returns, just JSON-framed.
+
+Three protections keep the server honest under load:
+
+* **Admission control** — once ``queue_high_water`` admitted requests
+  are waiting, new ones are shed with 503 + ``Retry-After`` instead of
+  growing the queue without bound.
+* **Deadlines** — every admitted request races
+  ``request_timeout_ms``; losers get 504 and their slot back.
+* **Graceful drain** — SIGTERM (or :meth:`SPCServer.shutdown`) stops
+  accepting, lets in-flight requests finish within ``drain_grace_s``,
+  flushes the coalescer, and only then lets the process exit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from collections import deque
+
+from repro.exceptions import ReproError
+from repro.obs import Recorder
+from repro.serve.cache import ResultCache
+from repro.serve.coalescer import MicroBatcher
+from repro.serve.config import ServeConfig
+from repro.serve.http import (
+    HTTPProtocolError,
+    Request,
+    parse_request,
+    read_head,
+    response_bytes,
+)
+from repro.types import INF, QueryResult, Vertex
+
+#: ``(status, payload, extra headers)`` produced by the route handlers.
+Response = Tuple[int, object, Sequence[Tuple[str, str]]]
+
+_RETRY_AFTER = (("Retry-After", "1"),)
+
+#: Write-loop sentinel: no more responses on this connection.
+_CLOSE = object()
+
+
+def encode_result(
+    source: Vertex, target: Vertex, result: QueryResult
+) -> dict:
+    """The wire form of one answer (``distance: null`` = disconnected)."""
+    return {
+        "source": source,
+        "target": target,
+        "distance": None if result.distance == INF else result.distance,
+        "count": result.count,
+    }
+
+
+def encode_result_bytes(
+    source: Vertex, target: Vertex, result: QueryResult
+) -> bytes:
+    """:func:`encode_result` pre-serialized — the hot path skips
+    ``json.dumps`` (the bytes are byte-identical to dumping the dict
+    with ``separators=(",", ":")``)."""
+    distance = result.distance
+    return b'{"source":%d,"target":%d,"distance":%s,"count":%d}' % (
+        source,
+        target,
+        b"null" if distance == INF else repr(distance).encode(),
+        result.count,
+    )
+
+
+class SPCServer:
+    """Serves one built SPC index over HTTP with micro-batching.
+
+    The server records into its own :class:`repro.obs.Recorder` (not
+    the process-global one), so the indexes' zero-overhead-when-off
+    query instrumentation stays off while ``/metrics`` still exposes
+    full serving metrics.
+    """
+
+    def __init__(
+        self,
+        index,
+        config: Optional[ServeConfig] = None,
+        *,
+        recorder: Optional[Recorder] = None,
+    ) -> None:
+        self.index = index
+        self.config = config or ServeConfig()
+        self.recorder = recorder if recorder is not None else Recorder()
+        self.cache = ResultCache(
+            self.config.cache_size, recorder=self.recorder
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="spc-scan"
+        )
+        self.batcher: Optional[MicroBatcher] = None
+        if self.config.coalesce:
+            self.batcher = MicroBatcher(
+                index,
+                max_batch=self.config.max_batch,
+                max_wait_us=self.config.max_wait_us,
+                recorder=self.recorder,
+                executor=self._executor,
+            )
+        self.host = self.config.host
+        self.port = self.config.port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._draining = False
+        self._inflight = 0
+        self._connections: set = set()
+        self._started_at = 0.0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "SPCServer":
+        """Bind and start accepting; resolves the actual port for port 0."""
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        self._started_at = time.perf_counter()
+        return self
+
+    def install_signal_handlers(
+        self, signals: Sequence[int] = (signal.SIGTERM, signal.SIGINT)
+    ) -> None:
+        """Trigger a graceful drain when the process is asked to stop."""
+        loop = asyncio.get_running_loop()
+        for signum in signals:
+            try:
+                loop.add_signal_handler(
+                    signum,
+                    lambda: loop.create_task(self.shutdown()),
+                )
+            except NotImplementedError:  # non-unix event loops
+                return
+
+    async def wait_stopped(self) -> None:
+        """Block until a drain has fully completed."""
+        assert self._stopped is not None, "server was never started"
+        await self._stopped.wait()
+
+    @property
+    def draining(self) -> bool:
+        """Whether a graceful drain is in progress (or finished)."""
+        return self._draining
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight, flush, stop."""
+        if self._draining:
+            return
+        self._draining = True
+        self.recorder.incr("serve.drain.count")
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._connections:
+            _, still_open = await asyncio.wait(
+                list(self._connections), timeout=self.config.drain_grace_s
+            )
+            for task in still_open:
+                task.cancel()
+            if still_open:
+                await asyncio.gather(*still_open, return_exceptions=True)
+        if self.batcher is not None:
+            await self.batcher.drain()
+        self._executor.shutdown(wait=True)
+        if self._stopped is not None:
+            self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _on_connection(self, reader, writer) -> None:
+        """One connection: a read loop feeding an in-order write loop.
+
+        The read loop never awaits an answer — it parses, dispatches
+        (which enqueues the query into the coalescer), and immediately
+        reads the next request.  A pipelining client therefore lands
+        its whole window in one batch, while the write loop sends the
+        responses back in request order.
+        """
+        task = asyncio.current_task()
+        self._connections.add(task)
+        self.recorder.incr("serve.connections")
+        out: deque = deque()
+        wake = asyncio.Event()
+        write_loop = asyncio.get_running_loop().create_task(
+            self._write_loop(writer, out, wake)
+        )
+        try:
+            while True:
+                head = await read_head(reader)
+                if head is None:
+                    break
+                item = self._fast_query(head)
+                if item is None:
+                    request = await parse_request(head, reader)
+                    keep_alive = request.keep_alive and not self._draining
+                    item = (self._dispatch(request), keep_alive)
+                out.append(item)
+                wake.set()
+                if not item[1]:
+                    break
+        except HTTPProtocolError as exc:
+            self.recorder.incr("serve.errors.protocol")
+            out.append(((400, {"error": str(exc)}, ()), False))
+            wake.set()
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            self.recorder.incr("serve.errors.connection")
+        finally:
+            out.append(_CLOSE)
+            wake.set()
+            try:
+                await write_loop
+            finally:
+                self._connections.discard(task)
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+    async def _write_loop(self, writer, out: deque, wake) -> None:
+        """Send queued responses in order; drain once per burst."""
+        broken = False
+        while True:
+            while not out:
+                wake.clear()
+                await wake.wait()
+            item = out.popleft()
+            if item is _CLOSE:
+                return
+            entry, keep_alive = item
+            # ``entry`` is either a ready Response tuple or an
+            # awaitable still being computed (a coalesced query).
+            try:
+                status, payload, extra = (
+                    entry if type(entry) is tuple else await entry
+                )
+            except Exception as exc:  # keep later answers alive
+                self.recorder.incr("serve.errors.internal")
+                status, payload, extra = (
+                    500, {"error": f"internal error: {exc}"}, ()
+                )
+            if broken:
+                continue  # keep consuming so computations are awaited
+            try:
+                writer.write(
+                    response_bytes(
+                        status,
+                        payload,
+                        keep_alive=keep_alive,
+                        extra_headers=extra,
+                    )
+                )
+                if not out:  # one drain per burst of pipelined answers
+                    await writer.drain()
+            except (ConnectionError, OSError):
+                self.recorder.incr("serve.errors.connection")
+                broken = True
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def _fast_query(self, head: bytes):
+        """Byte-level fast path for ``GET /query?source=S&target=T``.
+
+        The hot request shape is parsed straight off the head bytes —
+        no header dict, no :class:`Request` — which roughly halves the
+        framing cost per query.  Anything unusual (other param order,
+        percent-encoding, a body) returns ``None`` and takes the full
+        parser; behaviour is identical either way.
+        """
+        if not head.startswith(b"GET /query?source="):
+            return None
+        end = head.find(b" HTTP/", 18)
+        if end < 0 or b"ontent-" in head:
+            return None
+        src, sep, tgt = head[18:end].partition(b"&")
+        if not sep or not tgt.startswith(b"target="):
+            return None
+        try:
+            source, target = int(src), int(tgt[7:])
+        except ValueError:
+            return None
+        self.recorder.incr("serve.requests")
+        keep_alive = (b"close" not in head) and not self._draining
+        return self._query_entry(source, target), keep_alive
+
+    def _dispatch(self, request: Request):
+        """Route one request: a ready Response or an awaitable of one.
+
+        Runs synchronously inside the read loop, so a query's
+        submission reaches the coalescer *before* the next pipelined
+        request is parsed — only the waiting (deadline, cache fill,
+        encoding) is deferred to the awaitable the write loop resolves.
+        """
+        self.recorder.incr("serve.requests")
+        if request.path == "/query":
+            return self._dispatch_query(request)
+        if request.path == "/health":
+            return self._handle_health()
+        if request.path == "/metrics":
+            return self._handle_metrics()
+        self.recorder.incr("serve.errors.route")
+        return 404, {"error": f"unknown path {request.path!r}"}, ()
+
+    def _handle_health(self) -> Response:
+        payload = {
+            "status": "draining" if self._draining else "ok",
+            "index": type(self.index).__name__,
+            "inflight": self._inflight,
+            "uptime_seconds": time.perf_counter() - self._started_at,
+        }
+        return (503 if self._draining else 200), payload, ()
+
+    def _handle_metrics(self) -> Response:
+        rec = self.recorder
+        rec.gauge("serve.queue.depth", self.queue_depth)
+        rec.gauge("serve.connections.active", len(self._connections))
+        rec.gauge("serve.cache.size", len(self.cache))
+        rec.gauge("serve.cache.hit_rate", self.cache.hit_rate)
+        return 200, rec.metrics_snapshot(), ()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Admitted-but-unanswered requests (the shedding signal)."""
+        return self._inflight
+
+    def _parse_query(
+        self, request: Request
+    ) -> Tuple[Optional[List[Tuple[int, int]]], Optional[Tuple[int, int]]]:
+        """Returns ``(pairs, single)``; exactly one of the two is set."""
+        if request.method == "POST":
+            payload = request.json()
+            if not isinstance(payload, dict):
+                raise HTTPProtocolError("query body must be a JSON object")
+            if "pairs" in payload:
+                raw = payload["pairs"]
+                if not isinstance(raw, list):
+                    raise HTTPProtocolError("'pairs' must be a list")
+                pairs = []
+                for item in raw:
+                    if (
+                        not isinstance(item, (list, tuple))
+                        or len(item) != 2
+                    ):
+                        raise HTTPProtocolError(
+                            "each pair must be [source, target]"
+                        )
+                    pairs.append((int(item[0]), int(item[1])))
+                return pairs, None
+            try:
+                return None, (int(payload["source"]), int(payload["target"]))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise HTTPProtocolError(
+                    "query body needs integer 'source' and 'target'"
+                ) from exc
+        try:
+            return None, (
+                int(request.params["source"]),
+                int(request.params["target"]),
+            )
+        except (KeyError, ValueError) as exc:
+            raise HTTPProtocolError(
+                "query needs integer 'source' and 'target' parameters"
+            ) from exc
+
+    def _dispatch_query(self, request: Request):
+        """Admit (or reject) one ``/query`` synchronously.
+
+        Cache hits, malformed requests, and shed responses come back as
+        ready tuples; an admitted miss submits its scan *now* and
+        returns the :meth:`_finish` coroutine that waits for it.
+        """
+        try:
+            pairs, single = self._parse_query(request)
+        except HTTPProtocolError as exc:
+            self.recorder.incr("serve.errors.request")
+            return 400, {"error": str(exc)}, ()
+        if single is not None:
+            return self._query_entry(*single)
+        if self._draining:
+            self.recorder.incr("serve.shed.draining")
+            return 503, {"error": "draining"}, _RETRY_AFTER
+        if self.queue_depth + len(pairs) > self.config.queue_high_water:
+            self.recorder.incr("serve.shed", len(pairs))
+            return self._overloaded()
+        return self._answer_pairs(pairs)
+
+    def _overloaded(self) -> Response:
+        return (
+            503,
+            {
+                "error": "overloaded",
+                "queue_depth": self.queue_depth,
+                "high_water": self.config.queue_high_water,
+            },
+            _RETRY_AFTER,
+        )
+
+    def _query_entry(self, source: int, target: int):
+        """Drain/shed/cache-check one pair; ready tuple or waiter.
+
+        200 payloads come back as pre-serialized bytes (see
+        :func:`encode_result_bytes`)."""
+        if self._draining:
+            self.recorder.incr("serve.shed.draining")
+            return 503, {"error": "draining"}, _RETRY_AFTER
+        if self.queue_depth >= self.config.queue_high_water:
+            self.recorder.incr("serve.shed")
+            return self._overloaded()
+        cached = self.cache.get(source, target)
+        if cached is not None:
+            return 200, encode_result_bytes(source, target, cached), ()
+        return self._admit(source, target)
+
+    def _admit(self, source: int, target: int):
+        """Take a queue slot and start the scan; returns the waiter."""
+        self._inflight += 1
+        self.recorder.gauge_max("serve.queue.depth.max", self._inflight)
+        started = time.perf_counter()
+        return self._finish(
+            source, target, self._compute(source, target), started
+        )
+
+    async def _answer_pairs(self, pairs: List[Tuple[int, int]]) -> Response:
+        results = await asyncio.gather(
+            *(self._answer_single(s, t) for s, t in pairs)
+        )
+        worst = max(status for status, _, _ in results)
+        return (
+            worst,
+            {"results": [payload for _, payload, _ in results]},
+            _RETRY_AFTER if worst == 503 else (),
+        )
+
+    async def _answer_single(self, source: int, target: int) -> Response:
+        """One pair of a POST batch, payload as a JSON-able dict."""
+        entry = self._query_entry(source, target)
+        status, payload, extra = (
+            entry if type(entry) is tuple else await entry
+        )
+        if type(payload) is bytes:
+            payload = json.loads(payload)
+        return status, payload, extra
+
+    async def _finish(
+        self,
+        source: int,
+        target: int,
+        future: "asyncio.Future",
+        started: float,
+    ) -> Response:
+        # wait_for on the bare future: a deadline cancels only this
+        # request's future — the batcher skips done futures when its
+        # scan resolves, so batch-mates are unaffected.
+        try:
+            result = await asyncio.wait_for(
+                future,
+                timeout=self.config.request_timeout_ms / 1000.0,
+            )
+        except asyncio.TimeoutError:
+            self.recorder.incr("serve.timeouts")
+            return (
+                504,
+                {
+                    "error": "deadline exceeded",
+                    "timeout_ms": self.config.request_timeout_ms,
+                    "source": source,
+                    "target": target,
+                },
+                (),
+            )
+        except ReproError as exc:
+            self.recorder.incr("serve.errors.query")
+            return 400, {"error": str(exc)}, ()
+        finally:
+            self._inflight -= 1
+            self.recorder.observe(
+                "serve.latency_seconds", time.perf_counter() - started
+            )
+        self.cache.put(source, target, result)
+        self.recorder.incr("serve.responses.ok")
+        return 200, encode_result_bytes(source, target, result), ()
+
+    def _compute(self, source: int, target: int) -> "asyncio.Future":
+        """One answer through the batcher (or the uncoalesced path)."""
+        if self.batcher is not None:
+            return self.batcher.submit(source, target)
+        return asyncio.get_running_loop().run_in_executor(
+            self._executor, self.index.query, source, target
+        )

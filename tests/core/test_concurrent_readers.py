@@ -1,0 +1,76 @@
+"""Concurrent read safety: a built index is shared between threads.
+
+The serving layer (:mod:`repro.serve`) answers queries from worker
+threads while the asyncio loop keeps parsing requests, so ``query``
+and ``query_batch`` on one shared index must be pure reads: many
+threads hammering the same index must all see exactly the answers a
+single-threaded replay produces.  These tests pin that guarantee.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.baselines.tl import TLIndex
+from repro.core.ctl import CTLIndex
+from repro.core.ctls import CTLSIndex
+from repro.graph.generators import road_network
+
+NUM_THREADS = 8
+QUERIES_PER_THREAD = 150
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return road_network(250, seed=5)
+
+
+@pytest.fixture(scope="module")
+def workload(graph):
+    vertices = list(graph.vertices())
+    rng = random.Random(17)
+    return [
+        (rng.choice(vertices), rng.choice(vertices))
+        for _ in range(QUERIES_PER_THREAD)
+    ]
+
+
+def _hammer(index, pairs, barrier, answers, slot, use_batch):
+    barrier.wait()  # release every thread into the index at once
+    if use_batch:
+        answers[slot] = index.query_batch(pairs)
+    else:
+        answers[slot] = [index.query(s, t) for s, t in pairs]
+
+
+@pytest.mark.parametrize(
+    "build",
+    [TLIndex.build, CTLIndex.build, CTLSIndex.build],
+    ids=["tl", "ctl", "ctls"],
+)
+def test_threaded_queries_match_serial(graph, workload, build):
+    index = build(graph)
+    expected = [index.query(s, t) for s, t in workload]
+    assert index.query_batch(workload) == expected
+
+    barrier = threading.Barrier(NUM_THREADS)
+    answers = [None] * NUM_THREADS
+    threads = [
+        threading.Thread(
+            target=_hammer,
+            # Alternate scalar and batch readers so both paths run
+            # interleaved against the same shared label arrays.
+            args=(index, workload, barrier, answers, i, i % 2 == 1),
+        )
+        for i in range(NUM_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+        assert not thread.is_alive(), "reader thread deadlocked"
+    for got in answers:
+        assert got == expected

@@ -1,0 +1,60 @@
+"""ResultCache: normalization, LRU eviction, counters."""
+
+from repro.obs import Recorder
+from repro.serve.cache import ResultCache
+from repro.types import QueryResult
+
+R1 = QueryResult(10, 2)
+R2 = QueryResult(7, 1)
+
+
+def test_symmetric_key_normalization():
+    cache = ResultCache(8)
+    cache.put(3, 5, R1)
+    assert cache.get(5, 3) == R1
+    assert cache.get(3, 5) == R1
+    assert len(cache) == 1
+
+
+def test_lru_eviction_order():
+    cache = ResultCache(2)
+    cache.put(0, 1, R1)
+    cache.put(2, 3, R2)
+    assert cache.get(0, 1) == R1  # refresh (0, 1)
+    cache.put(4, 5, R1)  # evicts (2, 3), the least recently used
+    assert cache.get(2, 3) is None
+    assert cache.get(0, 1) == R1
+    assert cache.get(4, 5) == R1
+
+
+def test_hit_miss_counters_and_recorder():
+    recorder = Recorder()
+    cache = ResultCache(4, recorder=recorder)
+    assert cache.get(1, 2) is None
+    cache.put(1, 2, R1)
+    assert cache.get(2, 1) == R1
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert cache.hit_rate == 0.5
+    counters = recorder.metrics_snapshot()["counters"]
+    assert counters["serve.cache.hits"] == 1
+    assert counters["serve.cache.misses"] == 1
+
+
+def test_capacity_zero_disables():
+    cache = ResultCache(0)
+    cache.put(1, 2, R1)
+    assert cache.get(1, 2) is None
+    assert len(cache) == 0
+    # disabled lookups are not counted as misses either
+    assert cache.misses == 0
+
+
+def test_snapshot_shape():
+    cache = ResultCache(4)
+    cache.put(1, 2, R1)
+    cache.get(1, 2)
+    snap = cache.snapshot()
+    assert snap["capacity"] == 4
+    assert snap["size"] == 1
+    assert snap["hits"] == 1
+    assert 0.0 <= snap["hit_rate"] <= 1.0

@@ -1,0 +1,32 @@
+"""Load-generator unit behavior: lane splitting, classification."""
+
+from repro.serve.client import LoadReport, _classify, split_strided
+
+
+def test_split_strided_deals_round_robin():
+    lanes = split_strided(list(range(10)), 3)
+    assert lanes == [[0, 3, 6, 9], [1, 4, 7], [2, 5, 8]]
+    assert sorted(sum(lanes, [])) == list(range(10))
+
+
+def test_split_strided_more_ways_than_items():
+    lanes = split_strided([1, 2], 4)
+    assert lanes == [[1], [2], [], []]
+
+
+def test_classification_buckets():
+    report = LoadReport(num_requests=5, concurrency=1, wall_seconds=1.0)
+    for status in (200, 200, 503, 504, 400):
+        _classify(report, status)
+    assert (report.ok, report.shed, report.timeouts, report.errors) == (
+        2, 1, 1, 1,
+    )
+    assert report.status_counts == {200: 2, 503: 1, 504: 1, 400: 1}
+    assert report.qps == 5.0
+    assert report.goodput == 2.0
+
+
+def test_zero_wall_seconds_guard():
+    report = LoadReport(num_requests=0, concurrency=1, wall_seconds=0.0)
+    assert report.qps == 0.0
+    assert report.goodput == 0.0

@@ -1,0 +1,133 @@
+"""MicroBatcher semantics: windows, flush triggers, error isolation."""
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import IndexQueryError
+from repro.serve.coalescer import MicroBatcher
+from repro.types import QueryResult
+
+
+class FakeIndex:
+    """Counts batch calls; vertex ids < 0 are 'unindexed'."""
+
+    def __init__(self):
+        self.batch_calls = []
+        self.scalar_calls = 0
+
+    def query(self, source, target):
+        self.scalar_calls += 1
+        if source < 0 or target < 0:
+            raise IndexQueryError(f"vertex {min(source, target)}")
+        return QueryResult(source + target, 1)
+
+    def query_batch(self, pairs):
+        self.batch_calls.append(list(pairs))
+        results = []
+        for source, target in pairs:
+            if source < 0 or target < 0:
+                raise IndexQueryError(f"vertex {min(source, target)}")
+            results.append(QueryResult(source + target, 1))
+        return results
+
+
+def test_concurrent_submissions_form_one_batch():
+    index = FakeIndex()
+
+    async def scenario():
+        batcher = MicroBatcher(index, max_batch=64)
+        futures = [batcher.submit(i, i + 1) for i in range(10)]
+        results = await asyncio.gather(*futures)
+        await batcher.drain()
+        return results
+
+    results = asyncio.run(scenario())
+    assert results == [QueryResult(2 * i + 1, 1) for i in range(10)]
+    # all ten landed in a single batch scan
+    assert len(index.batch_calls) == 1
+    assert len(index.batch_calls[0]) == 10
+
+
+def test_full_window_flushes_immediately():
+    index = FakeIndex()
+
+    async def scenario():
+        batcher = MicroBatcher(index, max_batch=4)
+        futures = [batcher.submit(i, i) for i in range(10)]
+        await asyncio.gather(*futures)
+        await batcher.drain()
+        return batcher
+
+    batcher = asyncio.run(scenario())
+    assert batcher.queries_batched == 10
+    # 4 + 4 + 2 under max_batch=4
+    sizes = sorted(len(call) for call in index.batch_calls)
+    assert sizes == [2, 4, 4]
+
+
+def test_lone_submission_resolves_quickly():
+    index = FakeIndex()
+
+    async def scenario():
+        batcher = MicroBatcher(index, max_batch=64, max_wait_us=10_000_000)
+        # must resolve via the idle flush, far before the backstop timer
+        result = await asyncio.wait_for(batcher.submit(2, 3), timeout=1.0)
+        await batcher.drain()
+        return result
+
+    assert asyncio.run(scenario()) == QueryResult(5, 1)
+
+
+def test_bad_pair_fails_only_its_future():
+    index = FakeIndex()
+
+    async def scenario():
+        batcher = MicroBatcher(index, max_batch=64)
+        good = batcher.submit(1, 2)
+        bad = batcher.submit(-7, 2)
+        also_good = batcher.submit(3, 4)
+        results = await asyncio.gather(
+            good, bad, also_good, return_exceptions=True
+        )
+        await batcher.drain()
+        return results
+
+    first, second, third = asyncio.run(scenario())
+    assert first == QueryResult(3, 1)
+    assert isinstance(second, IndexQueryError)
+    assert third == QueryResult(7, 1)
+
+
+def test_cancelled_waiter_does_not_break_batch_mates():
+    index = FakeIndex()
+
+    async def scenario():
+        batcher = MicroBatcher(index, max_batch=64)
+        doomed = batcher.submit(1, 1)
+        survivor = batcher.submit(2, 2)
+        doomed.cancel()
+        result = await survivor
+        await batcher.drain()
+        return result
+
+    assert asyncio.run(scenario()) == QueryResult(4, 1)
+
+
+def test_drain_flushes_pending_window():
+    index = FakeIndex()
+
+    async def scenario():
+        # huge backstop: only drain (or idle) can flush
+        batcher = MicroBatcher(index, max_batch=64, max_wait_us=10_000_000)
+        future = batcher.submit(5, 6)
+        await batcher.drain()
+        assert batcher.pending_count == 0
+        return await future
+
+    assert asyncio.run(scenario()) == QueryResult(11, 1)
+
+
+def test_rejects_bad_max_batch():
+    with pytest.raises(ValueError):
+        MicroBatcher(FakeIndex(), max_batch=0)

@@ -1,0 +1,36 @@
+"""ServeConfig validation."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.serve.config import ServeConfig, ServeConfigError
+
+
+def test_defaults_are_valid():
+    config = ServeConfig()
+    assert config.coalesce
+    assert config.max_batch >= 1
+    assert config.cache_size >= 0
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"max_batch": 0},
+        {"max_wait_us": -1},
+        {"cache_size": -1},
+        {"queue_high_water": 0},
+        {"request_timeout_ms": 0},
+        {"drain_grace_s": -0.5},
+        {"port": -1},
+        {"port": 70000},
+    ],
+)
+def test_out_of_range_values_raise(kwargs):
+    with pytest.raises(ServeConfigError):
+        ServeConfig(**kwargs)
+
+
+def test_config_error_is_repro_error():
+    """CLI error handling catches ReproError; config errors must fold in."""
+    assert issubclass(ServeConfigError, ReproError)

@@ -1,0 +1,145 @@
+"""HTTP/1.1 framing: request/response round-trips over asyncio pipes."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.http import (
+    HTTPProtocolError,
+    parse_request,
+    read_request,
+    read_response,
+    response_bytes,
+)
+
+
+def _feed(payload: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(payload)
+    reader.feed_eof()
+    return reader
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def test_get_request_round_trip():
+    async def scenario():
+        reader = _feed(
+            b"GET /query?source=3&target=9 HTTP/1.1\r\n"
+            b"Host: localhost\r\n\r\n"
+        )
+        return await read_request(reader)
+
+    request = _run(scenario())
+    assert request.method == "GET"
+    assert request.path == "/query"
+    assert request.params == {"source": "3", "target": "9"}
+    assert request.keep_alive
+
+
+def test_post_request_with_body():
+    body = json.dumps({"source": 1, "target": 2}).encode()
+    async def scenario():
+        reader = _feed(
+            b"POST /query HTTP/1.1\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        return await read_request(reader)
+
+    request = _run(scenario())
+    assert request.method == "POST"
+    assert request.json() == {"source": 1, "target": 2}
+
+
+def test_clean_eof_returns_none():
+    async def scenario():
+        return await read_request(_feed(b""))
+
+    assert _run(scenario()) is None
+
+
+def test_mid_head_eof_raises():
+    async def scenario():
+        return await read_request(_feed(b"GET /query HT"))
+
+    with pytest.raises(HTTPProtocolError):
+        _run(scenario())
+
+
+@pytest.mark.parametrize(
+    "raw",
+    [
+        b"NONSENSE\r\n\r\n",
+        b"GET /x HTTP/1.1\r\nBroken-header-no-colon\r\n\r\n",
+        b"GET /x HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+        b"GET /x HTTP/1.1\r\nContent-Length: -4\r\n\r\n",
+    ],
+)
+def test_malformed_requests_raise(raw):
+    async def scenario():
+        return await read_request(_feed(raw))
+
+    with pytest.raises(HTTPProtocolError):
+        _run(scenario())
+
+
+def test_http10_defaults_to_close():
+    async def scenario():
+        return await parse_request(
+            b"GET / HTTP/1.0\r\n\r\n", _feed(b"")
+        )
+
+    assert not _run(scenario()).keep_alive
+
+
+def test_connection_close_honoured():
+    async def scenario():
+        return await read_request(
+            _feed(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        )
+
+    assert not _run(scenario()).keep_alive
+
+
+def test_response_round_trip():
+    payload = {"distance": 4, "count": 2}
+    raw = response_bytes(200, payload, keep_alive=True)
+
+    async def scenario():
+        return await read_response(_feed(raw))
+
+    status, headers, decoded = _run(scenario())
+    assert status == 200
+    assert headers["connection"] == "keep-alive"
+    assert decoded == payload
+
+
+def test_response_bytes_passthrough_body():
+    """Pre-serialized bytes payloads are written verbatim."""
+    body = b'{"source":1,"target":2,"distance":3,"count":4}'
+    raw = response_bytes(200, body, keep_alive=False)
+
+    async def scenario():
+        return await read_response(_feed(raw))
+
+    status, headers, decoded = _run(scenario())
+    assert status == 200
+    assert headers["connection"] == "close"
+    assert decoded == json.loads(body)
+
+
+def test_response_extra_headers():
+    raw = response_bytes(
+        503, {"error": "overloaded"}, extra_headers=(("Retry-After", "1"),)
+    )
+
+    async def scenario():
+        return await read_response(_feed(raw))
+
+    status, headers, _ = _run(scenario())
+    assert status == 503
+    assert headers["retry-after"] == "1"

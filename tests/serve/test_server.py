@@ -1,0 +1,256 @@
+"""End-to-end server tests: a live SPCServer behind ServerThread.
+
+Every test starts a real server on an ephemeral port and talks real
+HTTP to it — through the load-generator client for bulk correctness,
+and through raw asyncio connections for the protocol corners (POST
+bodies, error statuses, shedding, deadlines, metrics).
+"""
+
+import asyncio
+import json
+import random
+import time
+
+import pytest
+
+from repro.baselines.tl import TLIndex
+from repro.graph.generators import road_network
+from repro.serve import ServeConfig, ServerThread, replay
+from repro.serve.http import read_response
+from repro.serve.server import encode_result, encode_result_bytes
+from repro.types import INF, QueryResult
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return road_network(220, seed=11)
+
+
+@pytest.fixture(scope="module")
+def index(graph):
+    return TLIndex.build(graph)
+
+
+@pytest.fixture(scope="module")
+def workload(graph):
+    vertices = list(graph.vertices())
+    rng = random.Random(23)
+    return [
+        (rng.choice(vertices), rng.choice(vertices)) for _ in range(300)
+    ]
+
+
+class SlowIndex:
+    """Delays every scan; for shedding and deadline tests."""
+
+    def __init__(self, inner, delay_s):
+        self._inner = inner
+        self._delay_s = delay_s
+
+    def query(self, source, target):
+        time.sleep(self._delay_s)
+        return self._inner.query(source, target)
+
+    def query_batch(self, pairs):
+        time.sleep(self._delay_s)
+        return self._inner.query_batch(pairs)
+
+
+def _request(host, port, raw: bytes):
+    """One raw HTTP exchange; returns ``(status, headers, payload)``."""
+
+    async def scenario():
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(raw)
+        await writer.drain()
+        response = await read_response(reader)
+        writer.close()
+        return response
+
+    return asyncio.run(scenario())
+
+
+def _get(host, port, path):
+    return _request(
+        host, port, f"GET {path} HTTP/1.1\r\nHost: x\r\n\r\n".encode()
+    )
+
+
+def _post(host, port, path, payload):
+    body = json.dumps(payload).encode()
+    head = (
+        f"POST {path} HTTP/1.1\r\nHost: x\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n"
+    ).encode()
+    return _request(host, port, head + body)
+
+
+@pytest.mark.parametrize("coalesce", [True, False], ids=["on", "off"])
+def test_served_answers_match_index(index, workload, coalesce):
+    config = ServeConfig(port=0, coalesce=coalesce)
+    with ServerThread(index, config) as (host, port):
+        report = replay(
+            host, port, workload, concurrency=6, pipeline=3,
+            collect_results=True,
+        )
+    assert report.ok == len(workload)
+    for source, target, status, distance, count in report.results:
+        assert status == 200
+        expected = index.query(source, target)
+        wire = None if expected.distance == INF else expected.distance
+        assert (distance, count) == (wire, expected.count)
+
+
+def test_fast_and_slow_parse_paths_agree(index, workload):
+    source, target = workload[0]
+    with ServerThread(index, ServeConfig(port=0)) as (host, port):
+        # param order 'source=..&target=..' takes the byte-level fast
+        # path; the reversed order falls back to the full parser.
+        _, _, fast = _get(
+            host, port, f"/query?source={source}&target={target}"
+        )
+        _, _, slow = _get(
+            host, port, f"/query?target={target}&source={source}"
+        )
+    assert fast == slow
+
+
+def test_post_single_and_batch(index, workload):
+    (s1, t1), (s2, t2) = workload[0], workload[1]
+    with ServerThread(index, ServeConfig(port=0)) as (host, port):
+        status, _, single = _post(
+            host, port, "/query", {"source": s1, "target": t1}
+        )
+        assert status == 200
+        batch_status, _, batch = _post(
+            host, port, "/query", {"pairs": [[s1, t1], [s2, t2]]}
+        )
+        assert batch_status == 200
+    expected = index.query(s1, t1)
+    assert single["distance"] == expected.distance
+    assert single["count"] == expected.count
+    assert [r["source"] for r in batch["results"]] == [s1, s2]
+    assert batch["results"][0] == single
+
+
+def test_error_statuses(index):
+    with ServerThread(index, ServeConfig(port=0)) as (host, port):
+        status, _, _ = _get(host, port, "/nope")
+        assert status == 404
+        status, _, payload = _get(host, port, "/query?source=1")
+        assert status == 400 and "error" in payload
+        status, _, payload = _get(
+            host, port, "/query?source=999999&target=1"
+        )
+        assert status == 400 and "not indexed" in payload["error"]
+
+
+def test_health_and_metrics(index, workload):
+    with ServerThread(index, ServeConfig(port=0)) as (host, port):
+        replay(host, port, workload, concurrency=4, repeats=2)
+        status, _, health = _get(host, port, "/health")
+        assert status == 200 and health["status"] == "ok"
+        status, _, metrics = _get(host, port, "/metrics")
+        assert status == 200
+    counters = metrics["counters"]
+    gauges = metrics["gauges"]
+    # the second repeat of the workload is (almost entirely) absorbed
+    # by the cache; "almost" because two requests for one pair can
+    # overlap in flight and both miss.
+    assert counters["serve.cache.hits"] >= 0.8 * len(workload)
+    # every request was answered either by a scan (responses.ok) or by
+    # the cache (cache.hits)
+    assert (
+        counters["serve.responses.ok"] + counters["serve.cache.hits"]
+        == 2 * len(workload)
+    )
+    assert "serve.cache.hit_rate" in gauges
+    assert "serve.queue.depth" in gauges
+    assert "serve.batch.size" in metrics["histograms"]
+
+
+def test_cache_hit_short_circuits_scan(index, workload):
+    recorder_pairs = workload[:20]
+    with ServerThread(index, ServeConfig(port=0)) as thread_addr:
+        host, port = thread_addr
+        first = replay(host, port, recorder_pairs, concurrency=2)
+        second = replay(host, port, recorder_pairs, concurrency=2)
+    assert first.ok == second.ok == len(recorder_pairs)
+
+
+def test_overload_sheds_with_503(index, workload):
+    slow = SlowIndex(index, delay_s=0.02)
+    config = ServeConfig(
+        port=0, coalesce=False, queue_high_water=2, cache_size=0
+    )
+    thread = ServerThread(slow, config)
+    with thread as (host, port):
+        report = replay(host, port, workload[:64], concurrency=8)
+        counters = thread.server.recorder.metrics_snapshot()["counters"]
+    assert report.shed > 0, "expected some 503s past the high-water mark"
+    assert report.ok > 0, "admitted requests must still be answered"
+    assert report.status_counts.get(503, 0) == report.shed
+    assert counters["serve.shed"] == report.shed
+
+
+def test_deadline_returns_504(index, workload):
+    slow = SlowIndex(index, delay_s=0.25)
+    config = ServeConfig(
+        port=0, coalesce=True, request_timeout_ms=50, cache_size=0
+    )
+    thread = ServerThread(slow, config)
+    with thread as (host, port):
+        status, _, payload = _get(
+            host, port,
+            f"/query?source={workload[0][0]}&target={workload[0][1]}",
+        )
+        counters = thread.server.recorder.metrics_snapshot()["counters"]
+    assert status == 504
+    assert payload["error"] == "deadline exceeded"
+    assert counters["serve.timeouts"] == 1
+
+
+def test_graceful_drain_finishes_inflight(index, workload):
+    slow = SlowIndex(index, delay_s=0.05)
+    thread = ServerThread(slow, ServeConfig(port=0, cache_size=0))
+    host, port = thread.start()
+
+    async def one_query():
+        reader, writer = await asyncio.open_connection(host, port)
+        source, target = workload[0]
+        writer.write(
+            f"GET /query?source={source}&target={target} "
+            "HTTP/1.1\r\nHost: x\r\n\r\n".encode()
+        )
+        await writer.drain()
+        # wait until the server has admitted the request — stopping
+        # earlier would legitimately shed it with a 503 "draining"
+        while thread.server.queue_depth == 0:
+            await asyncio.sleep(0.001)
+        # stop the server while the scan is sleeping; the drain must
+        # still deliver this answer before the loop shuts down
+        stopper = asyncio.get_running_loop().run_in_executor(
+            None, thread.stop
+        )
+        status, _, payload = await read_response(reader)
+        writer.close()
+        await stopper
+        return status, payload
+
+    status, payload = asyncio.run(one_query())
+    assert status == 200
+    expected = index.query(*workload[0])
+    assert payload["count"] == expected.count
+
+
+@pytest.mark.parametrize(
+    "result",
+    [QueryResult(5, 2), QueryResult(2.5, 7), QueryResult(INF, 0)],
+    ids=["int", "float", "disconnected"],
+)
+def test_encode_result_bytes_matches_json(result):
+    fast = encode_result_bytes(4, 9, result)
+    slow = json.dumps(
+        encode_result(4, 9, result), separators=(",", ":")
+    ).encode()
+    assert fast == slow
