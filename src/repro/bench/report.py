@@ -205,7 +205,12 @@ def render_load_report(report, *, bar_width: int = 40) -> str:
         f"throughput: {report.qps:,.0f} req/s "
         f"(goodput {report.goodput:,.0f} ok/s)",
         f"outcomes: ok={report.ok} shed={report.shed} "
-        f"timeout={report.timeouts} error={report.errors}",
+        f"timeout={report.timeouts} error={report.errors}"
+        + (
+            f" id_errors={report.id_errors}"
+            if getattr(report, "id_errors", 0)
+            else ""
+        ),
     ]
     lines.extend(_latency_lines(report.latency, bar_width))
     return "\n".join(lines)

@@ -9,7 +9,9 @@ Installed as the ``repro-spc`` console script::
     repro-spc stats index.json
     repro-spc generate road 2000 network.gr --seed 7
     repro-spc profile index.json pairs.txt --repeats 3 --batch 512
-    repro-spc serve index.json --port 8355
+    repro-spc serve index.json --port 8355 --access-log serve.log
+    repro-spc query index.json 17 3405 --explain
+    repro-spc top --port 8355 --once
 
 Graphs are DIMACS ``.gr`` files (``.json``/``.txt`` edge lists are
 auto-detected by extension); indexes use the formats of
@@ -160,6 +162,31 @@ def _print_query_result(source: int, target: int, result) -> None:
         )
 
 
+def _print_explain(index, source: int, target: int) -> None:
+    """The per-query counters behind one answer (``query --explain``).
+
+    Mirrors the server's ``/query`` explain payload: the label scan
+    count comes from the same :meth:`SPCIndex.query_with_stats` call,
+    so the two report identical numbers for identical pairs.
+    """
+    parts = []
+    try:
+        stats = index.query_with_stats(source, target)
+        parts.append(f"labels_scanned={stats.visited_labels}")
+    except ReproError:
+        pass
+    tree = getattr(index, "tree", None)
+    if tree is not None:
+        try:
+            node = tree.lca_node(source, target)
+            parts.append(f"lca_depth={node.depth}")
+            parts.append(f"lca_width={node.size}")
+        except (KeyError, AttributeError):
+            pass
+    if parts:
+        print("  explain: " + " ".join(parts))
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     if args.pairs is None and (args.source is None or args.target is None):
         raise ParseError("query needs either SOURCE TARGET or --pairs FILE")
@@ -174,11 +201,15 @@ def _cmd_query(args: argparse.Namespace) -> int:
             # file.  A disconnected pair is an answer, not an error.
             for (s, t), result in zip(pairs, index.query_batch(pairs)):
                 _print_query_result(s, t, result)
+                if args.explain:
+                    _print_explain(index, s, t)
         else:
             _print_query_result(
                 args.source, args.target,
                 index.query(args.source, args.target),
             )
+            if args.explain:
+                _print_explain(index, args.source, args.target)
     finally:
         _obs_end(args, rec)
     return 0
@@ -210,6 +241,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         queue_high_water=args.high_water,
         request_timeout_ms=args.timeout_ms,
+        access_log=args.access_log,
+        slow_query_ms=args.slow_ms,
+        log_sample_every=args.log_sample,
+        log_seed=args.log_seed,
+        slo_window_s=args.slo_window,
+        slo_p99_ms=args.slo_p99_ms,
+        slo_error_rate=args.slo_error_rate,
     )
 
     async def _serve() -> None:
@@ -231,6 +269,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass  # ctrl-C on platforms without signal-handler support
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.serve.top import run_top
+
+    return run_top(
+        args.host,
+        args.port,
+        interval=args.interval,
+        once=args.once,
+    )
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -314,6 +363,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="batch mode: answer every 'source target' line of FILE "
         "through query_batch (one output line per pair)",
     )
+    p_query.add_argument(
+        "--explain",
+        action="store_true",
+        help="also print per-query counters (labels scanned, LCA node "
+        "depth/width) — the offline twin of the server's explain mode",
+    )
     _add_obs_flags(p_query)
     p_query.set_defaults(func=_cmd_query)
 
@@ -373,7 +428,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout-ms", type=int, default=1000, metavar="MS",
         help="per-request deadline; losers get 504 (default 1000)",
     )
+    p_serve.add_argument(
+        "--access-log", metavar="FILE", default=None,
+        help="write JSON-lines access + slow-query records to FILE "
+        "('-' = stderr; default: no request logging)",
+    )
+    p_serve.add_argument(
+        "--slow-ms", type=float, default=100.0, metavar="MS",
+        help="latency threshold for slow_query records (default 100)",
+    )
+    p_serve.add_argument(
+        "--log-sample", type=int, default=1, metavar="N",
+        help="keep 1 in N access records for fast 200s; slow and "
+        "failed requests are always logged (default 1 = everything)",
+    )
+    p_serve.add_argument(
+        "--log-seed", type=int, default=0,
+        help="seed of the deterministic log sampler (default 0)",
+    )
+    p_serve.add_argument(
+        "--slo-window", type=int, default=30, metavar="S",
+        help="rolling SLO window in seconds, 0 disables (default 30)",
+    )
+    p_serve.add_argument(
+        "--slo-p99-ms", type=float, default=0.0, metavar="MS",
+        help="degrade /health when windowed p99 latency exceeds this "
+        "(default 0 = objective disabled)",
+    )
+    p_serve.add_argument(
+        "--slo-error-rate", type=float, default=0.0, metavar="FRAC",
+        help="degrade /health when windowed error rate exceeds this "
+        "fraction (default 0 = objective disabled)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a running server's "
+        "/stats + /metrics",
+    )
+    p_top.add_argument("--host", default="127.0.0.1")
+    p_top.add_argument(
+        "--port", type=int, default=8355,
+        help="port of the server to watch (default 8355)",
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=2.0, metavar="S",
+        help="refresh interval in seconds (default 2)",
+    )
+    p_top.add_argument(
+        "--once", action="store_true",
+        help="print one frame and exit (for scripts and CI)",
+    )
+    p_top.set_defaults(func=_cmd_top)
 
     p_stats = sub.add_parser("stats", help="print index statistics")
     p_stats.add_argument("index")

@@ -9,6 +9,11 @@ so the library carries a first-class instrumentation layer:
 * **Spans** — nested timed sections (``with rec.span("ctls.build.node",
   depth=3): ...``) exportable as Chrome trace-event JSON
   (``chrome://tracing`` / Perfetto) or aggregated into a flat summary.
+* **Request observability** — structured JSON-lines request logging
+  with correlation ids (:mod:`repro.obs.logging`), Prometheus text
+  exposition of any metrics snapshot (:mod:`repro.obs.prometheus`),
+  and rolling SLO windows with latency/error objectives
+  (:mod:`repro.obs.slo`) — the serving layer's per-request story.
 
 Observability is *disabled by default* and costs near zero when off:
 the module-level :data:`ENABLED` flag gates per-query timing, and the
@@ -33,6 +38,12 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.obs.logging import (
+    JsonLinesWriter,
+    RequestIdGenerator,
+    RequestLog,
+    Sampler,
+)
 from repro.obs.metrics import (
     COUNT_BUCKETS,
     LATENCY_BUCKETS_SECONDS,
@@ -40,7 +51,13 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
 )
+from repro.obs.prometheus import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+    validate_prometheus_text,
+)
 from repro.obs.recorders import NULL_RECORDER, NullRecorder, Recorder
+from repro.obs.slo import SloPolicy, SloWindow
 from repro.obs.tracing import (
     SpanEvent,
     chrome_trace_payload,
@@ -102,16 +119,24 @@ __all__ = [
     "ENABLED",
     "Gauge",
     "Histogram",
+    "JsonLinesWriter",
     "LATENCY_BUCKETS_SECONDS",
     "NULL_RECORDER",
     "NullRecorder",
+    "PROMETHEUS_CONTENT_TYPE",
     "Recorder",
+    "RequestIdGenerator",
+    "RequestLog",
+    "Sampler",
+    "SloPolicy",
+    "SloWindow",
     "SpanEvent",
     "build_scope",
     "chrome_trace_payload",
     "configure",
     "disable",
     "recorder",
+    "render_prometheus",
     "span",
     "span_summary",
     "validate_chrome_trace",

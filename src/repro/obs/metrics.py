@@ -102,15 +102,22 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        """Arithmetic mean of all samples (0 when empty)."""
-        return self.total / self.count if self.count else 0.0
+        """Arithmetic mean of all samples (``nan`` when empty).
+
+        The empty case is explicit: a histogram with no samples has no
+        mean, and ``nan`` propagates visibly instead of masquerading as
+        a measured 0.  Renderers that want ``null`` (the ``/stats``
+        endpoint, :meth:`snapshot`) translate ``nan`` themselves.
+        """
+        return self.total / self.count if self.count else float("nan")
 
     def percentile(self, q: float) -> float:
-        """Estimated ``q``-quantile, ``q`` in ``[0, 1]``."""
+        """Estimated ``q``-quantile, ``q`` in ``[0, 1]`` (``nan`` when
+        empty — there is no quantile of zero samples)."""
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if self.count == 0:
-            return 0.0
+            return float("nan")
         rank = q * self.count
         cumulative = 0
         for i, bucket_count in enumerate(self.bucket_counts):
@@ -129,6 +136,31 @@ class Histogram:
             cumulative += bucket_count
         return self.max
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s samples into this histogram.
+
+        Both histograms must share identical boundaries (the sliding
+        SLO window merges per-second sub-histograms this way).
+        """
+        if other.boundaries != self.boundaries:
+            raise ValueError(
+                "cannot merge histograms with different boundaries"
+            )
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.min, self.max = other.min, other.max
+        else:
+            if other.min < self.min:
+                self.min = other.min
+            if other.max > self.max:
+                self.max = other.max
+        counts = self.bucket_counts
+        for i, c in enumerate(other.bucket_counts):
+            counts[i] += c
+        self.count += other.count
+        self.total += other.total
+
     def bucket_label(self, index: int) -> str:
         """Human-readable label of bucket ``index`` (for reports)."""
         if index < len(self.boundaries):
@@ -144,7 +176,24 @@ class Histogram:
         }
 
     def snapshot(self) -> Dict[str, object]:
-        """A JSON-friendly summary of the histogram state."""
+        """A JSON-friendly summary of the histogram state.
+
+        Sample statistics of an empty histogram are ``None`` (JSON
+        ``null``) rather than a bogus number — ``nan`` is not valid
+        JSON and 0 would read as a real measurement.
+        """
+        if self.count == 0:
+            return {
+                "count": 0,
+                "sum": 0.0,
+                "min": None,
+                "max": None,
+                "mean": None,
+                "p50": None,
+                "p95": None,
+                "p99": None,
+                "buckets": {},
+            }
         return {
             "count": self.count,
             "sum": self.total,

@@ -1,0 +1,314 @@
+"""Prometheus text exposition of a :meth:`Recorder.metrics_snapshot`.
+
+The serving layer's ``/metrics`` endpoint historically returned the
+recorder's JSON snapshot; a real scrape pipeline wants the `Prometheus
+text format <https://prometheus.io/docs/instrumenting/exposition_formats/>`_
+instead.  :func:`render_prometheus` translates a snapshot — the same
+dict the JSON endpoint serves, so the two representations can never
+drift — into exposition text:
+
+* counters ``a.b.c`` → ``<ns>_a_b_c_total`` (``# TYPE ... counter``);
+* gauges   ``a.b.c`` → ``<ns>_a_b_c`` (``# TYPE ... gauge``);
+* histograms → ``<ns>_a_b_c_bucket{le="..."}`` cumulative series plus
+  ``_sum`` and ``_count`` (``# TYPE ... histogram``), with the
+  mandatory ``le="+Inf"`` bucket equal to ``_count``.
+
+:func:`validate_prometheus_text` is the matching schema checker — an
+empty problem list means scrape-clean.  It is used by the unit tests
+and the CI serve-smoke job, the same validate-what-you-emit pairing as
+``validate_chrome_trace`` for traces.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "escape_label_value",
+    "prometheus_name",
+    "render_prometheus",
+    "validate_prometheus_text",
+]
+
+#: Content type of the text exposition format (scrape responses).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def prometheus_name(name: str, *, namespace: str = "repro") -> str:
+    """Sanitize a dotted metric name into a Prometheus identifier."""
+    flat = _INVALID_CHARS.sub("_", name.replace(".", "_"))
+    if namespace:
+        flat = f"{namespace}_{flat}"
+    if not flat or not _NAME_RE.match(flat):
+        flat = f"_{flat}"
+    return flat
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format rules."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value) -> str:
+    """A sample value as exposition text (``+Inf``/``NaN`` aware)."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def _bucket_upper_bound(label: str) -> float:
+    """Upper bound of one snapshot bucket label (``"<= X"`` / ``"> X"``).
+
+    The overflow bucket (``"> last"``) maps to ``+Inf`` — exactly the
+    Prometheus convention for the final cumulative bucket.
+    """
+    text = label.strip()
+    if text.startswith("<="):
+        return float(text[2:])
+    if text.startswith(">"):
+        return math.inf
+    raise ValueError(f"unrecognised bucket label {label!r}")
+
+
+def _le_text(bound: float) -> str:
+    return "+Inf" if math.isinf(bound) else format(bound, "g")
+
+
+def render_prometheus(
+    snapshot: dict, *, namespace: str = "repro"
+) -> str:
+    """Render one metrics snapshot as Prometheus exposition text.
+
+    ``snapshot`` is exactly what :meth:`Recorder.metrics_snapshot`
+    returns (and what the JSON ``/metrics`` response carries), so the
+    two content types always expose identical data.
+    """
+    lines: List[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        flat = prometheus_name(name, namespace=namespace) + "_total"
+        lines.append(f"# HELP {flat} Counter {name!r} (repro.obs)")
+        lines.append(f"# TYPE {flat} counter")
+        lines.append(f"{flat} {_format_value(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        flat = prometheus_name(name, namespace=namespace)
+        lines.append(f"# HELP {flat} Gauge {name!r} (repro.obs)")
+        lines.append(f"# TYPE {flat} gauge")
+        lines.append(f"{flat} {_format_value(value)}")
+    for name, hist in snapshot.get("histograms", {}).items():
+        flat = prometheus_name(name, namespace=namespace)
+        lines.append(f"# HELP {flat} Histogram {name!r} (repro.obs)")
+        lines.append(f"# TYPE {flat} histogram")
+        cumulative = 0
+        saw_inf = False
+        for label, bucket_count in hist.get("buckets", {}).items():
+            bound = _bucket_upper_bound(label)
+            cumulative += bucket_count
+            saw_inf = saw_inf or math.isinf(bound)
+            lines.append(
+                f'{flat}_bucket{{le="{_le_text(bound)}"}} {cumulative}'
+            )
+        count = hist.get("count", 0)
+        if not saw_inf:
+            lines.append(f'{flat}_bucket{{le="+Inf"}} {count}')
+        lines.append(f"{flat}_sum {_format_value(float(hist.get('sum', 0.0)))}")
+        lines.append(f"{flat}_count {count}")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_labels(raw: str) -> Optional[Dict[str, str]]:
+    """Parse a ``{name="value",...}`` label block; ``None`` on error."""
+    labels: Dict[str, str] = {}
+    at = 0
+    while at < len(raw):
+        eq = raw.find("=", at)
+        if eq < 0:
+            return None
+        name = raw[at:eq].strip().lstrip(",").strip()
+        if not _LABEL_NAME_RE.match(name):
+            return None
+        if eq + 1 >= len(raw) or raw[eq + 1] != '"':
+            return None
+        # Scan the quoted value honoring backslash escapes.
+        value_chars: List[str] = []
+        i = eq + 2
+        while i < len(raw):
+            ch = raw[i]
+            if ch == "\\":
+                if i + 1 >= len(raw):
+                    return None
+                nxt = raw[i + 1]
+                value_chars.append(
+                    {"n": "\n", "\\": "\\", '"': '"'}.get(nxt)
+                    or f"\\{nxt}"
+                )
+                i += 2
+                continue
+            if ch == '"':
+                break
+            value_chars.append(ch)
+            i += 1
+        else:
+            return None
+        if name in labels:
+            return None
+        labels[name] = "".join(value_chars)
+        at = i + 1
+    return labels
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+(?P<ts>-?\d+))?$"
+)
+
+
+def _parse_value(text: str) -> Optional[float]:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def validate_prometheus_text(text: str) -> List[str]:
+    """Schema-check exposition text; an empty list means clean.
+
+    Checks, in exposition order: line and label syntax, metric names,
+    every sample covered by a ``# TYPE`` declaration, no duplicate
+    series, and for histograms: ``le`` labels parse, cumulative bucket
+    counts are non-decreasing, the ``+Inf`` bucket exists and equals
+    ``_count``, and ``_sum``/``_count`` are present.
+    """
+    problems: List[str] = []
+    types: Dict[str, str] = {}
+    seen_series = set()
+    samples: List[Tuple[str, Dict[str, str], float]] = []
+    for line_no, line in enumerate(text.split("\n"), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            fields = line.split(None, 3)
+            if len(fields) < 3 or fields[1] not in ("HELP", "TYPE"):
+                problems.append(f"line {line_no}: malformed comment {line!r}")
+                continue
+            if fields[1] == "TYPE":
+                if len(fields) < 4 or fields[3] not in _TYPES:
+                    problems.append(
+                        f"line {line_no}: bad TYPE declaration {line!r}"
+                    )
+                    continue
+                if fields[2] in types:
+                    problems.append(
+                        f"line {line_no}: duplicate TYPE for {fields[2]}"
+                    )
+                types[fields[2]] = fields[3]
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            problems.append(f"line {line_no}: unparseable sample {line!r}")
+            continue
+        name = match.group("name")
+        raw_labels = match.group("labels")
+        labels = _parse_labels(raw_labels) if raw_labels else {}
+        if labels is None:
+            problems.append(f"line {line_no}: bad label block {line!r}")
+            continue
+        value = _parse_value(match.group("value"))
+        if value is None:
+            problems.append(
+                f"line {line_no}: bad sample value {match.group('value')!r}"
+            )
+            continue
+        series = (name, tuple(sorted(labels.items())))
+        if series in seen_series:
+            problems.append(f"line {line_no}: duplicate series {series}")
+        seen_series.add(series)
+        samples.append((name, labels, value))
+
+    # Tie every sample to a declared family.
+    families: Dict[str, List[Tuple[str, Dict[str, str], float]]] = {}
+    for name, labels, value in samples:
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and types.get(base) == "histogram":
+                family = base
+                break
+        if family not in types:
+            problems.append(f"sample {name} has no # TYPE declaration")
+            continue
+        families.setdefault(family, []).append((name, labels, value))
+
+    for family, declared in types.items():
+        rows = families.get(family, [])
+        if declared != "histogram":
+            continue
+        buckets: List[Tuple[float, float]] = []
+        total_count = None
+        total_sum = None
+        for name, labels, value in rows:
+            if name == f"{family}_bucket":
+                le = labels.get("le")
+                if le is None:
+                    problems.append(f"{family}: bucket without le label")
+                    continue
+                bound = _parse_value(le)
+                if bound is None:
+                    problems.append(f"{family}: unparseable le {le!r}")
+                    continue
+                buckets.append((bound, value))
+            elif name == f"{family}_count":
+                total_count = value
+            elif name == f"{family}_sum":
+                total_sum = value
+            else:
+                problems.append(
+                    f"{family}: unexpected histogram sample {name}"
+                )
+        if total_count is None:
+            problems.append(f"{family}: missing _count")
+        if total_sum is None:
+            problems.append(f"{family}: missing _sum")
+        if not any(math.isinf(bound) for bound, _ in buckets):
+            problems.append(f"{family}: missing le=\"+Inf\" bucket")
+        ordered = sorted(buckets, key=lambda item: item[0])
+        if ordered != buckets:
+            problems.append(f"{family}: buckets not in le order")
+        last = None
+        for bound, cumulative in ordered:
+            if last is not None and cumulative < last:
+                problems.append(
+                    f"{family}: cumulative bucket counts decrease at "
+                    f"le={_le_text(bound)}"
+                )
+            last = cumulative
+        if (
+            total_count is not None
+            and ordered
+            and math.isinf(ordered[-1][0])
+            and ordered[-1][1] != total_count
+        ):
+            problems.append(
+                f"{family}: +Inf bucket {ordered[-1][1]} != _count "
+                f"{total_count}"
+            )
+    return problems

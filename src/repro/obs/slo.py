@@ -1,0 +1,221 @@
+"""Rolling SLO windows: recent latency/error behavior, not lifetime.
+
+The recorder's histograms accumulate forever — right for offline
+profiling, wrong for "is the server healthy *now*".  :class:`SloWindow`
+keeps a ring of per-second sub-windows over the last ``window_s``
+seconds; each request lands in the current second's bucket (latency
+histogram + outcome counters), and :meth:`snapshot` merges the live
+seconds into p50/p95/p99 latency, error rate, shed rate, cache hit
+rate, and queue-depth peak — the numbers the ``/stats`` endpoint
+serves and ``repro-spc top`` renders.
+
+:class:`SloPolicy` turns a snapshot into a readiness verdict: when the
+window's p99 latency or error rate crosses the configured objective,
+``/health`` flips to ``degraded`` (HTTP 503) so load balancers can
+rotate the instance out before users notice.
+
+Everything here is event-loop-local (one writer), so there are no
+locks; the clock is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import LATENCY_BUCKETS_SECONDS, Histogram
+
+__all__ = ["SloPolicy", "SloWindow"]
+
+
+class _Second:
+    """One second of request outcomes (a ring slot)."""
+
+    __slots__ = (
+        "epoch",
+        "requests",
+        "errors",
+        "sheds",
+        "cache_hits",
+        "cache_lookups",
+        "queue_depth_max",
+        "latency",
+    )
+
+    def __init__(self, boundaries: Sequence[float]) -> None:
+        self.epoch = -1
+        self.latency = Histogram(boundaries)
+        self._zero()
+
+    def _zero(self) -> None:
+        self.requests = 0
+        self.errors = 0
+        self.sheds = 0
+        self.cache_hits = 0
+        self.cache_lookups = 0
+        self.queue_depth_max = 0
+
+    def reset(self, epoch: int, boundaries: Sequence[float]) -> None:
+        self.epoch = epoch
+        self.latency = Histogram(boundaries)
+        self._zero()
+
+
+def _ms(seconds: Optional[float]) -> Optional[float]:
+    if seconds is None or seconds != seconds:  # nan -> null in JSON
+        return None
+    return seconds * 1000.0
+
+
+class SloWindow:
+    """Sliding aggregate over the last ``window_s`` seconds of traffic."""
+
+    def __init__(
+        self,
+        window_s: int = 30,
+        *,
+        boundaries: Sequence[float] = LATENCY_BUCKETS_SECONDS,
+        clock=time.monotonic,
+    ) -> None:
+        if window_s < 1:
+            raise ValueError(f"window_s must be >= 1, got {window_s}")
+        self.window_s = window_s
+        self._boundaries = tuple(boundaries)
+        self._clock = clock
+        self._ring = [_Second(self._boundaries) for _ in range(window_s)]
+        self._current = self._ring[0]
+        self._current_second = -1
+        self.total_requests = 0
+
+    def _bucket(self) -> _Second:
+        # The common case — another request in the same second — skips
+        # the ring arithmetic entirely; record() runs once per served
+        # request, so this path is sized accordingly.
+        second = int(self._clock())
+        if second == self._current_second:
+            return self._current
+        slot = self._ring[second % self.window_s]
+        if slot.epoch != second:
+            slot.reset(second, self._boundaries)
+        self._current_second = second
+        self._current = slot
+        return slot
+
+    def record(
+        self,
+        latency_s: float,
+        error: bool = False,
+        shed: bool = False,
+        cache_hit: Optional[bool] = None,
+        queue_depth: int = 0,
+    ) -> None:
+        """Fold one finished request into the current second.
+
+        Arguments may be passed positionally — the server's per-request
+        call site does, to keep the hot path free of keyword parsing.
+        """
+        slot = self._bucket()
+        slot.requests += 1
+        slot.latency.observe(latency_s)
+        if error:
+            slot.errors += 1
+        if shed:
+            slot.sheds += 1
+        if cache_hit is not None:
+            slot.cache_lookups += 1
+            if cache_hit:
+                slot.cache_hits += 1
+        if queue_depth > slot.queue_depth_max:
+            slot.queue_depth_max = queue_depth
+        self.total_requests += 1
+
+    def _live_slots(self) -> List[_Second]:
+        horizon = int(self._clock()) - self.window_s
+        return [slot for slot in self._ring if slot.epoch > horizon]
+
+    def merged_latency(self) -> Histogram:
+        """One histogram of every latency inside the live window."""
+        merged = Histogram(self._boundaries)
+        for slot in self._live_slots():
+            merged.merge(slot.latency)
+        return merged
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-friendly aggregate of the live window.
+
+        Rate and percentile fields are ``None`` (JSON ``null``) when
+        the window holds no samples to compute them from — never a
+        made-up zero.
+        """
+        slots = self._live_slots()
+        requests = sum(s.requests for s in slots)
+        errors = sum(s.errors for s in slots)
+        sheds = sum(s.sheds for s in slots)
+        cache_hits = sum(s.cache_hits for s in slots)
+        cache_lookups = sum(s.cache_lookups for s in slots)
+        queue_depth_max = max(
+            (s.queue_depth_max for s in slots), default=0
+        )
+        latency = self.merged_latency()
+        return {
+            "window_seconds": self.window_s,
+            "requests": requests,
+            "qps": requests / self.window_s,
+            "errors": errors,
+            "error_rate": errors / requests if requests else None,
+            "sheds": sheds,
+            "shed_rate": sheds / requests if requests else None,
+            "cache_hit_rate": (
+                cache_hits / cache_lookups if cache_lookups else None
+            ),
+            "queue_depth_max": queue_depth_max,
+            "latency_ms": {
+                "p50": _ms(latency.percentile(0.50)),
+                "p95": _ms(latency.percentile(0.95)),
+                "p99": _ms(latency.percentile(0.99)),
+                "mean": _ms(latency.mean),
+                "max": _ms(latency.max) if latency.count else None,
+            },
+        }
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """Latency/error objectives evaluated against a window snapshot.
+
+    A threshold of 0 disables that objective; with both disabled the
+    policy always reports ``ok``.  ``min_requests`` guards against
+    flapping on a nearly idle window (one slow request out of two is
+    not an incident).
+    """
+
+    p99_ms: float = 0.0
+    max_error_rate: float = 0.0
+    min_requests: int = 10
+
+    @property
+    def enabled(self) -> bool:
+        return self.p99_ms > 0 or self.max_error_rate > 0
+
+    def evaluate(self, snapshot: Dict) -> Tuple[str, List[str]]:
+        """``("ok" | "degraded", [breach descriptions])``."""
+        breaches: List[str] = []
+        if not self.enabled or snapshot["requests"] < self.min_requests:
+            return "ok", breaches
+        p99 = snapshot["latency_ms"]["p99"]
+        if self.p99_ms > 0 and p99 is not None and p99 > self.p99_ms:
+            breaches.append(
+                f"p99 latency {p99:.2f}ms exceeds {self.p99_ms:.2f}ms"
+            )
+        error_rate = snapshot["error_rate"]
+        if (
+            self.max_error_rate > 0
+            and error_rate is not None
+            and error_rate > self.max_error_rate
+        ):
+            breaches.append(
+                f"error rate {error_rate:.4f} exceeds "
+                f"{self.max_error_rate:.4f}"
+            )
+        return ("degraded" if breaches else "ok"), breaches

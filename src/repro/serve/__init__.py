@@ -19,12 +19,16 @@ Layers, innermost first:
 * :mod:`repro.serve.http` — minimal stdlib HTTP/1.1 framing over
   asyncio streams.
 * :mod:`repro.serve.server` — :class:`SPCServer`: routing, admission
-  control (load shedding), per-request deadlines, ``/health`` +
-  ``/metrics``, graceful drain on SIGTERM.
+  control (load shedding), per-request deadlines, request correlation
+  ids + structured request logging, ``/health`` (SLO-aware readiness),
+  ``/metrics`` (JSON or Prometheus text), ``/stats`` (rolling SLO
+  window), graceful drain on SIGTERM.
 * :mod:`repro.serve.client` — workload-replay load generator reporting
-  achieved QPS and latency percentiles.
+  achieved QPS, latency percentiles, and request-id echo errors.
 * :mod:`repro.serve.runner` — :class:`ServerThread`, a helper running a
   server on a daemon thread (tests, benchmarks, examples).
+* :mod:`repro.serve.top` — ``repro-spc top``, a polling terminal
+  dashboard over ``/stats`` + ``/metrics``.
 
 Start one from the command line with ``repro-spc serve index.bin`` and
 read :doc:`docs/serving.md </serving>` for the protocol and the knobs.
@@ -36,6 +40,7 @@ from repro.serve.coalescer import MicroBatcher
 from repro.serve.config import ServeConfig
 from repro.serve.runner import ServerThread
 from repro.serve.server import SPCServer
+from repro.serve.top import render_dashboard, run_top
 
 __all__ = [
     "LoadReport",
@@ -44,6 +49,8 @@ __all__ = [
     "SPCServer",
     "ServeConfig",
     "ServerThread",
+    "render_dashboard",
     "replay",
+    "run_top",
     "run_workload",
 ]

@@ -14,6 +14,13 @@ With ``collect_results=True`` the decoded answers are kept in arrival
 order per request slot, so callers (the CI smoke job, the serving
 benchmark) can verify byte-for-byte agreement with
 :meth:`SPCIndex.query`.
+
+The client also exercises the server's request-correlation contract:
+every response must carry an ``X-Request-Id`` header, and with
+``send_request_ids=True`` each request ships a deterministic client id
+that the server must echo verbatim.  A missing or mismatched echo is
+counted in :attr:`LoadReport.id_errors` — a protocol error, because it
+means log records cannot be correlated with the responses users saw.
 """
 
 from __future__ import annotations
@@ -47,11 +54,17 @@ class LoadReport:
     shed: int = 0
     timeouts: int = 0
     errors: int = 0
+    #: Responses whose ``X-Request-Id`` echo was missing or did not
+    #: match the id the client sent (correlation protocol errors).
+    id_errors: int = 0
     latency: Histogram = field(
         default_factory=lambda: Histogram(LATENCY_BUCKETS_SECONDS)
     )
     status_counts: Dict[int, int] = field(default_factory=dict)
     results: Optional[List[Answer]] = None
+    #: Server-assigned (or echoed) request id per request slot, kept
+    #: when ``collect_results=True``.
+    request_ids: Optional[List[Optional[str]]] = None
 
     @property
     def qps(self) -> float:
@@ -88,13 +101,15 @@ def split_strided(items: Sequence, ways: int) -> List[List]:
     return [list(items[lane::ways]) for lane in range(ways)]
 
 
-async def _read_response(reader) -> Tuple[int, bytes]:
-    """One ``(status, body)`` with minimal per-response work.
+async def _read_response(reader) -> Tuple[int, Optional[str], bytes]:
+    """One ``(status, request id, body)`` with minimal per-response work.
 
     The load generator usually shares a core with the server under
     test, so client-side parsing cost shows up directly in measured
     QPS; this skips the header dict that
-    :func:`repro.serve.http.read_raw_response` builds.
+    :func:`repro.serve.http.read_raw_response` builds.  The server
+    always emits the canonical ``X-Request-Id:`` spelling, so an
+    exact-case find suffices here.
     """
     head = await read_head(reader)
     if head is None:
@@ -105,12 +120,20 @@ async def _read_response(reader) -> Tuple[int, bytes]:
         raise HTTPProtocolError(
             f"malformed status line {head[:32]!r}"
         ) from None
+    rid: Optional[str] = None
+    mark = head.find(b"X-Request-Id:")
+    if mark >= 0:
+        rid = (
+            head[mark + 13 : head.index(b"\r", mark)]
+            .strip()
+            .decode("latin-1")
+        )
     mark = head.find(b"Content-Length:")
     if mark < 0:
-        return status, b""
+        return status, rid, b""
     length = int(head[mark + 15 : head.index(b"\r", mark)])
     body = await reader.readexactly(length) if length else b""
-    return status, body
+    return status, rid, body
 
 
 async def _worker(
@@ -119,24 +142,38 @@ async def _worker(
     slots: Sequence[Tuple[int, Pair]],
     report: LoadReport,
     pipeline: int,
+    send_request_ids: bool,
 ) -> None:
     reader, writer = await asyncio.open_connection(host, port)
     # Request bytes are prebuilt so the timed loop spends its cycles on
     # the wire, not on string formatting (the client shares cores with
-    # the server in tests and benchmarks).
+    # the server in tests and benchmarks).  Client ids are derived from
+    # the global request slot, so they are deterministic per workload
+    # and unique across workers.
+    sent_ids = (
+        [f"load-{slot:06x}" for slot, _ in slots]
+        if send_request_ids
+        else None
+    )
     requests = [
         (
             f"GET /query?source={source}&target={target} HTTP/1.1\r\n"
-            f"Host: {host}\r\n\r\n"
+            f"Host: {host}\r\n"
+            + (
+                f"X-Request-Id: {sent_ids[lane_idx]}\r\n"
+                if sent_ids is not None
+                else ""
+            )
+            + "\r\n"
         ).encode("latin-1")
-        for _, (source, target) in slots
+        for lane_idx, (_, (source, target)) in enumerate(slots)
     ]
     observe = report.latency.observe
     perf_counter = time.perf_counter
     window: deque = deque()  # send times of in-flight requests, in order
     sent = 0
     try:
-        for slot, (source, target) in slots:
+        for lane_idx, (slot, (source, target)) in enumerate(slots):
             # Sliding window: keep up to ``pipeline`` requests on the
             # wire; responses come back in order on the connection.
             while sent < len(slots) and len(window) < pipeline:
@@ -144,9 +181,15 @@ async def _worker(
                 window.append(perf_counter())
                 sent += 1
             await writer.drain()
-            status, body = await _read_response(reader)
+            status, rid, body = await _read_response(reader)
             observe(perf_counter() - window.popleft())
             _classify(report, status)
+            if rid is None or (
+                sent_ids is not None and rid != sent_ids[lane_idx]
+            ):
+                report.id_errors += 1
+            if report.request_ids is not None:
+                report.request_ids[slot] = rid
             if report.results is not None:
                 payload = json.loads(body) if body else None
                 if status == 200 and isinstance(payload, dict):
@@ -178,6 +221,7 @@ async def run_workload(
     repeats: int = 1,
     pipeline: int = 1,
     collect_results: bool = False,
+    send_request_ids: bool = False,
 ) -> LoadReport:
     """Replay ``pairs`` (``repeats`` times) against a running server.
 
@@ -186,6 +230,10 @@ async def run_workload(
     the next in-order response.  Depth 1 is strict request/response;
     deeper windows are the standard load-generator way to saturate a
     server without spawning hundreds of connections.
+
+    With ``send_request_ids=True`` each request carries a
+    deterministic ``X-Request-Id`` (``load-<slot hex>``) that the
+    server must echo; see :attr:`LoadReport.id_errors`.
     """
     requests: List[Pair] = list(pairs) * max(1, repeats)
     concurrency = max(1, min(concurrency, len(requests) or 1))
@@ -194,13 +242,16 @@ async def run_workload(
         concurrency=concurrency,
         wall_seconds=0.0,
         results=[None] * len(requests) if collect_results else None,
+        request_ids=(
+            [None] * len(requests) if collect_results else None
+        ),
     )
     lanes = split_strided(list(enumerate(requests)), concurrency)
     pipeline = max(1, pipeline)
     started = time.perf_counter()
     await asyncio.gather(
         *(
-            _worker(host, port, lane, report, pipeline)
+            _worker(host, port, lane, report, pipeline, send_request_ids)
             for lane in lanes
             if lane
         )
@@ -218,6 +269,7 @@ def replay(
     repeats: int = 1,
     pipeline: int = 1,
     collect_results: bool = False,
+    send_request_ids: bool = False,
 ) -> LoadReport:
     """Synchronous wrapper around :func:`run_workload`."""
     return asyncio.run(
@@ -229,5 +281,6 @@ def replay(
             repeats=repeats,
             pipeline=pipeline,
             collect_results=collect_results,
+            send_request_ids=send_request_ids,
         )
     )

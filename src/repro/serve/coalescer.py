@@ -39,8 +39,9 @@ from repro.exceptions import ReproError
 from repro.obs import NULL_RECORDER
 from repro.types import Vertex
 
-#: One queued submission: source, target, and the future to resolve.
-_Pending = Tuple[Vertex, Vertex, "asyncio.Future"]
+#: One queued submission: source, target, the future to resolve, and an
+#: optional caller-owned metadata dict (``None`` on the fastest path).
+_Pending = Tuple[Vertex, Vertex, "asyncio.Future", Optional[dict]]
 
 
 class MicroBatcher:
@@ -81,16 +82,30 @@ class MicroBatcher:
         """Submissions waiting for the current window to flush."""
         return len(self._pending)
 
-    def submit(self, source: Vertex, target: Vertex) -> "asyncio.Future":
+    def submit(
+        self,
+        source: Vertex,
+        target: Vertex,
+        meta: Optional[dict] = None,
+    ) -> "asyncio.Future":
         """Enqueue one query; the returned future yields a QueryResult.
 
         The future fails with the underlying :class:`ReproError` when
         the pair cannot be answered (e.g. an unindexed vertex) — other
         submissions in the same window are unaffected.
+
+        When ``meta`` is a dict, the batcher fills it as the
+        submission moves through: ``queue_wait_s`` (submit → scan
+        start), ``batch_size``, ``flush_reason``, and ``scan_s`` — the
+        per-request correlation data behind access logs and ``/query``
+        explain responses.  ``None`` (the default) skips all metadata
+        bookkeeping.
         """
         loop = asyncio.get_running_loop()
         future = loop.create_future()
-        self._pending.append((source, target, future))
+        if meta is not None:
+            meta["submitted_at"] = time.perf_counter()
+        self._pending.append((source, target, future, meta))
         if len(self._pending) >= self.max_batch:
             self._flush("full")
             return future
@@ -123,7 +138,7 @@ class MicroBatcher:
         task.add_done_callback(self._flushes.discard)
 
     async def _resolve(self, batch: List[_Pending], reason: str) -> None:
-        pairs = [(source, target) for source, target, _ in batch]
+        pairs = [(source, target) for source, target, _, _ in batch]
         rec = self._recorder
         rec.incr("serve.batch.count")
         rec.incr(f"serve.batch.flush_{reason}")
@@ -132,6 +147,11 @@ class MicroBatcher:
         self.queries_batched += len(pairs)
         self._scans_inflight += 1
         started = time.perf_counter()
+        for _, _, _, meta in batch:
+            if meta is not None:
+                meta["queue_wait_s"] = started - meta.pop("submitted_at")
+                meta["batch_size"] = len(pairs)
+                meta["flush_reason"] = reason
         try:
             if self._executor is None:
                 results = self._index.query_batch(pairs)
@@ -150,13 +170,16 @@ class MicroBatcher:
                     results.append(exc)
         except Exception as exc:  # unexpected: surface to every waiter
             self._scans_inflight -= 1
-            for _, _, future in batch:
+            for _, _, future, _ in batch:
                 if not future.done():
                     future.set_exception(exc)
             raise
         self._scans_inflight -= 1
-        rec.observe("serve.batch.seconds", time.perf_counter() - started)
-        for (_, _, future), result in zip(batch, results):
+        scan_s = time.perf_counter() - started
+        rec.observe("serve.batch.seconds", scan_s)
+        for (_, _, future, meta), result in zip(batch, results):
+            if meta is not None:
+                meta["scan_s"] = scan_s
             if future.done():
                 continue  # waiter gave up (deadline) — drop the answer
             if isinstance(result, ReproError):

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.exceptions import ReproError
 
@@ -42,6 +43,35 @@ class ServeConfig:
     request_timeout_ms: int = 1000
     #: Seconds to wait for in-flight connections during graceful drain.
     drain_grace_s: float = 5.0
+    #: Structured JSON-lines request log destination: a path, ``"-"``
+    #: for stderr, or ``None`` (default) to disable logging entirely.
+    access_log: Optional[str] = None
+    #: Latency above which a request also emits a ``slow_query`` record.
+    slow_query_ms: float = 100.0
+    #: Keep 1 in N access records for fast 200s (1 = log everything,
+    #: 0 = log only slow/non-200 requests); slow and failed requests
+    #: are always logged.
+    log_sample_every: int = 1
+    #: Seed of the deterministic access-log sampler.
+    log_seed: int = 0
+    #: Rolling SLO window length in seconds; 0 disables window
+    #: tracking (``/stats`` then reports no window and readiness never
+    #: degrades).
+    slo_window_s: int = 30
+    #: Readiness objective: degrade when windowed p99 latency exceeds
+    #: this many milliseconds (0 disables the objective).
+    slo_p99_ms: float = 0.0
+    #: Readiness objective: degrade when the windowed error rate
+    #: exceeds this fraction (0 disables the objective).
+    slo_error_rate: float = 0.0
+    #: CPython thread switch interval (``sys.setswitchinterval``)
+    #: applied while the server runs; 0 leaves the process default.
+    #: The event loop and the scan worker hand the GIL back and forth
+    #: once per batch, and the interpreter default (5 ms) lets a
+    #: finished scan sit unresolved while the loop runs Python — a
+    #: short interval cuts that handoff latency.  Process-global: the
+    #: previous value is restored on drain.
+    switch_interval_s: float = 1e-4
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -58,3 +88,15 @@ class ServeConfig:
             raise ServeConfigError("drain_grace_s must be >= 0")
         if not 0 <= self.port <= 65535:
             raise ServeConfigError(f"port {self.port} is out of range")
+        if self.slow_query_ms < 0:
+            raise ServeConfigError("slow_query_ms must be >= 0")
+        if self.log_sample_every < 0:
+            raise ServeConfigError("log_sample_every must be >= 0")
+        if self.slo_window_s < 0:
+            raise ServeConfigError("slo_window_s must be >= 0")
+        if self.slo_p99_ms < 0:
+            raise ServeConfigError("slo_p99_ms must be >= 0")
+        if not 0 <= self.slo_error_rate <= 1:
+            raise ServeConfigError("slo_error_rate must be in [0, 1]")
+        if self.switch_interval_s < 0:
+            raise ServeConfigError("switch_interval_s must be >= 0")

@@ -168,21 +168,34 @@ def response_bytes(
 
     ``payload`` may already be JSON-encoded ``bytes`` (the hot answer
     path pre-serializes) — anything else goes through ``json.dumps``.
+    A ``Content-Type`` entry in ``extra_headers`` replaces the JSON
+    default (the Prometheus ``/metrics`` representation is text).
     """
     body = (
         payload
         if type(payload) is bytes
         else json.dumps(payload, separators=(",", ":")).encode()
     )
+    content_type = "application/json"
+    plain_headers = extra_headers
+    if extra_headers and any(
+        name.lower() == "content-type" for name, _ in extra_headers
+    ):
+        plain_headers = []
+        for name, value in extra_headers:
+            if name.lower() == "content-type":
+                content_type = value
+            else:
+                plain_headers.append((name, value))
     head = (
         f"HTTP/1.1 {status} {_REASONS[status]}\r\n"
-        "Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
     )
-    if extra_headers:
+    if plain_headers:
         head += "".join(
-            f"{name}: {value}\r\n" for name, value in extra_headers
+            f"{name}: {value}\r\n" for name, value in plain_headers
         )
     return (head + "\r\n").encode("latin-1") + body
 

@@ -5,14 +5,29 @@ over a small JSON/HTTP surface:
 
 * ``GET /query?source=S&target=T`` — one query.
 * ``POST /query`` with ``{"source": S, "target": T}`` or
-  ``{"pairs": [[S, T], ...]}`` — one query or an explicit batch.
-* ``GET /health`` — liveness; 503 once draining.
-* ``GET /metrics`` — the server recorder's metrics snapshot
-  (:mod:`repro.obs` instruments: cache hits, batch sizes, shed counts).
+  ``{"pairs": [[S, T], ...]}`` — one query or an explicit batch; add
+  ``"explain": true`` for the algorithmic counters behind the answer
+  (labels scanned, LCA node, batch/queue/scan timings).
+* ``GET /health`` — liveness + readiness: 503 once draining **or**
+  when the rolling SLO window is degraded.
+* ``GET /metrics`` — the server recorder's metrics, content-negotiated:
+  JSON snapshot by default, Prometheus text exposition for
+  ``Accept: text/plain`` / ``?format=prometheus``.
+* ``GET /stats`` — the rolling SLO window (p50/p95/p99, error/shed/
+  cache-hit rates, queue depth) plus cache and batcher state.
 
 Answers are ``{"source", "target", "distance", "count"}`` with
 ``distance: null`` for a disconnected pair — exactly the values
 :meth:`SPCIndex.query` returns, just JSON-framed.
+
+**Request correlation:** every request carries a request id — the
+inbound ``X-Request-Id`` header when the client sent one, a generated
+``<instance>-<counter>`` id otherwise.  The id rides through the
+coalescer and cache, is echoed in the ``X-Request-Id`` response
+header, and stamps every structured log record
+(:class:`repro.obs.logging.RequestLog`: JSON-lines access log plus a
+slow-query log past ``slow_query_ms``), so one grep connects a user
+report to the exact batch scan that served it.
 
 Three protections keep the server honest under load:
 
@@ -31,6 +46,7 @@ from __future__ import annotations
 import asyncio
 import json
 import signal
+import sys
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Sequence, Tuple
@@ -38,7 +54,15 @@ from typing import List, Optional, Sequence, Tuple
 from collections import deque
 
 from repro.exceptions import ReproError
-from repro.obs import Recorder
+from repro.obs import (
+    PROMETHEUS_CONTENT_TYPE,
+    Recorder,
+    RequestIdGenerator,
+    RequestLog,
+    SloPolicy,
+    SloWindow,
+    render_prometheus,
+)
 from repro.serve.cache import ResultCache
 from repro.serve.coalescer import MicroBatcher
 from repro.serve.config import ServeConfig
@@ -58,6 +82,47 @@ _RETRY_AFTER = (("Retry-After", "1"),)
 
 #: Write-loop sentinel: no more responses on this connection.
 _CLOSE = object()
+
+#: Deferred log records to accumulate before handing a drain to the
+#: executor thread — amortizes the submit overhead over a batch of
+#: records.  Connection close and shutdown flush regardless.
+_LOG_DRAIN_MIN_RECORDS = 24
+
+_TRUTHY = ("1", "true", "yes")
+
+
+class _Waiter:
+    """An admitted query waiting on its batcher future.
+
+    The write loop peeks at ``future`` before awaiting: when a batch
+    scan has already resolved it (the common case under pipelining —
+    a whole window resolves at once), the response is finished
+    synchronously and coalesced into one socket write with its
+    batch-mates, skipping the per-request ``wait_for`` timer and task
+    wakeup entirely.  Awaiting the waiter (the slow path, and the
+    POST batch path) applies the request deadline.
+    """
+
+    __slots__ = (
+        "server", "future", "source", "target", "rid", "started",
+        "meta", "explain",
+    )
+
+    def __init__(
+        self, server, future, source, target, rid, started, meta,
+        explain,
+    ):
+        self.server = server
+        self.future = future
+        self.source = source
+        self.target = target
+        self.rid = rid
+        self.started = started
+        self.meta = meta
+        self.explain = explain
+
+    def __await__(self):
+        return self.server._finish(self).__await__()
 
 
 def encode_result(
@@ -93,7 +158,10 @@ class SPCServer:
     The server records into its own :class:`repro.obs.Recorder` (not
     the process-global one), so the indexes' zero-overhead-when-off
     query instrumentation stays off while ``/metrics`` still exposes
-    full serving metrics.
+    full serving metrics.  Request-level observability (the SLO window
+    and, when configured, the structured request log) lives next to
+    the recorder and costs one clock read plus one histogram observe
+    per request.
     """
 
     def __init__(
@@ -102,6 +170,7 @@ class SPCServer:
         config: Optional[ServeConfig] = None,
         *,
         recorder: Optional[Recorder] = None,
+        request_log: Optional[RequestLog] = None,
     ) -> None:
         self.index = index
         self.config = config or ServeConfig()
@@ -121,6 +190,21 @@ class SPCServer:
                 recorder=self.recorder,
                 executor=self._executor,
             )
+        self._ids = RequestIdGenerator()
+        self.request_log = request_log
+        self._log_pending: list = []
+        self._log_handle = None
+        self.slo: Optional[SloWindow] = (
+            SloWindow(self.config.slo_window_s)
+            if self.config.slo_window_s > 0
+            else None
+        )
+        self.slo_policy = SloPolicy(
+            p99_ms=self.config.slo_p99_ms,
+            max_error_rate=self.config.slo_error_rate,
+        )
+        self._index_meta: Optional[dict] = None
+        self._prev_switch_interval: Optional[float] = None
         self.host = self.config.host
         self.port = self.config.port
         self._server: Optional[asyncio.AbstractServer] = None
@@ -135,6 +219,22 @@ class SPCServer:
     # ------------------------------------------------------------------
     async def start(self) -> "SPCServer":
         """Bind and start accepting; resolves the actual port for port 0."""
+        if self.request_log is None and self.config.access_log:
+            if self.config.access_log == "-":
+                stream = sys.stderr
+            else:
+                stream = self._log_handle = open(
+                    self.config.access_log, "a", encoding="utf-8"
+                )
+            self.request_log = RequestLog(
+                stream,
+                slow_ms=self.config.slow_query_ms,
+                sample_every=self.config.log_sample_every,
+                seed=self.config.log_seed,
+            )
+        if self.config.switch_interval_s > 0:
+            self._prev_switch_interval = sys.getswitchinterval()
+            sys.setswitchinterval(self.config.switch_interval_s)
         self._stopped = asyncio.Event()
         self._server = await asyncio.start_server(
             self._on_connection, self.config.host, self.config.port
@@ -142,6 +242,14 @@ class SPCServer:
         sockname = self._server.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
         self._started_at = time.perf_counter()
+        if self.request_log is not None:
+            self.request_log.log_server(
+                "start",
+                host=self.host,
+                port=self.port,
+                index=type(self.index).__name__,
+                request_id_prefix=self._ids.prefix,
+            )
         return self
 
     def install_signal_handlers(
@@ -188,6 +296,15 @@ class SPCServer:
         if self.batcher is not None:
             await self.batcher.drain()
         self._executor.shutdown(wait=True)
+        self._drain_request_log(force=True, inline=True)
+        if self.request_log is not None:
+            self.request_log.log_server("drain")
+        if self._log_handle is not None:
+            self._log_handle.close()
+            self._log_handle = None
+        if self._prev_switch_interval is not None:
+            sys.setswitchinterval(self._prev_switch_interval)
+            self._prev_switch_interval = None
         if self._stopped is not None:
             self._stopped.set()
 
@@ -245,22 +362,50 @@ class SPCServer:
                     pass
 
     async def _write_loop(self, writer, out: deque, wake) -> None:
-        """Send queued responses in order; drain once per burst."""
+        """Send queued responses in order, coalescing ready bursts.
+
+        Consecutive responses whose answers are already available —
+        ready tuples and :class:`_Waiter` entries whose batch has
+        resolved — are joined into a single socket write, so one
+        resolved window costs one syscall per connection instead of
+        one per response.  The buffer is flushed before any await that
+        could suspend (an unresolved entry) so earlier answers are
+        never held back, and at the end of each burst.
+        """
         broken = False
+        buf: List[bytes] = []
         while True:
             while not out:
                 wake.clear()
                 await wake.wait()
             item = out.popleft()
             if item is _CLOSE:
+                if buf and not broken:
+                    try:
+                        writer.write(b"".join(buf))
+                        await writer.drain()
+                    except (ConnectionError, OSError):
+                        self.recorder.incr("serve.errors.connection")
+                self._drain_request_log(force=True)
                 return
             entry, keep_alive = item
-            # ``entry`` is either a ready Response tuple or an
-            # awaitable still being computed (a coalesced query).
             try:
-                status, payload, extra = (
-                    entry if type(entry) is tuple else await entry
-                )
+                if type(entry) is tuple:
+                    status, payload, extra = entry
+                elif type(entry) is _Waiter and entry.future.done():
+                    status, payload, extra = self._finish_done(entry)
+                else:
+                    # About to suspend: ship what's already encoded.
+                    if buf and not broken:
+                        try:
+                            writer.write(b"".join(buf))
+                        except (ConnectionError, OSError):
+                            self.recorder.incr(
+                                "serve.errors.connection"
+                            )
+                            broken = True
+                    buf.clear()
+                    status, payload, extra = await entry
             except Exception as exc:  # keep later answers alive
                 self.recorder.incr("serve.errors.internal")
                 status, payload, extra = (
@@ -268,20 +413,161 @@ class SPCServer:
                 )
             if broken:
                 continue  # keep consuming so computations are awaited
-            try:
-                writer.write(
-                    response_bytes(
-                        status,
-                        payload,
-                        keep_alive=keep_alive,
-                        extra_headers=extra,
-                    )
+            buf.append(
+                response_bytes(
+                    status,
+                    payload,
+                    keep_alive=keep_alive,
+                    extra_headers=extra,
                 )
-                if not out:  # one drain per burst of pipelined answers
+            )
+            if not out:  # burst over: one write + drain for the lot
+                try:
+                    writer.write(b"".join(buf))
                     await writer.drain()
-            except (ConnectionError, OSError):
-                self.recorder.incr("serve.errors.connection")
-                broken = True
+                except (ConnectionError, OSError):
+                    self.recorder.incr("serve.errors.connection")
+                    broken = True
+                buf.clear()
+                self._drain_request_log()
+
+    # ------------------------------------------------------------------
+    # per-request observability
+    # ------------------------------------------------------------------
+    def _finish_request(
+        self,
+        status: int,
+        payload,
+        extra,
+        *,
+        rid: str,
+        started: float,
+        method: str = "GET",
+        path: str = "/query",
+        source: Optional[int] = None,
+        target: Optional[int] = None,
+        cache_hit: Optional[bool] = None,
+        meta: Optional[dict] = None,
+        labels_scanned: Optional[int] = None,
+        error: Optional[str] = None,
+        track_slo: bool = True,
+    ) -> Response:
+        """Stamp one finished request: id header, SLO window, log record.
+
+        Every response funnels through here exactly once, so the
+        correlation contract — the id a client sent comes back in the
+        header *and* appears in the matching log records — holds on
+        every path (cache hit, batch scan, shed, timeout, error).
+        """
+        latency_s = time.perf_counter() - started
+        if track_slo and self.slo is not None:
+            # Positional: error, shed, cache_hit, queue_depth.
+            self.slo.record(
+                latency_s,
+                status >= 500 and status != 503,
+                status == 503,
+                cache_hit,
+                self._inflight,
+            )
+        log = self.request_log
+        if log is not None:
+            # Sampling is decided here, in finish order (the same
+            # stream a per-record log_request call would consume), so
+            # a sampled-out request costs one RNG draw and nothing
+            # more — no pending tuple, no drain-time iteration.
+            if (
+                error is None
+                and status == 200
+                and not (latency_s * 1000.0 >= log.slow_ms > 0)
+                and not log.sampler.keep()
+            ):
+                log.sampled_out += 1
+            else:
+                # Defer the record: formatting and writing happen in
+                # _drain_request_log after the response bytes are on
+                # the wire, so logging never sits between a resolved
+                # batch and the client seeing its answers (which would
+                # shrink the next coalescing window).
+                self._log_pending.append(
+                    (rid, method, path, status, latency_s, source,
+                     target, cache_hit, meta, labels_scanned, error)
+                )
+        return status, payload, (("X-Request-Id", rid),) + tuple(extra)
+
+    def _drain_request_log(
+        self, force: bool = False, inline: bool = False
+    ) -> None:
+        """Hand deferred request records to the scan worker to write.
+
+        Formatting and writing happen on the executor thread, in the
+        shadow of the scans it is already running, so the event loop
+        never pauses to serialize log lines between sending a burst of
+        responses and reading the next requests (a pause there staggers
+        arrivals and shrinks coalescing windows).  The executor has one
+        worker, so drains run in submission order and record order
+        matches finish order — sampling (already decided per record)
+        and the log file stay deterministic.
+
+        Burst-end calls are threshold-gated so a drain amortizes the
+        executor handoff over many records; ``force`` flushes whatever
+        is pending (connection close, shutdown), and ``inline`` writes
+        on the calling thread — shutdown uses it after the executor has
+        already been joined.
+        """
+        log, pending = self.request_log, self._log_pending
+        if log is None or not pending:
+            return
+        if not force and len(pending) < _LOG_DRAIN_MIN_RECORDS:
+            return
+        self._log_pending = []
+        if inline:
+            log.log_batch(pending, presampled=True)
+        else:
+            self._executor.submit(log.log_batch, pending, presampled=True)
+
+    def _explain_counters(
+        self,
+        source: int,
+        target: int,
+        *,
+        cache_hit: bool,
+        meta: Optional[dict],
+    ) -> dict:
+        """The algorithmic story behind one answer.
+
+        ``labels_scanned`` re-runs the O(h) label scan through
+        :meth:`SPCIndex.query_with_stats` — explain is a diagnostic
+        path, and the second scan guarantees the reported counter is
+        *exactly* what an offline ``query_with_stats`` call measures
+        (the parity the tests pin).  Tree-based indexes also report
+        the LCA node's depth and width (its cut size — the paper's
+        per-node label-count driver).
+        """
+        counters: dict = {"cache_hit": cache_hit}
+        try:
+            stats = self.index.query_with_stats(source, target)
+            counters["labels_scanned"] = stats.visited_labels
+        except (ReproError, AttributeError):
+            pass
+        tree = getattr(self.index, "tree", None)
+        if tree is not None:
+            try:
+                node = tree.lca_node(source, target)
+                counters["lca_depth"] = node.depth
+                counters["lca_width"] = node.size
+            except (KeyError, AttributeError):
+                pass
+        if meta:
+            if "batch_size" in meta:
+                counters["batch_size"] = meta["batch_size"]
+                counters["flush_reason"] = meta.get("flush_reason")
+            if "queue_wait_s" in meta:
+                counters["queue_wait_us"] = round(
+                    meta["queue_wait_s"] * 1e6, 1
+                )
+            if "scan_s" in meta:
+                counters["scan_us"] = round(meta["scan_s"] * 1e6, 1)
+        return counters
 
     # ------------------------------------------------------------------
     # routing
@@ -293,7 +579,10 @@ class SPCServer:
         no header dict, no :class:`Request` — which roughly halves the
         framing cost per query.  Anything unusual (other param order,
         percent-encoding, a body) returns ``None`` and takes the full
-        parser; behaviour is identical either way.
+        parser; behaviour is identical either way.  An inbound
+        ``X-Request-Id`` is honored here too: an exact-case find
+        first (free for the common canonical spelling), then one
+        lowercase pass over the small head when that misses.
         """
         if not head.startswith(b"GET /query?source="):
             return None
@@ -307,9 +596,17 @@ class SPCServer:
             source, target = int(src), int(tgt[7:])
         except ValueError:
             return None
+        mark = head.find(b"X-Request-Id:")
+        if mark < 0:
+            mark = head.lower().find(b"x-request-id:")
+        if mark >= 0:
+            stop = head.index(b"\r", mark)
+            rid = head[mark + 13 : stop].strip().decode("latin-1")
+        else:
+            rid = self._ids.next_id()
         self.recorder.incr("serve.requests")
         keep_alive = (b"close" not in head) and not self._draining
-        return self._query_entry(source, target), keep_alive
+        return self._query_entry(source, target, rid), keep_alive
 
     def _dispatch(self, request: Request):
         """Route one request: a ready Response or an awaitable of one.
@@ -320,31 +617,118 @@ class SPCServer:
         encoding) is deferred to the awaitable the write loop resolves.
         """
         self.recorder.incr("serve.requests")
+        rid = request.headers.get("x-request-id") or self._ids.next_id()
         if request.path == "/query":
-            return self._dispatch_query(request)
+            return self._dispatch_query(request, rid)
+        started = time.perf_counter()
         if request.path == "/health":
-            return self._handle_health()
-        if request.path == "/metrics":
-            return self._handle_metrics()
-        self.recorder.incr("serve.errors.route")
-        return 404, {"error": f"unknown path {request.path!r}"}, ()
+            status, payload, extra = self._handle_health()
+        elif request.path == "/metrics":
+            status, payload, extra = self._handle_metrics(request)
+        elif request.path == "/stats":
+            status, payload, extra = self._handle_stats()
+        else:
+            self.recorder.incr("serve.errors.route")
+            status, payload, extra = (
+                404, {"error": f"unknown path {request.path!r}"}, ()
+            )
+        return self._finish_request(
+            status,
+            payload,
+            extra,
+            rid=rid,
+            started=started,
+            method=request.method,
+            path=request.path,
+            track_slo=False,  # only query traffic drives the SLO
+        )
+
+    def _index_metadata(self) -> dict:
+        """Static index identity for ``/health`` (computed once)."""
+        if self._index_meta is None:
+            meta = {"type": type(self.index).__name__}
+            try:
+                stats = self.index.stats()
+                meta.update(
+                    vertices=stats.num_vertices,
+                    edges=stats.num_edges,
+                    label_entries=stats.total_label_entries,
+                )
+            except (AttributeError, ReproError):
+                pass  # duck-typed test doubles without stats()
+            self._index_meta = meta
+        return self._index_meta
+
+    def _slo_state(self) -> Tuple[str, List[str], Optional[dict]]:
+        """``(status, breaches, window snapshot)`` of the SLO tracker."""
+        if self.slo is None:
+            return "ok", [], None
+        window = self.slo.snapshot()
+        status, breaches = self.slo_policy.evaluate(window)
+        return status, breaches, window
 
     def _handle_health(self) -> Response:
+        slo_status, breaches, _ = self._slo_state()
+        if self._draining:
+            status_text, http_status = "draining", 503
+        elif slo_status == "degraded":
+            status_text, http_status = "degraded", 503
+        else:
+            status_text, http_status = "ok", 200
         payload = {
-            "status": "draining" if self._draining else "ok",
-            "index": type(self.index).__name__,
+            "status": status_text,
+            "index": self._index_metadata(),
             "inflight": self._inflight,
             "uptime_seconds": time.perf_counter() - self._started_at,
+            "slo": {"status": slo_status, "breaches": breaches},
         }
-        return (503 if self._draining else 200), payload, ()
+        return http_status, payload, ()
 
-    def _handle_metrics(self) -> Response:
+    def _handle_metrics(self, request: Optional[Request] = None) -> Response:
         rec = self.recorder
         rec.gauge("serve.queue.depth", self.queue_depth)
         rec.gauge("serve.connections.active", len(self._connections))
         rec.gauge("serve.cache.size", len(self.cache))
         rec.gauge("serve.cache.hit_rate", self.cache.hit_rate)
+        wants_text = False
+        if request is not None:
+            fmt = request.params.get("format")
+            if fmt is not None:
+                wants_text = fmt == "prometheus"
+            else:
+                accept = request.headers.get("accept", "")
+                wants_text = (
+                    "text/plain" in accept or "openmetrics" in accept
+                )
+        if wants_text:
+            text = render_prometheus(rec.metrics_snapshot())
+            return (
+                200,
+                text.encode("utf-8"),
+                (("Content-Type", PROMETHEUS_CONTENT_TYPE),),
+            )
         return 200, rec.metrics_snapshot(), ()
+
+    def _handle_stats(self) -> Response:
+        slo_status, breaches, window = self._slo_state()
+        payload = {
+            "window": window,
+            "slo": {
+                "status": slo_status,
+                "breaches": breaches,
+                "p99_ms": self.slo_policy.p99_ms or None,
+                "max_error_rate": self.slo_policy.max_error_rate or None,
+            },
+            "cache": self.cache.snapshot(),
+            "uptime_seconds": time.perf_counter() - self._started_at,
+        }
+        if self.batcher is not None:
+            payload["batcher"] = {
+                "batches_flushed": self.batcher.batches_flushed,
+                "queries_batched": self.batcher.queries_batched,
+                "pending": self.batcher.pending_count,
+            }
+        return 200, payload, ()
 
     # ------------------------------------------------------------------
     # queries
@@ -356,12 +740,15 @@ class SPCServer:
 
     def _parse_query(
         self, request: Request
-    ) -> Tuple[Optional[List[Tuple[int, int]]], Optional[Tuple[int, int]]]:
-        """Returns ``(pairs, single)``; exactly one of the two is set."""
+    ) -> Tuple[
+        Optional[List[Tuple[int, int]]], Optional[Tuple[int, int]], bool
+    ]:
+        """Returns ``(pairs, single, explain)``; one of the first two set."""
         if request.method == "POST":
             payload = request.json()
             if not isinstance(payload, dict):
                 raise HTTPProtocolError("query body must be a JSON object")
+            explain = bool(payload.get("explain", False))
             if "pairs" in payload:
                 raw = payload["pairs"]
                 if not isinstance(raw, list):
@@ -376,44 +763,79 @@ class SPCServer:
                             "each pair must be [source, target]"
                         )
                     pairs.append((int(item[0]), int(item[1])))
-                return pairs, None
+                return pairs, None, explain
             try:
-                return None, (int(payload["source"]), int(payload["target"]))
+                return (
+                    None,
+                    (int(payload["source"]), int(payload["target"])),
+                    explain,
+                )
             except (KeyError, TypeError, ValueError) as exc:
                 raise HTTPProtocolError(
                     "query body needs integer 'source' and 'target'"
                 ) from exc
+        explain = (
+            request.params.get("explain", "").lower() in _TRUTHY
+        )
         try:
-            return None, (
-                int(request.params["source"]),
-                int(request.params["target"]),
+            return (
+                None,
+                (
+                    int(request.params["source"]),
+                    int(request.params["target"]),
+                ),
+                explain,
             )
         except (KeyError, ValueError) as exc:
             raise HTTPProtocolError(
                 "query needs integer 'source' and 'target' parameters"
             ) from exc
 
-    def _dispatch_query(self, request: Request):
+    def _dispatch_query(self, request: Request, rid: str):
         """Admit (or reject) one ``/query`` synchronously.
 
         Cache hits, malformed requests, and shed responses come back as
         ready tuples; an admitted miss submits its scan *now* and
         returns the :meth:`_finish` coroutine that waits for it.
         """
+        started = time.perf_counter()
         try:
-            pairs, single = self._parse_query(request)
+            pairs, single, explain = self._parse_query(request)
         except HTTPProtocolError as exc:
             self.recorder.incr("serve.errors.request")
-            return 400, {"error": str(exc)}, ()
+            return self._finish_request(
+                400,
+                {"error": str(exc)},
+                (),
+                rid=rid,
+                started=started,
+                method=request.method,
+                error=str(exc),
+            )
         if single is not None:
-            return self._query_entry(*single)
+            return self._query_entry(*single, rid, explain=explain)
         if self._draining:
             self.recorder.incr("serve.shed.draining")
-            return 503, {"error": "draining"}, _RETRY_AFTER
+            return self._finish_request(
+                503,
+                {"error": "draining"},
+                _RETRY_AFTER,
+                rid=rid,
+                started=started,
+                method=request.method,
+            )
         if self.queue_depth + len(pairs) > self.config.queue_high_water:
             self.recorder.incr("serve.shed", len(pairs))
-            return self._overloaded()
-        return self._answer_pairs(pairs)
+            status, payload, extra = self._overloaded()
+            return self._finish_request(
+                status,
+                payload,
+                extra,
+                rid=rid,
+                started=started,
+                method=request.method,
+            )
+        return self._answer_pairs(pairs, rid, started, explain)
 
     def _overloaded(self) -> Response:
         return (
@@ -426,45 +848,117 @@ class SPCServer:
             _RETRY_AFTER,
         )
 
-    def _query_entry(self, source: int, target: int):
+    def _query_entry(
+        self, source: int, target: int, rid: str, *, explain: bool = False
+    ):
         """Drain/shed/cache-check one pair; ready tuple or waiter.
 
         200 payloads come back as pre-serialized bytes (see
-        :func:`encode_result_bytes`)."""
+        :func:`encode_result_bytes`) unless ``explain`` asked for the
+        annotated dict form."""
+        started = time.perf_counter()
         if self._draining:
             self.recorder.incr("serve.shed.draining")
-            return 503, {"error": "draining"}, _RETRY_AFTER
+            return self._finish_request(
+                503,
+                {"error": "draining"},
+                _RETRY_AFTER,
+                rid=rid,
+                started=started,
+                source=source,
+                target=target,
+            )
         if self.queue_depth >= self.config.queue_high_water:
             self.recorder.incr("serve.shed")
-            return self._overloaded()
+            status, payload, extra = self._overloaded()
+            return self._finish_request(
+                status,
+                payload,
+                extra,
+                rid=rid,
+                started=started,
+                source=source,
+                target=target,
+            )
         cached = self.cache.get(source, target)
         if cached is not None:
-            return 200, encode_result_bytes(source, target, cached), ()
-        return self._admit(source, target)
+            if explain:
+                payload = encode_result(source, target, cached)
+                payload["explain"] = self._explain_counters(
+                    source, target, cache_hit=True, meta=None
+                )
+                payload["explain"]["request_id"] = rid
+            else:
+                payload = encode_result_bytes(source, target, cached)
+            return self._finish_request(
+                200,
+                payload,
+                (),
+                rid=rid,
+                started=started,
+                source=source,
+                target=target,
+                cache_hit=True,
+            )
+        return self._admit(source, target, rid, started, explain)
 
-    def _admit(self, source: int, target: int):
+    def _admit(
+        self,
+        source: int,
+        target: int,
+        rid: str,
+        started: float,
+        explain: bool,
+    ):
         """Take a queue slot and start the scan; returns the waiter."""
         self._inflight += 1
         self.recorder.gauge_max("serve.queue.depth.max", self._inflight)
-        started = time.perf_counter()
-        return self._finish(
-            source, target, self._compute(source, target), started
+        meta = (
+            {} if (explain or self.request_log is not None) else None
+        )
+        return _Waiter(
+            self,
+            self._compute(source, target, meta),
+            source,
+            target,
+            rid,
+            started,
+            meta,
+            explain,
         )
 
-    async def _answer_pairs(self, pairs: List[Tuple[int, int]]) -> Response:
+    async def _answer_pairs(
+        self,
+        pairs: List[Tuple[int, int]],
+        rid: str,
+        started: float,
+        explain: bool,
+    ) -> Response:
+        """A POST batch: each pair rides the normal entry path with a
+        derived id (``<rid>/<slot>``), so batch members correlate in
+        the logs while the envelope keeps the client's id."""
         results = await asyncio.gather(
-            *(self._answer_single(s, t) for s, t in pairs)
+            *(
+                self._answer_single(s, t, f"{rid}/{slot}", explain)
+                for slot, (s, t) in enumerate(pairs)
+            )
         )
         worst = max(status for status, _, _ in results)
-        return (
+        return self._finish_request(
             worst,
             {"results": [payload for _, payload, _ in results]},
             _RETRY_AFTER if worst == 503 else (),
+            rid=rid,
+            started=started,
+            method="POST",
+            track_slo=False,  # members were tracked individually
         )
 
-    async def _answer_single(self, source: int, target: int) -> Response:
+    async def _answer_single(
+        self, source: int, target: int, rid: str, explain: bool
+    ) -> Response:
         """One pair of a POST batch, payload as a JSON-able dict."""
-        entry = self._query_entry(source, target)
+        entry = self._query_entry(source, target, rid, explain=explain)
         status, payload, extra = (
             entry if type(entry) is tuple else await entry
         )
@@ -472,49 +966,112 @@ class SPCServer:
             payload = json.loads(payload)
         return status, payload, extra
 
-    async def _finish(
-        self,
-        source: int,
-        target: int,
-        future: "asyncio.Future",
-        started: float,
-    ) -> Response:
+    async def _finish(self, w: "_Waiter") -> Response:
         # wait_for on the bare future: a deadline cancels only this
         # request's future — the batcher skips done futures when its
         # scan resolves, so batch-mates are unaffected.
         try:
             result = await asyncio.wait_for(
-                future,
+                w.future,
                 timeout=self.config.request_timeout_ms / 1000.0,
             )
         except asyncio.TimeoutError:
             self.recorder.incr("serve.timeouts")
-            return (
+            return self._finish_request(
                 504,
                 {
                     "error": "deadline exceeded",
                     "timeout_ms": self.config.request_timeout_ms,
-                    "source": source,
-                    "target": target,
+                    "source": w.source,
+                    "target": w.target,
                 },
                 (),
+                rid=w.rid,
+                started=w.started,
+                source=w.source,
+                target=w.target,
+                meta=w.meta,
+                error="deadline exceeded",
             )
         except ReproError as exc:
             self.recorder.incr("serve.errors.query")
-            return 400, {"error": str(exc)}, ()
+            return self._query_error(w, exc)
         finally:
             self._inflight -= 1
             self.recorder.observe(
-                "serve.latency_seconds", time.perf_counter() - started
+                "serve.latency_seconds", time.perf_counter() - w.started
             )
-        self.cache.put(source, target, result)
-        self.recorder.incr("serve.responses.ok")
-        return 200, encode_result_bytes(source, target, result), ()
+        return self._finish_ok(w, result)
 
-    def _compute(self, source: int, target: int) -> "asyncio.Future":
+    def _finish_done(self, w: "_Waiter") -> Response:
+        """Finish a waiter whose future already resolved — no await.
+
+        The synchronous twin of :meth:`_finish` for the write loop's
+        peek path; the deadline cannot fire on an answer that is
+        already here."""
+        self._inflight -= 1
+        self.recorder.observe(
+            "serve.latency_seconds", time.perf_counter() - w.started
+        )
+        exc = w.future.exception()
+        if exc is not None:
+            if isinstance(exc, ReproError):
+                self.recorder.incr("serve.errors.query")
+                return self._query_error(w, exc)
+            raise exc  # the write loop's 500 handler takes it
+        return self._finish_ok(w, w.future.result())
+
+    def _query_error(self, w: "_Waiter", exc: ReproError) -> Response:
+        return self._finish_request(
+            400,
+            {"error": str(exc)},
+            (),
+            rid=w.rid,
+            started=w.started,
+            source=w.source,
+            target=w.target,
+            meta=w.meta,
+            error=str(exc),
+        )
+
+    def _finish_ok(self, w: "_Waiter", result: QueryResult) -> Response:
+        self.cache.put(w.source, w.target, result)
+        self.recorder.incr("serve.responses.ok")
+        # A disabled cache performs no lookup — don't count one.
+        cache_hit = False if self.cache.capacity else None
+        labels_scanned = None
+        if w.explain:
+            payload = encode_result(w.source, w.target, result)
+            explain_fields = self._explain_counters(
+                w.source, w.target, cache_hit=False, meta=w.meta
+            )
+            explain_fields["request_id"] = w.rid
+            payload["explain"] = explain_fields
+            labels_scanned = explain_fields.get("labels_scanned")
+        else:
+            payload = encode_result_bytes(w.source, w.target, result)
+        return self._finish_request(
+            200,
+            payload,
+            (),
+            rid=w.rid,
+            started=w.started,
+            source=w.source,
+            target=w.target,
+            cache_hit=cache_hit,
+            meta=w.meta,
+            labels_scanned=labels_scanned,
+        )
+
+    def _compute(
+        self, source: int, target: int, meta: Optional[dict]
+    ) -> "asyncio.Future":
         """One answer through the batcher (or the uncoalesced path)."""
         if self.batcher is not None:
-            return self.batcher.submit(source, target)
+            return self.batcher.submit(source, target, meta)
+        if meta is not None:
+            meta["batch_size"] = 1
+            meta["flush_reason"] = "uncoalesced"
         return asyncio.get_running_loop().run_in_executor(
             self._executor, self.index.query, source, target
         )

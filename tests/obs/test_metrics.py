@@ -1,5 +1,7 @@
 """Tests for the metric instruments (counters, gauges, histograms)."""
 
+import math
+
 import pytest
 
 from repro.obs.metrics import (
@@ -76,9 +78,31 @@ class TestHistogram:
         assert h.mean == pytest.approx(14 / 3)
 
     def test_empty_histogram(self):
+        # Sample statistics of zero samples are *undefined*, not zero:
+        # nan from the accessors, None (JSON null) in the snapshot.
         h = Histogram((1, 10))
-        assert h.mean == 0.0
-        assert h.percentile(0.5) == 0.0
+        assert math.isnan(h.mean)
+        assert math.isnan(h.percentile(0.5))
+        snap = h.snapshot()
+        assert snap["count"] == 0
+        assert snap["mean"] is None
+        assert snap["p50"] is None and snap["p99"] is None
+        assert snap["min"] is None and snap["max"] is None
+        assert snap["buckets"] == {}
+
+    def test_histogram_merge(self):
+        a = Histogram((1, 10, 100))
+        b = Histogram((1, 10, 100))
+        for value in (0.5, 5, 50):
+            a.observe(value)
+        for value in (500, 5000):
+            b.observe(value)
+        a.merge(b)
+        assert a.count == 5
+        assert a.total == pytest.approx(5555.5)
+        assert a.min == 0.5 and a.max == 5000
+        with pytest.raises(ValueError):
+            a.merge(Histogram((1, 2)))
 
     def test_percentile_bounds(self):
         h = Histogram((1, 10, 100))

@@ -1,0 +1,171 @@
+"""Tests for the Prometheus text exposition renderer and validator."""
+
+import math
+
+import pytest
+
+from repro.obs import Recorder
+from repro.obs.prometheus import (
+    PROMETHEUS_CONTENT_TYPE,
+    escape_label_value,
+    prometheus_name,
+    render_prometheus,
+    validate_prometheus_text,
+)
+
+
+def _sample_snapshot():
+    rec = Recorder()
+    rec.incr("serve.requests", 42)
+    rec.incr("serve.responses.ok", 40)
+    rec.gauge("serve.queue.depth", 3)
+    rec.gauge("serve.cache.hit_rate", 0.25)
+    for value in (0.0001, 0.0004, 0.002, 0.002, 0.05, 1.5):
+        rec.observe("serve.latency_seconds", value)
+    for size in (1, 2, 4, 64):
+        rec.observe("serve.batch.size", size)
+    return rec.metrics_snapshot()
+
+
+class TestPrometheusName:
+    def test_dots_become_underscores(self):
+        assert (
+            prometheus_name("serve.latency_seconds")
+            == "repro_serve_latency_seconds"
+        )
+
+    def test_invalid_characters_sanitised(self):
+        name = prometheus_name("weird-metric name!")
+        assert validate_prometheus_text(f"# TYPE {name} gauge\n{name} 1\n") == []
+
+    def test_namespace_optional(self):
+        assert prometheus_name("a.b", namespace="") == "a_b"
+
+
+class TestEscapeLabelValue:
+    def test_escapes_quotes_backslashes_newlines(self):
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+
+class TestRenderPrometheus:
+    def test_validator_clean(self):
+        text = render_prometheus(_sample_snapshot())
+        assert validate_prometheus_text(text) == []
+
+    def test_counter_rendering(self):
+        text = render_prometheus(_sample_snapshot())
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "repro_serve_requests_total 42" in text
+
+    def test_gauge_rendering(self):
+        text = render_prometheus(_sample_snapshot())
+        assert "# TYPE repro_serve_queue_depth gauge" in text
+        assert "repro_serve_queue_depth 3" in text
+        assert "repro_serve_cache_hit_rate 0.25" in text
+
+    def test_histogram_buckets_cumulative_and_inf_terminated(self):
+        text = render_prometheus(_sample_snapshot())
+        name = "repro_serve_latency_seconds"
+        bucket_lines = [
+            line for line in text.splitlines()
+            if line.startswith(f"{name}_bucket")
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in bucket_lines]
+        assert counts == sorted(counts), "buckets must be cumulative"
+        assert f'{name}_bucket{{le="+Inf"}} 6' in text
+        assert f"{name}_count 6" in text
+
+    def test_sum_and_count_match_json_snapshot(self):
+        # Content equivalence with the JSON representation: both are
+        # rendered from the *same* snapshot, so every number in the
+        # text form must appear in the JSON form.
+        snapshot = _sample_snapshot()
+        text = render_prometheus(snapshot)
+        for dotted, hist in snapshot["histograms"].items():
+            flat = prometheus_name(dotted)
+            assert f"{flat}_count {hist['count']}" in text
+            sum_line = next(
+                line for line in text.splitlines()
+                if line.startswith(f"{flat}_sum ")
+            )
+            assert float(sum_line.split()[1]) == pytest.approx(hist["sum"])
+        for dotted, value in snapshot["counters"].items():
+            assert f"{prometheus_name(dotted)}_total {value}" in text
+
+    def test_empty_snapshot_renders_clean(self):
+        text = render_prometheus(
+            {"counters": {}, "gauges": {}, "histograms": {}}
+        )
+        assert validate_prometheus_text(text) == []
+
+    def test_empty_histogram_renders_clean(self):
+        snapshot = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {"h": {"count": 0, "sum": 0.0, "buckets": {}}},
+        }
+        text = render_prometheus(snapshot)
+        assert validate_prometheus_text(text) == []
+        assert 'repro_h_bucket{le="+Inf"} 0' in text
+
+    def test_content_type_constant(self):
+        assert PROMETHEUS_CONTENT_TYPE.startswith("text/plain")
+
+
+class TestValidator:
+    def test_flags_missing_type(self):
+        problems = validate_prometheus_text("orphan_metric 1\n")
+        assert any("no # TYPE" in p for p in problems)
+
+    def test_flags_duplicate_series(self):
+        text = "# TYPE m gauge\nm 1\nm 2\n"
+        assert any(
+            "duplicate series" in p
+            for p in validate_prometheus_text(text)
+        )
+
+    def test_flags_nonmonotone_histogram(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="2"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 4.0\n"
+            "h_count 5\n"
+        )
+        assert any(
+            "decrease" in p for p in validate_prometheus_text(text)
+        )
+
+    def test_flags_inf_count_mismatch(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 4\n'
+            "h_sum 1.0\n"
+            "h_count 5\n"
+        )
+        assert any(
+            "+Inf bucket" in p for p in validate_prometheus_text(text)
+        )
+
+    def test_flags_missing_inf_bucket(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 4\n'
+            "h_sum 1.0\n"
+            "h_count 4\n"
+        )
+        assert any(
+            "+Inf" in p for p in validate_prometheus_text(text)
+        )
+
+    def test_accepts_escaped_label_values(self):
+        value = escape_label_value('path "with" \\ and \n newline')
+        text = f'# TYPE m gauge\nm{{label="{value}"}} 1\n'
+        assert validate_prometheus_text(text) == []
+
+    def test_flags_bad_label_block(self):
+        text = '# TYPE m gauge\nm{label=unquoted} 1\n'
+        assert any(
+            "label" in p for p in validate_prometheus_text(text)
+        )

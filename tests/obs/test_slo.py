@@ -1,0 +1,133 @@
+"""Tests for the rolling SLO window and readiness policy."""
+
+import pytest
+
+from repro.obs.slo import SloPolicy, SloWindow
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _window(window_s=10, now=1000.0):
+    clock = FakeClock(now)
+    return SloWindow(window_s, clock=clock), clock
+
+
+class TestSloWindow:
+    def test_empty_snapshot_has_null_statistics(self):
+        window, _ = _window()
+        snap = window.snapshot()
+        assert snap["requests"] == 0
+        assert snap["error_rate"] is None
+        assert snap["shed_rate"] is None
+        assert snap["cache_hit_rate"] is None
+        latency = snap["latency_ms"]
+        assert latency["p50"] is None and latency["p99"] is None
+        assert latency["mean"] is None and latency["max"] is None
+
+    def test_counts_and_rates(self):
+        window, _ = _window()
+        for _ in range(8):
+            window.record(0.001, cache_hit=False)
+        window.record(0.002, error=True)
+        window.record(0.003, shed=True, cache_hit=True)
+        snap = window.snapshot()
+        assert snap["requests"] == 10
+        assert snap["errors"] == 1
+        assert snap["error_rate"] == pytest.approx(0.1)
+        assert snap["shed_rate"] == pytest.approx(0.1)
+        assert snap["cache_hit_rate"] == pytest.approx(1 / 9)
+        assert snap["qps"] == pytest.approx(1.0)  # 10 req / 10 s window
+
+    def test_latency_percentiles_from_merged_seconds(self):
+        window, clock = _window(window_s=30)
+        # Spread observations across several seconds: the snapshot must
+        # merge the per-second histograms, not read just the newest.
+        for second in range(5):
+            for _ in range(20):
+                window.record(0.001)
+            clock.advance(1)
+        window.record(1.0)  # one slow outlier
+        snap = window.snapshot()
+        assert snap["requests"] == 101
+        assert snap["latency_ms"]["p50"] <= 2.5
+        assert snap["latency_ms"]["max"] >= 1000.0
+
+    def test_old_seconds_age_out(self):
+        window, clock = _window(window_s=5)
+        window.record(0.001, error=True)
+        assert window.snapshot()["requests"] == 1
+        clock.advance(6)  # past the window horizon
+        snap = window.snapshot()
+        assert snap["requests"] == 0
+        assert snap["error_rate"] is None
+        # Lifetime counter keeps the full history.
+        assert window.total_requests == 1
+
+    def test_ring_slot_reuse_resets_stale_data(self):
+        window, clock = _window(window_s=3)
+        window.record(0.001)
+        window.record(0.001)
+        clock.advance(3)  # same ring slot, new epoch
+        window.record(0.5)
+        snap = window.snapshot()
+        assert snap["requests"] == 1  # old slot data discarded
+
+    def test_queue_depth_peak(self):
+        window, _ = _window()
+        window.record(0.001, queue_depth=2)
+        window.record(0.001, queue_depth=9)
+        window.record(0.001, queue_depth=4)
+        assert window.snapshot()["queue_depth_max"] == 9
+
+    def test_window_length_validation(self):
+        with pytest.raises(ValueError):
+            SloWindow(0)
+
+
+class TestSloPolicy:
+    def _snapshot(self, window, n=20, latency=0.001, errors=0):
+        for i in range(n):
+            window.record(latency, error=i < errors)
+        return window.snapshot()
+
+    def test_disabled_policy_is_always_ok(self):
+        window, _ = _window()
+        snap = self._snapshot(window, errors=20)
+        assert SloPolicy().evaluate(snap) == ("ok", [])
+
+    def test_p99_breach_degrades(self):
+        window, _ = _window()
+        snap = self._snapshot(window, latency=0.5)
+        policy = SloPolicy(p99_ms=100.0)
+        status, breaches = policy.evaluate(snap)
+        assert status == "degraded"
+        assert "p99" in breaches[0]
+
+    def test_error_rate_breach_degrades(self):
+        window, _ = _window()
+        snap = self._snapshot(window, errors=10)
+        policy = SloPolicy(max_error_rate=0.05)
+        status, breaches = policy.evaluate(snap)
+        assert status == "degraded"
+        assert "error rate" in breaches[0]
+
+    def test_min_requests_guards_flapping(self):
+        window, _ = _window()
+        snap = self._snapshot(window, n=3, latency=5.0, errors=3)
+        policy = SloPolicy(p99_ms=1.0, max_error_rate=0.01, min_requests=10)
+        assert policy.evaluate(snap) == ("ok", [])
+
+    def test_healthy_window_passes_enabled_policy(self):
+        window, _ = _window()
+        snap = self._snapshot(window, latency=0.001)
+        policy = SloPolicy(p99_ms=100.0, max_error_rate=0.05)
+        assert policy.evaluate(snap) == ("ok", [])

@@ -24,6 +24,12 @@ def test_defaults_are_valid():
         {"drain_grace_s": -0.5},
         {"port": -1},
         {"port": 70000},
+        {"slow_query_ms": -1.0},
+        {"log_sample_every": -1},
+        {"slo_window_s": -1},
+        {"slo_p99_ms": -0.5},
+        {"slo_error_rate": 1.5},
+        {"switch_interval_s": -1e-3},
     ],
 )
 def test_out_of_range_values_raise(kwargs):
