@@ -200,6 +200,67 @@ def test_observability_overhead_under_ten_percent(
     )
 
 
+def test_robustness_hooks_cost_under_five_percent(index, pairs, capsys):
+    """The fault-tolerance machinery must cost < 5% fault-free QPS.
+
+    Guarded: a circuit breaker armed at its default threshold plus a
+    parsed-but-silent fault plan (every site at probability 0, so the
+    per-request ``should_fire`` draws and per-response reset checks all
+    run) — the hooks a production deployment carries even when nothing
+    is failing.  Bare: breaker disabled, no plan, as the server ran
+    before the robustness layer existed.  Same interleaved
+    best-of-N-per-CPU-second methodology as the observability bench.
+    """
+    from repro.faults import FaultPlan
+    from repro.serve.runner import ServerThread as _ServerThread
+
+    def timed(fault_plan, **config_kwargs):
+        config = ServeConfig(
+            port=0, coalesce=True, max_batch=128, max_wait_us=2000,
+            cache_size=0, **config_kwargs,
+        )
+        with _ServerThread(
+            index, config, fault_plan=fault_plan
+        ) as (host, port):
+            cpu0 = time.process_time()
+            report = replay(
+                host, port, pairs,
+                concurrency=CONCURRENCY, pipeline=PIPELINE,
+            )
+            cpu1 = time.process_time()
+        return report, len(pairs) / (cpu1 - cpu0)
+
+    silent_spec = "scan.fail:0.0,scan.slow:0.0,conn.reset:0.0"
+    timed(None, breaker_threshold=0)  # warmup
+    timed(FaultPlan.parse(silent_spec), breaker_threshold=10)
+    bare_qps, guarded_qps = [], []
+    for _ in range(OVERHEAD_ROUNDS):
+        bare, bare_cpu = timed(None, breaker_threshold=0)
+        guarded, guarded_cpu = timed(
+            FaultPlan.parse(silent_spec), breaker_threshold=10
+        )
+        assert bare.ok == guarded.ok == NUM_PAIRS
+        bare_qps.append(bare_cpu)
+        guarded_qps.append(guarded_cpu)
+    ratio = max(guarded_qps) / max(bare_qps)
+    with capsys.disabled():
+        paired = ", ".join(
+            f"{g / b:.3f}" for b, g in zip(bare_qps, guarded_qps)
+        )
+        print(
+            f"\n\nRobustness overhead ({CONCURRENCY} connections):"
+            f" bare {max(bare_qps):,.0f} req/cpu-s,"
+            f" breaker+plan {max(guarded_qps):,.0f} req/cpu-s"
+            f" (best-of-{OVERHEAD_ROUNDS} ratio {ratio:.3f},"
+            f" paired [{paired}])"
+        )
+    assert ratio >= 0.95, (
+        f"robustness hooks cost {(1 - ratio) * 100:.1f}% throughput "
+        f"({max(guarded_qps):.0f} vs {max(bare_qps):.0f} req/cpu-s), "
+        f"over the 5% bar"
+    )
+
+
 def test_closed_loop_strict_request_response(index, pairs, capsys):
     """Pipeline depth 1 (strict request/response) must not regress.
 

@@ -13,10 +13,15 @@ Installed as the ``repro-spc`` console script::
     repro-spc query index.json 17 3405 --explain
     repro-spc top --port 8355 --once
 
+    repro-spc verify-index index.bin --graph network.gr
+
 Graphs are DIMACS ``.gr`` files (``.json``/``.txt`` edge lists are
 auto-detected by extension); indexes use the formats of
 :mod:`repro.core.serialize` — inspectable JSON (v1) or the packed
-binary container (v2), auto-detected on load.
+binary container (v3, checksummed; v2/v1 still load), auto-detected
+on load.  ``verify-index`` validates a file's checksums before
+deployment, and ``serve --fault-plan`` injects deterministic chaos
+for resilience testing (see docs/operations.md).
 
 ``build``, ``query``, and ``profile`` accept ``--metrics`` (print the
 metrics snapshot as JSON on completion) and ``--trace out.json`` (write
@@ -228,7 +233,69 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """``verify-index``: checksum validation + sampled cross-check.
+
+    Exit 0 only when every section verifies and (with ``--graph``)
+    every sampled query matches the online counting-Dijkstra baseline
+    exactly — the operator's pre-deploy gate for an index file.
+    """
+    import random
+
+    from repro.core.serialize import verify_index_file
+
+    report = verify_index_file(args.index)
+    width = max(len(name) for name, _, _ in report)
+    failed = []
+    for name, ok, detail in report:
+        print(f"{name:<{width}}  {'ok' if ok else 'FAIL':<4}  {detail}")
+        if not ok:
+            failed.append(name)
+    if failed:
+        print(
+            f"error: {args.index}: corrupt sections: {', '.join(failed)}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.graph is None:
+        print(f"{args.index}: checksums ok")
+        return 0
+    from repro.baselines.online import OnlineSPC
+
+    index = load_index(args.index)
+    graph = _load_graph(args.graph)
+    online = OnlineSPC.build(graph)
+    vertices = sorted(graph.vertices())
+    rng = random.Random(args.seed)
+    mismatches = 0
+    for _ in range(args.samples):
+        source, target = rng.choice(vertices), rng.choice(vertices)
+        got = index.query(source, target)
+        want = online.query(source, target)
+        if (got.distance, got.count) != (want.distance, want.count):
+            mismatches += 1
+            print(
+                f"MISMATCH Q({source}, {target}): index "
+                f"d={got.distance} c={got.count}, baseline "
+                f"d={want.distance} c={want.count}",
+                file=sys.stderr,
+            )
+    if mismatches:
+        print(
+            f"error: {args.index}: {mismatches}/{args.samples} sampled "
+            "queries disagree with the online baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"{args.index}: checksums ok, {args.samples} sampled queries "
+        "match the online baseline"
+    )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.faults import FaultPlan
     from repro.serve import ServeConfig, SPCServer
 
     index = load_index(args.index)
@@ -248,17 +315,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         slo_window_s=args.slo_window,
         slo_p99_ms=args.slo_p99_ms,
         slo_error_rate=args.slo_error_rate,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
     )
+    if args.fault_plan is not None:
+        fault_plan = FaultPlan.parse(args.fault_plan, seed=args.fault_seed)
+    else:
+        fault_plan = FaultPlan.from_env()  # REPRO_FAULT_PLAN, if set
+    fallback = None
+    if args.fallback == "online":
+        if args.graph is None:
+            raise ParseError("--fallback online needs --graph GRAPH")
+        from repro.baselines.online import OnlineSPC
+
+        fallback = OnlineSPC.build(_load_graph(args.graph))
 
     async def _serve() -> None:
-        server = SPCServer(index, config)
+        server = SPCServer(
+            index,
+            config,
+            fault_plan=fault_plan,
+            fallback=fallback,
+            index_path=args.index,
+        )
         await server.start()
         server.install_signal_handlers()
         mode = "coalesced" if config.coalesce else "uncoalesced"
+        if fault_plan is not None and fault_plan.active:
+            mode += ", chaos"
+        if fallback is not None:
+            mode += ", fallback=online"
         print(
             f"serving {type(index).__name__} on "
             f"http://{server.host}:{server.port} ({mode}); "
-            "SIGTERM/SIGINT drains and exits",
+            "SIGTERM/SIGINT drains and exits, SIGHUP reloads the index",
             flush=True,
         )
         await server.wait_stopped()
@@ -345,7 +435,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("json", "binary"),
         default="json",
         help="on-disk index format: inspectable JSON (v1, default) or "
-        "packed binary (v2, fast to load)",
+        "packed binary (v3, checksummed, fast to load)",
     )
     _add_obs_flags(p_build)
     p_build.set_defaults(func=_cmd_build)
@@ -460,7 +550,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="degrade /health when windowed error rate exceeds this "
         "fraction (default 0 = objective disabled)",
     )
+    p_serve.add_argument(
+        "--fault-plan", metavar="SPEC", default=None,
+        help="chaos injection plan, e.g. 'scan.fail:0.1,conn.reset:0.05' "
+        "(sites: scan.fail scan.slow flush.fail conn.reset index.load; "
+        "falls back to $REPRO_FAULT_PLAN when omitted)",
+    )
+    p_serve.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed of the deterministic fault RNG (default 0)",
+    )
+    p_serve.add_argument(
+        "--fallback", choices=("none", "online"), default="none",
+        help="degraded-mode answer path while the circuit breaker is "
+        "open: 'online' runs counting Dijkstra on --graph (default "
+        "none)",
+    )
+    p_serve.add_argument(
+        "--graph", metavar="FILE", default=None,
+        help="graph file backing '--fallback online'",
+    )
+    p_serve.add_argument(
+        "--breaker-threshold", type=int, default=10, metavar="N",
+        help="trip the scan circuit breaker after N consecutive "
+        "failures, 0 disables (default 10)",
+    )
+    p_serve.add_argument(
+        "--breaker-cooldown", type=float, default=5.0, metavar="S",
+        help="seconds between index probes while the breaker is open "
+        "(default 5)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_verify = sub.add_parser(
+        "verify-index",
+        help="validate an index file's checksums (and optionally "
+        "cross-check sampled queries against the online baseline)",
+    )
+    p_verify.add_argument("index", help="index file to verify")
+    p_verify.add_argument(
+        "--graph", metavar="FILE", default=None,
+        help="also cross-check sampled queries against counting "
+        "Dijkstra on this graph",
+    )
+    p_verify.add_argument(
+        "--samples", type=int, default=50, metavar="N",
+        help="number of sampled query pairs to cross-check (default 50)",
+    )
+    p_verify.add_argument(
+        "--seed", type=int, default=0,
+        help="seed of the query sampler (default 0)",
+    )
+    p_verify.set_defaults(func=_cmd_verify)
 
     p_top = sub.add_parser(
         "top",

@@ -52,6 +52,37 @@ class SerializationError(ReproError):
     """Saving or loading an index failed."""
 
 
+class IndexCorruptError(SerializationError):
+    """An on-disk index failed integrity validation.
+
+    Raised by :func:`repro.core.serialize.load_index` when a file is
+    truncated, bit-flipped, or structurally impossible.  ``section``
+    names the part of the container that failed (``"header"``,
+    ``"vertices"``, ``"offsets"``, ``"dist"``, ``"count"``,
+    ``"footer"``, or ``"file"`` for whole-file size mismatches);
+    ``expected``/``actual`` carry byte counts or checksums when the
+    failure is quantifiable.
+    """
+
+    def __init__(
+        self,
+        path,
+        section: str,
+        message: str,
+        *,
+        expected=None,
+        actual=None,
+    ) -> None:
+        detail = f"{path}: corrupt index ({section}): {message}"
+        if expected is not None or actual is not None:
+            detail += f" (expected {expected}, got {actual})"
+        super().__init__(detail)
+        self.path = str(path)
+        self.section = section
+        self.expected = expected
+        self.actual = actual
+
+
 class ParseError(ReproError):
     """A graph file could not be parsed."""
 

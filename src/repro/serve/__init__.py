@@ -34,8 +34,9 @@ Start one from the command line with ``repro-spc serve index.bin`` and
 read :doc:`docs/serving.md </serving>` for the protocol and the knobs.
 """
 
+from repro.serve.breaker import CircuitBreaker
 from repro.serve.cache import ResultCache
-from repro.serve.client import LoadReport, replay, run_workload
+from repro.serve.client import LoadReport, RetryPolicy, replay, run_workload
 from repro.serve.coalescer import MicroBatcher
 from repro.serve.config import ServeConfig
 from repro.serve.runner import ServerThread
@@ -43,9 +44,11 @@ from repro.serve.server import SPCServer
 from repro.serve.top import render_dashboard, run_top
 
 __all__ = [
+    "CircuitBreaker",
     "LoadReport",
     "MicroBatcher",
     "ResultCache",
+    "RetryPolicy",
     "SPCServer",
     "ServeConfig",
     "ServerThread",

@@ -1,0 +1,107 @@
+"""Circuit breaker over the index scan path.
+
+Scan failures (an :class:`~repro.faults.InjectedFault`, a crashed
+executor, a corrupt arena read) are counted per *request outcome*;
+``threshold`` consecutive failures trip the breaker **open**.  While
+open:
+
+* ``/health`` reports ``degraded`` (HTTP 503) with a
+  ``circuit_open`` breach, so load balancers rotate traffic away;
+* a server configured with a fallback index routes queries to it
+  (correct but slow) instead of the broken scan path;
+* every ``cooldown_s`` one request is let through to the real index as
+  a **probe** — a success closes the breaker instantly (self-healing),
+  a failure restarts the cooldown clock.
+
+A single success on the index path resets the consecutive-failure
+count, so isolated faults under chaos never trip it; only a genuinely
+broken index does.  ``threshold=0`` disables the breaker entirely.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with cooldown-gated probes."""
+
+    def __init__(
+        self,
+        threshold: int,
+        cooldown_s: float = 5.0,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        if cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be >= 0, got {cooldown_s}")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._consecutive = 0
+        self._open = False
+        self._last_probe = 0.0
+        self.trips = 0
+        self.failures = 0
+        self.successes = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold > 0
+
+    @property
+    def open(self) -> bool:
+        """Whether the breaker is currently tripped."""
+        return self._open
+
+    def record_success(self) -> None:
+        """An index-path request succeeded; close and reset."""
+        self.successes += 1
+        self._consecutive = 0
+        self._open = False
+
+    def record_failure(self) -> bool:
+        """An index-path request failed; returns True when this trips."""
+        self.failures += 1
+        self._consecutive += 1
+        if (
+            self.enabled
+            and not self._open
+            and self._consecutive >= self.threshold
+        ):
+            self._open = True
+            self.trips += 1
+            self._last_probe = self._clock()
+            return True
+        return False
+
+    def prefer_fallback(self) -> bool:
+        """Whether the next query should bypass the index.
+
+        ``False`` while closed (normal serving) and once per cooldown
+        while open (the probe that lets the breaker discover a healed
+        index).  Callers without a fallback can ignore this and keep
+        using the index; successes will close the breaker on their own.
+        """
+        if not self._open:
+            return False
+        now = self._clock()
+        if now - self._last_probe >= self.cooldown_s:
+            self._last_probe = now
+            return False  # probe: try the real index
+        return True
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-friendly breaker state for ``/health`` and ``/stats``."""
+        return {
+            "enabled": self.enabled,
+            "state": "open" if self._open else "closed",
+            "threshold": self.threshold,
+            "consecutive_failures": self._consecutive,
+            "failures": self.failures,
+            "successes": self.successes,
+            "trips": self.trips,
+        }

@@ -61,6 +61,10 @@ class ResultCache:
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
 
+    def clear(self) -> None:
+        """Drop every entry (hot reload: results may differ now)."""
+        self._entries.clear()
+
     def __len__(self) -> int:
         return len(self._entries)
 

@@ -21,12 +21,24 @@ every response must carry an ``X-Request-Id`` header, and with
 that the server must echo verbatim.  A missing or mismatched echo is
 counted in :attr:`LoadReport.id_errors` — a protocol error, because it
 means log records cannot be correlated with the responses users saw.
+
+**Fault tolerance.**  Queries are idempotent GETs, so the client may
+retry them freely.  A mid-response connection reset (the server died,
+or a chaos ``conn.reset`` fault fired) is recorded in
+:attr:`LoadReport.transport_errors`; the worker reconnects and resends
+whatever was in flight, so the replay continues.  With a
+:class:`RetryPolicy` the client additionally retries retryable
+failures (500/502/503/504 and transport errors) with capped
+exponential backoff and full jitter, honouring ``Retry-After`` on
+sheds; retries draw from a shared budget and exhausted requests are
+counted in :attr:`LoadReport.giveups`.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import random
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -40,7 +52,94 @@ Pair = Tuple[Vertex, Vertex]
 
 #: One decoded answer: (source, target, status, distance, count).
 #: ``distance`` is ``None`` for disconnected pairs and non-200 statuses.
+#: Status 0 marks a request that never got a response (transport
+#: failure after every permitted resend).
 Answer = Tuple[int, int, int, Optional[float], Optional[int]]
+
+#: Statuses worth retrying: the server said "not now" (shed, deadline)
+#: or crashed on this one request (scan failure) — never 4xx, which
+#: would fail identically on every attempt.
+RETRYABLE_STATUSES = frozenset({500, 502, 503, 504})
+
+#: Without a :class:`RetryPolicy`, how many times a request lost to a
+#: connection reset is resent before being reported as status 0.
+_TRANSPORT_RESENDS = 5
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client retry policy: capped exponential backoff with full jitter.
+
+    The delay before attempt ``n+1`` is drawn uniformly from
+    ``[0, min(max_delay_s, base_delay_s * 2**(n-1))]`` — full jitter,
+    the variant that decorrelates a thundering herd of retrying
+    clients.  A ``Retry-After`` header on a 503 acts as a floor when
+    ``honour_retry_after`` is set: the server's estimate of when
+    capacity frees up beats the client's guess.
+    """
+
+    #: Total attempts per request (first try included); 1 disables
+    #: status-based retries but keeps transport-reset resends.
+    max_attempts: int = 3
+    #: First backoff delay; doubles per attempt up to ``max_delay_s``.
+    base_delay_s: float = 0.05
+    max_delay_s: float = 1.0
+    #: Total retries allowed across the whole run, shared by every
+    #: worker (0 = unbounded).  Protects wall-clock under a server
+    #: that fails everything.
+    budget: int = 0
+    #: Deadline on each attempt's response read; 0 disables.  A timed
+    #: out attempt abandons the connection (its in-order stream is no
+    #: longer trustworthy) and counts as a transport error.
+    attempt_timeout_s: float = 0.0
+    #: Treat a 503 ``Retry-After`` header as a floor on the backoff.
+    honour_retry_after: bool = True
+    #: Seed of the jitter RNG (deterministic replays in tests).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("retry delays must be >= 0")
+        if self.budget < 0:
+            raise ValueError(f"budget must be >= 0, got {self.budget}")
+        if self.attempt_timeout_s < 0:
+            raise ValueError("attempt_timeout_s must be >= 0")
+
+    def delay_s(
+        self,
+        attempt: int,
+        rng: "random.Random",
+        retry_after: Optional[float] = None,
+    ) -> float:
+        """The backoff before retrying after (1-based) ``attempt``."""
+        cap = min(
+            self.max_delay_s, self.base_delay_s * (2 ** (attempt - 1))
+        )
+        delay = rng.uniform(0.0, cap)
+        if retry_after is not None and self.honour_retry_after:
+            delay = max(delay, retry_after)
+        return delay
+
+
+class _RetryBudget:
+    """Run-wide retry allowance shared across workers (single loop,
+    so a plain counter is race-free)."""
+
+    __slots__ = ("limit", "used")
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.used = 0
+
+    def take(self) -> bool:
+        if self.limit and self.used >= self.limit:
+            return False
+        self.used += 1
+        return True
 
 
 @dataclass
@@ -57,6 +156,14 @@ class LoadReport:
     #: Responses whose ``X-Request-Id`` echo was missing or did not
     #: match the id the client sent (correlation protocol errors).
     id_errors: int = 0
+    #: Connection-level failures survived (mid-response resets, refused
+    #: reconnects, per-attempt timeouts); each one cost a reconnect.
+    transport_errors: int = 0
+    #: Extra attempts spent by the :class:`RetryPolicy`.
+    retries: int = 0
+    #: Requests abandoned after exhausting attempts or the retry
+    #: budget (their final status still counts in the totals above).
+    giveups: int = 0
     latency: Histogram = field(
         default_factory=lambda: Histogram(LATENCY_BUCKETS_SECONDS)
     )
@@ -80,6 +187,13 @@ class LoadReport:
             return 0.0
         return self.ok / self.wall_seconds
 
+    @property
+    def availability(self) -> float:
+        """Fraction of requests answered 200 (1.0 before any request)."""
+        if self.num_requests <= 0:
+            return 1.0
+        return self.ok / self.num_requests
+
 
 def _classify(report: LoadReport, status: int) -> None:
     report.status_counts[status] = report.status_counts.get(status, 0) + 1
@@ -101,15 +215,18 @@ def split_strided(items: Sequence, ways: int) -> List[List]:
     return [list(items[lane::ways]) for lane in range(ways)]
 
 
-async def _read_response(reader) -> Tuple[int, Optional[str], bytes]:
-    """One ``(status, request id, body)`` with minimal per-response work.
+async def _read_response(
+    reader,
+) -> Tuple[int, Optional[str], Optional[float], bytes]:
+    """One ``(status, request id, retry-after, body)`` with minimal
+    per-response work.
 
     The load generator usually shares a core with the server under
     test, so client-side parsing cost shows up directly in measured
     QPS; this skips the header dict that
     :func:`repro.serve.http.read_raw_response` builds.  The server
-    always emits the canonical ``X-Request-Id:`` spelling, so an
-    exact-case find suffices here.
+    always emits the canonical ``X-Request-Id:`` / ``Retry-After:``
+    spellings, so exact-case finds suffice here.
     """
     head = await read_head(reader)
     if head is None:
@@ -128,12 +245,22 @@ async def _read_response(reader) -> Tuple[int, Optional[str], bytes]:
             .strip()
             .decode("latin-1")
         )
+    retry_after: Optional[float] = None
+    if status == 503:
+        mark = head.find(b"Retry-After:")
+        if mark >= 0:
+            try:
+                retry_after = float(
+                    head[mark + 12 : head.index(b"\r", mark)].strip()
+                )
+            except ValueError:
+                pass
     mark = head.find(b"Content-Length:")
     if mark < 0:
-        return status, rid, b""
+        return status, rid, retry_after, b""
     length = int(head[mark + 15 : head.index(b"\r", mark)])
     body = await reader.readexactly(length) if length else b""
-    return status, rid, body
+    return status, rid, retry_after, body
 
 
 async def _worker(
@@ -143,13 +270,17 @@ async def _worker(
     report: LoadReport,
     pipeline: int,
     send_request_ids: bool,
+    policy: Optional[RetryPolicy],
+    budget: Optional[_RetryBudget],
 ) -> None:
-    reader, writer = await asyncio.open_connection(host, port)
+    if not slots:
+        return
     # Request bytes are prebuilt so the timed loop spends its cycles on
     # the wire, not on string formatting (the client shares cores with
     # the server in tests and benchmarks).  Client ids are derived from
     # the global request slot, so they are deterministic per workload
-    # and unique across workers.
+    # and unique across workers — and stable across retries, so the
+    # server's log shows every attempt under one id.
     sent_ids = (
         [f"load-{slot:06x}" for slot, _ in slots]
         if send_request_ids
@@ -170,46 +301,136 @@ async def _worker(
     ]
     observe = report.latency.observe
     perf_counter = time.perf_counter
-    window: deque = deque()  # send times of in-flight requests, in order
-    sent = 0
+    rng = (
+        random.Random(f"{policy.seed}:{slots[0][0]}")
+        if policy is not None
+        else None
+    )
+    attempts = [0] * len(slots)  # responses received per lane
+    resends = [0] * len(slots)  # transport-loss resends per lane
+    pending: deque = deque(range(len(slots)))
+    window: deque = deque()  # (lane idx, send time) of in-flight sends
+    timeout_s = policy.attempt_timeout_s if policy is not None else 0.0
+
+    def record(lane_idx: int, status: int, body: bytes) -> None:
+        slot, (source, target) = slots[lane_idx]
+        if report.results is None:
+            return
+        payload = json.loads(body) if body else None
+        if status == 200 and isinstance(payload, dict):
+            report.results[slot] = (
+                source,
+                target,
+                status,
+                payload.get("distance"),
+                payload.get("count"),
+            )
+        else:
+            report.results[slot] = (source, target, status, None, None)
+
+    def drop_inflight() -> None:
+        """The connection died: requeue what it still owed us.
+
+        Idempotent GETs are safe to resend.  Each lost request burns
+        one resend (or, with a policy, one attempt); a request out of
+        headroom is reported as status 0 — it never got an answer.
+        """
+        while window:
+            lane_idx, _ = window.popleft()
+            if policy is not None:
+                attempts[lane_idx] += 1
+                if (
+                    attempts[lane_idx] < policy.max_attempts
+                    and budget is not None
+                    and budget.take()
+                ):
+                    report.retries += 1
+                    pending.appendleft(lane_idx)
+                    continue
+                report.giveups += 1
+            elif resends[lane_idx] < _TRANSPORT_RESENDS:
+                resends[lane_idx] += 1
+                pending.appendleft(lane_idx)
+                continue
+            _classify(report, 0)
+            record(lane_idx, 0, b"")
+
+    reader = writer = None
+
+    async def reconnect() -> None:
+        nonlocal reader, writer
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        if policy is not None and rng is not None:
+            # Back off before hammering a server that just dropped us.
+            await asyncio.sleep(policy.delay_s(1, rng))
+        reader, writer = await asyncio.open_connection(host, port)
+
     try:
-        for lane_idx, (slot, (source, target)) in enumerate(slots):
-            # Sliding window: keep up to ``pipeline`` requests on the
-            # wire; responses come back in order on the connection.
-            while sent < len(slots) and len(window) < pipeline:
-                writer.write(requests[sent])
-                window.append(perf_counter())
-                sent += 1
-            await writer.drain()
-            status, rid, body = await _read_response(reader)
-            observe(perf_counter() - window.popleft())
+        reader, writer = await asyncio.open_connection(host, port)
+        while pending or window:
+            while pending and len(window) < pipeline:
+                lane_idx = pending.popleft()
+                writer.write(requests[lane_idx])
+                window.append((lane_idx, perf_counter()))
+            try:
+                await writer.drain()
+                if timeout_s > 0:
+                    response = await asyncio.wait_for(
+                        _read_response(reader), timeout_s
+                    )
+                else:
+                    response = await _read_response(reader)
+            except (
+                asyncio.TimeoutError,
+                asyncio.IncompleteReadError,
+                HTTPProtocolError,
+                ConnectionError,
+                OSError,
+            ):
+                report.transport_errors += 1
+                drop_inflight()
+                if pending or window:
+                    await reconnect()
+                continue
+            status, rid, retry_after, body = response
+            lane_idx, sent_at = window.popleft()
+            observe(perf_counter() - sent_at)
+            attempts[lane_idx] += 1
+            if (
+                policy is not None
+                and status in RETRYABLE_STATUSES
+                and attempts[lane_idx] < policy.max_attempts
+                and budget is not None
+                and budget.take()
+            ):
+                report.retries += 1
+                await asyncio.sleep(
+                    policy.delay_s(attempts[lane_idx], rng, retry_after)
+                )
+                pending.appendleft(lane_idx)
+                continue
+            if policy is not None and status in RETRYABLE_STATUSES:
+                report.giveups += 1
             _classify(report, status)
             if rid is None or (
                 sent_ids is not None and rid != sent_ids[lane_idx]
             ):
                 report.id_errors += 1
             if report.request_ids is not None:
-                report.request_ids[slot] = rid
-            if report.results is not None:
-                payload = json.loads(body) if body else None
-                if status == 200 and isinstance(payload, dict):
-                    report.results[slot] = (
-                        source,
-                        target,
-                        status,
-                        payload.get("distance"),
-                        payload.get("count"),
-                    )
-                else:
-                    report.results[slot] = (
-                        source, target, status, None, None
-                    )
+                report.request_ids[slots[lane_idx][0]] = rid
+            record(lane_idx, status, body)
     finally:
-        writer.close()
-        try:
-            await writer.wait_closed()
-        except (ConnectionError, OSError):
-            pass
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
 
 
 async def run_workload(
@@ -222,6 +443,7 @@ async def run_workload(
     pipeline: int = 1,
     collect_results: bool = False,
     send_request_ids: bool = False,
+    retry: Optional[RetryPolicy] = None,
 ) -> LoadReport:
     """Replay ``pairs`` (``repeats`` times) against a running server.
 
@@ -234,6 +456,10 @@ async def run_workload(
     With ``send_request_ids=True`` each request carries a
     deterministic ``X-Request-Id`` (``load-<slot hex>``) that the
     server must echo; see :attr:`LoadReport.id_errors`.
+
+    ``retry`` enables status-based retries (see :class:`RetryPolicy`);
+    without it, only connection losses are resent (bounded per slot)
+    and every other status is reported as-is.
     """
     requests: List[Pair] = list(pairs) * max(1, repeats)
     concurrency = max(1, min(concurrency, len(requests) or 1))
@@ -248,10 +474,14 @@ async def run_workload(
     )
     lanes = split_strided(list(enumerate(requests)), concurrency)
     pipeline = max(1, pipeline)
+    budget = _RetryBudget(retry.budget) if retry is not None else None
     started = time.perf_counter()
     await asyncio.gather(
         *(
-            _worker(host, port, lane, report, pipeline, send_request_ids)
+            _worker(
+                host, port, lane, report, pipeline,
+                send_request_ids, retry, budget,
+            )
             for lane in lanes
             if lane
         )
@@ -270,6 +500,7 @@ def replay(
     pipeline: int = 1,
     collect_results: bool = False,
     send_request_ids: bool = False,
+    retry: Optional[RetryPolicy] = None,
 ) -> LoadReport:
     """Synchronous wrapper around :func:`run_workload`."""
     return asyncio.run(
@@ -282,5 +513,6 @@ def replay(
             pipeline=pipeline,
             collect_results=collect_results,
             send_request_ids=send_request_ids,
+            retry=retry,
         )
     )

@@ -61,10 +61,12 @@ class MicroBatcher:
         max_wait_us: int = 1000,
         recorder=NULL_RECORDER,
         executor=None,
+        fault_plan=None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         self._index = index
+        self._fault_plan = fault_plan
         self.max_batch = max_batch
         self.max_wait_s = max(0, max_wait_us) / 1e6
         self._recorder = recorder
@@ -81,6 +83,14 @@ class MicroBatcher:
     def pending_count(self) -> int:
         """Submissions waiting for the current window to flush."""
         return len(self._pending)
+
+    def swap_index(self, index) -> None:
+        """Atomically serve subsequent batches from ``index``.
+
+        Hot reload: in-flight scans keep the old object alive until
+        their batch resolves, so no submission is ever dropped.
+        """
+        self._index = index
 
     def submit(
         self,
@@ -153,6 +163,8 @@ class MicroBatcher:
                 meta["batch_size"] = len(pairs)
                 meta["flush_reason"] = reason
         try:
+            if self._fault_plan is not None:
+                self._fault_plan.check("flush.fail")
             if self._executor is None:
                 results = self._index.query_batch(pairs)
             else:
@@ -168,12 +180,12 @@ class MicroBatcher:
                     results.append(self._index.query(source, target))
                 except ReproError as exc:
                     results.append(exc)
-        except Exception as exc:  # unexpected: surface to every waiter
-            self._scans_inflight -= 1
-            for _, _, future, _ in batch:
-                if not future.done():
-                    future.set_exception(exc)
-            raise
+        except Exception:
+            # Infrastructure crash (dead executor, injected fault,
+            # corrupt read): isolate-and-retry each pair singly once,
+            # so one bad scan never fails the batch's other requests.
+            rec.incr("serve.batch.isolated")
+            results = await self._retry_singly(pairs)
         self._scans_inflight -= 1
         scan_s = time.perf_counter() - started
         rec.observe("serve.batch.seconds", scan_s)
@@ -182,13 +194,36 @@ class MicroBatcher:
                 meta["scan_s"] = scan_s
             if future.done():
                 continue  # waiter gave up (deadline) — drop the answer
-            if isinstance(result, ReproError):
+            if isinstance(result, BaseException):
                 future.set_exception(result)
             else:
                 future.set_result(result)
         # Everything that arrived during the scan forms the next window.
         if self._pending and self._scans_inflight == 0:
             self._flush("afterscan")
+
+    async def _retry_singly(self, pairs) -> List[object]:
+        """The isolation retry: one ``query`` per pair, errors kept
+        in-place so only the still-failing submissions error out."""
+        loop = asyncio.get_running_loop()
+        rec = self._recorder
+        results: List[object] = []
+        for source, target in pairs:
+            try:
+                if self._executor is None:
+                    results.append(self._index.query(source, target))
+                else:
+                    results.append(
+                        await loop.run_in_executor(
+                            self._executor, self._index.query,
+                            source, target,
+                        )
+                    )
+                rec.incr("serve.batch.retry_ok")
+            except Exception as exc:
+                rec.incr("serve.batch.retry_failed")
+                results.append(exc)
+        return results
 
     async def drain(self) -> None:
         """Flush the open window and wait for every in-flight batch."""

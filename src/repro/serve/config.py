@@ -64,6 +64,14 @@ class ServeConfig:
     #: Readiness objective: degrade when the windowed error rate
     #: exceeds this fraction (0 disables the objective).
     slo_error_rate: float = 0.0
+    #: Trip the scan circuit breaker after this many *consecutive*
+    #: request failures on the index path (0 disables the breaker).
+    #: While open, ``/health`` degrades and queries route to the
+    #: fallback index when one is configured.
+    breaker_threshold: int = 10
+    #: Seconds between index probes while the breaker is open; a
+    #: successful probe closes it.
+    breaker_cooldown_s: float = 5.0
     #: CPython thread switch interval (``sys.setswitchinterval``)
     #: applied while the server runs; 0 leaves the process default.
     #: The event loop and the scan worker hand the GIL back and forth
@@ -100,3 +108,7 @@ class ServeConfig:
             raise ServeConfigError("slo_error_rate must be in [0, 1]")
         if self.switch_interval_s < 0:
             raise ServeConfigError("switch_interval_s must be >= 0")
+        if self.breaker_threshold < 0:
+            raise ServeConfigError("breaker_threshold must be >= 0")
+        if self.breaker_cooldown_s < 0:
+            raise ServeConfigError("breaker_cooldown_s must be >= 0")

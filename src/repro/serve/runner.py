@@ -29,10 +29,12 @@ class ServerThread:
         config: Optional[ServeConfig] = None,
         *,
         recorder: Optional[Recorder] = None,
+        **server_kwargs,
     ) -> None:
         self._index = index
         self._config = config or ServeConfig(port=0)
         self._recorder = recorder
+        self._server_kwargs = server_kwargs
         self.server: Optional[SPCServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._ready = threading.Event()
@@ -73,7 +75,10 @@ class ServerThread:
 
     async def _main(self) -> None:
         self.server = SPCServer(
-            self._index, self._config, recorder=self._recorder
+            self._index,
+            self._config,
+            recorder=self._recorder,
+            **self._server_kwargs,
         )
         await self.server.start()
         self._loop = asyncio.get_running_loop()

@@ -54,7 +54,9 @@ from typing import List, Optional, Sequence, Tuple
 from collections import deque
 
 from repro.exceptions import ReproError
+from repro.faults import FaultyIndex
 from repro.obs import (
+    NULL_RECORDER,
     PROMETHEUS_CONTENT_TYPE,
     Recorder,
     RequestIdGenerator,
@@ -63,6 +65,7 @@ from repro.obs import (
     SloWindow,
     render_prometheus,
 )
+from repro.serve.breaker import CircuitBreaker
 from repro.serve.cache import ResultCache
 from repro.serve.coalescer import MicroBatcher
 from repro.serve.config import ServeConfig
@@ -105,12 +108,12 @@ class _Waiter:
 
     __slots__ = (
         "server", "future", "source", "target", "rid", "started",
-        "meta", "explain",
+        "meta", "explain", "fallback",
     )
 
     def __init__(
         self, server, future, source, target, rid, started, meta,
-        explain,
+        explain, fallback=False,
     ):
         self.server = server
         self.future = future
@@ -120,6 +123,7 @@ class _Waiter:
         self.started = started
         self.meta = meta
         self.explain = explain
+        self.fallback = fallback
 
     def __await__(self):
         return self.server._finish(self).__await__()
@@ -171,24 +175,52 @@ class SPCServer:
         *,
         recorder: Optional[Recorder] = None,
         request_log: Optional[RequestLog] = None,
+        fallback=None,
+        fault_plan=None,
+        index_path: Optional[str] = None,
     ) -> None:
-        self.index = index
         self.config = config or ServeConfig()
         self.recorder = recorder if recorder is not None else Recorder()
+        self.fault_plan = fault_plan
+        if fault_plan is not None and fault_plan.recorder is NULL_RECORDER:
+            fault_plan.recorder = self.recorder
+        if fault_plan is not None and fault_plan.targets(
+            "scan.fail", "scan.slow"
+        ):
+            index = FaultyIndex(index, fault_plan)
+        self.index = index
+        #: Optional degraded-mode index (typically
+        #: :class:`repro.baselines.online.OnlineSPC`): correct but slow
+        #: answers while the circuit breaker holds the scan path open.
+        self.fallback = fallback
+        #: Where the served index was loaded from; ``SIGHUP`` and
+        #: ``POST /admin/reload`` re-load and hot-swap from here.
+        self.index_path = str(index_path) if index_path is not None else None
+        self.breaker = CircuitBreaker(
+            self.config.breaker_threshold, self.config.breaker_cooldown_s
+        )
         self.cache = ResultCache(
             self.config.cache_size, recorder=self.recorder
         )
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="spc-scan"
         )
+        self._fallback_executor: Optional[ThreadPoolExecutor] = (
+            ThreadPoolExecutor(
+                max_workers=2, thread_name_prefix="spc-fallback"
+            )
+            if fallback is not None
+            else None
+        )
         self.batcher: Optional[MicroBatcher] = None
         if self.config.coalesce:
             self.batcher = MicroBatcher(
-                index,
+                self.index,
                 max_batch=self.config.max_batch,
                 max_wait_us=self.config.max_wait_us,
                 recorder=self.recorder,
                 executor=self._executor,
+                fault_plan=fault_plan,
             )
         self._ids = RequestIdGenerator()
         self.request_log = request_log
@@ -255,7 +287,13 @@ class SPCServer:
     def install_signal_handlers(
         self, signals: Sequence[int] = (signal.SIGTERM, signal.SIGINT)
     ) -> None:
-        """Trigger a graceful drain when the process is asked to stop."""
+        """Trigger a graceful drain when the process is asked to stop.
+
+        Also installs a ``SIGHUP`` handler (where the platform has one)
+        that hot-reloads the index from :attr:`index_path` — the
+        operational idiom for swapping in a freshly built index with
+        zero downtime.
+        """
         loop = asyncio.get_running_loop()
         for signum in signals:
             try:
@@ -265,6 +303,81 @@ class SPCServer:
                 )
             except NotImplementedError:  # non-unix event loops
                 return
+        if hasattr(signal, "SIGHUP") and self.index_path is not None:
+            try:
+                loop.add_signal_handler(
+                    signal.SIGHUP,
+                    lambda: loop.create_task(self._reload_quietly()),
+                )
+            except NotImplementedError:
+                return
+
+    async def _reload_quietly(self) -> None:
+        """SIGHUP reload: failures are logged, never fatal."""
+        try:
+            await self.reload_index()
+        except Exception as exc:
+            if self.request_log is not None:
+                self.request_log.log_server("reload_failed", error=str(exc))
+
+    async def reload_index(self, path: Optional[str] = None) -> dict:
+        """Hot-swap a freshly validated index loaded from ``path``.
+
+        The load (and its full checksum validation for v3 files) runs
+        on a side thread; the swap itself happens on the event loop in
+        one step, so in-flight batches finish against the old index
+        object while new submissions see the new one — zero requests
+        dropped.  The result cache is cleared (answers may differ) and
+        the circuit breaker resets.  Raises on any load/validation
+        failure, leaving the previous index serving untouched.
+        """
+        from repro.core.serialize import load_index
+
+        path = path or self.index_path
+        if path is None:
+            raise ReproError(
+                "no index path to reload from (server was started with "
+                "an in-memory index)"
+            )
+
+        def _load():
+            if self.fault_plan is not None:
+                self.fault_plan.check("index.load")
+            index = load_index(path)
+            index.stats()  # structural sanity before it may serve
+            return index
+
+        started = time.perf_counter()
+        try:
+            new_index = await asyncio.get_running_loop().run_in_executor(
+                None, _load
+            )
+        except Exception:
+            self.recorder.incr("serve.reload.failed")
+            raise
+        if self.fault_plan is not None and self.fault_plan.targets(
+            "scan.fail", "scan.slow"
+        ):
+            new_index = FaultyIndex(new_index, self.fault_plan)
+        self.index = new_index
+        if self.batcher is not None:
+            self.batcher.swap_index(new_index)
+        self.cache.clear()
+        self._index_meta = None
+        self.breaker.record_success()
+        self.index_path = str(path)
+        elapsed = time.perf_counter() - started
+        self.recorder.incr("serve.reload.count")
+        info = {
+            "path": str(path),
+            "index": type(new_index).__name__
+            if not isinstance(new_index, FaultyIndex)
+            else type(new_index.inner).__name__,
+            "seconds": elapsed,
+        }
+        if self.request_log is not None:
+            self.request_log.log_server("reload", **info)
+        return info
 
     async def wait_stopped(self) -> None:
         """Block until a drain has fully completed."""
@@ -296,6 +409,8 @@ class SPCServer:
         if self.batcher is not None:
             await self.batcher.drain()
         self._executor.shutdown(wait=True)
+        if self._fallback_executor is not None:
+            self._fallback_executor.shutdown(wait=True)
         self._drain_request_log(force=True, inline=True)
         if self.request_log is not None:
             self.request_log.log_server("drain")
@@ -413,14 +528,30 @@ class SPCServer:
                 )
             if broken:
                 continue  # keep consuming so computations are awaited
-            buf.append(
-                response_bytes(
-                    status,
-                    payload,
-                    keep_alive=keep_alive,
-                    extra_headers=extra,
-                )
+            encoded = response_bytes(
+                status,
+                payload,
+                keep_alive=keep_alive,
+                extra_headers=extra,
             )
+            plan = self.fault_plan
+            if plan is not None and plan.should_fire("conn.reset"):
+                # Chaos: ship any finished responses plus *half* of
+                # this one, then hard-abort the socket — the exact
+                # mid-response reset the client retry policy must
+                # survive.
+                self.recorder.incr("serve.errors.injected_reset")
+                try:
+                    writer.write(
+                        b"".join(buf) + encoded[: max(1, len(encoded) // 2)]
+                    )
+                    writer.transport.abort()
+                except (ConnectionError, OSError):
+                    pass
+                buf.clear()
+                broken = True
+                continue
+            buf.append(encoded)
             if not out:  # burst over: one write + drain for the lot
                 try:
                     writer.write(b"".join(buf))
@@ -547,8 +678,8 @@ class SPCServer:
         try:
             stats = self.index.query_with_stats(source, target)
             counters["labels_scanned"] = stats.visited_labels
-        except (ReproError, AttributeError):
-            pass
+        except Exception:  # diagnostic only — a broken index (the
+            pass          # reason we fell back) must not fail explain
         tree = getattr(self.index, "tree", None)
         if tree is not None:
             try:
@@ -558,6 +689,8 @@ class SPCServer:
             except (KeyError, AttributeError):
                 pass
         if meta:
+            if meta.get("fallback"):
+                counters["fallback"] = True
             if "batch_size" in meta:
                 counters["batch_size"] = meta["batch_size"]
                 counters["flush_reason"] = meta.get("flush_reason")
@@ -620,6 +753,8 @@ class SPCServer:
         rid = request.headers.get("x-request-id") or self._ids.next_id()
         if request.path == "/query":
             return self._dispatch_query(request, rid)
+        if request.path == "/admin/reload":
+            return self._handle_reload(request, rid)
         started = time.perf_counter()
         if request.path == "/health":
             status, payload, extra = self._handle_health()
@@ -667,10 +802,52 @@ class SPCServer:
         status, breaches = self.slo_policy.evaluate(window)
         return status, breaches, window
 
+    async def _handle_reload(self, request: Request, rid: str) -> Response:
+        """``POST /admin/reload``: hot-swap the index from disk.
+
+        With a JSON body ``{"path": "..."}`` the swap loads that file
+        (and it becomes the new :attr:`index_path`); without one, the
+        path the server was started from is re-read.  A failed load —
+        missing file, corrupt checksums, wrong format — returns 409 and
+        leaves the previous index serving.
+        """
+        started = time.perf_counter()
+        if request.method != "POST":
+            return self._finish_request(
+                405,
+                {"error": "reload requires POST"},
+                (("Allow", "POST"),),
+                rid=rid, started=started, method=request.method,
+                path="/admin/reload", track_slo=False,
+            )
+        error = None
+        try:
+            body = request.json()
+            path = (
+                body.get("path") if isinstance(body, dict) else None
+            )
+            info = await self.reload_index(path)
+            status, payload = 200, {"reloaded": True, **info}
+        except Exception as exc:
+            error = str(exc) or type(exc).__name__
+            status, payload = 409, {"reloaded": False, "error": error}
+        return self._finish_request(
+            status, payload, (),
+            rid=rid, started=started, method="POST",
+            path="/admin/reload", error=error, track_slo=False,
+        )
+
     def _handle_health(self) -> Response:
         slo_status, breaches, _ = self._slo_state()
+        if self.breaker.open:
+            breaches = list(breaches) + ["circuit_open"]
         if self._draining:
             status_text, http_status = "draining", 503
+        elif self.breaker.open:
+            # Degraded, but still answering: with a fallback configured
+            # queries keep flowing (slowly), so readiness — not
+            # liveness — is what flips.
+            status_text, http_status = "degraded", 503
         elif slo_status == "degraded":
             status_text, http_status = "degraded", 503
         else:
@@ -681,6 +858,11 @@ class SPCServer:
             "inflight": self._inflight,
             "uptime_seconds": time.perf_counter() - self._started_at,
             "slo": {"status": slo_status, "breaches": breaches},
+            "breaker": self.breaker.snapshot(),
+            "fallback": {
+                "configured": self.fallback is not None,
+                "active": self.fallback is not None and self.breaker.open,
+            },
         }
         return http_status, payload, ()
 
@@ -720,8 +902,11 @@ class SPCServer:
                 "max_error_rate": self.slo_policy.max_error_rate or None,
             },
             "cache": self.cache.snapshot(),
+            "breaker": self.breaker.snapshot(),
             "uptime_seconds": time.perf_counter() - self._started_at,
         }
+        if self.fault_plan is not None:
+            payload["faults"] = self.fault_plan.snapshot()
         if self.batcher is not None:
             payload["batcher"] = {
                 "batches_flushed": self.batcher.batches_flushed,
@@ -916,15 +1101,17 @@ class SPCServer:
         meta = (
             {} if (explain or self.request_log is not None) else None
         )
+        future, via_fallback = self._compute(source, target, meta)
         return _Waiter(
             self,
-            self._compute(source, target, meta),
+            future,
             source,
             target,
             rid,
             started,
             meta,
             explain,
+            via_fallback,
         )
 
     async def _answer_pairs(
@@ -996,6 +1183,8 @@ class SPCServer:
         except ReproError as exc:
             self.recorder.incr("serve.errors.query")
             return self._query_error(w, exc)
+        except Exception as exc:  # noqa: BLE001 — scan-path crash
+            return self._scan_failure(w, exc)
         finally:
             self._inflight -= 1
             self.recorder.observe(
@@ -1018,7 +1207,7 @@ class SPCServer:
             if isinstance(exc, ReproError):
                 self.recorder.incr("serve.errors.query")
                 return self._query_error(w, exc)
-            raise exc  # the write loop's 500 handler takes it
+            return self._scan_failure(w, exc)
         return self._finish_ok(w, w.future.result())
 
     def _query_error(self, w: "_Waiter", exc: ReproError) -> Response:
@@ -1034,9 +1223,44 @@ class SPCServer:
             error=str(exc),
         )
 
+    def _scan_failure(self, w: "_Waiter", exc: Exception) -> Response:
+        """A scan-path crash (not a client error): 500, count it
+        against the circuit breaker, batch-mates unaffected."""
+        self.recorder.incr("serve.errors.scan")
+        detail = str(exc) or type(exc).__name__
+        if self.breaker.record_failure():
+            self.recorder.incr("serve.breaker.trips")
+            if self.request_log is not None:
+                self.request_log.log_server(
+                    "breaker_open",
+                    consecutive_failures=self.breaker.threshold,
+                    last_error=detail,
+                )
+        return self._finish_request(
+            500,
+            {
+                "error": "scan failed",
+                "source": w.source,
+                "target": w.target,
+            },
+            (),
+            rid=w.rid,
+            started=w.started,
+            source=w.source,
+            target=w.target,
+            meta=w.meta,
+            error=detail,
+        )
+
     def _finish_ok(self, w: "_Waiter", result: QueryResult) -> Response:
         self.cache.put(w.source, w.target, result)
         self.recorder.incr("serve.responses.ok")
+        if w.fallback:
+            # Fallback answers must not mask a broken index: only
+            # index-path successes close the breaker.
+            self.recorder.incr("serve.fallback.ok")
+        else:
+            self.breaker.record_success()
         # A disabled cache performs no lookup — don't count one.
         cache_hit = False if self.cache.capacity else None
         labels_scanned = None
@@ -1065,13 +1289,30 @@ class SPCServer:
 
     def _compute(
         self, source: int, target: int, meta: Optional[dict]
-    ) -> "asyncio.Future":
-        """One answer through the batcher (or the uncoalesced path)."""
+    ) -> Tuple["asyncio.Future", bool]:
+        """One answer future, plus whether it rides the fallback.
+
+        With the breaker open and a fallback index configured, queries
+        route to the fallback's own executor (correct but slow) — the
+        breaker still lets one probe per cooldown through the real
+        index so it can close itself once the index heals.
+        """
+        if self.fallback is not None and self.breaker.prefer_fallback():
+            self.recorder.incr("serve.fallback.queries")
+            if meta is not None:
+                meta["batch_size"] = 1
+                meta["flush_reason"] = "fallback"
+                meta["fallback"] = True
+            future = asyncio.get_running_loop().run_in_executor(
+                self._fallback_executor, self.fallback.query, source, target
+            )
+            return future, True
         if self.batcher is not None:
-            return self.batcher.submit(source, target, meta)
+            return self.batcher.submit(source, target, meta), False
         if meta is not None:
             meta["batch_size"] = 1
             meta["flush_reason"] = "uncoalesced"
-        return asyncio.get_running_loop().run_in_executor(
+        future = asyncio.get_running_loop().run_in_executor(
             self._executor, self.index.query, source, target
         )
+        return future, False

@@ -1,0 +1,168 @@
+"""Crash-safety and corruption-detection tests for the v3 container.
+
+The v3 binary format carries per-section CRC32 checksums and a
+total-length footer; these tests pin the two operational guarantees
+built on top of it: *no* single-byte corruption or truncation loads
+silently, and an interrupted ``save_index`` never clobbers the
+previous file.
+"""
+
+import pytest
+
+from repro.core.ctls import CTLSIndex
+from repro.core.serialize import load_index, save_index, verify_index_file
+from repro.exceptions import IndexCorruptError, SerializationError
+from repro.graph.generators import grid_graph
+
+SECTIONS = ("header", "vertices", "offsets", "dist", "count")
+
+
+@pytest.fixture(scope="module")
+def index():
+    return CTLSIndex.build(grid_graph(5, 5))
+
+
+@pytest.fixture
+def v3_file(index, tmp_path):
+    path = tmp_path / "index.bin"
+    save_index(index, path, format="binary")
+    return path
+
+
+def pairs():
+    return [(0, 24), (3, 21), (7, 7), (0, 1)]
+
+
+def test_v3_magic_and_round_trip(v3_file, index):
+    assert v3_file.read_bytes()[:8] == b"RSPCIDX3"
+    loaded = load_index(v3_file)
+    assert loaded.arena == index.arena
+    assert loaded.query_batch(pairs()) == index.query_batch(pairs())
+
+
+def test_v2_writes_and_still_loads(tmp_path, index):
+    path = tmp_path / "index.v2"
+    save_index(index, path, format="binary-v2")
+    assert path.read_bytes()[:8] == b"RSPCIDX2"
+    assert load_index(path).arena == index.arena
+
+
+def test_single_byte_flips_always_detected(v3_file):
+    # Property-style sweep: flip one byte at ~100 sampled offsets
+    # (always including the last byte, i.e. the end marker) — every
+    # flip must be rejected, and flips past the magic must surface as
+    # a typed IndexCorruptError naming a real section.
+    data = v3_file.read_bytes()
+    step = max(1, len(data) // 97)
+    offsets = sorted(set(range(0, len(data), step)) | {8, len(data) - 1})
+    for offset in offsets:
+        corrupted = bytearray(data)
+        corrupted[offset] ^= 0x40
+        v3_file.write_bytes(bytes(corrupted))
+        with pytest.raises(SerializationError) as excinfo:
+            load_index(v3_file)
+        if offset >= 8:  # inside-magic flips fail format sniffing
+            assert isinstance(excinfo.value, IndexCorruptError), (
+                f"offset {offset}: expected a typed corruption error"
+            )
+            assert excinfo.value.section in SECTIONS + ("file", "footer"), (
+                f"offset {offset}: bad section {excinfo.value.section!r}"
+            )
+
+
+@pytest.mark.parametrize("keep", [0.0, 0.1, 0.5, 0.95])
+def test_truncated_v3_rejected(v3_file, keep):
+    data = v3_file.read_bytes()
+    v3_file.write_bytes(data[: int(len(data) * keep)])
+    with pytest.raises(IndexCorruptError) as excinfo:
+        load_index(v3_file)
+    assert excinfo.value.path == str(v3_file)
+    assert str(v3_file) in str(excinfo.value)
+
+
+@pytest.mark.parametrize("keep", [0.0, 0.1, 0.5, 0.95])
+def test_truncated_v2_rejected(tmp_path, index, keep):
+    # Regression: the v2 loader (no checksums) must still catch every
+    # truncation through its structural size checks.
+    path = tmp_path / "index.v2"
+    save_index(index, path, format="binary-v2")
+    data = path.read_bytes()
+    path.write_bytes(data[: int(len(data) * keep)])
+    with pytest.raises(IndexCorruptError) as excinfo:
+        load_index(path)
+    assert excinfo.value.path == str(path)
+
+
+def test_zero_byte_file_is_typed_error(tmp_path):
+    path = tmp_path / "empty.bin"
+    path.write_bytes(b"")
+    with pytest.raises(IndexCorruptError) as excinfo:
+        load_index(path)
+    assert excinfo.value.section == "file"
+    assert str(path) in str(excinfo.value)
+
+
+def test_truncation_error_reports_sizes(v3_file):
+    data = v3_file.read_bytes()
+    v3_file.write_bytes(data[: len(data) - 1])
+    with pytest.raises(IndexCorruptError) as excinfo:
+        load_index(v3_file)
+    err = excinfo.value
+    assert err.expected is not None and err.actual is not None
+
+
+def test_interrupted_save_preserves_previous_file(
+    v3_file, index, monkeypatch
+):
+    import repro.core.serialize as serialize
+
+    before = v3_file.read_bytes()
+
+    def crash(src, dst):
+        raise OSError("simulated crash before rename")
+
+    monkeypatch.setattr(serialize.os, "replace", crash)
+    with pytest.raises(OSError):
+        save_index(index, v3_file, format="binary")
+    monkeypatch.undo()
+    assert v3_file.read_bytes() == before, "previous index was clobbered"
+    leftovers = [
+        p for p in v3_file.parent.iterdir() if ".tmp-" in p.name
+    ]
+    assert not leftovers, f"temp files left behind: {leftovers}"
+    assert load_index(v3_file).arena == index.arena
+
+
+def test_rejected_object_preserves_previous_file(v3_file):
+    before = v3_file.read_bytes()
+    with pytest.raises(SerializationError):
+        save_index(object(), v3_file, format="binary")
+    assert v3_file.read_bytes() == before
+
+
+def test_save_overwrites_atomically(v3_file, index):
+    # Re-saving over a live file goes through rename, so the target is
+    # always either the old complete file or the new complete file.
+    save_index(index, v3_file, format="binary")
+    assert load_index(v3_file).arena == index.arena
+
+
+def test_verify_reports_every_section_ok(v3_file):
+    report = verify_index_file(v3_file)
+    assert [name for name, _, _ in report] == list(SECTIONS)
+    assert all(ok for _, ok, _ in report)
+
+
+def test_verify_names_the_corrupt_section(v3_file):
+    data = bytearray(v3_file.read_bytes())
+    data[-60] ^= 0xFF  # inside the count section, ahead of the footer
+    v3_file.write_bytes(bytes(data))
+    report = verify_index_file(v3_file)
+    assert [name for name, ok, _ in report if not ok] == ["count"]
+
+
+def test_verify_handles_structurally_broken_files(tmp_path):
+    path = tmp_path / "junk.bin"
+    path.write_bytes(b"RSPCIDX3 definitely not a real index")
+    report = verify_index_file(path)
+    assert report and not all(ok for _, ok, _ in report)

@@ -1,0 +1,75 @@
+"""Unit tests for the scan-path circuit breaker."""
+
+import pytest
+
+from repro.serve.breaker import CircuitBreaker
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_trips_after_consecutive_failures():
+    breaker = CircuitBreaker(3, 5.0, clock=_Clock())
+    assert not breaker.open
+    assert breaker.record_failure() is False
+    assert breaker.record_failure() is False
+    assert breaker.record_failure() is True  # the trip
+    assert breaker.open
+    assert breaker.trips == 1
+    assert breaker.record_failure() is False  # already open: no re-trip
+
+
+def test_success_resets_the_streak():
+    breaker = CircuitBreaker(3, clock=_Clock())
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()
+    # Isolated faults interleaved with successes never trip it.
+    assert breaker.record_failure() is False
+    assert not breaker.open
+
+
+def test_probe_once_per_cooldown():
+    clock = _Clock()
+    breaker = CircuitBreaker(1, 5.0, clock=clock)
+    breaker.record_failure()
+    assert breaker.open
+    assert breaker.prefer_fallback() is True  # still cooling down
+    clock.now = 6.0
+    assert breaker.prefer_fallback() is False  # the probe
+    assert breaker.prefer_fallback() is True  # only one per window
+    breaker.record_success()  # the probe came back healthy
+    assert not breaker.open
+    assert breaker.prefer_fallback() is False
+
+
+def test_threshold_zero_disables():
+    breaker = CircuitBreaker(0)
+    for _ in range(100):
+        breaker.record_failure()
+    assert not breaker.enabled
+    assert not breaker.open
+    assert breaker.prefer_fallback() is False
+
+
+def test_snapshot_shape():
+    breaker = CircuitBreaker(2)
+    breaker.record_failure()
+    snap = breaker.snapshot()
+    assert snap["state"] == "closed"
+    assert snap["consecutive_failures"] == 1
+    assert snap["threshold"] == 2
+    breaker.record_failure()
+    assert breaker.snapshot()["state"] == "open"
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CircuitBreaker(-1)
+    with pytest.raises(ValueError):
+        CircuitBreaker(1, -0.5)

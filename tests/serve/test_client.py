@@ -1,6 +1,19 @@
-"""Load-generator unit behavior: lane splitting, classification."""
+"""Load-generator unit behavior: lane splitting, classification,
+retry policy, and transport-error recovery (against a scripted HTTP
+stub, so every failure shape is exact and deterministic)."""
 
-from repro.serve.client import LoadReport, _classify, split_strided
+import asyncio
+import random
+
+import pytest
+
+from repro.serve.client import (
+    LoadReport,
+    RetryPolicy,
+    _classify,
+    run_workload,
+    split_strided,
+)
 
 
 def test_split_strided_deals_round_robin():
@@ -30,3 +43,161 @@ def test_zero_wall_seconds_guard():
     report = LoadReport(num_requests=0, concurrency=1, wall_seconds=0.0)
     assert report.qps == 0.0
     assert report.goodput == 0.0
+    assert report.availability == 1.0
+
+
+def test_availability_is_ok_fraction():
+    report = LoadReport(
+        num_requests=10, concurrency=1, wall_seconds=1.0, ok=9
+    )
+    assert report.availability == 0.9
+
+
+# ----------------------------------------------------------------------
+# retry policy
+# ----------------------------------------------------------------------
+def test_retry_policy_delay_bounds():
+    policy = RetryPolicy(base_delay_s=0.1, max_delay_s=0.5)
+    rng = random.Random(0)
+    for attempt in range(1, 8):
+        cap = min(0.5, 0.1 * 2 ** (attempt - 1))
+        for _ in range(25):
+            assert 0.0 <= policy.delay_s(attempt, rng) <= cap
+
+
+def test_retry_after_floors_the_delay():
+    rng = random.Random(0)
+    policy = RetryPolicy(base_delay_s=0.0)
+    assert policy.delay_s(1, rng, retry_after=2.0) >= 2.0
+    ignoring = RetryPolicy(base_delay_s=0.0, honour_retry_after=False)
+    assert ignoring.delay_s(1, rng, retry_after=2.0) == 0.0
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"max_attempts": 0},
+        {"base_delay_s": -1},
+        {"budget": -1},
+        {"attempt_timeout_s": -1},
+    ],
+)
+def test_retry_policy_validation(kwargs):
+    with pytest.raises(ValueError):
+        RetryPolicy(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# transport errors and retries against a scripted server
+# ----------------------------------------------------------------------
+def _replay_scripted(script, pairs=((1, 2),), **kwargs):
+    """Run the real client against an HTTP stub whose ``script`` lists
+    the action per request, in arrival order: an int (that status) or
+    ``"reset"`` (half a response, then a hard connection abort)."""
+    state = {"i": 0}
+
+    async def handler(reader, writer):
+        try:
+            while True:
+                head = b""
+                while b"\r\n\r\n" not in head:
+                    chunk = await reader.read(1024)
+                    if not chunk:
+                        return
+                    head += chunk
+                action = script[min(state["i"], len(script) - 1)]
+                state["i"] += 1
+                if action == "reset":
+                    writer.write(b"HTTP/1.1 200 OK\r\nContent-Le")
+                    writer.transport.abort()
+                    return
+                body = (
+                    b'{"source":1,"target":2,"distance":3,"count":4}'
+                    if action == 200
+                    else b'{"error":"scripted"}'
+                )
+                extra = b"Retry-After: 0\r\n" if action == 503 else b""
+                writer.write(
+                    b"HTTP/1.1 %d Scripted\r\nX-Request-Id: s\r\n%s"
+                    b"Content-Length: %d\r\n\r\n%s"
+                    % (action, extra, len(body), body)
+                )
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+    async def scenario():
+        server = await asyncio.start_server(handler, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            return await run_workload(
+                "127.0.0.1", port, list(pairs), concurrency=1, **kwargs
+            )
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    return asyncio.run(scenario())
+
+
+_FAST = dict(base_delay_s=0.0, max_delay_s=0.0)
+
+
+def test_retry_turns_a_shed_into_a_success():
+    report = _replay_scripted(
+        [503, 200], retry=RetryPolicy(**_FAST), collect_results=True
+    )
+    assert report.ok == 1 and report.retries == 1 and report.giveups == 0
+    # only the final outcome is classified
+    assert report.status_counts == {200: 1}
+    assert report.results[0] == (1, 2, 200, 3, 4)
+
+
+def test_giveup_after_max_attempts():
+    report = _replay_scripted(
+        [500, 500, 500, 500],
+        retry=RetryPolicy(max_attempts=3, **_FAST),
+    )
+    assert report.retries == 2  # two extra attempts
+    assert report.giveups == 1
+    assert report.errors == 1 and report.status_counts == {500: 1}
+
+
+def test_retry_budget_is_shared_and_capping():
+    report = _replay_scripted(
+        [500] * 10,
+        pairs=((1, 2), (3, 4)),
+        retry=RetryPolicy(max_attempts=3, budget=1, **_FAST),
+    )
+    assert report.retries == 1  # the budget, not 2 slots x 2 retries
+    assert report.giveups == 2
+    assert report.errors == 2
+
+
+def test_mid_response_reset_is_survived_without_a_policy():
+    report = _replay_scripted(["reset", 200], collect_results=True)
+    assert report.transport_errors == 1
+    assert report.ok == 1 and report.errors == 0
+    assert report.retries == 0  # transport resends are not retries
+    assert report.results[0] == (1, 2, 200, 3, 4)
+
+
+def test_persistent_resets_exhaust_into_status_zero():
+    report = _replay_scripted(["reset"] * 20, collect_results=True)
+    assert report.ok == 0
+    assert report.transport_errors > 1
+    assert report.status_counts == {0: 1}
+    assert report.errors == 1
+    assert report.results[0] == (1, 2, 0, None, None)
+
+
+def test_resets_count_against_the_retry_policy():
+    report = _replay_scripted(
+        ["reset", "reset", 200],
+        retry=RetryPolicy(max_attempts=3, **_FAST),
+        collect_results=True,
+    )
+    assert report.transport_errors == 2
+    assert report.retries == 2
+    assert report.ok == 1
+    assert report.results[0] == (1, 2, 200, 3, 4)

@@ -30,6 +30,8 @@ def test_defaults_are_valid():
         {"slo_p99_ms": -0.5},
         {"slo_error_rate": 1.5},
         {"switch_interval_s": -1e-3},
+        {"breaker_threshold": -1},
+        {"breaker_cooldown_s": -0.1},
     ],
 )
 def test_out_of_range_values_raise(kwargs):

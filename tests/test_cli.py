@@ -244,11 +244,85 @@ class TestBinaryFormat:
             ["build", str(graph_file), str(index_path), "--format", "binary"]
         ) == 0
         assert "saved to" in capsys.readouterr().out
-        assert index_path.read_bytes()[:8] == b"RSPCIDX2"
+        assert index_path.read_bytes()[:8] == b"RSPCIDX3"
         assert main(["query", str(index_path), "0", "15"]) == 0
         assert "shortest_paths=20" in capsys.readouterr().out
         assert main(["stats", str(index_path)]) == 0
         assert "vertices:           16" in capsys.readouterr().out
+
+
+class TestVerifyIndex:
+    @pytest.fixture
+    def binary_index(self, tmp_path, graph_file):
+        index_path = tmp_path / "index.bin"
+        assert main(
+            ["build", str(graph_file), str(index_path), "--format", "binary"]
+        ) == 0
+        return index_path
+
+    def test_clean_index_passes(self, binary_index, capsys):
+        assert main(["verify-index", str(binary_index)]) == 0
+        out = capsys.readouterr().out
+        assert "checksums ok" in out
+        for section in ("header", "vertices", "offsets", "dist", "count"):
+            assert section in out
+
+    def test_cross_check_against_baseline(self, binary_index, graph_file,
+                                          capsys):
+        assert main(
+            ["verify-index", str(binary_index), "--graph", str(graph_file),
+             "--samples", "10"]
+        ) == 0
+        assert "match the online baseline" in capsys.readouterr().out
+
+    def test_corrupt_index_fails_with_section_report(self, binary_index,
+                                                     capsys):
+        data = bytearray(binary_index.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        binary_index.write_bytes(bytes(data))
+        assert main(["verify-index", str(binary_index)]) == 1
+        captured = capsys.readouterr()
+        assert "FAIL" in captured.out
+        assert "corrupt sections" in captured.err
+
+    def test_missing_file_exits_nonzero(self, tmp_path, capsys):
+        assert main(["verify-index", str(tmp_path / "nope.bin")]) == 1
+
+
+class TestServeFlags:
+    def test_fault_and_breaker_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "index.bin",
+             "--fault-plan", "scan.fail:0.1,conn.reset:0.05",
+             "--fault-seed", "7",
+             "--fallback", "online", "--graph", "net.gr",
+             "--breaker-threshold", "5", "--breaker-cooldown", "0.5"]
+        )
+        assert args.fault_plan == "scan.fail:0.1,conn.reset:0.05"
+        assert args.fault_seed == 7
+        assert args.fallback == "online" and args.graph == "net.gr"
+        assert args.breaker_threshold == 5
+        assert args.breaker_cooldown == 0.5
+
+    def test_bad_fault_plan_exits_nonzero(self, tmp_path, graph_file,
+                                          capsys):
+        index_path = tmp_path / "index.json"
+        assert main(["build", str(graph_file), str(index_path)]) == 0
+        assert main(
+            ["serve", str(index_path), "--fault-plan", "bogus.site:0.5"]
+        ) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_fallback_online_requires_graph(self, tmp_path, graph_file,
+                                            capsys):
+        index_path = tmp_path / "index.json"
+        assert main(["build", str(graph_file), str(index_path)]) == 0
+        assert main(
+            ["serve", str(index_path), "--fallback", "online"]
+        ) == 1
+        assert "--graph" in capsys.readouterr().err
 
 
 class TestProfileBatch:
