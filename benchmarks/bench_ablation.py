@@ -82,7 +82,7 @@ def test_simplification_preprocessing(benchmark, capsys):
     assert index.size_bytes() < raw.size_bytes()
 
 
-def test_strategy_shape_summary(benchmark, capsys):
+def test_strategy_shape_summary(benchmark, capsys, perf):
     """Index shape per construction strategy (query-side ablation)."""
     graph = load_dataset(DATASET)
 
@@ -104,6 +104,16 @@ def test_strategy_shape_summary(benchmark, capsys):
                 f"{strategy:10s} {st.height:5d} {st.width:4d} "
                 f"{st.size_bytes / 1e6:8.2f} {us:9.2f}"
             )
+    # Label volume is deterministic per strategy — a portable record
+    # the regression gate holds to a tight (5%) tolerance.
+    for strategy, index in indexes.items():
+        perf.record(
+            f"label_entries_{strategy}",
+            [index.stats().total_label_entries],
+            unit="entries",
+            direction="lower",
+            dataset=DATASET,
+        )
     # Pruning shortcuts must never hurt the label volume.
     assert (
         indexes["pruned"].stats().total_label_entries

@@ -80,7 +80,7 @@ def test_poi_ranking_via_index(benchmark, graph, ctls):
     assert all(rankings)
 
 
-def test_apps_speedup_summary(benchmark, cache, capsys):
+def test_apps_speedup_summary(benchmark, cache, capsys, perf):
     """The index answers app workloads orders of magnitude faster."""
     from repro.bench.measure import timed
 
@@ -100,6 +100,14 @@ def test_apps_speedup_summary(benchmark, cache, capsys):
         iterations=1,
     )
     direct, slow_seconds = timed(betweenness_sampled, online, **kwargs)
+    perf.record(
+        "betweenness_index_speedup",
+        [slow_seconds / fast_seconds],
+        unit="x",
+        direction="higher",
+        dataset=DATASET,
+        samples_per_run=60,
+    )
     with capsys.disabled():
         print(
             f"\n\nApp summary (betweenness, {DATASET}): index "

@@ -24,7 +24,7 @@ def test_random_queries(benchmark, cache, workloads, dataset, algorithm):
     assert checksum == run_queries(index, pairs)
 
 
-def test_fig7_fig8_summary(benchmark, cache, capsys):
+def test_fig7_fig8_summary(benchmark, cache, capsys, perf):
     """Print Fig. 7/8: per-query latency and speedups over TL-Query."""
     rows = benchmark.pedantic(
         lambda: exp1_query_time(
@@ -36,12 +36,29 @@ def test_fig7_fig8_summary(benchmark, cache, capsys):
     with capsys.disabled():
         print("\n\nExp-1 (Fig. 7 + Fig. 8): average query time, speedup over TL")
         print(render_exp1(rows))
+    for row in rows:
+        perf.record(
+            f"query_us_{row.algorithm}",
+            [row.avg_query_us],
+            unit="us",
+            direction="lower",
+            dataset=row.dataset,
+            queries=QUERY_BATCH,
+        )
+        if row.algorithm != "TL":
+            perf.record(
+                f"speedup_over_tl_{row.algorithm}",
+                [row.speedup_over_tl],
+                unit="x",
+                direction="higher",
+                dataset=row.dataset,
+            )
     speedups = [r.speedup_over_tl for r in rows if r.algorithm == "CTLS"]
     assert all(s > 0 for s in speedups)
 
 
 @pytest.mark.parametrize("algorithm", QUERY_ALGORITHMS)
-def test_batch_vs_loop_speedup(cache, workloads, capsys, algorithm):
+def test_batch_vs_loop_speedup(cache, workloads, capsys, perf, algorithm):
     """``query_batch`` must never lose to an equivalent ``query`` loop.
 
     The CI quick-bench job runs this as a performance smoke test: the
@@ -54,6 +71,13 @@ def test_batch_vs_loop_speedup(cache, workloads, capsys, algorithm):
     index = cache.get(dataset, algorithm)
     pairs = workloads[dataset]
     result = batch_speedup(index, pairs, repeats=3)
+    perf.record(
+        f"batch_speedup_{algorithm}",
+        [result.speedup],
+        unit="x",
+        direction="higher",
+        dataset=dataset,
+    )
     with capsys.disabled():
         print(
             f"\n{dataset}/{algorithm}: loop "

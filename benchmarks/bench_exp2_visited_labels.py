@@ -25,7 +25,7 @@ def test_label_visit_counting(benchmark, cache, workloads, dataset, algorithm):
     assert average > 0
 
 
-def test_fig9_summary(benchmark, cache, capsys):
+def test_fig9_summary(benchmark, cache, capsys, perf):
     """Print Fig. 9 and check the ordering TL > CTL > CTLS."""
     rows = benchmark.pedantic(
         lambda: exp2_visited_labels(
@@ -37,6 +37,17 @@ def test_fig9_summary(benchmark, cache, capsys):
     with capsys.disabled():
         print("\n\nExp-2 (Fig. 9): average visited labels per query")
         print(render_exp2(rows))
+    # Deterministic (portable) metric: same workload seed -> same count
+    # on every host, so the regression gate can hold it to a tight bar.
+    for row in rows:
+        perf.record(
+            f"visited_labels_{row.algorithm}",
+            [row.avg_visited_labels],
+            unit="labels",
+            direction="lower",
+            dataset=row.dataset,
+            queries=QUERY_BATCH,
+        )
     for dataset in BENCH_DATASETS:
         by_alg = {
             r.algorithm: r.avg_visited_labels

@@ -33,7 +33,7 @@ def test_distance_group_queries(
     benchmark(run_queries, index, pairs)
 
 
-def test_fig10_summary(benchmark, cache, distance_workloads, capsys):
+def test_fig10_summary(benchmark, cache, distance_workloads, capsys, perf):
     """Print the full Fig. 10 table and check the short-distance win."""
     rows = benchmark.pedantic(
         lambda: exp3_query_distance(
@@ -59,4 +59,15 @@ def test_fig10_summary(benchmark, cache, distance_workloads, capsys):
             if r.bin_index == first_bin
         }
         if {"TL", "CTLS"} <= set(short):
+            # The headline shape as one number: how much cheaper CTLS
+            # answers the shortest-distance group than TL.  A ratio of
+            # two same-host timings, so stable enough to gate on.
+            perf.record(
+                "short_distance_ctls_vs_tl",
+                [short["CTLS"] / short["TL"]],
+                unit="ratio",
+                direction="lower",
+                dataset=dataset,
+                bin=first_bin,
+            )
             assert short["CTLS"] < short["TL"], (dataset, short)

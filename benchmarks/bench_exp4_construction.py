@@ -41,7 +41,7 @@ def test_construction(benchmark, dataset, algorithm):
     assert stats.num_vertices == graph.num_vertices
 
 
-def test_fig11_12_13_summary(benchmark, capsys):
+def test_fig11_12_13_summary(benchmark, capsys, perf):
     """Print construction time/memory and Fig. 13 speedups."""
     rows = benchmark.pedantic(
         lambda: exp4_construction(datasets=BENCH_DATASETS),
@@ -52,10 +52,26 @@ def test_fig11_12_13_summary(benchmark, capsys):
         print("\n\nExp-4 (Fig. 11-13): construction time, memory, speedups")
         print(render_exp4(rows))
 
+    for row in rows:
+        perf.record(
+            f"build_seconds_{row.algorithm}",
+            [row.build_seconds],
+            unit="s",
+            direction="lower",
+            dataset=row.dataset,
+        )
+
     # Fig. 13 shape: the optimised constructions beat plain CTLS.
     for dataset in BENCH_DATASETS:
         by_alg = {r.algorithm: r for r in rows if r.dataset == dataset}
         if "CTLS" in by_alg and "CTLS*" in by_alg:
+            perf.record(
+                "ctls_star_build_speedup",
+                [by_alg["CTLS"].build_seconds / by_alg["CTLS*"].build_seconds],
+                unit="x",
+                direction="higher",
+                dataset=dataset,
+            )
             assert (
                 by_alg["CTLS*"].build_seconds < by_alg["CTLS"].build_seconds
             ), dataset

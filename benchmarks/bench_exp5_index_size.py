@@ -26,7 +26,7 @@ def test_index_size_measurement(benchmark, cache, dataset):
     assert all(size > 0 for size in sizes.values())
 
 
-def test_fig14_summary(benchmark, cache, capsys):
+def test_fig14_summary(benchmark, cache, capsys, perf):
     """Print Fig. 14 and check the paper's size ordering."""
     rows = benchmark.pedantic(
         lambda: exp5_index_size(datasets=BENCH_DATASETS, cache=cache),
@@ -36,6 +36,16 @@ def test_fig14_summary(benchmark, cache, capsys):
     with capsys.disabled():
         print("\n\nExp-5 (Fig. 14): index size")
         print(render_exp5(rows))
+    # Byte sizes are deterministic per build, so these records are
+    # portable: any drift is a real index-layout change, not noise.
+    for row in rows:
+        perf.record(
+            f"index_bytes_{row.algorithm}",
+            [row.size_bytes],
+            unit="bytes",
+            direction="lower",
+            dataset=row.dataset,
+        )
 
     # The paper's size gap (TL 3.7x CTL, 2.35x CTLS) grows with graph
     # scale; on our scaled-down datasets it emerges at the top of the

@@ -22,7 +22,10 @@ rest of ``benchmarks/``.
 
 from __future__ import annotations
 
+import gc
+import http.client
 import random
+import threading
 import time
 
 import pytest
@@ -75,11 +78,26 @@ def _run(index, pairs, *, coalesce: bool, **observability):
         )
 
 
-def test_coalescing_doubles_qps(index, pairs, capsys):
+def test_coalescing_doubles_qps(index, pairs, capsys, perf):
     """The coalesced server must at least double uncoalesced QPS."""
     coalesced = _run(index, pairs, coalesce=True)
     uncoalesced = _run(index, pairs, coalesce=False)
     ratio = coalesced.qps / uncoalesced.qps
+    perf.record(
+        "coalescing_speedup",
+        [ratio],
+        unit="x",
+        direction="higher",
+        dataset=f"grid{GRID_SIDE}",
+        pairs=NUM_PAIRS,
+    )
+    perf.record(
+        "qps_coalesced",
+        [coalesced.qps],
+        unit="req/s",
+        direction="higher",
+        dataset=f"grid{GRID_SIDE}",
+    )
     with capsys.disabled():
         print(
             f"\n\nServing benchmark ({CONCURRENCY} connections, "
@@ -102,7 +120,10 @@ def test_coalescing_doubles_qps(index, pairs, capsys):
 #: requests are always logged regardless).
 LOG_SAMPLE_EVERY = 10
 
-#: Interleaved (baseline, observed) measurement rounds.
+#: Interleaved (baseline, observed) measurement rounds.  Quick mode
+#: gets no discount: per-server-instance throughput on single-core CI
+#: runners swings several percent, and fewer than five rounds lets one
+#: unlucky instance fail a best-of comparison.
 OVERHEAD_ROUNDS = 5
 
 
@@ -136,7 +157,7 @@ def _timed_run(index, pairs, **observability):
 
 
 def test_observability_overhead_under_ten_percent(
-    index, pairs, tmp_path, capsys
+    index, pairs, tmp_path, capsys, perf
 ):
     """Production observability must cost < 10% of baseline QPS.
 
@@ -190,6 +211,21 @@ def test_observability_overhead_under_ten_percent(
             f" (best-of-{OVERHEAD_ROUNDS} ratio {ratio:.3f},"
             f" paired [{paired}], {log_lines} log records)"
         )
+    perf.record(
+        "observability_overhead",
+        [o / b for b, o in zip(base_qps, obs_qps)],
+        unit="ratio",
+        direction="higher",
+        dataset=f"grid{GRID_SIDE}",
+        rounds=OVERHEAD_ROUNDS,
+    )
+    perf.record(
+        "qps_per_cpu_second",
+        base_qps,
+        unit="req/cpu-s",
+        direction="higher",
+        dataset=f"grid{GRID_SIDE}",
+    )
     # The sampler keeps ~1 in 10 fast 200s; the log also carries
     # server lifecycle records.  Binomial bounds with generous slack.
     assert eligible // 20 <= log_lines <= eligible // 5
@@ -200,7 +236,7 @@ def test_observability_overhead_under_ten_percent(
     )
 
 
-def test_robustness_hooks_cost_under_five_percent(index, pairs, capsys):
+def test_robustness_hooks_cost_under_five_percent(index, pairs, capsys, perf):
     """The fault-tolerance machinery must cost < 5% fault-free QPS.
 
     Guarded: a circuit breaker armed at its default threshold plus a
@@ -254,10 +290,194 @@ def test_robustness_hooks_cost_under_five_percent(index, pairs, capsys):
             f" (best-of-{OVERHEAD_ROUNDS} ratio {ratio:.3f},"
             f" paired [{paired}])"
         )
+    perf.record(
+        "robustness_overhead",
+        [g / b for b, g in zip(bare_qps, guarded_qps)],
+        unit="ratio",
+        direction="higher",
+        dataset=f"grid{GRID_SIDE}",
+        rounds=OVERHEAD_ROUNDS,
+    )
     assert ratio >= 0.95, (
         f"robustness hooks cost {(1 - ratio) * 100:.1f}% throughput "
         f"({max(guarded_qps):.0f} vs {max(bare_qps):.0f} req/cpu-s), "
         f"over the 5% bar"
+    )
+
+
+def _post_profile(host, port, seconds, results):
+    """POST ``/admin/profile``; stash ``(status, body, sampler_cpu)``.
+
+    Runs on a helper thread so the capture window overlaps the replay;
+    the request blocks server-side for ``seconds`` before returning the
+    collapsed stacks.  ``sampler_cpu`` is the profiler's self-accounted
+    CPU cost from the ``X-Profile-Cpu-Seconds`` response header.
+    """
+    conn = http.client.HTTPConnection(host, port, timeout=seconds + 30)
+    try:
+        conn.request(
+            "POST",
+            f"/admin/profile?seconds={seconds:.2f}"
+            f"&interval_ms=10&format=collapsed",
+        )
+        response = conn.getresponse()
+        results.append((
+            response.status,
+            response.read().decode("utf-8"),
+            float(response.headers.get("X-Profile-Cpu-Seconds", "nan")),
+        ))
+    except (OSError, http.client.HTTPException) as exc:
+        results.append((0, f"profile request failed: {exc}", float("nan")))
+    finally:
+        conn.close()
+
+
+def test_profiler_overhead_under_five_percent(
+    index, pairs, tmp_path, capsys, perf
+):
+    """An attached sampling profiler must cost < 5% of serving QPS.
+
+    The acceptance scenario for ``repro.obs.sampling``: a live server
+    under sustained pipelined load takes a ``POST /admin/profile``
+    capture mid-flight.  Two bars:
+
+    * **< 5% QPS** — asserted on the sampler's self-accounted CPU
+      (``X-Profile-Cpu-Seconds``) as a share of the saturated capture
+      window.  On a CPU-bound server every CPU second the sampler
+      burns is a CPU second the query path did not get, so this *is*
+      the throughput cost — measured exactly, instead of through an
+      A/B comparison whose scheduler noise on a single-core runner
+      (±5-6% between otherwise identical rounds, profiled sometimes
+      *faster* than bare) is larger than the signal.
+    * **End-to-end backstop** — the interleaved bare/profiled CPU
+      throughput ratio (worst round on each side dropped) must stay
+      above 0.85: generous enough to absorb the scheduler noise (a
+      contended runner swings whole-machine throughput ±15% between
+      rounds), tight enough to catch a gross regression like the 5 ms
+      GIL-switch resonance (~25% hit) or a sampler walking stacks
+      without the memo (~30%).
+
+    The capture must also actually see the work: the collapsed stacks
+    must contain ``scan_batch`` frames, the batch kernel the coalescer
+    drives.  All rounds run against one server instance — a fresh
+    instance locks in its own thread placement, which swings CPU
+    throughput by several percent and would confound the pairing.
+    The capture duration is calibrated to ~0.8x one replay's wall time
+    so the profile response returns while the server is still serving
+    (a capture outliving the replay would be cut off by the graceful
+    drain instead of exercising the live path).  Each round replays the
+    workload eight times over — at ~15k req/s a single pass lasts only
+    ~0.13s, too short for a stable CPU-throughput reading.
+    """
+    config = ServeConfig(
+        port=0, coalesce=True, max_batch=128, max_wait_us=2000, cache_size=0
+    )
+    load = pairs * 8
+    rounds = max(OVERHEAD_ROUNDS, 5)
+    bare_qps, profiled_qps, sampler_cpus = [], [], []
+    collapsed = ""
+    with ServerThread(index, config) as (host, port):
+        wall0 = time.perf_counter()
+        replay(host, port, load, concurrency=CONCURRENCY, pipeline=PIPELINE)
+        replay_wall = time.perf_counter() - wall0
+        replay(host, port, load, concurrency=CONCURRENCY, pipeline=PIPELINE)
+        profile_seconds = max(0.3, min(replay_wall * 0.8, 30.0))
+
+        def timed(profile: bool):
+            captures = []
+            worker = None
+            if profile:
+                worker = threading.Thread(
+                    target=_post_profile,
+                    args=(host, port, profile_seconds, captures),
+                )
+                worker.start()
+                time.sleep(0.05)  # let the capture start before the load
+            gc.collect()  # keep collector pauses out of the CPU window
+            cpu0 = time.process_time()
+            report = replay(
+                host, port, load,
+                concurrency=CONCURRENCY, pipeline=PIPELINE,
+            )
+            cpu1 = time.process_time()
+            if worker is not None:
+                worker.join()
+            return report, len(load) / (cpu1 - cpu0), captures
+
+        for index_round in range(rounds):
+            # Alternate which mode goes first so slow warmup drift
+            # (the first seconds of a process run measurably slower)
+            # cancels instead of biasing one side.
+            order = (False, True) if index_round % 2 == 0 else (True, False)
+            round_results = {}
+            for profile in order:
+                round_results[profile] = timed(profile)
+            bare, bare_cpu, _ = round_results[False]
+            profiled, prof_cpu, captures = round_results[True]
+            assert bare.ok == profiled.ok == len(load)
+            assert captures, "profile request never completed"
+            status, body, sampler_cpu = captures[0]
+            assert status == 200, body
+            collapsed = body
+            bare_qps.append(bare_cpu)
+            profiled_qps.append(prof_cpu)
+            sampler_cpus.append(sampler_cpu)
+
+    cpu_share = max(sampler_cpus) / profile_seconds
+    trimmed_bare = sorted(bare_qps)[1:]
+    trimmed_prof = sorted(profiled_qps)[1:]
+    ratio = (sum(trimmed_prof) / len(trimmed_prof)) / (
+        sum(trimmed_bare) / len(trimmed_bare)
+    )
+
+    out_path = tmp_path / "serve-profile.collapsed"
+    out_path.write_text(collapsed, encoding="utf-8")
+    stack_lines = [line for line in collapsed.splitlines() if line.strip()]
+    with capsys.disabled():
+        paired = ", ".join(
+            f"{p / b:.3f}" for b, p in zip(bare_qps, profiled_qps)
+        )
+        print(
+            f"\n\nProfiler overhead ({CONCURRENCY} connections, "
+            f"{profile_seconds:.2f}s capture at 100Hz):"
+            f" sampler CPU {max(sampler_cpus) * 1000:.1f}ms"
+            f" = {cpu_share * 100:.2f}% of the window;"
+            f" bare {max(bare_qps):,.0f} req/cpu-s,"
+            f" profiled {max(profiled_qps):,.0f} req/cpu-s"
+            f" (trimmed-mean-of-{rounds} ratio {ratio:.3f},"
+            f" paired [{paired}], {len(stack_lines)} distinct stacks)"
+        )
+    perf.record(
+        "profiler_cpu_share",
+        [cpu / profile_seconds for cpu in sampler_cpus],
+        unit="ratio",
+        direction="lower",
+        dataset=f"grid{GRID_SIDE}",
+        capture_seconds=round(profile_seconds, 2),
+    )
+    perf.record(
+        "profiler_overhead",
+        [p / b for b, p in zip(bare_qps, profiled_qps)],
+        unit="ratio",
+        direction="higher",
+        dataset=f"grid{GRID_SIDE}",
+        capture_seconds=round(profile_seconds, 2),
+    )
+    assert stack_lines, "profiler returned an empty capture"
+    assert "scan_batch" in collapsed, (
+        "collapsed stacks never caught the batch kernel; first lines:\n"
+        + "\n".join(stack_lines[:10])
+    )
+    assert cpu_share < 0.05, (
+        f"sampler burned {cpu_share * 100:.2f}% of the capture window's "
+        f"CPU ({max(sampler_cpus) * 1000:.1f}ms of {profile_seconds:.2f}s), "
+        f"over the 5% bar"
+    )
+    assert ratio >= 0.85, (
+        f"attached profiler costs {(1 - ratio) * 100:.1f}% end-to-end "
+        f"throughput (trimmed mean, {len(trimmed_prof)}/{rounds} rounds) — "
+        f"far beyond sampler CPU {cpu_share * 100:.2f}%; something else "
+        f"about the capture path regressed"
     )
 
 

@@ -1,19 +1,39 @@
-"""Shared benchmark fixtures.
+"""Shared benchmark fixtures and the BENCH_*.json telemetry writer.
 
 All benchmarks run on the ``quick`` dataset tier by default so that
 ``pytest benchmarks/ --benchmark-only`` finishes in minutes; set
 ``REPRO_DATASETS=medium`` or ``full`` for larger sweeps (see
 DESIGN.md).  Built indexes are shared process-wide through
 :data:`repro.bench.experiments.shared_cache`.
+
+Telemetry: every benchmark module gets a session-scoped
+:class:`repro.obs.perf.PerfSuite` through the ``perf`` fixture and
+records its headline numbers into it.  At session end each non-empty
+suite is written to ``BENCH_<suite>.json`` in the repo root (override
+the directory with ``REPRO_BENCH_DIR``) and appended to
+``BENCH_TRAJECTORY.jsonl``, giving every benchmark run a durable,
+git-sha-stamped record that ``repro-spc bench-report`` can diff
+against the committed baselines.
+
+Workload seeds are pinned *per dataset* (derived from the dataset
+name), so adding or removing a dataset from the tier never reshuffles
+the query pairs of the others — historical BENCH records stay
+comparable run-over-run.
 """
 
 from __future__ import annotations
+
+import os
+import zlib
+from pathlib import Path
+from typing import Dict
 
 import pytest
 
 from repro.bench.experiments import shared_cache
 from repro.bench.workloads import distance_binned_queries, random_pairs
 from repro.datasets.registry import dataset_names, load_dataset
+from repro.obs.perf import PerfSuite, append_trajectory
 
 #: Datasets exercised by the benchmark suite (env-tier aware).
 BENCH_DATASETS = dataset_names()
@@ -22,8 +42,73 @@ BENCH_DATASETS = dataset_names()
 QUERY_BATCH = 500
 
 
+def workload_seed(dataset: str) -> int:
+    """Deterministic per-dataset RNG seed for query workloads.
+
+    Derived from the dataset *name* (not its position in the tier), so
+    every dataset keeps the same workload across tier changes and
+    across machines.  CRC32 is stable across Python versions, unlike
+    ``hash()``.
+    """
+    return zlib.crc32(dataset.encode("utf-8"))
+
+
+def bench_output_dir() -> Path:
+    """Where BENCH_*.json land: the repo root, or ``REPRO_BENCH_DIR``."""
+    override = os.environ.get("REPRO_BENCH_DIR")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent.parent
+
+
+#: Session-lived suites, one per benchmark module (created lazily).
+_suites: Dict[str, PerfSuite] = {}
+
+
+def get_suite(name: str) -> PerfSuite:
+    """The shared :class:`PerfSuite` for ``name`` (``serve``, ...)."""
+    if name not in _suites:
+        _suites[name] = PerfSuite(name)
+    return _suites[name]
+
+
 def pytest_report_header(config):
-    return f"repro benchmarks: datasets={BENCH_DATASETS}"
+    return (
+        f"repro benchmarks: datasets={BENCH_DATASETS} "
+        f"bench-dir={bench_output_dir()}"
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write one ``BENCH_<suite>.json`` per module that recorded data."""
+    directory = bench_output_dir()
+    written = []
+    for suite in _suites.values():
+        if not suite.records:
+            continue
+        path = suite.write(directory)
+        append_trajectory(directory, suite.payload())
+        written.append(path.name)
+    if written:
+        reporter = session.config.pluginmanager.get_plugin("terminalreporter")
+        if reporter is not None:
+            reporter.write_line(
+                f"bench telemetry: wrote {', '.join(sorted(written))} "
+                f"to {directory}"
+            )
+
+
+@pytest.fixture(scope="module")
+def perf(request):
+    """The per-module telemetry suite, named after the bench module.
+
+    ``benchmarks/bench_serve.py`` records into the ``serve`` suite and
+    produces ``BENCH_serve.json``; ``bench_exp1_query_time.py`` the
+    ``exp1_query_time`` suite, and so on.
+    """
+    module = request.module.__name__
+    name = module[len("bench_"):] if module.startswith("bench_") else module
+    return get_suite(name)
 
 
 @pytest.fixture(scope="session")
@@ -35,7 +120,9 @@ def cache():
 def workloads():
     """``{dataset: [pairs]}`` uniform random query workloads."""
     return {
-        name: random_pairs(load_dataset(name), QUERY_BATCH, seed=42)
+        name: random_pairs(
+            load_dataset(name), QUERY_BATCH, seed=workload_seed(name)
+        )
         for name in BENCH_DATASETS
     }
 
@@ -45,7 +132,10 @@ def distance_workloads():
     """``{dataset: [DistanceBin]}`` Exp-3 workloads (Q1..Q10)."""
     return {
         name: distance_binned_queries(
-            load_dataset(name), per_bin=100, seed=42, max_sources=400
+            load_dataset(name),
+            per_bin=100,
+            seed=workload_seed(name),
+            max_sources=400,
         )
         for name in BENCH_DATASETS
     }

@@ -1,0 +1,254 @@
+"""Noise-aware comparison of BENCH payloads against a committed baseline.
+
+``repro-spc bench-report`` drives this module: load the current
+``BENCH_*.json`` files (repo root by default), load the snapshot under
+``benchmarks/baselines/``, and compare medians metric-by-metric.
+
+Thresholds are multiplicative and direction-aware.  A ``lower``-is-
+better metric regresses when ``current > baseline * tolerance``; a
+``higher``-is-better one when ``current < baseline / tolerance``.  The
+tolerance for each metric comes from, in priority order: the record's
+own ``tolerance`` field, a per-unit default, then the global default.
+Portable metrics (ratios, label counts, byte sizes — see
+:data:`~repro.obs.perf.PORTABLE_UNITS`) are deterministic or nearly so
+and get tight defaults; absolute wall-clock metrics are host-dependent
+and get looser ones, still well under the 2x bar a real kernel
+regression would blow through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.perf import PORTABLE_UNITS, load_bench_payloads
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "UNIT_TOLERANCES",
+    "MetricDelta",
+    "RegressionReport",
+    "compare_payloads",
+    "compare_directories",
+    "render_report",
+]
+
+#: Fallback multiplicative tolerance for host-dependent metrics.  Best-
+#: of-rounds medians on one machine jitter well under this; a genuine
+#: 2x regression always trips it.
+DEFAULT_TOLERANCE = 1.75
+
+#: Per-unit defaults.  Deterministic counts and sizes barely move;
+#: dimensionless ratios wobble a little with scheduling.
+UNIT_TOLERANCES: Dict[str, float] = {
+    "labels": 1.05,
+    "entries": 1.05,
+    "bytes": 1.10,
+    "count": 1.10,
+    "x": 1.35,
+    "ratio": 1.35,
+}
+
+_STATUS_ORDER = ("regression", "missing", "new", "improved", "ok")
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """The comparison outcome for one (suite, metric, dataset) key."""
+
+    suite: str
+    metric: str
+    dataset: Optional[str]
+    unit: str
+    direction: str
+    baseline: Optional[float]
+    current: Optional[float]
+    tolerance: float
+    status: str  # ok | improved | regression | new | missing
+
+    @property
+    def key(self) -> str:
+        name = f"{self.suite}:{self.metric}"
+        if self.dataset:
+            name += f"[{self.dataset}]"
+        return name
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """current / baseline, when both sides exist and baseline != 0."""
+        if self.baseline in (None, 0) or self.current is None:
+            return None
+        return self.current / self.baseline
+
+
+@dataclass(frozen=True)
+class RegressionReport:
+    """All deltas of one comparison plus the gate verdict."""
+
+    deltas: Tuple[MetricDelta, ...]
+
+    @property
+    def regressions(self) -> Tuple[MetricDelta, ...]:
+        return tuple(d for d in self.deltas if d.status == "regression")
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for delta in self.deltas:
+            out[delta.status] = out.get(delta.status, 0) + 1
+        return out
+
+
+def _tolerance_for(record: Dict[str, object], default: float) -> float:
+    explicit = record.get("tolerance")
+    if isinstance(explicit, (int, float)):
+        return float(explicit)
+    return UNIT_TOLERANCES.get(str(record.get("unit")), default)
+
+
+def _index_records(
+    payloads: Dict[str, Dict[str, object]]
+) -> Dict[Tuple[str, str, Optional[str]], Dict[str, object]]:
+    indexed: Dict[Tuple[str, str, Optional[str]], Dict[str, object]] = {}
+    for suite, payload in payloads.items():
+        for rec in payload.get("records", []):
+            indexed[(suite, rec["metric"], rec.get("dataset"))] = rec
+    return indexed
+
+
+def compare_payloads(
+    current: Dict[str, Dict[str, object]],
+    baseline: Dict[str, Dict[str, object]],
+    *,
+    default_tolerance: float = DEFAULT_TOLERANCE,
+    portable_only: bool = False,
+) -> RegressionReport:
+    """Compare two payload maps (suite name → payload)."""
+    cur = _index_records(current)
+    base = _index_records(baseline)
+    deltas: List[MetricDelta] = []
+    for key in sorted(set(cur) | set(base), key=lambda k: (k[0], k[1], k[2] or "")):
+        suite, metric, dataset = key
+        rec = cur.get(key) or base.get(key)
+        unit = str(rec.get("unit", ""))
+        if portable_only and unit not in PORTABLE_UNITS:
+            continue
+        direction = str(rec.get("direction", "lower"))
+        tolerance = _tolerance_for(base.get(key, rec), default_tolerance)
+        cur_value = cur[key]["value"] if key in cur else None
+        base_value = base[key]["value"] if key in base else None
+        if cur_value is None:
+            status = "missing"
+        elif base_value is None:
+            status = "new"
+        elif direction == "lower":
+            if cur_value > base_value * tolerance:
+                status = "regression"
+            elif cur_value * tolerance < base_value:
+                status = "improved"
+            else:
+                status = "ok"
+        else:
+            if cur_value * tolerance < base_value:
+                status = "regression"
+            elif cur_value > base_value * tolerance:
+                status = "improved"
+            else:
+                status = "ok"
+        deltas.append(
+            MetricDelta(
+                suite=suite,
+                metric=metric,
+                dataset=dataset,
+                unit=unit,
+                direction=direction,
+                baseline=base_value,
+                current=cur_value,
+                tolerance=tolerance,
+                status=status,
+            )
+        )
+    return RegressionReport(deltas=tuple(deltas))
+
+
+def compare_directories(
+    current_dir: Path,
+    baseline_dir: Path,
+    *,
+    default_tolerance: float = DEFAULT_TOLERANCE,
+    portable_only: bool = False,
+    suites: Optional[Iterable[str]] = None,
+) -> RegressionReport:
+    """Compare the BENCH files of two directories.
+
+    ``suites`` restricts the comparison to the named suites; by default
+    only suites present in the *current* directory are compared, so a
+    quick-mode run that produced two files is not failed for the six it
+    skipped.
+    """
+    current = load_bench_payloads(current_dir)
+    baseline = load_bench_payloads(baseline_dir)
+    if suites is not None:
+        wanted = set(suites)
+    else:
+        wanted = set(current)
+    current = {k: v for k, v in current.items() if k in wanted}
+    baseline = {k: v for k, v in baseline.items() if k in wanted}
+    return compare_payloads(
+        current,
+        baseline,
+        default_tolerance=default_tolerance,
+        portable_only=portable_only,
+    )
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:.0f}"
+    if abs(value) >= 1:
+        return f"{value:.3g}"
+    return f"{value:.3g}"
+
+
+def render_report(report: RegressionReport, *, verbose: bool = False) -> str:
+    """Human-readable diff table; regressions first."""
+    lines: List[str] = []
+    ordered = sorted(
+        report.deltas, key=lambda d: (_STATUS_ORDER.index(d.status), d.key)
+    )
+    shown = [
+        d for d in ordered if verbose or d.status != "ok"
+    ]
+    if shown:
+        width = max(len(d.key) for d in shown)
+        header = (
+            f"{'metric':<{width}}  {'unit':>8}  {'baseline':>12}  "
+            f"{'current':>12}  {'ratio':>7}  {'tol':>5}  status"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for delta in shown:
+            ratio = delta.ratio
+            lines.append(
+                f"{delta.key:<{width}}  {delta.unit:>8}  "
+                f"{_fmt(delta.baseline):>12}  {_fmt(delta.current):>12}  "
+                f"{_fmt(ratio) if ratio is not None else '-':>7}  "
+                f"{delta.tolerance:>5.2f}  {delta.status}"
+            )
+    counts = report.counts()
+    summary = ", ".join(
+        f"{counts[s]} {s}" for s in _STATUS_ORDER if s in counts
+    ) or "no metrics compared"
+    lines.append("")
+    lines.append(
+        ("FAIL: " if not report.ok else "ok: ") + summary
+    )
+    return "\n".join(lines)

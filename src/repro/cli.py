@@ -12,6 +12,9 @@ Installed as the ``repro-spc`` console script::
     repro-spc serve index.json --port 8355 --access-log serve.log
     repro-spc query index.json 17 3405 --explain
     repro-spc top --port 8355 --once
+    repro-spc build network.gr index.bin --format binary --progress
+    repro-spc profile index.json pairs.txt --flame stacks.txt
+    repro-spc bench-report --baseline benchmarks/baselines
 
     repro-spc verify-index index.bin --graph network.gr
 
@@ -54,9 +57,11 @@ from repro.graph.io import read_dimacs, read_edge_list, read_json, write_dimacs
 from repro.types import INF
 
 _ALGORITHMS = {
-    "tl": lambda g, _s: TLIndex.build(g),
-    "ctl": lambda g, _s: CTLIndex.build(g),
-    "ctls": lambda g, strategy: CTLSIndex.build(g, strategy=strategy),
+    "tl": lambda g, _s, _p: TLIndex.build(g),
+    "ctl": lambda g, _s, _p: CTLIndex.build(g),
+    "ctls": lambda g, strategy, progress: CTLSIndex.build(
+        g, strategy=strategy, progress=progress
+    ),
 }
 
 
@@ -135,14 +140,33 @@ def _obs_end(args, rec) -> None:
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
+    from repro.obs.buildphase import (
+        BuildPhaseTracker,
+        ProgressPrinter,
+        make_build_info,
+        phase_breakdown,
+    )
+
     rec = _obs_begin(args)
+    # Build-phase provenance needs the builder's span stream even when
+    # no --trace/--metrics was asked for: capture quietly in that case.
+    capture = rec if rec is not None else obs.configure()
+    progress_line = print if args.progress else None
+    tracker = BuildPhaseTracker(progress_line)
+    node_progress = None
+    if args.progress:
+        node_progress = ProgressPrinter(print)
     try:
         with obs.span("cli.build", algorithm=args.algorithm):
-            graph = _load_graph(args.graph)
+            with tracker.phase("load-graph"):
+                graph = _load_graph(args.graph)
             print(f"loaded {graph!r}")
             build = _ALGORITHMS[args.algorithm]
             started = time.perf_counter()
-            index = build(graph, args.strategy)
+            with tracker.phase("build"):
+                index = build(graph, args.strategy, node_progress)
+                if node_progress is not None:
+                    node_progress.finish()
             elapsed = time.perf_counter() - started
             stats = index.stats()
             print(
@@ -150,10 +174,35 @@ def _cmd_build(args: argparse.Namespace) -> int:
                 f"(h={stats.height}, w={stats.width}, "
                 f"size={stats.size_bytes / 1e6:.2f} MB)"
             )
-            save_index(index, args.index, format=args.format)
+            phases = phase_breakdown(capture.trace_events)
+            if args.progress:
+                for name, entry in phases.items():
+                    print(
+                        f"[build] phase {name:<13} {entry['seconds']:8.3f}s"
+                        f"  ({entry['count']} spans)"
+                    )
+            extras = {"graph": args.graph, "format": args.format}
+            if args.algorithm == "ctls":
+                extras["strategy"] = args.strategy
+            build_info = make_build_info(
+                algorithm=args.algorithm,
+                build_seconds=elapsed,
+                label_entries=stats.total_label_entries,
+                phases=phases,
+                coarse=tracker.summary(),
+                extras=extras,
+            )
+            with tracker.phase("serialize"):
+                save_index(
+                    index, args.index, format=args.format,
+                    build_info=build_info,
+                )
             print(f"saved to {args.index} ({args.format})")
     finally:
-        _obs_end(args, rec)
+        if rec is not None:
+            _obs_end(args, rec)
+        else:
+            obs.disable()
     return 0
 
 
@@ -222,13 +271,28 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 def _cmd_profile(args: argparse.Namespace) -> int:
     rec = _obs_begin(args)
+    sampler = None
     try:
         index = load_index(args.index)
         pairs = _load_pairs(args.pairs)
+        if args.flame:
+            from repro.obs.sampling import SamplingProfiler
+
+            sampler = SamplingProfiler().start()
         result = profile_queries(index, pairs, repeats=args.repeats,
                                  batch_size=args.batch, recorder=rec)
+        if sampler is not None:
+            sampler.stop()
+            sampler.write_collapsed(args.flame)
+            print(
+                f"flamegraph stacks written to {args.flame} "
+                f"({sampler.sample_count} samples; render with "
+                "flamegraph.pl or speedscope.app)"
+            )
         print(render_profile(result))
     finally:
+        if sampler is not None and sampler.running:
+            sampler.stop()
         _obs_end(args, rec)
     return 0
 
@@ -383,7 +447,74 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print(f"width (w):          {stats.width}")
     print(f"label entries:      {stats.total_label_entries}")
     print(f"size (32-bit model): {stats.size_bytes / 1e6:.2f} MB")
+    provenance = getattr(index, "provenance", None)
+    if provenance:
+        print(f"format version:     v{provenance['format_version']}")
+        sections = provenance.get("sections")
+        if sections:
+            rendered = "  ".join(
+                f"{name}={size}" for name, size in sections.items()
+            )
+            print(f"section bytes:      {rendered}")
+        info = provenance.get("build_info")
+        if info:
+            print(
+                "built:              "
+                f"{info.get('algorithm', '?')} in "
+                f"{info.get('build_seconds', float('nan')):.2f}s "
+                f"at {info.get('built_at', '?')} "
+                f"(sha {str(info.get('git_sha', '?'))[:12]})"
+            )
+            if "labels_per_second" in info:
+                print(
+                    f"label throughput:   "
+                    f"{info['labels_per_second']:.0f} entries/s"
+                )
+            for phase, entry in (info.get("phases") or {}).items():
+                print(
+                    f"  phase {phase:<13} {entry['seconds']:8.3f}s"
+                    f"  ({entry['count']} spans)"
+                )
     return 0
+
+
+def _cmd_bench_report(args: argparse.Namespace) -> int:
+    """``bench-report``: gate current BENCH_*.json against a baseline."""
+    from repro.bench.regression import (
+        DEFAULT_TOLERANCE,
+        compare_directories,
+        render_report,
+    )
+
+    current_dir = Path(args.current)
+    baseline_dir = Path(args.baseline)
+    if not baseline_dir.is_dir():
+        print(
+            f"error: baseline directory {baseline_dir} does not exist "
+            "(run the benchmarks and copy the BENCH_*.json files there "
+            "to establish one)",
+            file=sys.stderr,
+        )
+        return 1
+    if not list(current_dir.glob("BENCH_*.json")):
+        print(
+            f"error: no BENCH_*.json files in {current_dir} — run the "
+            "benchmarks first (see docs/benchmarks.md)",
+            file=sys.stderr,
+        )
+        return 1
+    report = compare_directories(
+        current_dir,
+        baseline_dir,
+        default_tolerance=(
+            args.tolerance if args.tolerance is not None
+            else DEFAULT_TOLERANCE
+        ),
+        portable_only=args.portable,
+        suites=args.suite,
+    )
+    print(render_report(report, verbose=args.verbose))
+    return 0 if report.ok else 1
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -437,6 +568,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="on-disk index format: inspectable JSON (v1, default) or "
         "packed binary (v3, checksummed, fast to load)",
     )
+    p_build.add_argument(
+        "--progress",
+        action="store_true",
+        help="print live per-node progress and a per-phase time/memory "
+        "breakdown (partition, labels, SPC-graph, packing, serialize)",
+    )
     _add_obs_flags(p_build)
     p_build.set_defaults(func=_cmd_build)
 
@@ -478,6 +615,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch", type=int, default=0, metavar="N",
         help="replay through query_batch in chunks of N "
         "(default 0: per-pair queries)",
+    )
+    p_profile.add_argument(
+        "--flame", metavar="OUT.txt", default=None,
+        help="attach the sampling profiler during the replay and write "
+        "collapsed flamegraph stacks to OUT.txt",
     )
     _add_obs_flags(p_profile)
     p_profile.set_defaults(func=_cmd_profile)
@@ -626,6 +768,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats = sub.add_parser("stats", help="print index statistics")
     p_stats.add_argument("index")
     p_stats.set_defaults(func=_cmd_stats)
+
+    p_bench = sub.add_parser(
+        "bench-report",
+        help="diff current BENCH_*.json files against a committed "
+        "baseline and exit non-zero on regression",
+    )
+    p_bench.add_argument(
+        "--current", metavar="DIR", default=".",
+        help="directory holding the freshly emitted BENCH_*.json "
+        "(default: current directory)",
+    )
+    p_bench.add_argument(
+        "--baseline", metavar="DIR", default="benchmarks/baselines",
+        help="committed baseline snapshot (default benchmarks/baselines)",
+    )
+    p_bench.add_argument(
+        "--tolerance", type=float, default=None, metavar="X",
+        help="default multiplicative tolerance for host-dependent "
+        "metrics (default 1.75; per-unit/per-record values override)",
+    )
+    p_bench.add_argument(
+        "--portable", action="store_true",
+        help="compare only host-independent metrics (ratios, label "
+        "counts, byte sizes) — the mode CI uses against a baseline "
+        "recorded on different hardware",
+    )
+    p_bench.add_argument(
+        "--suite", action="append", default=None, metavar="NAME",
+        help="restrict to these suites (repeatable; default: every "
+        "suite present in --current)",
+    )
+    p_bench.add_argument(
+        "--verbose", action="store_true",
+        help="also list metrics whose status is plain ok",
+    )
+    p_bench.set_defaults(func=_cmd_bench_report)
 
     p_generate = sub.add_parser(
         "generate", help="write a synthetic network as DIMACS"

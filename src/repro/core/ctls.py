@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import random
 import time
-from typing import List, Optional, Union
+from typing import Callable, List, Optional, Union
 
 import repro.obs as obs
 from repro.core.base import (
@@ -131,6 +131,7 @@ class CTLSIndex(SPCIndex):
         strategy: str = "cutsearch",
         engine: str = "csr",
         rng: Optional[random.Random] = None,
+        progress: Optional[Callable[[dict], None]] = None,
     ) -> "CTLSIndex":
         """Run CTLS-Construct on ``graph`` with the chosen strategy.
 
@@ -142,6 +143,9 @@ class CTLSIndex(SPCIndex):
             strategy: ``"basic"`` | ``"pruned"`` | ``"cutsearch"``.
             engine: label-computation engine, ``"csr"`` (default) or
                 ``"dict"`` (reference); identical output.
+            progress: optional callback invoked once per finished cut-
+                tree node with ``{nodes, depth, cut, labels, elapsed}``
+                — the live feed behind ``repro-spc build --progress``.
         """
         if strategy not in STRATEGIES:
             raise IndexBuildError(
@@ -188,6 +192,15 @@ class CTLSIndex(SPCIndex):
                             pg, part.cut, labels, rec, engine=engine
                         )
 
+                    if progress is not None:
+                        progress({
+                            "nodes": node_id + 1,
+                            "depth": depth,
+                            "cut": len(part.cut),
+                            "labels": labels.total_entries,
+                            "elapsed": time.perf_counter() - started,
+                        })
+
                     if not part.left and not part.right:
                         continue
                     through_cut = BlockOutDist(blocks)
@@ -209,10 +222,14 @@ class CTLSIndex(SPCIndex):
                             stack.append((child, node_id, depth + 1))
 
             tree.finalize()
-        index = cls(
-            tree, labels, BuildStats(), graph.num_vertices, graph.num_edges,
-            strategy,
-        )
+        # Arena packing (LabelStore.seal inside the constructor) is a
+        # real pipeline phase on large graphs — give it its own span so
+        # build-phase breakdowns see it.
+        with rec.span("ctls.build.pack"):
+            index = cls(
+                tree, labels, BuildStats(), graph.num_vertices,
+                graph.num_edges, strategy,
+            )
         record_layout_gauges(rec, index.arena)
         stats = BuildStats.from_recorder(
             rec, seconds=time.perf_counter() - started, arena=index.arena

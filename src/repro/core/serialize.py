@@ -29,6 +29,15 @@ the destination directory, are fsync'd, and only then renamed over the
 target — a crash mid-save never clobbers the previous index file.
 
 :func:`load_index` auto-detects the format by sniffing the magic.
+
+**Provenance.** ``save_index(..., build_info=...)`` embeds a build
+provenance dict (git sha, build wall-time, per-phase costs — see
+:func:`repro.obs.buildphase.make_build_info`) into the v1 document and
+the v3 header; loaders attach whatever they find — plus the format
+version and the v3 per-section byte sizes — to the returned index as
+``index.provenance``, which ``repro-spc stats`` and the server's
+``/stats`` endpoint surface.  v2 is a frozen legacy layout and carries
+none.
 """
 
 from __future__ import annotations
@@ -193,21 +202,27 @@ def _atomic_write(
         pass
 
 
-def save_index(index, path: PathLike, *, format: str = "json") -> None:
+def save_index(
+    index, path: PathLike, *, format: str = "json", build_info: dict = None
+) -> None:
     """Serialise a built index (CTL, CTLS, or TL) to ``path``.
 
     ``format="json"`` writes the inspectable v1 document;
     ``format="binary"`` writes the checksummed v3 container;
     ``format="binary-v2"`` writes the legacy v2 container for older
     readers.  :func:`load_index` reads all three.  Every format is
-    written atomically (temp file + fsync + rename).
+    written atomically (temp file + fsync + rename).  ``build_info``
+    (optional) is embedded verbatim as provenance in the v1 and v3
+    formats; v2 has a frozen layout and silently drops it.
     """
     if format not in FORMATS:
         raise SerializationError(
             f"unknown format {format!r}; expected one of {FORMATS}"
         )
     if format == "binary":
-        _atomic_write(path, "wb", lambda h: _write_binary_v3(index, h))
+        _atomic_write(
+            path, "wb", lambda h: _write_binary_v3(index, h, build_info)
+        )
         return
     if format == "binary-v2":
         _atomic_write(path, "wb", lambda h: _write_binary_v2(index, h))
@@ -241,9 +256,31 @@ def save_index(index, path: PathLike, *, format: str = "json") -> None:
         )
     payload["format"] = _FORMAT
     payload["version"] = _VERSION
+    if build_info is not None:
+        payload["build_info"] = build_info
     _atomic_write(
         path, "w", lambda h: json.dump(payload, h), encoding="utf-8"
     )
+
+
+def _attach_provenance(
+    index,
+    path: PathLike,
+    *,
+    format_version: int,
+    build_info: dict = None,
+    sections: dict = None,
+) -> None:
+    """Record where (and from what build) a loaded index came."""
+    provenance = {
+        "path": str(path),
+        "format_version": format_version,
+    }
+    if sections is not None:
+        provenance["sections"] = dict(sections)
+    if build_info is not None:
+        provenance["build_info"] = build_info
+    index.provenance = provenance
 
 
 def load_index(path: PathLike):
@@ -289,7 +326,7 @@ def load_index(path: PathLike):
         )
     kind = payload.get("type")
     if kind == "CTLS":
-        return CTLSIndex(
+        index = CTLSIndex(
             _tree_from_payload(payload["tree"]),
             _labels_from_payload(payload["labels"]),
             BuildStats(),
@@ -297,19 +334,25 @@ def load_index(path: PathLike):
             payload["num_edges"],
             payload["strategy"],
         )
-    if kind == "CTL":
-        return CTLIndex(
+    elif kind == "CTL":
+        index = CTLIndex(
             _tree_from_payload(payload["tree"]),
             _labels_from_payload(payload["labels"]),
             BuildStats(),
             payload["num_vertices"],
             payload["num_edges"],
         )
-    if kind == "TL":
+    elif kind == "TL":
         dist = {int(v): _decode_dist(d) for v, d in payload["dist"].items()}
         count = {int(v): list(c) for v, c in payload["count"].items()}
-        return _tl_from_payload(payload, dist, count)
-    raise SerializationError(f"{path}: unknown index type {kind!r}")
+        index = _tl_from_payload(payload, dist, count)
+    else:
+        raise SerializationError(f"{path}: unknown index type {kind!r}")
+    _attach_provenance(
+        index, path, format_version=_VERSION,
+        build_info=payload.get("build_info"),
+    )
+    return index
 
 
 # ----------------------------------------------------------------------
@@ -376,7 +419,7 @@ def _write_binary_v2(index, handle) -> None:
         section.tofile(handle)
 
 
-def _write_binary_v3(index, handle) -> None:
+def _write_binary_v3(index, handle, build_info: dict = None) -> None:
     """The v3 layout: v2 plus a per-section CRC32 + total-length footer.
 
     CRCs are computed over the raw on-disk bytes (native byte order),
@@ -386,6 +429,8 @@ def _write_binary_v3(index, handle) -> None:
     """
     header = _binary_header(index)
     header["version"] = _BINARY_VERSION3
+    if build_info is not None:
+        header["build_info"] = build_info
     sections = _section_arrays(index)
     header["sections"] = {
         name: len(arr) * arr.itemsize for name, arr in sections
@@ -512,7 +557,9 @@ def _load_binary_v2(path: PathLike, size: int):
         arrays["count"], meta["overflow_positions"],
         meta["overflow_counts"],
     )
-    return _index_from_binary(path, header, arena)
+    index = _index_from_binary(path, header, arena)
+    _attach_provenance(index, path, format_version=_BINARY_VERSION)
+    return index
 
 
 def _read_v3_layout(handle, path: PathLike, size: int):
@@ -611,7 +658,13 @@ def _load_binary_v3(path: PathLike, size: int):
         arrays["count"], meta["overflow_positions"],
         meta["overflow_counts"],
     )
-    return _index_from_binary(path, header, arena)
+    index = _index_from_binary(path, header, arena)
+    _attach_provenance(
+        index, path, format_version=_BINARY_VERSION3,
+        build_info=header.get("build_info"),
+        sections=header.get("sections"),
+    )
+    return index
 
 
 # ----------------------------------------------------------------------

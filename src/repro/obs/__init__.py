@@ -14,6 +14,11 @@ so the library carries a first-class instrumentation layer:
   exposition of any metrics snapshot (:mod:`repro.obs.prometheus`),
   and rolling SLO windows with latency/error objectives
   (:mod:`repro.obs.slo`) — the serving layer's per-request story.
+* **Performance telemetry** — the ``BENCH_*.json`` benchmark record
+  schema and writer (:mod:`repro.obs.perf`), build-phase timing and
+  memory tracking (:mod:`repro.obs.buildphase`), and a wall-clock
+  sampling profiler with collapsed-stack / Chrome-trace export
+  (:mod:`repro.obs.sampling`).
 
 Observability is *disabled by default* and costs near zero when off:
 the module-level :data:`ENABLED` flag gates per-query timing, and the
@@ -56,7 +61,23 @@ from repro.obs.prometheus import (
     render_prometheus,
     validate_prometheus_text,
 )
+from repro.obs.buildphase import (
+    BuildPhaseTracker,
+    PhaseStat,
+    ProgressPrinter,
+    make_build_info,
+    peak_rss_bytes,
+    phase_breakdown,
+)
+from repro.obs.perf import (
+    PerfRecord,
+    PerfSuite,
+    append_trajectory,
+    capture_environment,
+    validate_perf_payload,
+)
 from repro.obs.recorders import NULL_RECORDER, NullRecorder, Recorder
+from repro.obs.sampling import SamplingProfiler, profile_for
 from repro.obs.slo import SloPolicy, SloWindow
 from repro.obs.tracing import (
     SpanEvent,
@@ -114,6 +135,7 @@ def span(name: str, **attrs):
 
 
 __all__ = [
+    "BuildPhaseTracker",
     "COUNT_BUCKETS",
     "Counter",
     "ENABLED",
@@ -124,21 +146,33 @@ __all__ = [
     "NULL_RECORDER",
     "NullRecorder",
     "PROMETHEUS_CONTENT_TYPE",
+    "PerfRecord",
+    "PerfSuite",
+    "PhaseStat",
+    "ProgressPrinter",
     "Recorder",
     "RequestIdGenerator",
     "RequestLog",
     "Sampler",
+    "SamplingProfiler",
     "SloPolicy",
     "SloWindow",
     "SpanEvent",
+    "append_trajectory",
     "build_scope",
+    "capture_environment",
     "chrome_trace_payload",
     "configure",
     "disable",
+    "make_build_info",
+    "peak_rss_bytes",
+    "phase_breakdown",
+    "profile_for",
     "recorder",
     "render_prometheus",
     "span",
     "span_summary",
     "validate_chrome_trace",
+    "validate_perf_payload",
     "write_chrome_trace",
 ]

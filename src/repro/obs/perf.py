@@ -1,0 +1,406 @@
+"""Benchmark telemetry: the ``BENCH_<name>.json`` performance trajectory.
+
+Every benchmark under ``benchmarks/`` funnels its measurements through
+one schema — :class:`PerfRecord` — and one writer — :class:`PerfSuite`
+— so the repo accumulates machine-readable speed data next to the prose
+claims.  A suite corresponds to one benchmark module (``bench_serve.py``
+→ ``BENCH_serve.json``) and carries an environment stamp (git sha,
+timestamp, host, python) shared by all its records.
+
+Records keep the *raw samples* alongside derived percentiles: the
+regression gate (:mod:`repro.bench.regression`) compares medians, but a
+future reader can always re-derive tails from the samples.
+
+Two durability artifacts come out of a bench run:
+
+* ``BENCH_<name>.json`` at the repo root — the latest full payload for
+  one suite, versioned in git so re-anchors can diff it across PRs.
+* ``BENCH_TRAJECTORY.jsonl`` — one compact line per (git sha, suite)
+  with just the headline medians, appended across runs; reruns at the
+  same sha replace their previous line instead of stacking noise.
+
+Units double as semantics for the regression gate: dimensionless ratios
+(``"x"``) and deterministic counts (``"labels"``, ``"bytes"``,
+``"count"``) are *portable* across hosts and gated tightly; absolute
+wall-clock units (``"us/query"``, ``"qps"``, ``"s"``) depend on the
+machine and get looser default tolerances.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import socket
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "PERF_SCHEMA_VERSION",
+    "PORTABLE_UNITS",
+    "PerfError",
+    "PerfRecord",
+    "PerfSuite",
+    "append_trajectory",
+    "bench_filename",
+    "capture_environment",
+    "git_sha",
+    "load_bench_payloads",
+    "percentile",
+    "validate_perf_payload",
+]
+
+#: Bumped whenever the payload shape changes incompatibly.
+PERF_SCHEMA_VERSION = 1
+
+#: Format tag carried by every payload, checked by the validator.
+PERF_FORMAT = "repro-spc-bench"
+
+#: Units whose values are comparable across machines: dimensionless
+#: ratios and deterministic counts/sizes.  Everything else (latency,
+#: QPS, seconds) is host-dependent.
+PORTABLE_UNITS = frozenset({"x", "ratio", "count", "labels", "bytes", "entries"})
+
+_DIRECTIONS = ("lower", "higher")
+
+
+class PerfError(ReproError):
+    """A perf record or payload is malformed."""
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) with linear interpolation."""
+    if not values:
+        raise PerfError("percentile of empty sample set")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return float(ordered[low] * (1.0 - frac) + ordered[high] * frac)
+
+
+def git_sha(cwd: Optional[Path] = None) -> str:
+    """The current commit sha, or ``"unknown"`` outside a checkout.
+
+    ``REPRO_GIT_SHA`` overrides — CI and tests pin it without needing a
+    git binary or a repo.
+    """
+    override = os.environ.get("REPRO_GIT_SHA")
+    if override:
+        return override
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(cwd) if cwd else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def capture_environment(cwd: Optional[Path] = None) -> Dict[str, object]:
+    """The environment stamp shared by all records of one suite."""
+    return {
+        "git_sha": git_sha(cwd),
+        "timestamp": time.time(),
+        "date": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "host": socket.gethostname(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+@dataclass(frozen=True)
+class PerfRecord:
+    """One measured metric: raw samples plus derived statistics.
+
+    ``direction`` states which way is better so the regression gate can
+    be sign-aware; ``tolerance`` (optional) overrides the gate's
+    per-unit default ratio for this metric alone.
+    """
+
+    metric: str
+    unit: str
+    samples: Tuple[float, ...]
+    direction: str = "lower"
+    dataset: Optional[str] = None
+    tolerance: Optional[float] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.metric:
+            raise PerfError("metric name must be non-empty")
+        if not self.samples:
+            raise PerfError(f"{self.metric}: at least one sample required")
+        if self.direction not in _DIRECTIONS:
+            raise PerfError(
+                f"{self.metric}: direction must be one of {_DIRECTIONS}"
+            )
+        if self.tolerance is not None and self.tolerance < 1.0:
+            raise PerfError(f"{self.metric}: tolerance must be >= 1.0")
+        for sample in self.samples:
+            if not isinstance(sample, (int, float)):
+                raise PerfError(f"{self.metric}: non-numeric sample {sample!r}")
+
+    @property
+    def value(self) -> float:
+        """The headline value: the median of the samples."""
+        return percentile(self.samples, 50)
+
+    @property
+    def portable(self) -> bool:
+        """Whether this metric is comparable across hosts."""
+        return self.unit in PORTABLE_UNITS
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "metric": self.metric,
+            "unit": self.unit,
+            "direction": self.direction,
+            "dataset": self.dataset,
+            "samples": list(self.samples),
+            "value": self.value,
+            "p50": percentile(self.samples, 50),
+            "p95": percentile(self.samples, 95),
+            "p99": percentile(self.samples, 99),
+            "portable": self.portable,
+        }
+        if self.tolerance is not None:
+            data["tolerance"] = self.tolerance
+        if self.attrs:
+            data["attrs"] = dict(self.attrs)
+        return data
+
+
+class PerfSuite:
+    """Collects the records of one benchmark module and writes them.
+
+    ``record()`` is the single entry point benchmarks call; the suite
+    stamps the environment once at construction so every record of one
+    run shares the same sha/timestamp.
+    """
+
+    def __init__(self, name: str, *, cwd: Optional[Path] = None) -> None:
+        if not name:
+            raise PerfError("suite name must be non-empty")
+        self.name = name
+        self.environment = capture_environment(cwd)
+        self.records: List[PerfRecord] = []
+
+    def record(
+        self,
+        metric: str,
+        samples: Iterable[float],
+        *,
+        unit: str,
+        direction: str = "lower",
+        dataset: Optional[str] = None,
+        tolerance: Optional[float] = None,
+        **attrs: object,
+    ) -> PerfRecord:
+        """Add one metric; returns the frozen record."""
+        rec = PerfRecord(
+            metric=metric,
+            unit=unit,
+            samples=tuple(float(s) for s in samples),
+            direction=direction,
+            dataset=dataset,
+            tolerance=tolerance,
+            attrs=dict(attrs),
+        )
+        self.records.append(rec)
+        return rec
+
+    def payload(self) -> Dict[str, object]:
+        """The full JSON payload for ``BENCH_<name>.json``."""
+        return {
+            "format": PERF_FORMAT,
+            "version": PERF_SCHEMA_VERSION,
+            "name": self.name,
+            "environment": dict(self.environment),
+            "records": [rec.to_dict() for rec in self.records],
+        }
+
+    def write(self, directory: Path) -> Path:
+        """Write ``BENCH_<name>.json`` into ``directory`` atomically."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / bench_filename(self.name)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(
+            json.dumps(self.payload(), indent=2, sort_keys=True) + "\n"
+        )
+        tmp.replace(path)
+        return path
+
+
+def bench_filename(name: str) -> str:
+    """``BENCH_<name>.json`` for a suite name."""
+    return f"BENCH_{name}.json"
+
+
+def validate_perf_payload(payload: object) -> List[str]:
+    """Schema-check one BENCH payload; returns problems (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not a JSON object"]
+    if payload.get("format") != PERF_FORMAT:
+        problems.append(
+            f"format is {payload.get('format')!r}, expected {PERF_FORMAT!r}"
+        )
+    if payload.get("version") != PERF_SCHEMA_VERSION:
+        problems.append(
+            f"version is {payload.get('version')!r}, "
+            f"expected {PERF_SCHEMA_VERSION}"
+        )
+    if not isinstance(payload.get("name"), str) or not payload.get("name"):
+        problems.append("name must be a non-empty string")
+    env = payload.get("environment")
+    if not isinstance(env, dict):
+        problems.append("environment must be an object")
+    else:
+        for key in ("git_sha", "timestamp", "host", "python"):
+            if key not in env:
+                problems.append(f"environment.{key} missing")
+    records = payload.get("records")
+    if not isinstance(records, list):
+        problems.append("records must be a list")
+        return problems
+    if not records:
+        problems.append("records is empty")
+    for i, rec in enumerate(records):
+        where = f"records[{i}]"
+        if not isinstance(rec, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        metric = rec.get("metric")
+        if not isinstance(metric, str) or not metric:
+            problems.append(f"{where}.metric must be a non-empty string")
+        else:
+            where = f"records[{i}] ({metric})"
+        if not isinstance(rec.get("unit"), str) or not rec.get("unit"):
+            problems.append(f"{where}.unit must be a non-empty string")
+        if rec.get("direction") not in _DIRECTIONS:
+            problems.append(
+                f"{where}.direction must be one of {_DIRECTIONS}"
+            )
+        samples = rec.get("samples")
+        if (
+            not isinstance(samples, list)
+            or not samples
+            or not all(isinstance(s, (int, float)) for s in samples)
+        ):
+            problems.append(f"{where}.samples must be a non-empty number list")
+            continue
+        for key in ("value", "p50", "p95", "p99"):
+            if not isinstance(rec.get(key), (int, float)):
+                problems.append(f"{where}.{key} must be a number")
+        value = rec.get("value")
+        if isinstance(value, (int, float)):
+            expected = percentile(samples, 50)
+            scale = max(abs(expected), 1e-12)
+            if abs(value - expected) > 1e-9 * scale:
+                problems.append(
+                    f"{where}.value {value} != median(samples) {expected}"
+                )
+        tolerance = rec.get("tolerance")
+        if tolerance is not None and (
+            not isinstance(tolerance, (int, float)) or tolerance < 1.0
+        ):
+            problems.append(f"{where}.tolerance must be a number >= 1.0")
+    return problems
+
+
+def _trajectory_line(payload: Dict[str, object]) -> Dict[str, object]:
+    env = payload.get("environment", {})
+    metrics: Dict[str, float] = {}
+    for rec in payload.get("records", []):
+        key = rec["metric"]
+        if rec.get("dataset"):
+            key = f"{key}[{rec['dataset']}]"
+        metrics[key] = rec["value"]
+    return {
+        "git_sha": env.get("git_sha", "unknown"),
+        "timestamp": env.get("timestamp"),
+        "date": env.get("date"),
+        "name": payload.get("name"),
+        "metrics": metrics,
+    }
+
+
+def append_trajectory(
+    directory: Path,
+    payload: Dict[str, object],
+    *,
+    filename: str = "BENCH_TRAJECTORY.jsonl",
+) -> Path:
+    """Merge one suite's headline medians into the trajectory file.
+
+    One JSON line per (git sha, suite name); a rerun at the same sha
+    replaces its previous line so the file tracks one point per commit
+    rather than accumulating noise.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / filename
+    line = _trajectory_line(payload)
+    kept: List[str] = []
+    if path.exists():
+        for raw in path.read_text().splitlines():
+            if not raw.strip():
+                continue
+            try:
+                existing = json.loads(raw)
+            except json.JSONDecodeError:
+                kept.append(raw)  # preserve unparseable lines verbatim
+                continue
+            if (
+                existing.get("git_sha") == line["git_sha"]
+                and existing.get("name") == line["name"]
+            ):
+                continue
+            kept.append(raw)
+    kept.append(json.dumps(line, sort_keys=True))
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text("\n".join(kept) + "\n")
+    tmp.replace(path)
+    return path
+
+
+def load_bench_payloads(directory: Path) -> Dict[str, Dict[str, object]]:
+    """All ``BENCH_*.json`` payloads in ``directory``, keyed by suite name.
+
+    Raises :class:`PerfError` for unreadable or schema-invalid files —
+    a corrupt baseline should fail the gate loudly, not silently pass.
+    """
+    directory = Path(directory)
+    payloads: Dict[str, Dict[str, object]] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise PerfError(f"{path}: unreadable bench payload: {exc}")
+        problems = validate_perf_payload(payload)
+        if problems:
+            raise PerfError(
+                f"{path}: invalid bench payload: {'; '.join(problems[:3])}"
+            )
+        payloads[payload["name"]] = payload
+    return payloads

@@ -1,0 +1,292 @@
+"""A stdlib wall-clock sampling profiler for live processes.
+
+A daemon thread wakes up every ``interval_s`` seconds, snapshots every
+thread's Python stack via :func:`sys._current_frames`, and aggregates
+the stacks into counts.  Nothing is instrumented and nothing is traced
+per-call, so attaching to a hot server perturbs it by well under 5% —
+the serving benchmark asserts exactly that.
+
+Two export formats:
+
+* :meth:`SamplingProfiler.collapsed` — Brendan Gregg's collapsed-stack
+  text (``thread;outer;...;leaf count`` per line), which
+  ``flamegraph.pl`` and https://speedscope.app consume directly.
+* :meth:`SamplingProfiler.chrome_trace` — a Chrome trace-event payload
+  (one complete event per distinct stack, duration = samples x
+  interval), loadable in Perfetto and checked by the same
+  :func:`~repro.obs.tracing.validate_chrome_trace` the span exporter
+  uses.
+
+The sampler sees the world in ticks: a function that holds the GIL for
+30% of wall time owns ~30% of samples.  C extensions that release the
+GIL (the numpy ``scan_batch`` kernel) are attributed to the Python
+frame that called them, which is exactly the attribution a flamegraph
+reader wants.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.exceptions import ReproError
+
+__all__ = ["ProfilerError", "SamplingProfiler", "profile_for"]
+
+#: Default sampling period: 10 ms (100 Hz, py-spy's default) resolves
+#: hot paths in a few seconds while the sampling work stays negligible.
+#: Deliberately *not* 5 ms: that resonates with CPython's 5 ms GIL
+#: switch interval, and on a single-core host the beat pattern cost
+#: the serving benchmark up to 25% throughput; at 10 ms the same load
+#: measures under 5% (and usually under 2%).
+DEFAULT_INTERVAL_S = 0.010
+
+#: Frames deeper than this are truncated (defensive: recursive code).
+MAX_STACK_DEPTH = 128
+
+
+class ProfilerError(ReproError):
+    """The profiler was driven through an invalid transition."""
+
+
+#: ``code object -> label`` memo.  The sampler walks the same code
+#: objects thousands of times per capture; building ``Path(...).stem``
+#: per visit costs more than the rest of the tick combined (visible on
+#: single-core runners, where sampler CPU comes straight out of
+#: serving throughput).  Keyed on the code object itself — hashable,
+#: alive for as long as any frame can reference it.
+_LABEL_CACHE: Dict[object, str] = {}
+
+
+def _frame_label(frame) -> str:
+    """``module.function`` for one frame, compact but unambiguous."""
+    code = frame.f_code
+    label = _LABEL_CACHE.get(code)
+    if label is None:
+        label = f"{Path(code.co_filename).stem}.{code.co_name}"
+        _LABEL_CACHE[code] = label
+    return label
+
+
+def _stack_of(frame) -> Tuple[str, ...]:
+    """The stack below ``frame`` as outermost-first labels."""
+    labels: List[str] = []
+    while frame is not None and len(labels) < MAX_STACK_DEPTH:
+        labels.append(_frame_label(frame))
+        frame = frame.f_back
+    labels.reverse()
+    return tuple(labels)
+
+
+class SamplingProfiler:
+    """Samples all threads' stacks on a timer; start/stop or ``with``.
+
+    A profiler instance is single-shot: ``start`` → ``stop`` → read the
+    results.  Restarting a stopped profiler raises — allocate a fresh
+    one per capture so exports are never a blend of two windows.
+    """
+
+    def __init__(
+        self,
+        interval_s: float = DEFAULT_INTERVAL_S,
+        *,
+        max_samples: int = 1_000_000,
+    ) -> None:
+        if interval_s <= 0:
+            raise ProfilerError("interval_s must be > 0")
+        if max_samples < 1:
+            raise ProfilerError("max_samples must be >= 1")
+        self.interval_s = interval_s
+        self.max_samples = max_samples
+        self._counts: Counter = Counter()
+        self._thread_names: Dict[int, str] = {}
+        self._sample_count = 0
+        self._cpu_seconds = 0.0
+        self._thread: Optional[threading.Thread] = None
+        self._stop_event = threading.Event()
+        self._started = False
+        self._wall_seconds = 0.0
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None or self._started:
+            raise ProfilerError("profiler already started")
+        self._started = True
+        self._stop_event.clear()
+        self._t0 = time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._run, name="spc-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            raise ProfilerError("profiler is not running")
+        self._stop_event.set()
+        self._thread.join(timeout=5.0)
+        self._wall_seconds = time.perf_counter() - self._t0
+        self._thread = None
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        if self._thread is not None:
+            self.stop()
+
+    # -- the sampling loop --------------------------------------------
+
+    def _run(self) -> None:
+        own_ident = threading.get_ident()
+        interval = self.interval_s
+        names = self._thread_names
+        counts = self._counts
+        # Per-thread walked-stack memo: ``ident -> (leaf frame, its
+        # f_back, stack tuple)``.  A blocked thread (socket reads, lock
+        # waits — most threads of a server, most of the time) keeps the
+        # same leaf frame between ticks, so its stack need not be
+        # re-walked.  Holding the frame object pins its id, making the
+        # identity test sound; comparing ``f_back`` too catches a
+        # generator frame resumed from a different caller.  On a
+        # single-core host this cuts sampler CPU severalfold, which
+        # comes straight back as serving throughput.
+        walked: Dict[int, Tuple[object, object, Tuple[str, ...]]] = {}
+        while not self._stop_event.wait(interval):
+            if self._sample_count >= self.max_samples:
+                break
+            tick_cpu0 = time.thread_time()
+            frames = sys._current_frames()
+            # Thread names are resolved lazily: ``threading.enumerate``
+            # takes a lock and builds a list, so it only runs on ticks
+            # that see a not-yet-named ident, not on every sample.
+            if any(ident not in names for ident in frames):
+                for thread in threading.enumerate():
+                    if thread.ident is not None:
+                        names[thread.ident] = thread.name
+            for ident, frame in frames.items():
+                if ident == own_ident:
+                    continue
+                name = names.get(ident)
+                if name is None:
+                    name = names[ident] = f"thread-{ident}"
+                memo = walked.get(ident)
+                if (
+                    memo is not None
+                    and memo[0] is frame
+                    and memo[1] is frame.f_back
+                ):
+                    stack = memo[2]
+                else:
+                    stack = _stack_of(frame)
+                    walked[ident] = (frame, frame.f_back, stack)
+                counts[(name, stack)] += 1
+            self._sample_count += 1
+            self._cpu_seconds += time.thread_time() - tick_cpu0
+
+    # -- results ------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    @property
+    def sample_count(self) -> int:
+        """Timer ticks taken (each tick samples every thread once)."""
+        return self._sample_count
+
+    @property
+    def wall_seconds(self) -> float:
+        """The captured window's wall-clock length (set by ``stop``)."""
+        return self._wall_seconds
+
+    @property
+    def cpu_seconds(self) -> float:
+        """CPU the sampling loop itself consumed (self-accounted).
+
+        The profiler's true cost to the profiled process: on a
+        saturated core every CPU second the sampler burns is a CPU
+        second the application did not get, so
+        ``cpu_seconds / window CPU`` *is* the throughput overhead —
+        and unlike an A/B wall-clock comparison it is free of
+        scheduler noise.  Accounting costs two ``thread_time`` calls
+        per tick, well under 1% of a tick's work.
+        """
+        return self._cpu_seconds
+
+    def stack_counts(self) -> Dict[Tuple[str, Tuple[str, ...]], int]:
+        """Raw ``(thread name, stack) -> samples`` aggregation."""
+        return dict(self._counts)
+
+    def collapsed(self) -> str:
+        """Collapsed-stack text: ``thread;outer;...;leaf count`` lines."""
+        lines = []
+        for (name, stack), count in sorted(
+            self._counts.items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            frames = ";".join((name.replace(";", "_"),) + stack)
+            lines.append(f"{frames} {count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def chrome_trace(self) -> dict:
+        """Chrome trace-event payload: one complete event per stack.
+
+        Events are laid end-to-end per thread (sampled time, not real
+        time): the viewer shows each stack's share of the window.
+        """
+        pid = os.getpid()
+        tids = {
+            name: tid
+            for tid, name in enumerate(
+                sorted({name for name, _ in self._counts}), start=1
+            )
+        }
+        cursors = {name: 0.0 for name in tids}
+        events = []
+        for (name, stack), count in sorted(
+            self._counts.items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            duration_us = count * self.interval_s * 1e6
+            events.append(
+                {
+                    "name": stack[-1] if stack else "(idle)",
+                    "cat": "sample",
+                    "ph": "X",
+                    "ts": round(cursors[name], 3),
+                    "dur": round(duration_us, 3),
+                    "pid": pid,
+                    "tid": tids[name],
+                    "args": {
+                        "thread": name,
+                        "samples": count,
+                        "stack": ";".join(stack),
+                    },
+                }
+            )
+            cursors[name] += duration_us
+        return {"displayTimeUnit": "ms", "traceEvents": events}
+
+    def write_collapsed(self, path: Union[str, Path]) -> Path:
+        """Write the collapsed-stack text to ``path``."""
+        path = Path(path)
+        path.write_text(self.collapsed())
+        return path
+
+
+def profile_for(
+    seconds: float, *, interval_s: float = DEFAULT_INTERVAL_S
+) -> SamplingProfiler:
+    """Block for ``seconds`` while sampling; returns the stopped profiler."""
+    if seconds <= 0:
+        raise ProfilerError("seconds must be > 0")
+    profiler = SamplingProfiler(interval_s=interval_s)
+    profiler.start()
+    time.sleep(seconds)
+    profiler.stop()
+    return profiler

@@ -168,7 +168,11 @@ def run_top(
             _, metrics = fetch_json(host, port, "/metrics")
             health_code, health = fetch_json(host, port, "/health")
             health_status = health.get("status", f"http {health_code}")
-        except (OSError, ValueError) as exc:
+        except (OSError, ValueError, http.client.HTTPException) as exc:
+            # HTTPException covers non-HTTP peers (BadStatusLine,
+            # RemoteDisconnected) — without it a port that answers but
+            # does not speak HTTP produced a traceback instead of the
+            # one-line error scripts and the CI smoke job assert on.
             print(f"repro-spc top: cannot reach {target}: {exc}",
                   file=sys.stderr)
             return 1

@@ -1,0 +1,195 @@
+"""Tests for the perf-regression gate (``repro.bench.regression``)."""
+
+import pytest
+
+from repro.bench.regression import (
+    DEFAULT_TOLERANCE,
+    UNIT_TOLERANCES,
+    MetricDelta,
+    compare_directories,
+    compare_payloads,
+    render_report,
+)
+from repro.obs.perf import PerfSuite
+
+
+def _payload(records):
+    """A ``{suite: payload}`` map from ``(metric, samples, kwargs)``."""
+    suite = PerfSuite("demo")
+    for metric, samples, kwargs in records:
+        suite.record(metric, samples, **kwargs)
+    return {"demo": suite.payload()}
+
+
+class TestComparePayloads:
+    def test_identical_is_ok(self):
+        current = _payload([("q", [10.0], {"unit": "us"})])
+        report = compare_payloads(current, current)
+        assert report.ok
+        assert [d.status for d in report.deltas] == ["ok"]
+
+    def test_double_latency_regresses(self):
+        baseline = _payload([("q", [10.0], {"unit": "us"})])
+        current = _payload([("q", [20.0], {"unit": "us"})])
+        report = compare_payloads(current, baseline)
+        assert not report.ok
+        (delta,) = report.regressions
+        assert delta.metric == "q"
+        assert delta.ratio == pytest.approx(2.0)
+
+    def test_within_tolerance_is_ok(self):
+        baseline = _payload([("q", [10.0], {"unit": "us"})])
+        current = _payload([("q", [15.0], {"unit": "us"})])
+        assert compare_payloads(current, baseline).ok
+
+    def test_higher_direction_flips_the_test(self):
+        baseline = _payload(
+            [("qps", [1000.0], {"unit": "req/s", "direction": "higher"})]
+        )
+        worse = _payload(
+            [("qps", [400.0], {"unit": "req/s", "direction": "higher"})]
+        )
+        better = _payload(
+            [("qps", [2000.0], {"unit": "req/s", "direction": "higher"})]
+        )
+        assert not compare_payloads(worse, baseline).ok
+        report = compare_payloads(better, baseline)
+        assert report.ok
+        assert report.deltas[0].status == "improved"
+
+    def test_tight_tolerance_for_portable_units(self):
+        # 8% more label entries must fail (tolerance 1.05), while the
+        # same drift in a host-dependent unit passes (tolerance 1.75).
+        baseline = _payload([
+            ("entries", [1000], {"unit": "entries"}),
+            ("latency", [1000.0], {"unit": "us"}),
+        ])
+        current = _payload([
+            ("entries", [1080], {"unit": "entries"}),
+            ("latency", [1080.0], {"unit": "us"}),
+        ])
+        report = compare_payloads(current, baseline)
+        statuses = {d.metric: d.status for d in report.deltas}
+        assert statuses["entries"] == "regression"
+        assert statuses["latency"] == "ok"
+
+    def test_explicit_record_tolerance_wins(self):
+        baseline = _payload(
+            [("q", [10.0], {"unit": "us", "tolerance": 1.05})]
+        )
+        current = _payload(
+            [("q", [11.0], {"unit": "us", "tolerance": 1.05})]
+        )
+        assert not compare_payloads(current, baseline).ok
+
+    def test_new_and_missing_metrics_do_not_fail(self):
+        baseline = _payload([("old", [1.0], {"unit": "us"})])
+        current = _payload([("new", [1.0], {"unit": "us"})])
+        report = compare_payloads(current, baseline)
+        assert report.ok
+        statuses = {d.metric: d.status for d in report.deltas}
+        assert statuses == {"new": "new", "old": "missing"}
+
+    def test_portable_only_filters(self):
+        baseline = _payload([
+            ("entries", [1000], {"unit": "entries"}),
+            ("latency", [10.0], {"unit": "us"}),
+        ])
+        current = _payload([
+            ("entries", [1000], {"unit": "entries"}),
+            ("latency", [99.0], {"unit": "us"}),
+        ])
+        report = compare_payloads(current, baseline, portable_only=True)
+        assert report.ok
+        assert [d.metric for d in report.deltas] == ["entries"]
+
+    def test_datasets_compared_independently(self):
+        baseline = _payload([
+            ("q", [10.0], {"unit": "us", "dataset": "NY"}),
+            ("q", [20.0], {"unit": "us", "dataset": "COL"}),
+        ])
+        current = _payload([
+            ("q", [10.0], {"unit": "us", "dataset": "NY"}),
+            ("q", [90.0], {"unit": "us", "dataset": "COL"}),
+        ])
+        report = compare_payloads(current, baseline)
+        (bad,) = report.regressions
+        assert bad.dataset == "COL"
+        assert "COL" in bad.key
+
+
+class TestTolerances:
+    def test_default_below_the_synthetic_regression_bar(self):
+        # The acceptance scenario injects a 2x slowdown; the default
+        # tolerance must catch it.
+        assert DEFAULT_TOLERANCE < 2.0
+
+    def test_unit_tolerances_all_tighter_than_default(self):
+        for unit, tolerance in UNIT_TOLERANCES.items():
+            assert 1.0 < tolerance < DEFAULT_TOLERANCE, unit
+
+
+class TestCompareDirectories:
+    def test_directory_diff(self, tmp_path):
+        current_dir = tmp_path / "current"
+        baseline_dir = tmp_path / "baseline"
+        current_dir.mkdir()
+        baseline_dir.mkdir()
+        suite = PerfSuite("demo")
+        suite.record("q", [10.0], unit="us")
+        suite.write(baseline_dir)
+        slow = PerfSuite("demo")
+        slow.record("q", [30.0], unit="us")
+        slow.write(current_dir)
+        report = compare_directories(current_dir, baseline_dir)
+        assert not report.ok
+
+    def test_suites_absent_from_current_are_skipped(self, tmp_path):
+        # A quick-mode run produces only some suites; missing ones in
+        # the current directory must not fail the gate.
+        current_dir = tmp_path / "current"
+        baseline_dir = tmp_path / "baseline"
+        current_dir.mkdir()
+        baseline_dir.mkdir()
+        for name in ("one", "two"):
+            suite = PerfSuite(name)
+            suite.record("q", [10.0], unit="us")
+            suite.write(baseline_dir)
+        suite = PerfSuite("one")
+        suite.record("q", [10.0], unit="us")
+        suite.write(current_dir)
+        report = compare_directories(current_dir, baseline_dir)
+        assert report.ok
+
+
+class TestRenderReport:
+    def test_regressions_listed_first_and_summary_line(self):
+        baseline = _payload([
+            ("a", [10.0], {"unit": "us"}),
+            ("b", [10.0], {"unit": "us"}),
+        ])
+        current = _payload([
+            ("a", [10.0], {"unit": "us"}),
+            ("b", [50.0], {"unit": "us"}),
+        ])
+        report = compare_payloads(current, baseline)
+        text = render_report(report)
+        assert "FAIL: 1 regression" in text
+        lines = [l for l in text.splitlines() if l.startswith("demo:")]
+        assert "demo:b" in lines[0]
+
+    def test_clean_report_summary(self):
+        payload = _payload([("a", [10.0], {"unit": "us"})])
+        report = compare_payloads(payload, payload)
+        assert "ok" in render_report(report)
+
+
+class TestMetricDelta:
+    def test_key_includes_dataset(self):
+        delta = MetricDelta(
+            suite="s", metric="m", dataset="NY", unit="us",
+            direction="lower", baseline=1.0, current=2.0,
+            tolerance=1.75, status="regression",
+        )
+        assert delta.key == "s:m[NY]"
+        assert delta.ratio == pytest.approx(2.0)

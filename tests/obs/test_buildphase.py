@@ -1,0 +1,142 @@
+"""Tests for build-phase observability (``repro.obs.buildphase``)."""
+
+import io
+
+from repro.obs.buildphase import (
+    BuildPhaseTracker,
+    ProgressPrinter,
+    make_build_info,
+    peak_rss_bytes,
+    phase_breakdown,
+)
+from repro.obs.tracing import SpanEvent
+
+
+def _span(name, duration):
+    return SpanEvent(name=name, start=0.0, duration=duration, attrs={})
+
+
+class TestPeakRss:
+    def test_positive_on_posix(self):
+        rss = peak_rss_bytes()
+        assert rss is None or rss > 1_000_000  # >1MB for any python
+
+
+class TestBuildPhaseTracker:
+    def test_phases_recorded_in_order(self):
+        tracker = BuildPhaseTracker()
+        with tracker.phase("load-graph"):
+            pass
+        with tracker.phase("build", nodes=5):
+            pass
+        tracker.close()
+        assert [p.name for p in tracker.phases] == ["load-graph", "build"]
+        assert tracker.phases[1].attrs == {"nodes": 5}
+        for stat in tracker.phases:
+            assert stat.seconds >= 0
+
+    def test_progress_lines_emitted(self):
+        lines = []
+        tracker = BuildPhaseTracker(progress=lines.append)
+        with tracker.phase("build"):
+            pass
+        tracker.close()
+        assert len(lines) == 1
+        assert lines[0].startswith("[build] build")
+
+    def test_attrs_mutable_inside_phase(self):
+        tracker = BuildPhaseTracker()
+        with tracker.phase("build") as attrs:
+            attrs["labels"] = 42
+        assert tracker.phases[0].attrs["labels"] == 42
+
+    def test_tracemalloc_deltas_when_tracing(self):
+        tracker = BuildPhaseTracker(trace_allocations=True)
+        try:
+            with tracker.phase("build"):
+                blob = [0] * 100_000  # noqa: F841 — allocate visibly
+        finally:
+            tracker.close()
+        assert tracker.phases[0].alloc_delta_bytes is not None
+
+    def test_summary_is_json_ready(self):
+        tracker = BuildPhaseTracker()
+        with tracker.phase("build", nodes=3):
+            pass
+        tracker.close()
+        summary = tracker.summary()
+        assert summary[0]["name"] == "build"
+        assert summary[0]["nodes"] == 3
+
+
+class TestProgressPrinter:
+    def test_throttles_and_finishes(self):
+        lines = []
+        printer = ProgressPrinter(lines.append, min_interval_s=3600)
+        state = {
+            "nodes": 1, "depth": 0, "cut": 4, "labels": 10, "elapsed": 0.1
+        }
+        printer(state)  # first call passes the throttle
+        printer({**state, "nodes": 2})  # throttled away
+        printer({**state, "nodes": 3})  # throttled away
+        printer.finish()  # final state always printed
+        assert len(lines) == 2
+        assert "node     1" in lines[0]
+        assert "node     3" in lines[1]
+
+    def test_finish_idempotent(self):
+        lines = []
+        printer = ProgressPrinter(lines.append, min_interval_s=0)
+        printer.finish()  # nothing buffered: no output
+        assert lines == []
+
+
+class TestPhaseBreakdown:
+    def test_folds_spans_into_phases(self):
+        events = [
+            _span("partition.balanced_cut", 0.25),
+            _span("partition.balanced_cut", 0.25),
+            _span("ctls.build.labels", 1.0),
+            _span("ctls.build.shortcuts", 0.5),
+            _span("ctls.build.pack", 0.1),
+            _span("ssspc.run", 9.9),  # counted inside labels: skipped
+        ]
+        breakdown = phase_breakdown(events)
+        assert breakdown["partition"] == {"seconds": 0.5, "count": 2}
+        assert breakdown["labels"]["seconds"] == 1.0
+        assert breakdown["spc_graph"]["seconds"] == 0.5
+        assert breakdown["pack"]["seconds"] == 0.1
+        assert "ssspc.run" not in breakdown
+
+    def test_canonical_order(self):
+        events = [
+            _span("ctls.build.pack", 0.1),
+            _span("partition.balanced_cut", 0.2),
+        ]
+        assert list(phase_breakdown(events)) == ["partition", "pack"]
+
+    def test_empty(self):
+        assert phase_breakdown([]) == {}
+
+
+class TestMakeBuildInfo:
+    def test_core_fields(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GIT_SHA", "abc123")
+        info = make_build_info(
+            algorithm="ctls",
+            build_seconds=2.0,
+            label_entries=1000,
+            phases={"labels": {"seconds": 1.5, "count": 1}},
+            extras={"graph": "net.gr"},
+        )
+        assert info["algorithm"] == "ctls"
+        assert info["git_sha"] == "abc123"
+        assert info["labels_per_second"] == 500.0
+        assert info["phases"]["labels"]["count"] == 1
+        assert info["graph"] == "net.gr"
+
+    def test_zero_build_seconds_no_throughput(self):
+        info = make_build_info(
+            algorithm="tl", build_seconds=0.0, label_entries=10
+        )
+        assert "labels_per_second" not in info

@@ -1,0 +1,179 @@
+"""Tests for the benchmark telemetry schema (``repro.obs.perf``)."""
+
+import json
+
+import pytest
+
+from repro.obs.perf import (
+    PERF_FORMAT,
+    PERF_SCHEMA_VERSION,
+    PerfError,
+    PerfRecord,
+    PerfSuite,
+    append_trajectory,
+    bench_filename,
+    capture_environment,
+    git_sha,
+    load_bench_payloads,
+    percentile,
+    validate_perf_payload,
+)
+
+
+class TestPercentile:
+    def test_single_sample(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_median_of_two(self):
+        assert percentile([1.0, 3.0], 50) == 2.0
+
+    def test_interpolates(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 50) == 2.5
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+
+    def test_unsorted_input(self):
+        assert percentile([9.0, 1.0, 5.0], 50) == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(PerfError):
+            percentile([], 50)
+
+
+class TestGitSha:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GIT_SHA", "cafebabe")
+        assert git_sha() == "cafebabe"
+
+    def test_real_repo_or_unknown(self, monkeypatch):
+        monkeypatch.delenv("REPRO_GIT_SHA", raising=False)
+        sha = git_sha()
+        assert sha == "unknown" or len(sha) == 40
+
+
+class TestCaptureEnvironment:
+    def test_required_keys(self):
+        env = capture_environment()
+        for key in ("git_sha", "date", "host", "python", "platform"):
+            assert key in env, key
+
+
+class TestPerfRecord:
+    def test_value_is_median(self):
+        record = PerfRecord(
+            metric="q", unit="us", direction="lower",
+            samples=[3.0, 1.0, 2.0],
+        )
+        assert record.value == 2.0
+
+    def test_portable_units(self):
+        assert PerfRecord(
+            metric="m", unit="labels", direction="lower", samples=[1]
+        ).portable
+        assert not PerfRecord(
+            metric="m", unit="us", direction="lower", samples=[1]
+        ).portable
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(PerfError):
+            PerfRecord(
+                metric="m", unit="us", direction="sideways", samples=[1]
+            )
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(PerfError):
+            PerfRecord(metric="m", unit="us", direction="lower", samples=[])
+
+    def test_tolerance_below_one_rejected(self):
+        with pytest.raises(PerfError):
+            PerfRecord(
+                metric="m", unit="us", direction="lower",
+                samples=[1], tolerance=0.5,
+            )
+
+    def test_to_dict_round_trips_percentiles(self):
+        record = PerfRecord(
+            metric="q", unit="us", direction="lower",
+            samples=[float(i) for i in range(1, 101)],
+        )
+        data = record.to_dict()
+        assert data["p50"] == pytest.approx(50.5)
+        assert data["p99"] > data["p95"] > data["p50"]
+
+
+class TestPerfSuite:
+    def test_write_and_validate(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_GIT_SHA", "deadbeef")
+        suite = PerfSuite("demo")
+        suite.record(
+            "latency", [4.0, 5.0, 6.0], unit="us", dataset="NY", rounds=3
+        )
+        suite.record(
+            "entries", [100], unit="entries", direction="lower"
+        )
+        path = suite.write(tmp_path)
+        assert path.name == bench_filename("demo") == "BENCH_demo.json"
+        payload = json.loads(path.read_text())
+        assert payload["format"] == PERF_FORMAT
+        assert payload["version"] == PERF_SCHEMA_VERSION
+        assert payload["environment"]["git_sha"] == "deadbeef"
+        assert validate_perf_payload(payload) == []
+        by_metric = {r["metric"]: r for r in payload["records"]}
+        assert by_metric["latency"]["value"] == 5.0
+        assert by_metric["latency"]["attrs"]["rounds"] == 3
+        assert by_metric["entries"]["portable"] is True
+
+    def test_validator_flags_tampered_value(self, tmp_path):
+        suite = PerfSuite("demo")
+        suite.record("m", [1.0, 2.0, 3.0], unit="us")
+        payload = suite.payload()
+        payload["records"][0]["value"] = 99.0
+        assert validate_perf_payload(payload)
+
+    def test_validator_flags_missing_keys(self):
+        assert validate_perf_payload({}) != []
+        assert validate_perf_payload({"format": "nope"}) != []
+
+
+class TestTrajectory:
+    def test_append_dedupes_by_sha_and_name(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_GIT_SHA", "feedface")
+        suite = PerfSuite("demo")
+        suite.record("m", [1.0], unit="us")
+        append_trajectory(tmp_path, suite.payload())
+        append_trajectory(tmp_path, suite.payload())
+        lines = (
+            (tmp_path / "BENCH_TRAJECTORY.jsonl")
+            .read_text().strip().splitlines()
+        )
+        assert len(lines) == 1
+        entry = json.loads(lines[0])
+        assert entry["git_sha"] == "feedface"
+
+    def test_different_suites_coexist(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_GIT_SHA", "feedface")
+        for name in ("one", "two"):
+            suite = PerfSuite(name)
+            suite.record("m", [1.0], unit="us")
+            append_trajectory(tmp_path, suite.payload())
+        lines = (
+            (tmp_path / "BENCH_TRAJECTORY.jsonl")
+            .read_text().strip().splitlines()
+        )
+        assert len(lines) == 2
+
+
+class TestLoadBenchPayloads:
+    def test_loads_written_suites(self, tmp_path):
+        for name in ("a", "b"):
+            suite = PerfSuite(name)
+            suite.record("m", [1.0], unit="us")
+            suite.write(tmp_path)
+        payloads = load_bench_payloads(tmp_path)
+        assert sorted(payloads) == ["a", "b"]
+
+    def test_invalid_payload_raises(self, tmp_path):
+        (tmp_path / "BENCH_bad.json").write_text('{"format": "nope"}')
+        with pytest.raises(PerfError):
+            load_bench_payloads(tmp_path)

@@ -169,3 +169,62 @@ class TestValidator:
         assert any(
             "label" in p for p in validate_prometheus_text(text)
         )
+
+
+class TestExpositionEdgeCases:
+    """Corner cases a real scrape pipeline will eventually produce."""
+
+    def test_nan_and_inf_gauges_render_and_validate(self):
+        snapshot = {
+            "counters": {},
+            "gauges": {
+                "rate.nan": math.nan,
+                "rate.inf": math.inf,
+                "rate.neg_inf": -math.inf,
+            },
+            "histograms": {},
+        }
+        text = render_prometheus(snapshot)
+        assert validate_prometheus_text(text) == []
+        assert "repro_rate_nan NaN" in text
+        assert "repro_rate_inf +Inf" in text
+        assert "repro_rate_neg_inf -Inf" in text
+
+    def test_digit_leading_name_sanitised(self):
+        # With no namespace the sanitised name would start with a
+        # digit, which the exposition format forbids; the helper must
+        # still produce a valid identifier.
+        name = prometheus_name("404.responses", namespace="")
+        assert validate_prometheus_text(
+            f"# TYPE {name} counter\n{name} 1\n"
+        ) == []
+
+    def test_overflow_only_histogram(self):
+        # A histogram whose every observation landed in the overflow
+        # bucket: the "> X" label maps to +Inf, and no second +Inf
+        # line may be emitted.
+        snapshot = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {
+                "h": {"count": 3, "sum": 300.0, "buckets": {"> 64": 3}}
+            },
+        }
+        text = render_prometheus(snapshot)
+        assert validate_prometheus_text(text) == []
+        assert text.count('le="+Inf"') == 1
+
+    def test_unicode_label_values_validate(self):
+        value = escape_label_value("datasätze/路径")
+        text = f'# TYPE m gauge\nm{{path="{value}"}} 1\n'
+        assert validate_prometheus_text(text) == []
+
+    def test_validator_flags_unparseable_value(self):
+        problems = validate_prometheus_text(
+            "# TYPE m gauge\nm not-a-number\n"
+        )
+        assert any("value" in p for p in problems)
+
+    def test_validator_flags_bad_type_declaration(self):
+        problems = validate_prometheus_text("# TYPE m flavour\nm 1\n")
+        assert any("TYPE" in p for p in problems)

@@ -1,0 +1,182 @@
+"""CLI tests for the performance-telemetry surface.
+
+Covers the observability additions to ``repro-spc``: ``build
+--progress`` (live phase lines + embedded build provenance), ``stats``
+provenance reporting, ``profile --flame``, ``bench-report`` exit
+codes, and ``top --once`` failing fast with a one-line error when the
+target is unreachable or not speaking HTTP.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.graph.generators import grid_graph
+from repro.graph.io import write_dimacs
+from repro.obs.perf import PerfSuite
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "net.gr"
+    write_dimacs(grid_graph(4, 4), path)
+    return path
+
+
+class TestBuildProgress:
+    def test_progress_prints_nodes_and_phases(
+        self, tmp_path, graph_file, capsys
+    ):
+        index_path = tmp_path / "idx.json"
+        assert main(
+            ["build", str(graph_file), str(index_path), "--progress"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[build] node" in out
+        assert "[build] load-graph" in out
+        assert "[build] build" in out
+        assert "[build] serialize" in out
+        assert "partition" in out  # fine-span phase breakdown
+
+    def test_build_embeds_provenance_for_stats(
+        self, tmp_path, graph_file, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_GIT_SHA", "0123456789abcdef")
+        index_path = tmp_path / "idx.bin"
+        assert main(
+            ["build", str(graph_file), str(index_path), "--format", "binary"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["stats", str(index_path)]) == 0
+        out = capsys.readouterr().out
+        assert "v3" in out
+        assert "section bytes:" in out
+        assert "built:" in out and "ctls in" in out
+        assert "0123456789ab" in out  # truncated sha
+        assert "label throughput:" in out
+
+
+class TestProfileFlame:
+    def test_flame_writes_collapsed_stacks(
+        self, tmp_path, graph_file, capsys
+    ):
+        index_path = tmp_path / "idx.json"
+        assert main(["build", str(graph_file), str(index_path)]) == 0
+        pairs_path = tmp_path / "pairs.txt"
+        pairs_path.write_text("0 15\n3 12\n1 14\n")
+        flame_path = tmp_path / "profile.collapsed"
+        assert main(
+            [
+                "profile", str(index_path), str(pairs_path),
+                "--repeats", "50", "--flame", str(flame_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert str(flame_path) in out
+        text = flame_path.read_text()
+        for line in text.strip().splitlines():
+            frames, count = line.rsplit(" ", 1)
+            assert int(count) >= 1 and frames
+
+
+class TestBenchReport:
+    def _write_suite(self, directory, value):
+        suite = PerfSuite("demo")
+        suite.record("q", [value], unit="us", dataset="NY")
+        suite.write(directory)
+
+    def test_identical_run_passes(self, tmp_path, capsys):
+        current, baseline = tmp_path / "cur", tmp_path / "base"
+        current.mkdir(), baseline.mkdir()
+        self._write_suite(current, 10.0)
+        self._write_suite(baseline, 10.0)
+        assert main(
+            [
+                "bench-report",
+                "--current", str(current),
+                "--baseline", str(baseline),
+            ]
+        ) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_double_latency_fails(self, tmp_path, capsys):
+        current, baseline = tmp_path / "cur", tmp_path / "base"
+        current.mkdir(), baseline.mkdir()
+        self._write_suite(current, 20.0)
+        self._write_suite(baseline, 10.0)
+        assert main(
+            [
+                "bench-report",
+                "--current", str(current),
+                "--baseline", str(baseline),
+            ]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "regression" in out
+        assert "FAIL" in out
+
+    def test_missing_baseline_dir_is_an_error(self, tmp_path, capsys):
+        current = tmp_path / "cur"
+        current.mkdir()
+        self._write_suite(current, 10.0)
+        assert main(
+            [
+                "bench-report",
+                "--current", str(current),
+                "--baseline", str(tmp_path / "nope"),
+            ]
+        ) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_no_bench_files_is_an_error(self, tmp_path, capsys):
+        current, baseline = tmp_path / "cur", tmp_path / "base"
+        current.mkdir(), baseline.mkdir()
+        self._write_suite(baseline, 10.0)
+        assert main(
+            [
+                "bench-report",
+                "--current", str(current),
+                "--baseline", str(baseline),
+            ]
+        ) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+def _free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestTopUnreachable:
+    def test_connection_refused_exits_one_with_message(self, capsys):
+        port = _free_port()  # bound then released: nothing listens
+        assert main(["top", "--port", str(port), "--once"]) == 1
+        err = capsys.readouterr().err
+        assert "cannot reach" in err
+        assert err.count("\n") == 1, "one-line error expected"
+
+    def test_non_http_peer_exits_one_with_message(self, capsys):
+        # A port that accepts TCP but does not speak HTTP: the client
+        # raises BadStatusLine (an http.client.HTTPException), which
+        # must produce the same one-line error, not a traceback.
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        port = server.getsockname()[1]
+
+        def garbage_peer():
+            conn, _ = server.accept()
+            conn.sendall(b"I AM NOT HTTP\n")
+            conn.close()
+
+        worker = threading.Thread(target=garbage_peer, daemon=True)
+        worker.start()
+        try:
+            assert main(["top", "--port", str(port), "--once"]) == 1
+            err = capsys.readouterr().err
+            assert "cannot reach" in err
+        finally:
+            server.close()
