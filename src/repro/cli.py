@@ -10,6 +10,7 @@ Installed as the ``repro-spc`` console script::
     repro-spc generate road 2000 network.gr --seed 7
     repro-spc profile index.json pairs.txt --repeats 3 --batch 512
     repro-spc serve index.json --port 8355 --access-log serve.log
+    repro-spc serve index.bin --workers 4
     repro-spc query index.json 17 3405 --explain
     repro-spc top --port 8355 --once
     repro-spc build network.gr index.bin --format binary --progress
@@ -21,10 +22,12 @@ Installed as the ``repro-spc`` console script::
 Graphs are DIMACS ``.gr`` files (``.json``/``.txt`` edge lists are
 auto-detected by extension); indexes use the formats of
 :mod:`repro.core.serialize` — inspectable JSON (v1) or the packed
-binary container (v3, checksummed; v2/v1 still load), auto-detected
-on load.  ``verify-index`` validates a file's checksums before
-deployment, and ``serve --fault-plan`` injects deterministic chaos
-for resilience testing (see docs/operations.md).
+binary container (v4, mmap-native and checksummed; v3/v2 still
+load), auto-detected on load.  ``verify-index`` validates a file's
+checksums before deployment, ``serve --workers N`` runs a
+multi-process fleet behind one port, and ``serve --fault-plan``
+injects deterministic chaos for resilience testing (see
+docs/operations.md).
 
 ``build``, ``query``, and ``profile`` accept ``--metrics`` (print the
 metrics snapshot as JSON on completion) and ``--trace out.json`` (write
@@ -92,6 +95,20 @@ def _load_graph(path: str) -> Graph:
             ".txt/.edges/.edgelist = 'u v w [count]' edge list)"
         )
     return reader(path)
+
+
+def _require_index_file(path: str) -> None:
+    """Fail fast with a one-line error for bad index paths.
+
+    ``stats``/``verify-index``/``serve`` on a missing file or a
+    directory should print one actionable line, not a traceback or a
+    multi-section corruption report.
+    """
+    target = Path(path)
+    if target.is_dir():
+        raise ParseError(f"{path} is a directory, expected an index file")
+    if not target.is_file():
+        raise ParseError(f"{path}: no such index file")
 
 
 def _load_pairs(path: str):
@@ -308,6 +325,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
     from repro.core.serialize import verify_index_file
 
+    _require_index_file(args.index)
     report = verify_index_file(args.index)
     width = max(len(name) for name, _, _ in report)
     failed = []
@@ -362,7 +380,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.faults import FaultPlan
     from repro.serve import ServeConfig, SPCServer
 
-    index = load_index(args.index)
+    _require_index_file(args.index)
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -382,6 +400,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown_s=args.breaker_cooldown,
     )
+    if args.workers > 1:
+        if args.fallback != "none":
+            raise ParseError(
+                "--fallback is a single-process option; a fleet worker "
+                "cannot host the online baseline (drop --workers or "
+                "--fallback)"
+            )
+        return _serve_fleet(args, config)
+    index = load_index(args.index)
     if args.fault_plan is not None:
         fault_plan = FaultPlan.parse(args.fault_plan, seed=args.fault_seed)
     else:
@@ -425,6 +452,49 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_fleet(args: argparse.Namespace, config) -> int:
+    """``serve --workers N``: consistent-hash router over N processes."""
+    import os
+
+    from repro.faults import ENV_PLAN, ENV_SEED
+    from repro.serve import FleetRouter
+
+    fault_spec = args.fault_plan
+    fault_seed = args.fault_seed
+    if fault_spec is None:
+        fault_spec = os.environ.get(ENV_PLAN, "").strip() or None
+        if fault_spec is not None and ENV_SEED in os.environ:
+            fault_seed = int(os.environ[ENV_SEED])
+
+    async def _serve() -> None:
+        router = FleetRouter(
+            args.index,
+            args.workers,
+            config,
+            fault_spec=fault_spec,
+            fault_seed=fault_seed,
+        )
+        await router.start()
+        router.install_signal_handlers()
+        mode = f"fleet of {args.workers} workers"
+        if fault_spec:
+            mode += ", chaos"
+        print(
+            f"serving {args.index} on http://{router.host}:{router.port} "
+            f"({mode}); SIGTERM/SIGINT drains the fleet and exits, "
+            "POST /admin/reload swaps the index fleet-wide",
+            flush=True,
+        )
+        await router.wait_stopped()
+        print("fleet drained cleanly", flush=True)
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_top(args: argparse.Namespace) -> int:
     from repro.serve.top import run_top
 
@@ -437,44 +507,48 @@ def _cmd_top(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    index = load_index(args.index)
-    stats = index.stats()
-    print(f"type:               {type(index).__name__}")
-    print(f"vertices:           {stats.num_vertices}")
-    print(f"edges:              {stats.num_edges}")
-    print(f"tree nodes:         {stats.tree_nodes}")
-    print(f"height (h):         {stats.height}")
-    print(f"width (w):          {stats.width}")
-    print(f"label entries:      {stats.total_label_entries}")
-    print(f"size (32-bit model): {stats.size_bytes / 1e6:.2f} MB")
-    provenance = getattr(index, "provenance", None)
-    if provenance:
-        print(f"format version:     v{provenance['format_version']}")
-        sections = provenance.get("sections")
-        if sections:
-            rendered = "  ".join(
-                f"{name}={size}" for name, size in sections.items()
-            )
-            print(f"section bytes:      {rendered}")
-        info = provenance.get("build_info")
-        if info:
+    from repro.core.serialize import describe_index
+
+    _require_index_file(args.index)
+    # Lazy for binary containers: reads the footer + JSON header (and,
+    # for v4 CTL/CTLS, maps the two small tree-shape sections), never
+    # the label arrays — `stats` on a multi-GB index stays instant.
+    summary = describe_index(args.index)
+    print(f"type:               {summary['type']}Index")
+    print(f"vertices:           {summary['num_vertices']}")
+    print(f"edges:              {summary['num_edges']}")
+    print(f"tree nodes:         {summary['tree_nodes']}")
+    print(f"height (h):         {summary['height']}")
+    print(f"width (w):          {summary['width']}")
+    print(f"label entries:      {summary['total_label_entries']}")
+    print(f"size (32-bit model): {summary['size_bytes'] / 1e6:.2f} MB")
+    print(f"file bytes:         {summary['file_bytes']}")
+    print(f"format version:     v{summary['format_version']}")
+    sections = summary.get("sections")
+    if sections:
+        rendered = "  ".join(
+            f"{name}={size}" for name, size in sections.items()
+        )
+        print(f"section bytes:      {rendered}")
+    info = summary.get("build_info")
+    if info:
+        print(
+            "built:              "
+            f"{info.get('algorithm', '?')} in "
+            f"{info.get('build_seconds', float('nan')):.2f}s "
+            f"at {info.get('built_at', '?')} "
+            f"(sha {str(info.get('git_sha', '?'))[:12]})"
+        )
+        if "labels_per_second" in info:
             print(
-                "built:              "
-                f"{info.get('algorithm', '?')} in "
-                f"{info.get('build_seconds', float('nan')):.2f}s "
-                f"at {info.get('built_at', '?')} "
-                f"(sha {str(info.get('git_sha', '?'))[:12]})"
+                f"label throughput:   "
+                f"{info['labels_per_second']:.0f} entries/s"
             )
-            if "labels_per_second" in info:
-                print(
-                    f"label throughput:   "
-                    f"{info['labels_per_second']:.0f} entries/s"
-                )
-            for phase, entry in (info.get("phases") or {}).items():
-                print(
-                    f"  phase {phase:<13} {entry['seconds']:8.3f}s"
-                    f"  ({entry['count']} spans)"
-                )
+        for phase, entry in (info.get("phases") or {}).items():
+            print(
+                f"  phase {phase:<13} {entry['seconds']:8.3f}s"
+                f"  ({entry['count']} spans)"
+            )
     return 0
 
 
@@ -563,10 +637,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_build.add_argument(
         "--format",
-        choices=("json", "binary"),
+        choices=("json", "binary", "binary-v3", "binary-v2"),
         default="json",
         help="on-disk index format: inspectable JSON (v1, default) or "
-        "packed binary (v3, checksummed, fast to load)",
+        "packed binary (v4: checksummed, page-aligned sections loaded "
+        "zero-copy via mmap; binary-v3/-v2 write the older containers "
+        "for downgrades)",
     )
     p_build.add_argument(
         "--progress",
@@ -634,6 +710,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--port", type=int, default=8355,
         help="TCP port (0 picks a free one; default 8355)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="run a fleet: N worker processes mmap the same index "
+        "behind a consistent-hash router on this port (default 1 = "
+        "single in-process server)",
     )
     p_serve.add_argument(
         "--no-coalesce", action="store_true",

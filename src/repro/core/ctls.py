@@ -31,6 +31,8 @@ import random
 import time
 from typing import Callable, List, Optional, Union
 
+import numpy as np
+
 import repro.obs as obs
 from repro.core.base import (
     SELF_QUERY_RESULT,
@@ -99,9 +101,13 @@ class CTLSIndex(SPCIndex):
         self._node_of_dense: List[int] = [
             node_of_vertex[v] for v in self.arena.vertices
         ]
-        self._label_len_dense: List[int] = [
-            tree.label_length(v) for v in self.arena.vertices
-        ]
+        # |A(v)| equals the arena's per-vertex entry count (the sealed
+        # arena stores exactly the ancestor labels), and the offset
+        # deltas are far cheaper than per-vertex tree lookups on the
+        # load path.
+        self._label_len_dense: List[int] = np.diff(
+            np.asarray(self.arena.offsets, dtype=np.int64)
+        ).tolist()
         self._block_starts: List[int] = tree.block_starts
         self._block_ends: List[int] = tree.block_ends
 

@@ -1,6 +1,6 @@
-"""Index serialization: JSON (v1) and packed binary (v2/v3) formats.
+"""Index serialization: JSON (v1) and packed binary (v2/v3/v4) formats.
 
-Three on-disk formats coexist:
+Four on-disk formats coexist:
 
 * **v1 (JSON)** — inspectable and safe to load from untrusted sources;
   Python's arbitrary-precision integers survive the round trip, so
@@ -14,15 +14,32 @@ Three on-disk formats coexist:
   ``array`` buffers (vertex ids, offset table, distances, counts).
   Still readable; still writable via ``format="binary-v2"`` for
   compatibility with older readers.
-* **v3 (binary, default for ``format="binary"``)** — the v2 layout
-  hardened for crash-safety: magic ``RSPCIDX3``, the same JSON header
-  and raw section buffers, then a fixed-size footer carrying a CRC32
-  per section (header, vertices, offsets, dist, count), the total file
+* **v3 (binary, ``format="binary-v3"``)** — the v2 layout hardened for
+  crash-safety: magic ``RSPCIDX3``, the same JSON header and raw
+  section buffers, then a fixed-size footer carrying a CRC32 per
+  section (header, vertices, offsets, dist, count), the total file
   length, and an end marker.  :func:`load_index` verifies every
   checksum and the recorded length, so a truncated write, a torn page,
   or a single flipped bit raises a typed
   :class:`~repro.exceptions.IndexCorruptError` naming the bad section
   instead of producing silently wrong counts.
+* **v4 (binary, default for ``format="binary"``)** — the mmap-native
+  container: magic ``RSPCIDX4``, a JSON header (index type, arena
+  metadata, overflow lane), a binary section table of ``(offset,
+  nbytes)`` pairs, then each data section zero-padded to a page-size
+  boundary so every buffer starts 8-byte (in fact page-) aligned in
+  the file.  The cut tree rides as three flat int64 sections
+  (``tree_parents``/``tree_blocks``/``tree_vertices``) instead of JSON,
+  so a reload never re-parses the tree.  A variable-size footer carries
+  one CRC32 per section plus the header CRC, the section count, the
+  total length, and the ``RSPC4END`` marker.  By default
+  :func:`load_index` maps the file read-only and hands the
+  :class:`~repro.labels.LabelArena` zero-copy ``memoryview`` windows
+  over the mapping — cold start is page-fault-time, not parse-time,
+  and every process serving the same file shares one physical copy
+  through the OS page cache.  Pass ``verify=True`` to additionally
+  checksum every mapped section, or ``mmap=False`` for a heap load
+  (always fully verified, and the fallback on byte-order mismatch).
 
 Every ``save_index`` call is **atomic**: the bytes go to a temp file in
 the destination directory, are fsync'd, and only then renamed over the
@@ -43,6 +60,7 @@ none.
 from __future__ import annotations
 
 import json
+import mmap as _mmaplib
 import os
 import struct
 import sys
@@ -85,8 +103,36 @@ _FOOTER_LEN = _FOOTER_STRUCT.size + len(_END_MAGIC3)
 #: Data sections of a binary container, in on-disk order.
 _SECTION_NAMES = ("vertices", "offsets", "dist", "count")
 
+#: Magic prefix and end marker of the aligned, mmap-native v4 container.
+_MAGIC4 = b"RSPCIDX4"
+_END_MAGIC4 = b"RSPC4END"
+_BINARY_VERSION4 = 4
+
+#: v4 section-table entry: ``(file offset, byte length)`` per section.
+_SECTION_ENTRY = struct.Struct("<QQ")
+
+#: Fixed tail of the v4 footer: section count (u32), total file length
+#: (u64), then the end marker.  The CRC block (one u32 per section plus
+#: the header CRC) sits immediately before it, so the footer's size is
+#: recoverable from the tail alone.
+_FOOTER4_TAIL = struct.Struct("<IQ")
+_FOOTER4_TAIL_LEN = _FOOTER4_TAIL.size + len(_END_MAGIC4)
+
+#: Sanity bound on the v4 section count — far above any real layout,
+#: low enough that a corrupt footer cannot demand a gigabyte CRC block.
+_MAX_SECTIONS = 64
+
+#: v4 sections start on this boundary so their buffers can be mapped
+#: page-aligned (numpy and ``memoryview.cast`` only need 8, the page
+#: size keeps each section's pages private to itself).
+_ALIGN = max(4096, _mmaplib.ALLOCATIONGRANULARITY)
+
 #: Serialisable formats accepted by :func:`save_index`.
-FORMATS = ("json", "binary", "binary-v2")
+FORMATS = ("json", "binary", "binary-v2", "binary-v3")
+
+
+def _footer4_len(nsections: int) -> int:
+    return 4 * (nsections + 1) + _FOOTER4_TAIL_LEN
 
 
 def _encode_dist(values):
@@ -208,18 +254,24 @@ def save_index(
     """Serialise a built index (CTL, CTLS, or TL) to ``path``.
 
     ``format="json"`` writes the inspectable v1 document;
-    ``format="binary"`` writes the checksummed v3 container;
-    ``format="binary-v2"`` writes the legacy v2 container for older
-    readers.  :func:`load_index` reads all three.  Every format is
-    written atomically (temp file + fsync + rename).  ``build_info``
-    (optional) is embedded verbatim as provenance in the v1 and v3
-    formats; v2 has a frozen layout and silently drops it.
+    ``format="binary"`` writes the aligned mmap-native v4 container;
+    ``format="binary-v3"`` writes the checksummed v3 container and
+    ``format="binary-v2"`` the legacy v2 container for older readers.
+    :func:`load_index` reads all four.  Every format is written
+    atomically (temp file + fsync + rename).  ``build_info`` (optional)
+    is embedded verbatim as provenance in the v1, v3, and v4 formats;
+    v2 has a frozen layout and silently drops it.
     """
     if format not in FORMATS:
         raise SerializationError(
             f"unknown format {format!r}; expected one of {FORMATS}"
         )
     if format == "binary":
+        _atomic_write(
+            path, "wb", lambda h: _write_binary_v4(index, h, build_info)
+        )
+        return
+    if format == "binary-v3":
         _atomic_write(
             path, "wb", lambda h: _write_binary_v3(index, h, build_info)
         )
@@ -283,20 +335,31 @@ def _attach_provenance(
     index.provenance = provenance
 
 
-def load_index(path: PathLike):
+def load_index(path: PathLike, *, mmap: bool = True, verify: bool = None):
     """Load an index previously written by :func:`save_index`.
 
-    The format is auto-detected: ``RSPCIDX3`` parses as the
-    checksummed v3 container (fully verified — any truncation or bit
-    corruption raises :class:`IndexCorruptError` naming the bad
-    section), ``RSPCIDX2`` as the legacy v2 container (length-checked),
-    and a leading ``{`` as the v1 JSON document.  An empty or
-    unrecognisable file raises a typed error instead of a raw
-    ``struct.error``/``EOFError``.
+    The format is auto-detected: ``RSPCIDX4`` parses as the aligned
+    mmap-native v4 container, ``RSPCIDX3`` as the checksummed v3
+    container (fully verified — any truncation or bit corruption raises
+    :class:`IndexCorruptError` naming the bad section), ``RSPCIDX2`` as
+    the legacy v2 container (length-checked), and a leading ``{`` as
+    the v1 JSON document.  An empty or unrecognisable file raises a
+    typed error instead of a raw ``struct.error``/``EOFError``.
+
+    ``mmap`` and ``verify`` apply to v4 files only.  With ``mmap=True``
+    (default) the arena gets zero-copy views over a read-only mapping;
+    the header checksum and the structural layout (alignment, bounds,
+    overlaps, recorded length) are always validated, but the data
+    sections are only checksummed when ``verify=True`` — a deliberate
+    trade: page-fault-time cold start versus full-file CRC sweeps.
+    ``mmap=False`` reads everything onto the heap and always verifies,
+    as does the automatic heap fallback for cross-endian files.
     """
     size = os.path.getsize(path)
     with open(path, "rb") as handle:
         magic = handle.read(len(_MAGIC3))
+    if magic == _MAGIC4:
+        return _load_binary_v4(path, size, use_mmap=mmap, verify=verify)
     if magic == _MAGIC3:
         return _load_binary_v3(path, size)
     if magic == _MAGIC:
@@ -309,7 +372,7 @@ def load_index(path: PathLike):
     if not magic.lstrip().startswith(b"{"):
         raise SerializationError(
             f"{path}: not a recognised index file (no {_FORMAT} JSON "
-            f"document or RSPCIDX2/RSPCIDX3 magic)"
+            f"document or RSPCIDX2/RSPCIDX3/RSPCIDX4 magic)"
         )
     with open(path, encoding="utf-8") as handle:
         try:
@@ -384,7 +447,7 @@ def _binary_header(index) -> dict:
     arena = index.arena
     header["format"] = _FORMAT
     header["arena"] = {
-        "dist_typecode": arena.dist.typecode,
+        "dist_typecode": arena.dist_typecode,
         "num_vertices": arena.num_vertices,
         "num_entries": arena.total_entries,
         # The overflow lane rides in the header: JSON carries the
@@ -397,7 +460,12 @@ def _binary_header(index) -> dict:
 
 
 def _section_arrays(index) -> List[Tuple[str, array]]:
-    """The raw data sections of ``index``'s arena, in on-disk order."""
+    """The raw data sections of ``index``'s arena, in on-disk order.
+
+    Buffers come back as whatever the arena holds — ``array`` for a
+    built/heap-loaded index, ``memoryview`` for an mmap-loaded one —
+    so writers must use ``handle.write(buf)``, never ``buf.tofile``.
+    """
     arena = index.arena
     return [
         ("vertices", array("q", arena.vertices)),
@@ -405,6 +473,10 @@ def _section_arrays(index) -> List[Tuple[str, array]]:
         ("dist", arena.dist),
         ("count", arena.count),
     ]
+
+
+def _buf_nbytes(buf) -> int:
+    return len(buf) * buf.itemsize
 
 
 def _write_binary_v2(index, handle) -> None:
@@ -416,7 +488,7 @@ def _write_binary_v2(index, handle) -> None:
     handle.write(struct.pack("<Q", len(blob)))
     handle.write(blob)
     for _, section in _section_arrays(index):
-        section.tofile(handle)
+        handle.write(section)
 
 
 def _write_binary_v3(index, handle, build_info: dict = None) -> None:
@@ -433,7 +505,7 @@ def _write_binary_v3(index, handle, build_info: dict = None) -> None:
         header["build_info"] = build_info
     sections = _section_arrays(index)
     header["sections"] = {
-        name: len(arr) * arr.itemsize for name, arr in sections
+        name: _buf_nbytes(arr) for name, arr in sections
     }
     blob = json.dumps(header).encode("utf-8")
     prefix = _MAGIC3 + struct.pack("<Q", len(blob))
@@ -442,12 +514,337 @@ def _write_binary_v3(index, handle, build_info: dict = None) -> None:
     handle.write(blob)
     total = len(prefix) + len(blob)
     for _, arr in sections:
-        arr.tofile(handle)
+        handle.write(arr)
         crcs.append(zlib.crc32(arr))
-        total += len(arr) * arr.itemsize
+        total += _buf_nbytes(arr)
     total += _FOOTER_LEN
     handle.write(_FOOTER_STRUCT.pack(*crcs, total))
     handle.write(_END_MAGIC3)
+
+
+# ----------------------------------------------------------------------
+# v4: aligned, page-padded, mmap-native container
+# ----------------------------------------------------------------------
+def _v4_sections(index) -> List[Tuple[str, object]]:
+    """All v4 data sections: the arena plus the flattened cut tree.
+
+    TL keeps its bag metadata in the JSON header (it is not scanned at
+    query time), so only CTL/CTLS grow the three tree sections.
+    """
+    sections = list(_section_arrays(index))
+    if isinstance(index, (CTLIndex, CTLSIndex)):
+        parents, node_offsets, flat_vertices = index.tree.to_flat()
+        sections.append(("tree_parents", array("q", parents)))
+        sections.append(("tree_blocks", array("q", node_offsets)))
+        sections.append(("tree_vertices", array("q", flat_vertices)))
+    return sections
+
+
+def _section_layout_v4(header: dict) -> List[Tuple[str, str, int]]:
+    """``(name, typecode, item count)`` per v4 section, in table order."""
+    layout = _section_layout(header["arena"])
+    tree_flat = header.get("tree_flat")
+    if tree_flat is not None:
+        nodes = tree_flat["nodes"]
+        layout.append(("tree_parents", "q", nodes))
+        layout.append(("tree_blocks", "q", nodes + 1))
+        layout.append(("tree_vertices", "q", tree_flat["vertices"]))
+    return layout
+
+
+def _write_binary_v4(index, handle, build_info: dict = None) -> None:
+    """The v4 layout: header + section table + aligned sections + footer.
+
+    Section offsets are rounded up to :data:`_ALIGN` with zero padding,
+    so every buffer can be handed to ``memoryview.cast``/``np.frombuffer``
+    straight out of an ``mmap`` with no copy.  The header CRC covers
+    the fixed prefix, the JSON blob, *and* the binary section table —
+    a flipped offset is caught before any section is trusted.
+    """
+    header = _binary_header(index)
+    header.pop("tree", None)  # the cut tree ships as binary sections
+    header["version"] = _BINARY_VERSION4
+    header["align"] = _ALIGN
+    if build_info is not None:
+        header["build_info"] = build_info
+    sections = _v4_sections(index)
+    if isinstance(index, (CTLIndex, CTLSIndex)):
+        header["tree_flat"] = {
+            "nodes": index.tree.num_nodes,
+            "vertices": len(sections[-1][1]),
+        }
+    header["section_names"] = [name for name, _ in sections]
+    header["sections"] = {name: _buf_nbytes(buf) for name, buf in sections}
+    blob = json.dumps(header).encode("utf-8")
+    prefix = _MAGIC4 + struct.pack("<Q", len(blob))
+    pos = len(prefix) + len(blob) + len(sections) * _SECTION_ENTRY.size
+    entries = []
+    for _, buf in sections:
+        offset = -(-pos // _ALIGN) * _ALIGN
+        entries.append((offset, _buf_nbytes(buf)))
+        pos = offset + _buf_nbytes(buf)
+    table = b"".join(_SECTION_ENTRY.pack(*entry) for entry in entries)
+    crcs = [zlib.crc32(table, zlib.crc32(blob, zlib.crc32(prefix)))]
+    handle.write(prefix)
+    handle.write(blob)
+    handle.write(table)
+    cursor = len(prefix) + len(blob) + len(table)
+    for (_, buf), (offset, nbytes) in zip(sections, entries):
+        handle.write(b"\x00" * (offset - cursor))
+        handle.write(buf)
+        crcs.append(zlib.crc32(buf))
+        cursor = offset + nbytes
+    total = cursor + _footer4_len(len(sections))
+    handle.write(struct.pack(f"<{len(crcs)}I", *crcs))
+    handle.write(_FOOTER4_TAIL.pack(len(sections), total))
+    handle.write(_END_MAGIC4)
+
+
+def _read_v4_layout(handle, path: PathLike, size: int):
+    """Validate the v4 envelope; returns header, table entries, CRCs.
+
+    Footer-first, like v3: the end marker, recorded length, section
+    count, and header CRC (which covers the section table) are all
+    checked before the JSON or any offset is trusted.
+    """
+    min_size = len(_MAGIC4) + 8 + _footer4_len(0)
+    if size < min_size:
+        raise IndexCorruptError(
+            path, "file", "file shorter than the v4 envelope",
+            expected=f">= {min_size} bytes", actual=f"{size} bytes",
+        )
+    handle.seek(size - _FOOTER4_TAIL_LEN)
+    tail = handle.read(_FOOTER4_TAIL_LEN)
+    if tail[_FOOTER4_TAIL.size:] != _END_MAGIC4:
+        raise IndexCorruptError(
+            path, "footer", "missing end marker — truncated or overwritten",
+            expected=_END_MAGIC4.decode("latin-1"),
+            actual=tail[_FOOTER4_TAIL.size:].decode("latin-1", "replace"),
+        )
+    nsections, total = _FOOTER4_TAIL.unpack(tail[:_FOOTER4_TAIL.size])
+    if total != size:
+        raise IndexCorruptError(
+            path, "file", "recorded length does not match the file",
+            expected=f"{total} bytes", actual=f"{size} bytes",
+        )
+    if not 1 <= nsections <= _MAX_SECTIONS:
+        raise IndexCorruptError(
+            path, "footer", "implausible section count",
+            expected=f"1..{_MAX_SECTIONS}", actual=str(nsections),
+        )
+    footer_len = _footer4_len(nsections)
+    if size < len(_MAGIC4) + 8 + footer_len:
+        raise IndexCorruptError(
+            path, "footer", "footer overlaps the header prefix",
+            expected=f">= {len(_MAGIC4) + 8 + footer_len} bytes",
+            actual=f"{size} bytes",
+        )
+    handle.seek(size - footer_len)
+    crcs = list(struct.unpack(
+        f"<{nsections + 1}I", handle.read(4 * (nsections + 1))
+    ))
+    handle.seek(0)
+    prefix = handle.read(len(_MAGIC4) + 8)
+    (header_len,) = struct.unpack("<Q", prefix[len(_MAGIC4):])
+    table_len = nsections * _SECTION_ENTRY.size
+    if len(prefix) + header_len + table_len + footer_len > size:
+        raise IndexCorruptError(
+            path, "header", "header length field exceeds file size",
+            expected=(
+                f"<= {size - len(prefix) - table_len - footer_len} bytes"
+            ),
+            actual=f"{header_len} bytes",
+        )
+    blob = handle.read(header_len)
+    table = handle.read(table_len)
+    header_crc = zlib.crc32(table, zlib.crc32(blob, zlib.crc32(prefix)))
+    if crcs[0] != header_crc:
+        raise IndexCorruptError(
+            path, "header", "checksum mismatch",
+            expected=f"crc32 {crcs[0]:#010x}", actual=f"{header_crc:#010x}",
+        )
+    try:
+        header = json.loads(blob)
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(
+            f"{path}: undecodable v4 header: {exc}"
+        ) from exc
+    entries = [
+        _SECTION_ENTRY.unpack_from(table, i * _SECTION_ENTRY.size)
+        for i in range(nsections)
+    ]
+    data_start = len(prefix) + header_len + table_len
+    return header, entries, crcs, data_start, size - footer_len
+
+
+def _check_v4_entries(path, layout, entries, data_start, data_end):
+    """Cross-check the section table against the header's declared
+    layout: sizes, 8-byte alignment, file bounds, and no overlaps."""
+    if len(entries) != len(layout):
+        raise IndexCorruptError(
+            path, "footer", "section count does not match the header",
+            expected=f"{len(layout)} sections", actual=f"{len(entries)}",
+        )
+    spans = []
+    for (name, typecode, length), (offset, nbytes) in zip(layout, entries):
+        want = length * array(typecode).itemsize
+        if nbytes != want:
+            raise IndexCorruptError(
+                path, name, "section size does not match the header",
+                expected=f"{want} bytes", actual=f"{nbytes} bytes",
+            )
+        if offset % 8 != 0:
+            raise IndexCorruptError(
+                path, name, "unaligned section",
+                expected="8-byte aligned offset", actual=f"offset {offset}",
+            )
+        if offset < data_start or offset + nbytes > data_end:
+            raise IndexCorruptError(
+                path, name, "section out of bounds",
+                expected=f"within [{data_start}, {data_end})",
+                actual=f"[{offset}, {offset + nbytes})",
+            )
+        spans.append((offset, offset + nbytes, name))
+    spans.sort()
+    for (_, prev_end, prev_name), (start, _, name) in zip(spans, spans[1:]):
+        if start < prev_end:
+            raise IndexCorruptError(
+                path, name, f"section overlaps {prev_name}",
+                expected=f"offset >= {prev_end}", actual=f"offset {start}",
+            )
+
+
+def _check_v4_padding(path, handle, entries, data_start, data_end):
+    """Require the alignment padding between sections to be zero.
+
+    Padding is the only part of a v4 file no section CRC covers; a
+    verifying load refuses non-zero bytes there so that *every* byte
+    of the file is under some check.
+    """
+    spans = sorted((offset, offset + nbytes) for offset, nbytes in entries)
+    cursor = data_start
+    for start, end in spans + [(data_end, data_end)]:
+        if start > cursor:
+            handle.seek(cursor)
+            remaining = start - cursor
+            while remaining:
+                chunk = handle.read(min(remaining, 1 << 20))
+                if not chunk:
+                    break
+                if chunk.count(0) != len(chunk):
+                    raise IndexCorruptError(
+                        path, "padding",
+                        "non-zero bytes in alignment padding",
+                        expected="zeroes",
+                        actual=f"dirty bytes after offset {cursor}",
+                    )
+                remaining -= len(chunk)
+        cursor = max(cursor, end)
+
+
+def _index_from_binary_v4(path: PathLike, header: dict, arena, views):
+    """Construct the index from a v4 container's buffers."""
+    kind = header.get("type")
+    if kind in ("CTLS", "CTL"):
+        tree = CutTree.from_flat(
+            views["tree_parents"], views["tree_blocks"],
+            views["tree_vertices"],
+        )
+        if kind == "CTLS":
+            return CTLSIndex(
+                tree, arena, BuildStats(), header["num_vertices"],
+                header["num_edges"], header["strategy"],
+            )
+        return CTLIndex(
+            tree, arena, BuildStats(), header["num_vertices"],
+            header["num_edges"],
+        )
+    if kind == "TL":
+        return _tl_from_payload(header, None, None, arena=arena)
+    raise SerializationError(f"{path}: unknown index type {kind!r}")
+
+
+def _load_binary_v4(
+    path: PathLike, size: int, *, use_mmap: bool = True, verify: bool = None
+):
+    """Load a v4 container, zero-copy via mmap when possible.
+
+    The mapping (when used) outlives this function: the arena keeps a
+    reference in ``arena.region`` and every section view keeps the
+    mapping's pages alive, so nothing here closes it explicitly.
+    """
+    handle = open(path, "rb")
+    try:
+        header, entries, crcs, data_start, data_end = _read_v4_layout(
+            handle, path, size
+        )
+        meta = _check_binary_header(path, header, _BINARY_VERSION4)
+        layout = _section_layout_v4(header)
+        _check_v4_entries(path, layout, entries, data_start, data_end)
+        swap = meta["byteorder"] != sys.byteorder
+        region = None
+        views = {}
+        if use_mmap and not swap:
+            region = _mmaplib.mmap(
+                handle.fileno(), 0, access=_mmaplib.ACCESS_READ
+            )
+            base = memoryview(region)
+            for (name, typecode, _), (offset, nbytes) in zip(
+                layout, entries
+            ):
+                window = base[offset:offset + nbytes]
+                if verify:
+                    got = zlib.crc32(window)
+                    want = crcs[1 + len(views)]
+                    if got != want:
+                        raise IndexCorruptError(
+                            path, name, "checksum mismatch",
+                            expected=f"crc32 {want:#010x}",
+                            actual=f"{got:#010x}",
+                        )
+                views[name] = window.cast(typecode)
+        else:
+            # Heap load: cross-endian files or an explicit mmap opt-out.
+            # Always verified — we are reading every byte anyway.
+            for index_no, ((name, typecode, _), (offset, nbytes)) in (
+                enumerate(zip(layout, entries))
+            ):
+                handle.seek(offset)
+                raw = handle.read(nbytes)
+                if len(raw) != nbytes:
+                    raise IndexCorruptError(
+                        path, name, "truncated section",
+                        expected=f"{nbytes} bytes",
+                        actual=f"{len(raw)} bytes",
+                    )
+                got = zlib.crc32(raw)
+                if got != crcs[1 + index_no]:
+                    raise IndexCorruptError(
+                        path, name, "checksum mismatch",
+                        expected=f"crc32 {crcs[1 + index_no]:#010x}",
+                        actual=f"{got:#010x}",
+                    )
+                section = array(typecode)
+                section.frombytes(raw)
+                if swap:
+                    section.byteswap()
+                views[name] = section
+        if verify or not (use_mmap and not swap):
+            _check_v4_padding(path, handle, entries, data_start, data_end)
+    finally:
+        handle.close()
+    arena = LabelArena(
+        list(views["vertices"]), views["offsets"], views["dist"],
+        views["count"], meta["overflow_positions"],
+        meta["overflow_counts"], region=region,
+    )
+    index = _index_from_binary_v4(path, header, arena, views)
+    _attach_provenance(
+        index, path, format_version=_BINARY_VERSION4,
+        build_info=header.get("build_info"),
+        sections=header.get("sections"),
+    )
+    return index
 
 
 def _check_binary_header(path: PathLike, header: dict, version: int) -> dict:
@@ -674,10 +1071,15 @@ def verify_index_file(path: PathLike) -> List[Tuple[str, bool, str]]:
     """Validate an index file's integrity; never raises for corruption.
 
     Returns a per-section report ``[(section, ok, detail), ...]``.  For
-    a v3 container every section is checked (checksum + length) even
-    after an earlier one fails, so one run reports all the damage; v1
-    and v2 files (no checksums) get a single structural ``file`` entry
-    from attempting a full load.
+    a v3 or v4 container every section is checked (checksum + length —
+    and, for v4, alignment and bounds) even after an earlier one fails,
+    so one run reports all the damage; v1 and v2 files (no checksums)
+    get a single structural ``file`` entry from attempting a full load.
+
+    The envelope is opened lazily — footer and header only — and each
+    section is then streamed through CRC32 without ever materialising
+    the index, so verification of a multi-gigabyte file needs constant
+    memory.
     """
     try:
         size = os.path.getsize(path)
@@ -685,6 +1087,8 @@ def verify_index_file(path: PathLike) -> List[Tuple[str, bool, str]]:
             magic = handle.read(len(_MAGIC3))
     except OSError as exc:
         return [("file", False, str(exc))]
+    if magic == _MAGIC4:
+        return _verify_v4(path, size)
     if magic != _MAGIC3:
         try:
             load_index(path)
@@ -725,3 +1129,254 @@ def verify_index_file(path: PathLike) -> List[Tuple[str, bool, str]]:
                     f"{want_crc:#010x}, got {got_crc:#010x}",
                 ))
     return report
+
+
+def _verify_v4(path: PathLike, size: int) -> List[Tuple[str, bool, str]]:
+    """Full-damage report for a v4 container (checksums + layout)."""
+    report: List[Tuple[str, bool, str]] = []
+    with open(path, "rb") as handle:
+        try:
+            header, entries, crcs, data_start, data_end = _read_v4_layout(
+                handle, path, size
+            )
+            meta = _check_binary_header(path, header, _BINARY_VERSION4)
+            layout = _section_layout_v4(header)
+        except SerializationError as exc:
+            section = getattr(exc, "section", "header")
+            return [(section, False, str(exc))]
+        report.append(("header", True, "checksum ok"))
+        if len(entries) != len(layout):
+            report.append((
+                "footer", False,
+                f"section count mismatch: header declares {len(layout)} "
+                f"sections, footer records {len(entries)}",
+            ))
+            return report
+        spans = sorted(
+            (offset, offset + nbytes, name)
+            for (name, _, _), (offset, nbytes) in zip(layout, entries)
+        )
+        overlapping = set()
+        for (_, prev_end, prev_name), (start, _, name) in zip(
+            spans, spans[1:]
+        ):
+            if start < prev_end:
+                overlapping.add(name)
+                report.append((
+                    name, False, f"section overlaps {prev_name}",
+                ))
+        for i, ((name, typecode, length), (offset, nbytes)) in enumerate(
+            zip(layout, entries)
+        ):
+            problems = []
+            want_bytes = length * array(typecode).itemsize
+            if nbytes != want_bytes:
+                problems.append(
+                    f"size mismatch: header implies {want_bytes} bytes, "
+                    f"table records {nbytes}"
+                )
+            if offset % 8 != 0:
+                problems.append(f"unaligned offset {offset}")
+            if offset < data_start or offset + nbytes > data_end:
+                problems.append(
+                    f"out of bounds: [{offset}, {offset + nbytes}) not "
+                    f"within [{data_start}, {data_end})"
+                )
+            if problems:
+                report.append((name, False, "; ".join(problems)))
+                continue
+            if name in overlapping:
+                continue
+            handle.seek(offset)
+            remaining = nbytes
+            crc = 0
+            while remaining:
+                chunk = handle.read(min(remaining, 1 << 20))
+                if not chunk:
+                    break
+                crc = zlib.crc32(chunk, crc)
+                remaining -= len(chunk)
+            if remaining:
+                report.append((
+                    name, False,
+                    f"truncated: {remaining} of {nbytes} bytes missing",
+                ))
+            elif crc != crcs[1 + i]:
+                report.append((
+                    name, False,
+                    f"checksum mismatch: expected crc32 "
+                    f"{crcs[1 + i]:#010x}, got {crc:#010x}",
+                ))
+            else:
+                report.append((name, True, f"checksum ok ({nbytes} bytes)"))
+        # Alignment padding between sections is outside every section
+        # CRC; require it to be zero so no byte of the file can flip
+        # silently.
+        dirty = 0
+        total_pad = 0
+        cursor = data_start
+        for start, end, _ in spans:
+            if start > cursor:
+                handle.seek(cursor)
+                remaining = start - cursor
+                total_pad += remaining
+                while remaining:
+                    chunk = handle.read(min(remaining, 1 << 20))
+                    if not chunk:
+                        break
+                    dirty += len(chunk) - chunk.count(0)
+                    remaining -= len(chunk)
+            cursor = max(cursor, end)
+        if data_end > cursor:
+            handle.seek(cursor)
+            tail = handle.read(data_end - cursor)
+            total_pad += len(tail)
+            dirty += len(tail) - tail.count(0)
+        if dirty:
+            report.append((
+                "padding", False,
+                f"{dirty} non-zero bytes in alignment padding",
+            ))
+        else:
+            report.append(
+                ("padding", True, f"all zero ({total_pad} bytes)")
+            )
+    return report
+
+
+# ----------------------------------------------------------------------
+# lazy inspection (repro-spc stats)
+# ----------------------------------------------------------------------
+def describe_index(path: PathLike) -> dict:
+    """Structural summary of an index file without loading its labels.
+
+    For binary containers (v2/v3/v4) only the footer and JSON header
+    are read — the dist/count sections, usually >99% of the file, are
+    never touched.  A v4 CTL/CTLS file additionally maps its three
+    small flat-tree sections on demand to recover tree height/width.
+    The v1 JSON document has no lazy path and falls back to a full
+    :func:`load_index`.
+
+    Returns a dict with ``type``, ``format_version``, ``num_vertices``,
+    ``num_edges``, ``tree_nodes``, ``height``, ``width``,
+    ``total_label_entries``, ``size_bytes`` (the paper's 32-bit label
+    model, matching ``index.stats()``), ``file_bytes``, plus
+    ``sections`` and ``build_info`` when the container records them.
+    """
+    size = os.path.getsize(path)
+    with open(path, "rb") as handle:
+        magic = handle.read(len(_MAGIC3))
+        if magic == _MAGIC4:
+            header, entries, _, _, _ = _read_v4_layout(handle, path, size)
+            version = _BINARY_VERSION4
+        elif magic == _MAGIC3:
+            handle.seek(0)
+            _, header, _ = _read_v3_layout(handle, path, size)
+            version = _BINARY_VERSION3
+        elif magic == _MAGIC:
+            prefix = handle.read(8)
+            if len(prefix) < 8:
+                raise IndexCorruptError(
+                    path, "header", "file shorter than the fixed prefix"
+                )
+            (header_len,) = struct.unpack("<Q", prefix)
+            try:
+                header = json.loads(handle.read(header_len))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise IndexCorruptError(
+                    path, "header", f"corrupt binary header: {exc}"
+                ) from exc
+            version = _BINARY_VERSION
+        else:
+            index = load_index(path)
+            stats = index.stats()
+            provenance = getattr(index, "provenance", {}) or {}
+            return {
+                "type": type(index).__name__.replace("Index", ""),
+                "format_version": provenance.get("format_version", _VERSION),
+                "num_vertices": stats.num_vertices,
+                "num_edges": stats.num_edges,
+                "tree_nodes": stats.tree_nodes,
+                "height": stats.height,
+                "width": stats.width,
+                "total_label_entries": stats.total_label_entries,
+                "size_bytes": stats.size_bytes,
+                "file_bytes": size,
+                "sections": None,
+                "build_info": provenance.get("build_info"),
+                "lazy": False,
+            }
+        meta = _check_binary_header(path, header, version)
+        kind = header.get("type")
+        entries_count = meta["num_entries"]
+        summary = {
+            "type": kind,
+            "format_version": version,
+            "num_vertices": header.get("num_vertices", meta["num_vertices"]),
+            "num_edges": header["num_edges"],
+            "total_label_entries": entries_count,
+            "size_bytes": 8 * entries_count,
+            "file_bytes": size,
+            "sections": header.get("sections"),
+            "build_info": header.get("build_info"),
+            "lazy": True,
+        }
+        if kind == "TL":
+            parent = {
+                int(v): p for v, p in header["parent"].items()
+            }
+            depth = {}
+            for v in reversed(header["order"]):
+                p = parent[v]
+                depth[v] = 0 if p is None else depth[p] + 1
+            summary["tree_nodes"] = meta["num_vertices"]
+            summary["height"] = max(depth.values(), default=-1) + 1
+            summary["width"] = max(
+                (len(bag) + 1 for bag in header["bags"].values()), default=0
+            )
+        elif "tree" in header:
+            # v2/v3: the tree payload is already in the header.
+            nodes = header["tree"]["nodes"]
+            block_end = []
+            height = 0
+            width = 0
+            for node in nodes:
+                own = len(node["vertices"])
+                parent = node["parent"]
+                end = own + (block_end[parent] if parent >= 0 else 0)
+                block_end.append(end)
+                height = max(height, end)
+                width = max(width, own)
+            summary["tree_nodes"] = len(nodes)
+            summary["height"] = height
+            summary["width"] = width
+        else:
+            # v4: map just the two small tree-shape sections on demand.
+            tree_flat = header["tree_flat"]
+            names = header["section_names"]
+            by_name = dict(zip(names, entries))
+            region = _mmaplib.mmap(
+                handle.fileno(), 0, access=_mmaplib.ACCESS_READ
+            )
+            try:
+                base = memoryview(region)
+                off, nbytes = by_name["tree_parents"]
+                parents = base[off:off + nbytes].cast("q")
+                off, nbytes = by_name["tree_blocks"]
+                blocks = base[off:off + nbytes].cast("q")
+                block_end = []
+                height = 0
+                width = 0
+                for i, parent in enumerate(parents):
+                    own = blocks[i + 1] - blocks[i]
+                    end = own + (block_end[parent] if parent >= 0 else 0)
+                    block_end.append(end)
+                    height = max(height, end)
+                    width = max(width, own)
+                del parents, blocks, base
+            finally:
+                region.close()
+            summary["tree_nodes"] = tree_flat["nodes"]
+            summary["height"] = height
+            summary["width"] = width
+    return summary

@@ -28,6 +28,16 @@ Encoding:
 The arena is immutable by convention: code that mutates labels in place
 (dynamic repair) edits the :class:`LabelStore` and re-seals.
 
+The ``offsets``/``dist``/``count`` buffers may be ``array`` objects (the
+heap layout the builders produce) **or** read-only ``memoryview``s over
+an ``mmap`` region (the zero-copy layout the v4 container loader hands
+over).  Every consumer — the scalar scan, the vectorised kernel, the
+serializers — goes through the buffer protocol, so the two layouts are
+interchangeable and answer bit-identically.  A mapped arena keeps its
+backing region alive via :attr:`region`; the map is torn down by
+reference counting once the last view dies (an explicit ``close`` on an
+mmap with exported views would raise ``BufferError``).
+
 When numpy is importable, :meth:`LabelArena.scan_batch` runs a
 vectorised cross-pair kernel over zero-copy ``int64``/``float64`` views
 of the arena buffers: one segmented minimum over every pair's scan
@@ -79,6 +89,8 @@ class LabelArena:
         "offsets",
         "dist",
         "count",
+        "dist_typecode",
+        "region",
         "overflow_positions",
         "overflow_counts",
         "_overflow",
@@ -88,11 +100,13 @@ class LabelArena:
     def __init__(
         self,
         vertices: Sequence[Vertex],
-        offsets: array,
-        dist: array,
-        count: array,
+        offsets,
+        dist,
+        count,
         overflow_positions: Sequence[int] = (),
         overflow_counts: Sequence[int] = (),
+        *,
+        region=None,
     ) -> None:
         self.vertices: List[Vertex] = list(vertices)
         self.vertex_ids: Dict[Vertex, int] = {
@@ -101,6 +115,14 @@ class LabelArena:
         self.offsets = offsets
         self.dist = dist
         self.count = count
+        #: ``'q'`` or ``'d'`` — arrays carry it as ``typecode``,
+        #: memoryviews as ``format``; resolved once so the hot paths
+        #: never re-inspect the buffer type.
+        self.dist_typecode: str = getattr(dist, "typecode", None) or dist.format
+        #: Whatever owns the mapped bytes (an ``mmap``), kept alive for
+        #: as long as the arena holds views into it.  ``None`` for heap
+        #: arenas.
+        self.region = region
         self.overflow_positions: List[int] = list(overflow_positions)
         self.overflow_counts: List[int] = list(overflow_counts)
         self._overflow: Dict[int, int] = dict(
@@ -169,7 +191,7 @@ class LabelArena:
     # ------------------------------------------------------------------
     def decode_dist(self, value):
         """The public distance for one stored ``dist`` element."""
-        if self.dist.typecode == "q":
+        if self.dist_typecode == "q":
             return INF if value >= INF_ENCODED else value
         return INF if value == INF else value
 
@@ -260,7 +282,7 @@ class LabelArena:
         """Zero-copy numpy view of the packed distance array (cached)."""
         view = self._np_dist
         if view is None:
-            dtype = _np.int64 if self.dist.typecode == "q" else _np.float64
+            dtype = _np.int64 if self.dist_typecode == "q" else _np.float64
             view = _np.frombuffer(self.dist, dtype=dtype)
             self._np_dist = view
         return view
@@ -368,6 +390,11 @@ class LabelArena:
         return self.decode_dist(self.dist[at]), c
 
     @property
+    def is_mapped(self) -> bool:
+        """Whether the buffers are zero-copy views over a mapped region."""
+        return self.region is not None
+
+    @property
     def num_vertices(self) -> int:
         """Number of vertices with (possibly empty) label ranges."""
         return len(self.vertices)
@@ -419,10 +446,10 @@ class LabelArena:
             return NotImplemented
         return (
             self.vertices == other.vertices
-            and self.offsets == other.offsets
-            and self.dist.typecode == other.dist.typecode
-            and self.dist == other.dist
-            and self.count == other.count
+            and memoryview(self.offsets) == memoryview(other.offsets)
+            and self.dist_typecode == other.dist_typecode
+            and memoryview(self.dist) == memoryview(other.dist)
+            and memoryview(self.count) == memoryview(other.count)
             and self.overflow_positions == other.overflow_positions
             and self.overflow_counts == other.overflow_counts
         )
@@ -431,7 +458,7 @@ class LabelArena:
         return (
             f"LabelArena(n={self.num_vertices}, "
             f"entries={self.total_entries}, "
-            f"dist={self.dist.typecode!r}, "
+            f"dist={self.dist_typecode!r}, "
             f"overflow={len(self.overflow_positions)})"
         )
 

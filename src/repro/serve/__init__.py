@@ -27,6 +27,10 @@ Layers, innermost first:
   achieved QPS, latency percentiles, and request-id echo errors.
 * :mod:`repro.serve.runner` — :class:`ServerThread`, a helper running a
   server on a daemon thread (tests, benchmarks, examples).
+* :mod:`repro.serve.fleet` — ``serve --workers N``: a consistent-hash
+  router over N worker processes sharing one mmap'd index through the
+  OS page cache, with aggregated ``/metrics``/``/health`` and a
+  two-phase fleet-wide ``/admin/reload``.
 * :mod:`repro.serve.top` — ``repro-spc top``, a polling terminal
   dashboard over ``/stats`` + ``/metrics``.
 
@@ -39,12 +43,21 @@ from repro.serve.cache import ResultCache
 from repro.serve.client import LoadReport, RetryPolicy, replay, run_workload
 from repro.serve.coalescer import MicroBatcher
 from repro.serve.config import ServeConfig
+from repro.serve.fleet import (
+    FleetRouter,
+    FleetThread,
+    HashRing,
+    merge_metrics_snapshots,
+)
 from repro.serve.runner import ServerThread
 from repro.serve.server import SPCServer
 from repro.serve.top import render_dashboard, run_top
 
 __all__ = [
     "CircuitBreaker",
+    "FleetRouter",
+    "FleetThread",
+    "HashRing",
     "LoadReport",
     "MicroBatcher",
     "ResultCache",
@@ -52,6 +65,7 @@ __all__ = [
     "SPCServer",
     "ServeConfig",
     "ServerThread",
+    "merge_metrics_snapshots",
     "render_dashboard",
     "replay",
     "run_top",

@@ -1,0 +1,1044 @@
+"""Multi-process serving fleet: an asyncio router over N worker servers.
+
+``repro-spc serve --workers N`` starts one :class:`FleetRouter` in the
+foreground process and ``N`` :class:`~repro.serve.server.SPCServer`
+workers, each its own OS process with its own event loop, GIL, and
+scan executor.  The index is **not** copied to the workers: every
+worker opens the same v4 container with ``load_index(path)`` and the
+OS page cache shares one physical copy of the mapped arena across the
+whole fleet — cold start per worker is page-fault-time, and resident
+memory grows with *one* index, not ``N``.
+
+Routing is a consistent-hash ring over the symmetric query key
+``(min(s, t), max(s, t))`` (:class:`HashRing`).  The same pair always
+lands on the same worker, so per-worker LRU result caches stay hot and
+never duplicate entries across the fleet; the symmetric key means
+``(s, t)`` and ``(t, s)`` — identical answers on an undirected graph —
+share one cache slot too.
+
+The router terminates client HTTP itself and speaks plain keep-alive
+HTTP/1.1 to workers over pooled loopback connections.  Queries are
+pure reads, so a request that dies with its upstream connection (a
+worker restart, an injected ``conn.reset`` fault) is transparently
+resent a bounded number of times before the client sees a retryable
+502.
+
+Fleet-wide endpoints:
+
+* ``GET /query`` / ``POST /query`` — routed by pair; JSON batches are
+  scattered by owner and gathered back in request order.
+* ``GET /metrics`` — per-worker snapshots merged (counters and gauges
+  summed, histograms merged bucket-wise); Prometheus text on request.
+* ``GET /health`` — fleet status: ``ok`` only if every worker is ok.
+* ``POST /admin/reload`` — **two-phase** fleet reload: every worker
+  stages and fully verifies the new index (``prepare``), and only if
+  all N succeed does the router ``commit`` the swap everywhere.  One
+  corrupt file → ``abort`` everywhere, 409, old index keeps serving on
+  all workers.
+* ``POST /admin/profile`` — proxied to worker 0.
+* ``GET /stats`` — worker 0's stats annotated with a ``fleet`` block.
+
+``SIGTERM``/``SIGINT`` drain in cascade: the router stops accepting,
+finishes in-flight client requests, then signals each worker to run
+its own graceful drain — zero dropped requests end to end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import json
+import multiprocessing
+import signal
+import time
+import zlib
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ReproError
+from repro.obs import PROMETHEUS_CONTENT_TYPE, Recorder, render_prometheus
+from repro.serve.config import ServeConfig
+from repro.serve.http import (
+    HTTPProtocolError,
+    Request,
+    parse_request,
+    read_head,
+    read_raw_response,
+    response_bytes,
+)
+
+#: Upstream response headers forwarded verbatim to the client.
+_FORWARD_HEADERS = (
+    ("content-type", "Content-Type"),
+    ("x-request-id", "X-Request-Id"),
+    ("retry-after", "Retry-After"),
+    ("allow", "Allow"),
+)
+
+#: Transparent resends of an idempotent request after a transport
+#: failure (queries are pure reads; admin calls are never resent).
+_UPSTREAM_RESENDS = 2
+
+#: Idle upstream connections kept pooled per worker.
+_POOL_SIZE = 32
+
+
+class FleetError(ReproError):
+    """The fleet could not be started or a worker misbehaved."""
+
+
+# ----------------------------------------------------------------------
+# consistent hashing
+# ----------------------------------------------------------------------
+class HashRing:
+    """Consistent-hash ring over worker ids.
+
+    Each worker contributes ``vnodes`` points hashed onto a 32-bit
+    circle; a key is owned by the first point at or after its own hash.
+    Removing one worker reassigns only ~1/N of the keyspace — per-worker
+    caches survive fleet resizes mostly intact, which is the whole
+    reason this is not ``hash(key) % N``.
+    """
+
+    def __init__(self, workers: Sequence[int], vnodes: int = 64) -> None:
+        if not workers:
+            raise FleetError("a hash ring needs at least one worker")
+        points = sorted(
+            (zlib.crc32(f"{worker}#{replica}".encode()), worker)
+            for worker in workers
+            for replica in range(vnodes)
+        )
+        self._hashes = [point for point, _ in points]
+        self._owners = [worker for _, worker in points]
+
+    def owner(self, key: str) -> int:
+        """Worker id owning ``key``."""
+        position = bisect.bisect_right(self._hashes, zlib.crc32(key.encode()))
+        return self._owners[position % len(self._owners)]
+
+    def owner_of_pair(self, source: int, target: int) -> int:
+        """Worker id owning the symmetric pair key ``(s, t)``."""
+        low, high = (
+            (source, target) if source <= target else (target, source)
+        )
+        return self.owner(f"{low}:{high}")
+
+
+# ----------------------------------------------------------------------
+# worker process
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker process needs, picklable for spawn."""
+
+    worker_id: int
+    index_path: str
+    config: ServeConfig
+    fault_spec: Optional[str] = None
+    fault_seed: int = 0
+
+
+async def _worker_serve(spec: WorkerSpec, conn) -> None:
+    from repro.core.serialize import load_index
+    from repro.faults import FaultPlan
+    from repro.serve.server import SPCServer
+
+    try:
+        # Full verification at startup: a worker must never begin
+        # serving an index it has not checksummed end to end.
+        index = load_index(spec.index_path, verify=True)
+        plan = (
+            FaultPlan.parse(spec.fault_spec, seed=spec.fault_seed)
+            if spec.fault_spec
+            else None
+        )
+        server = SPCServer(
+            index,
+            spec.config,
+            fault_plan=plan,
+            index_path=spec.index_path,
+        )
+        await server.start()
+    except Exception as exc:
+        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        conn.close()
+        return
+    server.install_signal_handlers()
+    conn.send(("ready", server.port))
+    conn.close()
+    await server.wait_stopped()
+
+
+def _worker_main(spec: WorkerSpec, conn) -> None:
+    """Entry point of one worker process (module-level for spawn)."""
+    try:
+        asyncio.run(_worker_serve(spec, conn))
+    except KeyboardInterrupt:  # pragma: no cover - racing SIGINT
+        pass
+
+
+@dataclass
+class _Worker:
+    """Router-side handle on one worker process."""
+
+    worker_id: int
+    process: multiprocessing.process.BaseProcess
+    conn: object
+    port: int = 0
+    #: Idle pooled connections ``(reader, writer)`` to this worker.
+    pool: List[tuple] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# router
+# ----------------------------------------------------------------------
+class FleetRouter:
+    """The front process of a ``serve --workers N`` fleet."""
+
+    def __init__(
+        self,
+        index_path: str,
+        num_workers: int,
+        config: Optional[ServeConfig] = None,
+        *,
+        fault_spec: Optional[str] = None,
+        fault_seed: int = 0,
+        recorder: Optional[Recorder] = None,
+        vnodes: int = 64,
+    ) -> None:
+        if num_workers < 1:
+            raise FleetError("a fleet needs at least one worker")
+        self.index_path = str(index_path)
+        self.num_workers = num_workers
+        self.config = config or ServeConfig()
+        self.fault_spec = fault_spec
+        self.fault_seed = fault_seed
+        self.recorder = recorder if recorder is not None else Recorder()
+        self.vnodes = vnodes
+        self.workers: List[_Worker] = []
+        self.ring: Optional[HashRing] = None
+        self.host = self.config.host
+        self.port = self.config.port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
+        self._inflight = 0
+        self._draining = False
+        self._stopped: Optional[asyncio.Event] = None
+        self._started_at = 0.0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "FleetRouter":
+        """Spawn the workers, wait for readiness, bind the front port."""
+        loop = asyncio.get_running_loop()
+        self._stopped = asyncio.Event()
+        context = multiprocessing.get_context("spawn")
+        worker_config = replace(self.config, host="127.0.0.1", port=0)
+        for worker_id in range(self.num_workers):
+            parent_conn, child_conn = context.Pipe()
+            spec = WorkerSpec(
+                worker_id=worker_id,
+                index_path=self.index_path,
+                config=worker_config,
+                fault_spec=self.fault_spec,
+                # Distinct seeds: workers fault independently, not in
+                # lockstep — one bad draw must not take out the fleet.
+                fault_seed=self.fault_seed + worker_id,
+            )
+            process = context.Process(
+                target=_worker_main,
+                args=(spec, child_conn),
+                daemon=True,
+                name=f"spc-worker-{worker_id}",
+            )
+            process.start()
+            child_conn.close()
+            self.workers.append(_Worker(worker_id, process, parent_conn))
+        for worker in self.workers:
+            try:
+                message = await loop.run_in_executor(
+                    None, self._await_ready, worker
+                )
+            except Exception:
+                await self._terminate_workers()
+                raise
+            kind, value = message
+            if kind != "ready":
+                await self._terminate_workers()
+                raise FleetError(
+                    f"worker {worker.worker_id} failed to start: {value}"
+                )
+            worker.port = value
+        self.ring = HashRing(
+            [worker.worker_id for worker in self.workers], self.vnodes
+        )
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        sockets = self._server.sockets or ()
+        if sockets:
+            self.host, self.port = sockets[0].getsockname()[:2]
+        self._started_at = time.perf_counter()
+        return self
+
+    @staticmethod
+    def _await_ready(worker: _Worker, timeout: float = 60.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if worker.conn.poll(0.1):
+                try:
+                    return worker.conn.recv()
+                except EOFError:
+                    return (
+                        "error",
+                        "process closed its pipe before reporting a port "
+                        f"(exit code {worker.process.exitcode})",
+                    )
+            if not worker.process.is_alive():
+                return (
+                    "error",
+                    f"process exited with code {worker.process.exitcode} "
+                    "before reporting a port",
+                )
+        return ("error", f"no readiness report within {timeout}s")
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT → cascade drain (router first, then workers)."""
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(
+                signum, lambda: loop.create_task(self.shutdown())
+            )
+
+    async def wait_stopped(self) -> None:
+        """Block until a drain has fully completed."""
+        assert self._stopped is not None, "fleet was never started"
+        await self._stopped.wait()
+
+    async def shutdown(self) -> None:
+        """Graceful cascade: drain clients, then drain every worker.
+
+        The front listener closes first; in-flight client requests get
+        ``drain_grace_s`` to finish (zero dropped requests), then the
+        workers receive SIGTERM and run their own graceful drains.
+        The daemon flag on the worker processes is the backstop, not
+        the mechanism.
+        """
+        if self._draining:
+            await self.wait_stopped()
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        deadline = time.monotonic() + self.config.drain_grace_s
+        while self._connections and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(
+                *self._connections, return_exceptions=True
+            )
+        for worker in self.workers:
+            for reader, writer in worker.pool:
+                writer.close()
+            worker.pool.clear()
+        await self._terminate_workers()
+        self._stopped.set()
+
+    async def _terminate_workers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for worker in self.workers:
+            if worker.process.is_alive():
+                # The workers never get the terminal's signal (they are
+                # not in the foreground process group under CI runners),
+                # so the router forwards the drain explicitly.
+                worker.process.terminate()
+        for worker in self.workers:
+            await loop.run_in_executor(None, worker.process.join, 10.0)
+            if worker.process.is_alive():  # pragma: no cover - stuck
+                worker.process.kill()
+                await loop.run_in_executor(None, worker.process.join, 5.0)
+
+    # ------------------------------------------------------------------
+    # upstream plumbing
+    # ------------------------------------------------------------------
+    async def _acquire(self, worker: _Worker):
+        while worker.pool:
+            reader, writer = worker.pool.pop()
+            if writer.is_closing():
+                continue
+            return reader, writer
+        return await asyncio.open_connection("127.0.0.1", worker.port)
+
+    def _release(self, worker: _Worker, reader, writer) -> None:
+        if len(worker.pool) < _POOL_SIZE and not writer.is_closing():
+            worker.pool.append((reader, writer))
+        else:
+            writer.close()
+
+    @staticmethod
+    def _request_bytes(
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Sequence[Tuple[str, str]] = (),
+    ) -> bytes:
+        lines = [
+            f"{method} {path} HTTP/1.1",
+            "Host: fleet",
+            "Connection: keep-alive",
+        ]
+        lines.extend(f"{name}: {value}" for name, value in headers)
+        if body:
+            lines.append("Content-Type: application/json")
+            lines.append(f"Content-Length: {len(body)}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        return head + body if body else head
+
+    async def _upstream(
+        self,
+        worker: _Worker,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Sequence[Tuple[str, str]] = (),
+        *,
+        resend: bool = False,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One proxied request; ``(status, headers, raw body)``.
+
+        A transport failure mid-request (worker restart, injected
+        connection reset) closes the pooled connection; idempotent
+        requests are resent up to ``_UPSTREAM_RESENDS`` times on a
+        fresh connection before the failure propagates.
+        """
+        request = self._request_bytes(method, path, body, headers)
+        attempts = 1 + (_UPSTREAM_RESENDS if resend else 0)
+        last_error: Optional[BaseException] = None
+        for attempt in range(attempts):
+            if attempt:
+                self.recorder.incr("fleet.upstream.resends")
+            try:
+                reader, writer = await self._acquire(worker)
+            except OSError as exc:
+                last_error = exc
+                self.recorder.incr("fleet.upstream.connect_errors")
+                await asyncio.sleep(0.01 * attempt)
+                continue
+            try:
+                writer.write(request)
+                await writer.drain()
+                status, response_headers, payload = await read_raw_response(
+                    reader
+                )
+            except (
+                OSError,
+                HTTPProtocolError,
+                asyncio.IncompleteReadError,
+            ) as exc:
+                writer.close()
+                last_error = exc
+                self.recorder.incr("fleet.upstream.transport_errors")
+                continue
+            self._release(worker, reader, writer)
+            return status, response_headers, payload
+        raise FleetError(
+            f"worker {worker.worker_id} unreachable after {attempts} "
+            f"attempt(s): {last_error}"
+        )
+
+    def _reframe(
+        self,
+        status: int,
+        headers: Dict[str, str],
+        payload: bytes,
+        keep_alive: bool,
+    ) -> bytes:
+        extra = [
+            (canonical, headers[lower])
+            for lower, canonical in _FORWARD_HEADERS
+            if lower in headers
+        ]
+        return response_bytes(
+            status, payload, keep_alive=keep_alive, extra_headers=extra
+        )
+
+    def _error(
+        self, status: int, message: str, keep_alive: bool
+    ) -> bytes:
+        return response_bytes(
+            status, {"error": message}, keep_alive=keep_alive
+        )
+
+    # ------------------------------------------------------------------
+    # client side
+    # ------------------------------------------------------------------
+    async def _on_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            while True:
+                if self._draining:
+                    break
+                head = await read_head(reader)
+                if head is None:
+                    break
+                request = await parse_request(head, reader)
+                self._inflight += 1
+                try:
+                    out = await self._handle(request)
+                finally:
+                    self._inflight -= 1
+                writer.write(out)
+                await writer.drain()
+                if not request.keep_alive:
+                    break
+        except (
+            HTTPProtocolError,
+            OSError,
+            asyncio.IncompleteReadError,
+            asyncio.CancelledError,
+        ):
+            pass
+        finally:
+            self._connections.discard(task)
+            writer.close()
+
+    async def _handle(self, request: Request) -> bytes:
+        self.recorder.incr("fleet.requests")
+        keep_alive = request.keep_alive
+        try:
+            if request.path == "/query":
+                return await self._handle_query(request, keep_alive)
+            if request.path == "/metrics":
+                return await self._handle_metrics(request, keep_alive)
+            if request.path == "/health":
+                return await self._handle_health(keep_alive)
+            if request.path == "/stats":
+                return await self._handle_stats(keep_alive)
+            if request.path == "/admin/reload":
+                return await self._handle_reload(request, keep_alive)
+            if request.path == "/admin/profile":
+                return await self._proxy(
+                    self.workers[0], request, keep_alive
+                )
+            self.recorder.incr("fleet.errors.route")
+            return self._error(
+                404, f"unknown path {request.path!r}", keep_alive
+            )
+        except FleetError as exc:
+            self.recorder.incr("fleet.errors.upstream")
+            return self._error(502, str(exc), keep_alive)
+
+    async def _proxy(
+        self,
+        worker: _Worker,
+        request: Request,
+        keep_alive: bool,
+        *,
+        resend: bool = False,
+    ) -> bytes:
+        headers = []
+        rid = request.headers.get("x-request-id")
+        if rid:
+            headers.append(("X-Request-Id", rid))
+        target = request.path
+        if request.params:
+            query = "&".join(
+                f"{name}={value}" for name, value in request.params.items()
+            )
+            target = f"{request.path}?{query}"
+        status, response_headers, payload = await self._upstream(
+            worker,
+            request.method,
+            target,
+            request.body or None,
+            headers,
+            resend=resend,
+        )
+        return self._reframe(status, response_headers, payload, keep_alive)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    async def _handle_query(
+        self, request: Request, keep_alive: bool
+    ) -> bytes:
+        assert self.ring is not None
+        if request.method == "POST":
+            try:
+                payload = request.json()
+            except Exception:
+                payload = None
+            if isinstance(payload, dict) and isinstance(
+                payload.get("pairs"), list
+            ):
+                return await self._scatter_pairs(
+                    request, payload, keep_alive
+                )
+            if isinstance(payload, dict):
+                try:
+                    owner = self.ring.owner_of_pair(
+                        int(payload["source"]), int(payload["target"])
+                    )
+                except (KeyError, TypeError, ValueError):
+                    owner = 0
+                return await self._proxy(
+                    self.workers[owner], request, keep_alive, resend=True
+                )
+            # Malformed body: let a worker produce the canonical 400.
+            return await self._proxy(
+                self.workers[0], request, keep_alive, resend=True
+            )
+        try:
+            owner = self.ring.owner_of_pair(
+                int(request.params["source"]), int(request.params["target"])
+            )
+        except (KeyError, TypeError, ValueError):
+            owner = 0  # worker 0 answers the 400 consistently
+        return await self._proxy(
+            self.workers[owner], request, keep_alive, resend=True
+        )
+
+    async def _scatter_pairs(
+        self, request: Request, payload: dict, keep_alive: bool
+    ) -> bytes:
+        """Scatter a JSON batch by pair owner; gather in request order."""
+        assert self.ring is not None
+        pairs = payload["pairs"]
+        explain = bool(payload.get("explain", False))
+        by_owner: Dict[int, List[int]] = {}
+        for position, item in enumerate(pairs):
+            if (
+                not isinstance(item, (list, tuple))
+                or len(item) != 2
+            ):
+                # Structurally bad batch: one worker reports it whole.
+                return await self._proxy(
+                    self.workers[0], request, keep_alive, resend=True
+                )
+            try:
+                source, target = int(item[0]), int(item[1])
+            except (TypeError, ValueError):
+                return await self._proxy(
+                    self.workers[0], request, keep_alive, resend=True
+                )
+            owner = self.ring.owner_of_pair(source, target)
+            by_owner.setdefault(owner, []).append(position)
+        rid = request.headers.get("x-request-id")
+        headers = [("X-Request-Id", rid)] if rid else []
+
+        async def _one(owner: int, positions: List[int]):
+            body = json.dumps(
+                {
+                    "pairs": [pairs[position] for position in positions],
+                    "explain": explain,
+                },
+                separators=(",", ":"),
+            ).encode()
+            return await self._upstream(
+                self.workers[owner], "POST", "/query", body, headers,
+                resend=True,
+            )
+
+        outcomes = await asyncio.gather(
+            *(
+                _one(owner, positions)
+                for owner, positions in by_owner.items()
+            ),
+            return_exceptions=True,
+        )
+        results: List[object] = [None] * len(pairs)
+        worst = 200
+        for (owner, positions), outcome in zip(
+            by_owner.items(), outcomes
+        ):
+            if isinstance(outcome, BaseException):
+                if not isinstance(outcome, FleetError):
+                    raise outcome
+                worst = max(worst, 502)
+                for position in positions:
+                    results[position] = {"error": str(outcome)}
+                continue
+            status, _, body = outcome
+            try:
+                answer = json.loads(body) if body else {}
+            except json.JSONDecodeError:
+                answer = {}
+            slots = (
+                answer.get("results")
+                if isinstance(answer, dict)
+                else None
+            )
+            if not isinstance(slots, list) or len(slots) != len(positions):
+                worst = max(worst, 502)
+                for position in positions:
+                    results[position] = {
+                        "error": "malformed upstream batch answer"
+                    }
+                continue
+            worst = max(worst, status)
+            for position, slot in zip(positions, slots):
+                results[position] = slot
+        extra = [("X-Request-Id", rid)] if rid else []
+        return response_bytes(
+            worst,
+            {"results": results},
+            keep_alive=keep_alive,
+            extra_headers=extra,
+        )
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+    async def _fanout(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        *,
+        resend: bool = False,
+    ) -> List[object]:
+        """The same request to every worker; exceptions as values."""
+        return await asyncio.gather(
+            *(
+                self._upstream(worker, method, path, body, resend=resend)
+                for worker in self.workers
+            ),
+            return_exceptions=True,
+        )
+
+    async def _handle_metrics(
+        self, request: Request, keep_alive: bool
+    ) -> bytes:
+        outcomes = await self._fanout("GET", "/metrics", resend=True)
+        snapshots = []
+        for worker, outcome in zip(self.workers, outcomes):
+            if isinstance(outcome, BaseException):
+                continue
+            status, _, body = outcome
+            if status != 200:
+                continue
+            try:
+                snapshots.append(json.loads(body))
+            except json.JSONDecodeError:
+                continue
+        merged = merge_metrics_snapshots(
+            snapshots + [self.recorder.metrics_snapshot()]
+        )
+        merged["fleet"] = {
+            "workers": len(self.workers),
+            "reporting": len(snapshots),
+        }
+        wants_text = False
+        fmt = request.params.get("format")
+        if fmt is not None:
+            wants_text = fmt == "prometheus"
+        else:
+            accept = request.headers.get("accept", "")
+            wants_text = "text/plain" in accept or "openmetrics" in accept
+        if wants_text:
+            text = render_prometheus(merged)
+            return response_bytes(
+                200,
+                text.encode("utf-8"),
+                keep_alive=keep_alive,
+                extra_headers=(
+                    ("Content-Type", PROMETHEUS_CONTENT_TYPE),
+                ),
+            )
+        return response_bytes(200, merged, keep_alive=keep_alive)
+
+    async def _handle_health(self, keep_alive: bool) -> bytes:
+        outcomes = await self._fanout("GET", "/health", resend=True)
+        per_worker = []
+        healthy = 0
+        for worker, outcome in zip(self.workers, outcomes):
+            if isinstance(outcome, BaseException):
+                per_worker.append(
+                    {
+                        "worker": worker.worker_id,
+                        "status": "unreachable",
+                        "error": str(outcome),
+                    }
+                )
+                continue
+            status, _, body = outcome
+            try:
+                answer = json.loads(body) if body else {}
+            except json.JSONDecodeError:
+                answer = {}
+            text = answer.get("status", "unknown")
+            per_worker.append(
+                {"worker": worker.worker_id, "status": text}
+            )
+            if status == 200:
+                healthy += 1
+        if self._draining:
+            overall, http_status = "draining", 503
+        elif healthy == len(self.workers):
+            overall, http_status = "ok", 200
+        elif healthy:
+            overall, http_status = "degraded", 503
+        else:
+            overall, http_status = "down", 503
+        payload = {
+            "status": overall,
+            "workers": per_worker,
+            "healthy_workers": healthy,
+            "inflight": self._inflight,
+            "uptime_seconds": time.perf_counter() - self._started_at,
+        }
+        return response_bytes(
+            http_status, payload, keep_alive=keep_alive
+        )
+
+    async def _handle_stats(self, keep_alive: bool) -> bytes:
+        status, headers, body = await self._upstream(
+            self.workers[0], "GET", "/stats", resend=True
+        )
+        try:
+            payload = json.loads(body) if body else {}
+        except json.JSONDecodeError:
+            payload = {}
+        if isinstance(payload, dict):
+            payload["fleet"] = {
+                "workers": len(self.workers),
+                "index_path": self.index_path,
+            }
+        return self._reframe(
+            status,
+            {key: headers[key] for key in headers if key == "x-request-id"},
+            json.dumps(payload, separators=(",", ":")).encode(),
+            keep_alive,
+        )
+
+    # ------------------------------------------------------------------
+    # fleet reload: two-phase commit
+    # ------------------------------------------------------------------
+    async def _handle_reload(
+        self, request: Request, keep_alive: bool
+    ) -> bytes:
+        if request.method != "POST":
+            return response_bytes(
+                405,
+                {"error": "reload requires POST"},
+                keep_alive=keep_alive,
+                extra_headers=(("Allow", "POST"),),
+            )
+        body = request.body or b"{}"
+        prepared = await self._fanout(
+            "POST", "/admin/reload/prepare", body
+        )
+        failures = []
+        for worker, outcome in zip(self.workers, prepared):
+            if isinstance(outcome, BaseException):
+                failures.append(
+                    f"worker {worker.worker_id}: {outcome}"
+                )
+                continue
+            status, _, payload = outcome
+            if status != 200:
+                try:
+                    detail = json.loads(payload).get("error", "")
+                except (json.JSONDecodeError, AttributeError):
+                    detail = payload.decode("latin-1", "replace")[:200]
+                failures.append(f"worker {worker.worker_id}: {detail}")
+        if failures:
+            # One bad worker (or one corrupt file) rejects the reload
+            # fleet-wide; every staged index is dropped and the old
+            # index keeps serving everywhere.
+            await self._fanout("POST", "/admin/reload/abort", b"{}")
+            self.recorder.incr("fleet.reload.failed")
+            return response_bytes(
+                409,
+                {"reloaded": False, "errors": failures},
+                keep_alive=keep_alive,
+            )
+        committed = await self._fanout(
+            "POST", "/admin/reload/commit", b"{}"
+        )
+        commit_failures = [
+            f"worker {worker.worker_id}: {outcome}"
+            for worker, outcome in zip(self.workers, committed)
+            if isinstance(outcome, BaseException)
+            or outcome[0] != 200
+        ]
+        if commit_failures:  # pragma: no cover - commit cannot fail
+            self.recorder.incr("fleet.reload.failed")
+            return response_bytes(
+                500,
+                {"reloaded": False, "errors": commit_failures},
+                keep_alive=keep_alive,
+            )
+        self.recorder.incr("fleet.reload.count")
+        return response_bytes(
+            200,
+            {"reloaded": True, "workers": len(self.workers)},
+            keep_alive=keep_alive,
+        )
+
+
+# ----------------------------------------------------------------------
+# metrics merging
+# ----------------------------------------------------------------------
+def _bucket_bound(label: str) -> float:
+    """Numeric upper bound of a histogram bucket label."""
+    text = label.split(maxsplit=1)[-1]
+    try:
+        return float(text)
+    except ValueError:
+        return float("inf")
+
+
+def merge_metrics_snapshots(snapshots: Sequence[dict]) -> dict:
+    """Merge per-worker ``metrics_snapshot()`` dicts into one.
+
+    Counters and gauges are summed (every gauge in the serving layer —
+    queue depth, cache size, active connections — is additive across
+    workers).  Histograms merge exactly on ``count``/``sum``/``min``/
+    ``max`` and bucket-wise on the distribution; the merged quantiles
+    are bucket upper bounds (the standard Prometheus-style estimate),
+    which is the best any aggregator can do without raw samples.
+    """
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, List[dict]] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snapshot.get("gauges", {}).items():
+            gauges[name] = gauges.get(name, 0) + value
+        for name, data in snapshot.get("histograms", {}).items():
+            histograms.setdefault(name, []).append(data)
+    merged_histograms = {}
+    for name, parts in histograms.items():
+        live = [part for part in parts if part.get("count")]
+        if not live:
+            merged_histograms[name] = parts[0]
+            continue
+        count = sum(part["count"] for part in live)
+        total = sum(part["sum"] for part in live)
+        low = min(part["min"] for part in live)
+        high = max(part["max"] for part in live)
+        buckets: Dict[str, int] = {}
+        for part in live:
+            for label, bucket_count in part.get("buckets", {}).items():
+                buckets[label] = buckets.get(label, 0) + bucket_count
+        ordered = sorted(buckets.items(), key=lambda kv: _bucket_bound(kv[0]))
+        quantiles = {}
+        for quantile, key in ((0.50, "p50"), (0.95, "p95"), (0.99, "p99")):
+            needed = quantile * count
+            seen = 0
+            value = high
+            for label, bucket_count in ordered:
+                seen += bucket_count
+                if seen >= needed:
+                    bound = _bucket_bound(label)
+                    value = bound if bound != float("inf") else high
+                    break
+            quantiles[key] = value
+        merged_histograms[name] = {
+            "count": count,
+            "sum": total,
+            "min": low,
+            "max": high,
+            "mean": total / count,
+            **quantiles,
+            "buckets": dict(ordered),
+        }
+    return {
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": merged_histograms,
+    }
+
+
+# ----------------------------------------------------------------------
+# thread runner (tests, benchmarks)
+# ----------------------------------------------------------------------
+class FleetThread:
+    """Run a :class:`FleetRouter` on a daemon thread with its own loop.
+
+    The fleet analogue of :class:`~repro.serve.runner.ServerThread`::
+
+        with FleetThread(path, workers=2) as (host, port):
+            report = replay(host, port, pairs)
+    """
+
+    def __init__(
+        self,
+        index_path: str,
+        workers: int,
+        config: Optional[ServeConfig] = None,
+        **router_kwargs,
+    ) -> None:
+        import threading
+
+        self._index_path = str(index_path)
+        self._workers = workers
+        self._config = config or ServeConfig(port=0)
+        self._router_kwargs = router_kwargs
+        self.router: Optional[FleetRouter] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._failure: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="spc-fleet", daemon=True
+        )
+
+    def start(self, timeout: float = 120.0) -> Tuple[str, int]:
+        """Start the fleet; returns the router's ``(host, port)``."""
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("fleet thread did not start in time")
+        if self._failure is not None:
+            raise RuntimeError(
+                f"fleet failed to start: {self._failure!r}"
+            ) from self._failure
+        assert self.router is not None
+        return self.router.host, self.router.port
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Drain the fleet and join the thread."""
+        if (
+            self._loop is not None
+            and self.router is not None
+            and not self._loop.is_closed()
+        ):
+            shutdown = self.router.shutdown()
+            try:
+                asyncio.run_coroutine_threadsafe(
+                    shutdown, self._loop
+                ).result(timeout)
+            except (RuntimeError, asyncio.CancelledError):
+                shutdown.close()  # loop already gone: fleet finished
+        self._thread.join(timeout)
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:
+            self._failure = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self.router = FleetRouter(
+            self._index_path,
+            self._workers,
+            self._config,
+            **self._router_kwargs,
+        )
+        await self.router.start()
+        self._loop = asyncio.get_running_loop()
+        self._ready.set()
+        await self.router.wait_stopped()
+
+    def __enter__(self) -> Tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -237,6 +237,9 @@ class SPCServer:
             max_error_rate=self.config.slo_error_rate,
         )
         self._index_meta: Optional[dict] = None
+        #: Index staged by ``/admin/reload/prepare`` awaiting commit —
+        #: ``(index, path)``; the fleet router drives the two phases.
+        self._staged_reload: Optional[tuple] = None
         self._prev_switch_interval: Optional[float] = None
         #: Active sampling-profiler capture, if any — one at a time.
         self._profiler = None
@@ -338,13 +341,26 @@ class SPCServer:
     async def reload_index(self, path: Optional[str] = None) -> dict:
         """Hot-swap a freshly validated index loaded from ``path``.
 
-        The load (and its full checksum validation for v3 files) runs
-        on a side thread; the swap itself happens on the event loop in
-        one step, so in-flight batches finish against the old index
-        object while new submissions see the new one — zero requests
-        dropped.  The result cache is cleared (answers may differ) and
-        the circuit breaker resets.  Raises on any load/validation
-        failure, leaving the previous index serving untouched.
+        The load (and its full checksum validation) runs on a side
+        thread; the swap itself happens on the event loop in one step,
+        so in-flight batches finish against the old index object while
+        new submissions see the new one — zero requests dropped.  The
+        result cache is cleared (answers may differ) and the circuit
+        breaker resets.  Raises on any load/validation failure, leaving
+        the previous index serving untouched.
+        """
+        started = time.perf_counter()
+        new_index, path = await self._load_for_reload(path)
+        return self._swap_index(new_index, path, started)
+
+    async def _load_for_reload(self, path: Optional[str] = None):
+        """Load and validate a reload candidate without swapping it in.
+
+        Runs the load on a side thread with full checksum verification
+        (``verify=True`` covers the mmap'd v4 sections too — a staged
+        index must never be trusted on structure alone).  Returns
+        ``(index, path)`` with fault wrapping already applied; raises
+        on any failure, counting it against ``serve.reload.failed``.
         """
         from repro.core.serialize import load_index
 
@@ -358,11 +374,10 @@ class SPCServer:
         def _load():
             if self.fault_plan is not None:
                 self.fault_plan.check("index.load")
-            index = load_index(path)
+            index = load_index(path, verify=True)
             index.stats()  # structural sanity before it may serve
             return index
 
-        started = time.perf_counter()
         try:
             new_index = await asyncio.get_running_loop().run_in_executor(
                 None, _load
@@ -374,22 +389,33 @@ class SPCServer:
             "scan.fail", "scan.slow"
         ):
             new_index = FaultyIndex(new_index, self.fault_plan)
+        return new_index, str(path)
+
+    def _swap_index(
+        self, new_index, path: str, started: Optional[float] = None
+    ) -> dict:
+        """Point the serving path at ``new_index`` — one event-loop step.
+
+        In-flight batches finish against the old index object; new
+        submissions see the new one.  Never fails: everything that can
+        go wrong happened in :meth:`_load_for_reload`.
+        """
         self.index = new_index
         if self.batcher is not None:
             self.batcher.swap_index(new_index)
         self.cache.clear()
         self._index_meta = None
         self.breaker.record_success()
-        self.index_path = str(path)
-        elapsed = time.perf_counter() - started
+        self.index_path = path
         self.recorder.incr("serve.reload.count")
         info = {
-            "path": str(path),
+            "path": path,
             "index": type(new_index).__name__
             if not isinstance(new_index, FaultyIndex)
             else type(new_index.inner).__name__,
-            "seconds": elapsed,
         }
+        if started is not None:
+            info["seconds"] = time.perf_counter() - started
         if self.request_log is not None:
             self.request_log.log_server("reload", **info)
         return info
@@ -770,6 +796,14 @@ class SPCServer:
             return self._dispatch_query(request, rid)
         if request.path == "/admin/reload":
             return self._handle_reload(request, rid)
+        if request.path in (
+            "/admin/reload/prepare",
+            "/admin/reload/commit",
+            "/admin/reload/abort",
+        ):
+            return self._handle_reload_phase(
+                request, rid, request.path.rsplit("/", 1)[1]
+            )
         if request.path == "/admin/profile":
             return self._handle_profile(request, rid)
         started = time.perf_counter()
@@ -861,6 +895,63 @@ class SPCServer:
             status, payload, (),
             rid=rid, started=started, method="POST",
             path="/admin/reload", error=error, track_slo=False,
+        )
+
+    async def _handle_reload_phase(
+        self, request: Request, rid: str, phase: str
+    ) -> Response:
+        """Two-phase reload, driven worker-by-worker by the fleet router.
+
+        * ``POST /admin/reload/prepare`` — load + fully verify the
+          candidate (body ``{"path": ...}`` or the current path) and
+          stage it without serving it.  409 on any failure.
+        * ``POST /admin/reload/commit`` — atomically swap the staged
+          index in.  409 if nothing is staged.
+        * ``POST /admin/reload/abort`` — drop the staged index (idempotent).
+
+        A router prepares every worker before committing any, so a
+        corrupt file is rejected fleet-wide while the old index keeps
+        serving on all workers — no half-upgraded fleet.
+        """
+        started = time.perf_counter()
+        path = f"/admin/reload/{phase}"
+        if request.method != "POST":
+            return self._finish_request(
+                405, {"error": f"reload {phase} requires POST"},
+                (("Allow", "POST"),),
+                rid=rid, started=started, method=request.method,
+                path=path, track_slo=False,
+            )
+        error = None
+        try:
+            if phase == "prepare":
+                body = request.json()
+                target = (
+                    body.get("path") if isinstance(body, dict) else None
+                )
+                staged = await self._load_for_reload(target)
+                self._staged_reload = staged
+                status, payload = 200, {
+                    "prepared": True, "path": staged[1],
+                }
+            elif phase == "commit":
+                if self._staged_reload is None:
+                    raise ReproError("no staged reload to commit")
+                new_index, target = self._staged_reload
+                self._staged_reload = None
+                info = self._swap_index(new_index, target, started)
+                status, payload = 200, {"reloaded": True, **info}
+            else:  # abort
+                dropped = self._staged_reload is not None
+                self._staged_reload = None
+                status, payload = 200, {"aborted": dropped}
+        except Exception as exc:
+            error = str(exc) or type(exc).__name__
+            status, payload = 409, {phase: False, "error": error}
+        return self._finish_request(
+            status, payload, (),
+            rid=rid, started=started, method="POST",
+            path=path, error=error, track_slo=False,
         )
 
     async def _handle_profile(self, request: Request, rid: str) -> Response:

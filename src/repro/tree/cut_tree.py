@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.exceptions import IndexBuildError
 from repro.tree.lca import LCATable
 from repro.types import Vertex
@@ -87,6 +89,111 @@ class CutTree:
             self.node_of_vertex[v] = index
             self._rank_in_node[v] = position
         return index
+
+    @classmethod
+    def from_flat(
+        cls,
+        parents: Sequence[int],
+        node_offsets: Sequence[int],
+        flat_vertices: Sequence[Vertex],
+    ) -> "CutTree":
+        """Rebuild a finalized tree from its flattened form in one pass.
+
+        ``parents[i]`` is node ``i``'s parent (-1 root), and node ``i``
+        owns ``flat_vertices[node_offsets[i]:node_offsets[i + 1]]`` in
+        ascending-id order.  This is the deserialization fast path (the
+        v4 container stores exactly these three arrays): it fuses
+        :meth:`add_node` and :meth:`finalize` into one loop and skips
+        the construction-time re-sorting and duplicate checks — the
+        flattened form was produced *from* a finalized tree, so those
+        invariants already hold.  The only structural requirement,
+        parents-before-children (guaranteed by :meth:`add_node`'s
+        append order), is still enforced.
+        """
+        if len(node_offsets) != len(parents) + 1:
+            raise IndexBuildError(
+                f"node offsets length {len(node_offsets)} does not match "
+                f"{len(parents)} nodes"
+            )
+        # The v4 loader hands memoryviews over the mapping; item access
+        # on those is several times slower than on lists, and this loop
+        # is the hot part of a cold start.
+        parents = list(parents)
+        node_offsets = list(node_offsets)
+        flat_vertices = list(flat_vertices)
+        tree = cls()
+        nodes = tree.nodes
+        node_of = tree.node_of_vertex
+        rank_of = tree._rank_in_node
+        block_ends: List[int] = []
+        for index, parent in enumerate(parents):
+            vertices = tuple(
+                flat_vertices[node_offsets[index]:node_offsets[index + 1]]
+            )
+            if not vertices:
+                raise IndexBuildError(
+                    f"tree node {index} has an empty vertex range"
+                )
+            node = TreeNode(index=index, vertices=vertices, parent=parent)
+            if parent >= 0:
+                if parent >= index:
+                    raise IndexBuildError(
+                        f"node {index} references parent {parent} that does "
+                        "not precede it"
+                    )
+                parent_node = nodes[parent]
+                if len(parent_node.children) >= 2:
+                    raise IndexBuildError(
+                        f"node {parent} already has two children "
+                        "(binary tree)"
+                    )
+                parent_node.children.append(index)
+                node.depth = parent_node.depth + 1
+                node.block_end = parent_node.block_end + len(vertices)
+            else:
+                node.block_end = len(vertices)
+            nodes.append(node)
+            block_ends.append(node.block_end)
+        # Per-vertex maps, built in bulk: vertex i of the flat layout
+        # lives in the node whose offset range covers i, at rank
+        # ``i - node_offsets[node]``, with label length
+        # ``block_start[node] + rank + 1``.
+        offsets_arr = np.asarray(node_offsets, dtype=np.int64)
+        counts = np.diff(offsets_arr)
+        node_ids = np.repeat(
+            np.arange(len(parents), dtype=np.int64), counts
+        )
+        ranks = np.arange(len(flat_vertices), dtype=np.int64)
+        ranks -= np.repeat(offsets_arr[:-1], counts)
+        block_start = np.asarray(block_ends, dtype=np.int64) - counts
+        lens = np.repeat(block_start, counts) + ranks + 1
+        node_of.update(zip(flat_vertices, node_ids.tolist()))
+        rank_of.update(zip(flat_vertices, ranks.tolist()))
+        if len(node_of) != len(flat_vertices):
+            raise IndexBuildError(
+                "flattened tree assigns a vertex to two nodes"
+            )
+        tree._lca = LCATable(parents)
+        tree._block_start = block_start.tolist()
+        tree._block_end = block_ends
+        tree._label_len = dict(zip(flat_vertices, lens.tolist()))
+        return tree
+
+    def to_flat(self) -> Tuple[List[int], List[int], List[Vertex]]:
+        """The flattened ``(parents, node_offsets, vertices)`` form.
+
+        The exact inverse of :meth:`from_flat`; the v4 container writes
+        these three arrays as aligned binary sections so a reload never
+        parses the tree out of JSON.
+        """
+        parents: List[int] = []
+        node_offsets: List[int] = [0]
+        flat_vertices: List[Vertex] = []
+        for node in self.nodes:
+            parents.append(node.parent)
+            flat_vertices.extend(node.vertices)
+            node_offsets.append(len(flat_vertices))
+        return parents, node_offsets, flat_vertices
 
     def finalize(self) -> None:
         """Compute depths, label-block offsets, and the LCA table."""

@@ -38,30 +38,37 @@ class LCATable:
                 children[p].append(i)
 
         self.depth = [0] * n
+        depth = self.depth
         euler: List[int] = []
+        append = euler.append
         first = [-1] * n
-        # Iterative Euler tour (recursion would overflow on path-like trees).
+        # Iterative Euler tour (recursion would overflow on path-like
+        # trees).  A negative stack entry ``~p`` is a return marker:
+        # popping it re-appends ``p`` after one of its child subtrees.
         for root in roots:
-            stack = [(root, iter(children[root]))]
-            self.depth[root] = 0
-            first[root] = len(euler)
-            euler.append(root)
+            stack = [root]
+            push = stack.append
+            pop = stack.pop
             while stack:
-                node, it = stack[-1]
-                child = next(it, None)
-                if child is None:
-                    stack.pop()
-                    if stack:
-                        euler.append(stack[-1][0])
+                node = pop()
+                if node < 0:
+                    append(~node)
                     continue
-                self.depth[child] = self.depth[node] + 1
-                first[child] = len(euler)
-                euler.append(child)
-                stack.append((child, iter(children[child])))
+                first[node] = len(euler)
+                append(node)
+                kids = children[node]
+                if kids:
+                    d = depth[node] + 1
+                    for child in reversed(kids):
+                        depth[child] = d
+                        push(~node)
+                        push(child)
 
         self._first = first
         self._euler = euler
-        depths = np.asarray([self.depth[v] for v in euler], dtype=np.int64)
+        depths = np.asarray(depth, dtype=np.int64)[
+            np.asarray(euler, dtype=np.int64)
+        ]
 
         # Sparse table of (depth << 32 | euler position): np.minimum on
         # the packed value picks the shallower node.

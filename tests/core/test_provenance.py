@@ -49,7 +49,7 @@ def test_v2_provenance_without_build_info(tmp_path, index):
 
 def test_v3_provenance_with_sections_and_build_info(tmp_path, index):
     path = tmp_path / "idx.bin"
-    save_index(index, path, format="binary", build_info=BUILD_INFO)
+    save_index(index, path, format="binary-v3", build_info=BUILD_INFO)
     loaded = load_index(path)
     prov = loaded.provenance
     assert prov["format_version"] == 3
@@ -60,11 +60,24 @@ def test_v3_provenance_with_sections_and_build_info(tmp_path, index):
         assert size > 0, name
 
 
-def test_v3_provenance_without_build_info(tmp_path, index):
+def test_v4_provenance_with_sections_and_build_info(tmp_path, index):
+    path = tmp_path / "idx.bin"
+    save_index(index, path, format="binary", build_info=BUILD_INFO)
+    loaded = load_index(path)
+    prov = loaded.provenance
+    assert prov["format_version"] == 4
+    assert prov["build_info"]["label_entries"] == 999
+    sections = prov["sections"]
+    assert sections, "v4 provenance must carry section byte sizes"
+    for name, size in sections.items():
+        assert size > 0, name
+
+
+def test_v4_provenance_without_build_info(tmp_path, index):
     path = tmp_path / "idx.bin"
     save_index(index, path, format="binary")
     prov = load_index(path).provenance
-    assert prov["format_version"] == 3
+    assert prov["format_version"] == 4
     assert prov.get("build_info") is None
 
 

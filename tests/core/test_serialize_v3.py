@@ -25,7 +25,7 @@ def index():
 @pytest.fixture
 def v3_file(index, tmp_path):
     path = tmp_path / "index.bin"
-    save_index(index, path, format="binary")
+    save_index(index, path, format="binary-v3")
     return path
 
 

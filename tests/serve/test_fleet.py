@@ -1,0 +1,359 @@
+"""The ``serve --workers N`` fleet: routing, aggregation, chaos, reload.
+
+The router's contract mirrors the single server's, scaled out:
+
+* every answer a client receives is **bit-identical** to the direct
+  index answer, whatever worker the consistent-hash ring picked and
+  however a ``pairs`` batch was scattered;
+* symmetric keys — ``Q(s, t)`` and ``Q(t, s)`` — land on the same
+  worker, so the per-worker LRU caches never duplicate entries;
+* ``/metrics`` and ``/health`` aggregate the whole fleet;
+* the chaos bar set for the single server (double-digit scan-failure
+  and connection-reset rates) holds against the fleet;
+* ``/admin/reload`` is two-phase: all workers swap or none do, with
+  the old index serving throughout.
+
+Worker processes start via the multiprocessing ``spawn`` context, so
+each test fleet costs a couple of seconds — the fleets are shared
+module-wide where the tests allow it.
+"""
+
+import http.client
+import json
+import random
+import threading
+
+import pytest
+
+from repro.core.ctls import CTLSIndex
+from repro.core.serialize import save_index
+from repro.graph.generators import road_network
+from repro.serve import (
+    FleetThread,
+    HashRing,
+    RetryPolicy,
+    ServeConfig,
+    merge_metrics_snapshots,
+    replay,
+)
+from repro.types import INF
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return road_network(200, seed=3)
+
+
+@pytest.fixture(scope="module")
+def index(graph):
+    return CTLSIndex.build(graph)
+
+
+@pytest.fixture(scope="module")
+def index_path(tmp_path_factory, index):
+    path = tmp_path_factory.mktemp("fleet") / "index.bin"
+    save_index(index, path, format="binary")
+    return path
+
+
+@pytest.fixture(scope="module")
+def workload(graph):
+    vertices = list(graph.vertices())
+    rng = random.Random(17)
+    return [
+        (rng.choice(vertices), rng.choice(vertices)) for _ in range(300)
+    ]
+
+
+@pytest.fixture(scope="module")
+def fleet(index_path):
+    thread = FleetThread(index_path, 2, ServeConfig(port=0))
+    host, port = thread.start()
+    yield host, port
+    thread.stop()
+
+
+def _http(host, port, method, path, payload=None):
+    conn = http.client.HTTPConnection(host, port, timeout=30.0)
+    try:
+        body = None if payload is None else json.dumps(payload).encode()
+        conn.request(method, path, body=body)
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+def _assert_no_wrong_answers(results, index):
+    wrong = []
+    for source, target, status, distance, count in results:
+        if status != 200:
+            continue
+        expected = index.query(source, target)
+        wire = None if expected.distance == INF else expected.distance
+        if (distance, count) != (wire, expected.count):
+            wrong.append((source, target))
+    assert not wrong, f"fleet answered {len(wrong)} queries wrong: {wrong[:5]}"
+
+
+# ----------------------------------------------------------------------
+# the hash ring
+# ----------------------------------------------------------------------
+class TestHashRing:
+    def test_deterministic(self):
+        first = HashRing([0, 1, 2])
+        second = HashRing([0, 1, 2])
+        for key in range(500):
+            assert first.owner(str(key)) == second.owner(str(key))
+
+    def test_symmetric_pairs_share_an_owner(self):
+        ring = HashRing([0, 1, 2, 3])
+        for s in range(40):
+            for t in range(40):
+                assert ring.owner_of_pair(s, t) == ring.owner_of_pair(t, s)
+
+    def test_distribution_is_roughly_balanced(self):
+        ring = HashRing([0, 1, 2])
+        hits = {0: 0, 1: 0, 2: 0}
+        for key in range(3000):
+            hits[ring.owner(str(key))] += 1
+        for worker, count in hits.items():
+            assert count > 3000 * 0.15, (worker, hits)
+
+    def test_single_worker_owns_everything(self):
+        ring = HashRing([7])
+        assert {ring.owner(str(key)) for key in range(100)} == {7}
+
+    def test_removing_a_worker_only_moves_its_keys(self):
+        # The property consistent hashing buys: keys owned by the
+        # surviving workers stay put.
+        full = HashRing([0, 1, 2])
+        reduced = HashRing([0, 1])
+        for key in range(1000):
+            before = full.owner(str(key))
+            if before != 2:
+                assert reduced.owner(str(key)) == before
+
+
+# ----------------------------------------------------------------------
+# metrics aggregation (pure function)
+# ----------------------------------------------------------------------
+class TestMergeSnapshots:
+    def test_counters_and_gauges_sum(self):
+        merged = merge_metrics_snapshots([
+            {"counters": {"a": 2, "b": 1}, "gauges": {"depth": 3}},
+            {"counters": {"a": 5}, "gauges": {"depth": 4}},
+        ])
+        assert merged["counters"] == {"a": 7, "b": 1}
+        assert merged["gauges"] == {"depth": 7}
+
+    def test_histograms_merge_bucketwise(self):
+        part = {
+            "count": 10, "sum": 30.0, "min": 1.0, "max": 9.0,
+            "mean": 3.0, "p50": 2.0, "p95": 8.0, "p99": 9.0,
+            "buckets": {"<= 5": 8, "> 5": 2},
+        }
+        other = {
+            "count": 2, "sum": 14.0, "min": 6.0, "max": 8.0,
+            "mean": 7.0, "p50": 7.0, "p95": 8.0, "p99": 8.0,
+            "buckets": {"<= 5": 0, "> 5": 2},
+        }
+        merged = merge_metrics_snapshots([
+            {"histograms": {"latency": part}},
+            {"histograms": {"latency": other}},
+        ])["histograms"]["latency"]
+        assert merged["count"] == 12
+        assert merged["sum"] == 44.0
+        assert merged["min"] == 1.0
+        assert merged["max"] == 9.0
+        assert merged["buckets"] == {"<= 5": 8, "> 5": 4}
+        assert merged["p50"] == 5.0  # bucket upper bound estimate
+
+    def test_empty_worker_does_not_poison_the_merge(self):
+        live = {
+            "count": 4, "sum": 8.0, "min": 1.0, "max": 3.0,
+            "mean": 2.0, "p50": 2.0, "p95": 3.0, "p99": 3.0,
+            "buckets": {"<= 5": 4},
+        }
+        empty = {
+            "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+            "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+            "buckets": {},
+        }
+        merged = merge_metrics_snapshots([
+            {"histograms": {"latency": empty}},
+            {"histograms": {"latency": live}},
+        ])["histograms"]["latency"]
+        assert merged["count"] == 4
+        assert merged["min"] == 1.0
+
+
+# ----------------------------------------------------------------------
+# the live fleet
+# ----------------------------------------------------------------------
+class TestFleetServing:
+    def test_replay_matches_direct_index(self, fleet, index, workload):
+        host, port = fleet
+        report = replay(
+            host, port, workload, concurrency=4, collect_results=True
+        )
+        assert report.availability == 1.0
+        _assert_no_wrong_answers(report.results, index)
+
+    def test_batch_pairs_scattered_and_reassembled_in_order(
+        self, fleet, index, workload
+    ):
+        host, port = fleet
+        pairs = workload[:40]
+        status, body = _http(
+            host, port, "POST", "/query",
+            {"pairs": [[s, t] for s, t in pairs]},
+        )
+        assert status == 200
+        results = json.loads(body)["results"]
+        assert len(results) == len(pairs)
+        for (source, target), row in zip(pairs, results):
+            assert row["source"] == source and row["target"] == target
+            expected = index.query(source, target)
+            wire = None if expected.distance == INF else expected.distance
+            assert (row["distance"], row["count"]) == (wire, expected.count)
+
+    def test_health_reports_every_worker(self, fleet):
+        host, port = fleet
+        status, body = _http(host, port, "GET", "/health")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["healthy_workers"] == 2
+        assert len(payload["workers"]) == 2
+
+    def test_metrics_aggregate_the_fleet(self, fleet):
+        host, port = fleet
+        status, body = _http(host, port, "GET", "/metrics")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["fleet"] == {"workers": 2, "reporting": 2}
+        assert payload["counters"].get("serve.requests", 0) > 0
+
+    def test_prometheus_rendering_survives_aggregation(self, fleet):
+        host, port = fleet
+        status, body = _http(
+            host, port, "GET", "/metrics?format=prometheus"
+        )
+        assert status == 200
+        text = body.decode()
+        assert "serve_requests" in text
+
+    def test_stats_carry_a_fleet_block(self, fleet):
+        host, port = fleet
+        status, body = _http(host, port, "GET", "/stats")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["fleet"]["workers"] == 2
+
+    def test_unknown_path_404s(self, fleet):
+        host, port = fleet
+        status, _ = _http(host, port, "GET", "/nope")
+        assert status == 404
+
+
+class TestFleetChaos:
+    def test_chaos_replay_correct_and_available(
+        self, index_path, index, workload
+    ):
+        thread = FleetThread(
+            index_path, 2,
+            ServeConfig(port=0, cache_size=0, breaker_threshold=10),
+            fault_spec="scan.fail:0.15,conn.reset:0.1",
+            fault_seed=13,
+        )
+        try:
+            host, port = thread.start()
+            report = replay(
+                host, port, workload, concurrency=4,
+                collect_results=True,
+                retry=RetryPolicy(
+                    max_attempts=4, base_delay_s=0.001,
+                    max_delay_s=0.01, seed=3,
+                ),
+            )
+        finally:
+            thread.stop()
+        _assert_no_wrong_answers(report.results, index)
+        assert report.availability >= 0.9
+
+
+class TestFleetReload:
+    def test_reload_under_load_drops_nothing(
+        self, tmp_path, index, index_path, workload
+    ):
+        next_path = tmp_path / "next.bin"
+        save_index(index, next_path, format="binary")
+        thread = FleetThread(index_path, 2, ServeConfig(port=0))
+        try:
+            host, port = thread.start()
+            outcome = {}
+
+            def hammer():
+                outcome["report"] = replay(
+                    host, port, workload, concurrency=4,
+                    collect_results=True,
+                )
+
+            load = threading.Thread(target=hammer)
+            load.start()
+            status, body = _http(
+                host, port, "POST", "/admin/reload",
+                {"path": str(next_path)},
+            )
+            load.join()
+        finally:
+            thread.stop()
+        payload = json.loads(body)
+        assert status == 200 and payload["reloaded"] is True
+        assert payload["workers"] == 2
+        report = outcome["report"]
+        assert report.availability == 1.0, "reload dropped requests"
+        _assert_no_wrong_answers(report.results, index)
+
+    def test_corrupt_reload_rejected_fleet_wide(
+        self, tmp_path, index, index_path, workload
+    ):
+        corrupt = tmp_path / "corrupt.bin"
+        corrupt.write_bytes(b"RSPCIDX4" + b"\x00" * 64)
+        thread = FleetThread(index_path, 2, ServeConfig(port=0))
+        try:
+            host, port = thread.start()
+            status, body = _http(
+                host, port, "POST", "/admin/reload",
+                {"path": str(corrupt)},
+            )
+            assert status == 409
+            assert json.loads(body)["reloaded"] is False
+            # every worker kept the old index and keeps answering
+            report = replay(
+                host, port, workload[:60], concurrency=2,
+                collect_results=True,
+            )
+        finally:
+            thread.stop()
+        assert report.availability == 1.0
+        _assert_no_wrong_answers(report.results, index)
+
+    def test_get_reload_rejected_405(self, fleet):
+        host, port = fleet
+        status, _ = _http(host, port, "GET", "/admin/reload")
+        assert status == 405
+
+
+class TestFleetLifecycle:
+    def test_stop_is_clean_and_idempotent(self, index_path, workload):
+        thread = FleetThread(index_path, 2, ServeConfig(port=0))
+        host, port = thread.start()
+        replay(host, port, workload[:20], concurrency=2)
+        thread.stop()
+        thread.stop()  # second stop is a no-op, not an error
+        with pytest.raises(OSError):
+            http.client.HTTPConnection(
+                host, port, timeout=2.0
+            ).request("GET", "/health")

@@ -148,7 +148,7 @@ class TestStatsProvenance:
             _, _, _, body = _http(host, port, "GET", "/stats")
         stats = json.loads(body)
         prov = stats["index"]["provenance"]
-        assert prov["format_version"] == 3
+        assert prov["format_version"] == 4
         assert prov["build_info"]["git_sha"] == "abc123"
         assert prov["sections"]
 

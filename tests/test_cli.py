@@ -244,7 +244,7 @@ class TestBinaryFormat:
             ["build", str(graph_file), str(index_path), "--format", "binary"]
         ) == 0
         assert "saved to" in capsys.readouterr().out
-        assert index_path.read_bytes()[:8] == b"RSPCIDX3"
+        assert index_path.read_bytes()[:8] == b"RSPCIDX4"
         assert main(["query", str(index_path), "0", "15"]) == 0
         assert "shortest_paths=20" in capsys.readouterr().out
         assert main(["stats", str(index_path)]) == 0

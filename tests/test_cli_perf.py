@@ -51,7 +51,7 @@ class TestBuildProgress:
         capsys.readouterr()
         assert main(["stats", str(index_path)]) == 0
         out = capsys.readouterr().out
-        assert "v3" in out
+        assert "v4" in out
         assert "section bytes:" in out
         assert "built:" in out and "ctls in" in out
         assert "0123456789ab" in out  # truncated sha
