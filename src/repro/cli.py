@@ -18,6 +18,8 @@ Installed as the ``repro-spc`` console script::
     repro-spc bench-report --baseline benchmarks/baselines
 
     repro-spc verify-index index.bin --graph network.gr
+    repro-spc serve index.bin --live-updates --graph network.gr
+    repro-spc update-replay deltas.jsonl --port 8355 --speed 2.0
 
 Graphs are DIMACS ``.gr`` files (``.json``/``.txt`` edge lists are
 auto-detected by extension); indexes use the formats of
@@ -56,7 +58,7 @@ from repro.core.serialize import load_index, save_index
 from repro.exceptions import ParseError, ReproError
 from repro.graph.generators import power_grid_network, road_network
 from repro.graph.graph import Graph
-from repro.graph.io import read_dimacs, read_edge_list, read_json, write_dimacs
+from repro.graph.io import read_graph_auto, write_dimacs
 from repro.types import INF
 
 _ALGORITHMS = {
@@ -68,33 +70,8 @@ _ALGORITHMS = {
 }
 
 
-#: Graph readers by file extension (the formats ``repro-spc`` accepts).
-_GRAPH_READERS = {
-    ".gr": read_dimacs,
-    ".json": read_json,
-    ".txt": read_edge_list,
-    ".edges": read_edge_list,
-    ".edgelist": read_edge_list,
-}
-
-
 def _load_graph(path: str) -> Graph:
-    target = Path(path)
-    if target.is_dir():
-        raise ParseError(
-            f"{path} is a directory, expected a graph file "
-            f"({'/'.join(sorted(_GRAPH_READERS))})"
-        )
-    reader = _GRAPH_READERS.get(target.suffix.lower())
-    if reader is None:
-        raise ParseError(
-            f"unrecognised graph extension {target.suffix or '(none)'!r} "
-            f"for {path}; expected one of "
-            f"{'/'.join(sorted(_GRAPH_READERS))} "
-            "(.gr = DIMACS, .json = adjacency JSON, "
-            ".txt/.edges/.edgelist = 'u v w [count]' edge list)"
-        )
-    return reader(path)
+    return read_graph_auto(path)
 
 
 def _require_index_file(path: str) -> None:
@@ -399,7 +376,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         slo_error_rate=args.slo_error_rate,
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown_s=args.breaker_cooldown,
+        live_updates=args.live_updates,
+        overlay_threshold=args.overlay_threshold,
+        update_freshness_s=args.update_freshness_s,
     )
+    if args.live_updates and args.graph is None:
+        raise ParseError("--live-updates needs --graph GRAPH")
     if args.workers > 1:
         if args.fallback != "none":
             raise ParseError(
@@ -420,6 +402,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from repro.baselines.online import OnlineSPC
 
         fallback = OnlineSPC.build(_load_graph(args.graph))
+    updates = None
+    if args.live_updates:
+        from repro.live import UpdateCoordinator
+
+        updates = UpdateCoordinator(
+            _load_graph(args.graph),
+            index,
+            overlay_threshold=config.overlay_threshold,
+            freshness_s=config.update_freshness_s,
+        )
 
     async def _serve() -> None:
         server = SPCServer(
@@ -428,6 +420,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             fault_plan=fault_plan,
             fallback=fallback,
             index_path=args.index,
+            updates=updates,
         )
         await server.start()
         server.install_signal_handlers()
@@ -436,6 +429,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             mode += ", chaos"
         if fallback is not None:
             mode += ", fallback=online"
+        if updates is not None:
+            mode += ", live"
         print(
             f"serving {type(index).__name__} on "
             f"http://{server.host}:{server.port} ({mode}); "
@@ -473,12 +468,15 @@ def _serve_fleet(args: argparse.Namespace, config) -> int:
             config,
             fault_spec=fault_spec,
             fault_seed=fault_seed,
+            live_graph_path=args.graph if args.live_updates else None,
         )
         await router.start()
         router.install_signal_handlers()
         mode = f"fleet of {args.workers} workers"
         if fault_spec:
             mode += ", chaos"
+        if args.live_updates:
+            mode += ", live"
         print(
             f"serving {args.index} on http://{router.host}:{router.port} "
             f"({mode}); SIGTERM/SIGINT drains the fleet and exits, "
@@ -493,6 +491,39 @@ def _serve_fleet(args: argparse.Namespace, config) -> int:
     except KeyboardInterrupt:
         pass
     return 0
+
+
+def _cmd_update_replay(args: argparse.Namespace) -> int:
+    """Stream a timestamped delta file at a live server."""
+    from repro.live import read_delta_file, stream_deltas
+
+    batches = read_delta_file(args.deltas)
+    if not batches:
+        print(f"{args.deltas}: no delta batches to stream")
+        return 0
+    report = stream_deltas(
+        args.host,
+        args.port,
+        batches,
+        speed=args.speed,
+        timeout_s=args.timeout,
+    )
+    latencies = sorted(report.apply_latencies)
+    p99_ms = (
+        latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))] * 1e3
+        if latencies
+        else 0.0
+    )
+    print(
+        f"streamed {report.batches_sent}/{len(batches)} batches "
+        f"({report.updates_sent} edge updates) to "
+        f"{args.host}:{args.port}; "
+        f"epoch {report.last_epoch} seqno {report.last_seqno}, "
+        f"apply p99 {p99_ms:.1f} ms"
+    )
+    for error in report.errors:
+        print(f"  {error}", file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def _cmd_top(args: argparse.Namespace) -> int:
@@ -792,7 +823,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--graph", metavar="FILE", default=None,
-        help="graph file backing '--fallback online'",
+        help="graph file backing '--fallback online' and/or "
+        "'--live-updates'",
+    )
+    p_serve.add_argument(
+        "--live-updates", action="store_true",
+        help="accept streamed edge-weight deltas on POST /admin/update "
+        "(CTL indexes only; needs --graph; see docs/serving.md)",
+    )
+    p_serve.add_argument(
+        "--overlay-threshold", type=int, default=20000, metavar="N",
+        help="patched overlay entries that trigger a background "
+        "rebuild-and-swap of the base index, 0 = never (default 20000)",
+    )
+    p_serve.add_argument(
+        "--update-freshness-s", type=float, default=0.0, metavar="S",
+        help="seconds an in-flight repair may lag before affected "
+        "queries fall back to counting Dijkstra on current weights "
+        "(default 0 = disabled)",
     )
     p_serve.add_argument(
         "--breaker-threshold", type=int, default=10, metavar="N",
@@ -895,6 +943,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_generate.add_argument("output")
     p_generate.add_argument("--seed", type=int, default=0)
     p_generate.set_defaults(func=_cmd_generate)
+
+    p_replay = sub.add_parser(
+        "update-replay",
+        help="stream a timestamped delta file at a live server's "
+        "POST /admin/update (see docs/operations.md)",
+    )
+    p_replay.add_argument(
+        "deltas",
+        help="JSON-lines delta file: {\"at\": seconds, "
+        "\"updates\": [[a, b, weight], ...]} per line",
+    )
+    p_replay.add_argument("--host", default="127.0.0.1")
+    p_replay.add_argument(
+        "--port", type=int, default=8355,
+        help="live server or fleet router port (default 8355)",
+    )
+    p_replay.add_argument(
+        "--speed", type=float, default=1.0, metavar="X",
+        help="timeline multiplier: 2.0 streams twice as fast, "
+        "0 streams as fast as the server acknowledges (default 1.0)",
+    )
+    p_replay.add_argument(
+        "--timeout", type=float, default=30.0, metavar="S",
+        help="per-batch HTTP timeout in seconds (default 30)",
+    )
+    p_replay.set_defaults(func=_cmd_update_replay)
     return parser
 
 

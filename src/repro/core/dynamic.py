@@ -24,8 +24,9 @@ updates.
 
 from __future__ import annotations
 
-from typing import List, Set
+from typing import Iterable, List, Set, Tuple
 
+import repro.obs as obs
 from repro.core.ctl import CTLIndex
 from repro.core.ctls import CTLSIndex
 from repro.exceptions import EdgeError
@@ -33,6 +34,9 @@ from repro.graph.graph import Graph
 from repro.search.dijkstra import ssspc
 from repro.tree.cut_tree import TreeNode
 from repro.types import INF, QueryResult, Vertex, Weight
+
+#: One edge-weight update: ``(a, b, new_weight)``.
+WeightUpdate = Tuple[Vertex, Vertex, Weight]
 
 
 class DynamicCTL:
@@ -58,16 +62,42 @@ class DynamicCTL:
         Handles both increases and decreases.  Raises ``EdgeError`` if
         the edge does not exist or the weight is not positive.
         """
-        if not self.graph.has_edge(a, b):
-            raise EdgeError(f"edge ({a}, {b}) is not in the graph")
-        if new_weight <= 0:
-            raise EdgeError(f"new weight must be positive, got {new_weight}")
-        count = self.graph.count(a, b)
-        if self.graph.weight(a, b) == new_weight:
-            self.last_repaired_nodes = 0
-            return
-        self.graph.add_edge(a, b, new_weight, count)
-        self._repair_labels(a, b)
+        self.update_weights([(a, b, new_weight)])
+
+    def update_weights(self, updates: Iterable[WeightUpdate]) -> int:
+        """Apply a batch of weight updates with one arena reseal.
+
+        Updates are validated up front (``EdgeError`` before any weight
+        is written), no-op writes are skipped, and tree nodes affected
+        by several edges of the batch are repaired once.  The packed
+        arena is re-sealed a single time at the end, so a batch of ``k``
+        updates costs one ``refresh_arena()`` instead of ``k``.
+
+        Returns the number of tree nodes repaired (also stored in
+        :attr:`last_repaired_nodes`).
+        """
+        batch = list(updates)
+        for a, b, new_weight in batch:
+            if not self.graph.has_edge(a, b):
+                raise EdgeError(f"edge ({a}, {b}) is not in the graph")
+            if new_weight <= 0:
+                raise EdgeError(
+                    f"new weight must be positive, got {new_weight}"
+                )
+        affected = {}
+        for a, b, new_weight in batch:
+            if self.graph.weight(a, b) == new_weight:
+                continue
+            count = self.graph.count(a, b)
+            self.graph.add_edge(a, b, new_weight, count)
+            for node in self._affected_nodes(a, b):
+                affected[node.index] = node
+        self.last_repaired_nodes = len(affected)
+        if affected:
+            self._repair_nodes(
+                [affected[i] for i in sorted(affected)]
+            )
+        return self.last_repaired_nodes
 
     # ------------------------------------------------------------------
     # internals
@@ -89,12 +119,9 @@ class DynamicCTL:
             stack.extend(node.children)
         return result
 
-    def _repair_labels(self, a: Vertex, b: Vertex) -> None:
-        """Recompute the label blocks of every affected tree node."""
-        tree = self.index.tree
+    def _repair_nodes(self, affected: List[TreeNode]) -> None:
+        """Recompute the label blocks of every node in ``affected``."""
         labels = self.index.labels
-        affected = self._affected_nodes(a, b)
-        self.last_repaired_nodes = len(affected)
 
         for node in affected:
             members = self._subtree_vertices(node)
@@ -128,11 +155,18 @@ class DynamicCTLS:
         self.index = CTLSIndex.build(self.graph, **self._params)
         #: Number of rebuilds triggered since creation.
         self.rebuilds = 0
-        self._dirty = False
+        #: Effective weight updates applied since the last rebuild.
+        #: Callers can watch this to schedule :meth:`refresh` instead of
+        #: paying the implicit rebuild on a query's critical path.
+        self.pending_updates = 0
+
+    @property
+    def _dirty(self) -> bool:
+        return self.pending_updates > 0
 
     def query(self, source: Vertex, target: Vertex) -> QueryResult:
         """Answer ``Q(s, t)``, rebuilding first if updates are pending."""
-        if self._dirty:
+        if self.pending_updates:
             self.refresh()
         return self.index.query(source, target)
 
@@ -150,11 +184,20 @@ class DynamicCTLS:
         if self.graph.weight(a, b) == new_weight:
             return
         self.graph.add_edge(a, b, new_weight, count)
-        self._dirty = True
+        self.pending_updates += 1
 
-    def refresh(self) -> None:
-        """Rebuild the index now if any updates are pending."""
-        if self._dirty:
-            self.index = CTLSIndex.build(self.graph, **self._params)
-            self.rebuilds += 1
-            self._dirty = False
+    def refresh(self, force: bool = False) -> bool:
+        """Rebuild the index now if updates are pending (or ``force``).
+
+        Returns ``True`` when a rebuild actually happened, so schedulers
+        can tell a real rebuild from a cheap no-op call.  Each rebuild
+        increments the ``dynamic.rebuilds`` metric on the active
+        recorder, letting the serve tier surface rebuild pressure.
+        """
+        if not self.pending_updates and not force:
+            return False
+        self.index = CTLSIndex.build(self.graph, **self._params)
+        self.rebuilds += 1
+        self.pending_updates = 0
+        obs.recorder().incr("dynamic.rebuilds")
+        return True

@@ -95,3 +95,14 @@ class ParseError(ReproError):
 
 class WorkloadError(ReproError):
     """A benchmark workload could not be generated as requested."""
+
+
+class LiveUpdateError(ReproError):
+    """A live-update batch or delta stream could not be applied.
+
+    Raised by :mod:`repro.live` for malformed delta payloads, updates
+    against a server without live mode, or an index/graph pairing that
+    cannot absorb streamed weight deltas (only CTL indexes can — CTLS
+    shortest-path cuts are weight-dependent, so CTLS repairs by
+    rebuild via :class:`repro.core.dynamic.DynamicCTLS`).
+    """

@@ -162,3 +162,40 @@ def write_json(graph: Graph, path: PathLike) -> None:
     """Write the graph (including counts and coordinates) as JSON."""
     with open(path, "w") as handle:
         json.dump(to_json_dict(graph), handle)
+
+
+# ----------------------------------------------------------------------
+# extension dispatch
+# ----------------------------------------------------------------------
+#: Graph readers by file extension (the formats the tooling accepts).
+GRAPH_READERS = {
+    ".gr": read_dimacs,
+    ".json": read_json,
+    ".txt": read_edge_list,
+    ".edges": read_edge_list,
+    ".edgelist": read_edge_list,
+}
+
+
+def read_graph_auto(path: PathLike) -> Graph:
+    """Read a graph, picking the reader from the file extension.
+
+    Shared by the CLI and the serving fleet's worker processes (which
+    load the live-update graph themselves, without CLI plumbing).
+    """
+    target = Path(path)
+    if target.is_dir():
+        raise ParseError(
+            f"{path} is a directory, expected a graph file "
+            f"({'/'.join(sorted(GRAPH_READERS))})"
+        )
+    reader = GRAPH_READERS.get(target.suffix.lower())
+    if reader is None:
+        raise ParseError(
+            f"unrecognised graph extension {target.suffix or '(none)'!r} "
+            f"for {path}; expected one of "
+            f"{'/'.join(sorted(GRAPH_READERS))} "
+            "(.gr = DIMACS, .json = adjacency JSON, "
+            ".txt/.edges/.edgelist = 'u v w [count]' edge list)"
+        )
+    return reader(path)

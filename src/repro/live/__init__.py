@@ -1,0 +1,50 @@
+"""Live updates: streaming edge-weight deltas onto a serving index.
+
+The live tier lets a read-only (often mmap'd) CTL index absorb batched
+edge-weight deltas without blocking readers:
+
+* :class:`~repro.live.overlay.OverlayState` /
+  :class:`~repro.live.overlay.LiveIndex` — immutable patch-table
+  snapshots over the base arena; clean pairs keep the vectorised scan,
+  poisoned pairs take a patched scalar merge.
+* :class:`~repro.live.coordinator.UpdateCoordinator` — atomic batch
+  application (epoch/seqno versioning), overlay-threshold rebuild
+  snapshots, and the freshness-deadline Dijkstra fallback.
+* :mod:`~repro.live.replay` — the timestamped JSON-lines delta file
+  format plus the ``repro-spc update-replay`` streaming client.
+
+See ``docs/serving.md`` ("Live updates") for the wire format and
+``docs/operations.md`` for the replay runbook.
+"""
+
+from repro.live.coordinator import (
+    MAX_BATCH_LOG,
+    StaleRouter,
+    UpdateCoordinator,
+    UpdateReport,
+)
+from repro.live.overlay import LiveIndex, OverlayState, patched_scan
+from repro.live.replay import (
+    DeltaBatch,
+    UpdateStreamReport,
+    read_delta_file,
+    stream_deltas,
+    synthesize_deltas,
+    write_delta_file,
+)
+
+__all__ = [
+    "DeltaBatch",
+    "LiveIndex",
+    "MAX_BATCH_LOG",
+    "OverlayState",
+    "StaleRouter",
+    "UpdateCoordinator",
+    "UpdateReport",
+    "UpdateStreamReport",
+    "patched_scan",
+    "read_delta_file",
+    "stream_deltas",
+    "synthesize_deltas",
+    "write_delta_file",
+]

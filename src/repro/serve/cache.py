@@ -65,6 +65,24 @@ class ResultCache:
         """Drop every entry (hot reload: results may differ now)."""
         self._entries.clear()
 
+    def invalidate(self, should_drop) -> int:
+        """Drop entries whose key matches ``should_drop(key)``.
+
+        The targeted form of :meth:`clear` used by the live-update
+        path: a delta batch only changes answers of pairs touching a
+        vertex whose labels were patched, so everything else stays
+        cached.  Returns the number of entries dropped (mirrored into
+        ``serve.cache.invalidated``).
+        """
+        if not self._entries:
+            return 0
+        doomed = [key for key in self._entries if should_drop(key)]
+        for key in doomed:
+            del self._entries[key]
+        if doomed:
+            self._recorder.incr("serve.cache.invalidated", len(doomed))
+        return len(doomed)
+
     def __len__(self) -> int:
         return len(self._entries)
 

@@ -80,6 +80,19 @@ class ServeConfig:
     #: short interval cuts that handoff latency.  Process-global: the
     #: previous value is restored on drain.
     switch_interval_s: float = 1e-4
+    #: Accept streamed edge-weight deltas on ``POST /admin/update``.
+    #: Requires the server to be constructed with an
+    #: :class:`~repro.live.coordinator.UpdateCoordinator` (the CLI
+    #: wires one from ``--live-updates --graph``).
+    live_updates: bool = False
+    #: Patched overlay entries that trigger a background
+    #: rebuild-and-swap of the base index; 0 lets the overlay grow
+    #: forever (rebuilds only on demand).
+    overlay_threshold: int = 20000
+    #: Seconds an in-flight repair may lag before queries that could
+    #: see stale labels fall back to counting Dijkstra on the current
+    #: weights; 0 disables the freshness deadline.
+    update_freshness_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -112,3 +125,7 @@ class ServeConfig:
             raise ServeConfigError("breaker_threshold must be >= 0")
         if self.breaker_cooldown_s < 0:
             raise ServeConfigError("breaker_cooldown_s must be >= 0")
+        if self.overlay_threshold < 0:
+            raise ServeConfigError("overlay_threshold must be >= 0")
+        if self.update_freshness_s < 0:
+            raise ServeConfigError("update_freshness_s must be >= 0")

@@ -35,6 +35,14 @@ Fleet-wide endpoints:
   all N succeed does the router ``commit`` the swap everywhere.  One
   corrupt file → ``abort`` everywhere, 409, old index keeps serving on
   all workers.
+* ``POST /admin/update`` — **two-phase** fleet-wide delta batch: every
+  worker validates and stages the batch (``prepare``); only if all N
+  accept does the router ``commit`` it everywhere, so the workers'
+  deterministic shadow graphs never diverge.  When a commit reports
+  the overlay past its rebuild threshold, the router runs one
+  coordinated rebuild: worker 0 builds and saves a fresh index, then
+  the normal two-phase reload path swaps it in on every worker while
+  each worker replays its post-snapshot batches onto the new base.
 * ``POST /admin/profile`` — proxied to worker 0.
 * ``GET /stats`` — worker 0's stats annotated with a ``fleet`` block.
 
@@ -136,6 +144,10 @@ class WorkerSpec:
     config: ServeConfig
     fault_spec: Optional[str] = None
     fault_seed: int = 0
+    #: Graph file backing live updates; each worker loads its own copy
+    #: and keeps it in lockstep via the router's all-or-nothing update
+    #: fan-out.  ``None`` disables the live tier.
+    live_graph_path: Optional[str] = None
 
 
 async def _worker_serve(spec: WorkerSpec, conn) -> None:
@@ -152,11 +164,26 @@ async def _worker_serve(spec: WorkerSpec, conn) -> None:
             if spec.fault_spec
             else None
         )
+        updates = None
+        if spec.live_graph_path is not None:
+            from repro.graph.io import read_graph_auto
+            from repro.live import UpdateCoordinator
+
+            updates = UpdateCoordinator(
+                read_graph_auto(spec.live_graph_path),
+                index,
+                overlay_threshold=spec.config.overlay_threshold,
+                freshness_s=spec.config.update_freshness_s,
+            )
         server = SPCServer(
             index,
             spec.config,
             fault_plan=plan,
             index_path=spec.index_path,
+            updates=updates,
+            # The router owns rebuilds: one worker building per update
+            # burst is enough, and the swap must be fleet-coordinated.
+            auto_rebuild=False,
         )
         await server.start()
     except Exception as exc:
@@ -205,6 +232,7 @@ class FleetRouter:
         fault_seed: int = 0,
         recorder: Optional[Recorder] = None,
         vnodes: int = 64,
+        live_graph_path: Optional[str] = None,
     ) -> None:
         if num_workers < 1:
             raise FleetError("a fleet needs at least one worker")
@@ -213,6 +241,10 @@ class FleetRouter:
         self.config = config or ServeConfig()
         self.fault_spec = fault_spec
         self.fault_seed = fault_seed
+        self.live_graph_path = (
+            str(live_graph_path) if live_graph_path is not None else None
+        )
+        self._rebuild_task: Optional[asyncio.Task] = None
         self.recorder = recorder if recorder is not None else Recorder()
         self.vnodes = vnodes
         self.workers: List[_Worker] = []
@@ -245,6 +277,7 @@ class FleetRouter:
                 # Distinct seeds: workers fault independently, not in
                 # lockstep — one bad draw must not take out the fleet.
                 fault_seed=self.fault_seed + worker_id,
+                live_graph_path=self.live_graph_path,
             )
             process = context.Process(
                 target=_worker_main,
@@ -329,6 +362,12 @@ class FleetRouter:
             await self.wait_stopped()
             return
         self._draining = True
+        rebuild = self._rebuild_task
+        if rebuild is not None:
+            # Let an in-flight coordinated swap land: it is about to
+            # commit on every worker and interrupting it mid-phase is
+            # the one thing the two-phase protocol cannot recover from.
+            await asyncio.gather(rebuild, return_exceptions=True)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -521,6 +560,8 @@ class FleetRouter:
                 return await self._handle_stats(keep_alive)
             if request.path == "/admin/reload":
                 return await self._handle_reload(request, keep_alive)
+            if request.path == "/admin/update":
+                return await self._handle_update(request, keep_alive)
             if request.path == "/admin/profile":
                 return await self._proxy(
                     self.workers[0], request, keep_alive
@@ -880,6 +921,143 @@ class FleetRouter:
             {"reloaded": True, "workers": len(self.workers)},
             keep_alive=keep_alive,
         )
+
+    # ------------------------------------------------------------------
+    # fleet live updates: two-phase commit + coordinated rebuild
+    # ------------------------------------------------------------------
+    async def _handle_update(
+        self, request: Request, keep_alive: bool
+    ) -> bytes:
+        if request.method != "POST":
+            return response_bytes(
+                405,
+                {"error": "update requires POST"},
+                keep_alive=keep_alive,
+                extra_headers=(("Allow", "POST"),),
+            )
+        body = request.body or b"{}"
+        prepared = await self._fanout(
+            "POST", "/admin/update/prepare", body
+        )
+        failures = self._phase_failures(prepared)
+        if failures:
+            # All-or-nothing: the workers' shadow graphs must stay in
+            # lockstep, so one rejection (malformed batch, unknown
+            # edge, live updates disabled) drops the batch everywhere.
+            await self._fanout("POST", "/admin/update/abort", b"{}")
+            self.recorder.incr("fleet.update.failed")
+            return response_bytes(
+                409,
+                {"applied": False, "errors": failures},
+                keep_alive=keep_alive,
+            )
+        committed = await self._fanout(
+            "POST", "/admin/update/commit", b"{}"
+        )
+        commit_failures = self._phase_failures(committed)
+        if commit_failures:
+            # A commit that validated on prepare only fails if a worker
+            # died mid-flight; the survivors applied the batch, so
+            # report the divergence loudly rather than pretending the
+            # fleet is consistent.
+            self.recorder.incr("fleet.update.failed")
+            return response_bytes(
+                500,
+                {"applied": False, "errors": commit_failures},
+                keep_alive=keep_alive,
+            )
+        payload = {"applied": True, "workers": len(self.workers)}
+        rebuild_due = False
+        for outcome in committed:
+            try:
+                report = json.loads(outcome[2])
+            except (json.JSONDecodeError, TypeError, IndexError):
+                continue
+            rebuild_due = rebuild_due or bool(report.get("rebuild_due"))
+            for key in (
+                "epoch",
+                "seqno",
+                "updated_edges",
+                "submitted_edges",
+                "overlay_entries",
+            ):
+                if key in report and key not in payload:
+                    payload[key] = report[key]
+        self.recorder.incr("fleet.update.count")
+        if rebuild_due and self._rebuild_task is None and not self._draining:
+            # Single-flight: one background rebuild per burst, no
+            # matter how many batches land while it runs.
+            self._rebuild_task = asyncio.get_running_loop().create_task(
+                self._coordinate_rebuild()
+            )
+        return response_bytes(200, payload, keep_alive=keep_alive)
+
+    def _phase_failures(self, outcomes: Sequence[object]) -> List[str]:
+        """Per-worker error strings from one fan-out's outcomes."""
+        failures = []
+        for worker, outcome in zip(self.workers, outcomes):
+            if isinstance(outcome, BaseException):
+                failures.append(f"worker {worker.worker_id}: {outcome}")
+                continue
+            status, _, payload = outcome
+            if status != 200:
+                try:
+                    detail = json.loads(payload).get("error", "")
+                except (json.JSONDecodeError, AttributeError):
+                    detail = payload.decode("latin-1", "replace")[:200]
+                failures.append(f"worker {worker.worker_id}: {detail}")
+        return failures
+
+    async def _coordinate_rebuild(self) -> None:
+        """Rebuild on worker 0, then two-phase swap the whole fleet.
+
+        Worker 0 snapshots its shadow graph, builds a fresh index, and
+        saves it next to the serving one; the router then drives the
+        ordinary two-phase reload with the saved path *plus* the
+        snapshot's ``base_seqno``, so every worker adopts the new base
+        and replays exactly its post-snapshot batches onto it.  The
+        workers' graphs are identical by construction (updates land
+        all-or-nothing), so one build serves all N.
+        """
+        try:
+            status, _, payload = await self._upstream(
+                self.workers[0], "POST", "/admin/rebuild", b"{}"
+            )
+            if status != 200:
+                raise FleetError(
+                    "rebuild on worker 0 failed: "
+                    f"HTTP {status} {payload.decode('latin-1', 'replace')[:200]}"
+                )
+            report = json.loads(payload)
+            body = json.dumps(
+                {
+                    "path": report["path"],
+                    "base_seqno": report["base_seqno"],
+                },
+                separators=(",", ":"),
+            ).encode()
+            prepared = await self._fanout(
+                "POST", "/admin/reload/prepare", body
+            )
+            failures = self._phase_failures(prepared)
+            if failures:
+                await self._fanout("POST", "/admin/reload/abort", b"{}")
+                raise FleetError(
+                    f"rebuild swap rejected: {'; '.join(failures)}"
+                )
+            committed = await self._fanout(
+                "POST", "/admin/reload/commit", b"{}"
+            )
+            commit_failures = self._phase_failures(committed)
+            if commit_failures:  # pragma: no cover - commit cannot fail
+                raise FleetError(
+                    f"rebuild swap commit failed: {'; '.join(commit_failures)}"
+                )
+            self.recorder.incr("fleet.rebuild.count")
+        except Exception:
+            self.recorder.incr("fleet.rebuild.failed")
+        finally:
+            self._rebuild_task = None
 
 
 # ----------------------------------------------------------------------

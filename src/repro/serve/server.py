@@ -54,7 +54,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from collections import deque
 
-from repro.exceptions import ReproError
+from repro.exceptions import LiveUpdateError, ReproError
 from repro.faults import FaultyIndex
 from repro.obs import (
     NULL_RECORDER,
@@ -179,12 +179,26 @@ class SPCServer:
         fallback=None,
         fault_plan=None,
         index_path: Optional[str] = None,
+        updates=None,
+        auto_rebuild: bool = True,
     ) -> None:
         self.config = config or ServeConfig()
         self.recorder = recorder if recorder is not None else Recorder()
         self.fault_plan = fault_plan
         if fault_plan is not None and fault_plan.recorder is NULL_RECORDER:
             fault_plan.recorder = self.recorder
+        #: Live-update coordinator (``None`` = static serving).  When
+        #: set, the server serves its :class:`LiveIndex` view and
+        #: accepts ``POST /admin/update`` delta batches.
+        self.updates = updates
+        #: Whether passing the overlay threshold triggers an in-process
+        #: rebuild-and-swap.  Fleet workers run with ``False``: the
+        #: router drives the coordinated two-phase swap instead.
+        self.auto_rebuild = auto_rebuild
+        if updates is not None:
+            if updates.recorder is NULL_RECORDER:
+                updates.recorder = self.recorder
+            index = updates.live_index
         if fault_plan is not None and fault_plan.targets(
             "scan.fail", "scan.slow"
         ):
@@ -238,8 +252,25 @@ class SPCServer:
         )
         self._index_meta: Optional[dict] = None
         #: Index staged by ``/admin/reload/prepare`` awaiting commit —
-        #: ``(index, path)``; the fleet router drives the two phases.
+        #: ``(index, path, base_seqno)``; the fleet router drives the
+        #: two phases (``base_seqno`` is ``None`` outside live mode).
         self._staged_reload: Optional[tuple] = None
+        #: Delta batch staged by ``/admin/update/prepare`` awaiting the
+        #: fleet router's commit (all-or-nothing fan-out).
+        self._staged_update: Optional[list] = None
+        #: Single-thread executor serialising overlay repairs off the
+        #: event loop (created only in live mode).
+        self._update_executor: Optional[ThreadPoolExecutor] = (
+            ThreadPoolExecutor(max_workers=1, thread_name_prefix="spc-update")
+            if updates is not None
+            else None
+        )
+        #: Lazy executor for full index rebuilds, so a long build never
+        #: queues behind (or blocks) streaming update batches.
+        self._rebuild_executor: Optional[ThreadPoolExecutor] = None
+        self._rebuild_task: Optional[asyncio.Task] = None
+        #: Guards /admin/rebuild (one build-and-save at a time).
+        self._rebuilding = False
         self._prev_switch_interval: Optional[float] = None
         #: Active sampling-profiler capture, if any — one at a time.
         self._profiler = None
@@ -350,6 +381,13 @@ class SPCServer:
         the previous index serving untouched.
         """
         started = time.perf_counter()
+        if self.updates is not None:
+            raise ReproError(
+                "live-update server: a direct reload would desynchronize "
+                "the delta overlay from the served labels; use "
+                "POST /admin/rebuild (or the fleet's coordinated swap) "
+                "instead"
+            )
         new_index, path = await self._load_for_reload(path)
         return self._swap_index(new_index, path, started)
 
@@ -420,6 +458,40 @@ class SPCServer:
             self.request_log.log_server("reload", **info)
         return info
 
+    async def _adopt_live(
+        self,
+        new_index,
+        path: str,
+        base_seqno,
+        started: Optional[float] = None,
+    ) -> dict:
+        """Live-mode commit: adopt a rebuilt base into the coordinator.
+
+        The loaded index becomes the overlay's new base (epoch + 1);
+        batches applied after its snapshot are re-derived onto it on the
+        update executor.  The serving :class:`LiveIndex` object never
+        changes identity, so the batcher keeps its reference and the
+        cache stays valid — answers are unchanged by construction.
+        """
+        if isinstance(new_index, FaultyIndex):
+            new_index = new_index.inner
+        info = await asyncio.get_running_loop().run_in_executor(
+            self._update_executor,
+            self.updates.adopt_base,
+            new_index,
+            int(base_seqno),
+        )
+        self.index_path = path
+        self._index_meta = None
+        self.breaker.record_success()
+        self.recorder.incr("serve.reload.count")
+        payload = {"path": path, "live": True, **info}
+        if started is not None:
+            payload["seconds"] = time.perf_counter() - started
+        if self.request_log is not None:
+            self.request_log.log_server("reload", **payload)
+        return payload
+
     async def wait_stopped(self) -> None:
         """Block until a drain has fully completed."""
         assert self._stopped is not None, "server was never started"
@@ -449,9 +521,16 @@ class SPCServer:
                 await asyncio.gather(*still_open, return_exceptions=True)
         if self.batcher is not None:
             await self.batcher.drain()
+        if self._rebuild_task is not None:
+            self._rebuild_task.cancel()
+            await asyncio.gather(self._rebuild_task, return_exceptions=True)
         self._executor.shutdown(wait=True)
         if self._fallback_executor is not None:
             self._fallback_executor.shutdown(wait=True)
+        if self._update_executor is not None:
+            self._update_executor.shutdown(wait=True, cancel_futures=True)
+        if self._rebuild_executor is not None:
+            self._rebuild_executor.shutdown(wait=True, cancel_futures=True)
         self._drain_request_log(force=True, inline=True)
         if self.request_log is not None:
             self.request_log.log_server("drain")
@@ -729,6 +808,15 @@ class SPCServer:
                 counters["lca_width"] = node.size
             except (KeyError, AttributeError):
                 pass
+        if self.updates is not None:
+            live = self.updates.live_index
+            state = live.state
+            counters["epoch"] = state.epoch
+            counters["seqno"] = state.seqno
+            try:
+                counters["poisoned"] = live.pair_poisoned(source, target)
+            except Exception:
+                pass  # diagnostic only
         if meta:
             if meta.get("fallback"):
                 counters["fallback"] = True
@@ -804,6 +892,18 @@ class SPCServer:
             return self._handle_reload_phase(
                 request, rid, request.path.rsplit("/", 1)[1]
             )
+        if request.path == "/admin/update":
+            return self._handle_update(request, rid, None)
+        if request.path in (
+            "/admin/update/prepare",
+            "/admin/update/commit",
+            "/admin/update/abort",
+        ):
+            return self._handle_update(
+                request, rid, request.path.rsplit("/", 1)[1]
+            )
+        if request.path == "/admin/rebuild":
+            return self._handle_rebuild(request, rid)
         if request.path == "/admin/profile":
             return self._handle_profile(request, rid)
         started = time.perf_counter()
@@ -929,17 +1029,31 @@ class SPCServer:
                 target = (
                     body.get("path") if isinstance(body, dict) else None
                 )
+                base_seqno = (
+                    body.get("base_seqno") if isinstance(body, dict) else None
+                )
+                if self.updates is not None and base_seqno is None:
+                    raise ReproError(
+                        "live-update server: reload prepare requires the "
+                        "coordinated rebuild's base_seqno (a plain reload "
+                        "would desynchronize the delta overlay)"
+                    )
                 staged = await self._load_for_reload(target)
-                self._staged_reload = staged
+                self._staged_reload = (staged[0], staged[1], base_seqno)
                 status, payload = 200, {
                     "prepared": True, "path": staged[1],
                 }
             elif phase == "commit":
                 if self._staged_reload is None:
                     raise ReproError("no staged reload to commit")
-                new_index, target = self._staged_reload
+                new_index, target, base_seqno = self._staged_reload
                 self._staged_reload = None
-                info = self._swap_index(new_index, target, started)
+                if self.updates is not None:
+                    info = await self._adopt_live(
+                        new_index, target, base_seqno, started
+                    )
+                else:
+                    info = self._swap_index(new_index, target, started)
                 status, payload = 200, {"reloaded": True, **info}
             else:  # abort
                 dropped = self._staged_reload is not None
@@ -952,6 +1066,267 @@ class SPCServer:
             status, payload, (),
             rid=rid, started=started, method="POST",
             path=path, error=error, track_slo=False,
+        )
+
+    async def _handle_update(
+        self, request: Request, rid: str, phase: Optional[str]
+    ) -> Response:
+        """``POST /admin/update``: apply one JSON delta batch.
+
+        Body: ``{"updates": [[a, b, new_weight], ...]}``.  The 200 is
+        sent only after the overlay reflecting the batch is published,
+        so a caller that got the response is guaranteed every
+        subsequent query answers on the new weights.  Bad batches
+        (unknown edge, non-positive weight, malformed item) are
+        rejected 400 before any weight is written.
+
+        ``/admin/update/prepare|commit|abort`` are the fleet's
+        all-or-nothing fan-out: prepare validates and stages the batch,
+        commit applies the staged batch, abort drops it.
+        """
+        started = time.perf_counter()
+        path = "/admin/update" if phase is None else f"/admin/update/{phase}"
+
+        def _reject(status: int, message: str, extra=()):
+            return self._finish_request(
+                status, {"applied": False, "error": message}, extra,
+                rid=rid, started=started, method=request.method,
+                path=path, error=message, track_slo=False,
+            )
+
+        if request.method != "POST":
+            return _reject(
+                405, "update requires POST", (("Allow", "POST"),)
+            )
+        if self.updates is None:
+            return _reject(
+                409,
+                "live updates are not enabled (start the server with "
+                "--live-updates and --graph)",
+            )
+        error = None
+        status = 200
+        try:
+            if phase == "abort":
+                dropped = self._staged_update is not None
+                self._staged_update = None
+                payload: dict = {"aborted": dropped}
+            elif phase == "commit":
+                if self._staged_update is None:
+                    raise LiveUpdateError("no staged update batch to commit")
+                staged = self._staged_update
+                self._staged_update = None
+                payload = await self._apply_update(staged)
+            else:
+                body = request.json()
+                raw = body.get("updates") if isinstance(body, dict) else None
+                if not isinstance(raw, list):
+                    raise LiveUpdateError(
+                        'update body must be {"updates": [[a, b, weight], '
+                        "...]}"
+                    )
+                normalized = self.updates.validate_batch(raw)
+                if phase == "prepare":
+                    self._staged_update = normalized
+                    payload = {"prepared": True, "edges": len(normalized)}
+                else:
+                    payload = await self._apply_update(normalized)
+        except Exception as exc:
+            error = str(exc) or type(exc).__name__
+            status = 409 if phase == "commit" else 400
+            payload = {"applied": False, "error": error}
+        return self._finish_request(
+            status, payload, (),
+            rid=rid, started=started, method="POST",
+            path=path, error=error, track_slo=False,
+        )
+
+    async def _apply_update(self, normalized: list) -> dict:
+        """Apply a validated batch off-loop; invalidate poisoned keys."""
+        report = await asyncio.get_running_loop().run_in_executor(
+            self._update_executor, self.updates.apply_batch, normalized
+        )
+        changed = report.changed_vertices
+        dropped = 0
+        if changed:
+            # Targeted invalidation: an answer can only have moved if
+            # one of its endpoints had a label entry patched (or
+            # unpatched) by this batch.
+            dropped = self.cache.invalidate(
+                lambda key: key[0] in changed or key[1] in changed
+            )
+        rec = self.recorder
+        rec.incr("serve.update.batches")
+        rec.incr("serve.update.edges", report.updated_edges)
+        rec.observe("serve.update.apply_seconds", report.seconds)
+        if self.request_log is not None:
+            self.request_log.log_server(
+                "update",
+                epoch=report.epoch,
+                seqno=report.seqno,
+                edges=report.updated_edges,
+                repaired_nodes=report.repaired_nodes,
+                overlay_entries=report.overlay_entries,
+                cache_dropped=dropped,
+                seconds=round(report.seconds, 6),
+            )
+        rebuild_due = self.updates.should_rebuild()
+        if (
+            rebuild_due
+            and self.auto_rebuild
+            and self._rebuild_task is None
+            and not self._draining
+        ):
+            self._rebuild_task = asyncio.get_running_loop().create_task(
+                self._run_rebuild()
+            )
+        return {
+            "applied": True,
+            "epoch": report.epoch,
+            "seqno": report.seqno,
+            "updated_edges": report.updated_edges,
+            "submitted_edges": report.submitted_edges,
+            "overlay_entries": report.overlay_entries,
+            "cache_dropped": dropped,
+            "rebuild_due": rebuild_due,
+        }
+
+    async def _run_rebuild(self) -> None:
+        """Background rebuild-and-swap after the overlay threshold.
+
+        The full CTL construction runs on its own executor thread so
+        streaming batches keep applying; the swap itself (adopting the
+        new base and replaying post-snapshot batches) is the only
+        pause, reported as ``serve.rebuild.swap_seconds``.
+        """
+        loop = asyncio.get_running_loop()
+        started = time.perf_counter()
+        try:
+            if self._rebuild_executor is None:
+                self._rebuild_executor = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="spc-rebuild"
+                )
+            new_index, base_seqno = await loop.run_in_executor(
+                self._rebuild_executor, self.updates.rebuild
+            )
+            swap_started = time.perf_counter()
+            info = await loop.run_in_executor(
+                self._update_executor,
+                self.updates.adopt_base,
+                new_index,
+                base_seqno,
+            )
+            pause = time.perf_counter() - swap_started
+            self._index_meta = None
+            rec = self.recorder
+            rec.incr("serve.rebuild.count")
+            rec.observe(
+                "serve.rebuild.seconds", time.perf_counter() - started
+            )
+            rec.observe("serve.rebuild.swap_seconds", pause)
+            if self.request_log is not None:
+                self.request_log.log_server(
+                    "rebuild",
+                    epoch=info["epoch"],
+                    base_seqno=base_seqno,
+                    replayed_edges=info["replayed_edges"],
+                    overlay_entries=info["overlay_entries"],
+                    seconds=round(time.perf_counter() - started, 6),
+                    swap_ms=round(pause * 1000, 3),
+                )
+        except Exception as exc:
+            self.recorder.incr("serve.rebuild.failed")
+            if self.request_log is not None:
+                self.request_log.log_server(
+                    "rebuild_failed", error=str(exc) or type(exc).__name__
+                )
+        finally:
+            self._rebuild_task = None
+
+    async def _handle_rebuild(self, request: Request, rid: str) -> Response:
+        """``POST /admin/rebuild``: build + save a fresh base index.
+
+        Builds a new index from the coordinator's current graph and
+        writes it (atomically, v4 container) to the body's ``path`` or
+        ``<index_path>.rebuild``.  Returns the saved path and the
+        snapshot's ``base_seqno`` — the fleet router feeds both into the
+        two-phase ``/admin/reload`` so every worker adopts the same
+        base.  The overlay keeps serving unchanged until that commit.
+        """
+        started = time.perf_counter()
+
+        def _reject(status: int, message: str, extra=()):
+            return self._finish_request(
+                status, {"rebuilt": False, "error": message}, extra,
+                rid=rid, started=started, method=request.method,
+                path="/admin/rebuild", error=message, track_slo=False,
+            )
+
+        if request.method != "POST":
+            return _reject(
+                405, "rebuild requires POST", (("Allow", "POST"),)
+            )
+        if self.updates is None:
+            return _reject(409, "live updates are not enabled")
+        if self._rebuilding:
+            return _reject(409, "a rebuild is already running")
+        try:
+            body = request.json()
+            target = body.get("path") if isinstance(body, dict) else None
+        except Exception as exc:
+            return _reject(400, str(exc))
+        if target is None:
+            if self.index_path is None:
+                return _reject(
+                    409,
+                    "no path to save the rebuilt index (in-memory index "
+                    "and no 'path' in the request body)",
+                )
+            target = f"{self.index_path}.rebuild"
+        if self._rebuild_executor is None:
+            self._rebuild_executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="spc-rebuild"
+            )
+
+        def _build_and_save():
+            from repro.core.serialize import save_index
+
+            new_index, base_seqno = self.updates.rebuild()
+            save_index(new_index, target, format="binary")
+            return base_seqno
+
+        self._rebuilding = True
+        error = None
+        try:
+            base_seqno = await asyncio.get_running_loop().run_in_executor(
+                self._rebuild_executor, _build_and_save
+            )
+            seconds = time.perf_counter() - started
+            self.recorder.incr("serve.rebuild.count")
+            self.recorder.observe("serve.rebuild.seconds", seconds)
+            if self.request_log is not None:
+                self.request_log.log_server(
+                    "rebuild_saved",
+                    path=str(target),
+                    base_seqno=base_seqno,
+                    seconds=round(seconds, 6),
+                )
+            status, payload = 200, {
+                "rebuilt": True,
+                "path": str(target),
+                "base_seqno": base_seqno,
+                "seconds": seconds,
+            }
+        except Exception as exc:
+            error = str(exc) or type(exc).__name__
+            self.recorder.incr("serve.rebuild.failed")
+            status, payload = 409, {"rebuilt": False, "error": error}
+        finally:
+            self._rebuilding = False
+        return self._finish_request(
+            status, payload, (),
+            rid=rid, started=started, method="POST",
+            path="/admin/rebuild", error=error, track_slo=False,
         )
 
     async def _handle_profile(self, request: Request, rid: str) -> Response:
@@ -1101,6 +1476,14 @@ class SPCServer:
         rec.gauge("serve.connections.active", len(self._connections))
         rec.gauge("serve.cache.size", len(self.cache))
         rec.gauge("serve.cache.hit_rate", self.cache.hit_rate)
+        if self.updates is not None:
+            state = self.updates.live_index.state
+            rec.gauge("live.overlay.entries", state.entries)
+            rec.gauge(
+                "live.overlay.poisoned_vertices", state.poisoned_vertices
+            )
+            rec.gauge("live.epoch", state.epoch)
+            rec.gauge("live.seqno", state.seqno)
         wants_text = False
         if request is not None:
             fmt = request.params.get("format")
@@ -1143,6 +1526,8 @@ class SPCServer:
                 "queries_batched": self.batcher.queries_batched,
                 "pending": self.batcher.pending_count,
             }
+        if self.updates is not None:
+            payload["live"] = self.updates.stats()
         return 200, payload, ()
 
     # ------------------------------------------------------------------

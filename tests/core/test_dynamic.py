@@ -81,6 +81,52 @@ class TestDynamicCTL:
             assert_matches_oracle(dyn, dyn.graph, pairs)
 
 
+class TestDynamicCTLBatches:
+    def test_batch_matches_sequential(self):
+        g = grid_graph(4, 4)
+        batch = [(0, 1, 5), (5, 6, 2), (10, 11, 7)]
+        batched = DynamicCTL(grid_graph(4, 4))
+        assert batched.update_weights(batch) == batched.last_repaired_nodes
+        sequential = DynamicCTL(g)
+        for u, v, w in batch:
+            sequential.update_weight(u, v, w)
+        for s in range(16):
+            for t in range(16):
+                assert tuple(batched.query(s, t)) == tuple(
+                    sequential.query(s, t)
+                )
+
+    def test_batch_dedupes_shared_ancestors(self):
+        """Two updates under one LCA repair each node once, not twice."""
+        dyn = DynamicCTL(grid_graph(4, 4))
+        dyn.update_weights([(0, 1, 5), (1, 2, 5)])
+        both = dyn.last_repaired_nodes
+        dyn2 = DynamicCTL(grid_graph(4, 4))
+        dyn2.update_weight(0, 1, 5)
+        first = dyn2.last_repaired_nodes
+        dyn2.update_weight(1, 2, 5)
+        second = dyn2.last_repaired_nodes
+        assert both < first + second
+
+    def test_batch_last_write_wins(self, diamond):
+        dyn = DynamicCTL(diamond)
+        dyn.update_weights([(0, 1, 9), (0, 1, 5)])
+        assert dyn.graph.weight(0, 1) == 5
+        assert_matches_oracle(dyn, dyn.graph, [(0, 3), (1, 2)])
+
+    def test_batch_of_noops_repairs_nothing(self, diamond):
+        dyn = DynamicCTL(diamond)
+        weights = [(u, v, w) for u, v, w, _c in diamond.edges()]
+        assert dyn.update_weights(weights) == 0
+        assert dyn.last_repaired_nodes == 0
+
+    def test_batch_validates_before_writing(self, diamond):
+        dyn = DynamicCTL(diamond)
+        with pytest.raises(EdgeError):
+            dyn.update_weights([(0, 1, 7), (0, 3, 1)])  # (0,3) missing
+        assert dyn.graph.weight(0, 1) == 1  # first write never landed
+
+
 class TestDynamicCTLS:
     def test_deferred_rebuild(self, diamond):
         dyn = DynamicCTLS(diamond)
@@ -120,3 +166,24 @@ class TestDynamicCTLS:
             dyn.update_weight(0, 3, 1)
         with pytest.raises(EdgeError):
             dyn.update_weight(0, 1, -2)
+
+    def test_pending_updates_counter(self, diamond):
+        dyn = DynamicCTLS(diamond)
+        assert dyn.pending_updates == 0
+        dyn.update_weight(0, 1, 3)
+        dyn.update_weight(0, 2, 3)
+        assert dyn.pending_updates == 2
+        assert dyn.refresh() is True
+        assert dyn.pending_updates == 0
+        assert dyn.rebuilds == 1
+
+    def test_refresh_without_pending_is_noop(self, diamond):
+        dyn = DynamicCTLS(diamond)
+        assert dyn.refresh() is False
+        assert dyn.rebuilds == 0
+
+    def test_refresh_force_rebuilds_clean_index(self, diamond):
+        dyn = DynamicCTLS(diamond)
+        assert dyn.refresh(force=True) is True
+        assert dyn.rebuilds == 1
+        assert tuple(dyn.query(0, 3)) == (2, 2)

@@ -1,0 +1,129 @@
+"""Overlay semantics: immutable snapshots, poisoning, patched scans."""
+
+import random
+
+import pytest
+
+from repro.core.ctl import CTLIndex
+from repro.exceptions import IndexQueryError
+from repro.graph.generators import road_network
+from repro.live import LiveIndex, OverlayState, UpdateCoordinator
+from repro.live.overlay import CLEAN
+from repro.search.pairwise import spc_query
+
+
+class TestOverlayState:
+    def test_initial_is_empty(self):
+        state = OverlayState.initial()
+        assert state.epoch == 1
+        assert state.seqno == 0
+        assert state.entries == 0
+        assert state.poisoned_vertices == 0
+        assert state.pair_clean(3, 7, 99)
+
+    def test_with_batch_merges_per_position(self):
+        state = OverlayState.initial()
+        one = state.with_batch({4: {0: (10, 2), 3: (7, 1)}})
+        two = one.with_batch({4: {0: (9, 1)}, 5: {1: (2, 2)}})
+        assert two.seqno == 2
+        assert two.patches[4] == {0: (9, 1), 3: (7, 1)}
+        assert two.patches[5] == {1: (2, 2)}
+        # The older snapshots are untouched (readers may hold them).
+        assert one.patches[4] == {0: (10, 2), 3: (7, 1)}
+        assert 5 not in one.patches
+
+    def test_none_unpatches_and_drops_empty_vertices(self):
+        state = OverlayState.initial().with_batch({4: {0: (10, 2)}})
+        cleared = state.with_batch({4: {0: None}})
+        assert cleared.entries == 0
+        assert 4 not in cleared.patches
+        assert cleared.min_dirty.get(4, CLEAN) == CLEAN
+
+    def test_min_dirty_tracks_lowest_patched_position(self):
+        state = OverlayState.initial().with_batch({4: {7: (1, 1), 3: (2, 2)}})
+        assert state.min_dirty[4] == 3
+        # Clean below the dirty prefix, poisoned at or above it.
+        assert state.pair_clean(4, 9, prefix=3)
+        assert not state.pair_clean(4, 9, prefix=4)
+        assert not state.pair_clean(9, 4, prefix=8)
+
+    def test_seqno_bumps_even_for_empty_batch(self):
+        state = OverlayState.initial()
+        assert state.with_batch({}).seqno == 1
+
+
+@pytest.fixture(scope="module")
+def setting():
+    graph = road_network(120, seed=5)
+    index = CTLIndex.build(graph)
+    coordinator = UpdateCoordinator(graph, index)
+    return graph, coordinator
+
+
+def _apply_some_updates(graph, coordinator, seed=0, rounds=3):
+    rng = random.Random(seed)
+    edges = [(u, v, w) for u, v, w, _ in graph.edges()]
+    mirror = graph.copy()
+    for _ in range(rounds):
+        batch = [
+            (u, v, rng.randint(1, 2 * max(w, 1)))
+            for u, v, w in rng.sample(edges, 4)
+        ]
+        coordinator.apply_batch(batch)
+        for a, b, w in batch:
+            mirror.add_edge(a, b, w, mirror.count(a, b))
+    return mirror
+
+
+class TestLiveIndex:
+    def test_clean_index_delegates(self, setting):
+        graph, coordinator = setting
+        live = coordinator.live_index
+        assert live.name == "CTL+live"
+        for s, t in [(0, 1), (5, 80), (3, 3)]:
+            assert tuple(live.query(s, t)) == tuple(spc_query(graph, s, t))
+
+    def test_unknown_vertex_raises_like_base(self, setting):
+        _, coordinator = setting
+        with pytest.raises(IndexQueryError):
+            coordinator.live_index.query(0, 10**9)
+
+    def test_patched_scan_matches_dijkstra(self):
+        graph = road_network(120, seed=5)
+        coordinator = UpdateCoordinator(graph, CTLIndex.build(graph))
+        mirror = _apply_some_updates(graph, coordinator, seed=2)
+        live = coordinator.live_index
+        assert live.state.entries > 0, "updates produced no patches"
+        rng = random.Random(3)
+        vertices = sorted(graph.vertices())
+        poisoned_seen = 0
+        for _ in range(200):
+            s, t = rng.choice(vertices), rng.choice(vertices)
+            poisoned_seen += live.pair_poisoned(s, t)
+            assert tuple(live.query(s, t)) == tuple(spc_query(mirror, s, t))
+        assert poisoned_seen > 0, "workload never hit a poisoned pair"
+
+    def test_query_batch_mixes_clean_and_poisoned(self):
+        graph = road_network(120, seed=5)
+        coordinator = UpdateCoordinator(graph, CTLIndex.build(graph))
+        mirror = _apply_some_updates(graph, coordinator, seed=4)
+        live = coordinator.live_index
+        rng = random.Random(5)
+        vertices = sorted(graph.vertices())
+        pairs = [
+            (rng.choice(vertices), rng.choice(vertices)) for _ in range(300)
+        ]
+        got = live.query_batch(pairs)
+        expected = [spc_query(mirror, s, t) for s, t in pairs]
+        assert [tuple(r) for r in got] == [tuple(r) for r in expected]
+
+    def test_query_with_stats_poisoned_path(self):
+        graph = road_network(120, seed=5)
+        coordinator = UpdateCoordinator(graph, CTLIndex.build(graph))
+        mirror = _apply_some_updates(graph, coordinator, seed=6)
+        live = coordinator.live_index
+        vertices = sorted(graph.vertices())
+        for s in vertices[:20]:
+            for t in vertices[-5:]:
+                stats = live.query_with_stats(s, t)
+                assert tuple(stats.result) == tuple(spc_query(mirror, s, t))
