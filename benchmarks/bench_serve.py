@@ -305,6 +305,92 @@ def test_robustness_hooks_cost_under_five_percent(index, pairs, capsys, perf):
     )
 
 
+def test_tracing_overhead_under_five_percent(index, pairs, capsys, perf):
+    """Distributed tracing + workload analytics must cost < 5% QPS.
+
+    Traced: the default production setting — span ring buffer on with
+    1-in-64 head sampling plus the Space-Saving heavy-hitter sketch
+    on every request.  Untraced: both subsystems disabled
+    (``trace_buffer=0, top_pairs_capacity=0``), the server as it ran
+    before this layer existed.
+
+    The margin (~2.5 us of sketch + sampler work against a ~60 us
+    request) is thinner than the other overhead benches', so this test
+    trades load-shape realism for measurement resolution, twice over:
+
+    * one client connection at pipeline depth 32 — the coalescer stays
+      fed, but the single-core CI runner is not asked to juggle eight
+      client threads against the server loop (with multiple
+      connections the round-to-round spread is +-15%, an order of
+      magnitude above the signal);
+    * the asserted statistic is the **minimum per-request CPU cost**
+      over 12 interleaved runs per side, in ABBA order (untraced,
+      traced, traced, untraced) so linear drift cancels.  Preemption
+      by background load only ever *adds* CPU (cold caches after a
+      context switch), so each side's minimum approaches its clean
+      cost and the min-to-min ratio isolates the real overhead where
+      mean- or median-based comparisons still measure the runner.
+    """
+    rounds = 6  # ABBA rounds -> 2 * rounds runs per side
+
+    def timed(**observability):
+        config = ServeConfig(
+            port=0, coalesce=True, max_batch=128, max_wait_us=2000,
+            cache_size=0, **observability,
+        )
+        with ServerThread(index, config) as (host, port):
+            # Collector pauses land in whichever run triggers the
+            # threshold, not the run that made the garbage — collect
+            # up front and keep the cycle collector out of the window
+            # entirely so both configurations measure only their own
+            # work (refcounting still reclaims nearly everything).
+            gc.collect()
+            gc.disable()
+            try:
+                cpu0 = time.process_time()
+                report = replay(
+                    host, port, pairs, concurrency=1, pipeline=32
+                )
+                cpu1 = time.process_time()
+            finally:
+                gc.enable()
+        assert report.ok == NUM_PAIRS
+        return (cpu1 - cpu0) / NUM_PAIRS * 1e6  # us of CPU per request
+
+    untraced_kwargs = dict(trace_buffer=0, top_pairs_capacity=0)
+    timed(**untraced_kwargs)  # warmup
+    timed()
+    off_cost, on_cost = [], []
+    for _ in range(rounds):
+        off_cost.append(timed(**untraced_kwargs))
+        on_cost.append(timed())
+        on_cost.append(timed())
+        off_cost.append(timed(**untraced_kwargs))
+    ratio = min(off_cost) / min(on_cost)
+    with capsys.disabled():
+        print(
+            f"\n\nTracing overhead (1 connection, pipeline 32, "
+            f"1-in-64 span sampling + top-pairs sketch):"
+            f" untraced min {min(off_cost):.1f} us/req,"
+            f" traced min {min(on_cost):.1f} us/req"
+            f" (min-cost ratio {ratio:.3f} over {len(off_cost)} runs"
+            f" per side)"
+        )
+    perf.record(
+        "tracing_overhead",
+        [ratio],
+        unit="ratio",
+        direction="higher",
+        dataset=f"grid{GRID_SIDE}",
+        rounds=rounds,
+    )
+    assert ratio >= 0.95, (
+        f"tracing + analytics cost {(1 - ratio) * 100:.1f}% throughput "
+        f"(min {min(on_cost):.1f} vs {min(off_cost):.1f} us CPU per "
+        f"request), over the 5% bar"
+    )
+
+
 def _post_profile(host, port, seconds, results):
     """POST ``/admin/profile``; stash ``(status, body, sampler_cpu)``.
 

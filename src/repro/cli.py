@@ -20,6 +20,8 @@ Installed as the ``repro-spc`` console script::
     repro-spc verify-index index.bin --graph network.gr
     repro-spc serve index.bin --live-updates --graph network.gr
     repro-spc update-replay deltas.jsonl --port 8355 --speed 2.0
+    repro-spc trace fleet-trace.json --port 8355 --min-cross-links 1
+    repro-spc analyze --port 8355
 
 Graphs are DIMACS ``.gr`` files (``.json``/``.txt`` edge lists are
 auto-detected by extension); indexes use the formats of
@@ -379,6 +381,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         live_updates=args.live_updates,
         overlay_threshold=args.overlay_threshold,
         update_freshness_s=args.update_freshness_s,
+        trace_buffer=args.trace_buffer,
+        trace_sample_every=args.trace_sample,
+        top_pairs_capacity=args.top_pairs,
     )
     if args.live_updates and args.graph is None:
         raise ParseError("--live-updates needs --graph GRAPH")
@@ -524,6 +529,116 @@ def _cmd_update_replay(args: argparse.Namespace) -> int:
     for error in report.errors:
         print(f"  {error}", file=sys.stderr)
     return 0 if report.ok else 1
+
+
+def _post_json(host: str, port: int, path: str, timeout: float):
+    """One synchronous ``POST``; ``(status, decoded JSON body)``."""
+    import http.client
+
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request(
+            "POST", path, body=b"{}",
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        body = response.read()
+        return response.status, (json.loads(body) if body else {})
+    finally:
+        conn.close()
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """``trace``: capture a (fleet-)merged Chrome trace from a server.
+
+    Fetches ``POST /admin/trace?format=chrome`` — against a fleet
+    router this drains and merges every worker's span ring plus the
+    router's own — validates the payload, counts cross-process
+    parent/child links, and writes the file.  ``--min-cross-links``
+    turns the capture into an assertion: exit 1 unless at least N
+    router→worker span links are present (the CI trace-smoke bar).
+    """
+    import http.client
+
+    from repro.obs import cross_process_links, validate_chrome_trace
+
+    path = "/admin/trace?format=chrome"
+    if args.clear:
+        path += "&clear=1"
+    try:
+        status, payload = _post_json(
+            args.host, args.port, path, args.timeout
+        )
+    except (OSError, ValueError, http.client.HTTPException) as exc:
+        print(
+            f"error: cannot capture from {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    if status != 200:
+        detail = (
+            payload.get("error", "")
+            if isinstance(payload, dict)
+            else ""
+        )
+        print(
+            f"error: trace capture failed: HTTP {status} {detail}",
+            file=sys.stderr,
+        )
+        return 1
+    problems = validate_chrome_trace(payload)
+    if problems:
+        for problem in problems[:10]:
+            print(f"error: invalid trace: {problem}", file=sys.stderr)
+        return 1
+    events = payload.get("traceEvents", [])
+    spans = [e for e in events if e.get("ph") == "X"]
+    processes = {e.get("pid") for e in spans}
+    links = cross_process_links(payload)
+    Path(args.output).write_text(
+        json.dumps(payload, indent=2, sort_keys=True)
+    )
+    print(
+        f"wrote {args.output}: {len(spans)} spans across "
+        f"{len(processes)} process(es), {len(links)} cross-process "
+        "parent/child link(s) — load in chrome://tracing or Perfetto"
+    )
+    if len(links) < args.min_cross_links:
+        print(
+            f"error: expected >= {args.min_cross_links} cross-process "
+            f"link(s), found {len(links)} — was the capture window "
+            "empty, or tracing sampled out? (try replaying with "
+            "traced requests first)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """``analyze``: one workload-analytics report from ``/stats``."""
+    import http.client
+
+    from repro.serve.analyze import render_analysis
+    from repro.serve.top import fetch_json
+
+    try:
+        status, stats = fetch_json(
+            args.host, args.port, "/stats", timeout=args.timeout
+        )
+    except (OSError, ValueError, http.client.HTTPException) as exc:
+        print(
+            f"error: cannot reach {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    if status != 200:
+        print(
+            f"error: /stats returned HTTP {status}", file=sys.stderr
+        )
+        return 1
+    print(render_analysis(stats, top_n=args.top), end="")
+    return 0
 
 
 def _cmd_top(args: argparse.Namespace) -> int:
@@ -843,6 +958,22 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 0 = disabled)",
     )
     p_serve.add_argument(
+        "--trace-buffer", type=int, default=4096, metavar="N",
+        help="per-process distributed-trace span ring capacity; 0 "
+        "disables tracing and POST /admin/trace (default 4096)",
+    )
+    p_serve.add_argument(
+        "--trace-sample", type=int, default=64, metavar="N",
+        help="locally trace 1 in N requests without an inbound "
+        "traceparent (1 = everything, 0 = only propagated traces; "
+        "default 64)",
+    )
+    p_serve.add_argument(
+        "--top-pairs", type=int, default=256, metavar="N",
+        help="Space-Saving heavy-hitter sketch capacity over query "
+        "pairs (the /stats top_pairs block); 0 disables (default 256)",
+    )
+    p_serve.add_argument(
         "--breaker-threshold", type=int, default=10, metavar="N",
         help="trip the scan circuit breaker after N consecutive "
         "failures, 0 disables (default 10)",
@@ -894,6 +1025,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="print one frame and exit (for scripts and CI)",
     )
     p_top.set_defaults(func=_cmd_top)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="capture a distributed trace from a running server or "
+        "fleet (POST /admin/trace) and write a Chrome trace file",
+    )
+    p_trace.add_argument(
+        "output", help="output Chrome trace JSON file"
+    )
+    p_trace.add_argument("--host", default="127.0.0.1")
+    p_trace.add_argument(
+        "--port", type=int, default=8355,
+        help="server or fleet router port (default 8355)",
+    )
+    p_trace.add_argument(
+        "--clear", action="store_true",
+        help="drain the span rings as part of the capture, so the "
+        "next capture starts empty",
+    )
+    p_trace.add_argument(
+        "--min-cross-links", type=int, default=0, metavar="N",
+        help="exit 1 unless the merged trace contains at least N "
+        "cross-process parent/child span links (default 0 = no "
+        "assertion; CI uses 1 against a fleet)",
+    )
+    p_trace.add_argument(
+        "--timeout", type=float, default=10.0, metavar="S",
+        help="HTTP timeout in seconds (default 10)",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="workload analytics report over a running server's "
+        "/stats: hot pairs, skew, cache attribution, fleet freshness",
+    )
+    p_analyze.add_argument("--host", default="127.0.0.1")
+    p_analyze.add_argument(
+        "--port", type=int, default=8355,
+        help="server or fleet router port (default 8355)",
+    )
+    p_analyze.add_argument(
+        "--top", type=int, default=20, metavar="N",
+        help="rows in the hot-pair table (default 20)",
+    )
+    p_analyze.add_argument(
+        "--timeout", type=float, default=10.0, metavar="S",
+        help="HTTP timeout in seconds (default 10)",
+    )
+    p_analyze.set_defaults(func=_cmd_analyze)
 
     p_stats = sub.add_parser("stats", help="print index statistics")
     p_stats.add_argument("index")

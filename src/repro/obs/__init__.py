@@ -78,12 +78,21 @@ from repro.obs.perf import (
 )
 from repro.obs.recorders import NULL_RECORDER, NullRecorder, Recorder
 from repro.obs.sampling import SamplingProfiler, profile_for
+from repro.obs.sketch import SpaceSaving, pair_key
 from repro.obs.slo import SloPolicy, SloWindow
 from repro.obs.tracing import (
+    CLOCK_EPOCH,
+    TRACEPARENT_HEADER,
+    SpanCollector,
     SpanEvent,
+    TraceContext,
     chrome_trace_payload,
+    cross_process_links,
+    merge_trace_fragments,
+    new_span_id,
     span_summary,
     validate_chrome_trace,
+    wall_clock_anchor,
     write_chrome_trace,
 )
 
@@ -136,6 +145,7 @@ def span(name: str, **attrs):
 
 __all__ = [
     "BuildPhaseTracker",
+    "CLOCK_EPOCH",
     "COUNT_BUCKETS",
     "Counter",
     "ENABLED",
@@ -157,14 +167,22 @@ __all__ = [
     "SamplingProfiler",
     "SloPolicy",
     "SloWindow",
+    "SpaceSaving",
+    "SpanCollector",
     "SpanEvent",
+    "TRACEPARENT_HEADER",
+    "TraceContext",
     "append_trajectory",
     "build_scope",
     "capture_environment",
     "chrome_trace_payload",
     "configure",
+    "cross_process_links",
     "disable",
     "make_build_info",
+    "merge_trace_fragments",
+    "new_span_id",
+    "pair_key",
     "peak_rss_bytes",
     "phase_breakdown",
     "profile_for",
@@ -174,5 +192,6 @@ __all__ = [
     "span_summary",
     "validate_chrome_trace",
     "validate_perf_payload",
+    "wall_clock_anchor",
     "write_chrome_trace",
 ]

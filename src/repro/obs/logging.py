@@ -187,7 +187,7 @@ def _route_string(value: str) -> str:
 def _access_line(
     request_id, method, path, status, latency_ms,
     source, target, cache_hit, batch_size, queue_wait_s, scan_s,
-    labels_scanned, ts_part,
+    labels_scanned, trace_id, ts_part,
 ):
     """One ``access`` record as a JSON line.
 
@@ -219,6 +219,8 @@ def _access_line(
     parts.append(f'"status":{status}')
     if target is not None:
         parts.append(f'"target":{target}')
+    if trace_id is not None:
+        parts.append(f'"trace_id":{_json_string(trace_id)}')
     parts.append(ts_part)
     return "{" + ",".join(parts) + "}\n"
 
@@ -280,13 +282,17 @@ class RequestLog:
         scan_s: Optional[float] = None,
         labels_scanned: Optional[int] = None,
         error: Optional[str] = None,
+        trace_id: Optional[str] = None,
     ) -> None:
         """Record one finished request.
 
         Emits an ``access`` record (always for slow or non-200
         requests; sampled 1-in-N otherwise) and, when ``latency_s``
         crosses the slow threshold, a ``slow_query`` record carrying
-        the same correlation id.
+        the same correlation id.  ``trace_id`` is the distributed
+        trace the request rode in on (sampled requests only), stamped
+        alongside ``request_id`` so a log line can be joined against a
+        captured Chrome trace.
         """
         latency_ms = latency_s * 1000.0
         slow = latency_ms >= self.slow_ms > 0
@@ -298,7 +304,7 @@ class RequestLog:
                 _access_line(
                     request_id, method, path, status, latency_ms,
                     source, target, cache_hit, batch_size,
-                    queue_wait_s, scan_s, labels_scanned,
+                    queue_wait_s, scan_s, labels_scanned, trace_id,
                     f'"ts":{self._clock()!r}',
                 )
             )
@@ -329,6 +335,8 @@ class RequestLog:
             record["labels_scanned"] = labels_scanned
         if error is not None:
             record["error"] = error
+        if trace_id is not None:
+            record["trace_id"] = trace_id
         self.writer.write(record)
         self.access_records += 1
         if slow:
@@ -343,7 +351,7 @@ class RequestLog:
 
         ``records`` are ``(request_id, method, path, status,
         latency_s, source, target, cache_hit, meta, labels_scanned,
-        error)`` tuples, where ``meta`` is the server's per-request
+        error, trace_id)`` tuples, where ``meta`` is the server's per-request
         coalescer metadata dict (``batch_size`` / ``queue_wait_s`` /
         ``scan_s`` keys) or ``None``.  Semantically identical to one
         :meth:`log_request` call per tuple, in order — same sampling
@@ -365,7 +373,7 @@ class RequestLog:
         with writer.batched():
             for (request_id, method, path, status, latency_s, source,
                  target, cache_hit, meta, labels_scanned,
-                 error) in records:
+                 error, trace_id) in records:
                 latency_ms = latency_s * 1000.0
                 if (latency_ms >= slow_ms > 0) or error is not None:
                     self.log_request(
@@ -381,6 +389,7 @@ class RequestLog:
                         ),
                         scan_s=meta.get("scan_s") if meta else None,
                         labels_scanned=labels_scanned, error=error,
+                        trace_id=trace_id,
                     )
                     continue
                 if not presampled and status == 200 and not keep():
@@ -396,7 +405,8 @@ class RequestLog:
                     _access_line(
                         request_id, method, path, status, latency_ms,
                         source, target, cache_hit, batch_size,
-                        queue_wait_s, scan_s, labels_scanned, ts_part,
+                        queue_wait_s, scan_s, labels_scanned, trace_id,
+                        ts_part,
                     )
                 )
                 self.access_records += 1

@@ -21,11 +21,14 @@ from repro.obs.metrics import (
     Histogram,
     Number,
 )
-from repro.obs.tracing import SpanEvent, span_summary
+from repro.obs.tracing import CLOCK_EPOCH, SpanEvent, span_summary
 
-#: All recorders in a process share one time origin, so events forwarded
-#: between recorders stay on a single consistent timeline.
-_EPOCH = time.perf_counter()
+#: All recorders in a process share one time origin — the same
+#: :data:`repro.obs.tracing.CLOCK_EPOCH` the traced-span collector and
+#: the sampling profiler use — so events forwarded between recorders
+#: (and merged Chrome traces mixing spans with sampler frames) stay on
+#: a single consistent timeline.
+_EPOCH = CLOCK_EPOCH
 
 
 def default_boundaries(name: str):

@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.exceptions import ReproError
+from repro.obs.tracing import CLOCK_EPOCH
 
 __all__ = ["ProfilerError", "SamplingProfiler", "profile_for"]
 
@@ -111,6 +112,7 @@ class SamplingProfiler:
         self._stop_event = threading.Event()
         self._started = False
         self._wall_seconds = 0.0
+        self._epoch_offset_s = 0.0
 
     # -- lifecycle ----------------------------------------------------
 
@@ -120,6 +122,11 @@ class SamplingProfiler:
         self._started = True
         self._stop_event.clear()
         self._t0 = time.perf_counter()
+        # Where this capture began on the process's shared span clock
+        # (repro.obs.tracing.CLOCK_EPOCH) — chrome_trace() offsets its
+        # events by this, so sampler frames land in the same time range
+        # as recorder/collector spans in a merged viewer timeline.
+        self._epoch_offset_s = self._t0 - CLOCK_EPOCH
         self._thread = threading.Thread(
             target=self._run, name="spc-profiler", daemon=True
         )
@@ -234,11 +241,20 @@ class SamplingProfiler:
             lines.append(f"{frames} {count}")
         return "\n".join(lines) + ("\n" if lines else "")
 
+    @property
+    def epoch_offset_s(self) -> float:
+        """Capture start on the shared span clock (CLOCK_EPOCH base)."""
+        return self._epoch_offset_s
+
     def chrome_trace(self) -> dict:
         """Chrome trace-event payload: one complete event per stack.
 
         Events are laid end-to-end per thread (sampled time, not real
-        time): the viewer shows each stack's share of the window.
+        time): the viewer shows each stack's share of the window.  The
+        per-thread lanes start at :attr:`epoch_offset_s` — the capture's
+        position on the shared span clock — so sampler frames and span
+        events line up in one merged viewer timeline instead of
+        rendering in disjoint time ranges.
         """
         pid = os.getpid()
         tids = {
@@ -247,7 +263,8 @@ class SamplingProfiler:
                 sorted({name for name, _ in self._counts}), start=1
             )
         }
-        cursors = {name: 0.0 for name in tids}
+        base_us = max(0.0, self._epoch_offset_s) * 1e6
+        cursors = {name: base_us for name in tids}
         events = []
         for (name, stack), count in sorted(
             self._counts.items(), key=lambda kv: (-kv[1], kv[0])

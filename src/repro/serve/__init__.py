@@ -32,12 +32,16 @@ Layers, innermost first:
   OS page cache, with aggregated ``/metrics``/``/health`` and a
   two-phase fleet-wide ``/admin/reload``.
 * :mod:`repro.serve.top` — ``repro-spc top``, a polling terminal
-  dashboard over ``/stats`` + ``/metrics``.
+  dashboard over ``/stats`` + ``/metrics`` (per-worker rows against a
+  fleet router).
+* :mod:`repro.serve.analyze` — ``repro-spc analyze``, the workload
+  analytics report over the Space-Saving ``top_pairs`` block.
 
 Start one from the command line with ``repro-spc serve index.bin`` and
 read :doc:`docs/serving.md </serving>` for the protocol and the knobs.
 """
 
+from repro.serve.analyze import render_analysis
 from repro.serve.breaker import CircuitBreaker
 from repro.serve.cache import ResultCache
 from repro.serve.client import LoadReport, RetryPolicy, replay, run_workload
@@ -66,6 +70,7 @@ __all__ = [
     "ServeConfig",
     "ServerThread",
     "merge_metrics_snapshots",
+    "render_analysis",
     "render_dashboard",
     "replay",
     "run_top",

@@ -44,7 +44,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.obs import LATENCY_BUCKETS_SECONDS, Histogram
+from repro.obs import LATENCY_BUCKETS_SECONDS, Histogram, TraceContext
 from repro.serve.http import HTTPProtocolError, read_head
 from repro.types import Vertex
 
@@ -272,9 +272,24 @@ async def _worker(
     send_request_ids: bool,
     policy: Optional[RetryPolicy],
     budget: Optional[_RetryBudget],
+    trace_every: int = 0,
 ) -> None:
     if not slots:
         return
+
+    def _trace_header(slot: int) -> str:
+        """A client-rooted sampled ``traceparent`` for 1-in-N slots.
+
+        The server honours inbound sampled contexts unconditionally,
+        so these requests are traced end to end regardless of the
+        server's own sampling rate — the client-driven way to light up
+        ``/admin/trace`` during a capture window.
+        """
+        if not trace_every or slot % trace_every:
+            return ""
+        ctx = TraceContext.generate()
+        return f"traceparent: {ctx.to_header()}\r\n"
+
     # Request bytes are prebuilt so the timed loop spends its cycles on
     # the wire, not on string formatting (the client shares cores with
     # the server in tests and benchmarks).  Client ids are derived from
@@ -295,9 +310,10 @@ async def _worker(
                 if sent_ids is not None
                 else ""
             )
+            + _trace_header(slot)
             + "\r\n"
         ).encode("latin-1")
-        for lane_idx, (_, (source, target)) in enumerate(slots)
+        for lane_idx, (slot, (source, target)) in enumerate(slots)
     ]
     observe = report.latency.observe
     perf_counter = time.perf_counter
@@ -444,6 +460,7 @@ async def run_workload(
     collect_results: bool = False,
     send_request_ids: bool = False,
     retry: Optional[RetryPolicy] = None,
+    trace_every: int = 0,
 ) -> LoadReport:
     """Replay ``pairs`` (``repeats`` times) against a running server.
 
@@ -460,6 +477,10 @@ async def run_workload(
     ``retry`` enables status-based retries (see :class:`RetryPolicy`);
     without it, only connection losses are resent (bounded per slot)
     and every other status is reported as-is.
+
+    ``trace_every`` stamps 1 in N requests (by global slot) with a
+    fresh sampled ``traceparent`` header, forcing the server to trace
+    them regardless of its own head-sampling rate; 0 sends none.
     """
     requests: List[Pair] = list(pairs) * max(1, repeats)
     concurrency = max(1, min(concurrency, len(requests) or 1))
@@ -480,7 +501,7 @@ async def run_workload(
         *(
             _worker(
                 host, port, lane, report, pipeline,
-                send_request_ids, retry, budget,
+                send_request_ids, retry, budget, trace_every,
             )
             for lane in lanes
             if lane
@@ -501,6 +522,7 @@ def replay(
     collect_results: bool = False,
     send_request_ids: bool = False,
     retry: Optional[RetryPolicy] = None,
+    trace_every: int = 0,
 ) -> LoadReport:
     """Synchronous wrapper around :func:`run_workload`."""
     return asyncio.run(
@@ -514,5 +536,6 @@ def replay(
             collect_results=collect_results,
             send_request_ids=send_request_ids,
             retry=retry,
+            trace_every=trace_every,
         )
     )

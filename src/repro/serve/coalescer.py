@@ -36,7 +36,7 @@ import time
 from typing import List, Optional, Set, Tuple
 
 from repro.exceptions import ReproError
-from repro.obs import NULL_RECORDER
+from repro.obs import NULL_RECORDER, new_span_id
 from repro.types import Vertex
 
 #: One queued submission: source, target, the future to resolve, and an
@@ -62,6 +62,7 @@ class MicroBatcher:
         recorder=NULL_RECORDER,
         executor=None,
         fault_plan=None,
+        tracer=None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -70,6 +71,11 @@ class MicroBatcher:
         self.max_batch = max_batch
         self.max_wait_s = max(0, max_wait_us) / 1e6
         self._recorder = recorder
+        #: Optional :class:`~repro.obs.tracing.SpanCollector`; when a
+        #: submission's ``meta`` carries a ``"trace"`` tuple
+        #: ``(trace_id, parent span id)``, the batch scan is recorded
+        #: as a ``serve.scan_batch`` span under that request's span.
+        self._tracer = tracer
         self._executor = executor
         self._pending: List[_Pending] = []
         self._timer: Optional[asyncio.TimerHandle] = None
@@ -189,9 +195,29 @@ class MicroBatcher:
         self._scans_inflight -= 1
         scan_s = time.perf_counter() - started
         rec.observe("serve.batch.seconds", scan_s)
+        tracer = self._tracer
         for (_, _, future, meta), result in zip(batch, results):
             if meta is not None:
                 meta["scan_s"] = scan_s
+                if tracer is not None:
+                    trace = meta.get("trace")
+                    if trace is not None:
+                        # One scan span per traced request in the
+                        # window, parented to that request's span —
+                        # shared start/duration, so the viewer shows
+                        # exactly which requests rode one scan.
+                        tracer.record(
+                            "serve.scan_batch",
+                            trace_id=trace[0],
+                            span_id=new_span_id(),
+                            parent_id=trace[1],
+                            start=started,
+                            duration=scan_s,
+                            attrs={
+                                "batch_size": len(pairs),
+                                "flush_reason": reason,
+                            },
+                        )
             if future.done():
                 continue  # waiter gave up (deadline) — drop the answer
             if isinstance(result, BaseException):

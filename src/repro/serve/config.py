@@ -93,6 +93,19 @@ class ServeConfig:
     #: see stale labels fall back to counting Dijkstra on the current
     #: weights; 0 disables the freshness deadline.
     update_freshness_s: float = 0.0
+    #: Per-process ring-buffer capacity (spans) of the distributed
+    #: trace collector; 0 disables tracing entirely — no traceparent
+    #: parsing, no spans, no ``/admin/trace``.
+    trace_buffer: int = 4096
+    #: Locally sample 1 in N requests into a new trace when the client
+    #: sent no ``traceparent`` (1 traces everything, 0 traces nothing
+    #: locally); an inbound sampled traceparent is always honoured
+    #: regardless, so a router's sampling decision propagates.
+    trace_sample_every: int = 64
+    #: Space-Saving heavy-hitter sketch capacity over symmetric
+    #: ``(s, t)`` query pairs, surfaced as the ``top_pairs`` block in
+    #: ``/stats``; 0 disables workload analytics.
+    top_pairs_capacity: int = 256
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -129,3 +142,9 @@ class ServeConfig:
             raise ServeConfigError("overlay_threshold must be >= 0")
         if self.update_freshness_s < 0:
             raise ServeConfigError("update_freshness_s must be >= 0")
+        if self.trace_buffer < 0:
+            raise ServeConfigError("trace_buffer must be >= 0")
+        if self.trace_sample_every < 0:
+            raise ServeConfigError("trace_sample_every must be >= 0")
+        if self.top_pairs_capacity < 0:
+            raise ServeConfigError("top_pairs_capacity must be >= 0")

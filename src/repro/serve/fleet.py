@@ -44,7 +44,15 @@ Fleet-wide endpoints:
   the normal two-phase reload path swaps it in on every worker while
   each worker replays its post-snapshot batches onto the new base.
 * ``POST /admin/profile`` — proxied to worker 0.
-* ``GET /stats`` — worker 0's stats annotated with a ``fleet`` block.
+* ``POST /admin/trace`` — fleet trace capture: every worker's span
+  ring (plus the router's own) drained, clock-aligned, and merged
+  into one Chrome trace whose parent/child links cross the process
+  boundary (router ``fleet.request`` → worker ``serve.request`` →
+  ``serve.scan_batch``).
+* ``GET /stats`` — per-worker stats fanned out and merged: a
+  ``fleet.per_worker`` table (QPS, p99, cache hit rate, epoch/seqno
+  lag vs the fleet maximum) and the workers' Space-Saving sketches
+  merged into fleet-wide ``top_pairs``.
 
 ``SIGTERM``/``SIGINT`` drain in cascade: the router stops accepting,
 finishes in-flight client requests, then signals each worker to run
@@ -64,7 +72,17 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ReproError
-from repro.obs import PROMETHEUS_CONTENT_TYPE, Recorder, render_prometheus
+from repro.obs import (
+    PROMETHEUS_CONTENT_TYPE,
+    Recorder,
+    Sampler,
+    SpaceSaving,
+    SpanCollector,
+    TraceContext,
+    merge_trace_fragments,
+    new_span_id,
+    render_prometheus,
+)
 from repro.serve.config import ServeConfig
 from repro.serve.http import (
     HTTPProtocolError,
@@ -89,6 +107,9 @@ _UPSTREAM_RESENDS = 2
 
 #: Idle upstream connections kept pooled per worker.
 _POOL_SIZE = 32
+
+#: Values accepted as "true" in admin query parameters.
+_TRUTHY = {"1", "true", "yes", "on"}
 
 
 class FleetError(ReproError):
@@ -185,6 +206,10 @@ async def _worker_serve(spec: WorkerSpec, conn) -> None:
             # burst is enough, and the swap must be fleet-coordinated.
             auto_rebuild=False,
         )
+        if server.tracer is not None:
+            # Fragments carry the role so a merged fleet trace names
+            # each process lane ("router", "worker-0", "worker-1", ...).
+            server.tracer.role = f"worker-{spec.worker_id}"
         await server.start()
     except Exception as exc:
         conn.send(("error", f"{type(exc).__name__}: {exc}"))
@@ -246,6 +271,18 @@ class FleetRouter:
         )
         self._rebuild_task: Optional[asyncio.Task] = None
         self.recorder = recorder if recorder is not None else Recorder()
+        #: Router-side span ring; merged with worker fragments by
+        #: ``POST /admin/trace`` into one fleet-wide Chrome trace.
+        self.tracer: Optional[SpanCollector] = (
+            SpanCollector(self.config.trace_buffer, role="router")
+            if self.config.trace_buffer > 0
+            else None
+        )
+        self._trace_sampler: Optional[Sampler] = (
+            Sampler(self.config.trace_sample_every, self.config.log_seed)
+            if self.tracer is not None and self.config.trace_sample_every > 0
+            else None
+        )
         self.vnodes = vnodes
         self.workers: List[_Worker] = []
         self.ring: Optional[HashRing] = None
@@ -546,12 +583,59 @@ class FleetRouter:
             self._connections.discard(task)
             writer.close()
 
+    def _sample_trace(self):
+        """A router-rooted trace tuple for 1 in N untraced requests."""
+        sampler = self._trace_sampler
+        if sampler is None or not sampler.keep():
+            return None
+        ctx = TraceContext.generate()
+        return ctx.trace_id, ctx.span_id, None
+
+    def _trace_for(self, request: Request):
+        """The request's trace tuple ``(trace_id, span_id, parent_id)``.
+
+        An inbound sampled ``traceparent`` is always honoured (the
+        router span becomes a child of the client's span); an explicit
+        unsampled context suppresses tracing; absent or malformed
+        headers fall back to local 1-in-N sampling — the router is
+        where fleet traces are normally rooted.
+        """
+        if self.tracer is None:
+            return None
+        header = request.headers.get("traceparent")
+        if header is None:
+            return self._sample_trace()
+        ctx = TraceContext.parse(header)
+        if ctx is None:
+            return self._sample_trace()
+        if not ctx.sampled:
+            return None
+        return ctx.trace_id, new_span_id(), ctx.span_id
+
     async def _handle(self, request: Request) -> bytes:
         self.recorder.incr("fleet.requests")
         keep_alive = request.keep_alive
         try:
             if request.path == "/query":
-                return await self._handle_query(request, keep_alive)
+                trace = self._trace_for(request)
+                started = time.perf_counter()
+                out = await self._handle_query(request, keep_alive, trace)
+                if trace is not None and self.tracer is not None:
+                    # Status is parseable straight off the response
+                    # framing ("HTTP/1.1 NNN ..." — bytes 9:12).
+                    self.tracer.record(
+                        "fleet.request",
+                        trace_id=trace[0],
+                        span_id=trace[1],
+                        parent_id=trace[2],
+                        start=started,
+                        duration=time.perf_counter() - started,
+                        attrs={
+                            "path": request.path,
+                            "status": int(out[9:12]),
+                        },
+                    )
+                return out
             if request.path == "/metrics":
                 return await self._handle_metrics(request, keep_alive)
             if request.path == "/health":
@@ -566,6 +650,8 @@ class FleetRouter:
                 return await self._proxy(
                     self.workers[0], request, keep_alive
                 )
+            if request.path == "/admin/trace":
+                return await self._handle_trace(request, keep_alive)
             self.recorder.incr("fleet.errors.route")
             return self._error(
                 404, f"unknown path {request.path!r}", keep_alive
@@ -581,11 +667,19 @@ class FleetRouter:
         keep_alive: bool,
         *,
         resend: bool = False,
+        trace=None,
     ) -> bytes:
         headers = []
         rid = request.headers.get("x-request-id")
         if rid:
             headers.append(("X-Request-Id", rid))
+        if trace is not None:
+            # Propagate the router's span as the upstream parent: the
+            # worker honours a sampled traceparent unconditionally, so
+            # its serve.request span links under fleet.request.
+            headers.append(
+                ("traceparent", f"00-{trace[0]}-{trace[1]}-01")
+            )
         target = request.path
         if request.params:
             query = "&".join(
@@ -606,7 +700,7 @@ class FleetRouter:
     # queries
     # ------------------------------------------------------------------
     async def _handle_query(
-        self, request: Request, keep_alive: bool
+        self, request: Request, keep_alive: bool, trace=None
     ) -> bytes:
         assert self.ring is not None
         if request.method == "POST":
@@ -618,7 +712,7 @@ class FleetRouter:
                 payload.get("pairs"), list
             ):
                 return await self._scatter_pairs(
-                    request, payload, keep_alive
+                    request, payload, keep_alive, trace
                 )
             if isinstance(payload, dict):
                 try:
@@ -628,11 +722,13 @@ class FleetRouter:
                 except (KeyError, TypeError, ValueError):
                     owner = 0
                 return await self._proxy(
-                    self.workers[owner], request, keep_alive, resend=True
+                    self.workers[owner], request, keep_alive,
+                    resend=True, trace=trace,
                 )
             # Malformed body: let a worker produce the canonical 400.
             return await self._proxy(
-                self.workers[0], request, keep_alive, resend=True
+                self.workers[0], request, keep_alive,
+                resend=True, trace=trace,
             )
         try:
             owner = self.ring.owner_of_pair(
@@ -641,11 +737,12 @@ class FleetRouter:
         except (KeyError, TypeError, ValueError):
             owner = 0  # worker 0 answers the 400 consistently
         return await self._proxy(
-            self.workers[owner], request, keep_alive, resend=True
+            self.workers[owner], request, keep_alive,
+            resend=True, trace=trace,
         )
 
     async def _scatter_pairs(
-        self, request: Request, payload: dict, keep_alive: bool
+        self, request: Request, payload: dict, keep_alive: bool, trace=None
     ) -> bytes:
         """Scatter a JSON batch by pair owner; gather in request order."""
         assert self.ring is not None
@@ -671,6 +768,13 @@ class FleetRouter:
             by_owner.setdefault(owner, []).append(position)
         rid = request.headers.get("x-request-id")
         headers = [("X-Request-Id", rid)] if rid else []
+        if trace is not None:
+            # Every shard of the scatter carries the same parent span,
+            # so the merged trace shows N worker spans fanning out
+            # under one fleet.request.
+            headers.append(
+                ("traceparent", f"00-{trace[0]}-{trace[1]}-01")
+            )
 
         async def _one(owner: int, positions: List[int]):
             body = json.dumps(
@@ -837,25 +941,194 @@ class FleetRouter:
             http_status, payload, keep_alive=keep_alive
         )
 
+    async def _handle_trace(
+        self, request: Request, keep_alive: bool
+    ) -> bytes:
+        """Fleet trace capture: fan out, merge, one Chrome payload.
+
+        Drains every worker's span ring (``format=fragment``) plus the
+        router's own, shifts each fragment onto a common wall-clock
+        base via its monotonic-offset anchor, and links parent/child
+        span ids across the process boundary — one download, the whole
+        fleet's story.  ``format=fragment`` returns the router's raw
+        fragment instead (for a higher-level merger).
+        """
+        if request.method != "POST":
+            return response_bytes(
+                405,
+                {"error": "trace capture requires POST"},
+                keep_alive=keep_alive,
+                extra_headers=(("Allow", "POST"),),
+            )
+        if self.tracer is None:
+            return response_bytes(
+                409,
+                {"error": "tracing is disabled (trace_buffer = 0)"},
+                keep_alive=keep_alive,
+            )
+        fmt = request.params.get("format", "chrome")
+        if fmt not in ("chrome", "fragment"):
+            return response_bytes(
+                400,
+                {"error": f"unknown trace format {fmt!r}"},
+                keep_alive=keep_alive,
+            )
+        clear = request.params.get("clear", "") in _TRUTHY
+        if fmt == "fragment":
+            return response_bytes(
+                200,
+                self.tracer.fragment(clear=clear),
+                keep_alive=keep_alive,
+            )
+        path = "/admin/trace?format=fragment"
+        if clear:
+            path += "&clear=1"
+        outcomes = await self._fanout("POST", path, b"{}")
+        fragments = [self.tracer.fragment(clear=clear)]
+        reporting = 0
+        for worker, outcome in zip(self.workers, outcomes):
+            if isinstance(outcome, BaseException):
+                continue
+            status, _, body = outcome
+            if status != 200:
+                continue
+            try:
+                fragment = json.loads(body)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(fragment, dict):
+                fragments.append(fragment)
+                reporting += 1
+        merged = merge_trace_fragments(fragments)
+        self.recorder.incr("fleet.trace.captures")
+        merged["fleet"] = {
+            "workers": len(self.workers),
+            "reporting": reporting,
+        }
+        return response_bytes(200, merged, keep_alive=keep_alive)
+
     async def _handle_stats(self, keep_alive: bool) -> bytes:
-        status, headers, body = await self._upstream(
-            self.workers[0], "GET", "/stats", resend=True
+        outcomes = await self._fanout("GET", "/stats", resend=True)
+        stats: Dict[int, dict] = {}
+        for worker, outcome in zip(self.workers, outcomes):
+            if isinstance(outcome, BaseException):
+                continue
+            status, _, body = outcome
+            if status != 200:
+                continue
+            try:
+                parsed = json.loads(body) if body else {}
+            except json.JSONDecodeError:
+                continue
+            if isinstance(parsed, dict):
+                stats[worker.worker_id] = parsed
+        if not stats:
+            self.recorder.incr("fleet.errors.upstream")
+            return self._error(
+                502, "no worker could report stats", keep_alive
+            )
+        # Worker 0 (or the lowest reporting id) provides the base
+        # payload — index metadata, batcher and breaker snapshots are
+        # representative — and the fleet block carries what differs.
+        payload = stats[min(stats)]
+        payload["fleet"] = {
+            "workers": len(self.workers),
+            "reporting": len(stats),
+            "index_path": self.index_path,
+            "per_worker": self._per_worker_rows(stats),
+        }
+        merged_pairs = self._merge_top_pairs(stats)
+        if merged_pairs is not None:
+            payload["top_pairs"] = merged_pairs
+        return response_bytes(200, payload, keep_alive=keep_alive)
+
+    def _per_worker_rows(self, stats: Dict[int, dict]) -> List[dict]:
+        """One freshness/throughput row per reporting worker.
+
+        ``epoch_lag``/``seqno_lag`` are relative to the fleet maximum —
+        a worker behind its peers is the one that would serve stale
+        counts, and ``repro-spc top`` renders exactly these rows.
+        """
+        live_by_worker = {
+            worker_id: parsed["live"]
+            for worker_id, parsed in stats.items()
+            if isinstance(parsed.get("live"), dict)
+        }
+        max_epoch = max(
+            (live.get("epoch", 0) for live in live_by_worker.values()),
+            default=0,
         )
-        try:
-            payload = json.loads(body) if body else {}
-        except json.JSONDecodeError:
-            payload = {}
-        if isinstance(payload, dict):
-            payload["fleet"] = {
-                "workers": len(self.workers),
-                "index_path": self.index_path,
+        max_seqno = max(
+            (live.get("seqno", 0) for live in live_by_worker.values()),
+            default=0,
+        )
+        rows = []
+        for worker_id in sorted(stats):
+            parsed = stats[worker_id]
+            window = parsed.get("window") or {}
+            latency = window.get("latency_ms") or {}
+            row = {
+                "worker": worker_id,
+                "requests": window.get("requests", 0),
+                "qps": window.get("qps", 0.0),
+                "p99_ms": latency.get("p99", 0.0),
+                "cache_hit_rate": window.get("cache_hit_rate", 0.0),
             }
-        return self._reframe(
-            status,
-            {key: headers[key] for key in headers if key == "x-request-id"},
-            json.dumps(payload, separators=(",", ":")).encode(),
-            keep_alive,
+            live = live_by_worker.get(worker_id)
+            if live is not None:
+                epoch = live.get("epoch", 0)
+                seqno = live.get("seqno", 0)
+                row["epoch"] = epoch
+                row["seqno"] = seqno
+                row["epoch_lag"] = max_epoch - epoch
+                row["seqno_lag"] = max_seqno - seqno
+                if "staleness_s" in live:
+                    row["staleness_s"] = live["staleness_s"]
+            rows.append(row)
+        return rows
+
+    def _merge_top_pairs(self, stats: Dict[int, dict]) -> Optional[dict]:
+        """Fleet-wide heavy hitters: merge the workers' sketches.
+
+        Space-Saving summaries are mergeable, so the fleet's hot pairs
+        come out with the same bounded error as one big sketch; the
+        cache-attribution counters are summed across workers.
+        """
+        sketches = []
+        hot = {"hits": 0, "misses": 0}
+        tail = {"hits": 0, "misses": 0}
+        for parsed in stats.values():
+            block = parsed.get("top_pairs")
+            if not isinstance(block, dict):
+                continue
+            sketch = block.get("sketch")
+            if isinstance(sketch, dict):
+                try:
+                    sketches.append(SpaceSaving.from_dict(sketch))
+                except (KeyError, TypeError, ValueError):
+                    continue
+            attribution = block.get("cache_attribution") or {}
+            for side, totals in (("hot", hot), ("tail", tail)):
+                counts = attribution.get(side) or {}
+                totals["hits"] += counts.get("hits", 0)
+                totals["misses"] += counts.get("misses", 0)
+        if not sketches:
+            return None
+        merged = SpaceSaving.merge(
+            sketches,
+            capacity=self.config.top_pairs_capacity or None,
         )
+        for totals in (hot, tail):
+            seen = totals["hits"] + totals["misses"]
+            totals["hit_rate"] = totals["hits"] / seen if seen else 0.0
+        return {
+            "sketch": merged.to_dict(),
+            "top": [
+                {"pair": list(key), "count": count, "error": error}
+                for key, count, error in merged.top(20)
+            ],
+            "cache_attribution": {"hot": hot, "tail": tail},
+        }
 
     # ------------------------------------------------------------------
     # fleet reload: two-phase commit

@@ -62,8 +62,14 @@ from repro.obs import (
     Recorder,
     RequestIdGenerator,
     RequestLog,
+    Sampler,
     SloPolicy,
     SloWindow,
+    SpaceSaving,
+    SpanCollector,
+    TraceContext,
+    merge_trace_fragments,
+    new_span_id,
     render_prometheus,
 )
 from repro.serve.breaker import CircuitBreaker
@@ -109,12 +115,12 @@ class _Waiter:
 
     __slots__ = (
         "server", "future", "source", "target", "rid", "started",
-        "meta", "explain", "fallback",
+        "meta", "explain", "fallback", "trace",
     )
 
     def __init__(
         self, server, future, source, target, rid, started, meta,
-        explain, fallback=False,
+        explain, fallback=False, trace=None,
     ):
         self.server = server
         self.future = future
@@ -125,6 +131,7 @@ class _Waiter:
         self.meta = meta
         self.explain = explain
         self.fallback = fallback
+        self.trace = trace
 
     def __await__(self):
         return self.server._finish(self).__await__()
@@ -227,6 +234,25 @@ class SPCServer:
             if fallback is not None
             else None
         )
+        #: Distributed-trace span collector (``None`` = tracing off).
+        #: Spans land in a bounded ring; ``POST /admin/trace`` reads
+        #: (and optionally clears) it as a fragment the fleet router
+        #: merges into one cross-process Chrome trace.
+        self.tracer: Optional[SpanCollector] = (
+            SpanCollector(self.config.trace_buffer, role="server")
+            if self.config.trace_buffer > 0
+            else None
+        )
+        #: Local head sampler: 1 in ``trace_sample_every`` requests
+        #: without an inbound ``traceparent`` start a new trace.  An
+        #: inbound *sampled* traceparent is always honoured, so the
+        #: router's (or client's) decision wins over local sampling.
+        self._trace_sampler: Optional[Sampler] = (
+            Sampler(self.config.trace_sample_every, self.config.log_seed)
+            if self.tracer is not None
+            and self.config.trace_sample_every > 0
+            else None
+        )
         self.batcher: Optional[MicroBatcher] = None
         if self.config.coalesce:
             self.batcher = MicroBatcher(
@@ -236,8 +262,25 @@ class SPCServer:
                 recorder=self.recorder,
                 executor=self._executor,
                 fault_plan=fault_plan,
+                tracer=self.tracer,
             )
         self._ids = RequestIdGenerator()
+        #: Space-Saving sketch over symmetric query pairs — the
+        #: bounded-memory ``top_pairs`` workload analytics in /stats.
+        self.top_pairs: Optional[SpaceSaving] = (
+            SpaceSaving(self.config.top_pairs_capacity)
+            if self.config.top_pairs_capacity > 0
+            else None
+        )
+        #: Cache-efficiency attribution: lookup outcomes split by
+        #: whether the pair was already a tracked heavy hitter.
+        self._hot_hits = 0
+        self._hot_misses = 0
+        self._tail_hits = 0
+        self._tail_misses = 0
+        #: perf_counter of the most recent update batch becoming
+        #: visible (drives the ``live.staleness_s`` gauge).
+        self._last_update_visible: Optional[float] = None
         self.request_log = request_log
         self._log_pending: list = []
         self._log_handle = None
@@ -702,6 +745,7 @@ class SPCServer:
         labels_scanned: Optional[int] = None,
         error: Optional[str] = None,
         track_slo: bool = True,
+        trace=None,
     ) -> Response:
         """Stamp one finished request: id header, SLO window, log record.
 
@@ -709,8 +753,22 @@ class SPCServer:
         correlation contract — the id a client sent comes back in the
         header *and* appears in the matching log records — holds on
         every path (cache hit, batch scan, shed, timeout, error).
+        ``trace`` is the request's span tuple ``(trace_id, span_id,
+        parent_id)`` when it is being traced: the request span is
+        recorded here (covering admission to response encoding) and
+        the trace id is stamped into the log record.
         """
         latency_s = time.perf_counter() - started
+        if trace is not None and self.tracer is not None:
+            self.tracer.record(
+                "serve.request",
+                trace_id=trace[0],
+                span_id=trace[1],
+                parent_id=trace[2],
+                start=started,
+                duration=latency_s,
+                attrs={"status": status, "path": path},
+            )
         if track_slo and self.slo is not None:
             # Positional: error, shed, cache_hit, queue_depth.
             self.slo.record(
@@ -741,7 +799,8 @@ class SPCServer:
                 # shrink the next coalescing window).
                 self._log_pending.append(
                     (rid, method, path, status, latency_s, source,
-                     target, cache_hit, meta, labels_scanned, error)
+                     target, cache_hit, meta, labels_scanned, error,
+                     trace[0] if trace is not None else None)
                 )
         return status, payload, (("X-Request-Id", rid),) + tuple(extra)
 
@@ -813,6 +872,10 @@ class SPCServer:
             state = live.state
             counters["epoch"] = state.epoch
             counters["seqno"] = state.seqno
+            if self._last_update_visible is not None:
+                counters["update_staleness_s"] = round(
+                    time.perf_counter() - self._last_update_visible, 6
+                )
             try:
                 counters["poisoned"] = live.pair_poisoned(source, target)
             except Exception:
@@ -830,6 +893,38 @@ class SPCServer:
             if "scan_s" in meta:
                 counters["scan_us"] = round(meta["scan_s"] * 1e6, 1)
         return counters
+
+    # ------------------------------------------------------------------
+    # distributed tracing
+    # ------------------------------------------------------------------
+    def _sample_trace(self):
+        """A locally-rooted trace tuple for 1 in N untraced requests.
+
+        Returns ``(trace_id, span_id, parent_id)`` for the request
+        span — the root of a new trace (no parent) — or ``None`` when
+        the sampler passes.
+        """
+        sampler = self._trace_sampler
+        if sampler is None or not sampler.keep():
+            return None
+        ctx = TraceContext.generate()
+        return ctx.trace_id, ctx.span_id, None
+
+    def _trace_from_header(self, value: str):
+        """The trace tuple an inbound ``traceparent`` header dictates.
+
+        A sampled context yields a child span tuple (always honoured,
+        regardless of local sampling); an explicit *unsampled* context
+        suppresses tracing for this request; a malformed header is
+        treated as absent per W3C (the trace restarts here, subject to
+        local sampling).
+        """
+        ctx = TraceContext.parse(value)
+        if ctx is None:
+            return self._sample_trace()
+        if not ctx.sampled:
+            return None
+        return ctx.trace_id, new_span_id(), ctx.span_id
 
     # ------------------------------------------------------------------
     # routing
@@ -866,9 +961,29 @@ class SPCServer:
             rid = head[mark + 13 : stop].strip().decode("latin-1")
         else:
             rid = self._ids.next_id()
+        trace = None
+        if self.tracer is not None:
+            # Same header-scan idiom as X-Request-Id: exact-case find
+            # for the canonical (lowercase, per W3C) spelling first.
+            # One find covers both the canonical lowercase spelling
+            # (per W3C) and title-case senders — no real header other
+            # than traceparent ends in "raceparent:".
+            mark = head.find(b"raceparent:")
+            if mark >= 0:
+                stop = head.index(b"\r", mark)
+                trace = self._trace_from_header(
+                    head[mark + 11 : stop].strip().decode("latin-1")
+                )
+            else:
+                # _sample_trace() inlined: this branch runs once per
+                # fast-path request and almost always returns None.
+                sampler = self._trace_sampler
+                if sampler is not None and sampler.keep():
+                    ctx = TraceContext.generate()
+                    trace = (ctx.trace_id, ctx.span_id, None)
         self.recorder.incr("serve.requests")
         keep_alive = (b"close" not in head) and not self._draining
-        return self._query_entry(source, target, rid), keep_alive
+        return self._query_entry(source, target, rid, trace=trace), keep_alive
 
     def _dispatch(self, request: Request):
         """Route one request: a ready Response or an awaitable of one.
@@ -881,7 +996,15 @@ class SPCServer:
         self.recorder.incr("serve.requests")
         rid = request.headers.get("x-request-id") or self._ids.next_id()
         if request.path == "/query":
-            return self._dispatch_query(request, rid)
+            trace = None
+            if self.tracer is not None:
+                header = request.headers.get("traceparent")
+                trace = (
+                    self._trace_from_header(header)
+                    if header is not None
+                    else self._sample_trace()
+                )
+            return self._dispatch_query(request, rid, trace)
         if request.path == "/admin/reload":
             return self._handle_reload(request, rid)
         if request.path in (
@@ -913,6 +1036,8 @@ class SPCServer:
             status, payload, extra = self._handle_metrics(request)
         elif request.path == "/stats":
             status, payload, extra = self._handle_stats()
+        elif request.path == "/admin/trace":
+            status, payload, extra = self._handle_trace(request)
         else:
             self.recorder.incr("serve.errors.route")
             status, payload, extra = (
@@ -1116,7 +1241,7 @@ class SPCServer:
                     raise LiveUpdateError("no staged update batch to commit")
                 staged = self._staged_update
                 self._staged_update = None
-                payload = await self._apply_update(staged)
+                payload = await self._apply_update(staged, started)
             else:
                 body = request.json()
                 raw = body.get("updates") if isinstance(body, dict) else None
@@ -1125,12 +1250,19 @@ class SPCServer:
                         'update body must be {"updates": [[a, b, weight], '
                         "...]}"
                     )
+                validate_started = time.perf_counter()
                 normalized = self.updates.validate_batch(raw)
+                validate_span = (
+                    validate_started,
+                    time.perf_counter() - validate_started,
+                )
                 if phase == "prepare":
                     self._staged_update = normalized
                     payload = {"prepared": True, "edges": len(normalized)}
                 else:
-                    payload = await self._apply_update(normalized)
+                    payload = await self._apply_update(
+                        normalized, started, validate_span
+                    )
         except Exception as exc:
             error = str(exc) or type(exc).__name__
             status = 409 if phase == "commit" else 400
@@ -1141,11 +1273,72 @@ class SPCServer:
             path=path, error=error, track_slo=False,
         )
 
-    async def _apply_update(self, normalized: list) -> dict:
-        """Apply a validated batch off-loop; invalidate poisoned keys."""
+    async def _apply_update(
+        self,
+        normalized: list,
+        ingest_started: Optional[float] = None,
+        validate_span: Optional[Tuple[float, float]] = None,
+    ) -> dict:
+        """Apply a validated batch off-loop; invalidate poisoned keys.
+
+        ``ingest_started`` is when the delta batch hit the socket —
+        the whole ingest → validation → overlay-apply → visible-epoch
+        path is measured from it into the ``live.freshness_ms``
+        histogram and, when tracing is on, recorded as a ``live.update``
+        span tree (``validate_span`` carries the validation phase's
+        ``(start, duration)`` when it ran in this request).
+        """
+        apply_started = time.perf_counter()
         report = await asyncio.get_running_loop().run_in_executor(
             self._update_executor, self.updates.apply_batch, normalized
         )
+        visible = time.perf_counter()
+        self._last_update_visible = visible
+        if ingest_started is not None:
+            self.recorder.observe(
+                "live.freshness_ms", (visible - ingest_started) * 1000.0
+            )
+            tracer = self.tracer
+            if tracer is not None:
+                ctx = TraceContext.generate()
+                tracer.record(
+                    "live.update",
+                    trace_id=ctx.trace_id,
+                    span_id=ctx.span_id,
+                    start=ingest_started,
+                    duration=visible - ingest_started,
+                    attrs={
+                        "epoch": report.epoch,
+                        "seqno": report.seqno,
+                        "edges": report.updated_edges,
+                    },
+                )
+                if validate_span is not None:
+                    tracer.record(
+                        "live.ingest",
+                        trace_id=ctx.trace_id,
+                        span_id=new_span_id(),
+                        parent_id=ctx.span_id,
+                        start=ingest_started,
+                        duration=validate_span[0] - ingest_started,
+                    )
+                    tracer.record(
+                        "live.validate",
+                        trace_id=ctx.trace_id,
+                        span_id=new_span_id(),
+                        parent_id=ctx.span_id,
+                        start=validate_span[0],
+                        duration=validate_span[1],
+                    )
+                tracer.record(
+                    "live.overlay_apply",
+                    trace_id=ctx.trace_id,
+                    span_id=new_span_id(),
+                    parent_id=ctx.span_id,
+                    start=apply_started,
+                    duration=visible - apply_started,
+                    attrs={"repaired_nodes": report.repaired_nodes},
+                )
         changed = report.changed_vertices
         dropped = 0
         if changed:
@@ -1484,6 +1677,11 @@ class SPCServer:
             )
             rec.gauge("live.epoch", state.epoch)
             rec.gauge("live.seqno", state.seqno)
+            if self._last_update_visible is not None:
+                rec.gauge(
+                    "live.staleness_s",
+                    time.perf_counter() - self._last_update_visible,
+                )
         wants_text = False
         if request is not None:
             fmt = request.params.get("format")
@@ -1502,6 +1700,77 @@ class SPCServer:
                 (("Content-Type", PROMETHEUS_CONTENT_TYPE),),
             )
         return 200, rec.metrics_snapshot(), ()
+
+    def _handle_trace(self, request: Request) -> Response:
+        """``POST /admin/trace``: read (and optionally clear) the ring.
+
+        ``format=chrome`` (default) returns a single-fragment merged
+        Chrome trace payload, viewable as-is; ``format=fragment``
+        returns the raw span fragment (pid, role, wall-clock anchor,
+        spans) — the form the fleet router collects from every worker
+        and merges into one cross-process trace.  ``clear=1`` drains
+        the ring so the next capture starts fresh.
+        """
+        if request.method != "POST":
+            return (
+                405,
+                {"error": "trace requires POST"},
+                (("Allow", "POST"),),
+            )
+        if self.tracer is None:
+            return (
+                409,
+                {"error": "tracing is disabled (trace_buffer = 0)"},
+                (),
+            )
+        fmt = request.params.get("format", "chrome")
+        if fmt not in ("chrome", "fragment"):
+            return (
+                400, {"error": "format must be 'chrome' or 'fragment'"}, ()
+            )
+        clear = request.params.get("clear", "").lower() in _TRUTHY
+        fragment = self.tracer.fragment(clear=clear)
+        if fmt == "fragment":
+            return 200, fragment, ()
+        return 200, merge_trace_fragments([fragment]), ()
+
+    def _top_pairs_block(self) -> dict:
+        """The workload-analytics block of ``/stats``.
+
+        ``sketch`` is the full serialized Space-Saving state (what the
+        fleet router merges across workers); ``top`` is a rendered
+        heaviest-first prefix; ``cache_attribution`` splits result-
+        cache lookups by whether the pair was already a tracked heavy
+        hitter — a hot set that misses the cache is sized wrong.
+        """
+        sketch = self.top_pairs
+        hot_lookups = self._hot_hits + self._hot_misses
+        tail_lookups = self._tail_hits + self._tail_misses
+        return {
+            "sketch": sketch.to_dict(),
+            "top": [
+                {"pair": list(key), "count": count, "error": error}
+                for key, count, error in sketch.top(20)
+            ],
+            "cache_attribution": {
+                "hot": {
+                    "hits": self._hot_hits,
+                    "misses": self._hot_misses,
+                    "hit_rate": (
+                        self._hot_hits / hot_lookups if hot_lookups else 0.0
+                    ),
+                },
+                "tail": {
+                    "hits": self._tail_hits,
+                    "misses": self._tail_misses,
+                    "hit_rate": (
+                        self._tail_hits / tail_lookups
+                        if tail_lookups
+                        else 0.0
+                    ),
+                },
+            },
+        }
 
     def _handle_stats(self) -> Response:
         slo_status, breaches, window = self._slo_state()
@@ -1527,7 +1796,23 @@ class SPCServer:
                 "pending": self.batcher.pending_count,
             }
         if self.updates is not None:
-            payload["live"] = self.updates.stats()
+            live = self.updates.stats()
+            if self._last_update_visible is not None:
+                live["staleness_s"] = (
+                    time.perf_counter() - self._last_update_visible
+                )
+            freshness = self.recorder.histograms.get("live.freshness_ms")
+            if freshness is not None:
+                live["freshness_ms"] = freshness.snapshot()
+            payload["live"] = live
+        if self.top_pairs is not None:
+            payload["top_pairs"] = self._top_pairs_block()
+        if self.tracer is not None:
+            payload["trace"] = {
+                "buffered": len(self.tracer),
+                "recorded": self.tracer.recorded,
+                "capacity": self.tracer.capacity,
+            }
         return 200, payload, ()
 
     # ------------------------------------------------------------------
@@ -1591,7 +1876,7 @@ class SPCServer:
                 "query needs integer 'source' and 'target' parameters"
             ) from exc
 
-    def _dispatch_query(self, request: Request, rid: str):
+    def _dispatch_query(self, request: Request, rid: str, trace=None):
         """Admit (or reject) one ``/query`` synchronously.
 
         Cache hits, malformed requests, and shed responses come back as
@@ -1611,9 +1896,12 @@ class SPCServer:
                 started=started,
                 method=request.method,
                 error=str(exc),
+                trace=trace,
             )
         if single is not None:
-            return self._query_entry(*single, rid, explain=explain)
+            return self._query_entry(
+                *single, rid, explain=explain, trace=trace
+            )
         if self._draining:
             self.recorder.incr("serve.shed.draining")
             return self._finish_request(
@@ -1623,6 +1911,7 @@ class SPCServer:
                 rid=rid,
                 started=started,
                 method=request.method,
+                trace=trace,
             )
         if self.queue_depth + len(pairs) > self.config.queue_high_water:
             self.recorder.incr("serve.shed", len(pairs))
@@ -1634,8 +1923,9 @@ class SPCServer:
                 rid=rid,
                 started=started,
                 method=request.method,
+                trace=trace,
             )
-        return self._answer_pairs(pairs, rid, started, explain)
+        return self._answer_pairs(pairs, rid, started, explain, trace)
 
     def _overloaded(self) -> Response:
         return (
@@ -1649,7 +1939,13 @@ class SPCServer:
         )
 
     def _query_entry(
-        self, source: int, target: int, rid: str, *, explain: bool = False
+        self,
+        source: int,
+        target: int,
+        rid: str,
+        *,
+        explain: bool = False,
+        trace=None,
     ):
         """Drain/shed/cache-check one pair; ready tuple or waiter.
 
@@ -1667,6 +1963,7 @@ class SPCServer:
                 started=started,
                 source=source,
                 target=target,
+                trace=trace,
             )
         if self.queue_depth >= self.config.queue_high_water:
             self.recorder.incr("serve.shed")
@@ -1679,8 +1976,27 @@ class SPCServer:
                 started=started,
                 source=source,
                 target=target,
+                trace=trace,
             )
         cached = self.cache.get(source, target)
+        if self.top_pairs is not None:
+            # Workload analytics: count the pair and attribute this
+            # cache lookup to the heavy-hitter set or the tail (the
+            # offer's membership return is free).  The symmetric key is
+            # built inline — this runs once per query.
+            key = (
+                (source, target) if source <= target
+                else (target, source)
+            )
+            if self.top_pairs.offer(key):
+                if cached is not None:
+                    self._hot_hits += 1
+                else:
+                    self._hot_misses += 1
+            elif cached is not None:
+                self._tail_hits += 1
+            else:
+                self._tail_misses += 1
         if cached is not None:
             if explain:
                 payload = encode_result(source, target, cached)
@@ -1699,8 +2015,9 @@ class SPCServer:
                 source=source,
                 target=target,
                 cache_hit=True,
+                trace=trace,
             )
-        return self._admit(source, target, rid, started, explain)
+        return self._admit(source, target, rid, started, explain, trace)
 
     def _admit(
         self,
@@ -1709,13 +2026,24 @@ class SPCServer:
         rid: str,
         started: float,
         explain: bool,
+        trace=None,
     ):
         """Take a queue slot and start the scan; returns the waiter."""
         self._inflight += 1
         self.recorder.gauge_max("serve.queue.depth.max", self._inflight)
         meta = (
-            {} if (explain or self.request_log is not None) else None
+            {}
+            if (
+                explain
+                or self.request_log is not None
+                or trace is not None
+            )
+            else None
         )
+        if trace is not None and meta is not None:
+            # The coalescer parents its scan_batch span to the request
+            # span created in _finish_request — hand it the ids now.
+            meta["trace"] = (trace[0], trace[1])
         future, via_fallback = self._compute(source, target, meta)
         return _Waiter(
             self,
@@ -1727,6 +2055,7 @@ class SPCServer:
             meta,
             explain,
             via_fallback,
+            trace,
         )
 
     async def _answer_pairs(
@@ -1735,13 +2064,24 @@ class SPCServer:
         rid: str,
         started: float,
         explain: bool,
+        trace=None,
     ) -> Response:
         """A POST batch: each pair rides the normal entry path with a
         derived id (``<rid>/<slot>``), so batch members correlate in
-        the logs while the envelope keeps the client's id."""
+        the logs while the envelope keeps the client's id.  On a traced
+        request, each member gets its own span parented under the
+        envelope's request span."""
         results = await asyncio.gather(
             *(
-                self._answer_single(s, t, f"{rid}/{slot}", explain)
+                self._answer_single(
+                    s,
+                    t,
+                    f"{rid}/{slot}",
+                    explain,
+                    None
+                    if trace is None
+                    else (trace[0], new_span_id(), trace[1]),
+                )
                 for slot, (s, t) in enumerate(pairs)
             )
         )
@@ -1754,13 +2094,16 @@ class SPCServer:
             started=started,
             method="POST",
             track_slo=False,  # members were tracked individually
+            trace=trace,
         )
 
     async def _answer_single(
-        self, source: int, target: int, rid: str, explain: bool
+        self, source: int, target: int, rid: str, explain: bool, trace=None
     ) -> Response:
         """One pair of a POST batch, payload as a JSON-able dict."""
-        entry = self._query_entry(source, target, rid, explain=explain)
+        entry = self._query_entry(
+            source, target, rid, explain=explain, trace=trace
+        )
         status, payload, extra = (
             entry if type(entry) is tuple else await entry
         )
@@ -1794,6 +2137,7 @@ class SPCServer:
                 target=w.target,
                 meta=w.meta,
                 error="deadline exceeded",
+                trace=w.trace,
             )
         except ReproError as exc:
             self.recorder.incr("serve.errors.query")
@@ -1836,6 +2180,7 @@ class SPCServer:
             target=w.target,
             meta=w.meta,
             error=str(exc),
+            trace=w.trace,
         )
 
     def _scan_failure(self, w: "_Waiter", exc: Exception) -> Response:
@@ -1865,6 +2210,7 @@ class SPCServer:
             target=w.target,
             meta=w.meta,
             error=detail,
+            trace=w.trace,
         )
 
     def _finish_ok(self, w: "_Waiter", result: QueryResult) -> Response:
@@ -1900,6 +2246,7 @@ class SPCServer:
             cache_hit=cache_hit,
             meta=w.meta,
             labels_scanned=labels_scanned,
+            trace=w.trace,
         )
 
     def _compute(

@@ -133,6 +133,48 @@ def render_dashboard(
             f"  misses {cache.get('misses', 0)}"
             f"  hit-rate {cache.get('hit_rate', 0.0) * 100:.1f}%"
         )
+    live = stats.get("live")
+    if isinstance(live, dict):
+        freshness = (
+            f"  staleness {live['staleness_s']:.1f}s"
+            if "staleness_s" in live
+            else ""
+        )
+        lines.append(
+            "live:"
+            f"  epoch {live.get('epoch', 0)}"
+            f"  seqno {live.get('seqno', 0)}"
+            f"  overlay {live.get('overlay_entries', 0)}"
+            + freshness
+        )
+    fleet = stats.get("fleet")
+    if isinstance(fleet, dict) and isinstance(
+        fleet.get("per_worker"), list
+    ):
+        # Against a fleet router /stats carries one row per worker —
+        # the at-a-glance answer to "which worker is slow or stale".
+        lines.append("")
+        lines.append(
+            f"fleet ({fleet.get('reporting', '?')}/"
+            f"{fleet.get('workers', '?')} workers reporting):"
+        )
+        lines.append(
+            "  worker       qps    p99 ms  cache-hit"
+            "   epoch-lag  seqno-lag"
+        )
+        for row in fleet["per_worker"]:
+            line = (
+                f"  {row.get('worker', '?'):>6}"
+                f"  {row.get('qps', 0.0):>8.1f}"
+                f"  {row.get('p99_ms', 0.0):>8.3f}"
+                f"  {row.get('cache_hit_rate', 0.0) * 100:>8.2f}%"
+            )
+            if "epoch_lag" in row:
+                line += (
+                    f"  {row['epoch_lag']:>10}"
+                    f"  {row.get('seqno_lag', 0):>9}"
+                )
+            lines.append(line)
     batch = histograms.get("serve.batch.size")
     if batch and batch.get("count"):
         lines.append("")

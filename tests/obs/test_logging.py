@@ -219,22 +219,22 @@ class TestRequestLog:
                     "scan_s": 0.0015}
             rows = [
                 (f"r{i}", "GET", "/query", 200, 0.001, 1, 2, None,
-                 meta, None, None)
+                 meta, None, None, None)
                 for i in range(30)
             ]
             rows.append(
                 ("slow", "GET", "/query", 200, 0.5, 3, 4, None, meta,
-                 17, None)
+                 17, None, None)
             )
             rows.append(
                 ("failed", "GET", "/query", 504, 0.001, 5, 6, None,
-                 None, None, "deadline exceeded")
+                 None, None, "deadline exceeded", None)
             )
             if batched:
                 log.log_batch(rows)
             else:
                 for (rid, method, path, status, latency_s, source,
-                     target, cache_hit, m, labels, error) in rows:
+                     target, cache_hit, m, labels, error, tid) in rows:
                     log.log_request(
                         request_id=rid, method=method, path=path,
                         status=status, latency_s=latency_s,
@@ -246,6 +246,7 @@ class TestRequestLog:
                         ),
                         scan_s=m.get("scan_s") if m else None,
                         labels_scanned=labels, error=error,
+                        trace_id=tid,
                     )
             return _records(stream), log.sampled_out
 
@@ -264,7 +265,7 @@ class TestRequestLog:
         log = self._log(stream, sample_every=2, seed=0)
         rows = [
             (f"r{i}", "GET", "/query", 200, 0.001, 1, 2, None, None,
-             None, None)
+             None, None, None)
             for i in range(10)
         ]
         log.log_batch(rows, presampled=True)

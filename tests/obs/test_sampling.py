@@ -128,3 +128,29 @@ class TestProfileFor:
     def test_bad_seconds_rejected(self):
         with pytest.raises(ProfilerError):
             profile_for(0)
+
+
+class TestSharedClockBase:
+    def test_epoch_offset_positions_capture_on_the_span_clock(self):
+        from repro.obs.tracing import CLOCK_EPOCH
+
+        import time as _time
+
+        before = _time.perf_counter() - CLOCK_EPOCH
+        profiler = profile_for(0.05, interval_s=0.005)
+        after = _time.perf_counter() - CLOCK_EPOCH
+        # The capture started between the two readings, measured on
+        # the same CLOCK_EPOCH base the span collector uses.
+        assert before <= profiler.epoch_offset_s <= after
+
+    def test_chrome_trace_lanes_start_at_the_epoch_offset(self, busy_thread):
+        profiler = profile_for(0.05, interval_s=0.005)
+        payload = profiler.chrome_trace()
+        base_us = profiler.epoch_offset_s * 1e6
+        starts = {}
+        for event in payload["traceEvents"]:
+            tid = event["tid"]
+            starts[tid] = min(starts.get(tid, float("inf")), event["ts"])
+        assert starts
+        for first in starts.values():
+            assert first == pytest.approx(base_us, abs=1.0)

@@ -1,0 +1,184 @@
+"""Property tests for the Space-Saving heavy-hitter sketch.
+
+The sketch's contract (Metwally et al.): with capacity ``k`` over a
+stream of ``N`` observations, every key's estimate over-counts by at
+most ``N/k``, any key whose true count exceeds ``N/k`` is guaranteed
+tracked, and sketches merge by the mergeable-summaries rule without
+losing those bounds.  The tests drive both a zipf-skewed stream (the
+workload the sketch is built for) and an adversarial near-uniform one
+(the worst case for any counter-based summary), plus merge
+associativity across 2-4 sketches.
+"""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.obs.sketch import SpaceSaving, pair_key
+
+
+def zipf_stream(n, universe, seed, exponent=1.2):
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) ** exponent for rank in range(universe)]
+    return rng.choices(range(universe), weights=weights, k=n)
+
+
+def uniform_stream(n, universe, seed):
+    """Adversarial for a counter sketch: nothing is actually heavy."""
+    rng = random.Random(seed)
+    return [rng.randrange(universe) for _ in range(n)]
+
+
+def check_bounds(sketch, truth):
+    """The Space-Saving guarantees, asserted key by key."""
+    n = sum(truth.values())
+    bound = n / sketch.capacity
+    tracked = {key for key, _, _ in sketch.top()}
+    for key, _, error in sketch.top():
+        assert error <= bound + 1e-9
+    for key, true_count in truth.items():
+        estimate, error = sketch.estimate(key)
+        # Never an under-estimate; over-count bounded by the per-key
+        # error (tracked) or the untracked bound (evicted).
+        assert estimate >= true_count or key not in tracked
+        if key in tracked:
+            assert estimate - error <= true_count <= estimate
+        else:
+            assert true_count <= sketch.untracked_bound + 1e-9
+        # Any key heavier than N/k is guaranteed to be tracked.
+        if true_count > bound:
+            assert key in tracked, (key, true_count, bound)
+
+
+class TestErrorBound:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_zipf_stream(self, seed):
+        stream = zipf_stream(20_000, 5_000, seed)
+        sketch = SpaceSaving(64)
+        for key in stream:
+            sketch.offer(key)
+        assert sketch.total == len(stream)
+        check_bounds(sketch, Counter(stream))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_adversarial_uniform_stream(self, seed):
+        stream = uniform_stream(20_000, 1_000, seed)
+        sketch = SpaceSaving(64)
+        for key in stream:
+            sketch.offer(key)
+        check_bounds(sketch, Counter(stream))
+
+    def test_top_heavy_hitters_surface_in_order(self):
+        stream = zipf_stream(30_000, 5_000, seed=7, exponent=1.5)
+        sketch = SpaceSaving(128)
+        for key in stream:
+            sketch.offer(key)
+        truth = Counter(stream)
+        want = [key for key, _ in truth.most_common(5)]
+        got = [key for key, _, _ in sketch.top(5)]
+        # The true top-5 of a strongly skewed stream is unambiguous
+        # at this capacity; order may differ only among near-ties.
+        assert set(want) == set(got)
+        assert got[0] == want[0]
+
+    def test_offer_reports_prior_membership(self):
+        sketch = SpaceSaving(2)
+        assert sketch.offer("a") is False  # first sighting
+        assert sketch.offer("a") is True
+        sketch.offer("b")
+        sketch.offer("c")  # evicts something
+        tracked = {key for key, _, _ in sketch.top()}
+        assert "c" in tracked and len(tracked) == 2
+
+
+class TestMerge:
+    def _sketches(self, parts, capacity=48):
+        sketches = []
+        for part in parts:
+            sketch = SpaceSaving(capacity)
+            for key in part:
+                sketch.offer(key)
+            sketches.append(sketch)
+        return sketches
+
+    @pytest.mark.parametrize("ways", [2, 3, 4])
+    def test_merge_keeps_bounds_over_worker_shards(self, ways):
+        stream = zipf_stream(24_000, 4_000, seed=11)
+        shards = [stream[lane::ways] for lane in range(ways)]
+        merged = SpaceSaving.merge(self._sketches(shards))
+        assert merged.total == len(stream)
+        truth = Counter(stream)
+        n = len(stream)
+        bound = n / merged.capacity
+        tracked = {key for key, _, _ in merged.top()}
+        for key, true_count in truth.items():
+            estimate, error = merged.estimate(key)
+            if key in tracked:
+                assert estimate >= true_count
+                # Merged per-key error inflates by each shard's own
+                # bound: still O(ways * N/k), never unbounded.
+                assert estimate - true_count <= ways * bound + 1e-9
+            else:
+                assert true_count <= merged.untracked_bound + 1e-9
+
+    @pytest.mark.parametrize("ways", [3, 4])
+    def test_merge_is_associative_up_to_the_error_bound(self, ways):
+        stream = zipf_stream(16_000, 2_000, seed=23, exponent=1.4)
+        shards = [stream[lane::ways] for lane in range(ways)]
+        flat = SpaceSaving.merge(self._sketches(shards))
+        left = self._sketches(shards)
+        folded = left[0]
+        for nxt in left[1:]:
+            folded = SpaceSaving.merge([folded, nxt])
+        assert folded.total == flat.total == len(stream)
+        # Both groupings must report every true heavy hitter and agree
+        # on each tracked key within the summed error bounds.
+        truth = Counter(stream)
+        bound = len(stream) / flat.capacity
+        heavy = {k for k, c in truth.items() if c > ways * bound}
+        flat_keys = {key for key, _, _ in flat.top()}
+        folded_keys = {key for key, _, _ in folded.top()}
+        assert heavy <= flat_keys
+        assert heavy <= folded_keys
+        for key in heavy:
+            flat_est, flat_err = flat.estimate(key)
+            folded_est, folded_err = folded.estimate(key)
+            assert abs(flat_est - folded_est) <= flat_err + folded_err
+
+    def test_merge_with_empty_sketch_is_identity_on_estimates(self):
+        stream = zipf_stream(2_000, 200, seed=3)
+        (sketch,) = self._sketches([stream])
+        merged = SpaceSaving.merge([sketch, SpaceSaving(48)])
+        for key, count, error in sketch.top(10):
+            estimate, merged_error = merged.estimate(key)
+            assert estimate == count
+            assert merged_error >= error
+
+    def test_round_trip_through_dict_then_merge(self):
+        stream = zipf_stream(6_000, 600, seed=9)
+        half = len(stream) // 2
+        a, b = self._sketches([stream[:half], stream[half:]])
+        revived = SpaceSaving.from_dict(a.to_dict())
+        assert revived.total == a.total
+        assert revived.top(10) == a.top(10)
+        merged = SpaceSaving.merge([revived, b])
+        assert merged.total == len(stream)
+
+    def test_pair_keys_survive_json_round_trip(self):
+        sketch = SpaceSaving(8)
+        sketch.offer(pair_key(5, 2))
+        sketch.offer(pair_key(2, 5))  # symmetric: same slot
+        import json
+
+        revived = SpaceSaving.from_dict(
+            json.loads(json.dumps(sketch.to_dict()))
+        )
+        estimate, _ = revived.estimate((2, 5))
+        assert estimate == 2
+
+
+class TestPairKey:
+    def test_symmetric_and_ordered(self):
+        assert pair_key(7, 3) == (3, 7) == pair_key(3, 7)
+        assert pair_key(4, 4) == (4, 4)

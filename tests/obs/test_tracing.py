@@ -99,3 +99,222 @@ class TestValidateChromeTrace:
         assert any("'ts' is not a non-negative number" in p for p in problems)
         assert any("'tid' is not an integer" in p for p in problems)
         assert any("'args' is not an object" in p for p in problems)
+
+
+# ----------------------------------------------------------------------
+# distributed tracing: context, collector, fragment merge
+# ----------------------------------------------------------------------
+from repro.obs.tracing import (  # noqa: E402
+    CLOCK_EPOCH,
+    SpanCollector,
+    TraceContext,
+    cross_process_links,
+    merge_trace_fragments,
+    new_span_id,
+)
+
+
+class TestTraceContext:
+    def test_generate_round_trips_through_header(self):
+        ctx = TraceContext.generate()
+        parsed = TraceContext.parse(ctx.to_header())
+        assert parsed == ctx
+        assert parsed.sampled is True
+
+    def test_unsampled_flag_round_trips(self):
+        ctx = TraceContext.generate(sampled=False)
+        assert ctx.to_header().endswith("-00")
+        assert TraceContext.parse(ctx.to_header()).sampled is False
+
+    def test_child_keeps_trace_id_with_fresh_span_id(self):
+        ctx = TraceContext.generate()
+        child = ctx.child()
+        assert child.trace_id == ctx.trace_id
+        assert child.span_id != ctx.span_id
+        assert child.sampled is ctx.sampled
+
+    def test_parse_accepts_the_w3c_example(self):
+        header = (
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+        )
+        ctx = TraceContext.parse(header)
+        assert ctx is not None
+        assert ctx.trace_id == "4bf92f3577b34da6a3ce929d0e0e4736"
+        assert ctx.span_id == "00f067aa0ba902b7"
+        assert ctx.sampled is True
+
+    def test_parse_rejects_malformed_headers(self):
+        good = TraceContext.generate()
+        zero_trace = f"00-{'0' * 32}-{good.span_id}-01"
+        zero_span = f"00-{good.trace_id}-{'0' * 16}-01"
+        for bad in (
+            None,
+            "",
+            "garbage",
+            "00-short-00f067aa0ba902b7-01",
+            f"ff-{good.trace_id}-{good.span_id}-01",  # version ff
+            f"00-{good.trace_id.upper()}-{good.span_id}-01",  # uppercase
+            zero_trace,
+            zero_span,
+            f"00-{good.trace_id}-{good.span_id}",  # missing flags
+            f"00-{good.trace_id}-{good.span_id}-zz",
+        ):
+            assert TraceContext.parse(bad) is None, bad
+
+    def test_new_span_ids_are_distinct_hex(self):
+        ids = {new_span_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(len(i) == 16 and int(i, 16) >= 0 for i in ids)
+
+
+class TestSpanCollector:
+    def _record(self, collector, name="s", **kw):
+        import time
+
+        collector.record(
+            name,
+            trace_id=kw.get("trace_id", "a" * 32),
+            span_id=kw.get("span_id", new_span_id()),
+            parent_id=kw.get("parent_id"),
+            start=kw.get("start", time.perf_counter()),
+            duration=kw.get("duration", 0.001),
+            attrs=kw.get("attrs"),
+        )
+
+    def test_ring_keeps_only_the_most_recent_spans(self):
+        collector = SpanCollector(4)
+        for i in range(10):
+            self._record(collector, name=f"s{i}")
+        assert len(collector) == 4
+        assert collector.recorded == 10
+        names = [s["name"] for s in collector.fragment()["spans"]]
+        assert names == ["s6", "s7", "s8", "s9"]
+
+    def test_fragment_clear_drains_the_ring(self):
+        collector = SpanCollector(8, role="worker-1")
+        self._record(collector)
+        fragment = collector.fragment(clear=True)
+        assert fragment["role"] == "worker-1"
+        assert len(fragment["spans"]) == 1
+        assert len(collector) == 0
+        assert collector.recorded == 1  # lifetime counter survives
+
+    def test_start_is_rebased_onto_the_clock_epoch(self):
+        import time
+
+        collector = SpanCollector(8)
+        now = time.perf_counter()
+        self._record(collector, start=now)
+        (span,) = collector.fragment()["spans"]
+        assert abs(span["start"] - (now - CLOCK_EPOCH)) < 1e-9
+
+    def test_capacity_must_be_positive(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            SpanCollector(0)
+
+
+def _fragment(pid, role, wall, spans):
+    return {
+        "pid": pid,
+        "role": role,
+        "wall_at_epoch": wall,
+        "capacity": 64,
+        "recorded": len(spans),
+        "spans": spans,
+    }
+
+
+def _span(name, trace_id, span_id, parent_id=None, start=0.0,
+          duration=0.001):
+    return {
+        "name": name,
+        "trace_id": trace_id,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "start": start,
+        "duration": duration,
+        "tid": 1,
+        "attrs": {},
+    }
+
+
+class TestMergeTraceFragments:
+    def test_merged_payload_validates_with_metadata_events(self):
+        trace_id = "b" * 32
+        payload = merge_trace_fragments(
+            [
+                _fragment(
+                    100, "router", 1000.0,
+                    [_span("fleet.request", trace_id, "1" * 16)],
+                ),
+                _fragment(
+                    200, "worker-0", 1000.0,
+                    [_span("serve.request", trace_id, "2" * 16,
+                           parent_id="1" * 16)],
+                ),
+            ]
+        )
+        assert validate_chrome_trace(payload) == []
+        metas = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        assert {m["args"]["name"] for m in metas} == {
+            "router", "worker-0"
+        }
+
+    def test_clock_offset_shifts_fragments_onto_one_timeline(self):
+        # Worker anchor is 2.5 s later than the router's: a span at
+        # the same local offset must land 2.5 s later after the merge.
+        trace_id = "c" * 32
+        payload = merge_trace_fragments(
+            [
+                _fragment(1, "router", 1000.0,
+                          [_span("a", trace_id, "1" * 16, start=1.0)]),
+                _fragment(2, "worker-0", 1002.5,
+                          [_span("b", trace_id, "2" * 16, start=1.0)]),
+            ]
+        )
+        spans = {
+            e["name"]: e
+            for e in payload["traceEvents"]
+            if e["ph"] == "X"
+        }
+        assert spans["b"]["ts"] - spans["a"]["ts"] == 2_500_000.0
+
+    def test_cross_process_links_resolved_by_span_ids(self):
+        trace_id = "d" * 32
+        payload = merge_trace_fragments(
+            [
+                _fragment(
+                    1, "router", 1000.0,
+                    [_span("fleet.request", trace_id, "a1" * 8)],
+                ),
+                _fragment(
+                    2, "worker-0", 1000.0,
+                    [
+                        _span("serve.request", trace_id, "b2" * 8,
+                              parent_id="a1" * 8),
+                        # Same-process child: not a cross-process link.
+                        _span("serve.scan_batch", trace_id, "c3" * 8,
+                              parent_id="b2" * 8),
+                    ],
+                ),
+            ]
+        )
+        links = cross_process_links(payload)
+        assert len(links) == 1
+        parent, child = links[0]
+        assert parent["name"] == "fleet.request"
+        assert child["name"] == "serve.request"
+        assert parent["pid"] != child["pid"]
+
+    def test_empty_and_malformed_fragments_are_skipped(self):
+        assert merge_trace_fragments([]) == {
+            "displayTimeUnit": "ms",
+            "traceEvents": [],
+        }
+        payload = merge_trace_fragments(
+            ["nonsense", {"pid": 3}, _fragment(1, "router", 5.0, [])]
+        )
+        assert validate_chrome_trace(payload) == []
+        assert len(payload["traceEvents"]) == 1  # just the metadata

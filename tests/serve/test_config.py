@@ -32,6 +32,9 @@ def test_defaults_are_valid():
         {"switch_interval_s": -1e-3},
         {"breaker_threshold": -1},
         {"breaker_cooldown_s": -0.1},
+        {"trace_buffer": -1},
+        {"trace_sample_every": -1},
+        {"top_pairs_capacity": -1},
     ],
 )
 def test_out_of_range_values_raise(kwargs):

@@ -357,3 +357,103 @@ class TestFleetLifecycle:
             http.client.HTTPConnection(
                 host, port, timeout=2.0
             ).request("GET", "/health")
+
+
+class TestFleetTracing:
+    """The acceptance criterion: one merged Chrome trace for the fleet
+    in which a router span parents a worker-side span across process
+    boundaries."""
+
+    def test_merged_trace_links_router_to_worker_spans(
+        self, fleet, workload
+    ):
+        from repro.obs import cross_process_links, validate_chrome_trace
+
+        host, port = fleet
+        # Client stamps every request with a sampled traceparent, so
+        # tracing is deterministic regardless of head-sampling knobs.
+        replay(host, port, workload[:40], concurrency=4, trace_every=1)
+        status, body = _http(
+            host, port, "POST", "/admin/trace?format=chrome&clear=1"
+        )
+        assert status == 200
+        payload = json.loads(body)
+        assert validate_chrome_trace(payload) == []
+        assert payload["fleet"] == {"workers": 2, "reporting": 2}
+        spans = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        roles = {
+            e["args"]["name"]
+            for e in payload["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert "router" in roles
+        assert {"worker-0", "worker-1"} & roles
+        by_span_id = {s["args"]["span_id"]: s for s in spans}
+        links = cross_process_links(payload)
+        assert links, "no cross-process parent/child link in the trace"
+        # At least one link must be the router's request span parenting
+        # the worker-side request span of the same trace.
+        router_to_worker = [
+            (parent, child)
+            for parent, child in links
+            if parent["name"] == "fleet.request"
+            and child["name"] == "serve.request"
+            and parent["args"]["trace_id"] == child["args"]["trace_id"]
+        ]
+        assert router_to_worker, links[:3]
+        parent, child = router_to_worker[0]
+        assert child["args"]["parent_id"] == parent["args"]["span_id"]
+        assert parent["pid"] != child["pid"]
+        # The worker's scan span hangs off its request span in turn.
+        scans = [s for s in spans if s["name"] == "serve.scan_batch"]
+        assert any(
+            by_span_id.get(s["args"]["parent_id"], {}).get("name")
+            == "serve.request"
+            for s in scans
+        )
+
+    def test_fragment_format_returns_router_fragment(self, fleet):
+        host, port = fleet
+        status, body = _http(
+            host, port, "POST", "/admin/trace?format=fragment"
+        )
+        assert status == 200
+        fragment = json.loads(body)
+        assert fragment["role"] == "router"
+        assert "wall_at_epoch" in fragment
+
+    def test_trace_capture_requires_post(self, fleet):
+        host, port = fleet
+        status, _ = _http(host, port, "GET", "/admin/trace")
+        assert status == 405
+
+
+class TestFleetAnalytics:
+    def test_stats_carry_per_worker_rows_and_merged_top_pairs(
+        self, fleet, workload
+    ):
+        host, port = fleet
+        hot = workload[0]
+        for _ in range(25):
+            _http(
+                host, port, "GET",
+                f"/query?source={hot[0]}&target={hot[1]}",
+            )
+        status, body = _http(host, port, "GET", "/stats")
+        assert status == 200
+        payload = json.loads(body)
+        fleet_block = payload["fleet"]
+        assert fleet_block["workers"] == 2
+        rows = fleet_block["per_worker"]
+        assert len(rows) == fleet_block["reporting"]
+        for row in rows:
+            assert {"worker", "requests", "qps", "p99_ms",
+                    "cache_hit_rate"} <= set(row)
+        top = payload["top_pairs"]
+        assert top["sketch"]["total"] > 0
+        hot_key = sorted(hot)
+        assert hot_key in [entry["pair"] for entry in top["top"]]
+        attribution = top["cache_attribution"]
+        assert attribution["hot"]["hits"] + attribution["hot"][
+            "misses"
+        ] > 0

@@ -332,3 +332,47 @@ class TestFleet:
         assert rebuilt, stats["live"]
         assert stats["live"]["epoch"] >= 2
         _assert_parity(host, port, mirror, seed=70)
+
+
+class TestFreshnessTelemetry:
+    """The ingest → validate → apply → visible pipeline is observable."""
+
+    def test_update_populates_freshness_histogram(self, graph):
+        thread, _ = _live_server(graph)
+        with thread as (host, port):
+            batch = synthesize_deltas(graph, batches=1, seed=21)[0]
+            _http(
+                host, port, "POST", "/admin/update",
+                {"updates": [list(u) for u in batch.updates]},
+            )
+            _, metrics = _http(host, port, "GET", "/metrics")
+            _, stats = _http(host, port, "GET", "/stats")
+        freshness = metrics["histograms"]["live.freshness_ms"]
+        assert freshness["count"] >= 1
+        assert freshness["max"] >= 0.0
+        live = stats["live"]
+        assert live["staleness_s"] >= 0.0
+        assert live["freshness_ms"]["count"] >= 1
+
+    def test_update_pipeline_is_traced(self, graph):
+        thread, _ = _live_server(graph)
+        with thread as (host, port):
+            batch = synthesize_deltas(graph, batches=1, seed=22)[0]
+            _http(
+                host, port, "POST", "/admin/update",
+                {"updates": [list(u) for u in batch.updates]},
+            )
+            status, fragment = _http(
+                host, port, "POST", "/admin/trace?format=fragment"
+            )
+        assert status == 200
+        spans = {s["name"]: s for s in fragment["spans"]}
+        for stage in ("live.ingest", "live.validate",
+                      "live.overlay_apply"):
+            assert stage in spans, sorted(spans)
+            assert spans[stage]["parent_id"] == (
+                spans["live.update"]["span_id"]
+            )
+            assert spans[stage]["trace_id"] == (
+                spans["live.update"]["trace_id"]
+            )

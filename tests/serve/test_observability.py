@@ -484,3 +484,188 @@ class TestHealthReadiness:
             status, _, payload = _get(host, port, "/health")
         assert status == 200
         assert payload["status"] == "ok"
+
+
+class TestDistributedTracing:
+    def test_capture_validates_and_links_scan_spans(self, index, workload):
+        from repro.obs import validate_chrome_trace
+
+        config = dict(trace_sample_every=1)  # trace every request
+        with ServerThread(
+            index, ServeConfig(port=0, **config)
+        ) as (host, port):
+            replay(host, port, workload[:30], concurrency=4)
+            status, _, payload = _post(host, port, "/admin/trace", {})
+        assert status == 200
+        assert validate_chrome_trace(payload) == []
+        spans = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        requests = [s for s in spans if s["name"] == "serve.request"]
+        scans = [s for s in spans if s["name"] == "serve.scan_batch"]
+        assert len(requests) == 30
+        assert scans, "coalesced scans must be traced"
+        # Every scan span is parented to a traced request span of the
+        # same trace (explicit ids, not just time containment).
+        by_id = {
+            (s["args"]["trace_id"], s["args"]["span_id"]): s
+            for s in requests
+        }
+        for scan in scans:
+            parent = by_id.get(
+                (scan["args"]["trace_id"], scan["args"]["parent_id"])
+            )
+            assert parent is not None
+            assert scan["args"]["batch_size"] >= 1
+            assert scan["args"]["flush_reason"]
+
+    def test_inbound_sampled_traceparent_is_honoured(self, index):
+        from repro.obs import TraceContext
+
+        ctx = TraceContext.generate()
+        # Local sampling off: only propagated contexts are traced.
+        with ServerThread(
+            index, ServeConfig(port=0, trace_sample_every=0)
+        ) as (host, port):
+            _get(host, port, "/query?source=1&target=2",
+                 headers=[("traceparent", ctx.to_header())])
+            _get(host, port, "/query?source=3&target=4")  # untraced
+            status, _, fragment = _post(
+                host, port, "/admin/trace?format=fragment", {}
+            )
+        assert status == 200
+        assert fragment["pid"] > 0
+        spans = [
+            s for s in fragment["spans"]
+            if s["name"] == "serve.request"
+        ]
+        assert len(spans) == 1
+        (span,) = spans
+        assert span["trace_id"] == ctx.trace_id
+        assert span["parent_id"] == ctx.span_id  # child of the client
+        assert span["span_id"] != ctx.span_id
+
+    def test_unsampled_traceparent_suppresses_tracing(self, index):
+        from repro.obs import TraceContext
+
+        ctx = TraceContext.generate(sampled=False)
+        with ServerThread(
+            index, ServeConfig(port=0, trace_sample_every=1)
+        ) as (host, port):
+            _get(host, port, "/query?source=1&target=2",
+                 headers=[("traceparent", ctx.to_header())])
+            _, _, fragment = _post(
+                host, port, "/admin/trace?format=fragment", {}
+            )
+        assert all(
+            s["trace_id"] != ctx.trace_id for s in fragment["spans"]
+        )
+
+    def test_disabled_tracing_rejects_capture(self, index):
+        with ServerThread(
+            index, ServeConfig(port=0, trace_buffer=0)
+        ) as (host, port):
+            status, _, payload = _post(host, port, "/admin/trace", {})
+        assert status == 409
+        assert "disabled" in payload["error"]
+
+    def test_capture_requires_post_and_known_format(self, index):
+        with ServerThread(index, ServeConfig(port=0)) as (host, port):
+            status, headers, _ = _get(host, port, "/admin/trace")
+            assert status == 405
+            assert headers.get("allow") == "POST"
+            status, _, payload = _post(
+                host, port, "/admin/trace?format=nonsense", {}
+            )
+            assert status == 400
+
+    def test_trace_id_stamps_access_log_records(self, index):
+        from repro.obs import TraceContext
+
+        ctx = TraceContext.generate()
+        stream = io.StringIO()
+        thread = _server(index, stream, trace_sample_every=0)
+        with thread as (host, port):
+            _get(host, port, "/query?source=1&target=2",
+                 headers=[("traceparent", ctx.to_header())])
+            _get(host, port, "/query?source=3&target=4")
+        records = [
+            r for r in _log_records(stream) if r["event"] == "access"
+        ]
+        assert len(records) == 2
+        traced = [r for r in records if r.get("trace_id")]
+        assert len(traced) == 1
+        assert traced[0]["trace_id"] == ctx.trace_id
+
+    def test_stats_reports_ring_occupancy(self, index):
+        with ServerThread(
+            index, ServeConfig(port=0, trace_sample_every=1)
+        ) as (host, port):
+            _get(host, port, "/query?source=1&target=2")
+            _, _, stats = _get(host, port, "/stats")
+        trace = stats["trace"]
+        assert trace["capacity"] == 4096
+        assert trace["recorded"] >= 1
+        assert trace["buffered"] >= 1
+
+    def test_clear_drains_the_ring(self, index):
+        with ServerThread(
+            index, ServeConfig(port=0, trace_sample_every=1)
+        ) as (host, port):
+            _get(host, port, "/query?source=1&target=2")
+            _post(host, port, "/admin/trace?clear=1", {})
+            _, _, fragment = _post(
+                host, port, "/admin/trace?format=fragment", {}
+            )
+        assert fragment["spans"] == []
+
+
+class TestTopPairs:
+    def test_heavy_pair_surfaces_with_cache_attribution(self, index):
+        hot = (1, 2)
+        with ServerThread(index, ServeConfig(port=0)) as (host, port):
+            for _ in range(40):
+                _get(
+                    host, port,
+                    f"/query?source={hot[0]}&target={hot[1]}",
+                )
+            for s in range(3, 23):
+                _get(host, port, f"/query?source={s}&target={s + 1}")
+            _, _, stats = _get(host, port, "/stats")
+        block = stats["top_pairs"]
+        assert block["sketch"]["total"] == 60
+        top_pairs = [tuple(entry["pair"]) for entry in block["top"]]
+        assert top_pairs[0] == hot
+        attribution = block["cache_attribution"]
+        # The hot pair was cached after its first miss: heavy hitters
+        # must show near-perfect cache efficiency, the tail none.
+        assert attribution["hot"]["hits"] >= 38
+        assert attribution["hot"]["hit_rate"] > 0.9
+        assert attribution["tail"]["hits"] == 0
+
+    def test_symmetric_pairs_share_one_slot(self, index):
+        with ServerThread(index, ServeConfig(port=0)) as (host, port):
+            _get(host, port, "/query?source=5&target=9")
+            _get(host, port, "/query?source=9&target=5")
+            _, _, stats = _get(host, port, "/stats")
+        (entry,) = stats["top_pairs"]["top"]
+        assert entry["pair"] == [5, 9]
+        assert entry["count"] == 2
+
+    def test_disabled_sketch_omits_the_block(self, index):
+        with ServerThread(
+            index, ServeConfig(port=0, top_pairs_capacity=0)
+        ) as (host, port):
+            _get(host, port, "/query?source=1&target=2")
+            _, _, stats = _get(host, port, "/stats")
+        assert "top_pairs" not in stats
+
+    def test_analyze_renders_live_payload(self, index):
+        from repro.serve.analyze import render_analysis
+
+        with ServerThread(index, ServeConfig(port=0)) as (host, port):
+            for _ in range(5):
+                _get(host, port, "/query?source=1&target=2")
+            _, _, stats = _get(host, port, "/stats")
+        text = render_analysis(stats)
+        assert "top" in text
+        assert "(1, 2)" in text
+        assert "cache efficiency" in text
