@@ -131,8 +131,9 @@ def test_mmap_cold_load_beats_v3_parse(index_files, perf, capsys):
     )
 
 
-def _fleet_run(path, workers, pairs):
-    config = ServeConfig(port=0, cache_size=0)
+def _fleet_run(path, workers, pairs, config=None):
+    if config is None:
+        config = ServeConfig(port=0, cache_size=0)
     with FleetThread(path, workers, config) as (host, port):
         return replay(
             host, port, pairs,
@@ -167,6 +168,50 @@ def test_fleet_answers_bit_identical(index_files, index, pairs, perf,
             f"\n\nFleet parity (2 workers): {report.ok}/{len(pairs)} "
             f"ok, 0 wrong, {report.qps:.0f} req/s"
         )
+
+
+def test_supervised_fleet_overhead_under_ten_percent(
+    index_files, pairs, perf, capsys
+):
+    """Worker supervision must cost < 10% steady-state QPS.
+
+    Same two-worker fleet twice: once with the supervisor disabled
+    (``probe_interval_s=0`` — no liveness probes, no respawn state),
+    once with an aggressive 200 ms probe cadence plus respawn enabled.
+    The probes are tiny ``/health`` requests off the query path, so the
+    supervised fleet must stay within 10% of the unsupervised QPS.
+    """
+    v4, _ = index_files
+    plain = ServeConfig(port=0, cache_size=0, probe_interval_s=0)
+    supervised = ServeConfig(
+        port=0, cache_size=0, probe_interval_s=0.2, respawn=True
+    )
+    _fleet_run(v4, 2, pairs[:100], plain)  # warmup: spawn + page cache
+    plain_qps = max(
+        _fleet_run(v4, 2, pairs, plain).qps for _ in range(3)
+    )
+    supervised_qps = max(
+        _fleet_run(v4, 2, pairs, supervised).qps for _ in range(3)
+    )
+    ratio = supervised_qps / plain_qps
+    perf.record(
+        "fleet_supervision_overhead",
+        [ratio],
+        unit="ratio",
+        direction="higher",
+        dataset=f"road{ROAD_NODES}",
+        pairs=NUM_PAIRS,
+    )
+    with capsys.disabled():
+        print(
+            f"\n\nSupervision overhead (2 workers): unsupervised "
+            f"{plain_qps:.0f} req/s, supervised {supervised_qps:.0f} "
+            f"req/s ({ratio:.3f}x)"
+        )
+    assert ratio >= 0.9, (
+        f"supervised fleet runs at {ratio:.3f}x the unsupervised QPS "
+        f"(bar: >= 0.9x)"
+    )
 
 
 @pytest.mark.skipif(

@@ -20,6 +20,9 @@ Installed as the ``repro-spc`` console script::
     repro-spc verify-index index.bin --graph network.gr
     repro-spc serve index.bin --live-updates --graph network.gr
     repro-spc update-replay deltas.jsonl --port 8355 --speed 2.0
+    repro-spc serve index.bin --workers 2 --live-updates \
+        --graph network.gr --wal-dir wal/ --respawn
+    repro-spc wal-verify wal/worker-0
     repro-spc trace fleet-trace.json --port 8355 --min-cross-links 1
     repro-spc analyze --port 8355
 
@@ -384,9 +387,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         trace_buffer=args.trace_buffer,
         trace_sample_every=args.trace_sample,
         top_pairs_capacity=args.top_pairs,
+        wal_dir=args.wal_dir,
+        respawn=args.respawn,
+        probe_interval_s=args.probe_interval_s,
     )
     if args.live_updates and args.graph is None:
         raise ParseError("--live-updates needs --graph GRAPH")
+    if args.wal_dir is not None and not args.live_updates:
+        raise ParseError("--wal-dir needs --live-updates (it logs "
+                         "accepted update batches)")
     if args.workers > 1:
         if args.fallback != "none":
             raise ParseError(
@@ -409,14 +418,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         fallback = OnlineSPC.build(_load_graph(args.graph))
     updates = None
     if args.live_updates:
-        from repro.live import UpdateCoordinator
+        from repro.live import UpdateCoordinator, recover_coordinator
 
-        updates = UpdateCoordinator(
-            _load_graph(args.graph),
-            index,
-            overlay_threshold=config.overlay_threshold,
-            freshness_s=config.update_freshness_s,
-        )
+        if args.wal_dir is not None:
+            # Durable mode: replay any existing WAL to the exact
+            # pre-crash overlay, then keep logging into it.
+            updates, recovery = recover_coordinator(
+                args.wal_dir,
+                _load_graph(args.graph),
+                index,
+                overlay_threshold=config.overlay_threshold,
+                freshness_s=config.update_freshness_s,
+            )
+            if not recovery.fresh:
+                print(
+                    f"recovered from WAL {recovery.path}: epoch "
+                    f"{recovery.epoch} seqno {recovery.seqno} "
+                    f"({recovery.replayed_batches} batches replayed"
+                    + (", torn tail dropped" if recovery.torn_tail else "")
+                    + ")",
+                    flush=True,
+                )
+        else:
+            updates = UpdateCoordinator(
+                _load_graph(args.graph),
+                index,
+                overlay_threshold=config.overlay_threshold,
+                freshness_s=config.update_freshness_s,
+            )
 
     async def _serve() -> None:
         server = SPCServer(
@@ -529,6 +558,46 @@ def _cmd_update_replay(args: argparse.Namespace) -> int:
     for error in report.errors:
         print(f"  {error}", file=sys.stderr)
     return 0 if report.ok else 1
+
+
+def _cmd_wal_verify(args: argparse.Namespace) -> int:
+    """Validate WAL file(s): framing, CRCs, watermark continuity."""
+    import os
+
+    from repro.live import verify_wal
+    from repro.live.wal import WriteAheadLog
+
+    if os.path.isdir(args.path):
+        files = [str(path) for _, path in WriteAheadLog.epoch_files(args.path)]
+        if not files:
+            print(f"error: no wal-*.log files in {args.path}",
+                  file=sys.stderr)
+            return 1
+    else:
+        files = [args.path]
+    exit_code = 0
+    for file_path in files:
+        report = verify_wal(file_path)
+        print(f"{report.path}: {report.size} bytes, "
+              f"{len(report.records)} records")
+        for row in report.records:
+            print(
+                f"  @{row['offset']:>8}  {row['kind']:<5}  "
+                f"epoch {row['epoch']}  seqno {row['seqno']}  "
+                f"{row['length']} payload bytes  crc ok"
+            )
+        epoch, first, last = report.watermark
+        if report.records:
+            print(f"  watermark: epoch {epoch}, seqno {first} -> {last}")
+        if report.torn_tail:
+            # A torn final record is the expected crash signature;
+            # recovery truncates it, so it is a note, not a failure.
+            print(f"  torn tail (tolerated on recovery): {report.torn_tail}")
+        if not report.ok:
+            print(f"error: {report.path}: {report.problem}",
+                  file=sys.stderr)
+            exit_code = 1
+    return exit_code
 
 
 def _post_json(host: str, port: int, path: str, timeout: float):
@@ -923,8 +992,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--fault-plan", metavar="SPEC", default=None,
         help="chaos injection plan, e.g. 'scan.fail:0.1,conn.reset:0.05' "
-        "(sites: scan.fail scan.slow flush.fail conn.reset index.load; "
-        "falls back to $REPRO_FAULT_PLAN when omitted)",
+        "(sites: scan.fail scan.slow flush.fail conn.reset index.load "
+        "worker.kill wal.torn_write; falls back to $REPRO_FAULT_PLAN "
+        "when omitted)",
     )
     p_serve.add_argument(
         "--fault-seed", type=int, default=0,
@@ -945,6 +1015,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--live-updates", action="store_true",
         help="accept streamed edge-weight deltas on POST /admin/update "
         "(CTL indexes only; needs --graph; see docs/serving.md)",
+    )
+    p_serve.add_argument(
+        "--wal-dir", metavar="DIR", default=None,
+        help="durable write-ahead log for accepted update batches: "
+        "fsync'd before acknowledgement, replayed on restart/respawn "
+        "to the exact pre-crash overlay (needs --live-updates; a "
+        "fleet gives each worker DIR/worker-<id>/)",
+    )
+    p_serve.add_argument(
+        "--respawn", action="store_true",
+        help="fleet only: respawn dead workers with capped-exponential "
+        "backoff and a flap circuit instead of leaving them ejected",
+    )
+    p_serve.add_argument(
+        "--probe-interval-s", type=float, default=1.0, metavar="S",
+        help="fleet only: seconds between supervisor liveness probes "
+        "of each worker; 0 disables proactive probing (default 1)",
     )
     p_serve.add_argument(
         "--overlay-threshold", type=int, default=20000, metavar="N",
@@ -1150,6 +1237,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-batch HTTP timeout in seconds (default 30)",
     )
     p_replay.set_defaults(func=_cmd_update_replay)
+
+    p_wal = sub.add_parser(
+        "wal-verify",
+        help="validate a live-update write-ahead log: per-record CRCs, "
+        "epoch/seqno continuity, watermark range (see "
+        "docs/operations.md)",
+    )
+    p_wal.add_argument(
+        "path",
+        help="a wal-NNNNNN.log file, or a WAL directory (every epoch "
+        "file in it is checked; a fleet's workers each own "
+        "DIR/worker-<id>/)",
+    )
+    p_wal.set_defaults(func=_cmd_wal_verify)
     return parser
 
 

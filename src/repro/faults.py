@@ -23,6 +23,11 @@ Sites (each checked at exactly one place in the stack):
                           (exercises client transport-error handling).
 ``index.load``            the server's hot-reload path fails validation
                           (exercises reload rollback).
+``worker.kill``           a fleet worker SIGKILLs itself mid-request
+                          (exercises router supervision and respawn).
+``wal.torn_write``        the write-ahead log crashes mid-append, leaving a
+                          torn final record on disk (exercises recovery's
+                          torn-tail truncation).
 ========================  ====================================================
 
 Plans parse from a compact spec (CLI flag or ``REPRO_FAULT_PLAN`` env
@@ -53,6 +58,8 @@ SITES = (
     "flush.fail",
     "conn.reset",
     "index.load",
+    "worker.kill",
+    "wal.torn_write",
 )
 
 #: Environment variables read by :meth:`FaultPlan.from_env`.

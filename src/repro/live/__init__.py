@@ -10,11 +10,16 @@ edge-weight deltas without blocking readers:
 * :class:`~repro.live.coordinator.UpdateCoordinator` — atomic batch
   application (epoch/seqno versioning), overlay-threshold rebuild
   snapshots, and the freshness-deadline Dijkstra fallback.
+* :mod:`~repro.live.wal` — the durable write-ahead log: every accepted
+  batch is fsync'd (length-prefixed, CRC32-per-record) before it is
+  acknowledged, :func:`~repro.live.wal.recover_coordinator` replays it
+  on startup/respawn to the exact pre-crash overlay, and
+  rebuild-and-swap compacts it by rotating at the new base epoch.
 * :mod:`~repro.live.replay` — the timestamped JSON-lines delta file
   format plus the ``repro-spc update-replay`` streaming client.
 
 See ``docs/serving.md`` ("Live updates") for the wire format and
-``docs/operations.md`` for the replay runbook.
+``docs/operations.md`` for the replay and crash-recovery runbooks.
 """
 
 from repro.live.coordinator import (
@@ -32,19 +37,39 @@ from repro.live.replay import (
     synthesize_deltas,
     write_delta_file,
 )
+from repro.live.wal import (
+    WAL_MAGIC,
+    RecoveryReport,
+    WalCorruptError,
+    WalRecord,
+    WalVerifyReport,
+    WriteAheadLog,
+    recover_coordinator,
+    scan_wal,
+    verify_wal,
+)
 
 __all__ = [
     "DeltaBatch",
     "LiveIndex",
     "MAX_BATCH_LOG",
     "OverlayState",
+    "RecoveryReport",
     "StaleRouter",
     "UpdateCoordinator",
     "UpdateReport",
     "UpdateStreamReport",
+    "WAL_MAGIC",
+    "WalCorruptError",
+    "WalRecord",
+    "WalVerifyReport",
+    "WriteAheadLog",
     "patched_scan",
     "read_delta_file",
+    "recover_coordinator",
+    "scan_wal",
     "stream_deltas",
     "synthesize_deltas",
+    "verify_wal",
     "write_delta_file",
 ]

@@ -139,6 +139,15 @@ class UpdateCoordinator:
         if freshness_s > 0:
             self.live_index.stale_router = StaleRouter(self)
         self._lock = threading.Lock()
+        #: Durable :class:`~repro.live.wal.WriteAheadLog`, or ``None``.
+        #: When attached, every batch is fsync'd to it *before* the
+        #: overlay publishes — see :meth:`attach_wal`.
+        self.wal = None
+        #: Current weight of every edge ever effectively changed, keyed
+        #: by the normalized ``(min, max)`` endpoint pair.  This is what
+        #: makes a rotated WAL epoch file self-contained: recovery
+        #: replays these weights onto the pristine graph.
+        self._dirty_edges: Dict[Tuple[Vertex, Vertex], WeightUpdate] = {}
         #: ``(monotonic start, min affected block_start)`` of the batch
         #: currently being repaired, or ``None``.
         self._pending: Optional[Tuple[float, int]] = None
@@ -151,6 +160,17 @@ class UpdateCoordinator:
         self.applied_edges = 0
         self.rebuilds = 0
         self.last_apply_seconds = 0.0
+
+    def attach_wal(self, wal) -> None:
+        """Make ``wal`` the durability point of every future batch.
+
+        From here on :meth:`apply_batch` appends (and fsyncs) the batch
+        before the overlay swap, so the batch is either durable *and*
+        visible or neither; :meth:`adopt_base` rotates the log at the
+        new epoch.  Use :func:`repro.live.wal.recover_coordinator` to
+        build a coordinator from an existing log.
+        """
+        self.wal = wal
 
     # ------------------------------------------------------------------
     # validation
@@ -205,12 +225,20 @@ class UpdateCoordinator:
         started = time.perf_counter()
         with self._lock:
             base, state = self.live_index.view
+            if self.wal is not None:
+                # Durability point: the batch hits disk (fsync'd) before
+                # any weight is written or the overlay publishes, so an
+                # acknowledged batch survives a crash and a failed
+                # append leaves the coordinator untouched.
+                self.wal.append_batch(state.epoch, state.seqno + 1, normalized)
             effective: List[Tuple[Vertex, Vertex]] = []
             for a, b, weight in normalized:
                 if self.graph.weight(a, b) == weight:
                     continue
                 self.graph.add_edge(a, b, weight, self.graph.count(a, b))
                 effective.append((a, b))
+                key = (a, b) if a <= b else (b, a)
+                self._dirty_edges[key] = (a, b, weight)
             changed: Dict[Vertex, Dict[int, Optional[PatchEntry]]] = {}
             affected: Dict[int, object] = {}
             if effective:
@@ -274,12 +302,21 @@ class UpdateCoordinator:
         new_index = CTLIndex.build(snapshot, **self._build_params)
         return new_index, base_seqno
 
-    def adopt_base(self, new_index: CTLIndex, base_seqno: int) -> dict:
+    def adopt_base(
+        self,
+        new_index: CTLIndex,
+        base_seqno: int,
+        base_path: Optional[str] = None,
+    ) -> dict:
         """Swap in a rebuilt base; replay post-snapshot batches onto it.
 
         The swap itself is one atomic view publication; the only work
         under the lock is re-deriving patches for batches that were
         applied after the rebuild snapshot (none, in the common case).
+        When a write-ahead log is attached, adoption also rotates it at
+        the new epoch — ``base_path`` (where the rebuilt base was
+        saved, if anywhere) is pinned in the new epoch file so a
+        recovering worker reloads the same base.
         """
         if not isinstance(new_index, CTLIndex):
             raise LiveUpdateError(
@@ -324,6 +361,16 @@ class UpdateCoordinator:
             ]
             self._log_floor = 0
             self.rebuilds += 1
+            if self.wal is not None:
+                self.wal.rotate(
+                    epoch=new_state.epoch,
+                    seqno=new_state.seqno,
+                    base_seqno=base_seqno,
+                    base_path=base_path,
+                    weights=list(self._dirty_edges.values()),
+                    pending=list(self._batch_log),
+                    full_diff=full_diff,
+                )
         seconds = time.perf_counter() - started
         self.recorder.incr("live.rebuilds")
         self.recorder.observe("live.rebuild.adopt_seconds", seconds)
@@ -344,9 +391,11 @@ class UpdateCoordinator:
     def stats(self) -> dict:
         """Overlay/version snapshot for ``/stats`` and explain payloads."""
         state = self.live_index.state
+        wal = None if self.wal is None else self.wal.stats()
         return {
             "epoch": state.epoch,
             "seqno": state.seqno,
+            "wal": wal,
             "overlay_entries": state.entries,
             "poisoned_vertices": state.poisoned_vertices,
             "overlay_threshold": self.overlay_threshold,

@@ -106,6 +106,26 @@ class ServeConfig:
     #: ``(s, t)`` query pairs, surfaced as the ``top_pairs`` block in
     #: ``/stats``; 0 disables workload analytics.
     top_pairs_capacity: int = 256
+    #: Directory of the durable live-update write-ahead log; ``None``
+    #: (default) keeps accepted batches in memory only.  A fleet gives
+    #: each worker its own ``worker-<id>/`` subdirectory.
+    wal_dir: Optional[str] = None
+    #: Fleet only: respawn dead workers (capped-exponential backoff,
+    #: flap circuit) instead of leaving them ejected from the ring.
+    respawn: bool = False
+    #: Fleet only: seconds between supervisor liveness probes of each
+    #: worker (process check + HTTP ``/health``); 0 disables the
+    #: proactive probe loop — death is then only detected reactively,
+    #: when a proxied request fails.
+    probe_interval_s: float = 1.0
+    #: Flap circuit: a worker that dies ``flap_max_restarts`` times
+    #: within ``flap_window_s`` seconds stays down and degrades
+    #: ``/health`` until the router restarts.
+    flap_window_s: float = 30.0
+    flap_max_restarts: int = 5
+    #: First respawn delay; doubles per recent death up to the cap.
+    respawn_backoff_s: float = 0.1
+    respawn_backoff_max_s: float = 5.0
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -148,3 +168,15 @@ class ServeConfig:
             raise ServeConfigError("trace_sample_every must be >= 0")
         if self.top_pairs_capacity < 0:
             raise ServeConfigError("top_pairs_capacity must be >= 0")
+        if self.probe_interval_s < 0:
+            raise ServeConfigError("probe_interval_s must be >= 0")
+        if self.flap_window_s < 0:
+            raise ServeConfigError("flap_window_s must be >= 0")
+        if self.flap_max_restarts < 1:
+            raise ServeConfigError("flap_max_restarts must be >= 1")
+        if self.respawn_backoff_s <= 0:
+            raise ServeConfigError("respawn_backoff_s must be > 0")
+        if self.respawn_backoff_max_s < self.respawn_backoff_s:
+            raise ServeConfigError(
+                "respawn_backoff_max_s must be >= respawn_backoff_s"
+            )

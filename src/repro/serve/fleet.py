@@ -57,6 +57,23 @@ Fleet-wide endpoints:
 ``SIGTERM``/``SIGINT`` drain in cascade: the router stops accepting,
 finishes in-flight client requests, then signals each worker to run
 its own graceful drain — zero dropped requests end to end.
+
+**Self-healing.**  The router supervises its workers: a worker whose
+process dies (detected reactively by a failed proxied request, or
+proactively by the periodic liveness probe) is ejected from the ring
+immediately — its in-flight and queued queries re-dispatch to the
+survivors, so availability degrades but correctness never does — and,
+with ``respawn`` enabled, respawned under capped-exponential backoff.
+The replacement cold-starts from the same zero-copy v4 mmap, replays
+its private write-ahead log (``wal_dir/worker-<id>/``) back to its
+pre-crash overlay, is topped up by the router to the fleet's current
+``(epoch, seqno)`` (missed batches from the router's retained update
+bodies, missed rebuilds by adopting the last coordinated base), and
+rejoins the ring only after a readiness probe answers.  A worker that
+dies ``flap_max_restarts`` times within ``flap_window_s`` trips its
+flap circuit and stays down (``/health`` reports ``flapped`` and stays
+degraded).  With *every* worker down, queries answer 503 with a
+``Retry-After`` header instead of hanging.
 """
 
 from __future__ import annotations
@@ -65,6 +82,7 @@ import asyncio
 import bisect
 import json
 import multiprocessing
+import os
 import signal
 import time
 import zlib
@@ -107,6 +125,14 @@ _UPSTREAM_RESENDS = 2
 
 #: Idle upstream connections kept pooled per worker.
 _POOL_SIZE = 32
+
+#: Committed update bodies retained for respawn catch-up; matches the
+#: coordinator's own in-memory batch log bound.
+_UPDATE_LOG_MAX = 4096
+
+#: Consecutive failed HTTP probes before a live-but-wedged worker
+#: process is killed and treated as dead.
+_PROBE_STRIKES = 3
 
 #: Values accepted as "true" in admin query parameters.
 _TRUTHY = {"1", "true", "yes", "on"}
@@ -169,6 +195,9 @@ class WorkerSpec:
     #: and keeps it in lockstep via the router's all-or-nothing update
     #: fan-out.  ``None`` disables the live tier.
     live_graph_path: Optional[str] = None
+    #: This worker's private write-ahead-log directory; applied batches
+    #: are fsync'd there before acknowledgement and replayed on respawn.
+    wal_dir: Optional[str] = None
 
 
 async def _worker_serve(spec: WorkerSpec, conn) -> None:
@@ -188,14 +217,28 @@ async def _worker_serve(spec: WorkerSpec, conn) -> None:
         updates = None
         if spec.live_graph_path is not None:
             from repro.graph.io import read_graph_auto
-            from repro.live import UpdateCoordinator
+            from repro.live import UpdateCoordinator, recover_coordinator
 
-            updates = UpdateCoordinator(
-                read_graph_auto(spec.live_graph_path),
-                index,
-                overlay_threshold=spec.config.overlay_threshold,
-                freshness_s=spec.config.update_freshness_s,
-            )
+            graph = read_graph_auto(spec.live_graph_path)
+            if spec.wal_dir is not None:
+                # Cold start from the mmap'd index, then replay this
+                # worker's WAL to the exact pre-crash overlay state
+                # before the readiness report goes out.
+                updates, _recovery = recover_coordinator(
+                    spec.wal_dir,
+                    graph,
+                    index,
+                    overlay_threshold=spec.config.overlay_threshold,
+                    freshness_s=spec.config.update_freshness_s,
+                    fault_plan=plan,
+                )
+            else:
+                updates = UpdateCoordinator(
+                    graph,
+                    index,
+                    overlay_threshold=spec.config.overlay_threshold,
+                    freshness_s=spec.config.update_freshness_s,
+                )
         server = SPCServer(
             index,
             spec.config,
@@ -231,7 +274,7 @@ def _worker_main(spec: WorkerSpec, conn) -> None:
 
 @dataclass
 class _Worker:
-    """Router-side handle on one worker process."""
+    """Router-side handle on one worker process (across respawns)."""
 
     worker_id: int
     process: multiprocessing.process.BaseProcess
@@ -239,6 +282,28 @@ class _Worker:
     port: int = 0
     #: Idle pooled connections ``(reader, writer)`` to this worker.
     pool: List[tuple] = field(default_factory=list)
+    #: Spec the current process was spawned from; respawns derive a
+    #: fresh one (new fault seed) so a deterministic crash draw does
+    #: not re-kill every replacement on its first request.
+    spec: Optional[WorkerSpec] = None
+    #: In the ring and receiving traffic.  A dead worker is ejected
+    #: the moment its death is detected and re-admitted only after a
+    #: respawn passes its readiness probe and catch-up.
+    up: bool = True
+    #: Process incarnation: 0 for the original spawn, +1 per respawn.
+    generation: int = 0
+    #: Recent death times (monotonic) inside the flap window.
+    deaths: List[float] = field(default_factory=list)
+    #: Lifetime death count (the flap window trims ``deaths``).
+    total_deaths: int = 0
+    #: Consecutive failed supervisor probes on a live process.
+    probe_failures: int = 0
+    #: A respawn task currently owns this handle.
+    respawning: bool = False
+    #: Flap circuit: died too often, stays down until router restart.
+    circuit_open: bool = False
+    #: Human-readable cause of the most recent death.
+    last_error: Optional[str] = None
 
 
 # ----------------------------------------------------------------------
@@ -270,6 +335,17 @@ class FleetRouter:
             str(live_graph_path) if live_graph_path is not None else None
         )
         self._rebuild_task: Optional[asyncio.Task] = None
+        #: Supervisor probe loop (None when probe_interval_s == 0).
+        self._supervisor_task: Optional[asyncio.Task] = None
+        #: In-flight respawn tasks, cancelled on shutdown.
+        self._respawn_tasks: set = set()
+        #: Recently committed update bodies ``(seqno, body)`` — the
+        #: catch-up source for a respawned worker whose WAL predates
+        #: batches the fleet accepted while it was down.
+        self._update_log: List[Tuple[int, bytes]] = []
+        #: Path and snapshot seqno of the last coordinated rebuild;
+        #: a respawned worker behind on epoch adopts this base.
+        self._last_rebuild: Optional[Tuple[str, int]] = None
         self.recorder = recorder if recorder is not None else Recorder()
         #: Router-side span ring; merged with worker fragments by
         #: ``POST /admin/trace`` into one fleet-wide Chrome trace.
@@ -302,29 +378,12 @@ class FleetRouter:
         """Spawn the workers, wait for readiness, bind the front port."""
         loop = asyncio.get_running_loop()
         self._stopped = asyncio.Event()
-        context = multiprocessing.get_context("spawn")
-        worker_config = replace(self.config, host="127.0.0.1", port=0)
         for worker_id in range(self.num_workers):
-            parent_conn, child_conn = context.Pipe()
-            spec = WorkerSpec(
-                worker_id=worker_id,
-                index_path=self.index_path,
-                config=worker_config,
-                fault_spec=self.fault_spec,
-                # Distinct seeds: workers fault independently, not in
-                # lockstep — one bad draw must not take out the fleet.
-                fault_seed=self.fault_seed + worker_id,
-                live_graph_path=self.live_graph_path,
+            spec = self._worker_spec(worker_id, generation=0)
+            process, parent_conn = self._spawn_process(spec)
+            self.workers.append(
+                _Worker(worker_id, process, parent_conn, spec=spec)
             )
-            process = context.Process(
-                target=_worker_main,
-                args=(spec, child_conn),
-                daemon=True,
-                name=f"spc-worker-{worker_id}",
-            )
-            process.start()
-            child_conn.close()
-            self.workers.append(_Worker(worker_id, process, parent_conn))
         for worker in self.workers:
             try:
                 message = await loop.run_in_executor(
@@ -350,7 +409,44 @@ class FleetRouter:
         if sockets:
             self.host, self.port = sockets[0].getsockname()[:2]
         self._started_at = time.perf_counter()
+        if self.config.probe_interval_s > 0:
+            self._supervisor_task = loop.create_task(self._supervise())
         return self
+
+    def _worker_spec(self, worker_id: int, generation: int) -> WorkerSpec:
+        wal_dir = None
+        if self.config.wal_dir is not None:
+            # Each worker owns a private WAL subdirectory: the logs are
+            # per-process replay journals, not a shared commit stream.
+            wal_dir = os.path.join(
+                self.config.wal_dir, f"worker-{worker_id}"
+            )
+        return WorkerSpec(
+            worker_id=worker_id,
+            index_path=self.index_path,
+            config=replace(self.config, host="127.0.0.1", port=0),
+            fault_spec=self.fault_spec,
+            # Distinct seeds: workers fault independently, not in
+            # lockstep — one bad draw must not take out the fleet —
+            # and every respawned generation rolls new dice.
+            fault_seed=self.fault_seed + worker_id + 7919 * generation,
+            live_graph_path=self.live_graph_path,
+            wal_dir=wal_dir,
+        )
+
+    @staticmethod
+    def _spawn_process(spec: WorkerSpec):
+        context = multiprocessing.get_context("spawn")
+        parent_conn, child_conn = context.Pipe()
+        process = context.Process(
+            target=_worker_main,
+            args=(spec, child_conn),
+            daemon=True,
+            name=f"spc-worker-{spec.worker_id}",
+        )
+        process.start()
+        child_conn.close()
+        return process, parent_conn
 
     @staticmethod
     def _await_ready(worker: _Worker, timeout: float = 60.0):
@@ -399,6 +495,17 @@ class FleetRouter:
             await self.wait_stopped()
             return
         self._draining = True
+        # Supervision stops first: a drain must not race a respawn
+        # re-admitting a worker the next line is about to terminate.
+        housekeeping = [self._supervisor_task, *self._respawn_tasks]
+        for task in housekeeping:
+            if task is not None:
+                task.cancel()
+        if any(task is not None for task in housekeeping):
+            await asyncio.gather(
+                *(task for task in housekeeping if task is not None),
+                return_exceptions=True,
+            )
         rebuild = self._rebuild_task
         if rebuild is not None:
             # Let an in-flight coordinated swap land: it is about to
@@ -437,6 +544,269 @@ class FleetRouter:
             if worker.process.is_alive():  # pragma: no cover - stuck
                 worker.process.kill()
                 await loop.run_in_executor(None, worker.process.join, 5.0)
+
+    # ------------------------------------------------------------------
+    # supervision: death detection, ring ejection, respawn
+    # ------------------------------------------------------------------
+    def _live_workers(self) -> List[_Worker]:
+        return [worker for worker in self.workers if worker.up]
+
+    def _first_live(self) -> Optional[_Worker]:
+        for worker in self.workers:
+            if worker.up:
+                return worker
+        return None
+
+    def _rebuild_ring(self) -> None:
+        live = [worker.worker_id for worker in self.workers if worker.up]
+        self.ring = HashRing(live, self.vnodes) if live else None
+
+    def _on_worker_death(self, worker: _Worker, reason: str) -> None:
+        """Eject a dead worker from the ring; maybe schedule a respawn.
+
+        Idempotent: reactive detection (a failed proxy), the probe
+        loop, and a failed update commit can all report the same death.
+        Ejection is immediate — queries re-dispatch to survivors on the
+        rebuilt ring, so availability degrades but correctness never
+        does.
+        """
+        if not worker.up:
+            return
+        worker.up = False
+        worker.probe_failures = 0
+        worker.last_error = reason
+        for _reader, writer in worker.pool:
+            writer.close()
+        worker.pool.clear()
+        self._rebuild_ring()
+        worker.total_deaths += 1
+        self.recorder.incr("fleet.worker.deaths")
+        self._register_death(worker)
+
+    def _register_death(self, worker: _Worker) -> None:
+        """Flap accounting plus respawn scheduling for one death."""
+        now = time.monotonic()
+        worker.deaths = [
+            death
+            for death in worker.deaths
+            if now - death <= self.config.flap_window_s
+        ]
+        worker.deaths.append(now)
+        if len(worker.deaths) >= self.config.flap_max_restarts:
+            # Flapping: crashing faster than it can do useful work.
+            # Stay down (and keep /health degraded) instead of burning
+            # the fleet on respawn churn.
+            worker.circuit_open = True
+            self.recorder.incr("fleet.worker.flap_trips")
+            return
+        if not self.config.respawn or self._draining:
+            return
+        delay = min(
+            self.config.respawn_backoff_max_s,
+            self.config.respawn_backoff_s * (2 ** (len(worker.deaths) - 1)),
+        )
+        task = asyncio.get_running_loop().create_task(
+            self._respawn(worker, delay)
+        )
+        self._respawn_tasks.add(task)
+        task.add_done_callback(self._respawn_tasks.discard)
+
+    async def _respawn(self, worker: _Worker, delay: float) -> None:
+        """Respawn one dead worker after ``delay`` seconds.
+
+        The replacement cold-starts from the same mmap'd index, replays
+        its own WAL back to its pre-crash overlay, then the router tops
+        it up to the fleet's current state (missed batches, then any
+        missed base adoption) and re-admits it to the ring only once a
+        readiness probe answers 200.
+        """
+        worker.respawning = True
+        process: Optional[multiprocessing.process.BaseProcess] = None
+        try:
+            await asyncio.sleep(delay)
+            if self._draining:
+                return
+            worker.generation += 1
+            spec = self._worker_spec(worker.worker_id, worker.generation)
+            worker.spec = spec
+            process, parent_conn = self._spawn_process(spec)
+            worker.process = process
+            worker.conn = parent_conn
+            loop = asyncio.get_running_loop()
+            kind, value = await loop.run_in_executor(
+                None, self._await_ready, worker
+            )
+            if kind != "ready":
+                raise FleetError(
+                    f"worker {worker.worker_id} respawn failed: {value}"
+                )
+            worker.port = value
+            await self._catch_up(worker)
+            status, _, _body = await self._upstream(
+                worker, "GET", "/health", resend=True
+            )
+            if status != 200:
+                raise FleetError(
+                    f"worker {worker.worker_id} readiness probe answered "
+                    f"HTTP {status}"
+                )
+            worker.up = True
+            worker.probe_failures = 0
+            worker.last_error = None
+            self._rebuild_ring()
+            self.recorder.incr("fleet.worker.respawns")
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self.recorder.incr("fleet.worker.respawn_failures")
+            worker.last_error = f"respawn failed: {exc}"
+            if process is not None and process.is_alive():
+                process.kill()
+            if not self._draining:
+                # The failed attempt counts as another death: the
+                # backoff doubles and the flap circuit eventually trips.
+                self._register_death(worker)
+        finally:
+            worker.respawning = False
+
+    async def _live_block(self, worker: _Worker) -> Optional[dict]:
+        """The worker's ``/stats`` live block, or None when not live."""
+        status, _, body = await self._upstream(
+            worker, "GET", "/stats", resend=True
+        )
+        if status != 200:
+            raise FleetError(
+                f"worker {worker.worker_id} stats answered HTTP {status}"
+            )
+        try:
+            parsed = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise FleetError(
+                f"worker {worker.worker_id} stats unparseable: {exc}"
+            )
+        live = parsed.get("live") if isinstance(parsed, dict) else None
+        return live if isinstance(live, dict) else None
+
+    async def _catch_up(self, worker: _Worker) -> None:
+        """Bring a respawned worker to the fleet's current update state.
+
+        Its own WAL already put it back at its pre-crash
+        ``(epoch, seqno)``; whatever the fleet accepted while it was
+        down is topped up here from the router's retained update
+        bodies.  Batches replay strictly *before* any base adoption:
+        adopting diffs the worker's shadow graph against the new base,
+        so the graph must be current first.
+        """
+        reference = self._first_live()
+        if reference is None:
+            # Sole survivor: whatever this worker recovered *is* the
+            # fleet's state now.
+            return
+        worker_live = await self._live_block(worker)
+        if worker_live is None:
+            return  # not a live-update fleet: the index is immutable
+        ref_live = await self._live_block(reference)
+        if ref_live is None:
+            return
+        seqno = int(worker_live.get("seqno", 0))
+        target_seqno = int(ref_live.get("seqno", 0))
+        if seqno < target_seqno:
+            missed = [
+                body
+                for log_seqno, body in self._update_log
+                if log_seqno > seqno
+            ]
+            if len(missed) != target_seqno - seqno:
+                raise FleetError(
+                    f"worker {worker.worker_id} is "
+                    f"{target_seqno - seqno} batches behind but only "
+                    f"{len(missed)} are retained for catch-up"
+                )
+            for body in missed:
+                status, _, payload = await self._upstream(
+                    worker, "POST", "/admin/update", body
+                )
+                if status != 200:
+                    raise FleetError(
+                        f"catch-up batch rejected: HTTP {status} "
+                        f"{payload.decode('latin-1', 'replace')[:200]}"
+                    )
+            self.recorder.incr(
+                "fleet.worker.catchup_batches", len(missed)
+            )
+        epoch = int(worker_live.get("epoch", 1))
+        target_epoch = int(ref_live.get("epoch", 1))
+        while epoch < target_epoch:
+            # Adopt the most recent rebuilt base once per missed epoch:
+            # each adoption bumps the worker's epoch by one and replays
+            # its post-snapshot batches, so repeating it against the
+            # same (newest) base converges on the fleet's watermark
+            # without re-deriving intermediate bases.
+            if self._last_rebuild is None:
+                raise FleetError(
+                    f"worker {worker.worker_id} is on epoch {epoch} < "
+                    f"{target_epoch} and no rebuilt base is retained"
+                )
+            path, base_seqno = self._last_rebuild
+            body = json.dumps(
+                {"path": path, "base_seqno": base_seqno},
+                separators=(",", ":"),
+            ).encode()
+            status, _, payload = await self._upstream(
+                worker, "POST", "/admin/reload/prepare", body
+            )
+            if status == 200:
+                status, _, payload = await self._upstream(
+                    worker, "POST", "/admin/reload/commit", b"{}"
+                )
+            if status != 200:
+                raise FleetError(
+                    f"catch-up reload failed: HTTP {status} "
+                    f"{payload.decode('latin-1', 'replace')[:200]}"
+                )
+            epoch += 1
+            self.recorder.incr("fleet.worker.catchup_reloads")
+
+    async def _supervise(self) -> None:
+        """Proactive liveness probing of every in-ring worker.
+
+        A dead process is ejected the moment the probe sees it; a live
+        process that fails ``_PROBE_STRIKES`` consecutive HTTP probes
+        is presumed wedged, killed, and ejected.  Reactive detection
+        (a failed proxied request) still fires between probes — this
+        loop is the backstop for idle fleets, not the fast path.
+        """
+        interval = self.config.probe_interval_s
+        while not self._draining:
+            await asyncio.sleep(interval)
+            if self._draining:
+                return
+            for worker in list(self.workers):
+                if not worker.up or worker.respawning:
+                    continue
+                if not worker.process.is_alive():
+                    self._on_worker_death(
+                        worker,
+                        "process exited with code "
+                        f"{worker.process.exitcode}",
+                    )
+                    continue
+                try:
+                    await self._upstream(worker, "GET", "/health")
+                except FleetError:
+                    if not worker.up:
+                        continue  # the reactive path already ejected it
+                    worker.probe_failures += 1
+                    if worker.probe_failures >= _PROBE_STRIKES:
+                        if worker.process.is_alive():
+                            worker.process.kill()
+                        self._on_worker_death(
+                            worker,
+                            f"{_PROBE_STRIKES} consecutive liveness "
+                            "probes failed",
+                        )
+                else:
+                    worker.probe_failures = 0
 
     # ------------------------------------------------------------------
     # upstream plumbing
@@ -521,6 +891,21 @@ class FleetRouter:
                 continue
             self._release(worker, reader, writer)
             return status, response_headers, payload
+        if worker.up and worker.process.is_alive():
+            # A freshly SIGKILLed process can reset its connections a
+            # beat before ``waitpid`` reports it dead; give the kernel
+            # a moment so the death is ejected *now*, not one failed
+            # request later.
+            await asyncio.get_running_loop().run_in_executor(
+                None, worker.process.join, 0.1
+            )
+        if worker.up and not worker.process.is_alive():
+            # Reactive detection: the connection died because the
+            # process did.  Eject it now so the caller's retry (and
+            # every queued request) re-dispatches onto survivors.
+            self._on_worker_death(
+                worker, f"connection lost: {last_error}"
+            )
         raise FleetError(
             f"worker {worker.worker_id} unreachable after {attempts} "
             f"attempt(s): {last_error}"
@@ -647,9 +1032,10 @@ class FleetRouter:
             if request.path == "/admin/update":
                 return await self._handle_update(request, keep_alive)
             if request.path == "/admin/profile":
-                return await self._proxy(
-                    self.workers[0], request, keep_alive
-                )
+                profiler = self._first_live()
+                if profiler is None:
+                    return self._unavailable(keep_alive)
+                return await self._proxy(profiler, request, keep_alive)
             if request.path == "/admin/trace":
                 return await self._handle_trace(request, keep_alive)
             self.recorder.incr("fleet.errors.route")
@@ -699,10 +1085,22 @@ class FleetRouter:
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
+    def _unavailable(self, keep_alive: bool) -> bytes:
+        """503 + Retry-After: every worker is down, respawns pending."""
+        self.recorder.incr("fleet.errors.unavailable")
+        retry_after = max(
+            1, int(self.config.respawn_backoff_s * 2 + 0.5)
+        )
+        return response_bytes(
+            503,
+            {"error": "no live workers (fleet is respawning)"},
+            keep_alive=keep_alive,
+            extra_headers=(("Retry-After", str(retry_after)),),
+        )
+
     async def _handle_query(
         self, request: Request, keep_alive: bool, trace=None
     ) -> bytes:
-        assert self.ring is not None
         if request.method == "POST":
             try:
                 payload = request.json()
@@ -714,38 +1112,69 @@ class FleetRouter:
                 return await self._scatter_pairs(
                     request, payload, keep_alive, trace
                 )
+            pair = None
             if isinstance(payload, dict):
                 try:
-                    owner = self.ring.owner_of_pair(
+                    pair = (
                         int(payload["source"]), int(payload["target"])
                     )
                 except (KeyError, TypeError, ValueError):
-                    owner = 0
-                return await self._proxy(
-                    self.workers[owner], request, keep_alive,
-                    resend=True, trace=trace,
-                )
-            # Malformed body: let a worker produce the canonical 400.
-            return await self._proxy(
-                self.workers[0], request, keep_alive,
-                resend=True, trace=trace,
+                    pair = None
+            return await self._route_query(
+                pair, request, keep_alive, trace
             )
         try:
-            owner = self.ring.owner_of_pair(
-                int(request.params["source"]), int(request.params["target"])
+            pair = (
+                int(request.params["source"]),
+                int(request.params["target"]),
             )
         except (KeyError, TypeError, ValueError):
-            owner = 0  # worker 0 answers the 400 consistently
-        return await self._proxy(
-            self.workers[owner], request, keep_alive,
-            resend=True, trace=trace,
-        )
+            pair = None  # a worker answers the 400 consistently
+        return await self._route_query(pair, request, keep_alive, trace)
+
+    async def _route_query(
+        self, pair, request: Request, keep_alive: bool, trace=None
+    ) -> bytes:
+        """Proxy one query to its ring owner; re-dispatch once if the
+        owner dies mid-request (the retry consults the rebuilt ring)."""
+        for attempt in range(2):
+            ring = self.ring
+            if ring is None:
+                return self._unavailable(keep_alive)
+            if pair is not None:
+                worker = self.workers[ring.owner_of_pair(*pair)]
+            else:
+                # Malformed request: any live worker produces the
+                # canonical 400.
+                worker = self._first_live()
+                if worker is None:
+                    return self._unavailable(keep_alive)
+            try:
+                return await self._proxy(
+                    worker, request, keep_alive, resend=True, trace=trace
+                )
+            except FleetError:
+                # Queries are pure reads: if the owner was ejected
+                # (its process died) the survivors answer identically,
+                # so retry once against the rebuilt ring.  A failure
+                # with the worker still up is the ordinary 502.
+                if attempt or (self.ring is ring and worker.up):
+                    raise
+                self.recorder.incr("fleet.redispatches")
+        raise AssertionError("unreachable")  # pragma: no cover
 
     async def _scatter_pairs(
         self, request: Request, payload: dict, keep_alive: bool, trace=None
     ) -> bytes:
-        """Scatter a JSON batch by pair owner; gather in request order."""
-        assert self.ring is not None
+        """Scatter a JSON batch by pair owner; gather in request order.
+
+        A shard whose owner dies mid-request is re-scattered once onto
+        the rebuilt survivor ring — a worker crash costs the batch
+        latency, never answers.
+        """
+        ring = self.ring
+        if ring is None:
+            return self._unavailable(keep_alive)
         pairs = payload["pairs"]
         explain = bool(payload.get("explain", False))
         by_owner: Dict[int, List[int]] = {}
@@ -755,16 +1184,16 @@ class FleetRouter:
                 or len(item) != 2
             ):
                 # Structurally bad batch: one worker reports it whole.
-                return await self._proxy(
-                    self.workers[0], request, keep_alive, resend=True
+                return await self._route_query(
+                    None, request, keep_alive, trace
                 )
             try:
                 source, target = int(item[0]), int(item[1])
             except (TypeError, ValueError):
-                return await self._proxy(
-                    self.workers[0], request, keep_alive, resend=True
+                return await self._route_query(
+                    None, request, keep_alive, trace
                 )
-            owner = self.ring.owner_of_pair(source, target)
+            owner = ring.owner_of_pair(source, target)
             by_owner.setdefault(owner, []).append(position)
         rid = request.headers.get("x-request-id")
         headers = [("X-Request-Id", rid)] if rid else []
@@ -789,45 +1218,78 @@ class FleetRouter:
                 resend=True,
             )
 
-        outcomes = await asyncio.gather(
-            *(
-                _one(owner, positions)
-                for owner, positions in by_owner.items()
-            ),
-            return_exceptions=True,
-        )
+        async def _gather(assignments):
+            outcomes = await asyncio.gather(
+                *(
+                    _one(owner, positions)
+                    for owner, positions in assignments
+                ),
+                return_exceptions=True,
+            )
+            return list(zip(assignments, outcomes))
+
         results: List[object] = [None] * len(pairs)
         worst = 200
-        for (owner, positions), outcome in zip(
-            by_owner.items(), outcomes
-        ):
-            if isinstance(outcome, BaseException):
-                if not isinstance(outcome, FleetError):
-                    raise outcome
-                worst = max(worst, 502)
-                for position in positions:
-                    results[position] = {"error": str(outcome)}
-                continue
-            status, _, body = outcome
-            try:
-                answer = json.loads(body) if body else {}
-            except json.JSONDecodeError:
-                answer = {}
-            slots = (
-                answer.get("results")
-                if isinstance(answer, dict)
-                else None
-            )
-            if not isinstance(slots, list) or len(slots) != len(positions):
-                worst = max(worst, 502)
-                for position in positions:
-                    results[position] = {
-                        "error": "malformed upstream batch answer"
-                    }
-                continue
-            worst = max(worst, status)
-            for position, slot in zip(positions, slots):
-                results[position] = slot
+
+        def _settle(settled, failed: Optional[List[int]]) -> None:
+            """Fill result slots; owner-unreachable shards go to
+            ``failed`` for one re-dispatch round."""
+            nonlocal worst
+            for (owner, positions), outcome in settled:
+                if isinstance(outcome, BaseException):
+                    if not isinstance(outcome, FleetError):
+                        raise outcome
+                    if failed is not None:
+                        failed.extend(positions)
+                        continue
+                    worst = max(worst, 502)
+                    for position in positions:
+                        results[position] = {"error": str(outcome)}
+                    continue
+                status, _, body = outcome
+                try:
+                    answer = json.loads(body) if body else {}
+                except json.JSONDecodeError:
+                    answer = {}
+                slots = (
+                    answer.get("results")
+                    if isinstance(answer, dict)
+                    else None
+                )
+                if (
+                    not isinstance(slots, list)
+                    or len(slots) != len(positions)
+                ):
+                    worst = max(worst, 502)
+                    for position in positions:
+                        results[position] = {
+                            "error": "malformed upstream batch answer"
+                        }
+                    continue
+                worst = max(worst, status)
+                for position, slot in zip(positions, slots):
+                    results[position] = slot
+
+        failed: List[int] = []
+        _settle(await _gather(list(by_owner.items())), failed)
+        if failed:
+            ring = self.ring
+            if ring is None:
+                worst = max(worst, 503)
+                for position in failed:
+                    results[position] = {"error": "no live workers"}
+            else:
+                self.recorder.incr("fleet.redispatches")
+                retry_by_owner: Dict[int, List[int]] = {}
+                for position in failed:
+                    source, target = (
+                        int(pairs[position][0]), int(pairs[position][1])
+                    )
+                    owner = ring.owner_of_pair(source, target)
+                    retry_by_owner.setdefault(owner, []).append(position)
+                _settle(
+                    await _gather(list(retry_by_owner.items())), None
+                )
         extra = [("X-Request-Id", rid)] if rid else []
         return response_bytes(
             worst,
@@ -846,22 +1308,27 @@ class FleetRouter:
         body: Optional[bytes] = None,
         *,
         resend: bool = False,
-    ) -> List[object]:
-        """The same request to every worker; exceptions as values."""
-        return await asyncio.gather(
+    ) -> List[Tuple[_Worker, object]]:
+        """The same request to every *live* worker; ``(worker,
+        outcome)`` pairs with exceptions as values.  Ejected workers
+        are skipped — they catch up from the router's retained update
+        bodies when their respawn rejoins."""
+        live = self._live_workers()
+        outcomes = await asyncio.gather(
             *(
                 self._upstream(worker, method, path, body, resend=resend)
-                for worker in self.workers
+                for worker in live
             ),
             return_exceptions=True,
         )
+        return list(zip(live, outcomes))
 
     async def _handle_metrics(
         self, request: Request, keep_alive: bool
     ) -> bytes:
         outcomes = await self._fanout("GET", "/metrics", resend=True)
         snapshots = []
-        for worker, outcome in zip(self.workers, outcomes):
+        for worker, outcome in outcomes:
             if isinstance(outcome, BaseException):
                 continue
             status, _, body = outcome
@@ -898,11 +1365,32 @@ class FleetRouter:
         return response_bytes(200, merged, keep_alive=keep_alive)
 
     async def _handle_health(self, keep_alive: bool) -> bytes:
-        outcomes = await self._fanout("GET", "/health", resend=True)
+        outcomes = {
+            worker.worker_id: outcome
+            for worker, outcome in await self._fanout(
+                "GET", "/health", resend=True
+            )
+        }
         per_worker = []
         healthy = 0
-        for worker, outcome in zip(self.workers, outcomes):
-            if isinstance(outcome, BaseException):
+        for worker in self.workers:
+            if not worker.up:
+                # An ejected worker reports its supervision state: the
+                # flap circuit means "down for good", a pending respawn
+                # means "coming back".
+                if worker.circuit_open:
+                    text = "flapped"
+                elif self.config.respawn:
+                    text = "respawning"
+                else:
+                    text = "down"
+                row = {"worker": worker.worker_id, "status": text}
+                if worker.last_error:
+                    row["error"] = worker.last_error
+                per_worker.append(row)
+                continue
+            outcome = outcomes.get(worker.worker_id)
+            if outcome is None or isinstance(outcome, BaseException):
                 per_worker.append(
                     {
                         "worker": worker.worker_id,
@@ -934,6 +1422,9 @@ class FleetRouter:
             "status": overall,
             "workers": per_worker,
             "healthy_workers": healthy,
+            "workers_down": sum(
+                1 for worker in self.workers if not worker.up
+            ),
             "inflight": self._inflight,
             "uptime_seconds": time.perf_counter() - self._started_at,
         }
@@ -986,7 +1477,7 @@ class FleetRouter:
         outcomes = await self._fanout("POST", path, b"{}")
         fragments = [self.tracer.fragment(clear=clear)]
         reporting = 0
-        for worker, outcome in zip(self.workers, outcomes):
+        for worker, outcome in outcomes:
             if isinstance(outcome, BaseException):
                 continue
             status, _, body = outcome
@@ -1010,7 +1501,7 @@ class FleetRouter:
     async def _handle_stats(self, keep_alive: bool) -> bytes:
         outcomes = await self._fanout("GET", "/stats", resend=True)
         stats: Dict[int, dict] = {}
-        for worker, outcome in zip(self.workers, outcomes):
+        for worker, outcome in outcomes:
             if isinstance(outcome, BaseException):
                 continue
             status, _, body = outcome
@@ -1023,6 +1514,8 @@ class FleetRouter:
             if isinstance(parsed, dict):
                 stats[worker.worker_id] = parsed
         if not stats:
+            if not self._live_workers():
+                return self._unavailable(keep_alive)
             self.recorder.incr("fleet.errors.upstream")
             return self._error(
                 502, "no worker could report stats", keep_alive
@@ -1036,6 +1529,7 @@ class FleetRouter:
             "reporting": len(stats),
             "index_path": self.index_path,
             "per_worker": self._per_worker_rows(stats),
+            "supervisor": self._supervisor_snapshot(),
         }
         merged_pairs = self._merge_top_pairs(stats)
         if merged_pairs is not None:
@@ -1086,6 +1580,29 @@ class FleetRouter:
                     row["staleness_s"] = live["staleness_s"]
             rows.append(row)
         return rows
+
+    def _supervisor_snapshot(self) -> dict:
+        """Per-worker supervision state for the ``/stats`` fleet block."""
+        return {
+            "respawn": self.config.respawn,
+            "probe_interval_s": self.config.probe_interval_s,
+            "workers_down": sum(
+                1 for worker in self.workers if not worker.up
+            ),
+            "respawns": sum(
+                worker.generation for worker in self.workers
+            ),
+            "workers": [
+                {
+                    "worker": worker.worker_id,
+                    "up": worker.up,
+                    "generation": worker.generation,
+                    "deaths": worker.total_deaths,
+                    "circuit_open": worker.circuit_open,
+                }
+                for worker in self.workers
+            ],
+        }
 
     def _merge_top_pairs(self, stats: Dict[int, dict]) -> Optional[dict]:
         """Fleet-wide heavy hitters: merge the workers' sketches.
@@ -1143,24 +1660,13 @@ class FleetRouter:
                 keep_alive=keep_alive,
                 extra_headers=(("Allow", "POST"),),
             )
+        if not self._live_workers():
+            return self._unavailable(keep_alive)
         body = request.body or b"{}"
         prepared = await self._fanout(
             "POST", "/admin/reload/prepare", body
         )
-        failures = []
-        for worker, outcome in zip(self.workers, prepared):
-            if isinstance(outcome, BaseException):
-                failures.append(
-                    f"worker {worker.worker_id}: {outcome}"
-                )
-                continue
-            status, _, payload = outcome
-            if status != 200:
-                try:
-                    detail = json.loads(payload).get("error", "")
-                except (json.JSONDecodeError, AttributeError):
-                    detail = payload.decode("latin-1", "replace")[:200]
-                failures.append(f"worker {worker.worker_id}: {detail}")
+        failures = self._phase_failures(prepared)
         if failures:
             # One bad worker (or one corrupt file) rejects the reload
             # fleet-wide; every staged index is dropped and the old
@@ -1175,12 +1681,7 @@ class FleetRouter:
         committed = await self._fanout(
             "POST", "/admin/reload/commit", b"{}"
         )
-        commit_failures = [
-            f"worker {worker.worker_id}: {outcome}"
-            for worker, outcome in zip(self.workers, committed)
-            if isinstance(outcome, BaseException)
-            or outcome[0] != 200
-        ]
+        commit_failures = self._phase_failures(committed)
         if commit_failures:  # pragma: no cover - commit cannot fail
             self.recorder.incr("fleet.reload.failed")
             return response_bytes(
@@ -1191,7 +1692,7 @@ class FleetRouter:
         self.recorder.incr("fleet.reload.count")
         return response_bytes(
             200,
-            {"reloaded": True, "workers": len(self.workers)},
+            {"reloaded": True, "workers": len(committed)},
             keep_alive=keep_alive,
         )
 
@@ -1208,15 +1709,20 @@ class FleetRouter:
                 keep_alive=keep_alive,
                 extra_headers=(("Allow", "POST"),),
             )
+        if not self._live_workers():
+            return self._unavailable(keep_alive)
         body = request.body or b"{}"
         prepared = await self._fanout(
             "POST", "/admin/update/prepare", body
         )
         failures = self._phase_failures(prepared)
         if failures:
-            # All-or-nothing: the workers' shadow graphs must stay in
-            # lockstep, so one rejection (malformed batch, unknown
-            # edge, live updates disabled) drops the batch everywhere.
+            # All-or-nothing across the *live* fleet: the in-ring
+            # workers' shadow graphs must stay in lockstep, so one
+            # rejection (malformed batch, unknown edge, live updates
+            # disabled) drops the batch everywhere.  A worker that
+            # *died* mid-phase is ejected instead of failing the batch
+            # — it catches up from the router's update log on respawn.
             await self._fanout("POST", "/admin/update/abort", b"{}")
             self.recorder.incr("fleet.update.failed")
             return response_bytes(
@@ -1224,24 +1730,28 @@ class FleetRouter:
                 {"applied": False, "errors": failures},
                 keep_alive=keep_alive,
             )
+        if not self._live_workers():
+            return self._unavailable(keep_alive)
         committed = await self._fanout(
             "POST", "/admin/update/commit", b"{}"
         )
         commit_failures = self._phase_failures(committed)
         if commit_failures:
             # A commit that validated on prepare only fails if a worker
-            # died mid-flight; the survivors applied the batch, so
-            # report the divergence loudly rather than pretending the
-            # fleet is consistent.
+            # broke mid-flight while staying alive; the survivors
+            # applied the batch, so report the divergence loudly rather
+            # than pretending the fleet is consistent.
             self.recorder.incr("fleet.update.failed")
             return response_bytes(
                 500,
                 {"applied": False, "errors": commit_failures},
                 keep_alive=keep_alive,
             )
-        payload = {"applied": True, "workers": len(self.workers)}
+        payload = {"applied": True, "workers": len(committed)}
         rebuild_due = False
-        for outcome in committed:
+        for _worker, outcome in committed:
+            if isinstance(outcome, BaseException):
+                continue
             try:
                 report = json.loads(outcome[2])
             except (json.JSONDecodeError, TypeError, IndexError):
@@ -1257,6 +1767,13 @@ class FleetRouter:
                 if key in report and key not in payload:
                     payload[key] = report[key]
         self.recorder.incr("fleet.update.count")
+        seqno = payload.get("seqno")
+        if isinstance(seqno, int):
+            # Retain the accepted body: a respawned worker whose WAL
+            # predates this batch replays it straight from here.
+            self._update_log.append((seqno, body))
+            if len(self._update_log) > _UPDATE_LOG_MAX:
+                del self._update_log[: -_UPDATE_LOG_MAX]
         if rebuild_due and self._rebuild_task is None and not self._draining:
             # Single-flight: one background rebuild per burst, no
             # matter how many batches land while it runs.
@@ -1265,11 +1782,25 @@ class FleetRouter:
             )
         return response_bytes(200, payload, keep_alive=keep_alive)
 
-    def _phase_failures(self, outcomes: Sequence[object]) -> List[str]:
-        """Per-worker error strings from one fan-out's outcomes."""
+    def _phase_failures(
+        self, outcomes: Sequence[Tuple[_Worker, object]]
+    ) -> List[str]:
+        """Per-worker error strings from one fan-out's outcomes.
+
+        A worker whose *process died* mid-phase is not a failure: it is
+        ejected (and queued for respawn) and the phase proceeds on the
+        survivors — a crash must degrade capacity, not block updates.
+        """
         failures = []
-        for worker, outcome in zip(self.workers, outcomes):
+        for worker, outcome in outcomes:
             if isinstance(outcome, BaseException):
+                if isinstance(outcome, FleetError) and (
+                    not worker.up or not worker.process.is_alive()
+                ):
+                    self._on_worker_death(
+                        worker, f"died mid-fanout: {outcome}"
+                    )
+                    continue
                 failures.append(f"worker {worker.worker_id}: {outcome}")
                 continue
             status, _, payload = outcome
@@ -1293,12 +1824,15 @@ class FleetRouter:
         all-or-nothing), so one build serves all N.
         """
         try:
+            builder = self._first_live()
+            if builder is None:
+                raise FleetError("no live worker can run the rebuild")
             status, _, payload = await self._upstream(
-                self.workers[0], "POST", "/admin/rebuild", b"{}"
+                builder, "POST", "/admin/rebuild", b"{}"
             )
             if status != 200:
                 raise FleetError(
-                    "rebuild on worker 0 failed: "
+                    f"rebuild on worker {builder.worker_id} failed: "
                     f"HTTP {status} {payload.decode('latin-1', 'replace')[:200]}"
                 )
             report = json.loads(payload)
@@ -1326,6 +1860,11 @@ class FleetRouter:
                 raise FleetError(
                     f"rebuild swap commit failed: {'; '.join(commit_failures)}"
                 )
+            # A worker respawning after this point adopts exactly this
+            # base to close any epoch gap.
+            self._last_rebuild = (
+                str(report["path"]), int(report["base_seqno"])
+            )
             self.recorder.incr("fleet.rebuild.count")
         except Exception:
             self.recorder.incr("fleet.rebuild.failed")

@@ -7,6 +7,12 @@ the bound address, so callers never touch the event loop::
 
     with ServerThread(index, ServeConfig(port=0)) as (host, port):
         report = replay(host, port, pairs)
+
+Extra keyword arguments pass straight through to
+:class:`~repro.serve.server.SPCServer`; a durable live tier is one
+``updates=recover_coordinator(wal_dir, graph, index)[0]`` away — the
+coordinator arrives already replayed to its pre-crash overlay and
+keeps appending to the same WAL.
 """
 
 from __future__ import annotations

@@ -523,6 +523,7 @@ class SPCServer:
             self.updates.adopt_base,
             new_index,
             int(base_seqno),
+            path,  # pin the adopted base in the WAL's new epoch file
         )
         self.index_path = path
         self._index_meta = None
@@ -982,8 +983,21 @@ class SPCServer:
                     ctx = TraceContext.generate()
                     trace = (ctx.trace_id, ctx.span_id, None)
         self.recorder.incr("serve.requests")
+        self._maybe_die()
         keep_alive = (b"close" not in head) and not self._draining
         return self._query_entry(source, target, rid, trace=trace), keep_alive
+
+    def _maybe_die(self) -> None:
+        """Chaos site ``worker.kill``: SIGKILL this process mid-request.
+
+        Only query traffic draws the site — admin fan-outs and health
+        probes stay deterministic — and SIGKILL (not an exception)
+        models the real failure the fleet supervisor must detect: no
+        drain, no goodbye, a half-written response on the wire.
+        """
+        plan = self.fault_plan
+        if plan is not None and plan.should_fire("worker.kill"):
+            os.kill(os.getpid(), signal.SIGKILL)
 
     def _dispatch(self, request: Request):
         """Route one request: a ready Response or an awaitable of one.
@@ -996,6 +1010,7 @@ class SPCServer:
         self.recorder.incr("serve.requests")
         rid = request.headers.get("x-request-id") or self._ids.next_id()
         if request.path == "/query":
+            self._maybe_die()
             trace = None
             if self.tracer is not None:
                 header = request.headers.get("traceparent")

@@ -65,6 +65,40 @@ class TestDeltaFiles:
             read_delta_file(path)
 
 
+class TestCliErrors:
+    """``repro-spc update-replay`` on a bad file: exit 1, one ``error:``
+    line on stderr, no traceback."""
+
+    @pytest.mark.parametrize(
+        "content",
+        [
+            "not json\n",
+            # A torn final line, as left by a crashed recorder.
+            '{"at": 0, "updates": [[1, 2, 3]]}\n{"at": 1, "upd',
+            '{"at": 0, "updates": [[1, 2]]}\n',
+        ],
+    )
+    def test_update_replay_bad_file_exits_one(
+        self, tmp_path, capsys, content
+    ):
+        from repro.cli import main
+
+        path = tmp_path / "deltas.jsonl"
+        path.write_text(content)
+        assert main(["update-replay", str(path)]) == 1
+        err = capsys.readouterr().err.strip().splitlines()
+        assert len(err) == 1, err
+        assert err[0].startswith("error:")
+        assert "Traceback" not in err[0]
+
+    def test_update_replay_missing_file_exits_one(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["update-replay", str(tmp_path / "absent.jsonl")]) == 1
+        err = capsys.readouterr().err.strip()
+        assert err.startswith("error:")
+
+
 class TestSynthesize:
     def test_deterministic(self):
         graph = road_network(60, seed=1)

@@ -20,14 +20,21 @@ module-wide where the tests allow it.
 
 import http.client
 import json
+import os
 import random
+import signal
 import threading
+import time
 
 import pytest
 
+from repro.core.ctl import CTLIndex
 from repro.core.ctls import CTLSIndex
 from repro.core.serialize import save_index
 from repro.graph.generators import road_network
+from repro.graph.io import write_json
+from repro.live import synthesize_deltas
+from repro.search.pairwise import spc_query
 from repro.serve import (
     FleetThread,
     HashRing,
@@ -426,6 +433,282 @@ class TestFleetTracing:
         host, port = fleet
         status, _ = _http(host, port, "GET", "/admin/trace")
         assert status == 405
+
+
+# ----------------------------------------------------------------------
+# self-healing: supervision, respawn, WAL catch-up
+# ----------------------------------------------------------------------
+def _http_with_headers(host, port, method, path, payload=None):
+    conn = http.client.HTTPConnection(host, port, timeout=30.0)
+    try:
+        body = None if payload is None else json.dumps(payload).encode()
+        conn.request(method, path, body=body)
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        conn.close()
+
+
+def _healing_fleet_thread(tmp_path, graph, workers=2, **overrides):
+    """A live-update fleet with supervision, respawn, and a WAL."""
+    index_path = tmp_path / "index.bin"
+    graph_path = tmp_path / "graph.json"
+    save_index(CTLIndex.build(graph), index_path, format="binary")
+    write_json(graph, graph_path)
+    settings = dict(
+        port=0,
+        live_updates=True,
+        wal_dir=str(tmp_path / "wal"),
+        respawn=True,
+        probe_interval_s=0.2,
+        respawn_backoff_s=0.05,
+        respawn_backoff_max_s=0.2,
+    )
+    settings.update(overrides)
+    return FleetThread(
+        index_path, workers, ServeConfig(**settings),
+        live_graph_path=str(graph_path),
+    )
+
+
+def _wait_for(predicate, *, deadline_s, interval_s=0.1):
+    deadline = time.time() + deadline_s
+    while time.time() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval_s)
+    return None
+
+
+class TestFleetSelfHealing:
+    """The pinned crash bar: ``kill -9`` one of two workers under a
+    sustained query replay *and* a live-update stream.  Zero wrong
+    answers, availability >= 0.9, and the respawned worker rejoins at
+    the fleet's current epoch/seqno via WAL replay (verified through
+    the ``/stats`` per-worker lag rows)."""
+
+    def test_kill_nine_under_load_heals_with_no_wrong_answers(
+        self, tmp_path
+    ):
+        graph = road_network(120, seed=9)
+        rng = random.Random(33)
+        vertices = sorted(graph.vertices())
+        query_pool = [
+            (rng.choice(vertices), rng.choice(vertices)) for _ in range(40)
+        ]
+        batches = synthesize_deltas(graph, batches=4, seed=33)
+        mirror = graph.copy()
+        snapshots = [graph.copy()]  # every state a query may observe
+
+        def push_batch(host, port, batch):
+            status, body = _http(
+                host, port, "POST", "/admin/update",
+                {"updates": [list(u) for u in batch.updates]},
+            )
+            assert status == 200, body
+            for a, b, w in batch.updates:
+                mirror.add_edge(a, b, w, mirror.count(a, b))
+            snapshots.append(mirror.copy())
+            return json.loads(body)
+
+        results = []
+        stop = threading.Event()
+
+        def hammer(host, port):
+            while not stop.is_set():
+                s, t = query_pool[len(results) % len(query_pool)]
+                try:
+                    status, body = _http(
+                        host, port, "GET",
+                        f"/query?source={s}&target={t}",
+                    )
+                except OSError:
+                    results.append((s, t, 599, None, None))
+                    continue
+                if status == 200:
+                    row = json.loads(body)
+                    results.append(
+                        (s, t, status, row["distance"], row["count"])
+                    )
+                else:
+                    results.append((s, t, status, None, None))
+
+        thread = _healing_fleet_thread(tmp_path, graph)
+        try:
+            host, port = thread.start()
+            push_batch(host, port, batches[0])
+            load = threading.Thread(target=hammer, args=(host, port))
+            load.start()
+            time.sleep(0.3)
+
+            victim = thread.router.workers[1]
+            os.kill(victim.process.pid, signal.SIGKILL)
+            # The stream keeps flowing while the worker is down: the
+            # router ejects the corpse and applies on the survivor.
+            for batch in batches[1:3]:
+                push_batch(host, port, batch)
+
+            def healed():
+                status, body = _http(host, port, "GET", "/stats")
+                if status != 200:
+                    return None
+                supervisor = json.loads(body)["fleet"]["supervisor"]
+                if (
+                    supervisor["respawns"] >= 1
+                    and supervisor["workers_down"] == 0
+                ):
+                    return supervisor
+                return None
+
+            supervisor = _wait_for(healed, deadline_s=30.0)
+            assert supervisor is not None, "worker never respawned"
+            assert supervisor["workers"][1]["generation"] >= 1
+
+            # Post-recovery: the next batch reaches both workers and
+            # nobody lags the fleet watermark — the respawned worker
+            # replayed its WAL and caught up to the missed batches.
+            payload = push_batch(host, port, batches[3])
+            assert payload["workers"] == 2
+            status, body = _http(host, port, "GET", "/stats")
+            assert status == 200
+            rows = json.loads(body)["fleet"]["per_worker"]
+            assert len(rows) == 2
+            for row in rows:
+                assert row["epoch_lag"] == 0, rows
+                assert row["seqno_lag"] == 0, rows
+                assert row["seqno"] == len(batches), rows
+            stop.set()
+            load.join()
+
+            # Every worker answers with the final weights.
+            for s, t in query_pool[:20]:
+                status, body = _http(
+                    host, port, "GET", f"/query?source={s}&target={t}"
+                )
+                assert status == 200
+                row = json.loads(body)
+                expect = spc_query(mirror, s, t)
+                wire = None if expect.distance >= INF else expect.distance
+                assert (row["distance"], row["count"]) == (
+                    wire, expect.count,
+                ), (s, t)
+        finally:
+            stop.set()
+            thread.stop()
+
+        # Availability: the single kill -9 may fail in-flight requests
+        # once, but the ring rebuild keeps the fleet serving.
+        ok = sum(1 for r in results if r[2] == 200)
+        assert results, "query hammer never ran"
+        assert ok / len(results) >= 0.9, (
+            f"availability {ok}/{len(results)}"
+        )
+
+        # Zero wrong answers: every 200 matches counting Dijkstra on
+        # one of the graph states the fleet actually passed through.
+        allowed = {}
+        for s, t, status, distance, count in results:
+            if status != 200:
+                continue
+            if (s, t) not in allowed:
+                answers = set()
+                for snapshot in snapshots:
+                    expect = spc_query(snapshot, s, t)
+                    wire = (
+                        None if expect.distance >= INF else expect.distance
+                    )
+                    answers.add((wire, expect.count))
+                allowed[(s, t)] = answers
+            assert (distance, count) in allowed[(s, t)], (
+                s, t, distance, count, sorted(allowed[(s, t)]),
+            )
+
+    def test_flap_circuit_keeps_a_crash_looping_worker_down(
+        self, tmp_path
+    ):
+        graph = road_network(80, seed=5)
+        thread = _healing_fleet_thread(
+            tmp_path, graph, flap_max_restarts=1
+        )
+        try:
+            host, port = thread.start()
+            victim = thread.router.workers[0]
+            os.kill(victim.process.pid, signal.SIGKILL)
+
+            def tripped():
+                status, body = _http(host, port, "GET", "/stats")
+                if status != 200:
+                    return None
+                supervisor = json.loads(body)["fleet"]["supervisor"]
+                row = supervisor["workers"][0]
+                return supervisor if row["circuit_open"] else None
+
+            supervisor = _wait_for(tripped, deadline_s=15.0)
+            assert supervisor is not None, "flap circuit never tripped"
+            assert supervisor["respawns"] == 0  # flapped, not respawned
+            status, headers, body = _http_with_headers(
+                host, port, "GET", "/health"
+            )
+            payload = json.loads(body)
+            assert status == 503
+            assert payload["status"] == "degraded"
+            assert payload["workers_down"] == 1
+            assert payload["workers"][0]["status"] == "flapped"
+            # The survivor keeps answering alone.
+            vertices = sorted(graph.vertices())
+            status, _ = _http(
+                host, port, "GET",
+                f"/query?source={vertices[0]}&target={vertices[-1]}",
+            )
+            assert status == 200
+        finally:
+            thread.stop()
+
+
+class TestFleetAllWorkersDown:
+    """Satellite: every worker dead => 503 + ``Retry-After``, and
+    ``/health`` reports the outage instead of hanging."""
+
+    def test_query_is_503_with_retry_after(self, index_path):
+        thread = FleetThread(
+            index_path, 2,
+            ServeConfig(port=0, probe_interval_s=0.2, respawn=False),
+        )
+        try:
+            host, port = thread.start()
+            for worker in thread.router.workers:
+                os.kill(worker.process.pid, signal.SIGKILL)
+
+            def all_down():
+                status, body = _http(host, port, "GET", "/health")
+                payload = json.loads(body)
+                return payload if payload["workers_down"] == 2 else None
+
+            payload = _wait_for(all_down, deadline_s=15.0)
+            assert payload is not None, "supervisor never ejected corpses"
+            assert payload["status"] == "down"
+            assert all(
+                row["status"] == "down" for row in payload["workers"]
+            )
+
+            status, headers, body = _http_with_headers(
+                host, port, "GET", "/query?source=0&target=1"
+            )
+            assert status == 503
+            assert "Retry-After" in headers
+            assert int(headers["Retry-After"]) >= 1
+            assert "no live workers" in json.loads(body)["error"]
+
+            # Batch scatter takes the same branch.
+            status, headers, _ = _http_with_headers(
+                host, port, "POST", "/query",
+                {"pairs": [[0, 1], [2, 3]]},
+            )
+            assert status == 503
+            assert "Retry-After" in headers
+        finally:
+            thread.stop()
 
 
 class TestFleetAnalytics:
